@@ -1,0 +1,87 @@
+//! Experiment benches: one Criterion target per table/figure, timing the
+//! regeneration itself (the `src/bin/*` binaries print the artifacts;
+//! these keep their cost visible and their code paths exercised by
+//! `cargo bench`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use tn_core::design::{LayerOneSwitches, TradingNetworkDesign, TraditionalSwitches};
+use tn_core::ScenarioConfig;
+use tn_market::{ExchangeProfile, GrowthModel, IntradayModel, MicroburstModel};
+use tn_sim::SimTime;
+
+fn table1_frame_lengths(c: &mut Criterion) {
+    c.bench_function("table1_frame_lengths", |b| {
+        let profiles = ExchangeProfile::table1();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            profiles.iter().map(|p| p.sample_frame_lengths(seed, 50_000).len()).sum::<usize>()
+        })
+    });
+}
+
+fn fig2_models(c: &mut Criterion) {
+    c.bench_function("fig2a_growth_series", |b| {
+        let m = GrowthModel::default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            m.series(seed)
+        })
+    });
+    c.bench_function("fig2b_intraday_counts", |b| {
+        let m = IntradayModel::default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            m.per_second_counts(seed)
+        })
+    });
+    c.bench_function("fig2c_microburst_windows", |b| {
+        let m = MicroburstModel::default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            m.window_counts(seed)
+        })
+    });
+}
+
+fn quick_scenario(seed: u64) -> ScenarioConfig {
+    let mut sc = ScenarioConfig::small(seed);
+    sc.duration = SimTime::from_ms(10);
+    sc.background_rate = 20_000.0;
+    sc
+}
+
+fn design_roundtrips(c: &mut Criterion) {
+    let mut g = c.benchmark_group("designs");
+    g.sample_size(10);
+    g.bench_function("design1_roundtrip_sim", |b| {
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                quick_scenario(seed)
+            },
+            |sc| TraditionalSwitches::default().run(&sc),
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("design3_roundtrip_sim", |b| {
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                quick_scenario(seed)
+            },
+            |sc| LayerOneSwitches::default().run(&sc),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, table1_frame_lengths, fig2_models, design_roundtrips);
+criterion_main!(benches);

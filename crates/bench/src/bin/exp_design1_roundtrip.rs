@@ -1,0 +1,61 @@
+//! E5 — §4.1's round-trip arithmetic on Design 1, measured.
+//!
+//! The paper: "a round trip (exchange, normalizer, strategy, gateway, and
+//! back to the exchange) would involve 12 switch hops and 3 software
+//! hops. Assuming each switch hop incurs 500 nanoseconds of latency, half
+//! of the overall time through the system is spent in the network!"
+//!
+//! ```sh
+//! cargo run --release -p tn-bench --bin exp_design1_roundtrip
+//! ```
+
+use tn_core::design::{TradingNetworkDesign, TraditionalSwitches};
+use tn_core::ScenarioConfig;
+use tn_sim::SimTime;
+
+fn main() {
+    // The paper's assumptions: every software function ~2 us, light load
+    // so queueing does not blur the path.
+    let mut sc = ScenarioConfig::small(5);
+    sc.normalizer_service = SimTime::from_us(2);
+    sc.decision_service = SimTime::from_us(2);
+    sc.gateway_service = SimTime::from_us(2);
+    sc.background_rate = 10_000.0;
+    sc.tick_interval = SimTime::from_us(20);
+    sc.duration = SimTime::from_ms(60);
+
+    // The analytic model first.
+    let switch_hop = SimTime::from_ns(500);
+    let hops = 12u64;
+    let network_analytic = switch_hop * hops;
+    let software_analytic = sc.software_path();
+    println!("§4.1 analytic model:");
+    println!("  4 legs x 3 switch hops       = {hops} switch hops");
+    println!("  {hops} x {switch_hop} = {network_analytic} network");
+    println!("  3 software hops x 2us        = {software_analytic} software");
+    println!(
+        "  network share                = {:.0}%  (the paper's 'half')",
+        100.0 * network_analytic.as_ps() as f64
+            / (network_analytic + software_analytic).as_ps() as f64
+    );
+    println!();
+
+    // Then the measured system.
+    let report = TraditionalSwitches::default().run(&sc);
+    println!("measured on the simulated fabric:");
+    println!("{}", report.summary());
+    println!();
+    println!(
+        "  median reaction {} = {} software + {} network/serialization/exchange",
+        report.reaction.median,
+        report.software_path,
+        report.network_time()
+    );
+    println!(
+        "  measured network share = {:.0}%  (paper: ~50%; serialization and the \n\
+         exchange-side hop push the measured share above the pure-switch analytic)",
+        report.network_share * 100.0
+    );
+    assert!(report.reaction.count > 0);
+    assert!((0.3..=0.8).contains(&report.network_share));
+}

@@ -1,0 +1,149 @@
+//! E14 — §5 "Hardware": merging safely by filtering in the fabric.
+//!
+//! "Applied naively, merging would lead to queueing or packet loss. But
+//! when combined with other ideas, such as header compression or data
+//! filtering, it should be possible to safely merge feeds while avoiding
+//! these issues."
+//!
+//! Repeats the E10 merge overload through an FPGA-augmented L1 switch
+//! whose ingress filters drop the groups the consumer never subscribed
+//! to *before* the mux. The consumer wants 1/N of each feed, so the
+//! filtered aggregate fits the circuit that the naive merge overran.
+//!
+//! ```sh
+//! cargo run --release -p tn-bench --bin exp_fpga_filtering
+//! ```
+
+use std::collections::HashSet;
+
+use tn_netdev::EtherLink;
+use tn_sim::{Context, Frame, Node, PortId, SimTime, Simulator};
+use tn_stats::Summary;
+use tn_switch::l1s::{L1Config, L1Switch};
+use tn_switch::{FpgaConfig, FpgaL1Switch};
+use tn_wire::{eth, ipv4, stack};
+
+struct Rx {
+    latencies_ns: Vec<u64>,
+}
+
+impl Node for Rx {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, _p: PortId, f: Frame) {
+        self.latencies_ns.push((ctx.now() - f.born).as_ns());
+    }
+}
+
+const SOURCES: usize = 4;
+const GROUPS_PER_SOURCE: u32 = 4;
+const FRAMES_PER_BURST: usize = 400;
+const FRAME_LEN: usize = 600;
+
+fn feed_frame(group: u32) -> Vec<u8> {
+    stack::build_udp(
+        eth::MacAddr::host(1),
+        None,
+        ipv4::Addr::host(1),
+        ipv4::Addr::multicast_group(group),
+        30_001,
+        30_001,
+        &vec![0u8; FRAME_LEN - stack::UDP_OVERHEAD],
+    )
+}
+
+/// Inject the correlated burst: each source emits its groups round-robin
+/// at its own line rate.
+fn burst(sim: &mut Simulator, switch: tn_sim::NodeId) {
+    let spacing = SimTime::serialization(FRAME_LEN, 10_000_000_000);
+    for s in 0..SOURCES {
+        for i in 0..FRAMES_PER_BURST {
+            let group = (s as u32) * GROUPS_PER_SOURCE + (i as u32 % GROUPS_PER_SOURCE);
+            let mut f = sim.new_frame(feed_frame(group));
+            f.born = spacing * i as u64;
+            let at = f.born;
+            sim.inject_frame(at, switch, PortId(s as u16), f);
+        }
+    }
+}
+
+fn run_naive() -> (u64, u64, u64, u64) {
+    let mut sim = Simulator::new(4);
+    let mut sw = L1Switch::new(L1Config::default());
+    let out = PortId(100);
+    for s in 0..SOURCES {
+        sw.provision_merge(PortId(s as u16), out);
+    }
+    let sw = sim.add_node("merge", sw);
+    let rx = sim.add_node("rx", Rx { latencies_ns: vec![] });
+    sim.connect(sw, out, rx, PortId(0), EtherLink::ten_gig(SimTime::ZERO).with_queue_bytes(65_536));
+    burst(&mut sim, sw);
+    sim.run();
+    summarize(&sim, rx)
+}
+
+fn run_filtered() -> (u64, u64, u64, u64) {
+    let mut sim = Simulator::new(4);
+    let mut sw = FpgaL1Switch::new(FpgaConfig::default());
+    let out = PortId(100);
+    // The consumer subscribes to one group per source (1/4 of each feed).
+    let mut wanted = HashSet::new();
+    for s in 0..SOURCES as u32 {
+        let g = ipv4::Addr::multicast_group(s * GROUPS_PER_SOURCE);
+        wanted.insert(g);
+        sw.add_group_member(g, out);
+    }
+    for s in 0..SOURCES {
+        sw.set_ingress_filter(PortId(s as u16), wanted.clone());
+    }
+    let sw = sim.add_node("fpga", sw);
+    let rx = sim.add_node("rx", Rx { latencies_ns: vec![] });
+    sim.connect(sw, out, rx, PortId(0), EtherLink::ten_gig(SimTime::ZERO).with_queue_bytes(65_536));
+    burst(&mut sim, sw);
+    sim.run();
+    summarize(&sim, rx)
+}
+
+fn summarize(sim: &Simulator, rx: tn_sim::NodeId) -> (u64, u64, u64, u64) {
+    let lat = &sim.node::<Rx>(rx).unwrap().latencies_ns;
+    let mut s = Summary::new();
+    s.extend(lat.iter().copied());
+    (s.count() as u64, sim.stats().frames_dropped, s.median(), s.max())
+}
+
+fn main() {
+    println!(
+        "{SOURCES} feeds x {FRAMES_PER_BURST} frames, consumer wants 1 of \
+         {GROUPS_PER_SOURCE} groups per feed, one 10G circuit out\n"
+    );
+    let wanted_total = (SOURCES * FRAMES_PER_BURST) as u64 / u64::from(GROUPS_PER_SOURCE);
+    let (d1, drop1, med1, max1) = run_naive();
+    let (d2, drop2, med2, max2) = run_filtered();
+    println!(
+        "{:<26} {:>10} {:>10} {:>12} {:>12}",
+        "merge", "delivered", "dropped", "median", "max"
+    );
+    println!(
+        "{:<26} {:>10} {:>10} {:>9} ns {:>9} ns   (delivers everything, incl. 3/4 junk)",
+        "naive L1S (56 ns)",
+        d1,
+        drop1,
+        med1,
+        max1
+    );
+    println!(
+        "{:<26} {:>10} {:>10} {:>9} ns {:>9} ns   (wanted: {wanted_total})",
+        "FPGA-L1S filter (100 ns)",
+        d2,
+        drop2,
+        med2,
+        max2
+    );
+    println!();
+    println!("the naive merge offers 4x the circuit rate: it loses frames and its queue");
+    println!("holds ~52 us. Filtering in the fabric drops the 75% the consumer never");
+    println!("wanted *before* the mux, so the merged stream fits — zero loss, flat");
+    println!("latency — §5's 'safely merge feeds while avoiding these issues'.");
+    assert!(drop1 > 0, "naive merge must overload");
+    assert_eq!(drop2, 0, "filtered merge must not drop");
+    assert_eq!(d2, wanted_total);
+    assert!(med2 < med1 / 10);
+}

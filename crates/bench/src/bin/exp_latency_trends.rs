@@ -1,0 +1,67 @@
+//! E11 — §3's hardware trends: switch latency creeping up while host
+//! latency falls, so the network's share of system latency grows.
+//!
+//! For each (switch generation, host generation) era, computes the §4.1
+//! round trip (12 switch hops + 3 software hops) and the network share.
+//!
+//! ```sh
+//! cargo run --release -p tn-bench --bin exp_latency_trends
+//! ```
+
+use tn_switch::{host_generations, switch_generations};
+
+fn main() {
+    let switches = switch_generations();
+    let hosts = host_generations();
+
+    println!("commodity switch generations (§3 'Latency Trends' / 'Multicast Trends'):");
+    println!(
+        "{:>6} {:>12} {:>14} {:>14}",
+        "year", "latency", "bandwidth", "mcast groups"
+    );
+    for g in &switches {
+        println!(
+            "{:>6} {:>12} {:>11} Tb {:>14}",
+            g.year,
+            g.latency.to_string(),
+            g.bandwidth_bps / 1_000_000_000_000,
+            g.mcast_groups
+        );
+    }
+    let (f, l) = (switches.first().unwrap(), switches.last().unwrap());
+    println!(
+        "latency +{:.0}% (paper: ~20% higher, ~500 ns today); bandwidth {:.0}x; groups +{:.0}% \
+         (paper: 80%)\n",
+        100.0 * (l.latency.as_ps() as f64 / f.latency.as_ps() as f64 - 1.0),
+        l.bandwidth_bps as f64 / f.bandwidth_bps as f64,
+        100.0 * (l.mcast_groups as f64 / f.mcast_groups as f64 - 1.0),
+    );
+
+    println!("host (one software hop) generations:");
+    for g in &hosts {
+        println!("{:>6} {:>12}", g.year, g.latency.to_string());
+    }
+    println!("(paper: 'latency for a hop through a software host ... is now below 1 microsecond')\n");
+
+    println!("the §4.1 round trip (12 switch hops + 3 software hops) by era:");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14} {:>10}",
+        "era", "network", "software", "total", "net share"
+    );
+    for (sw, host) in switches.iter().zip([0, 0, 1, 1, 2, 2].iter().map(|&i| &hosts[i])) {
+        let network = sw.latency * 12;
+        let software = host.latency * 3;
+        let total = network + software;
+        println!(
+            "{:>12} {:>14} {:>14} {:>14} {:>9.0}%",
+            format!("{}/{}", sw.year, host.year),
+            network.to_string(),
+            software.to_string(),
+            total.to_string(),
+            100.0 * network.as_ps() as f64 / total.as_ps() as f64,
+        );
+    }
+    println!();
+    println!("network share climbs monotonically — 'network latency is a large and");
+    println!("increasing share of total system latency' (§3).");
+}

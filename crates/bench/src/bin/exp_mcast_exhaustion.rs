@@ -1,0 +1,144 @@
+//! E7 — mroute-table exhaustion (§3 "Multicast Trends").
+//!
+//! Sweeps the number of multicast groups a trading plant asks of a
+//! commodity switch past its hardware table capacity, measuring delivery
+//! rate and latency per group class. Also prints the §3 trend: market
+//! data grew ~500% over five years while switch multicast capacity grew
+//! ~80% — partitioning demand (600 → 1300 partitions for one strategy)
+//! is on a collision course with the table.
+//!
+//! ```sh
+//! cargo run --release -p tn-bench --bin exp_mcast_exhaustion
+//! ```
+
+use tn_netdev::EtherLink;
+use tn_sim::{Context, Frame, Node, PortId, SimTime, Simulator};
+use tn_stats::Summary;
+use tn_switch::{switch_generations, CommoditySwitch, SwitchConfig};
+use tn_wire::{eth, igmp, ipv4, stack};
+
+struct Receiver {
+    arrivals: Vec<(u32, SimTime)>,
+}
+
+impl Node for Receiver {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, _p: PortId, f: Frame) {
+        if let Ok(v) = stack::parse_udp(&f.bytes) {
+            if let Some(idx) = v.dst_ip.multicast_index() {
+                self.arrivals.push((idx, ctx.now()));
+            }
+        }
+    }
+}
+
+/// Blast `packets_per_group` packets across `groups` groups on a switch
+/// with `table` hardware entries; return (hw delivery %, sw delivery %,
+/// hw median ns, sw median ns).
+fn run_sweep(groups: usize, table: usize, packets_per_group: usize) -> (f64, f64, u64, u64) {
+    let cfg = SwitchConfig {
+        mcast_table_size: table,
+        sw_service: SimTime::from_us(25),
+        sw_queue: 64,
+        ..SwitchConfig::default()
+    };
+    let mut sim = Simulator::new(1);
+    let sw = sim.add_node("sw", CommoditySwitch::new(cfg));
+    let rx = sim.add_node("rx", Receiver { arrivals: vec![] });
+    sim.connect(sw, PortId(1), rx, PortId(0), EtherLink::ten_gig(SimTime::ZERO));
+    for g in 0..groups as u32 {
+        let join = tn_switch::commodity::igmp_frame(
+            igmp::MessageType::Report,
+            eth::MacAddr::host(2),
+            ipv4::Addr::host(2),
+            ipv4::Addr::multicast_group(g),
+        );
+        let f = sim.new_frame(join);
+        sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
+    }
+    sim.run();
+    // Interleave packets across groups in bursts, 1 us apart, so the
+    // software queue sees sustained load rather than one megaburst.
+    let mut send_times = Vec::new();
+    for round in 0..packets_per_group {
+        let t0 = sim.now() + SimTime::from_us(1 + round as u64 * 100);
+        for g in 0..groups as u32 {
+            let frame = stack::build_udp(
+                eth::MacAddr::host(1),
+                None,
+                ipv4::Addr::host(1),
+                ipv4::Addr::multicast_group(g),
+                30_001,
+                30_001,
+                &[0u8; 100],
+            );
+            let f = sim.new_frame(frame);
+            sim.inject_frame(t0, sw, PortId(0), f);
+            send_times.push((g, t0));
+        }
+    }
+    sim.run();
+    let arrivals = &sim.node::<Receiver>(rx).unwrap().arrivals;
+    let mut hw_lat = Summary::new();
+    let mut sw_lat = Summary::new();
+    // Latency by matching per (group, round) send times in order.
+    let mut seen: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for &(g, t) in arrivals {
+        let k = seen.entry(g).or_insert(0);
+        let send = send_times
+            .iter()
+            .filter(|(sg, _)| *sg == g)
+            .nth(*k)
+            .map(|&(_, st)| st)
+            .unwrap_or(SimTime::ZERO);
+        *k += 1;
+        let lat = (t - send).as_ns();
+        if (g as usize) < table {
+            hw_lat.record(lat);
+        } else {
+            sw_lat.record(lat);
+        }
+    }
+    let hw_expected = table.min(groups) * packets_per_group;
+    let sw_expected = groups.saturating_sub(table) * packets_per_group;
+    let hw_rate = if hw_expected > 0 { hw_lat.count() as f64 / hw_expected as f64 } else { 1.0 };
+    let sw_rate = if sw_expected > 0 { sw_lat.count() as f64 / sw_expected as f64 } else { 1.0 };
+    (100.0 * hw_rate, 100.0 * sw_rate, hw_lat.median(), sw_lat.median())
+}
+
+fn main() {
+    let table = 512; // scaled-down hardware table for a fast sweep
+    println!("mroute table capacity: {table} groups; sweeping demanded groups\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>14} {:>14}",
+        "groups", "overflow", "hw del %", "sw del %", "hw median", "sw median"
+    );
+    for groups in [256usize, 512, 576, 640, 768, 1024] {
+        let (hw_rate, sw_rate, hw_med, sw_med) = run_sweep(groups, table, 20);
+        println!(
+            "{:>8} {:>10} {:>11.1}% {:>11.1}% {:>11} ns {:>11} ns",
+            groups,
+            groups.saturating_sub(table),
+            hw_rate,
+            sw_rate,
+            hw_med,
+            sw_med
+        );
+    }
+    println!();
+    println!("the cliff: once demand passes the table, overflow groups run ~50x slower");
+    println!("and drop most of their traffic — §3's 'cripples performance and induces");
+    println!("heavy packet loss'.\n");
+
+    // The §3 trend collision.
+    let gens = switch_generations();
+    let first = gens.first().unwrap();
+    let last = gens.last().unwrap();
+    println!(
+        "trend: market data +500% in 5 years (Fig 2a) vs multicast groups +{:.0}%\n\
+         over a decade of switch generations ({} -> {}); one strategy's partition\n\
+         count alone grew 600 -> 1300 in two years (§3).",
+        100.0 * (last.mcast_groups as f64 / first.mcast_groups as f64 - 1.0),
+        first.mcast_groups,
+        last.mcast_groups,
+    );
+}

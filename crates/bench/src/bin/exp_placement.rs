@@ -1,0 +1,55 @@
+//! E15 — placement optimization (§4.1's caveat, §5 "Cluster Management").
+//!
+//! §4.1: optimizing server placement "could only optimize placement for a
+//! few strategies and the majority would not benefit." This experiment
+//! quantifies that: as the strategy fleet grows against a fixed rack
+//! budget, the co-located fraction collapses, while the *traffic-
+//! weighted* hop count still improves because the heavy hitters land
+//! next to their feeds.
+//!
+//! ```sh
+//! cargo run --release -p tn-bench --bin exp_placement
+//! ```
+
+use tn_topo::placement::{
+    colocated_fraction, grouped, mean_path_hops, optimize, skewed_demands,
+};
+
+fn main() {
+    let normalizers = 4;
+    let gateways = 4;
+    let slots = 16;
+
+    println!(
+        "leaf-spine, {normalizers} normalizers, {gateways} gateways, {slots} hosts/rack, \
+         Zipf-weighted strategy traffic\n"
+    );
+    println!(
+        "{:>10} {:>8} {:>14} {:>14} {:>12} {:>12}",
+        "strategies", "racks", "grouped hops", "optimized", "saved", "co-located"
+    );
+    for strategies in [8usize, 16, 32, 64, 128, 256, 512] {
+        let racks = (normalizers + gateways + strategies).div_ceil(slots).max(2);
+        let demands = skewed_demands(strategies, normalizers, gateways);
+        let grp = grouped(normalizers, strategies, gateways, slots);
+        let opt = optimize(&demands, normalizers, gateways, racks, slots);
+        let grp_hops = mean_path_hops(&demands, &grp);
+        let opt_hops = mean_path_hops(&demands, &opt);
+        println!(
+            "{:>10} {:>8} {:>14.2} {:>14.2} {:>11.0}% {:>11.0}%",
+            strategies,
+            racks,
+            grp_hops,
+            opt_hops,
+            100.0 * (grp_hops - opt_hops) / grp_hops,
+            100.0 * colocated_fraction(&demands, &opt),
+        );
+    }
+    println!();
+    println!("grouped placement pays 6 hops (3+3) on every path. The optimizer co-locates");
+    println!("strategies with their primary feed while rack slots last; as the fleet");
+    println!("grows, the co-located *fraction* collapses (§4.1: 'the majority would not");
+    println!("benefit') even though the traffic-weighted savings persist — the Zipf head");
+    println!("carries the weight. A placement-aware cluster manager (§5) banks exactly");
+    println!("this: optimize for the heavy few, accept fabric latency for the tail.");
+}

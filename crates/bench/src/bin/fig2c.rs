@@ -1,0 +1,52 @@
+//! E4 — regenerate **Figure 2(c)**: the busiest second of Figure 2(b) at
+//! 100-microsecond resolution.
+//!
+//! ```sh
+//! cargo run --release -p tn-bench --bin fig2c
+//! ```
+
+use tn_bench::{ascii_chart, eng};
+use tn_market::workload::{SESSION_CLOSE_SEC, SESSION_OPEN_SEC};
+use tn_market::{IntradayModel, MicroburstModel};
+use tn_stats::Summary;
+
+fn main() {
+    // Take the busiest second straight out of the Fig 2(b) model so the
+    // two figures are consistent, then distribute it over 100 us windows.
+    let counts = IntradayModel::default().per_second_counts(2);
+    let (busiest_sec, busiest_count) = counts
+        [SESSION_OPEN_SEC as usize..SESSION_CLOSE_SEC as usize]
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, &c)| (SESSION_OPEN_SEC as usize + i, c))
+        .expect("session has seconds");
+
+    let model = MicroburstModel { total_events: busiest_count, ..MicroburstModel::default() };
+    let windows = model.window_counts(4);
+
+    println!(
+        "Figure 2(c): events in the busiest second ({}:{:02}:{:02}, {} events), 100 us windows\n",
+        busiest_sec / 3600,
+        (busiest_sec % 3600) / 60,
+        busiest_sec % 60,
+        eng(busiest_count as f64)
+    );
+    let series: Vec<f64> = windows.iter().map(|&c| c as f64).collect();
+    println!("{}", ascii_chart(&series, 100, 14));
+    println!("0ms{:>22}200ms{:>18}400ms{:>18}600ms{:>18}800ms", "", "", "", "");
+    println!();
+
+    let mut s = Summary::new();
+    s.extend(windows.iter().copied());
+    println!("median 100 us window  : {:>5} events   (paper: 129)", s.median());
+    println!("busiest 100 us window : {:>5} events   (paper: 1066)", s.max());
+    println!();
+    // §3: "processing at 100 nanoseconds per event — i.e., a software
+    // system would have little time to perform any operations beyond
+    // copying data into memory."
+    let budget_ns = 100_000.0 / s.max() as f64;
+    println!("per-event budget in the peak window: {budget_ns:.0} ns   (paper: ~100 ns)");
+    assert!((90..=170).contains(&s.median()), "median near 129");
+    assert!((650..=1700).contains(&s.max()), "max near 1066");
+}

@@ -1,0 +1,152 @@
+//! Evaluation reports: what a design run produces.
+
+use tn_sim::SimTime;
+use tn_stats::Summary;
+
+/// Order statistics for a latency population, picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: usize,
+    /// Minimum.
+    pub min: SimTime,
+    /// Mean.
+    pub mean: SimTime,
+    /// Median.
+    pub median: SimTime,
+    /// 99th percentile.
+    pub p99: SimTime,
+    /// Maximum.
+    pub max: SimTime,
+}
+
+impl LatencyStats {
+    /// Build from raw picosecond samples.
+    pub fn from_samples(samples: &[u64]) -> LatencyStats {
+        let mut s = Summary::new();
+        s.extend(samples.iter().copied());
+        LatencyStats {
+            count: s.count(),
+            min: SimTime::from_ps(s.min()),
+            mean: SimTime::from_ps(s.mean() as u64),
+            median: SimTime::from_ps(s.median()),
+            p99: SimTime::from_ps(s.percentile(99.0)),
+            max: SimTime::from_ps(s.max()),
+        }
+    }
+
+    /// An empty population.
+    pub fn empty() -> LatencyStats {
+        LatencyStats {
+            count: 0,
+            min: SimTime::ZERO,
+            mean: SimTime::ZERO,
+            median: SimTime::ZERO,
+            p99: SimTime::ZERO,
+            max: SimTime::ZERO,
+        }
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={} median={} mean={} p99={} max={}",
+            self.count, self.min, self.median, self.mean, self.p99, self.max
+        )
+    }
+}
+
+/// Outcome of running one scenario over one design.
+#[derive(Debug, Clone)]
+pub struct DesignReport {
+    /// Design name.
+    pub design: String,
+    /// Market-data delivery: matching-engine event → record arriving at a
+    /// strategy host (wire + switches + normalizer hop).
+    pub feed_latency: LatencyStats,
+    /// Wire-to-wire reaction: matching-engine event → responsive order
+    /// arriving back at the exchange (the number firms compete on).
+    pub reaction: LatencyStats,
+    /// Feed messages the exchange published.
+    pub feed_messages: u64,
+    /// Records strategies evaluated.
+    pub records_evaluated: u64,
+    /// Records strategies discarded (host-side filtering).
+    pub records_discarded: u64,
+    /// Orders strategies sent.
+    pub orders_sent: u64,
+    /// Acks received by strategies.
+    pub acks: u64,
+    /// Fills received by strategies.
+    pub fills: u64,
+    /// Frames dropped anywhere (links + queues).
+    pub frames_dropped: u64,
+    /// Total software service on the reaction path (configured).
+    pub software_path: SimTime,
+    /// Fraction of the median reaction spent *outside* the firm's
+    /// software (network + exchange): §4.1's "half of the overall time
+    /// through the system is spent in the network".
+    pub network_share: f64,
+}
+
+impl DesignReport {
+    /// Multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "[{}]\n  feed     : {}\n  reaction : {}\n  feed_msgs={} evaluated={} discarded={} \
+             orders={} acks={} fills={} drops={}\n  software_path={} network_share={:.1}%",
+            self.design,
+            self.feed_latency,
+            self.reaction,
+            self.feed_messages,
+            self.records_evaluated,
+            self.records_discarded,
+            self.orders_sent,
+            self.acks,
+            self.fills,
+            self.frames_dropped,
+            self.software_path,
+            self.network_share * 100.0,
+        )
+    }
+
+    /// Network time on the median reaction (median minus software path,
+    /// saturating).
+    pub fn network_time(&self) -> SimTime {
+        self.reaction.median.saturating_sub(self.software_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_samples() {
+        let samples: Vec<u64> = (1..=100).map(|i| i * 1_000).collect(); // 1..100 ns
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, SimTime::from_ns(1));
+        assert_eq!(s.median, SimTime::from_ns(50));
+        assert_eq!(s.p99, SimTime::from_ns(99));
+        assert_eq!(s.max, SimTime::from_ns(100));
+        assert_eq!(s.mean, SimTime::from_ps(50_500));
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = LatencyStats::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, SimTime::ZERO);
+        assert_eq!(LatencyStats::empty(), s);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = LatencyStats::from_samples(&[1_000_000]);
+        let out = s.to_string();
+        assert!(out.contains("median=1.000us"), "{out}");
+    }
+}

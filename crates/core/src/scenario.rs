@@ -1,0 +1,143 @@
+//! The common firm + market scenario all designs run.
+
+use tn_sim::SimTime;
+
+/// Everything about the workload and the firm that is *not* the network:
+/// the same `ScenarioConfig` runs over every design, so differences in
+/// the reports are attributable to the fabric alone.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed (drives workload and any model randomness).
+    pub seed: u64,
+    /// Listed instruments.
+    pub symbols: usize,
+    /// Normalizer hosts.
+    pub normalizers: usize,
+    /// Strategy hosts.
+    pub strategies: usize,
+    /// Gateway hosts.
+    pub gateways: usize,
+    /// Exchange feed units (native multicast partitions).
+    pub feed_units: u16,
+    /// Firm-internal partitions after normalization.
+    pub internal_partitions: u16,
+    /// Partitions each strategy subscribes to.
+    pub subs_per_strategy: usize,
+    /// Background market events per second.
+    pub background_rate: f64,
+    /// Measured interval (after warm-up).
+    pub duration: SimTime,
+    /// Warm-up before measurement starts (logins, joins, tree building).
+    pub warmup: SimTime,
+    /// Normalizer cost per native message (§3's per-event budget).
+    pub normalizer_service: SimTime,
+    /// Strategy decision cost per evaluated record (§4 assumes ≈2 µs per
+    /// software function).
+    pub decision_service: SimTime,
+    /// Gateway translation cost per order.
+    pub gateway_service: SimTime,
+    /// Exchange matching cost per order-entry message.
+    pub exchange_service: SimTime,
+    /// Momentum threshold (1e-4 dollars) — lower fires more orders.
+    pub momentum_threshold: i64,
+    /// Exchange background-flow batch interval. Small intervals publish
+    /// near-per-event (clean latency paths); larger ones coalesce events
+    /// into multi-message packets (realistic bursts).
+    pub tick_interval: SimTime,
+}
+
+impl ScenarioConfig {
+    /// A laptop-fast scenario for tests and the quickstart example.
+    pub fn small(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            symbols: 40,
+            normalizers: 2,
+            strategies: 6,
+            gateways: 2,
+            feed_units: 4,
+            internal_partitions: 8,
+            subs_per_strategy: 4,
+            background_rate: 50_000.0,
+            duration: SimTime::from_ms(40),
+            warmup: SimTime::from_ms(2),
+            normalizer_service: SimTime::from_ns(650),
+            decision_service: SimTime::from_us(2),
+            gateway_service: SimTime::from_us(2),
+            exchange_service: SimTime::from_us(10),
+            momentum_threshold: 100,
+            tick_interval: SimTime::from_us(200),
+        }
+    }
+
+    /// A scenario at the paper's §4 scale: ~1,000 servers ("a few dozen
+    /// each for normalizers and gateways and the rest for strategies").
+    pub fn paper_scale(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            symbols: 2_000,
+            normalizers: 24,
+            strategies: 930,
+            gateways: 24,
+            feed_units: 24,
+            internal_partitions: 128,
+            subs_per_strategy: 8,
+            background_rate: 200_000.0,
+            duration: SimTime::from_ms(50),
+            warmup: SimTime::from_ms(2),
+            normalizer_service: SimTime::from_ns(650),
+            decision_service: SimTime::from_us(2),
+            gateway_service: SimTime::from_us(2),
+            exchange_service: SimTime::from_us(10),
+            momentum_threshold: 100,
+            tick_interval: SimTime::from_us(200),
+        }
+    }
+
+    /// Total software service on the event→order→exchange path: one
+    /// normalizer + one strategy + one gateway hop (§4.1's "3 software
+    /// hops"), plus the exchange's own matching time.
+    pub fn software_path(&self) -> SimTime {
+        self.normalizer_service + self.decision_service + self.gateway_service
+    }
+
+    /// The partitions strategy `s` subscribes to (deterministic
+    /// round-robin, like the L1 fabric's circuit provisioning).
+    pub fn subscriptions_for(&self, s: usize) -> Vec<u16> {
+        (0..self.subs_per_strategy.min(self.internal_partitions as usize))
+            .map(|k| ((s + k) % self.internal_partitions as usize) as u16)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_is_about_1000_servers() {
+        let c = ScenarioConfig::paper_scale(1);
+        let servers = c.normalizers + c.strategies + c.gateways;
+        assert!((950..=1050).contains(&servers), "{servers}");
+        // "a few dozen each for normalizers and gateways".
+        assert!(c.normalizers >= 12 && c.normalizers <= 48);
+        assert!(c.gateways >= 12 && c.gateways <= 48);
+    }
+
+    #[test]
+    fn software_path_is_three_hops() {
+        let c = ScenarioConfig::small(1);
+        let expected = c.normalizer_service + c.decision_service + c.gateway_service;
+        assert_eq!(c.software_path(), expected);
+    }
+
+    #[test]
+    fn subscriptions_are_deterministic_and_bounded() {
+        let c = ScenarioConfig::small(1);
+        let s0 = c.subscriptions_for(0);
+        assert_eq!(s0, c.subscriptions_for(0));
+        assert_eq!(s0.len(), c.subs_per_strategy);
+        assert!(s0.iter().all(|&p| p < c.internal_partitions));
+        assert_ne!(s0, c.subscriptions_for(1));
+    }
+}

@@ -1,0 +1,208 @@
+//! A/B feed arbitration and gap detection.
+//!
+//! Exchanges publish every packet on two independent paths (§2's
+//! cross-connects carry an A/B pair). The arbiter takes the first copy of
+//! each sequence range to arrive, drops the duplicate, and reports gaps —
+//! which in production trigger retransmission requests or a re-snapshot.
+
+use std::collections::HashMap;
+
+use tn_wire::pitch;
+use tn_wire::Result;
+
+/// Arbitration counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArbStats {
+    /// Packets accepted (first copy).
+    pub accepted: u64,
+    /// Packets dropped as duplicates (other side arrived first).
+    pub duplicates: u64,
+    /// Packets dropped as stale (entirely before the expected sequence).
+    pub stale: u64,
+    /// Sequence numbers skipped (lost on both sides).
+    pub gap_messages: u64,
+    /// Distinct gap events.
+    pub gap_events: u64,
+}
+
+/// Per-unit arbitration state.
+#[derive(Debug, Default)]
+struct UnitState {
+    next_seq: Option<u32>,
+}
+
+/// The arbiter. Feed it packets from either side; it yields each unique
+/// packet's messages exactly once, in sequence order per unit (gaps are
+/// skipped forward, as real feed handlers do after declaring loss).
+#[derive(Debug, Default)]
+pub struct Arbiter {
+    units: HashMap<u8, UnitState>,
+    stats: ArbStats,
+}
+
+impl Arbiter {
+    /// Fresh arbiter.
+    pub fn new() -> Arbiter {
+        Arbiter::default()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ArbStats {
+        self.stats
+    }
+
+    /// Offer a sequenced-unit packet (the UDP payload). Returns the
+    /// decoded messages if this packet advanced the stream, or `None` for
+    /// duplicates/stale copies.
+    pub fn offer(&mut self, payload: &[u8]) -> Result<Option<Vec<pitch::Message>>> {
+        let pkt = pitch::Packet::new_checked(payload)?;
+        let count = u32::from(pkt.count());
+        let seq = pkt.sequence();
+        let unit = self.units.entry(pkt.unit()).or_default();
+        let next = unit.next_seq.unwrap_or(seq);
+        let end = seq.wrapping_add(count);
+        // Entirely before the cursor: duplicate of something delivered.
+        if wrapping_le(end, next) && count > 0 && unit.next_seq.is_some() {
+            self.stats.duplicates += 1;
+            return Ok(None);
+        }
+        // Overlapping start: partial duplicate — deliver only the new tail.
+        let skip = if wrapping_lt(seq, next) { next.wrapping_sub(seq) } else { 0 };
+        if skip > 0 {
+            self.stats.duplicates += 1; // overlapping copy counted once
+        }
+        // Gap: the packet starts beyond the cursor.
+        if wrapping_lt(next, seq) && unit.next_seq.is_some() {
+            self.stats.gap_events += 1;
+            self.stats.gap_messages += u64::from(seq.wrapping_sub(next));
+        }
+        let mut msgs = Vec::with_capacity(count as usize);
+        for (i, m) in pkt.messages().enumerate() {
+            let m = m?;
+            if (i as u32) < skip {
+                continue;
+            }
+            msgs.push(m);
+        }
+        unit.next_seq = Some(end);
+        if msgs.is_empty() && skip >= count {
+            self.stats.stale += 1;
+            return Ok(None);
+        }
+        self.stats.accepted += 1;
+        Ok(Some(msgs))
+    }
+
+    /// The next expected sequence for a unit (`None` before any packet).
+    pub fn expected_seq(&self, unit: u8) -> Option<u32> {
+        self.units.get(&unit).and_then(|u| u.next_seq)
+    }
+}
+
+fn wrapping_lt(a: u32, b: u32) -> bool {
+    b.wrapping_sub(a) as i32 > 0
+}
+
+fn wrapping_le(a: u32, b: u32) -> bool {
+    a == b || wrapping_lt(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_wire::WireError;
+
+    fn packet(unit: u8, first_seq: u32, n: u32) -> Vec<u8> {
+        let mut pb = pitch::PacketBuilder::new(unit, first_seq, 1400);
+        for i in 0..n {
+            pb.push(&pitch::Message::DeleteOrder {
+                offset_ns: i,
+                order_id: u64::from(first_seq + i),
+            });
+        }
+        pb.flush().expect("non-empty")
+    }
+
+    #[test]
+    fn first_copy_wins_duplicate_dropped() {
+        let mut arb = Arbiter::new();
+        let p = packet(0, 1, 3);
+        let a = arb.offer(&p).unwrap();
+        assert_eq!(a.as_ref().map(|m| m.len()), Some(3));
+        let b = arb.offer(&p).unwrap();
+        assert!(b.is_none());
+        let s = arb.stats();
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.duplicates, 1);
+        assert_eq!(arb.expected_seq(0), Some(4));
+    }
+
+    #[test]
+    fn interleaved_ab_sides() {
+        let mut arb = Arbiter::new();
+        let p1 = packet(0, 1, 2);
+        let p2 = packet(0, 3, 2);
+        // A delivers p1, B delivers p1 late, B delivers p2 first, A dup.
+        assert!(arb.offer(&p1).unwrap().is_some());
+        assert!(arb.offer(&p1).unwrap().is_none());
+        assert!(arb.offer(&p2).unwrap().is_some());
+        assert!(arb.offer(&p2).unwrap().is_none());
+        assert_eq!(arb.stats().accepted, 2);
+        assert_eq!(arb.stats().duplicates, 2);
+        assert_eq!(arb.stats().gap_messages, 0);
+    }
+
+    #[test]
+    fn gap_detection_and_skip_forward() {
+        let mut arb = Arbiter::new();
+        assert!(arb.offer(&packet(0, 1, 2)).unwrap().is_some()); // 1,2
+        // 3..=5 lost on both sides; next packet starts at 6.
+        let msgs = arb.offer(&packet(0, 6, 2)).unwrap().unwrap();
+        assert_eq!(msgs.len(), 2);
+        let s = arb.stats();
+        assert_eq!(s.gap_events, 1);
+        assert_eq!(s.gap_messages, 3);
+        assert_eq!(arb.expected_seq(0), Some(8));
+    }
+
+    #[test]
+    fn partial_overlap_delivers_only_new_messages() {
+        let mut arb = Arbiter::new();
+        assert!(arb.offer(&packet(0, 1, 3)).unwrap().is_some()); // 1..=3
+        // A retransmitted copy covering 2..=5: only 4,5 are new.
+        let msgs = arb.offer(&packet(0, 2, 4)).unwrap().unwrap();
+        assert_eq!(msgs.len(), 2);
+        match msgs[0] {
+            pitch::Message::DeleteOrder { order_id, .. } => assert_eq!(order_id, 4),
+            ref other => panic!("{other:?}"),
+        }
+        assert_eq!(arb.expected_seq(0), Some(6));
+    }
+
+    #[test]
+    fn units_are_independent() {
+        let mut arb = Arbiter::new();
+        assert!(arb.offer(&packet(0, 1, 2)).unwrap().is_some());
+        assert!(arb.offer(&packet(1, 100, 2)).unwrap().is_some());
+        assert_eq!(arb.expected_seq(0), Some(3));
+        assert_eq!(arb.expected_seq(1), Some(102));
+        assert_eq!(arb.expected_seq(2), None);
+        assert_eq!(arb.stats().gap_messages, 0);
+    }
+
+    #[test]
+    fn sequence_wraparound() {
+        let mut arb = Arbiter::new();
+        assert!(arb.offer(&packet(0, u32::MAX - 1, 2)).unwrap().is_some()); // wraps to 0
+        assert_eq!(arb.expected_seq(0), Some(0));
+        assert!(arb.offer(&packet(0, 0, 2)).unwrap().is_some());
+        assert_eq!(arb.expected_seq(0), Some(2));
+        assert_eq!(arb.stats().gap_messages, 0);
+    }
+
+    #[test]
+    fn malformed_packets_error() {
+        let mut arb = Arbiter::new();
+        assert_eq!(arb.offer(&[0u8; 3]).unwrap_err(), WireError::Truncated);
+    }
+}

@@ -1,0 +1,30 @@
+//! # tn-feed — feed consumption substrate
+//!
+//! Everything a trading firm does with a raw exchange feed before a
+//! strategy sees it (§2):
+//!
+//! * [`arb`] — A/B feed arbitration: exchanges publish the feed twice;
+//!   receivers take whichever copy arrives first, deduplicate by
+//!   sequence, and detect gaps.
+//! * [`bookbuild`] — reconstructs per-symbol book state from the stateful
+//!   PITCH message stream (executions and deletes don't carry symbols, so
+//!   consumers must track order ids) and surfaces BBO changes.
+//! * [`normalize`] — the normalizer core: native feed in, fixed-size
+//!   normalized records out, re-partitioned onto the firm's internal
+//!   scheme.
+//! * [`subscribe`] — partition subscription sets, including the
+//!   subscription caps that the L1S design forces (§4.3).
+//! * [`retrans`] — gap recovery: reordering receivers, gap requests, and
+//!   rate-limited retransmission servers.
+
+pub mod arb;
+pub mod bookbuild;
+pub mod normalize;
+pub mod retrans;
+pub mod subscribe;
+
+pub use arb::{ArbStats, Arbiter};
+pub use bookbuild::{BboUpdate, BookBuilder};
+pub use normalize::{NormalizerCore, NormalizerOutput};
+pub use retrans::{Reorderer, RetransmissionServer};
+pub use subscribe::SubscriptionSet;

@@ -1,0 +1,335 @@
+//! Price-time-priority limit order book.
+//!
+//! The core data structure of every exchange matching engine. Orders rest
+//! at price levels; incoming marketable orders execute against the
+//! opposite side best-first, oldest-first. The book reports BBO changes
+//! so feed publication can be driven directly off book mutations.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use tn_wire::pitch::Side;
+
+/// Integer price in 1e-4 dollars (the PITCH long convention).
+pub type Price = u64;
+/// Order quantity.
+pub type Qty = u32;
+/// Exchange-assigned order id.
+pub type OrderId = u64;
+
+/// A fill produced by matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Execution {
+    /// The resting order that traded.
+    pub resting_id: OrderId,
+    /// Executed quantity.
+    pub qty: Qty,
+    /// Execution price (the resting order's price).
+    pub price: Price,
+    /// Remaining quantity on the resting order after this execution.
+    pub resting_leaves: Qty,
+}
+
+/// Outcome of submitting an order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitResult {
+    /// Fills against resting orders, in match order.
+    pub executions: Vec<Execution>,
+    /// Quantity left posted on the book (0 if fully filled or IOC).
+    pub posted: Qty,
+}
+
+#[derive(Debug, Clone)]
+struct Resting {
+    id: OrderId,
+    qty: Qty,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Locator {
+    side: Side,
+    price: Price,
+}
+
+/// The book itself. One instance per symbol.
+#[derive(Debug, Default)]
+pub struct OrderBook {
+    /// Bids: highest price first (iterate via `.rev()`).
+    bids: BTreeMap<Price, VecDeque<Resting>>,
+    /// Asks: lowest price first.
+    asks: BTreeMap<Price, VecDeque<Resting>>,
+    locators: HashMap<OrderId, Locator>,
+}
+
+impl OrderBook {
+    /// An empty book.
+    pub fn new() -> OrderBook {
+        OrderBook::default()
+    }
+
+    /// Best bid (price, total displayed size).
+    pub fn best_bid(&self) -> Option<(Price, Qty)> {
+        self.bids.iter().next_back().map(|(&p, level)| (p, level_size(level)))
+    }
+
+    /// Best ask (price, total displayed size).
+    pub fn best_ask(&self) -> Option<(Price, Qty)> {
+        self.asks.iter().next().map(|(&p, level)| (p, level_size(level)))
+    }
+
+    /// Number of resting orders.
+    pub fn open_orders(&self) -> usize {
+        self.locators.len()
+    }
+
+    /// Total displayed size at a price on a side.
+    pub fn depth_at(&self, side: Side, price: Price) -> Qty {
+        let level = match side {
+            Side::Buy => self.bids.get(&price),
+            Side::Sell => self.asks.get(&price),
+        };
+        level.map(level_size).unwrap_or(0)
+    }
+
+    /// Submit a limit order. Marketable quantity executes immediately;
+    /// the remainder posts unless `ioc` (immediate-or-cancel) is set.
+    pub fn submit(
+        &mut self,
+        id: OrderId,
+        side: Side,
+        price: Price,
+        mut qty: Qty,
+        ioc: bool,
+    ) -> SubmitResult {
+        assert!(!self.locators.contains_key(&id), "duplicate order id {id}");
+        let mut executions = Vec::new();
+        // Match against the opposite side while crossed.
+        loop {
+            if qty == 0 {
+                break;
+            }
+            let best = match side {
+                Side::Buy => self.asks.iter().next().map(|(&p, _)| p).filter(|&p| p <= price),
+                Side::Sell => {
+                    self.bids.iter().next_back().map(|(&p, _)| p).filter(|&p| p >= price)
+                }
+            };
+            let Some(level_price) = best else {
+                break;
+            };
+            let levels = match side {
+                Side::Buy => &mut self.asks,
+                Side::Sell => &mut self.bids,
+            };
+            let level = levels.get_mut(&level_price).expect("level exists");
+            while qty > 0 {
+                let Some(front) = level.front_mut() else {
+                    break;
+                };
+                let traded = qty.min(front.qty);
+                front.qty -= traded;
+                qty -= traded;
+                executions.push(Execution {
+                    resting_id: front.id,
+                    qty: traded,
+                    price: level_price,
+                    resting_leaves: front.qty,
+                });
+                if front.qty == 0 {
+                    self.locators.remove(&front.id);
+                    level.pop_front();
+                }
+            }
+            if level.is_empty() {
+                levels.remove(&level_price);
+            }
+        }
+        let posted = if qty > 0 && !ioc {
+            let levels = match side {
+                Side::Buy => &mut self.bids,
+                Side::Sell => &mut self.asks,
+            };
+            levels.entry(price).or_default().push_back(Resting { id, qty });
+            self.locators.insert(id, Locator { side, price });
+            qty
+        } else {
+            0
+        };
+        SubmitResult { executions, posted }
+    }
+
+    /// Cancel an open order; returns its remaining quantity if it existed.
+    pub fn cancel(&mut self, id: OrderId) -> Option<Qty> {
+        let loc = self.locators.remove(&id)?;
+        let levels = match loc.side {
+            Side::Buy => &mut self.bids,
+            Side::Sell => &mut self.asks,
+        };
+        let level = levels.get_mut(&loc.price)?;
+        let idx = level.iter().position(|r| r.id == id)?;
+        let qty = level[idx].qty;
+        level.remove(idx);
+        if level.is_empty() {
+            levels.remove(&loc.price);
+        }
+        Some(qty)
+    }
+
+    /// Reduce an order's quantity in place (keeps time priority).
+    /// Returns the new remaining quantity, or `None` if unknown.
+    pub fn reduce(&mut self, id: OrderId, by: Qty) -> Option<Qty> {
+        let loc = *self.locators.get(&id)?;
+        let levels = match loc.side {
+            Side::Buy => &mut self.bids,
+            Side::Sell => &mut self.asks,
+        };
+        let level = levels.get_mut(&loc.price)?;
+        let idx = level.iter().position(|r| r.id == id)?;
+        let r = &mut level[idx];
+        if by >= r.qty {
+            level.remove(idx);
+            if level.is_empty() {
+                levels.remove(&loc.price);
+            }
+            self.locators.remove(&id);
+            Some(0)
+        } else {
+            r.qty -= by;
+            Some(r.qty)
+        }
+    }
+
+    /// Look up an open order's side, price and remaining quantity.
+    pub fn lookup(&self, id: OrderId) -> Option<(Side, Price, Qty)> {
+        let loc = self.locators.get(&id)?;
+        let level = match loc.side {
+            Side::Buy => self.bids.get(&loc.price)?,
+            Side::Sell => self.asks.get(&loc.price)?,
+        };
+        let r = level.iter().find(|r| r.id == id)?;
+        Some((loc.side, loc.price, r.qty))
+    }
+}
+
+fn level_size(level: &VecDeque<Resting>) -> Qty {
+    level.iter().map(|r| r.qty).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn posting_and_bbo() {
+        let mut b = OrderBook::new();
+        assert_eq!(b.best_bid(), None);
+        let r = b.submit(1, Side::Buy, 100_0000, 100, false);
+        assert!(r.executions.is_empty());
+        assert_eq!(r.posted, 100);
+        b.submit(2, Side::Buy, 101_0000, 50, false);
+        b.submit(3, Side::Sell, 102_0000, 75, false);
+        assert_eq!(b.best_bid(), Some((101_0000, 50)));
+        assert_eq!(b.best_ask(), Some((102_0000, 75)));
+        assert_eq!(b.open_orders(), 3);
+        assert_eq!(b.depth_at(Side::Buy, 100_0000), 100);
+    }
+
+    #[test]
+    fn price_time_priority_matching() {
+        let mut b = OrderBook::new();
+        b.submit(1, Side::Sell, 100_0000, 30, false); // first at best
+        b.submit(2, Side::Sell, 100_0000, 30, false); // second at best
+        b.submit(3, Side::Sell, 99_0000, 30, false); // better price
+        let r = b.submit(10, Side::Buy, 100_0000, 70, false);
+        // Best price first (99), then time priority at 100 (id 1, then 2).
+        assert_eq!(r.executions.len(), 3);
+        assert_eq!(r.executions[0], Execution { resting_id: 3, qty: 30, price: 99_0000, resting_leaves: 0 });
+        assert_eq!(r.executions[1], Execution { resting_id: 1, qty: 30, price: 100_0000, resting_leaves: 0 });
+        assert_eq!(r.executions[2], Execution { resting_id: 2, qty: 10, price: 100_0000, resting_leaves: 20 });
+        assert_eq!(r.posted, 0);
+        assert_eq!(b.best_ask(), Some((100_0000, 20)));
+    }
+
+    #[test]
+    fn partial_fill_posts_remainder() {
+        let mut b = OrderBook::new();
+        b.submit(1, Side::Sell, 100_0000, 40, false);
+        let r = b.submit(2, Side::Buy, 100_0000, 100, false);
+        assert_eq!(r.executions.len(), 1);
+        assert_eq!(r.posted, 60);
+        assert_eq!(b.best_bid(), Some((100_0000, 60)));
+        assert_eq!(b.best_ask(), None);
+    }
+
+    #[test]
+    fn ioc_does_not_post() {
+        let mut b = OrderBook::new();
+        let r = b.submit(1, Side::Buy, 100_0000, 10, true);
+        assert_eq!(r.posted, 0);
+        assert_eq!(b.open_orders(), 0);
+        b.submit(2, Side::Sell, 100_0000, 5, false);
+        let r = b.submit(3, Side::Buy, 100_0000, 10, true);
+        assert_eq!(r.executions.len(), 1);
+        assert_eq!(r.executions[0].qty, 5);
+        assert_eq!(r.posted, 0);
+    }
+
+    #[test]
+    fn no_trade_through_uncrossed_prices() {
+        let mut b = OrderBook::new();
+        b.submit(1, Side::Sell, 101_0000, 10, false);
+        let r = b.submit(2, Side::Buy, 100_0000, 10, false);
+        assert!(r.executions.is_empty());
+        assert_eq!(r.posted, 10);
+        // Both orders rest; the book is locked at no point (bid < ask).
+        assert!(b.best_bid().unwrap().0 < b.best_ask().unwrap().0);
+    }
+
+    #[test]
+    fn cancel_and_reduce() {
+        let mut b = OrderBook::new();
+        b.submit(1, Side::Buy, 100_0000, 100, false);
+        b.submit(2, Side::Buy, 100_0000, 50, false);
+        assert_eq!(b.cancel(1), Some(100));
+        assert_eq!(b.cancel(1), None); // idempotent
+        assert_eq!(b.best_bid(), Some((100_0000, 50)));
+        assert_eq!(b.reduce(2, 20), Some(30));
+        assert_eq!(b.best_bid(), Some((100_0000, 30)));
+        assert_eq!(b.reduce(2, 30), Some(0)); // reduce-to-zero removes
+        assert_eq!(b.best_bid(), None);
+        assert_eq!(b.reduce(2, 1), None);
+        assert_eq!(b.open_orders(), 0);
+    }
+
+    #[test]
+    fn reduce_keeps_time_priority() {
+        let mut b = OrderBook::new();
+        b.submit(1, Side::Sell, 100_0000, 100, false);
+        b.submit(2, Side::Sell, 100_0000, 100, false);
+        b.reduce(1, 50);
+        let r = b.submit(3, Side::Buy, 100_0000, 60, false);
+        // Order 1 still matches first despite the reduction.
+        assert_eq!(r.executions[0].resting_id, 1);
+        assert_eq!(r.executions[0].qty, 50);
+        assert_eq!(r.executions[1].resting_id, 2);
+        assert_eq!(r.executions[1].qty, 10);
+    }
+
+    #[test]
+    fn lookup_reflects_state() {
+        let mut b = OrderBook::new();
+        b.submit(1, Side::Sell, 100_0000, 100, false);
+        assert_eq!(b.lookup(1), Some((Side::Sell, 100_0000, 100)));
+        b.submit(2, Side::Buy, 100_0000, 40, false);
+        assert_eq!(b.lookup(1), Some((Side::Sell, 100_0000, 60)));
+        b.cancel(1);
+        assert_eq!(b.lookup(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate order id")]
+    fn duplicate_ids_rejected() {
+        let mut b = OrderBook::new();
+        b.submit(1, Side::Buy, 1, 1, false);
+        b.submit(1, Side::Buy, 1, 1, false);
+    }
+}

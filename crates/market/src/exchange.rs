@@ -1,0 +1,649 @@
+//! The exchange as a simulation node.
+//!
+//! Ties the whole substrate together behind cross-connect ports (§2):
+//! PITCH-like multicast feed out, BOE-like order entry in/out, a matching
+//! engine in the middle, and a background order-flow generator standing in
+//! for the rest of the market.
+//!
+//! ## Ports
+//!
+//! * `feed_ports` — each carries the full multicast feed (two ports make
+//!   an A/B pair, as real exchanges publish).
+//! * Order entry arrives on *any* port; replies return through the port
+//!   the session's traffic came from.
+//!
+//! ## Timers
+//!
+//! * [`TICK`] — periodic background-flow batch; re-arms itself. Arm once
+//!   from the scenario with `sim.schedule_timer(start, exchange, TICK)`.
+//! * [`BURST_BASE`]` + i` — one-shot bursts of `cfg.bursts[i]` events,
+//!   scheduled by the scenario to model correlated market-wide spikes.
+//!
+//! ## Simplifications (documented in DESIGN.md)
+//!
+//! Order entry rides simplified TCP: segments carry real headers and
+//! per-session byte sequence numbers, but there is no handshake or
+//! retransmission — order paths in the simulated fabrics are lossless and
+//! in-order, so the machinery would never fire.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tn_netdev::TxQueue;
+use tn_sim::{Context, Frame, FrameMeta, Node, PortId, SimTime, TimerToken};
+use tn_wire::{boe, eth, ipv4, stack, tcp};
+
+use tn_feed::RetransmissionServer;
+
+use crate::engine::{MatchingEngine, Reply};
+use crate::feedpub::FeedPublisher;
+use crate::flow::{FlowMix, OrderFlowGenerator};
+use crate::partition::PartitionScheme;
+use crate::symbols::SymbolDirectory;
+
+/// Timer token for the background-flow tick.
+pub const TICK: TimerToken = TimerToken(100);
+/// Timer tokens `BURST_BASE + i` fire burst `i` of `ExchangeConfig::bursts`.
+pub const BURST_BASE: u64 = 1_000;
+
+const MATCH_TOKEN: u64 = 1;
+
+/// Exchange-side TCP port for order-entry sessions.
+pub const ORDER_ENTRY_PORT: u16 = 7_001;
+
+/// UDP port of the exchange's gap-request (retransmission) service.
+pub const RETRANS_PORT: u16 = 7_002;
+
+/// Exchange configuration.
+pub struct ExchangeConfig {
+    /// Identity used in normalized records and diagnostics.
+    pub exchange_id: u8,
+    /// Listed universe.
+    pub directory: SymbolDirectory,
+    /// Feed partitioning scheme.
+    pub scheme: PartitionScheme,
+    /// Multicast group index base: unit `u` publishes to group
+    /// `mcast_base + u`.
+    pub mcast_base: u32,
+    /// Ports carrying the feed (e.g. two for an A/B pair).
+    pub feed_ports: Vec<PortId>,
+    /// Exchange-side addressing.
+    pub src_mac: eth::MacAddr,
+    /// Exchange source IP.
+    pub src_ip: ipv4::Addr,
+    /// UDP port for feed packets.
+    pub feed_udp_port: u16,
+    /// Matching-engine service time per order-entry message.
+    pub order_service: SimTime,
+    /// Background events per second (0 disables ambient flow).
+    pub background_rate: f64,
+    /// Background tick interval.
+    pub tick_interval: SimTime,
+    /// One-shot burst sizes, fired by `BURST_BASE + index` timers.
+    pub bursts: Vec<u32>,
+    /// Largest feed payload per packet.
+    pub max_payload: usize,
+    /// Retransmission history depth per unit (packets). Zero disables the
+    /// gap-request service.
+    pub retrans_history: usize,
+    /// PRNG seed for the exchange's own randomness.
+    pub seed: u64,
+}
+
+impl ExchangeConfig {
+    /// A small default exchange over `directory`.
+    pub fn new(exchange_id: u8, directory: SymbolDirectory) -> ExchangeConfig {
+        ExchangeConfig {
+            exchange_id,
+            directory,
+            scheme: PartitionScheme::ByHash { units: 4 },
+            mcast_base: 0,
+            feed_ports: vec![PortId(0)],
+            src_mac: eth::MacAddr::host(0xEE00 + u32::from(exchange_id)),
+            src_ip: ipv4::Addr::new(10, 200, exchange_id, 1),
+            feed_udp_port: 30_001,
+            order_service: SimTime::from_us(10),
+            background_rate: 0.0,
+            tick_interval: SimTime::from_ms(1),
+            bursts: Vec::new(),
+            max_payload: 1_400,
+            retrans_history: 256,
+            seed: 1,
+        }
+    }
+}
+
+/// Exchange counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Feed packets emitted (per port).
+    pub feed_packets: u64,
+    /// Feed messages emitted.
+    pub feed_messages: u64,
+    /// Order-entry messages processed.
+    pub orders_processed: u64,
+    /// Replies sent (acks, fills, rejects).
+    pub replies_sent: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SessionAddr {
+    port: PortId,
+    mac: eth::MacAddr,
+    ip: ipv4::Addr,
+    tcp_port: u16,
+    /// Next TCP sequence (byte offset) for exchange→firm segments.
+    tx_seq: u32,
+}
+
+/// The exchange node.
+pub struct Exchange {
+    cfg: ExchangeConfig,
+    engine: MatchingEngine,
+    publisher: FeedPublisher,
+    flow: OrderFlowGenerator,
+    rng: SmallRng,
+    /// Stream reassembly per transport peer.
+    decoders: HashMap<(ipv4::Addr, u16), boe::Decoder>,
+    /// Session id → reply addressing, learned at login.
+    sessions: HashMap<u32, SessionAddr>,
+    /// Peer → session (so mid-stream messages resolve their session).
+    peer_session: HashMap<(ipv4::Addr, u16), u32>,
+    matcher: TxQueue,
+    retrans: Option<RetransmissionServer>,
+    stats: ExchangeStats,
+    event_counter: u64,
+    /// Wire-to-wire response latencies: for every inbound order frame
+    /// whose metadata carries the market-data event time that triggered
+    /// it, the picoseconds from that event leaving the matching engine to
+    /// the order arriving back — the firm's end-to-end reaction time as
+    /// the exchange observes it.
+    response_latency_ps: Vec<u64>,
+}
+
+impl Exchange {
+    /// Build the node.
+    pub fn new(cfg: ExchangeConfig) -> Exchange {
+        let engine = MatchingEngine::new(cfg.directory.instruments().iter().map(|i| i.symbol));
+        let publisher = FeedPublisher::new(cfg.scheme, cfg.max_payload, 0);
+        let flow = OrderFlowGenerator::new(&cfg.directory, FlowMix::default());
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        let matcher = TxQueue::new(MATCH_TOKEN);
+        // Recovery replay is policed at ~1 Gbps with a 64 kB burst so it
+        // cannot starve the live feed.
+        let retrans = (cfg.retrans_history > 0)
+            .then(|| RetransmissionServer::new(cfg.retrans_history, 125_000_000, 65_536));
+        Exchange {
+            cfg,
+            engine,
+            publisher,
+            flow,
+            rng,
+            decoders: HashMap::new(),
+            sessions: HashMap::new(),
+            peer_session: HashMap::new(),
+            matcher,
+            retrans,
+            stats: ExchangeStats::default(),
+            event_counter: 0,
+            response_latency_ps: Vec::new(),
+        }
+    }
+
+    /// Observed firm reaction latencies (see field docs), picoseconds.
+    pub fn response_latency_ps(&self) -> &[u64] {
+        &self.response_latency_ps
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ExchangeStats {
+        self.stats
+    }
+
+    /// The matching engine (for assertions in tests/experiments).
+    pub fn engine(&self) -> &MatchingEngine {
+        &self.engine
+    }
+
+    fn offset_ns(now: SimTime) -> u32 {
+        (now.as_ps() % 1_000_000_000_000 / 1_000) as u32
+    }
+
+    /// Build multicast frames for feed messages produced now; one frame
+    /// per (packet, feed port). A/B copies share the measurement tag.
+    fn build_feed_frames(
+        &mut self,
+        ctx: &mut Context<'_>,
+        msgs: &[tn_wire::pitch::Message],
+    ) -> Vec<(PortId, Frame)> {
+        if msgs.is_empty() {
+            return Vec::new();
+        }
+        let now = ctx.now();
+        let time_ns = now.as_ps() / 1_000;
+        self.stats.feed_messages += msgs.len() as u64;
+        let packets = self.publisher.publish(&self.cfg.directory, time_ns, msgs);
+        let mut out = Vec::new();
+        for pkt in packets {
+            if let Some(server) = &mut self.retrans {
+                let _ = server.store(&pkt.bytes);
+            }
+            let group = ipv4::Addr::multicast_group(self.cfg.mcast_base + u32::from(pkt.unit));
+            let bytes = stack::build_udp(
+                self.cfg.src_mac,
+                None,
+                self.cfg.src_ip,
+                group,
+                self.cfg.feed_udp_port,
+                self.cfg.feed_udp_port,
+                &pkt.bytes,
+            );
+            self.event_counter += 1;
+            let meta = FrameMeta { tag: self.event_counter, event_time: now };
+            for &port in &self.cfg.feed_ports {
+                let frame = ctx.new_frame_with_meta(bytes.clone(), meta);
+                self.stats.feed_packets += 1;
+                out.push((port, frame));
+            }
+        }
+        out
+    }
+
+    /// Publish immediately (background-flow path: tick granularity is far
+    /// coarser than matcher service time).
+    fn publish_feed(&mut self, ctx: &mut Context<'_>, msgs: &[tn_wire::pitch::Message]) {
+        for (port, frame) in self.build_feed_frames(ctx, msgs) {
+            ctx.send(port, frame);
+        }
+    }
+
+    fn run_background(&mut self, ctx: &mut Context<'_>, events: u32) {
+        let mut msgs = Vec::new();
+        let offset = Self::offset_ns(ctx.now());
+        for _ in 0..events {
+            msgs.extend(self.flow.step(
+                &self.cfg.directory,
+                &mut self.engine,
+                &mut self.rng,
+                offset,
+            ));
+        }
+        self.publish_feed(ctx, &msgs);
+    }
+
+    /// Build reply segments; the caller decides how to charge service.
+    fn build_reply_frames(
+        &mut self,
+        ctx: &mut Context<'_>,
+        replies: &[Reply],
+    ) -> Vec<(PortId, Frame)> {
+        let mut out = Vec::new();
+        for r in replies {
+            let Some(addr) = self.sessions.get_mut(&r.session) else {
+                continue;
+            };
+            let mut payload = Vec::new();
+            r.message.emit(addr.tx_seq, &mut payload);
+            let seg = stack::build_tcp(
+                self.cfg.src_mac,
+                addr.mac,
+                self.cfg.src_ip,
+                addr.ip,
+                ORDER_ENTRY_PORT,
+                addr.tcp_port,
+                addr.tx_seq,
+                0,
+                tcp::Flags::ACK | tcp::Flags::PSH,
+                &payload,
+            );
+            addr.tx_seq = addr.tx_seq.wrapping_add(payload.len() as u32);
+            let port = addr.port;
+            let frame = ctx.new_frame(seg);
+            self.stats.replies_sent += 1;
+            out.push((port, frame));
+        }
+        out
+    }
+
+    fn on_order_entry(&mut self, ctx: &mut Context<'_>, port: PortId, view: stack::TcpView<'_>) {
+        let peer = (view.src_ip, view.src_port);
+        let decoder = self.decoders.entry(peer).or_default();
+        decoder.push(view.payload);
+        let mut messages = Vec::new();
+        while let Ok(Some((msg, _seq))) = decoder.next_message() {
+            messages.push(msg);
+        }
+        let (src_mac, src_ip, src_port) = (view.src_mac, view.src_ip, view.src_port);
+        for msg in messages {
+            self.stats.orders_processed += 1;
+            if let boe::Message::Login { session, .. } = msg {
+                self.sessions.insert(
+                    session,
+                    SessionAddr { port, mac: src_mac, ip: src_ip, tcp_port: src_port, tx_seq: 1 },
+                );
+                self.peer_session.insert(peer, session);
+                continue;
+            }
+            let Some(&session) = self.peer_session.get(&peer) else {
+                continue; // not logged in; drop (real exchanges disconnect)
+            };
+            let offset = Self::offset_ns(ctx.now());
+            let out = self.engine.handle_boe(session, msg, offset);
+            // Charge one matcher service quantum to the order; all of its
+            // outputs (replies and feed) leave after that service time,
+            // serialized behind earlier orders — a single-threaded
+            // matching engine.
+            let mut service = self.cfg.order_service;
+            let outputs: Vec<(PortId, Frame)> = self
+                .build_reply_frames(ctx, &out.replies)
+                .into_iter()
+                .chain(self.build_feed_frames(ctx, &out.feed))
+                .collect();
+            for (port, frame) in outputs {
+                self.matcher.send_after(ctx, service, port, frame);
+                service = SimTime::ZERO;
+            }
+        }
+    }
+
+    fn on_gap_request(&mut self, ctx: &mut Context<'_>, port: PortId, view: stack::UdpView<'_>) {
+        let Ok(req) = tn_wire::pitch::GapRequest::parse(view.payload) else {
+            return;
+        };
+        let Some(server) = &mut self.retrans else {
+            return;
+        };
+        let Ok(replays) = server.serve(ctx.now(), &req) else {
+            return; // aged out or throttled: the requester re-snapshots
+        };
+        for payload in replays {
+            let bytes = stack::build_udp(
+                self.cfg.src_mac,
+                Some(view.src_mac),
+                self.cfg.src_ip,
+                view.src_ip,
+                RETRANS_PORT,
+                view.src_port,
+                &payload,
+            );
+            let frame = ctx.new_frame(bytes);
+            ctx.send(port, frame);
+        }
+    }
+}
+
+impl Node for Exchange {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
+        if frame.meta.event_time != SimTime::ZERO {
+            let rtt = ctx.now().saturating_sub(frame.meta.event_time);
+            self.response_latency_ps.push(rtt.as_ps());
+        }
+        if let Ok(view) = stack::parse_tcp(&frame.bytes) {
+            self.on_order_entry(ctx, port, view);
+            return;
+        }
+        if let Ok(view) = stack::parse_udp(&frame.bytes) {
+            if view.dst_port == RETRANS_PORT {
+                self.on_gap_request(ctx, port, view);
+            }
+        }
+        // Anything else (stray multicast, unknown ports) is ignored.
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        if self.matcher.on_timer(ctx, timer) {
+            return;
+        }
+        if timer == TICK {
+            let secs = self.cfg.tick_interval.as_secs_f64();
+            let lambda = self.cfg.background_rate * secs;
+            let events = sample_poisson(&mut self.rng, lambda);
+            self.run_background(ctx, events as u32);
+            let interval = self.cfg.tick_interval;
+            ctx.set_timer(interval, TICK);
+            return;
+        }
+        if timer.0 >= BURST_BASE {
+            let idx = (timer.0 - BURST_BASE) as usize;
+            if let Some(&events) = self.cfg.bursts.get(idx) {
+                self.run_background(ctx, events);
+            }
+        }
+    }
+}
+
+fn sample_poisson(rng: &mut SmallRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 64.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (lambda + lambda.sqrt() * z).max(0.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_wire::pitch::Side;
+    use tn_sim::{IdealLink, Simulator};
+    use tn_wire::pitch;
+    use tn_wire::Symbol;
+
+    struct Collector {
+        frames: Vec<(SimTime, Vec<u8>)>,
+    }
+    impl Node for Collector {
+        fn on_frame(&mut self, ctx: &mut Context<'_>, _p: PortId, f: Frame) {
+            self.frames.push((ctx.now(), f.bytes));
+        }
+    }
+
+    fn small_exchange(background_rate: f64) -> ExchangeConfig {
+        let mut cfg = ExchangeConfig::new(1, SymbolDirectory::synthetic(20));
+        cfg.background_rate = background_rate;
+        cfg.feed_ports = vec![PortId(0)];
+        cfg
+    }
+
+    #[test]
+    fn background_flow_publishes_parseable_feed() {
+        let mut sim = Simulator::new(3);
+        let ex = sim.add_node("exch", Exchange::new(small_exchange(50_000.0)));
+        let col = sim.add_node("col", Collector { frames: vec![] });
+        sim.connect(ex, PortId(0), col, PortId(0), IdealLink::new(SimTime::from_ns(100)));
+        sim.schedule_timer(SimTime::ZERO, ex, TICK);
+        sim.run_until(SimTime::from_ms(20));
+        let frames = &sim.node::<Collector>(col).unwrap().frames;
+        assert!(!frames.is_empty(), "no feed frames");
+        let mut messages = 0usize;
+        for (_, bytes) in frames {
+            let v = stack::parse_udp(bytes).expect("valid udp frame");
+            assert!(v.dst_ip.is_multicast());
+            let pkt = pitch::Packet::new_checked(v.payload).expect("valid pitch");
+            for m in pkt.messages() {
+                m.expect("parseable message");
+                messages += 1;
+            }
+        }
+        assert!(messages > 100, "messages {messages}");
+        let stats = sim.node::<Exchange>(ex).unwrap().stats();
+        // Frames sent just before the deadline may still be in flight.
+        assert!(stats.feed_packets as usize >= frames.len());
+        assert!(stats.feed_packets as usize <= frames.len() + 16);
+    }
+
+    #[test]
+    fn ab_feed_ports_carry_duplicates() {
+        let mut cfg = small_exchange(20_000.0);
+        cfg.feed_ports = vec![PortId(0), PortId(1)];
+        let mut sim = Simulator::new(3);
+        let ex = sim.add_node("exch", Exchange::new(cfg));
+        let a = sim.add_node("a", Collector { frames: vec![] });
+        let b = sim.add_node("b", Collector { frames: vec![] });
+        sim.connect(ex, PortId(0), a, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.connect(ex, PortId(1), b, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.schedule_timer(SimTime::ZERO, ex, TICK);
+        sim.run_until(SimTime::from_ms(10));
+        let fa = &sim.node::<Collector>(a).unwrap().frames;
+        let fb = &sim.node::<Collector>(b).unwrap().frames;
+        assert!(!fa.is_empty());
+        assert_eq!(fa.len(), fb.len());
+        assert_eq!(fa[0].1, fb[0].1); // identical bytes on A and B
+    }
+
+    #[test]
+    fn order_entry_round_trip_ack_and_feed() {
+        let mut sim = Simulator::new(3);
+        let mut cfg = small_exchange(0.0);
+        let symbol = cfg.directory.instruments()[0].symbol;
+        cfg.feed_ports = vec![PortId(1)];
+        let ex_ip = cfg.src_ip;
+        let ex_mac = cfg.src_mac;
+        let ex = sim.add_node("exch", Exchange::new(cfg));
+        let firm = sim.add_node("firm", Collector { frames: vec![] });
+        let feed = sim.add_node("feed", Collector { frames: vec![] });
+        sim.connect(ex, PortId(0), firm, PortId(0), IdealLink::new(SimTime::from_ns(500)));
+        sim.connect(ex, PortId(1), feed, PortId(0), IdealLink::new(SimTime::from_ns(500)));
+
+        // Login then a new order, from 10.0.0.9:40000.
+        let firm_ip = ipv4::Addr::new(10, 0, 0, 9);
+        let firm_mac = eth::MacAddr::host(9);
+        let mut payload = Vec::new();
+        boe::Message::Login { session: 7, token: 1 }.emit(0, &mut payload);
+        boe::Message::NewOrder {
+            cl_ord_id: 1,
+            side: Side::Buy,
+            qty: 100,
+            symbol,
+            price: 50_0000,
+        }
+        .emit(1, &mut payload);
+        let seg = stack::build_tcp(
+            firm_mac,
+            ex_mac,
+            firm_ip,
+            ex_ip,
+            40_000,
+            30_001,
+            1,
+            0,
+            tcp::Flags::ACK | tcp::Flags::PSH,
+            &payload,
+        );
+        let f = sim.new_frame(seg);
+        sim.inject_frame(SimTime::from_us(1), ex, PortId(0), f);
+        sim.run();
+
+        // The firm got an ack.
+        let firm_frames = &sim.node::<Collector>(firm).unwrap().frames;
+        assert_eq!(firm_frames.len(), 1);
+        let v = stack::parse_tcp(&firm_frames[0].1).unwrap();
+        let (msg, _, _) = boe::Message::parse(v.payload).unwrap();
+        assert!(matches!(msg, boe::Message::OrderAck { cl_ord_id: 1, .. }));
+        // The ack was delayed by the matching service time (10 us).
+        assert!(firm_frames[0].0 >= SimTime::from_us(11));
+
+        // The feed observed the resulting AddOrder.
+        let feed_frames = &sim.node::<Collector>(feed).unwrap().frames;
+        assert_eq!(feed_frames.len(), 1);
+        let v = stack::parse_udp(&feed_frames[0].1).unwrap();
+        let pkt = pitch::Packet::new_checked(v.payload).unwrap();
+        let msgs: Vec<_> = pkt.messages().map(|m| m.unwrap()).collect();
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, pitch::Message::AddOrder { qty: 100, .. })));
+        let _ = Symbol::new("X");
+    }
+
+    #[test]
+    fn gap_requests_are_served_over_the_wire() {
+        let mut cfg = small_exchange(0.0);
+        cfg.bursts = vec![50];
+        let mut sim = Simulator::new(3);
+        let ex = sim.add_node("exch", Exchange::new(cfg));
+        let col = sim.add_node("col", Collector { frames: vec![] });
+        sim.connect(ex, PortId(0), col, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.schedule_timer(SimTime::from_ms(1), ex, TimerToken(BURST_BASE));
+        sim.run();
+        // Take the first published packet and pretend we lost it.
+        let (unit, seq, count, original) = {
+            let frames = &sim.node::<Collector>(col).unwrap().frames;
+            assert!(!frames.is_empty());
+            let v = stack::parse_udp(&frames[0].1).unwrap();
+            let pkt = tn_wire::pitch::Packet::new_checked(v.payload).unwrap();
+            (pkt.unit(), pkt.sequence(), pkt.count(), v.payload.to_vec())
+        };
+        let before = sim.node::<Collector>(col).unwrap().frames.len();
+        // Ask for it back over the recovery channel.
+        let req = tn_wire::pitch::GapRequest { unit, seq, count: u16::from(count) };
+        let frame_bytes = stack::build_udp(
+            eth::MacAddr::host(9),
+            Some(eth::MacAddr::host(0xEE01)),
+            ipv4::Addr::new(10, 0, 0, 9),
+            ipv4::Addr::new(10, 200, 1, 1),
+            50_000,
+            RETRANS_PORT,
+            &req.emit(),
+        );
+        let f = sim.new_frame(frame_bytes);
+        let t = sim.now();
+        sim.inject_frame(t, ex, PortId(0), f);
+        sim.run();
+        let frames = &sim.node::<Collector>(col).unwrap().frames;
+        assert_eq!(frames.len(), before + 1, "one retransmitted packet");
+        let v = stack::parse_udp(&frames[before].1).unwrap();
+        assert_eq!(v.src_port, RETRANS_PORT);
+        assert_eq!(v.dst_ip, ipv4::Addr::new(10, 0, 0, 9)); // unicast to requester
+        assert_eq!(v.payload, &original[..], "replay is byte-identical");
+        // A request for data that never existed is refused silently.
+        let bad = tn_wire::pitch::GapRequest { unit: 99, seq: 1, count: 1 };
+        let frame_bytes = stack::build_udp(
+            eth::MacAddr::host(9),
+            Some(eth::MacAddr::host(0xEE01)),
+            ipv4::Addr::new(10, 0, 0, 9),
+            ipv4::Addr::new(10, 200, 1, 1),
+            50_000,
+            RETRANS_PORT,
+            &bad.emit(),
+        );
+        let f = sim.new_frame(frame_bytes);
+        let t = sim.now();
+        sim.inject_frame(t, ex, PortId(0), f);
+        sim.run();
+        assert_eq!(sim.node::<Collector>(col).unwrap().frames.len(), before + 1);
+    }
+
+    #[test]
+    fn bursts_fire_on_schedule() {
+        let mut cfg = small_exchange(0.0);
+        cfg.bursts = vec![500];
+        let mut sim = Simulator::new(3);
+        let ex = sim.add_node("exch", Exchange::new(cfg));
+        let col = sim.add_node("col", Collector { frames: vec![] });
+        sim.connect(ex, PortId(0), col, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.schedule_timer(SimTime::from_ms(5), ex, TimerToken(BURST_BASE));
+        sim.run();
+        let frames = &sim.node::<Collector>(col).unwrap().frames;
+        assert!(!frames.is_empty());
+        assert!(frames[0].0 >= SimTime::from_ms(5));
+        // A 500-event burst coalesces into multi-message packets.
+        let v = stack::parse_udp(&frames[0].1).unwrap();
+        let pkt = pitch::Packet::new_checked(v.payload).unwrap();
+        assert!(pkt.count() > 1);
+    }
+}

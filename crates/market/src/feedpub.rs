@@ -1,0 +1,242 @@
+//! Feed publisher: engine events → sequenced multicast packets.
+//!
+//! Routes each feed message to its unit (per the exchange's partitioning
+//! scheme), prefixes `Time` messages on second rollover, packs messages
+//! into sequenced-unit packets, and seals packets at the end of each
+//! publication batch (exchanges flush immediately — coalescing happens
+//! only when messages are produced together, which is what makes quiet
+//! periods emit small frames and bursts emit MTU-sized ones).
+
+use std::collections::HashMap;
+
+use tn_wire::pitch::{self, PacketBuilder};
+
+use crate::partition::PartitionScheme;
+use crate::symbols::SymbolDirectory;
+
+/// A sealed packet tagged with its unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitPacket {
+    /// Feed unit (multicast group selector).
+    pub unit: u16,
+    /// The sequenced-unit packet bytes (UDP payload).
+    pub bytes: Vec<u8>,
+}
+
+/// The publisher.
+pub struct FeedPublisher {
+    scheme: PartitionScheme,
+    builders: Vec<PacketBuilder>,
+    last_time_sec: Vec<Option<u32>>,
+    /// Which unit an exchange order id lives on (learned from AddOrder,
+    /// forgotten on DeleteOrder) — messages like executions don't carry a
+    /// symbol, mirroring the statefulness of real PITCH.
+    order_units: HashMap<u64, u16>,
+    /// Per-packet protocol-specific extra header bytes (paper: "another
+    /// 8–16 bytes of protocol-specific headers"); prepended as padding.
+    extra_header: usize,
+}
+
+impl FeedPublisher {
+    /// Publisher for `scheme`, packing up to `max_payload` bytes per
+    /// packet (excluding `extra_header`).
+    pub fn new(scheme: PartitionScheme, max_payload: usize, extra_header: usize) -> FeedPublisher {
+        let units = scheme.units() as usize;
+        FeedPublisher {
+            scheme,
+            builders: (0..units).map(|u| PacketBuilder::new(u as u8, 1, max_payload)).collect(),
+            last_time_sec: vec![None; units],
+            order_units: HashMap::new(),
+            extra_header,
+        }
+    }
+
+    /// The partitioning scheme in force.
+    pub fn scheme(&self) -> PartitionScheme {
+        self.scheme
+    }
+
+    /// Route one message to its unit.
+    fn unit_of(&mut self, dir: &SymbolDirectory, msg: &pitch::Message) -> u16 {
+        if let Some(symbol) = msg.symbol() {
+            let unit = self.scheme.unit_for(dir, symbol);
+            if let (pitch::Message::AddOrder { order_id, .. }, u) = (msg, unit) {
+                self.order_units.insert(*order_id, u);
+            }
+            return unit;
+        }
+        if let Some(order_id) = msg.order_id() {
+            let unit = self.order_units.get(&order_id).copied().unwrap_or(0);
+            if matches!(msg, pitch::Message::DeleteOrder { .. }) {
+                self.order_units.remove(&order_id);
+            }
+            return unit;
+        }
+        0
+    }
+
+    /// Publish a batch of messages stamped at `time_ns` (nanoseconds since
+    /// midnight). Returns sealed packets, at most one per touched unit
+    /// (plus extras if a unit's batch overflowed the payload cap).
+    pub fn publish(
+        &mut self,
+        dir: &SymbolDirectory,
+        time_ns: u64,
+        msgs: &[pitch::Message],
+    ) -> Vec<UnitPacket> {
+        let mut sealed = Vec::new();
+        let second = (time_ns / 1_000_000_000) as u32;
+        let mut touched = Vec::new();
+        for msg in msgs {
+            let unit = self.unit_of(dir, msg);
+            let b = &mut self.builders[unit as usize];
+            if self.last_time_sec[unit as usize] != Some(second) {
+                self.last_time_sec[unit as usize] = Some(second);
+                if let Some(done) = b.push(&pitch::Message::Time { seconds: second }) {
+                    sealed.push(UnitPacket { unit, bytes: done });
+                }
+            }
+            if let Some(done) = b.push(msg) {
+                sealed.push(UnitPacket { unit, bytes: done });
+            }
+            if !touched.contains(&unit) {
+                touched.push(unit);
+            }
+        }
+        for unit in touched {
+            if let Some(done) = self.builders[unit as usize].flush() {
+                sealed.push(UnitPacket { unit, bytes: done });
+            }
+        }
+        if self.extra_header > 0 {
+            for p in &mut sealed {
+                // Prepend the exchange's extra framing as opaque padding.
+                let mut with = vec![0u8; self.extra_header];
+                with.extend_from_slice(&p.bytes);
+                p.bytes = with;
+            }
+        }
+        sealed
+    }
+
+    /// Orders currently tracked for unit routing.
+    pub fn tracked_orders(&self) -> usize {
+        self.order_units.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_wire::pitch::Side;
+    use tn_wire::Symbol;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s).unwrap()
+    }
+
+    fn add(order_id: u64, symbol: Symbol) -> pitch::Message {
+        pitch::Message::AddOrder {
+            offset_ns: 1,
+            order_id,
+            side: Side::Buy,
+            qty: 100,
+            symbol,
+            price: 100_0000,
+        }
+    }
+
+    fn dir() -> SymbolDirectory {
+        SymbolDirectory::synthetic(100)
+    }
+
+    #[test]
+    fn time_message_prefixes_each_new_second() {
+        let d = dir();
+        let mut p = FeedPublisher::new(PartitionScheme::ByHash { units: 1 }, 1400, 0);
+        let packets = p.publish(&d, 34_200_000_000_000, &[add(1, sym("A0000"))]);
+        assert_eq!(packets.len(), 1);
+        let pkt = pitch::Packet::new_checked(&packets[0].bytes[..]).unwrap();
+        let msgs: Vec<_> = pkt.messages().map(|m| m.unwrap()).collect();
+        assert_eq!(msgs[0], pitch::Message::Time { seconds: 34_200 });
+        assert!(matches!(msgs[1], pitch::Message::AddOrder { .. }));
+        // Same second: no new Time message.
+        let packets = p.publish(&d, 34_200_500_000_000, &[add(2, sym("A0000"))]);
+        let pkt = pitch::Packet::new_checked(&packets[0].bytes[..]).unwrap();
+        assert_eq!(pkt.count(), 1);
+        // New second: Time again.
+        let packets = p.publish(&d, 34_201_000_000_000, &[add(3, sym("A0000"))]);
+        let pkt = pitch::Packet::new_checked(&packets[0].bytes[..]).unwrap();
+        assert_eq!(pkt.count(), 2);
+    }
+
+    #[test]
+    fn messages_route_to_units_and_track_orders() {
+        let d = dir();
+        let scheme = PartitionScheme::ByHash { units: 4 };
+        let mut p = FeedPublisher::new(scheme, 1400, 0);
+        let s1 = sym("A0000");
+        let s2 = sym("B0001");
+        let u1 = scheme.unit_for(&d, s1);
+        let packets = p.publish(&d, 1_000_000_000, &[add(1, s1), add(2, s2)]);
+        // Executions without symbols follow the add's unit.
+        let exec =
+            pitch::Message::OrderExecuted { offset_ns: 2, order_id: 1, qty: 10, exec_id: 1 };
+        let packets2 = p.publish(&d, 1_000_000_100, &[exec]);
+        assert_eq!(packets2.len(), 1);
+        assert_eq!(packets2[0].unit, u1);
+        assert_eq!(p.tracked_orders(), 2);
+        // Deletes release tracking.
+        let del = pitch::Message::DeleteOrder { offset_ns: 3, order_id: 1 };
+        let _ = p.publish(&d, 1_000_000_200, &[del]);
+        assert_eq!(p.tracked_orders(), 1);
+        let _ = packets;
+    }
+
+    #[test]
+    fn sequences_are_continuous_per_unit() {
+        let d = dir();
+        let mut p = FeedPublisher::new(PartitionScheme::ByHash { units: 1 }, 1400, 0);
+        let mut next_seq = 1u32;
+        for batch in 0..5 {
+            let msgs: Vec<_> = (0..3).map(|i| add(batch * 3 + i + 1, sym("A0000"))).collect();
+            let packets = p.publish(&d, 1_000_000_000 * (batch + 1), &msgs);
+            for pkt_bytes in &packets {
+                let pkt = pitch::Packet::new_checked(&pkt_bytes.bytes[..]).unwrap();
+                assert_eq!(pkt.sequence(), next_seq);
+                next_seq += u32::from(pkt.count());
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_overflow_into_multiple_packets() {
+        let d = dir();
+        let mut p = FeedPublisher::new(PartitionScheme::ByHash { units: 1 }, 120, 0);
+        let msgs: Vec<_> = (0..20).map(|i| add(i + 1, sym("A0000"))).collect();
+        let packets = p.publish(&d, 1_000_000_000, &msgs);
+        assert!(packets.len() > 1);
+        let total: usize = packets
+            .iter()
+            .map(|pk| {
+                pitch::Packet::new_checked(&pk.bytes[..]).unwrap().count() as usize
+            })
+            .sum();
+        assert_eq!(total, 21); // 20 adds + 1 Time
+        for pk in &packets {
+            assert!(pk.bytes.len() <= 120);
+        }
+    }
+
+    #[test]
+    fn extra_header_pads_packets() {
+        let d = dir();
+        let mut with = FeedPublisher::new(PartitionScheme::ByHash { units: 1 }, 1400, 9);
+        let mut without = FeedPublisher::new(PartitionScheme::ByHash { units: 1 }, 1400, 0);
+        let a = with.publish(&d, 1_000_000_000, &[add(1, sym("A0000"))]);
+        let b = without.publish(&d, 1_000_000_000, &[add(1, sym("A0000"))]);
+        assert_eq!(a[0].bytes.len(), b[0].bytes.len() + 9);
+        // The PITCH packet still parses after skipping the extra header.
+        assert!(pitch::Packet::new_checked(&a[0].bytes[9..]).is_ok());
+    }
+}

@@ -1,0 +1,286 @@
+//! Per-exchange feed profiles calibrated to Table 1.
+//!
+//! Table 1 reports frame-length statistics (including Ethernet, IP and UDP
+//! headers) for three production feeds sampled mid-day:
+//!
+//! | Feed       | min | avg | median | max  |
+//! |------------|-----|-----|--------|------|
+//! | Exchange A | 73  | 92  | 89     | 1514 |
+//! | Exchange B | 64  | 113 | 76     | 1067 |
+//! | Exchange C | 81  | 151 | 101    | 1442 |
+//!
+//! A frame's length is `42 (Eth+IP+UDP) + extra protocol header + 8 (unit
+//! header) + packed messages`, so the distribution is fully determined by
+//! each exchange's message mix, its coalescing behaviour, and its extra
+//! header bytes (the paper notes 8–16 bytes of protocol-specific headers
+//! beyond the 40-byte network stack). The three profiles here choose
+//! those parameters to land on the table's anchors:
+//!
+//! * **A**: 9 extra header bytes; deletes are the smallest frame
+//!   (73 bytes); mostly single-message packets with rare MTU-filling
+//!   bursts (max 1514).
+//! * **B**: no extra header (min 64 = a bare delete); single short adds
+//!   dominate the median (76); moderate burst tail; 1025-byte payload cap
+//!   (max 1067).
+//! * **C**: 15 extra bytes and long-form messages (an options feed);
+//!   smallest frame is a short size-reduction (81); heavier coalescing
+//!   pushes the mean to ~150 (max 1442).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tn_wire::pitch::UNIT_HEADER_LEN;
+use tn_wire::stack::UDP_OVERHEAD;
+
+/// Wire sizes of the message kinds a profile mixes (see `tn_wire::pitch`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// 14-byte order delete.
+    Delete,
+    /// 16-byte short size reduction.
+    ReduceShort,
+    /// 19-byte short modify.
+    ModifyShort,
+    /// 26-byte short add order.
+    AddShort,
+    /// 26-byte execution.
+    Executed,
+    /// 27-byte long modify.
+    ModifyLong,
+    /// 33-byte short trade.
+    TradeShort,
+    /// 34-byte long add order.
+    AddLong,
+    /// 41-byte long trade.
+    TradeLong,
+}
+
+impl MsgKind {
+    /// Encoded size in bytes.
+    pub fn wire_len(self) -> usize {
+        match self {
+            MsgKind::Delete => 14,
+            MsgKind::ReduceShort => 16,
+            MsgKind::ModifyShort => 19,
+            MsgKind::AddShort => 26,
+            MsgKind::Executed => 26,
+            MsgKind::ModifyLong => 27,
+            MsgKind::TradeShort => 33,
+            MsgKind::AddLong => 34,
+            MsgKind::TradeLong => 41,
+        }
+    }
+}
+
+/// A feed profile: message mix plus framing/coalescing parameters.
+#[derive(Debug, Clone)]
+pub struct ExchangeProfile {
+    /// Display name ("Exchange A").
+    pub name: &'static str,
+    /// Protocol-specific header bytes beyond Eth+IP+UDP.
+    pub extra_header: usize,
+    /// Largest frame the feed emits (Table 1 max column).
+    pub max_frame: usize,
+    /// `(kind, weight)` message mix.
+    pub mix: Vec<(MsgKind, f64)>,
+    /// Probability that a packet keeps coalescing one more message.
+    pub coalesce_p: f64,
+    /// Probability of an MTU-filling burst packet.
+    pub heavy_burst_p: f64,
+}
+
+impl ExchangeProfile {
+    /// Exchange A of Table 1 (73 / 92 / 89 / 1514).
+    pub fn exchange_a() -> ExchangeProfile {
+        ExchangeProfile {
+            name: "Exchange A",
+            extra_header: 9,
+            max_frame: 1514,
+            mix: vec![
+                (MsgKind::Delete, 0.28),
+                (MsgKind::AddShort, 0.34),
+                (MsgKind::Executed, 0.14),
+                (MsgKind::TradeShort, 0.09),
+                (MsgKind::ModifyShort, 0.10),
+                (MsgKind::ReduceShort, 0.05),
+            ],
+            coalesce_p: 0.10,
+            heavy_burst_p: 0.006,
+        }
+    }
+
+    /// Exchange B of Table 1 (64 / 113 / 76 / 1067).
+    pub fn exchange_b() -> ExchangeProfile {
+        ExchangeProfile {
+            name: "Exchange B",
+            extra_header: 0,
+            max_frame: 1067,
+            mix: vec![
+                (MsgKind::Delete, 0.24),
+                (MsgKind::AddShort, 0.46),
+                (MsgKind::Executed, 0.18),
+                (MsgKind::ModifyShort, 0.06),
+                (MsgKind::TradeShort, 0.06),
+            ],
+            coalesce_p: 0.08,
+            heavy_burst_p: 0.039,
+        }
+    }
+
+    /// Exchange C of Table 1 (81 / 151 / 101 / 1442).
+    pub fn exchange_c() -> ExchangeProfile {
+        ExchangeProfile {
+            name: "Exchange C",
+            extra_header: 15,
+            max_frame: 1442,
+            mix: vec![
+                (MsgKind::ReduceShort, 0.14),
+                (MsgKind::Executed, 0.18),
+                (MsgKind::AddLong, 0.32),
+                (MsgKind::TradeShort, 0.12),
+                (MsgKind::ModifyLong, 0.14),
+                (MsgKind::TradeLong, 0.10),
+            ],
+            coalesce_p: 0.32,
+            heavy_burst_p: 0.033,
+        }
+    }
+
+    /// All three Table 1 profiles, in table order.
+    pub fn table1() -> Vec<ExchangeProfile> {
+        vec![Self::exchange_a(), Self::exchange_b(), Self::exchange_c()]
+    }
+
+    /// Fixed per-frame overhead: network stack + extra header + unit header.
+    pub fn frame_overhead(&self) -> usize {
+        UDP_OVERHEAD + self.extra_header + UNIT_HEADER_LEN
+    }
+
+    /// Largest message payload a frame may carry.
+    pub fn max_message_bytes(&self) -> usize {
+        self.max_frame - self.frame_overhead()
+    }
+
+    fn sample_kind(&self, rng: &mut SmallRng) -> MsgKind {
+        let total: f64 = self.mix.iter().map(|(_, w)| w).sum();
+        let mut pick = rng.gen::<f64>() * total;
+        for &(kind, w) in &self.mix {
+            pick -= w;
+            if pick <= 0.0 {
+                return kind;
+            }
+        }
+        self.mix.last().expect("non-empty mix").0
+    }
+
+    /// Sample one frame's length (bytes on the wire).
+    pub fn sample_frame_len(&self, rng: &mut SmallRng) -> u64 {
+        let cap = self.max_message_bytes();
+        let mut bytes = 0usize;
+        if rng.gen::<f64>() < self.heavy_burst_p {
+            // An MTU-filling burst: pack until nothing more fits.
+            loop {
+                let k = self.sample_kind(rng).wire_len();
+                if bytes + k > cap {
+                    break;
+                }
+                bytes += k;
+            }
+        } else {
+            loop {
+                let k = self.sample_kind(rng).wire_len();
+                if bytes + k > cap {
+                    break;
+                }
+                bytes += k;
+                if rng.gen::<f64>() >= self.coalesce_p {
+                    break;
+                }
+            }
+        }
+        (self.frame_overhead() + bytes) as u64
+    }
+
+    /// Sample `n` frame lengths.
+    pub fn sample_frame_lengths(&self, seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| self.sample_frame_len(&mut rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_stats::Summary;
+
+    fn stats(p: &ExchangeProfile) -> (u64, f64, u64, u64) {
+        let mut s = Summary::new();
+        s.extend(p.sample_frame_lengths(1234, 200_000));
+        (s.min(), s.mean(), s.median(), s.max())
+    }
+
+    #[test]
+    fn exchange_a_matches_table1_band() {
+        let (min, avg, median, max) = stats(&ExchangeProfile::exchange_a());
+        // Paper: 73 / 92 / 89 / 1514.
+        assert_eq!(min, 73, "min");
+        assert!((82.0..=102.0).contains(&avg), "avg {avg}");
+        assert!((80..=98).contains(&median), "median {median}");
+        assert!((1480..=1514).contains(&max), "max {max}");
+    }
+
+    #[test]
+    fn exchange_b_matches_table1_band() {
+        let (min, avg, median, max) = stats(&ExchangeProfile::exchange_b());
+        // Paper: 64 / 113 / 76 / 1067.
+        assert_eq!(min, 64, "min");
+        assert!((100.0..=126.0).contains(&avg), "avg {avg}");
+        assert!((70..=84).contains(&median), "median {median}");
+        assert!((1030..=1067).contains(&max), "max {max}");
+    }
+
+    #[test]
+    fn exchange_c_matches_table1_band() {
+        let (min, avg, median, max) = stats(&ExchangeProfile::exchange_c());
+        // Paper: 81 / 151 / 101 / 1442.
+        assert_eq!(min, 81, "min");
+        assert!((135.0..=167.0).contains(&avg), "avg {avg}");
+        assert!((92..=112).contains(&median), "median {median}");
+        assert!((1400..=1442).contains(&max), "max {max}");
+    }
+
+    #[test]
+    fn header_share_matches_paper_claim() {
+        // §3: "40 bytes of network headers (plus another 8-16 bytes of
+        // protocol-specific headers) represent 25%-40% of the data sent."
+        // Per feed the network-header share ranges ~28-46% (Exchange A's
+        // small average frame puts it at the top); the cross-feed
+        // aggregate lands inside the paper's 25-40% band.
+        let mut total_bytes = 0u64;
+        let mut total_headers = 0u64;
+        for p in ExchangeProfile::table1() {
+            let lens = p.sample_frame_lengths(9, 50_000);
+            let total: u64 = lens.iter().sum();
+            let headers = UDP_OVERHEAD as u64 * lens.len() as u64;
+            let share = headers as f64 / total as f64;
+            assert!((0.20..=0.50).contains(&share), "{}: header share {share:.2}", p.name);
+            total_bytes += total;
+            total_headers += headers;
+        }
+        let aggregate = total_headers as f64 / total_bytes as f64;
+        assert!((0.25..=0.40).contains(&aggregate), "aggregate share {aggregate:.3}");
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let p = ExchangeProfile::exchange_b();
+        assert_eq!(p.sample_frame_lengths(5, 100), p.sample_frame_lengths(5, 100));
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        let a = ExchangeProfile::exchange_a();
+        assert_eq!(a.frame_overhead(), 42 + 9 + 8);
+        assert!(a.max_message_bytes() < 1514);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests on the order book and matching engine: the invariants
+//! every exchange relies on, under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use tn_market::book::OrderBook;
+use tn_market::{MatchingEngine, Owner, SymbolDirectory};
+use tn_wire::pitch::{Message, Side};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Submit { side: Side, price: u64, qty: u32, ioc: bool },
+    Cancel { idx: usize },
+    Reduce { idx: usize, by: u32 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            prop_oneof![Just(Side::Buy), Just(Side::Sell)],
+            95_000u64..105_000,
+            1u32..500,
+            any::<bool>()
+        )
+            .prop_map(|(side, price, qty, ioc)| Op::Submit { side, price: price * 100, qty, ioc }),
+        (any::<usize>()).prop_map(|idx| Op::Cancel { idx }),
+        (any::<usize>(), 1u32..100).prop_map(|(idx, by)| Op::Reduce { idx, by }),
+    ]
+}
+
+proptest! {
+    /// The book is never crossed after any operation sequence: matching
+    /// must consume all marketable quantity before anything posts.
+    #[test]
+    fn book_never_crossed(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut book = OrderBook::new();
+        let mut live_ids: Vec<u64> = Vec::new();
+        let mut next_id = 1u64;
+        for op in ops {
+            match op {
+                Op::Submit { side, price, qty, ioc } => {
+                    let r = book.submit(next_id, side, price, qty, ioc);
+                    if r.posted > 0 {
+                        live_ids.push(next_id);
+                    }
+                    // Executions never exceed the submitted quantity.
+                    let executed: u32 = r.executions.iter().map(|e| e.qty).sum();
+                    prop_assert!(executed + r.posted <= qty);
+                    next_id += 1;
+                }
+                Op::Cancel { idx } => {
+                    if !live_ids.is_empty() {
+                        let id = live_ids[idx % live_ids.len()];
+                        book.cancel(id);
+                        live_ids.retain(|&l| l != id);
+                    }
+                }
+                Op::Reduce { idx, by } => {
+                    if !live_ids.is_empty() {
+                        let id = live_ids[idx % live_ids.len()];
+                        if book.reduce(id, by) == Some(0) {
+                            live_ids.retain(|&l| l != id);
+                        }
+                    }
+                }
+            }
+            if let (Some((bid, _)), Some((ask, _))) = (book.best_bid(), book.best_ask()) {
+                prop_assert!(bid < ask, "book crossed: bid {bid} >= ask {ask}");
+            }
+        }
+    }
+
+    /// Engine feed-message conservation: every add is eventually matched
+    /// by executions+reductions+deletes of no more than its size, and a
+    /// book builder replaying the feed tracks the engine's own BBO.
+    #[test]
+    fn feed_replay_matches_engine_state(
+        seeds in proptest::collection::vec(any::<u8>(), 20..150),
+    ) {
+        let dir = SymbolDirectory::synthetic(5);
+        let symbol = dir.instruments()[0].symbol;
+        let mut engine = MatchingEngine::new([symbol]);
+        let mut builder = tn_feed::BookBuilder::new();
+        let mut feed: Vec<Message> = Vec::new();
+        let mut cl = 0u64;
+        for s in seeds {
+            cl += 1;
+            let side = if s % 2 == 0 { Side::Buy } else { Side::Sell };
+            let price = 100_0000 + u64::from(s % 16) * 100 - 800;
+            let qty = u32::from(s % 50) + 1;
+            let out = engine.submit(Owner::Background, cl, symbol, side, price, qty, s % 7 == 0, 0);
+            feed.extend(out.feed.iter().copied());
+            if s % 5 == 0 {
+                if let Some(id) = engine.sample_open_order(s as usize) {
+                    feed.extend(engine.cancel_exchange_order(id, 0).feed);
+                }
+            }
+        }
+        for m in &feed {
+            builder.apply(m);
+        }
+        // The replayed book's BBO equals the engine's book BBO.
+        let book = engine.book(symbol).unwrap();
+        let (bid, bid_sz, ask, ask_sz) = builder.bbo(symbol);
+        prop_assert_eq!(book.best_bid().unwrap_or((0, 0)), (bid, bid_sz as u32));
+        prop_assert_eq!(book.best_ask().unwrap_or((0, 0)), (ask, ask_sz as u32));
+        // And it tracked exactly the open orders.
+        prop_assert_eq!(builder.tracked_orders(), engine.open_orders());
+        prop_assert_eq!(builder.stats().unknown_orders, 0);
+    }
+}

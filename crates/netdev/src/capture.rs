@@ -1,0 +1,156 @@
+//! Capture taps: the measurement fabric.
+//!
+//! Trading firms splice passive optical taps into links and timestamp
+//! every frame with dedicated capture appliances; §2 notes precision
+//! targets below 100 ps. A [`Tap`] is a two-port pass-through node that
+//! records `(FrameId, time, direction, length)` with zero added latency
+//! (an optical splitter) or a configurable insertion delay.
+//!
+//! After a run, the scenario downcasts taps back out of the simulator and
+//! correlates records across taps by `FrameId` to compute per-segment
+//! latency — exactly how firms measure strategy latency (order-out time
+//! minus last-input time).
+
+use tn_sim::{Context, Frame, FrameId, Node, PortId, SimTime};
+
+/// Which way the frame was heading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Entered on port 0, left on port 1.
+    AtoB,
+    /// Entered on port 1, left on port 0.
+    BtoA,
+}
+
+/// One observed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaptureRecord {
+    /// Frame identity (stable across hops).
+    pub frame: FrameId,
+    /// Capture timestamp (exact simulation time; picosecond resolution).
+    pub at: SimTime,
+    /// Travel direction through the tap.
+    pub direction: Direction,
+    /// Frame length in bytes.
+    pub len: usize,
+    /// Application tag copied from the frame metadata.
+    pub tag: u64,
+}
+
+/// A passive two-port tap. Optical splitters add no measurable delay, so
+/// neither does this node; links on either side carry all the time cost.
+pub struct Tap {
+    records: Vec<CaptureRecord>,
+    enabled: bool,
+}
+
+impl Tap {
+    /// A zero-insertion-delay optical tap.
+    pub fn new() -> Tap {
+        Tap { records: Vec::new(), enabled: true }
+    }
+
+    /// Stop recording (keeps forwarding).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Recorded observations in arrival order.
+    pub fn records(&self) -> &[CaptureRecord] {
+        &self.records
+    }
+
+    /// Timestamps at which `frame` was observed, in order.
+    pub fn times_for(&self, frame: FrameId) -> Vec<SimTime> {
+        self.records.iter().filter(|r| r.frame == frame).map(|r| r.at).collect()
+    }
+
+    /// Total observed frames.
+    pub fn count(&self) -> usize {
+        self.records.len()
+    }
+}
+
+impl Default for Tap {
+    fn default() -> Self {
+        Tap::new()
+    }
+}
+
+impl Node for Tap {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
+        let (direction, out) = match port {
+            PortId(0) => (Direction::AtoB, PortId(1)),
+            PortId(1) => (Direction::BtoA, PortId(0)),
+            other => panic!("taps have two ports, got {other:?}"),
+        };
+        if self.enabled {
+            self.records.push(CaptureRecord {
+                frame: frame.id,
+                at: ctx.now(),
+                direction,
+                len: frame.len(),
+                tag: frame.meta.tag,
+            });
+        }
+        ctx.send(out, frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_sim::{IdealLink, Simulator};
+
+    struct Sink;
+    impl Node for Sink {
+        fn on_frame(&mut self, _: &mut Context<'_>, _: PortId, _: Frame) {}
+    }
+
+    #[test]
+    fn tap_records_both_directions_without_latency() {
+        let mut sim = Simulator::new(3);
+        let a = sim.add_node("a", Sink);
+        let tap = sim.add_node("tap", Tap::new());
+        let b = sim.add_node("b", Sink);
+        sim.connect(a, PortId(0), tap, PortId(0), IdealLink::new(SimTime::from_ns(5)));
+        sim.connect(tap, PortId(1), b, PortId(0), IdealLink::new(SimTime::from_ns(5)));
+
+        let mut f = sim.new_frame(vec![0; 100]);
+        f.meta.tag = 77;
+        let fid = f.id;
+        // Inject at the tap's A port as if it came off the wire from a.
+        sim.inject_frame(SimTime::from_ns(10), tap, PortId(0), f);
+        let g = sim.new_frame(vec![0; 50]);
+        let gid = g.id;
+        sim.inject_frame(SimTime::from_ns(20), tap, PortId(1), g);
+        sim.run();
+
+        let tap = sim.node::<Tap>(tap).unwrap();
+        assert_eq!(tap.count(), 2);
+        let r0 = tap.records()[0];
+        assert_eq!(r0.frame, fid);
+        assert_eq!(r0.at, SimTime::from_ns(10));
+        assert_eq!(r0.direction, Direction::AtoB);
+        assert_eq!(r0.len, 100);
+        assert_eq!(r0.tag, 77);
+        let r1 = tap.records()[1];
+        assert_eq!(r1.frame, gid);
+        assert_eq!(r1.direction, Direction::BtoA);
+        assert_eq!(tap.times_for(fid), vec![SimTime::from_ns(10)]);
+    }
+
+    #[test]
+    fn disabled_tap_still_forwards() {
+        let mut sim = Simulator::new(3);
+        let tap_id = sim.add_node("tap", Tap::new());
+        let b = sim.add_node("b", Sink);
+        sim.connect(tap_id, PortId(1), b, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.node_mut::<Tap>(tap_id).unwrap().set_enabled(false);
+        let f = sim.new_frame(vec![0; 10]);
+        sim.inject_frame(SimTime::ZERO, tap_id, PortId(0), f);
+        sim.run();
+        assert_eq!(sim.node::<Tap>(tap_id).unwrap().count(), 0);
+        assert_eq!(sim.stats().frames_delivered, 2); // tap + sink
+    }
+}

@@ -1,0 +1,218 @@
+//! NIC / host-interface model.
+//!
+//! A [`Nic`] sits between the wire and a host application node:
+//!
+//! ```text
+//!   wire  <->  port WIRE (0)  [Nic]  port HOST (1)  <->  application
+//! ```
+//!
+//! Receive path: frames from the wire pay a fixed receive latency (PCIe +
+//! driver/stack) and drain through a bounded ring at a maximum packet
+//! rate. When merged bursty feeds exceed the drain rate the ring fills
+//! and frames drop — the §4.3 merge-bottleneck failure mode.
+//! Transmit path: frames from the host pay a fixed transmit latency.
+//!
+//! Two profiles match §3's numbers: a kernel-bypass path at ~800 ns
+//! (sub-microsecond "hop through a software host") and a kernel path at
+//! several microseconds.
+
+use tn_sim::{Context, Frame, Node, PortId, SimTime, TimerToken};
+
+use crate::service::TxQueue;
+
+/// Wire-facing port of a [`Nic`].
+pub const WIRE: PortId = PortId(0);
+/// Host-facing port of a [`Nic`].
+pub const HOST: PortId = PortId(1);
+
+/// Latency/capacity parameters for a NIC.
+#[derive(Debug, Clone, Copy)]
+pub struct NicProfile {
+    /// Wire→host latency per frame (DMA, interrupt/poll, stack).
+    pub rx_latency: SimTime,
+    /// Host→wire latency per frame.
+    pub tx_latency: SimTime,
+    /// Per-frame service time of the receive path (drain rate ceiling);
+    /// this is what saturates under merged bursts.
+    pub rx_service: SimTime,
+    /// Receive ring capacity in frames.
+    pub rx_ring: usize,
+}
+
+impl NicProfile {
+    /// Kernel-bypass (Onload/ef_vi-style) profile: ~800 ns hop, ~15 Mpps.
+    pub fn kernel_bypass() -> NicProfile {
+        NicProfile {
+            rx_latency: SimTime::from_ns(800),
+            tx_latency: SimTime::from_ns(800),
+            rx_service: SimTime::from_ns(65),
+            rx_ring: 1024,
+        }
+    }
+
+    /// Kernel network stack profile: several microseconds per hop and a
+    /// lower packet-rate ceiling.
+    pub fn kernel_stack() -> NicProfile {
+        NicProfile {
+            rx_latency: SimTime::from_us(4),
+            tx_latency: SimTime::from_us(4),
+            rx_service: SimTime::from_ns(600),
+            rx_ring: 4096,
+        }
+    }
+
+    /// Override the receive-ring size.
+    pub fn with_rx_ring(mut self, frames: usize) -> NicProfile {
+        self.rx_ring = frames;
+        self
+    }
+}
+
+/// Receive/transmit counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Frames delivered wire→host.
+    pub rx_delivered: u64,
+    /// Frames dropped at the receive ring.
+    pub rx_dropped: u64,
+    /// Frames sent host→wire.
+    pub tx_sent: u64,
+}
+
+/// The NIC node. See module docs for the port convention.
+pub struct Nic {
+    profile: NicProfile,
+    rx: TxQueue,
+    tx: TxQueue,
+    stats: NicStats,
+}
+
+const RX_TOKEN: u64 = 1;
+const TX_TOKEN: u64 = 2;
+
+impl Nic {
+    /// Build a NIC with the given profile.
+    pub fn new(profile: NicProfile) -> Nic {
+        Nic {
+            profile,
+            rx: TxQueue::new(RX_TOKEN)
+                .with_capacity(profile.rx_ring)
+                .with_pipeline(profile.rx_latency),
+            tx: TxQueue::new(TX_TOKEN).with_pipeline(profile.tx_latency),
+            stats: NicStats::default(),
+        }
+    }
+
+    /// Counters so far. Ring drops are visible here, mirroring the
+    /// `rx_nodesc_drop` counters operators watch on real NICs.
+    pub fn stats(&self) -> NicStats {
+        NicStats { rx_dropped: self.rx.dropped(), ..self.stats }
+    }
+}
+
+impl Node for Nic {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
+        match port {
+            WIRE => {
+                // The frame occupies the drain engine for `rx_service`
+                // (the packet-rate ceiling) and then traverses a fixed
+                // `rx_latency` pipeline before reaching the host.
+                if self.rx.send_after(ctx, self.profile.rx_service, HOST, frame) {
+                    self.stats.rx_delivered += 1;
+                }
+            }
+            HOST => {
+                self.stats.tx_sent += 1;
+                self.tx.send_after(ctx, SimTime::ZERO, WIRE, frame);
+            }
+            other => panic!("NIC has two ports, got {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        if self.rx.on_timer(ctx, timer) {
+            return;
+        }
+        let consumed = self.tx.on_timer(ctx, timer);
+        debug_assert!(consumed, "unexpected timer token {timer:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_sim::{IdealLink, Simulator};
+
+    struct Sink {
+        arrivals: Vec<SimTime>,
+    }
+
+    impl Node for Sink {
+        fn on_frame(&mut self, ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {
+            self.arrivals.push(ctx.now());
+        }
+    }
+
+    fn rig(profile: NicProfile) -> (Simulator, tn_sim::NodeId, tn_sim::NodeId) {
+        let mut sim = Simulator::new(7);
+        let nic = sim.add_node("nic", Nic::new(profile));
+        let host = sim.add_node("host", Sink { arrivals: vec![] });
+        sim.connect(nic, HOST, host, PortId(0), IdealLink::new(SimTime::ZERO));
+        (sim, nic, host)
+    }
+
+    #[test]
+    fn rx_path_applies_service_latency() {
+        let profile = NicProfile::kernel_bypass();
+        let (mut sim, nic, host) = rig(profile);
+        let f = sim.new_frame(vec![0; 100]);
+        sim.inject_frame(SimTime::from_us(1), nic, WIRE, f);
+        sim.run();
+        let arrivals = &sim.node::<Sink>(host).unwrap().arrivals;
+        assert_eq!(arrivals.len(), 1);
+        assert_eq!(arrivals[0], SimTime::from_us(1) + profile.rx_service + profile.rx_latency);
+        assert_eq!(sim.node::<Nic>(nic).unwrap().stats().rx_delivered, 1);
+    }
+
+    #[test]
+    fn ring_overflow_drops_under_burst() {
+        let profile = NicProfile::kernel_bypass().with_rx_ring(8);
+        let (mut sim, nic, host) = rig(profile);
+        // A 100-frame burst lands instantaneously: only the ring fits.
+        for _ in 0..100 {
+            let f = sim.new_frame(vec![0; 100]);
+            sim.inject_frame(SimTime::ZERO, nic, WIRE, f);
+        }
+        sim.run();
+        let stats = sim.node::<Nic>(nic).unwrap().stats();
+        assert_eq!(stats.rx_delivered, 8);
+        assert_eq!(stats.rx_dropped, 92);
+        assert_eq!(sim.node::<Sink>(host).unwrap().arrivals.len(), 8);
+    }
+
+    #[test]
+    fn kernel_stack_is_slower_than_bypass() {
+        // §3: host hops have fallen below 1 us — with kernel bypass. The
+        // kernel path stays several microseconds.
+        let bypass = NicProfile::kernel_bypass();
+        let kernel = NicProfile::kernel_stack();
+        assert!(bypass.rx_latency < SimTime::from_us(1));
+        assert!(kernel.rx_latency >= SimTime::from_us(2));
+        assert!(kernel.rx_service > bypass.rx_service);
+    }
+
+    #[test]
+    fn tx_path_counts_and_delays() {
+        let profile = NicProfile::kernel_bypass();
+        let mut sim = Simulator::new(7);
+        let nic = sim.add_node("nic", Nic::new(profile));
+        let wire_sink = sim.add_node("wire", Sink { arrivals: vec![] });
+        sim.connect(nic, WIRE, wire_sink, PortId(0), IdealLink::new(SimTime::ZERO));
+        let f = sim.new_frame(vec![0; 64]);
+        sim.inject_frame(SimTime::ZERO, nic, HOST, f);
+        sim.run();
+        assert_eq!(sim.node::<Nic>(nic).unwrap().stats().tx_sent, 1);
+        let arrivals = &sim.node::<Sink>(wire_sink).unwrap().arrivals;
+        assert_eq!(arrivals, &vec![profile.tx_latency]);
+    }
+}

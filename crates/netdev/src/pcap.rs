@@ -1,0 +1,130 @@
+//! Pcap export for capture taps.
+//!
+//! Firms keep tapped traffic for research and monitoring (§2); this
+//! module serializes a [`crate::Tap`]'s records as a standard
+//! little-endian pcap file (LINKTYPE_ETHERNET) with nanosecond-resolution
+//! timestamps, so simulated traffic opens in Wireshark/tcpdump.
+//!
+//! The classic pcap header cannot carry picoseconds; we use the
+//! nanosecond-pcap magic (0xA1B23C4D) and truncate the sub-nanosecond
+//! part — the only place the simulator's picosecond clock loses
+//! precision, and exactly the limitation real capture formats have.
+
+use crate::capture::CaptureRecord;
+
+/// Nanosecond-resolution pcap magic.
+const MAGIC_NS: u32 = 0xA1B2_3C4D;
+/// LINKTYPE_ETHERNET.
+const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Serialize `(record, frame_bytes)` pairs into a pcap file image.
+///
+/// The tap stores metadata only (frames are owned by the simulation), so
+/// callers pair each [`CaptureRecord`] with the bytes it refers to —
+/// typically collected by a recording sink node.
+pub fn to_pcap(packets: &[(CaptureRecord, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + packets.iter().map(|(_, b)| 16 + b.len()).sum::<usize>());
+    // Global header.
+    out.extend_from_slice(&MAGIC_NS.to_le_bytes());
+    out.extend_from_slice(&2u16.to_le_bytes()); // version major
+    out.extend_from_slice(&4u16.to_le_bytes()); // version minor
+    out.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+    out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+    out.extend_from_slice(&65_535u32.to_le_bytes()); // snaplen
+    out.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+    for (rec, bytes) in packets {
+        let ps = rec.at.as_ps();
+        let secs = (ps / 1_000_000_000_000) as u32;
+        let nanos = ((ps % 1_000_000_000_000) / 1_000) as u32;
+        out.extend_from_slice(&secs.to_le_bytes());
+        out.extend_from_slice(&nanos.to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    out
+}
+
+/// Parse a pcap image produced by [`to_pcap`] back into
+/// `(seconds, nanoseconds, frame)` triples. Used by tests and by tools
+/// that post-process simulated captures.
+pub fn from_pcap(data: &[u8]) -> Option<Vec<(u32, u32, Vec<u8>)>> {
+    if data.len() < 24 {
+        return None;
+    }
+    let magic = u32::from_le_bytes(data[0..4].try_into().ok()?);
+    if magic != MAGIC_NS {
+        return None;
+    }
+    let mut packets = Vec::new();
+    let mut at = 24usize;
+    while at + 16 <= data.len() {
+        let secs = u32::from_le_bytes(data[at..at + 4].try_into().ok()?);
+        let nanos = u32::from_le_bytes(data[at + 4..at + 8].try_into().ok()?);
+        let caplen = u32::from_le_bytes(data[at + 8..at + 12].try_into().ok()?) as usize;
+        let origlen = u32::from_le_bytes(data[at + 12..at + 16].try_into().ok()?) as usize;
+        if caplen != origlen || at + 16 + caplen > data.len() {
+            return None;
+        }
+        packets.push((secs, nanos, data[at + 16..at + 16 + caplen].to_vec()));
+        at += 16 + caplen;
+    }
+    if at != data.len() {
+        return None;
+    }
+    Some(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::Direction;
+    use tn_sim::{FrameId, SimTime};
+
+    fn rec(at: SimTime, len: usize) -> CaptureRecord {
+        CaptureRecord { frame: FrameId(1), at, direction: Direction::AtoB, len, tag: 0 }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let frames = vec![
+            (rec(SimTime::from_secs(34_200) + SimTime::from_ns(123), 60), vec![0xAA; 60]),
+            (rec(SimTime::from_secs(34_201), 1514), vec![0xBB; 1514]),
+        ];
+        let pcap = to_pcap(&frames);
+        assert_eq!(&pcap[0..4], &MAGIC_NS.to_le_bytes());
+        let parsed = from_pcap(&pcap).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, 34_200);
+        assert_eq!(parsed[0].1, 123);
+        assert_eq!(parsed[0].2.len(), 60);
+        assert_eq!(parsed[1].0, 34_201);
+        assert_eq!(parsed[1].1, 0);
+        assert_eq!(parsed[1].2, vec![0xBB; 1514]);
+    }
+
+    #[test]
+    fn empty_capture_is_header_only() {
+        let pcap = to_pcap(&[]);
+        assert_eq!(pcap.len(), 24);
+        assert_eq!(from_pcap(&pcap).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn sub_nanosecond_truncates() {
+        // 999 ps truncates to 0 ns — the documented precision loss.
+        let frames = vec![(rec(SimTime::from_ps(999), 1), vec![0x01])];
+        let parsed = from_pcap(&to_pcap(&frames)).unwrap();
+        assert_eq!(parsed[0].1, 0);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(from_pcap(&[0u8; 10]).is_none());
+        let mut pcap = to_pcap(&[(rec(SimTime::ZERO, 4), vec![0; 4])]);
+        pcap.truncate(pcap.len() - 1); // chop the last byte
+        assert!(from_pcap(&pcap).is_none());
+        pcap[0] = 0; // bad magic
+        assert!(from_pcap(&pcap).is_none());
+    }
+}

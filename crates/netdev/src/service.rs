@@ -1,0 +1,237 @@
+//! Software-hop service modeling.
+//!
+//! Application nodes (normalizers, strategies, gateways, exchange
+//! front-ends) process events serially: one core, one event at a time.
+//! [`ServiceClock`] tracks when that virtual core next becomes free, and
+//! [`TxQueue`] turns "finish processing at T, then transmit" into kernel
+//! timers so service time shows up as real latency and backlog.
+
+use std::collections::VecDeque;
+
+use tn_sim::{Context, Frame, PortId, SimTime, TimerToken};
+
+/// Tracks the busy-until time of a serial processor.
+///
+/// `complete(now, service)` answers: if work arrives at `now` needing
+/// `service` time, when does it finish? Work queues FIFO behind whatever
+/// is already scheduled — the "combined time spent discarding data and
+/// processing data" model §3 uses for the filtering-placement analysis.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceClock {
+    busy_until: SimTime,
+}
+
+impl ServiceClock {
+    /// An idle processor.
+    pub fn new() -> ServiceClock {
+        ServiceClock::default()
+    }
+
+    /// Schedule `service` worth of work arriving at `now`; returns the
+    /// absolute completion time.
+    pub fn complete(&mut self, now: SimTime, service: SimTime) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done = start + service;
+        self.busy_until = done;
+        done
+    }
+
+    /// Backlog (completion horizon minus now), zero when idle.
+    pub fn backlog(&self, now: SimTime) -> SimTime {
+        self.busy_until.saturating_sub(now)
+    }
+
+    /// True if no queued work extends past `now`.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+}
+
+/// A FIFO of frames awaiting service completion, bridged to kernel timers.
+///
+/// Usage inside a [`tn_sim::Node`]:
+/// * to emit a frame after `service` time: `txq.send_after(ctx, service, port, frame)`,
+/// * in `on_timer`: `txq.on_timer(ctx, token)` — returns `true` if the
+///   token belonged to this queue and a frame was transmitted.
+///
+/// Completion times are monotonic (single serial processor), so FIFO
+/// order matches timer order.
+#[derive(Debug)]
+pub struct TxQueue {
+    clock: ServiceClock,
+    pending: VecDeque<(PortId, Frame)>,
+    token: u64,
+    /// Bound on queued frames; pushes beyond this are dropped (counted).
+    capacity: usize,
+    /// Fixed pipeline delay added after service completes (e.g. a NIC's
+    /// DMA+interrupt latency). Does not affect the service rate.
+    pipeline: SimTime,
+    dropped: u64,
+}
+
+impl TxQueue {
+    /// A queue identified by `token` (must be unique among the node's
+    /// timer tokens) with unbounded capacity.
+    pub fn new(token: u64) -> TxQueue {
+        TxQueue {
+            clock: ServiceClock::new(),
+            pending: VecDeque::new(),
+            token,
+            capacity: usize::MAX,
+            pipeline: SimTime::ZERO,
+            dropped: 0,
+        }
+    }
+
+    /// Bound the number of frames waiting for service.
+    pub fn with_capacity(mut self, capacity: usize) -> TxQueue {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Add a fixed delay after service completion (pipeline latency).
+    pub fn with_pipeline(mut self, pipeline: SimTime) -> TxQueue {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Queue `frame` to be sent on `port` after `service` processing time
+    /// (plus any backlog). Returns `false` if the queue was full and the
+    /// frame was dropped.
+    pub fn send_after(
+        &mut self,
+        ctx: &mut Context<'_>,
+        service: SimTime,
+        port: PortId,
+        frame: Frame,
+    ) -> bool {
+        if self.pending.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        let done = self.clock.complete(ctx.now(), service) + self.pipeline;
+        self.pending.push_back((port, frame));
+        ctx.set_timer(done - ctx.now(), TimerToken(self.token));
+        true
+    }
+
+    /// Occupy the processor for `service` without emitting anything —
+    /// work whose output is consumed internally (e.g. events filtered
+    /// out) still costs time and delays everything queued behind it.
+    pub fn charge(&mut self, now: SimTime, service: SimTime) {
+        self.clock.complete(now, service);
+    }
+
+    /// Handle a timer; transmits the head-of-line frame if the token is
+    /// ours. Returns `true` if consumed.
+    pub fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) -> bool {
+        if timer.0 != self.token {
+            return false;
+        }
+        if let Some((port, frame)) = self.pending.pop_front() {
+            ctx.send(port, frame);
+        }
+        true
+    }
+
+    /// Frames dropped at the queue bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames awaiting transmission.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Current service backlog.
+    pub fn backlog(&self, now: SimTime) -> SimTime {
+        self.clock.backlog(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_sim::{IdealLink, Node, Simulator};
+
+    #[test]
+    fn service_clock_serializes_work() {
+        let mut c = ServiceClock::new();
+        let t0 = SimTime::ZERO;
+        assert!(c.is_idle(t0));
+        assert_eq!(c.complete(t0, SimTime::from_us(2)), SimTime::from_us(2));
+        // Second event arrives while the first is processing.
+        assert_eq!(c.complete(SimTime::from_us(1), SimTime::from_us(2)), SimTime::from_us(4));
+        assert_eq!(c.backlog(SimTime::from_us(1)), SimTime::from_us(3));
+        // After the backlog drains, service starts immediately.
+        assert_eq!(c.complete(SimTime::from_us(10), SimTime::from_us(2)), SimTime::from_us(12));
+        assert!(c.is_idle(SimTime::from_us(12)));
+    }
+
+    /// A node that forwards frames after a fixed service time via TxQueue.
+    struct Worker {
+        txq: TxQueue,
+        service: SimTime,
+    }
+
+    impl Node for Worker {
+        fn on_frame(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+            self.txq.send_after(ctx, self.service, PortId(0), frame);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+            assert!(self.txq.on_timer(ctx, timer));
+        }
+    }
+
+    struct Sink {
+        arrivals: Vec<SimTime>,
+    }
+
+    impl Node for Sink {
+        fn on_frame(&mut self, ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {
+            self.arrivals.push(ctx.now());
+        }
+    }
+
+    #[test]
+    fn txqueue_applies_service_time_and_fifo_backlog() {
+        let mut sim = Simulator::new(1);
+        let worker =
+            sim.add_node("worker", Worker { txq: TxQueue::new(0), service: SimTime::from_us(2) });
+        let sink = sim.add_node("sink", Sink { arrivals: vec![] });
+        sim.connect(worker, PortId(0), sink, PortId(0), IdealLink::new(SimTime::ZERO));
+        // Three frames arrive simultaneously; the worker is a single core.
+        for _ in 0..3 {
+            let f = sim.new_frame(vec![0; 64]);
+            sim.inject_frame(SimTime::from_us(1), worker, PortId(0), f);
+        }
+        sim.run();
+        let sink = sim.node::<Sink>(sink).unwrap();
+        assert_eq!(
+            sink.arrivals,
+            vec![SimTime::from_us(3), SimTime::from_us(5), SimTime::from_us(7)]
+        );
+    }
+
+    #[test]
+    fn txqueue_capacity_drops() {
+        let mut sim = Simulator::new(1);
+        let worker = sim.add_node(
+            "worker",
+            Worker { txq: TxQueue::new(0).with_capacity(2), service: SimTime::from_us(1) },
+        );
+        let sink = sim.add_node("sink", Sink { arrivals: vec![] });
+        sim.connect(worker, PortId(0), sink, PortId(0), IdealLink::new(SimTime::ZERO));
+        for _ in 0..5 {
+            let f = sim.new_frame(vec![0; 64]);
+            sim.inject_frame(SimTime::ZERO, worker, PortId(0), f);
+        }
+        sim.run();
+        let sink_arrivals = sim.node::<Sink>(sink).unwrap().arrivals.len();
+        let worker = sim.node::<Worker>(worker).unwrap();
+        assert_eq!(sink_arrivals, 2);
+        assert_eq!(worker.txq.dropped(), 3);
+        assert_eq!(worker.txq.pending(), 0);
+    }
+}

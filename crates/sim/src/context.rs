@@ -1,0 +1,157 @@
+//! The API surface a node sees while handling an event.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::frame::{Frame, FrameId, FrameMeta};
+use crate::node::{NodeId, PortId};
+use crate::time::SimTime;
+
+/// Opaque user-defined timer identifier; the node that set the timer
+/// decides what the value means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(pub u64);
+
+/// Deferred actions a node requests while handling an event; the kernel
+/// applies them after the handler returns.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Send { port: PortId, frame: Frame },
+    Timer { delay: SimTime, token: TimerToken },
+    /// Deliver a frame to another node directly, bypassing links. Used for
+    /// intra-host delivery between co-resident components with an explicit
+    /// modeled delay (e.g. strategy process to kernel-bypass NIC queue).
+    DeliverLocal { dst: NodeId, port: PortId, delay: SimTime, frame: Frame },
+}
+
+/// Handle through which a node interacts with the simulation while
+/// processing an event.
+///
+/// Borrow-wise, the context owns scratch state disjoint from the node
+/// itself, so handlers can freely mutate their own fields while calling
+/// context methods.
+pub struct Context<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) me: NodeId,
+    pub(crate) actions: &'a mut Vec<Action>,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) next_frame_id: &'a mut u64,
+}
+
+impl Context<'_> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node handling this event.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Transmit `frame` out of `port`. If the port is unconnected the frame
+    /// is counted as dropped by the kernel.
+    #[inline]
+    pub fn send(&mut self, port: PortId, frame: Frame) {
+        self.actions.push(Action::Send { port, frame });
+    }
+
+    /// Create a brand-new frame born now, with a fresh [`FrameId`].
+    pub fn new_frame(&mut self, bytes: Vec<u8>) -> Frame {
+        let id = FrameId(*self.next_frame_id);
+        *self.next_frame_id += 1;
+        Frame { bytes, id, born: self.now, meta: FrameMeta::default() }
+    }
+
+    /// Create a new frame carrying application metadata.
+    pub fn new_frame_with_meta(&mut self, bytes: Vec<u8>, meta: FrameMeta) -> Frame {
+        let mut f = self.new_frame(bytes);
+        f.meta = meta;
+        f
+    }
+
+    /// Arrange for [`crate::Node::on_timer`] to be called on this node
+    /// after `delay`.
+    #[inline]
+    pub fn set_timer(&mut self, delay: SimTime, token: TimerToken) {
+        self.actions.push(Action::Timer { delay, token });
+    }
+
+    /// Deliver `frame` to another node after `delay`, without traversing a
+    /// link. Models intra-host transfers (shared memory, PCIe) whose cost
+    /// the caller accounts for explicitly in `delay`.
+    #[inline]
+    pub fn deliver_local(&mut self, dst: NodeId, port: PortId, delay: SimTime, frame: Frame) {
+        self.actions.push(Action::DeliverLocal { dst, port, delay, frame });
+    }
+
+    /// Uniform random value in `[0, 1)` from the scenario PRNG.
+    #[inline]
+    pub fn coin(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Access the scenario PRNG for richer sampling.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx<'a>(
+        actions: &'a mut Vec<Action>,
+        rng: &'a mut SmallRng,
+        next: &'a mut u64,
+    ) -> Context<'a> {
+        Context { now: SimTime::from_ns(5), me: NodeId(3), actions, rng, next_frame_id: next }
+    }
+
+    #[test]
+    fn new_frames_get_distinct_ids_and_birth_time() {
+        let mut actions = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut next = 10;
+        let mut c = ctx(&mut actions, &mut rng, &mut next);
+        let a = c.new_frame(vec![0]);
+        let b = c.new_frame(vec![1]);
+        assert_eq!(a.id, FrameId(10));
+        assert_eq!(b.id, FrameId(11));
+        assert_eq!(a.born, SimTime::from_ns(5));
+        assert_eq!(next, 12);
+    }
+
+    #[test]
+    fn actions_are_recorded_in_order() {
+        let mut actions = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut next = 0;
+        let mut c = ctx(&mut actions, &mut rng, &mut next);
+        let f = c.new_frame(vec![0]);
+        c.send(PortId(2), f.clone());
+        c.set_timer(SimTime::from_us(1), TimerToken(9));
+        c.deliver_local(NodeId(1), PortId(0), SimTime::from_ns(1), f);
+        assert_eq!(actions.len(), 3);
+        assert!(matches!(actions[0], Action::Send { port: PortId(2), .. }));
+        assert!(matches!(actions[1], Action::Timer { token: TimerToken(9), .. }));
+        assert!(matches!(actions[2], Action::DeliverLocal { dst: NodeId(1), .. }));
+    }
+
+    #[test]
+    fn coin_is_unit_interval() {
+        let mut actions = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut next = 0;
+        let mut c = ctx(&mut actions, &mut rng, &mut next);
+        for _ in 0..1000 {
+            let v = c.coin();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The unit of data exchanged between nodes.
+
+use crate::time::SimTime;
+
+/// Identity of a frame, stable across hops and multicast replication.
+///
+/// Replicas made by switches keep the original `FrameId`, which is what lets
+/// capture taps correlate a frame observed at different points in the
+/// network and compute per-hop latency — exactly how trading firms measure
+/// with timestamped taps (§2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub u64);
+
+/// Out-of-band metadata carried with a frame.
+///
+/// None of this exists on the wire; it models the knowledge an observer
+/// with a perfect capture fabric would have, and is used exclusively for
+/// measurement and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Application-level tag (e.g. market-data event sequence, order id).
+    pub tag: u64,
+    /// Simulation time of the application-level event this frame carries
+    /// (for market data: when the matching engine produced the update).
+    /// Zero when unset.
+    pub event_time: SimTime,
+}
+
+/// A frame in flight: owned bytes plus measurement metadata.
+///
+/// Wire-format crates parse and build `bytes` with zero-copy views; the
+/// kernel and devices treat it as opaque payload of length `len()`.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The on-the-wire bytes (for Ethernet models: the full L2 frame,
+    /// excluding preamble and FCS — lengths match Table 1's convention of
+    /// counting Ethernet + IP + UDP headers).
+    pub bytes: Vec<u8>,
+    /// Stable identity across hops and replication.
+    pub id: FrameId,
+    /// Time the frame was first created (first transmission onto any wire).
+    pub born: SimTime,
+    /// Measurement metadata.
+    pub meta: FrameMeta,
+}
+
+impl Frame {
+    /// Length in bytes, as counted on the wire.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the payload is empty (never the case for valid frames; kept
+    /// for API completeness and clippy's `len_without_is_empty`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Replace the payload bytes, keeping identity and metadata. Used by
+    /// middleboxes that rewrite frames (normalizers, FPGA filters) when the
+    /// rewritten frame should still be correlated with its input.
+    pub fn with_bytes(mut self, bytes: Vec<u8>) -> Frame {
+        self.bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_basics() {
+        let f = Frame {
+            bytes: vec![1, 2, 3],
+            id: FrameId(7),
+            born: SimTime::from_ns(5),
+            meta: FrameMeta::default(),
+        };
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+        let g = f.clone().with_bytes(vec![9; 10]);
+        assert_eq!(g.len(), 10);
+        assert_eq!(g.id, FrameId(7));
+        assert_eq!(g.born, SimTime::from_ns(5));
+    }
+}

@@ -1,0 +1,538 @@
+//! The event loop: queue, dispatch, link lookup, statistics.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::context::{Action, Context, TimerToken};
+use crate::frame::{Frame, FrameId, FrameMeta};
+use crate::link::{Link, LinkOutcome};
+use crate::node::{Node, NodeId, PortId};
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceKind, TraceLog};
+
+/// Object-safe extension of [`Node`] that adds downcasting, so scenario
+/// code can read application state back out of the simulator after a run.
+/// Blanket-implemented for every `Node + 'static`.
+pub trait AnyNode: Node {
+    /// Upcast to `Any` for downcasting by concrete type.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable upcast.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Node + 'static> AnyNode for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+enum EventKind {
+    Frame { node: NodeId, port: PortId, frame: Frame },
+    Timer { node: NodeId, token: TimerToken },
+}
+
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    /// Reverse ordering so the `BinaryHeap` becomes a min-heap on
+    /// `(time, seq)`; the `seq` tiebreak keeps equal-time events in
+    /// schedule order, which is what makes runs reproducible.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct NodeSlot {
+    node: Box<dyn AnyNode>,
+    name: String,
+}
+
+struct LinkSlot {
+    link: Box<dyn Link>,
+    dst: NodeId,
+    dst_port: PortId,
+}
+
+/// Aggregate kernel statistics for a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events popped from the queue.
+    pub events_processed: u64,
+    /// Frames handed to `on_frame`.
+    pub frames_delivered: u64,
+    /// Frames dropped by links (loss, queue overflow, MTU).
+    pub frames_dropped: u64,
+    /// Frames sent out of ports with no link attached.
+    pub frames_unrouted: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+}
+
+/// The discrete-event simulator.
+///
+/// See the crate docs for the programming model. All public mutation is
+/// deterministic: two simulators constructed with the same seed and given
+/// the same call sequence produce identical traces.
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QueuedEvent>,
+    nodes: Vec<NodeSlot>,
+    links: Vec<LinkSlot>,
+    port_map: HashMap<(NodeId, PortId), usize>,
+    rng: SmallRng,
+    next_frame_id: u64,
+    scratch: Vec<Action>,
+    stats: SimStats,
+    /// Kernel-level trace log (disabled by default).
+    pub trace: TraceLog,
+}
+
+impl Simulator {
+    /// Create an empty simulator whose randomness is derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            port_map: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            next_frame_id: 0,
+            scratch: Vec::new(),
+            stats: SimStats::default(),
+            trace: TraceLog::disabled(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Kernel statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Register a node; the returned id addresses it for connections and
+    /// injections. `name` appears in diagnostics only.
+    pub fn add_node(&mut self, name: impl Into<String>, node: impl Node + 'static) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSlot { node: Box::new(node), name: name.into() });
+        id
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Diagnostic name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0 as usize].name
+    }
+
+    /// Borrow a node by concrete type. Panics if the id is out of range;
+    /// returns `None` if the type does not match.
+    pub fn node<T: Node + 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes[id.0 as usize].node.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutably borrow a node by concrete type.
+    pub fn node_mut<T: Node + 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes[id.0 as usize].node.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Connect two ports bidirectionally with clones of `link`.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        a_port: PortId,
+        b: NodeId,
+        b_port: PortId,
+        link: impl Link + Clone + 'static,
+    ) {
+        self.connect_directed(a, a_port, b, b_port, Box::new(link.clone()));
+        self.connect_directed(b, b_port, a, a_port, Box::new(link));
+    }
+
+    /// Install a directional link from `(src, src_port)` to `(dst, dst_port)`.
+    /// Panics if the source port already has a link (ports are point-to-point).
+    pub fn connect_directed(
+        &mut self,
+        src: NodeId,
+        src_port: PortId,
+        dst: NodeId,
+        dst_port: PortId,
+        link: Box<dyn Link>,
+    ) {
+        let idx = self.links.len();
+        self.links.push(LinkSlot { link, dst, dst_port });
+        let prev = self.port_map.insert((src, src_port), idx);
+        assert!(
+            prev.is_none(),
+            "port ({src:?}, {src_port:?}) already connected; ports are point-to-point"
+        );
+    }
+
+    /// True if the port has an outgoing link.
+    pub fn is_connected(&self, node: NodeId, port: PortId) -> bool {
+        self.port_map.contains_key(&(node, port))
+    }
+
+    /// Allocate a frame with a fresh id, born at the current time. For
+    /// scenario drivers; nodes use [`Context::new_frame`].
+    pub fn new_frame(&mut self, bytes: Vec<u8>) -> Frame {
+        let id = FrameId(self.next_frame_id);
+        self.next_frame_id += 1;
+        Frame { bytes, id, born: self.now, meta: FrameMeta::default() }
+    }
+
+    /// Schedule delivery of `frame` to `(node, port)` at absolute time `at`.
+    pub fn inject_frame(&mut self, at: SimTime, node: NodeId, port: PortId, frame: Frame) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.bump_seq();
+        self.queue.push(QueuedEvent { at, seq, kind: EventKind::Frame { node, port, frame } });
+    }
+
+    /// Schedule a timer callback on `node` at absolute time `at`.
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: TimerToken) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.bump_seq();
+        self.queue.push(QueuedEvent { at, seq, kind: EventKind::Timer { node, token } });
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Process the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.stats.events_processed += 1;
+        match ev.kind {
+            EventKind::Frame { node, port, frame } => self.dispatch_frame(node, port, frame),
+            EventKind::Timer { node, token } => self.dispatch_timer(node, token),
+        }
+        true
+    }
+
+    /// Run until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue is empty or the next event is later than
+    /// `deadline`. Events at exactly `deadline` are processed. Returns the
+    /// number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        // Advance the clock to the deadline even if nothing was pending so
+        // repeated run_until calls behave like wall-clock progression.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        n
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn dispatch_frame(&mut self, node: NodeId, port: PortId, frame: Frame) {
+        self.stats.frames_delivered += 1;
+        self.trace.record(TraceEvent {
+            at: self.now,
+            node,
+            port,
+            frame: frame.id,
+            kind: TraceKind::Deliver,
+        });
+        let slot = &mut self.nodes[node.0 as usize];
+        let mut ctx = Context {
+            now: self.now,
+            me: node,
+            actions: &mut self.scratch,
+            rng: &mut self.rng,
+            next_frame_id: &mut self.next_frame_id,
+        };
+        slot.node.on_frame(&mut ctx, port, frame);
+        self.apply_actions(node);
+    }
+
+    fn dispatch_timer(&mut self, node: NodeId, token: TimerToken) {
+        self.stats.timers_fired += 1;
+        self.trace.record(TraceEvent {
+            at: self.now,
+            node,
+            port: PortId(u16::MAX),
+            frame: FrameId(u64::MAX),
+            kind: TraceKind::Timer,
+        });
+        let slot = &mut self.nodes[node.0 as usize];
+        let mut ctx = Context {
+            now: self.now,
+            me: node,
+            actions: &mut self.scratch,
+            rng: &mut self.rng,
+            next_frame_id: &mut self.next_frame_id,
+        };
+        slot.node.on_timer(&mut ctx, token);
+        self.apply_actions(node);
+    }
+
+    fn apply_actions(&mut self, src: NodeId) {
+        // Drain into a local vec to keep borrowck happy while links and the
+        // queue are touched; scratch is reused to avoid steady-state allocs.
+        let mut actions = std::mem::take(&mut self.scratch);
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { port, frame } => self.transmit(src, port, frame),
+                Action::Timer { delay, token } => {
+                    let at = self.now + delay;
+                    let seq = self.bump_seq();
+                    self.queue.push(QueuedEvent {
+                        at,
+                        seq,
+                        kind: EventKind::Timer { node: src, token },
+                    });
+                }
+                Action::DeliverLocal { dst, port, delay, frame } => {
+                    let at = self.now + delay;
+                    let seq = self.bump_seq();
+                    self.queue.push(QueuedEvent {
+                        at,
+                        seq,
+                        kind: EventKind::Frame { node: dst, port, frame },
+                    });
+                }
+            }
+        }
+        self.scratch = actions;
+    }
+
+    fn transmit(&mut self, src: NodeId, port: PortId, frame: Frame) {
+        let Some(&idx) = self.port_map.get(&(src, port)) else {
+            self.stats.frames_unrouted += 1;
+            self.trace.record(TraceEvent {
+                at: self.now,
+                node: src,
+                port,
+                frame: frame.id,
+                kind: TraceKind::Drop,
+            });
+            return;
+        };
+        let coin = self.rng.gen::<f64>();
+        let slot = &mut self.links[idx];
+        match slot.link.transmit(self.now, frame.len(), coin) {
+            LinkOutcome::Deliver(at) => {
+                debug_assert!(at >= self.now);
+                let (dst, dst_port) = (slot.dst, slot.dst_port);
+                let seq = self.bump_seq();
+                self.queue.push(QueuedEvent {
+                    at,
+                    seq,
+                    kind: EventKind::Frame { node: dst, port: dst_port, frame },
+                });
+            }
+            LinkOutcome::Drop(_reason) => {
+                self.stats.frames_dropped += 1;
+                self.trace.record(TraceEvent {
+                    at: self.now,
+                    node: src,
+                    port,
+                    frame: frame.id,
+                    kind: TraceKind::Drop,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::IdealLink;
+
+    /// Forwards every frame out the same port after a modeled delay, and
+    /// counts what it saw.
+    struct Repeater {
+        seen: Vec<(SimTime, FrameId)>,
+        bounce: bool,
+    }
+
+    impl Node for Repeater {
+        fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
+            self.seen.push((ctx.now(), frame.id));
+            if self.bounce {
+                ctx.send(port, frame);
+            }
+        }
+    }
+
+    struct TimerNode {
+        fired_at: Vec<(SimTime, u64)>,
+        rearm: Option<SimTime>,
+    }
+
+    impl Node for TimerNode {
+        fn on_frame(&mut self, _: &mut Context<'_>, _: PortId, _: Frame) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+            self.fired_at.push((ctx.now(), timer.0));
+            if let Some(period) = self.rearm {
+                if self.fired_at.len() < 5 {
+                    ctx.set_timer(period, timer);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_travels_and_time_advances() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Repeater { seen: vec![], bounce: true });
+        let b = sim.add_node("b", Repeater { seen: vec![], bounce: false });
+        sim.connect(a, PortId(0), b, PortId(0), IdealLink::new(SimTime::from_ns(100)));
+        let f = sim.new_frame(vec![0; 64]);
+        sim.inject_frame(SimTime::from_ns(10), a, PortId(0), f);
+        sim.run();
+        let a_node = sim.node::<Repeater>(a).unwrap();
+        let b_node = sim.node::<Repeater>(b).unwrap();
+        assert_eq!(a_node.seen.len(), 1);
+        assert_eq!(a_node.seen[0].0, SimTime::from_ns(10));
+        assert_eq!(b_node.seen.len(), 1);
+        assert_eq!(b_node.seen[0].0, SimTime::from_ns(110));
+        assert_eq!(sim.now(), SimTime::from_ns(110));
+        assert_eq!(sim.stats().frames_delivered, 2);
+    }
+
+    #[test]
+    fn equal_time_events_preserve_schedule_order() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Repeater { seen: vec![], bounce: false });
+        let t = SimTime::from_ns(50);
+        for i in 0..10 {
+            let mut f = sim.new_frame(vec![0; 64]);
+            f.id = FrameId(i);
+            sim.inject_frame(t, a, PortId(0), f);
+        }
+        sim.run();
+        let node = sim.node::<Repeater>(a).unwrap();
+        let ids: Vec<u64> = node.seen.iter().map(|(_, id)| id.0).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timers_fire_and_rearm() {
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node("t", TimerNode { fired_at: vec![], rearm: Some(SimTime::from_us(1)) });
+        sim.schedule_timer(SimTime::from_us(1), n, TimerToken(7));
+        sim.run();
+        let node = sim.node::<TimerNode>(n).unwrap();
+        assert_eq!(node.fired_at.len(), 5);
+        assert_eq!(node.fired_at[0], (SimTime::from_us(1), 7));
+        assert_eq!(node.fired_at[4], (SimTime::from_us(5), 7));
+        assert_eq!(sim.stats().timers_fired, 5);
+    }
+
+    #[test]
+    fn unrouted_frames_are_counted_not_lost_silently() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Repeater { seen: vec![], bounce: true });
+        let f = sim.new_frame(vec![0; 64]);
+        sim.inject_frame(SimTime::ZERO, a, PortId(0), f);
+        sim.run();
+        assert_eq!(sim.stats().frames_unrouted, 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node("t", TimerNode { fired_at: vec![], rearm: Some(SimTime::from_ms(1)) });
+        sim.schedule_timer(SimTime::from_ms(1), n, TimerToken(0));
+        let processed = sim.run_until(SimTime::from_ms(2));
+        assert_eq!(processed, 2);
+        assert_eq!(sim.now(), SimTime::from_ms(2));
+        assert_eq!(sim.pending_events(), 1);
+        // Deadline with no events still moves the clock.
+        sim.run_until(SimTime::from_ms(2) + SimTime::from_ns(1));
+        assert!(sim.now() >= SimTime::from_ms(2));
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_traces() {
+        fn run(seed: u64) -> Vec<TraceEvent> {
+            let mut sim = Simulator::new(seed);
+            sim.trace.set_enabled(true);
+            let a = sim.add_node("a", Repeater { seen: vec![], bounce: true });
+            let b = sim.add_node("b", Repeater { seen: vec![], bounce: true });
+            sim.connect(a, PortId(0), b, PortId(0), IdealLink::new(SimTime::from_ns(13)));
+            let f = sim.new_frame(vec![0; 100]);
+            sim.inject_frame(SimTime::ZERO, a, PortId(0), f);
+            sim.run_until(SimTime::from_us(1));
+            sim.trace.events().to_vec()
+        }
+        assert_eq!(run(99), run(99));
+        // Ping-pong between two bouncers runs forever; run_until bounded it.
+        assert!(!run(99).is_empty());
+    }
+
+    #[test]
+    fn node_downcast_checks_type() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Repeater { seen: vec![], bounce: false });
+        assert!(sim.node::<Repeater>(a).is_some());
+        assert!(sim.node::<TimerNode>(a).is_none());
+        assert_eq!(sim.node_name(a), "a");
+        assert_eq!(sim.node_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Repeater { seen: vec![], bounce: false });
+        let b = sim.add_node("b", Repeater { seen: vec![], bounce: false });
+        sim.connect(a, PortId(0), b, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.connect(a, PortId(0), b, PortId(1), IdealLink::new(SimTime::ZERO));
+    }
+}

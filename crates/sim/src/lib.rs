@@ -1,0 +1,70 @@
+//! # tn-sim — deterministic discrete-event simulation kernel
+//!
+//! The foundation for every model in the `trading-networks` workspace: a
+//! single-threaded, deterministic discrete-event simulator with picosecond
+//! time resolution.
+//!
+//! Trading networks are measured in nanoseconds (switch hops) down to
+//! picoseconds (capture timestamps — the paper cites firms wanting <100 ps
+//! precision), so [`SimTime`] counts integer picoseconds. A `u64` of
+//! picoseconds spans ~213 days, far more than the one trading day any
+//! scenario simulates.
+//!
+//! ## Model
+//!
+//! A simulation is a graph of [`Node`]s connected port-to-port by
+//! [`Link`]s. Nodes receive [`Frame`]s and timer callbacks through the
+//! [`Node`] trait and react by sending frames out of their own ports,
+//! setting timers, or recording trace events via [`Context`].
+//!
+//! Links are owned by the kernel and model serialization (line rate),
+//! propagation delay, egress queueing, and loss. The kernel is strictly
+//! deterministic: events at equal timestamps are delivered in schedule
+//! order, and all randomness flows from one seeded PRNG.
+//!
+//! ```
+//! use tn_sim::{Simulator, Node, Context, Frame, PortId, SimTime, IdealLink};
+//!
+//! struct Echo;
+//! impl Node for Echo {
+//!     fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
+//!         ctx.send(port, frame); // bounce it straight back
+//!     }
+//! }
+//!
+//! struct Counter(u32);
+//! impl Node for Counter {
+//!     fn on_frame(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {
+//!         self.0 += 1;
+//!     }
+//! }
+//!
+//! let mut sim = Simulator::new(42);
+//! let echo = sim.add_node("echo", Echo);
+//! let counter = sim.add_node("counter", Counter(0));
+//! sim.connect(echo, PortId(0), counter, PortId(0), IdealLink::new(SimTime::from_ns(10)));
+//! let f = sim.new_frame(vec![0u8; 64]);
+//! sim.inject_frame(SimTime::ZERO, counter, PortId(0), f);
+//! sim.run();
+//! ```
+
+mod context;
+mod frame;
+mod kernel;
+mod link;
+mod node;
+mod time;
+mod trace;
+
+pub use context::{Context, TimerToken};
+pub use frame::{Frame, FrameId, FrameMeta};
+pub use kernel::{AnyNode, SimStats, Simulator};
+pub use link::{DropReason, IdealLink, Link, LinkOutcome};
+pub use node::{Node, NodeId, PortId};
+pub use time::SimTime;
+pub use trace::{TraceEvent, TraceKind, TraceLog};
+
+/// Re-export of the PRNG used throughout the workspace, so models can name
+/// it without depending on `rand` directly.
+pub use rand::rngs::SmallRng;
+pub use rand::{Rng, SeedableRng};

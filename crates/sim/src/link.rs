@@ -1,0 +1,101 @@
+//! Link models: serialization, propagation, egress queueing, loss.
+//!
+//! A [`Link`] is directional and owned by the kernel; `connect` installs one
+//! in each direction. The kernel asks the link *when* a frame transmitted
+//! "now" finishes arriving at the far end (or whether it is dropped); the
+//! link tracks its own egress occupancy so back-to-back sends queue behind
+//! each other exactly as a FIFO egress port does.
+
+use crate::time::SimTime;
+
+/// Outcome of offering a frame to a link for transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// Frame will be fully delivered to the peer at this absolute time.
+    Deliver(SimTime),
+    /// Frame was dropped (queue overflow, injected loss, ...). The named
+    /// reason is recorded in link statistics and trace logs.
+    Drop(DropReason),
+}
+
+/// Why a link dropped a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Bounded egress queue was full.
+    QueueOverflow,
+    /// Random loss (microwave fade, injected fault).
+    RandomLoss,
+    /// Frame exceeded the link MTU.
+    Mtu,
+}
+
+/// A directional point-to-point link.
+///
+/// Implementations must be deterministic given the same call sequence; any
+/// randomness (loss) must come from the `coin` argument, which the kernel
+/// draws from the scenario PRNG.
+pub trait Link {
+    /// Offer a frame of `len` bytes for transmission at absolute time `now`.
+    ///
+    /// `coin` is a uniform random value in `[0,1)` drawn by the kernel for
+    /// this offer; deterministic links ignore it.
+    fn transmit(&mut self, now: SimTime, len: usize, coin: f64) -> LinkOutcome;
+
+    /// One-way propagation delay (for diagnostics / route planning).
+    fn propagation(&self) -> SimTime;
+
+    /// Nominal rate in bits per second, if the link models serialization.
+    fn rate_bps(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// An infinitely fast link with a fixed one-way delay and no loss.
+///
+/// Useful for intra-host hops (e.g. strategy core to NIC) and for tests.
+#[derive(Debug, Clone)]
+pub struct IdealLink {
+    delay: SimTime,
+}
+
+impl IdealLink {
+    /// Create a lossless, zero-serialization link with a one-way `delay`.
+    pub fn new(delay: SimTime) -> Self {
+        IdealLink { delay }
+    }
+}
+
+impl Link for IdealLink {
+    fn transmit(&mut self, now: SimTime, _len: usize, _coin: f64) -> LinkOutcome {
+        LinkOutcome::Deliver(now + self.delay)
+    }
+
+    fn propagation(&self) -> SimTime {
+        self.delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_link_delivers_after_delay() {
+        let mut l = IdealLink::new(SimTime::from_ns(100));
+        match l.transmit(SimTime::from_ns(50), 1500, 0.0) {
+            LinkOutcome::Deliver(t) => assert_eq!(t, SimTime::from_ns(150)),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(l.propagation(), SimTime::from_ns(100));
+        assert_eq!(l.rate_bps(), None);
+    }
+
+    #[test]
+    fn ideal_link_has_no_queueing() {
+        // Two back-to-back frames arrive at identical offsets: no serialization.
+        let mut l = IdealLink::new(SimTime::from_ns(10));
+        let a = l.transmit(SimTime::ZERO, 9000, 0.9);
+        let b = l.transmit(SimTime::ZERO, 9000, 0.1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,124 @@
+//! Lightweight kernel-level tracing.
+//!
+//! The kernel records frame deliveries and drops when tracing is enabled.
+//! This is deliberately coarse: fine-grained, timestamped measurement is
+//! the job of capture taps in `tn-netdev`, mirroring how real trading
+//! plants instrument with optical taps rather than switch counters.
+
+use crate::frame::FrameId;
+use crate::node::{NodeId, PortId};
+use crate::time::SimTime;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Frame handed to a node's `on_frame`.
+    Deliver,
+    /// Frame dropped in flight (link loss / queue overflow / no link).
+    Drop,
+    /// Timer fired.
+    Timer,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Node involved (receiver for delivers, transmitter for drops).
+    pub node: NodeId,
+    /// Port involved.
+    pub port: PortId,
+    /// Frame involved (`FrameId(u64::MAX)` for timers).
+    pub frame: FrameId,
+    /// Event class.
+    pub kind: TraceKind,
+}
+
+/// An append-only in-memory trace log.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// A disabled log (records nothing).
+    pub fn disabled() -> Self {
+        TraceLog { enabled: false, events: Vec::new() }
+    }
+
+    /// An enabled log.
+    pub fn enabled() -> Self {
+        TraceLog { enabled: true, events: Vec::new() }
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    #[inline]
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Count of records with the given kind.
+    pub fn count(&self, kind: TraceKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Drop all records (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::ZERO,
+            node: NodeId(0),
+            port: PortId(0),
+            frame: FrameId(0),
+            kind,
+        }
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.record(ev(TraceKind::Deliver));
+        assert!(log.events().is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn enabled_log_records_and_counts() {
+        let mut log = TraceLog::enabled();
+        log.record(ev(TraceKind::Deliver));
+        log.record(ev(TraceKind::Drop));
+        log.record(ev(TraceKind::Deliver));
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.count(TraceKind::Deliver), 2);
+        assert_eq!(log.count(TraceKind::Drop), 1);
+        log.clear();
+        assert!(log.events().is_empty());
+        assert!(log.is_enabled());
+    }
+}

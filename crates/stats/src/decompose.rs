@@ -1,0 +1,109 @@
+//! Latency decomposition: where did the time go?
+//!
+//! §4.1's headline observation — "half of the overall time through the
+//! system is spent in the network" — is a decomposition claim. This module
+//! aggregates labeled duration segments (switch hops, wire propagation,
+//! software hops) and reports each category's share.
+
+use std::collections::BTreeMap;
+
+/// One labeled duration contribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Category label, e.g. `"switch"`, `"wire"`, `"software"`.
+    pub category: &'static str,
+    /// Duration (caller-chosen unit; picoseconds throughout the workspace).
+    pub duration: u64,
+}
+
+/// Accumulates segments and reports totals and shares per category.
+#[derive(Debug, Clone, Default)]
+pub struct Decomposition {
+    totals: BTreeMap<&'static str, u64>,
+}
+
+impl Decomposition {
+    /// Empty decomposition.
+    pub fn new() -> Decomposition {
+        Decomposition::default()
+    }
+
+    /// Add a duration to a category.
+    pub fn add(&mut self, category: &'static str, duration: u64) {
+        *self.totals.entry(category).or_insert(0) += duration;
+    }
+
+    /// Add a pre-built segment.
+    pub fn add_segment(&mut self, seg: &Segment) {
+        self.add(seg.category, seg.duration);
+    }
+
+    /// Total across all categories.
+    pub fn total(&self) -> u64 {
+        self.totals.values().sum()
+    }
+
+    /// Total for one category (0 if never seen).
+    pub fn category_total(&self, category: &str) -> u64 {
+        self.totals.get(category).copied().unwrap_or(0)
+    }
+
+    /// Fraction of the total attributable to `category` (0.0 when empty).
+    pub fn share(&self, category: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.category_total(category) as f64 / total as f64
+    }
+
+    /// All categories with totals, sorted by label.
+    pub fn breakdown(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.totals.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Merge another decomposition into this one.
+    pub fn merge(&mut self, other: &Decomposition) {
+        for (k, v) in other.breakdown() {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut d = Decomposition::new();
+        // §4.1's arithmetic: 12 switch hops x 500 ns vs 3 software hops x 2 us.
+        d.add("switch", 12 * 500);
+        d.add("software", 3 * 2000);
+        assert_eq!(d.total(), 12_000);
+        assert!((d.share("switch") - 0.5).abs() < 1e-9);
+        assert!((d.share("software") - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_category_is_zero() {
+        let d = Decomposition::new();
+        assert_eq!(d.category_total("wire"), 0);
+        assert_eq!(d.share("wire"), 0.0);
+        assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    fn segments_and_merge() {
+        let mut a = Decomposition::new();
+        a.add_segment(&Segment { category: "wire", duration: 100 });
+        let mut b = Decomposition::new();
+        b.add("wire", 50);
+        b.add("switch", 25);
+        a.merge(&b);
+        assert_eq!(a.category_total("wire"), 150);
+        assert_eq!(a.category_total("switch"), 25);
+        let cats: Vec<_> = a.breakdown().collect();
+        assert_eq!(cats, vec![("switch", 25), ("wire", 150)]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Streaming histogram with fixed-width bins.
+
+/// A bounded, fixed-width-bin histogram for cheap distribution capture on
+/// hot paths (frame lengths, queue depths). Values beyond the last bin
+/// accumulate in an overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: u64,
+    bin_width: u64,
+    bins: Vec<u64>,
+    overflow: u64,
+    underflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Histogram covering `[lo, lo + bins*bin_width)`.
+    pub fn new(lo: u64, bin_width: u64, bins: usize) -> Histogram {
+        assert!(bin_width > 0 && bins > 0);
+        Histogram { lo, bin_width, bins: vec![0; bins], overflow: 0, underflow: 0, count: 0 }
+    }
+
+    /// Record a value.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        if v < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((v - self.lo) / self.bin_width) as usize;
+        if idx >= self.bins.len() {
+            self.overflow += 1;
+        } else {
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of values below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of values at or above the top of the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Inclusive lower edge of bin `idx`.
+    pub fn bin_lo(&self, idx: usize) -> u64 {
+        self.lo + idx as u64 * self.bin_width
+    }
+
+    /// Fraction of in-range samples at or below the top of bin `idx`.
+    pub fn cdf_at(&self, idx: usize) -> f64 {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self.bins[..=idx].iter().sum();
+        cum as f64 / in_range as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_fall_into_bins() {
+        let mut h = Histogram::new(0, 10, 5); // [0,50)
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(49);
+        h.record(50); // overflow
+        assert_eq!(h.bins(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn underflow_counted() {
+        let mut h = Histogram::new(100, 10, 2);
+        h.record(99);
+        h.record(100);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.bins(), &[1, 0]);
+        assert_eq!(h.bin_lo(1), 110);
+    }
+
+    #[test]
+    fn cdf() {
+        let mut h = Histogram::new(0, 1, 4);
+        for v in [0, 1, 1, 2] {
+            h.record(v);
+        }
+        assert!((h.cdf_at(0) - 0.25).abs() < 1e-9);
+        assert!((h.cdf_at(1) - 0.75).abs() < 1e-9);
+        assert!((h.cdf_at(3) - 1.0).abs() < 1e-9);
+        let empty = Histogram::new(0, 1, 1);
+        assert_eq!(empty.cdf_at(0), 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # tn-stats — measurement utilities
+//!
+//! Statistics primitives shared by the simulator and the experiment
+//! harness: exact sample summaries (min/avg/median/percentiles, the
+//! columns of Table 1), fixed-width window counters (the 1-second and
+//! 100-microsecond windows of Figures 2b/2c), streaming histograms, and
+//! latency decomposition (the network-vs-host split of §4.1).
+//!
+//! Everything here operates on plain `u64`/`f64` values so the crate has
+//! no dependencies; callers pick the unit (picoseconds, events, bytes).
+
+mod decompose;
+mod hist;
+mod summary;
+mod windows;
+
+pub use decompose::{Decomposition, Segment};
+pub use hist::Histogram;
+pub use summary::Summary;
+pub use windows::WindowCounter;

@@ -1,0 +1,135 @@
+//! Fixed-width window counting.
+
+use crate::summary::Summary;
+
+/// Counts events into fixed-width windows along a timeline — the
+/// mechanism behind Figure 2(b) (1-second windows across a trading day)
+/// and Figure 2(c) (100-microsecond windows across the busiest second).
+///
+/// Windows are `[origin + i*width, origin + (i+1)*width)`. Events before
+/// `origin` are ignored; the counter grows to cover the latest event seen.
+#[derive(Debug, Clone)]
+pub struct WindowCounter {
+    origin: u64,
+    width: u64,
+    counts: Vec<u64>,
+}
+
+impl WindowCounter {
+    /// Counter starting at `origin` with windows of `width` (any unit).
+    pub fn new(origin: u64, width: u64) -> WindowCounter {
+        assert!(width > 0, "window width must be positive");
+        WindowCounter { origin, width, counts: Vec::new() }
+    }
+
+    /// Record `n` events at time `t`.
+    pub fn add(&mut self, t: u64, n: u64) {
+        if t < self.origin {
+            return;
+        }
+        let idx = ((t - self.origin) / self.width) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+    }
+
+    /// Record one event at time `t`.
+    pub fn record(&mut self, t: u64) {
+        self.add(t, 1);
+    }
+
+    /// Per-window counts, index 0 = first window.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Window width.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Start time of window `idx`.
+    pub fn window_start(&self, idx: usize) -> u64 {
+        self.origin + idx as u64 * self.width
+    }
+
+    /// Index and count of the busiest window (`None` when empty).
+    pub fn busiest(&self) -> Option<(usize, u64)> {
+        self.counts
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// Summary over window counts, optionally ignoring empty windows —
+    /// Figure 2(b)'s "median second" statistic counts only in-session
+    /// (non-empty) windows.
+    pub fn summary(&self, skip_empty: bool) -> Summary {
+        let mut s = Summary::new();
+        s.extend(self.counts.iter().copied().filter(|&c| !skip_empty || c > 0));
+        s
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_land_in_correct_windows() {
+        let mut w = WindowCounter::new(100, 10);
+        w.record(100); // window 0
+        w.record(109); // window 0
+        w.record(110); // window 1
+        w.record(135); // window 3
+        w.record(50); // before origin: ignored
+        assert_eq!(w.counts(), &[2, 1, 0, 1]);
+        assert_eq!(w.total(), 4);
+        assert_eq!(w.window_start(3), 130);
+        assert_eq!(w.width(), 10);
+    }
+
+    #[test]
+    fn busiest_window() {
+        let mut w = WindowCounter::new(0, 1);
+        assert_eq!(w.busiest(), None);
+        w.add(0, 5);
+        w.add(3, 9);
+        w.add(7, 9); // tie: earliest wins
+        assert_eq!(w.busiest(), Some((3, 9)));
+    }
+
+    #[test]
+    fn summary_skip_empty() {
+        let mut w = WindowCounter::new(0, 1);
+        w.add(0, 4);
+        w.add(5, 8); // windows 1..=4 are empty
+        let mut all = w.summary(false);
+        assert_eq!(all.count(), 6);
+        assert_eq!(all.median(), 0);
+        let mut nonempty = w.summary(true);
+        assert_eq!(nonempty.count(), 2);
+        assert_eq!(nonempty.min(), 4);
+    }
+
+    #[test]
+    fn bulk_add() {
+        let mut w = WindowCounter::new(0, 100);
+        w.add(50, 1000);
+        w.add(150, 2000);
+        assert_eq!(w.counts(), &[1000, 2000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        WindowCounter::new(0, 0);
+    }
+}

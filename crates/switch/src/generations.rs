@@ -1,0 +1,148 @@
+//! Hardware-trend parameter presets (§3).
+//!
+//! §3 quantifies two decade-scale trends that the experiments sweep over:
+//!
+//! * Commodity switch latency **rose** ~20% (to ~500 ns) while bandwidth
+//!   doubled every generation, and multicast group capacity grew only
+//!   ~80% while market data grew ~500%.
+//! * Host (software) hop latency **fell** below 1 µs with kernel bypass.
+//!
+//! These presets give every experiment the same numbers to sweep.
+
+use tn_sim::SimTime;
+
+/// One device generation's headline parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceGen {
+    /// Marketing year of the generation.
+    pub year: u32,
+    /// Port-to-port (switch) or through-host (host) latency.
+    pub latency: SimTime,
+    /// Aggregate bandwidth per device, bits/sec.
+    pub bandwidth_bps: u64,
+    /// Multicast groups supported (switches; 0 for hosts).
+    pub mcast_groups: usize,
+}
+
+/// Commodity switch generations, oldest first. Latency creeps *up* ~20%
+/// across the decade while bandwidth ~doubles per generation and
+/// multicast capacity grows only 80% end-to-end.
+pub fn switch_generations() -> Vec<DeviceGen> {
+    vec![
+        DeviceGen {
+            year: 2014,
+            latency: SimTime::from_ns(420),
+            bandwidth_bps: 1_280_000_000_000, // 1.28 Tbps
+            mcast_groups: 2000,
+        },
+        DeviceGen {
+            year: 2016,
+            latency: SimTime::from_ns(440),
+            bandwidth_bps: 3_200_000_000_000,
+            mcast_groups: 2300,
+        },
+        DeviceGen {
+            year: 2018,
+            latency: SimTime::from_ns(455),
+            bandwidth_bps: 6_400_000_000_000,
+            mcast_groups: 2700,
+        },
+        DeviceGen {
+            year: 2020,
+            latency: SimTime::from_ns(470),
+            bandwidth_bps: 12_800_000_000_000,
+            mcast_groups: 3000,
+        },
+        DeviceGen {
+            year: 2022,
+            latency: SimTime::from_ns(485),
+            bandwidth_bps: 25_600_000_000_000,
+            mcast_groups: 3300,
+        },
+        DeviceGen {
+            year: 2024,
+            latency: SimTime::from_ns(500),
+            bandwidth_bps: 51_200_000_000_000,
+            mcast_groups: 3600,
+        },
+    ]
+}
+
+/// Host (one software hop) generations: kernel stacks giving way to
+/// kernel bypass; §3 cites sub-microsecond ping-pong hops today.
+pub fn host_generations() -> Vec<DeviceGen> {
+    vec![
+        DeviceGen {
+            year: 2014,
+            latency: SimTime::from_ns(3500),
+            bandwidth_bps: 10_000_000_000,
+            mcast_groups: 0,
+        },
+        DeviceGen {
+            year: 2019,
+            latency: SimTime::from_ns(1800),
+            bandwidth_bps: 25_000_000_000,
+            mcast_groups: 0,
+        },
+        DeviceGen {
+            year: 2024,
+            latency: SimTime::from_ns(900),
+            bandwidth_bps: 100_000_000_000,
+            mcast_groups: 0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_latency_rose_about_20_percent() {
+        let gens = switch_generations();
+        let first = gens.first().unwrap();
+        let last = gens.last().unwrap();
+        let growth = last.latency.as_ps() as f64 / first.latency.as_ps() as f64;
+        assert!((1.15..=1.25).contains(&growth), "latency growth {growth}");
+        assert_eq!(last.latency, SimTime::from_ns(500)); // §3's number
+    }
+
+    #[test]
+    fn bandwidth_doubles_per_generation() {
+        let gens = switch_generations();
+        for pair in gens.windows(2) {
+            let ratio = pair[1].bandwidth_bps as f64 / pair[0].bandwidth_bps as f64;
+            assert!((1.9..=2.6).contains(&ratio), "bandwidth ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn mcast_capacity_grew_80_percent_while_data_grew_500() {
+        let gens = switch_generations();
+        let growth =
+            gens.last().unwrap().mcast_groups as f64 / gens.first().unwrap().mcast_groups as f64;
+        assert!((1.75..=1.85).contains(&growth), "mcast growth {growth}");
+    }
+
+    #[test]
+    fn host_hop_fell_below_a_microsecond() {
+        let gens = host_generations();
+        assert!(gens.first().unwrap().latency > SimTime::from_us(1));
+        assert!(gens.last().unwrap().latency < SimTime::from_us(1));
+    }
+
+    #[test]
+    fn network_share_of_latency_is_rising() {
+        // The §3 punchline: switch latency up, host latency down, so the
+        // network's share of a switch+host path grows monotonically.
+        let sw = switch_generations();
+        let hosts = host_generations();
+        let share = |s: &DeviceGen, h: &DeviceGen| {
+            s.latency.as_ps() as f64 / (s.latency.as_ps() + h.latency.as_ps()) as f64
+        };
+        let early = share(&sw[0], &hosts[0]);
+        let late = share(sw.last().unwrap(), hosts.last().unwrap());
+        assert!(late > early);
+        assert!(late > 0.3, "network share today should be large: {late}");
+    }
+}

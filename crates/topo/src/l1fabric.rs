@@ -1,0 +1,340 @@
+//! Design 3: the four-network Layer-1 fabric (§4.3).
+//!
+//! "To use L1Ses in a trading system, one would essentially construct
+//! four different networks between each of: exchanges and normalizers,
+//! normalizers and strategies, strategies and gateways, and gateways and
+//! exchanges."
+//!
+//! Each network is a fan-out stage (replicate a source to its consumers)
+//! optionally followed by a merge stage (mux many circuits onto one
+//! consumer NIC). The normalizer→strategy network is where the paper's
+//! trade-off lives: every strategy takes at most `subscription_cap`
+//! normalizer feeds, merged onto its single receive interface — more
+//! subscriptions means more merge contention; fewer means coarser
+//! partitioning.
+
+use tn_sim::{NodeId, PortId, Simulator};
+use tn_switch::l1s::{L1Config, L1Switch};
+use tn_sim::SimTime;
+
+/// Configuration for the L1 trading fabric.
+#[derive(Debug, Clone)]
+pub struct L1FabricConfig {
+    /// Number of normalizer hosts.
+    pub normalizers: usize,
+    /// Number of strategy hosts.
+    pub strategies: usize,
+    /// Number of gateway hosts.
+    pub gateways: usize,
+    /// Max normalizer feeds merged onto one strategy (§4.3's cap).
+    pub subscription_cap: usize,
+    /// L1 timing for fan-out stages.
+    pub fanout: L1Config,
+    /// L1 timing for merge stages (the +50 ns path).
+    pub merge: L1Config,
+}
+
+impl Default for L1FabricConfig {
+    fn default() -> L1FabricConfig {
+        L1FabricConfig {
+            normalizers: 4,
+            strategies: 16,
+            gateways: 2,
+            subscription_cap: 2,
+            fanout: L1Config::default(),
+            merge: L1Config {
+                fanout_latency: SimTime::from_ns(6),
+                merge_latency: SimTime::from_ns(50),
+            },
+        }
+    }
+}
+
+/// Attachment points of one stage: where producers plug in and where each
+/// consumer's merged circuit comes out.
+#[derive(Debug, Clone)]
+pub struct StagePorts {
+    /// The switch node.
+    pub switch: NodeId,
+    /// Producer-facing input ports (one per producer).
+    pub inputs: Vec<PortId>,
+    /// Consumer-facing output ports (one per consumer).
+    pub outputs: Vec<PortId>,
+}
+
+/// The four networks, built.
+pub struct L1TradingFabric {
+    /// Exchange feed → normalizers (pure fan-out; every normalizer gets
+    /// the whole feed in ~6 ns).
+    pub feed_net: StagePorts,
+    /// Normalizers → strategies (fan-out per normalizer + merge per
+    /// strategy, bounded by the subscription cap). `switch` here is the
+    /// fan-out stage (producers attach to `inputs` on it); consumer
+    /// outputs live on [`L1TradingFabric::dist_merge`].
+    pub dist_net: StagePorts,
+    /// Merge stage of the distribution network (strategy outputs).
+    pub dist_merge: NodeId,
+    /// Strategies → gateways (merge per gateway).
+    pub order_net: StagePorts,
+    /// Gateways → exchange (merge onto the cross-connect).
+    pub entry_net: StagePorts,
+    /// Which normalizers each strategy is subscribed to.
+    pub subscriptions: Vec<Vec<usize>>,
+}
+
+impl L1TradingFabric {
+    /// Build all four networks inside `sim`.
+    pub fn build(sim: &mut Simulator, cfg: &L1FabricConfig) -> L1TradingFabric {
+        assert!(cfg.subscription_cap >= 1);
+        // --- Network 1: exchange -> normalizers (one input, N outputs).
+        let feed_net = {
+            let mut sw = L1Switch::new(cfg.fanout);
+            let input = PortId(0);
+            let outputs: Vec<PortId> =
+                (0..cfg.normalizers).map(|i| PortId(1 + i as u16)).collect();
+            sw.provision_fanout(input, outputs.clone());
+            let switch = sim.add_node("l1-feed", sw);
+            StagePorts { switch, inputs: vec![input], outputs }
+        };
+
+        // --- Network 2: normalizers -> strategies.
+        // Port map on one switch: inputs 0..N from normalizers; internal
+        // merge-inputs and per-strategy outputs. Normalizer i fans out to
+        // the merge inputs of its subscribers; merge input (s, k) merges
+        // onto strategy s's output port.
+        let dist_merge: NodeId;
+        let mut subscriptions: Vec<Vec<usize>> = Vec::with_capacity(cfg.strategies);
+        for s in 0..cfg.strategies {
+            // Deterministic round-robin subscription: strategy s takes
+            // `cap` consecutive normalizer feeds starting at s % N.
+            let subs: Vec<usize> = (0..cfg.subscription_cap.min(cfg.normalizers))
+                .map(|k| (s + k) % cfg.normalizers)
+                .collect();
+            subscriptions.push(subs);
+        }
+        let dist_net = {
+            // Two chained switches: a fan-out stage then a merge stage.
+            let mut fan = L1Switch::new(cfg.fanout);
+            let mut merge = L1Switch::new(cfg.merge);
+            // Fan-out switch: input i from normalizer i; output port per
+            // (strategy, slot) pair toward the merge switch.
+            let inputs: Vec<PortId> = (0..cfg.normalizers).map(|i| PortId(i as u16)).collect();
+            let slot_port = |s: usize, k: usize| {
+                PortId((cfg.normalizers + s * cfg.subscription_cap + k) as u16)
+            };
+            for (i, &input) in inputs.iter().enumerate() {
+                let mut outs = Vec::new();
+                for (s, subs) in subscriptions.iter().enumerate() {
+                    for (k, &n) in subs.iter().enumerate() {
+                        if n == i {
+                            outs.push(slot_port(s, k));
+                        }
+                    }
+                }
+                if !outs.is_empty() {
+                    fan.provision_fanout(input, outs);
+                }
+            }
+            // Merge switch: input (s, k) -> output port for strategy s.
+            let outputs: Vec<PortId> = (0..cfg.strategies)
+                .map(|s| PortId((cfg.strategies * cfg.subscription_cap + s) as u16))
+                .collect();
+            let merge_in = |s: usize, k: usize| PortId((s * cfg.subscription_cap + k) as u16);
+            for (s, subs) in subscriptions.iter().enumerate() {
+                for k in 0..subs.len() {
+                    merge.provision_merge(merge_in(s, k), outputs[s]);
+                }
+            }
+            let fan_node = sim.add_node("l1-dist-fan", fan);
+            let merge_node = sim.add_node("l1-dist-merge", merge);
+            dist_merge = merge_node;
+            // Chain the stages with zero-delay circuits.
+            for (s, subs) in subscriptions.iter().enumerate() {
+                for k in 0..subs.len() {
+                    sim.connect_directed(
+                        fan_node,
+                        slot_port(s, k),
+                        merge_node,
+                        merge_in(s, k),
+                        Box::new(tn_sim::IdealLink::new(SimTime::ZERO)),
+                    );
+                }
+            }
+            StagePorts { switch: fan_node, inputs, outputs }
+        };
+
+        // --- Network 3: strategies -> gateways (merge per gateway).
+        let order_net = {
+            let mut sw = L1Switch::new(cfg.merge);
+            let inputs: Vec<PortId> = (0..cfg.strategies).map(|i| PortId(i as u16)).collect();
+            let outputs: Vec<PortId> = (0..cfg.gateways)
+                .map(|g| PortId((cfg.strategies + g) as u16))
+                .collect();
+            for (s, &input) in inputs.iter().enumerate() {
+                let g = s % cfg.gateways;
+                sw.provision_merge(input, outputs[g]);
+            }
+            // Reverse direction: a gateway's replies fan out to all of its
+            // strategies' circuits (hosts filter by address — L1 gear
+            // cannot classify).
+            for (g, &out) in outputs.iter().enumerate() {
+                let members: Vec<PortId> = (0..cfg.strategies)
+                    .filter(|s| s % cfg.gateways == g)
+                    .map(|s| inputs[s])
+                    .collect();
+                if !members.is_empty() {
+                    sw.provision_fanout(out, members);
+                }
+            }
+            let switch = sim.add_node("l1-orders", sw);
+            StagePorts { switch, inputs, outputs }
+        };
+
+        // --- Network 4: gateways -> exchange (merge onto cross-connect).
+        let entry_net = {
+            let mut sw = L1Switch::new(cfg.merge);
+            let inputs: Vec<PortId> = (0..cfg.gateways).map(|g| PortId(g as u16)).collect();
+            let output = PortId(cfg.gateways as u16);
+            for &input in &inputs {
+                sw.provision_merge(input, output);
+            }
+            // Exchange replies fan back to every gateway circuit.
+            sw.provision_fanout(output, inputs.clone());
+            let switch = sim.add_node("l1-entry", sw);
+            StagePorts { switch, inputs, outputs: vec![output] }
+        };
+
+        L1TradingFabric {
+            feed_net,
+            dist_net,
+            dist_merge,
+            order_net,
+            entry_net,
+            subscriptions,
+        }
+    }
+
+    /// The merge-stage node of the distribution network (strategy outputs
+    /// live there).
+    pub fn dist_merge_node(&self) -> NodeId {
+        self.dist_merge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_sim::{Context, Frame, Node};
+
+    struct Sink {
+        got: Vec<SimTime>,
+    }
+    impl Node for Sink {
+        fn on_frame(&mut self, ctx: &mut Context<'_>, _p: PortId, _f: Frame) {
+            self.got.push(ctx.now());
+        }
+    }
+
+    #[test]
+    fn feed_net_fans_out_to_all_normalizers() {
+        let mut sim = Simulator::new(1);
+        let cfg = L1FabricConfig { normalizers: 3, ..L1FabricConfig::default() };
+        let fabric = L1TradingFabric::build(&mut sim, &cfg);
+        let mut sinks = Vec::new();
+        for (i, &out) in fabric.feed_net.outputs.iter().enumerate() {
+            let s = sim.add_node(format!("n{i}"), Sink { got: vec![] });
+            sim.connect(fabric.feed_net.switch, out, s, PortId(0), tn_sim::IdealLink::new(SimTime::ZERO));
+            sinks.push(s);
+        }
+        let f = sim.new_frame(vec![0; 100]);
+        sim.inject_frame(SimTime::ZERO, fabric.feed_net.switch, fabric.feed_net.inputs[0], f);
+        sim.run();
+        for s in sinks {
+            let got = &sim.node::<Sink>(s).unwrap().got;
+            assert_eq!(got, &vec![SimTime::from_ns(6)]);
+        }
+    }
+
+    #[test]
+    fn dist_net_respects_subscription_cap() {
+        let mut sim = Simulator::new(1);
+        let cfg = L1FabricConfig {
+            normalizers: 4,
+            strategies: 4,
+            subscription_cap: 2,
+            ..L1FabricConfig::default()
+        };
+        let fabric = L1TradingFabric::build(&mut sim, &cfg);
+        for subs in &fabric.subscriptions {
+            assert_eq!(subs.len(), 2);
+        }
+        // Strategy 0 subscribes to normalizers 0 and 1.
+        assert_eq!(fabric.subscriptions[0], vec![0, 1]);
+        // Attach a sink to strategy 0's merged output.
+        let merge_node = fabric.dist_merge_node();
+        let s0 = sim.add_node("s0", Sink { got: vec![] });
+        sim.connect(
+            merge_node,
+            fabric.dist_net.outputs[0],
+            s0,
+            PortId(0),
+            tn_sim::IdealLink::new(SimTime::ZERO),
+        );
+        // Frames from normalizer 0 and 1 reach it; normalizer 2's don't.
+        for n in 0..3u16 {
+            let f = sim.new_frame(vec![n as u8; 64]);
+            sim.inject_frame(SimTime::ZERO, fabric.dist_net.switch, PortId(n), f);
+        }
+        sim.run();
+        let got = &sim.node::<Sink>(s0).unwrap().got;
+        assert_eq!(got.len(), 2);
+        // Path: fan-out 6 ns + merge 50 ns.
+        assert_eq!(got[0], SimTime::from_ns(56));
+    }
+
+    #[test]
+    fn order_nets_merge_onto_gateways_and_exchange() {
+        let mut sim = Simulator::new(1);
+        let cfg = L1FabricConfig {
+            strategies: 4,
+            gateways: 2,
+            ..L1FabricConfig::default()
+        };
+        let fabric = L1TradingFabric::build(&mut sim, &cfg);
+        let g0 = sim.add_node("g0", Sink { got: vec![] });
+        let g1 = sim.add_node("g1", Sink { got: vec![] });
+        sim.connect(fabric.order_net.switch, fabric.order_net.outputs[0], g0, PortId(0), tn_sim::IdealLink::new(SimTime::ZERO));
+        sim.connect(fabric.order_net.switch, fabric.order_net.outputs[1], g1, PortId(0), tn_sim::IdealLink::new(SimTime::ZERO));
+        // Strategies 0..3 send one order each; 0,2 -> gw0; 1,3 -> gw1.
+        for s in 0..4u16 {
+            let f = sim.new_frame(vec![0; 64]);
+            sim.inject_frame(SimTime::ZERO, fabric.order_net.switch, PortId(s), f);
+        }
+        sim.run();
+        assert_eq!(sim.node::<Sink>(g0).unwrap().got.len(), 2);
+        assert_eq!(sim.node::<Sink>(g1).unwrap().got.len(), 2);
+
+        // Entry net: both gateways merge onto one cross-connect.
+        let x = sim.add_node("x", Sink { got: vec![] });
+        sim.connect(fabric.entry_net.switch, fabric.entry_net.outputs[0], x, PortId(0), tn_sim::IdealLink::new(SimTime::ZERO));
+        let t = sim.now();
+        for g in 0..2u16 {
+            let f = sim.new_frame(vec![0; 64]);
+            sim.inject_frame(t, fabric.entry_net.switch, PortId(g), f);
+        }
+        sim.run();
+        assert_eq!(sim.node::<Sink>(x).unwrap().got.len(), 2);
+    }
+
+    #[test]
+    fn network_latency_is_two_orders_below_commodity() {
+        // End-to-end L1 path: 6 (feed) + 6+50 (dist) = 62 ns of switching
+        // versus 3 commodity hops = 1500 ns for the same topology depth.
+        let l1_path = 6u64 + 56;
+        let commodity_path = 3 * 500u64;
+        assert!(commodity_path / l1_path >= 20);
+        // Single fan-out hop comparison: 6 vs 500 ns ≈ two orders.
+        let per_hop_ratio = L1Config::default().fanout_latency.as_ps();
+        assert!(SimTime::from_ns(500).as_ps() / per_hop_ratio >= 80);
+    }
+}

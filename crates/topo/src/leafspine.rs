@@ -1,0 +1,373 @@
+//! Design 1: commodity leaf-and-spine (§4.1).
+//!
+//! A standard two-tier Clos: every rack's ToR (leaf) uplinks to every
+//! spine; one leaf is *dedicated to exchange connectivity* so that every
+//! host is equidistant from the exchange and policy can be enforced at
+//! one choke point, exactly as §4.1 describes.
+//!
+//! Unicast routing is host-granular: leaves know their local hosts and
+//! default-route (ECMP over all spines) everything else; spines know
+//! which leaf owns every host. Multicast is rendezvous-rooted at spine 0:
+//! joins propagate leaf → spine 0, and data is always hauled to the
+//! rendezvous, then down the member tree.
+//!
+//! §4.1's hop arithmetic emerges directly: a frame from an exchange-ToR
+//! host to a host in another rack crosses leaf → spine → leaf = 3 switch
+//! hops one way; the paper's normalizer → strategy → gateway round trip
+//! (exchange → … → exchange) is 4 such legs = 12 switch hops.
+
+use tn_netdev::EtherLink;
+use tn_sim::{NodeId, PortId, SimTime, Simulator};
+use tn_switch::{CommoditySwitch, SwitchConfig};
+use tn_wire::ipv4;
+
+/// Configuration for the leaf-spine fabric.
+#[derive(Debug, Clone)]
+pub struct LeafSpineConfig {
+    /// Number of server racks (excluding the dedicated exchange ToR).
+    pub racks: usize,
+    /// Host ports per rack.
+    pub hosts_per_rack: usize,
+    /// Number of spines.
+    pub spines: usize,
+    /// Ports on the exchange ToR reserved for exchange cross-connects.
+    pub exchange_ports: usize,
+    /// Per-switch parameters (latency, mcast table, fallback).
+    pub switch: SwitchConfig,
+    /// Host access link rate (bits/sec); §2's cross-connects are 10G.
+    pub host_link_bps: u64,
+    /// Fabric (leaf-spine) link rate.
+    pub fabric_link_bps: u64,
+    /// Propagation on in-building links.
+    pub link_propagation: SimTime,
+}
+
+impl Default for LeafSpineConfig {
+    /// The paper's scale target: ~1000 servers. 32 racks x 32 hosts with
+    /// 4 spines gives 1024 host ports.
+    fn default() -> LeafSpineConfig {
+        LeafSpineConfig {
+            racks: 32,
+            hosts_per_rack: 32,
+            spines: 4,
+            exchange_ports: 4,
+            switch: SwitchConfig::default(),
+            host_link_bps: 10_000_000_000,
+            fabric_link_bps: 100_000_000_000,
+            link_propagation: SimTime::from_ns(25), // ~5 m of fiber
+        }
+    }
+}
+
+/// A built fabric: switch node ids and host attachment points.
+pub struct LeafSpine {
+    /// The dedicated exchange ToR.
+    pub exchange_tor: NodeId,
+    /// Server-rack leaves.
+    pub leaves: Vec<NodeId>,
+    /// Spines (index 0 is the multicast rendezvous).
+    pub spines: Vec<NodeId>,
+    /// Free host attachment points as `(leaf, port)`, rack-major order.
+    pub host_ports: Vec<(NodeId, PortId)>,
+    /// Exchange attachment points on the exchange ToR.
+    pub exchange_attach: Vec<(NodeId, PortId)>,
+    cfg: LeafSpineConfig,
+    next_in_rack: Vec<usize>,
+}
+
+impl LeafSpine {
+    /// Build the fabric inside `sim`.
+    pub fn build(sim: &mut Simulator, cfg: LeafSpineConfig) -> LeafSpine {
+        assert!(cfg.racks >= 1 && cfg.spines >= 1 && cfg.hosts_per_rack >= 1);
+        let uplink_base = |host_ports: usize| host_ports as u16;
+
+        // Spines first. Spine ports: one per leaf (including exchange ToR).
+        let total_leaves = cfg.racks + 1;
+        let mut spines = Vec::new();
+        for s in 0..cfg.spines {
+            let mut sw_cfg = cfg.switch.clone();
+            sw_cfg.mcast_upstream = None; // spine 0 is the rendezvous root
+            let node = sim.add_node(format!("spine{s}"), CommoditySwitch::new(sw_cfg));
+            spines.push(node);
+        }
+
+        // Exchange ToR: ports 0..exchange_ports face exchanges, then
+        // uplinks to each spine.
+        let mut tor_cfg = cfg.switch.clone();
+        tor_cfg.mcast_upstream = Some(PortId(uplink_base(cfg.exchange_ports)));
+        let exchange_tor = sim.add_node("exchange-tor", CommoditySwitch::new(tor_cfg));
+
+        // Server leaves: ports 0..hosts_per_rack face hosts, then uplinks.
+        let mut leaves = Vec::new();
+        for r in 0..cfg.racks {
+            let mut leaf_cfg = cfg.switch.clone();
+            leaf_cfg.mcast_upstream = Some(PortId(uplink_base(cfg.hosts_per_rack)));
+            let node = sim.add_node(format!("leaf{r}"), CommoditySwitch::new(leaf_cfg));
+            leaves.push(node);
+        }
+
+        // Wire uplinks: leaf port (base + s) <-> spine port (leaf index).
+        // Leaf index on spines: 0 = exchange ToR, 1.. = racks.
+        let fabric_link = || EtherLink::new(cfg.fabric_link_bps, cfg.link_propagation);
+        for (s, &spine) in spines.iter().enumerate() {
+            sim.connect(
+                exchange_tor,
+                PortId(uplink_base(cfg.exchange_ports) + s as u16),
+                spine,
+                PortId(0),
+                fabric_link(),
+            );
+            for (r, &leaf) in leaves.iter().enumerate() {
+                sim.connect(
+                    leaf,
+                    PortId(uplink_base(cfg.hosts_per_rack) + s as u16),
+                    spine,
+                    PortId(1 + r as u16),
+                    fabric_link(),
+                );
+            }
+        }
+        let _ = total_leaves;
+
+        let host_ports = leaves
+            .iter()
+            .flat_map(|&leaf| (0..cfg.hosts_per_rack).map(move |p| (leaf, PortId(p as u16))))
+            .collect();
+        let exchange_attach =
+            (0..cfg.exchange_ports).map(|p| (exchange_tor, PortId(p as u16))).collect();
+
+        let racks = cfg.racks;
+        LeafSpine {
+            exchange_tor,
+            leaves,
+            spines,
+            host_ports,
+            exchange_attach,
+            cfg,
+            next_in_rack: vec![0; racks],
+        }
+    }
+
+    /// Total host attachment capacity.
+    pub fn host_capacity(&self) -> usize {
+        self.host_ports.len()
+    }
+
+    /// The access link profile for attaching hosts.
+    pub fn host_link(&self) -> EtherLink {
+        EtherLink::new(self.cfg.host_link_bps, self.cfg.link_propagation)
+    }
+
+    /// Claim the next free host port anywhere (rack-major order).
+    pub fn take_host_port(&mut self) -> (NodeId, PortId) {
+        for rack in 0..self.cfg.racks {
+            if self.next_in_rack[rack] < self.cfg.hosts_per_rack {
+                return self.take_host_port_in_rack(rack);
+            }
+        }
+        panic!("fabric is full");
+    }
+
+    /// Claim the next free host port in a specific rack (panics when the
+    /// rack is full) — functions are grouped by rack, per §4.1.
+    pub fn take_host_port_in_rack(&mut self, rack: usize) -> (NodeId, PortId) {
+        let next = self.next_in_rack[rack];
+        assert!(next < self.cfg.hosts_per_rack, "rack {rack} is full");
+        self.next_in_rack[rack] = next + 1;
+        (self.leaves[rack], PortId(next as u16))
+    }
+
+    /// Install unicast routes for a host with address `addr` attached at
+    /// `(leaf, port)`. Call after attaching each host.
+    pub fn install_host_routes(
+        &self,
+        sim: &mut Simulator,
+        leaf: NodeId,
+        port: PortId,
+        addr: ipv4::Addr,
+    ) {
+        // The owning leaf delivers locally.
+        sim.node_mut::<CommoditySwitch>(leaf)
+            .expect("leaf is a commodity switch")
+            .add_route(addr, vec![port]);
+        // Every spine routes toward the owning leaf.
+        let leaf_index = if leaf == self.exchange_tor {
+            0u16
+        } else {
+            1 + self
+                .leaves
+                .iter()
+                .position(|&l| l == leaf)
+                .expect("leaf belongs to this fabric") as u16
+        };
+        for &spine in &self.spines {
+            sim.node_mut::<CommoditySwitch>(spine)
+                .expect("spine is a commodity switch")
+                .add_route(addr, vec![PortId(leaf_index)]);
+        }
+        // All other leaves (and the exchange ToR) default-route up; make
+        // sure defaults exist (idempotent).
+        let uplinks_tor: Vec<PortId> = (0..self.cfg.spines)
+            .map(|s| PortId((self.cfg.exchange_ports + s) as u16))
+            .collect();
+        sim.node_mut::<CommoditySwitch>(self.exchange_tor)
+            .expect("tor")
+            .set_default_route(uplinks_tor);
+        for &l in &self.leaves {
+            let uplinks: Vec<PortId> = (0..self.cfg.spines)
+                .map(|s| PortId((self.cfg.hosts_per_rack + s) as u16))
+                .collect();
+            sim.node_mut::<CommoditySwitch>(l).expect("leaf").set_default_route(uplinks);
+        }
+    }
+
+    /// Switch hops between two attachment points (for latency budgets):
+    /// same leaf = 1, different leaves = 3 (leaf, spine, leaf).
+    pub fn switch_hops(&self, a_leaf: NodeId, b_leaf: NodeId) -> usize {
+        if a_leaf == b_leaf {
+            1
+        } else {
+            3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_sim::{Context, Frame, Node};
+    use tn_wire::{eth, stack};
+
+    struct Sink {
+        got: Vec<(SimTime, Vec<u8>)>,
+    }
+    impl Node for Sink {
+        fn on_frame(&mut self, ctx: &mut Context<'_>, _p: PortId, f: Frame) {
+            self.got.push((ctx.now(), f.bytes));
+        }
+    }
+
+    fn small_cfg() -> LeafSpineConfig {
+        LeafSpineConfig {
+            racks: 3,
+            hosts_per_rack: 2,
+            spines: 2,
+            exchange_ports: 1,
+            ..LeafSpineConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_scale_hits_1000_servers() {
+        // §4: "support a network of roughly 1,000 servers".
+        let mut sim = Simulator::new(1);
+        let fabric = LeafSpine::build(&mut sim, LeafSpineConfig::default());
+        assert!(fabric.host_capacity() >= 1000);
+        assert_eq!(fabric.leaves.len(), 32);
+        assert_eq!(fabric.spines.len(), 4);
+    }
+
+    #[test]
+    fn unicast_crosses_three_switches() {
+        let mut sim = Simulator::new(1);
+        let mut fabric = LeafSpine::build(&mut sim, small_cfg());
+        // Host A in rack 0, host B in rack 1.
+        let (leaf_a, port_a) = fabric.take_host_port();
+        let (leaf_b, port_b) = {
+            // skip to rack 1's first port
+            fabric.take_host_port();
+            fabric.take_host_port()
+        };
+        assert_ne!(leaf_a, leaf_b);
+        let a = sim.add_node("a", Sink { got: vec![] });
+        let b = sim.add_node("b", Sink { got: vec![] });
+        sim.connect(leaf_a, port_a, a, PortId(0), fabric.host_link());
+        sim.connect(leaf_b, port_b, b, PortId(0), fabric.host_link());
+        let addr_a = ipv4::Addr::host(1);
+        let addr_b = ipv4::Addr::host(2);
+        fabric.install_host_routes(&mut sim, leaf_a, port_a, addr_a);
+        fabric.install_host_routes(&mut sim, leaf_b, port_b, addr_b);
+
+        let frame = stack::build_udp(
+            eth::MacAddr::host(1),
+            Some(eth::MacAddr::host(2)),
+            addr_a,
+            addr_b,
+            1,
+            2,
+            &[0u8; 58],
+        );
+        let f = sim.new_frame(frame);
+        sim.inject_frame(SimTime::ZERO, leaf_a, port_a, f);
+        sim.run();
+        let got = &sim.node::<Sink>(b).unwrap().got;
+        assert_eq!(got.len(), 1);
+        // 3 switch hops at 500 ns each dominate; plus 2 fabric links + 1
+        // host link of serialization/propagation.
+        let t = got[0].0;
+        assert!(t >= SimTime::from_ns(1500), "{t}");
+        assert!(t < SimTime::from_ns(2200), "{t}");
+        assert!(sim.node::<Sink>(a).unwrap().got.is_empty());
+    }
+
+    #[test]
+    fn multicast_reaches_joined_hosts_across_racks() {
+        let mut sim = Simulator::new(1);
+        let mut fabric = LeafSpine::build(&mut sim, small_cfg());
+        let group = ipv4::Addr::multicast_group(7);
+        // Receiver in rack 2, source at the exchange ToR.
+        let (leaf_r, port_r) = {
+            for _ in 0..4 {
+                fabric.take_host_port();
+            }
+            fabric.take_host_port()
+        };
+        let r = sim.add_node("r", Sink { got: vec![] });
+        sim.connect(leaf_r, port_r, r, PortId(0), fabric.host_link());
+        let (tor, xport) = fabric.exchange_attach[0];
+        let src = sim.add_node("exch", Sink { got: vec![] });
+        sim.connect(tor, xport, src, PortId(0), fabric.host_link());
+
+        // Join from the receiver.
+        let join = tn_switch::commodity::igmp_frame(
+            tn_wire::igmp::MessageType::Report,
+            eth::MacAddr::host(9),
+            ipv4::Addr::host(9),
+            group,
+        );
+        let f = sim.new_frame(join);
+        sim.inject_frame(SimTime::ZERO, leaf_r, port_r, f);
+        sim.run();
+
+        // Feed data from the exchange port.
+        let data = stack::build_udp(
+            eth::MacAddr::host(1),
+            None,
+            ipv4::Addr::new(10, 200, 1, 1),
+            group,
+            30_001,
+            30_001,
+            &[0xAB; 100],
+        );
+        let f = sim.new_frame(data);
+        let t0 = sim.now();
+        sim.inject_frame(t0, tor, xport, f);
+        sim.run();
+        let got = &sim.node::<Sink>(r).unwrap().got;
+        assert_eq!(got.len(), 1, "receiver should get exactly one copy");
+        // ToR -> spine0 -> leaf -> host: 3 switch hops ≈ 1.5 us+.
+        let dt = got[0].0 - t0;
+        assert!(dt >= SimTime::from_ns(1500), "{dt}");
+        // Non-joined host (the source sink) sees nothing back.
+        assert!(sim.node::<Sink>(src).unwrap().got.is_empty());
+    }
+
+    #[test]
+    fn hop_count_model() {
+        let mut sim = Simulator::new(1);
+        let fabric = LeafSpine::build(&mut sim, small_cfg());
+        assert_eq!(fabric.switch_hops(fabric.leaves[0], fabric.leaves[0]), 1);
+        assert_eq!(fabric.switch_hops(fabric.leaves[0], fabric.leaves[1]), 3);
+        assert_eq!(fabric.switch_hops(fabric.exchange_tor, fabric.leaves[2]), 3);
+    }
+}

@@ -1,0 +1,192 @@
+//! Filtering-placement analysis (§3 "Implications for trading systems").
+//!
+//! "A key design choice is where to filter out the market data that will
+//! not be used by a partition... if the combined time spent discarding
+//! data and the time spent processing data is larger than the arrival
+//! rate, then filtering should happen outside the trading system — either
+//! on another core on the same server or on a middlebox. When several
+//! systems employ the same partitioning scheme, middleboxes can be more
+//! efficient in terms of the number of cores used."
+//!
+//! This module is that arithmetic as code: given an aggregate event rate,
+//! the fraction each consumer wants, per-event discard/process costs, and
+//! a consumer count, it reports the core budget of each placement and
+//! which placements are even feasible (a single core must keep up with
+//! whatever stream reaches it).
+
+use tn_sim::SimTime;
+
+/// Where the partition filter runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterPlacement {
+    /// The strategy process inspects and discards unwanted events itself.
+    InProcess,
+    /// A dedicated core on the same server filters; the strategy core
+    /// sees only wanted events.
+    DedicatedCore,
+    /// A shared middlebox filters once for all consumers with the same
+    /// scheme and multicasts the filtered partitions.
+    Middlebox,
+}
+
+/// The cost of a placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementCost {
+    /// Total cores consumed across the system (fractional: utilization).
+    pub cores: f64,
+    /// Whether every single core stays under 100% utilization — if not,
+    /// the placement cannot keep up regardless of core count (a single
+    /// consumer core cannot be split).
+    pub feasible: bool,
+    /// Utilization of the busiest single core.
+    pub peak_core_utilization: f64,
+}
+
+/// Workload and cost parameters for the placement analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct FilterWorkload {
+    /// Aggregate event arrival rate (events/second) on the full feed.
+    pub event_rate: f64,
+    /// Fraction of events each consumer actually wants.
+    pub wanted_fraction: f64,
+    /// Cost to inspect-and-discard one event.
+    pub discard_cost: SimTime,
+    /// Cost to fully process one wanted event.
+    pub process_cost: SimTime,
+    /// Number of consumers sharing the partitioning scheme.
+    pub consumers: u32,
+}
+
+impl FilterWorkload {
+    /// Evaluate one placement.
+    pub fn cost(&self, placement: FilterPlacement) -> PlacementCost {
+        let rate = self.event_rate;
+        let w = self.wanted_fraction.clamp(0.0, 1.0);
+        let n = f64::from(self.consumers);
+        let t_d = self.discard_cost.as_secs_f64();
+        let t_p = self.process_cost.as_secs_f64();
+        // Utilization of one consumer core that both filters and processes.
+        let u_inproc = rate * ((1.0 - w) * t_d + w * t_p);
+        // Utilization of a pure filter core seeing the full feed.
+        let u_filter = rate * t_d;
+        // Utilization of a strategy core seeing only wanted events.
+        let u_strategy = rate * w * t_p;
+        match placement {
+            FilterPlacement::InProcess => PlacementCost {
+                cores: n * u_inproc,
+                feasible: u_inproc < 1.0,
+                peak_core_utilization: u_inproc,
+            },
+            FilterPlacement::DedicatedCore => PlacementCost {
+                cores: n * (u_filter + u_strategy),
+                feasible: u_filter < 1.0 && u_strategy < 1.0,
+                peak_core_utilization: u_filter.max(u_strategy),
+            },
+            FilterPlacement::Middlebox => PlacementCost {
+                // One filter pass for everyone, then n strategy cores.
+                cores: u_filter + n * u_strategy,
+                feasible: u_filter < 1.0 && u_strategy < 1.0,
+                peak_core_utilization: u_filter.max(u_strategy),
+            },
+        }
+    }
+
+    /// The cheapest *feasible* placement.
+    pub fn best(&self) -> (FilterPlacement, PlacementCost) {
+        [FilterPlacement::InProcess, FilterPlacement::DedicatedCore, FilterPlacement::Middlebox]
+            .into_iter()
+            .map(|p| (p, self.cost(p)))
+            .filter(|(_, c)| c.feasible)
+            .min_by(|a, b| a.1.cores.partial_cmp(&b.1.cores).expect("finite"))
+            .unwrap_or((
+                FilterPlacement::Middlebox,
+                self.cost(FilterPlacement::Middlebox),
+            ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> FilterWorkload {
+        FilterWorkload {
+            event_rate: 1_000_000.0, // 1M events/sec aggregate
+            wanted_fraction: 0.05,
+            discard_cost: SimTime::from_ns(100),
+            process_cost: SimTime::from_us(2),
+            consumers: 20,
+        }
+    }
+
+    #[test]
+    fn middlebox_amortizes_filtering_across_consumers() {
+        let w = base();
+        let inproc = w.cost(FilterPlacement::InProcess);
+        let mid = w.cost(FilterPlacement::Middlebox);
+        // In-process: every consumer burns discard time on 95% of 1M eps.
+        // Middlebox: one filter core total.
+        assert!(mid.cores < inproc.cores);
+        let (best, _) = w.best();
+        assert_eq!(best, FilterPlacement::Middlebox);
+    }
+
+    #[test]
+    fn single_consumer_prefers_in_process() {
+        // With one consumer there is nothing to amortize, and the
+        // standalone filter is strictly worse: it pays the discard-scan
+        // cost on *wanted* events too before handing them over.
+        let w = FilterWorkload { consumers: 1, ..base() };
+        let inproc = w.cost(FilterPlacement::InProcess).cores;
+        let mid = w.cost(FilterPlacement::Middlebox).cores;
+        assert!(inproc < mid, "inproc {inproc} vs middlebox {mid}");
+        assert_eq!(w.best().0, FilterPlacement::InProcess);
+    }
+
+    #[test]
+    fn overload_makes_in_process_infeasible() {
+        // §3's 100 ns/event peak budget: at 10M events/sec even pure
+        // discarding at 100 ns/event saturates a core (utilization 1.0),
+        // and any processing pushes it over.
+        let w = FilterWorkload {
+            event_rate: 10_000_000.0,
+            wanted_fraction: 0.01,
+            discard_cost: SimTime::from_ns(100),
+            process_cost: SimTime::from_us(2),
+            consumers: 10,
+        };
+        let inproc = w.cost(FilterPlacement::InProcess);
+        assert!(!inproc.feasible, "utilization {}", inproc.peak_core_utilization);
+        // A faster (hardware-ish) filter restores feasibility.
+        let w2 = FilterWorkload { discard_cost: SimTime::from_ns(40), ..w };
+        let ded = w2.cost(FilterPlacement::DedicatedCore);
+        assert!(ded.feasible);
+    }
+
+    #[test]
+    fn crossover_with_consumer_count() {
+        // The middlebox advantage grows linearly with consumers.
+        let few = FilterWorkload { consumers: 2, ..base() };
+        let many = FilterWorkload { consumers: 200, ..base() };
+        let gain_few = few.cost(FilterPlacement::InProcess).cores
+            - few.cost(FilterPlacement::Middlebox).cores;
+        let gain_many = many.cost(FilterPlacement::InProcess).cores
+            - many.cost(FilterPlacement::Middlebox).cores;
+        assert!(gain_many > gain_few * 50.0);
+    }
+
+    #[test]
+    fn wanted_fraction_one_makes_filtering_pointless() {
+        // Everything is wanted: any filtering stage is pure overhead.
+        let w = FilterWorkload {
+            wanted_fraction: 1.0,
+            process_cost: SimTime::from_ns(500),
+            ..base()
+        };
+        let inproc = w.cost(FilterPlacement::InProcess);
+        let mid = w.cost(FilterPlacement::Middlebox);
+        assert!(inproc.feasible);
+        assert!(mid.cores > inproc.cores);
+        assert_eq!(w.best().0, FilterPlacement::InProcess);
+    }
+}

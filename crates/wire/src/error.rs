@@ -1,0 +1,45 @@
+//! Error type shared by all codecs.
+
+use std::fmt;
+
+/// Errors surfaced while parsing or emitting wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the format requires.
+    Truncated,
+    /// A length field disagrees with the buffer (e.g. an IPv4 total length
+    /// longer than the frame, a PITCH message length of zero).
+    BadLength,
+    /// A field holds a value the codec cannot interpret (unknown version,
+    /// unknown message type, invalid enum discriminant).
+    BadField,
+    /// A checksum failed verification.
+    BadChecksum,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::BadLength => write!(f, "inconsistent length field"),
+            WireError::BadField => write!(f, "malformed field"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for codec operations.
+pub type Result<T> = std::result::Result<T, WireError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(WireError::Truncated.to_string(), "buffer truncated");
+        assert_eq!(WireError::BadChecksum.to_string(), "checksum mismatch");
+    }
+}

@@ -1,0 +1,38 @@
+//! # tn-wire — wire formats for trading networks
+//!
+//! Zero-copy, allocation-free codecs for every byte that crosses a link in
+//! the `trading-networks` simulator:
+//!
+//! * Standard stack headers: [`eth`] (Ethernet II), [`ipv4`], [`udp`],
+//!   [`tcp`], [`igmp`] (group management).
+//! * Market-data feed: [`pitch`], a sequenced multicast depth-of-book
+//!   protocol modeled on Cboe PITCH — packed binary messages behind a
+//!   sequenced unit header, matching the message sizes the paper quotes
+//!   (26-byte add order, 14-byte delete).
+//! * Order entry: [`boe`], a binary order-entry protocol modeled on Cboe
+//!   BOE, carried over long-lived TCP sessions.
+//! * Internal formats: [`norm`], the trading firm's fixed-size normalized
+//!   market-data message, and [`l1t`], a minimal custom transport for
+//!   Layer-1 switched fabrics (§5 "Protocols" direction of the paper).
+//!
+//! The idiom throughout is smoltcp's: a `Packet<T: AsRef<[u8]>>` view type
+//! with `new_checked` length validation, field accessors that never
+//! allocate, and `set_` mutators on `AsMut<[u8]>` buffers. Builders emit
+//! into caller-provided or fresh `Vec<u8>`s.
+
+pub mod boe;
+mod bytes;
+mod error;
+pub mod eth;
+pub mod igmp;
+pub mod ipv4;
+pub mod l1t;
+pub mod norm;
+pub mod pitch;
+pub mod stack;
+pub mod symbol;
+pub mod tcp;
+pub mod udp;
+
+pub use error::{Result, WireError};
+pub use symbol::Symbol;

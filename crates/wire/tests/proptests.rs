@@ -1,0 +1,255 @@
+//! Property-based tests: every codec must roundtrip arbitrary valid
+//! values, and parsers must never panic on arbitrary bytes.
+
+use proptest::prelude::*;
+
+use tn_wire::pitch::{self, Side};
+use tn_wire::{boe, ipv4, l1t, norm, stack, tcp, udp, Symbol};
+
+fn arb_symbol() -> impl Strategy<Value = Symbol> {
+    proptest::string::string_regex("[A-Z]{1,6}")
+        .unwrap()
+        .prop_map(|s| Symbol::new(&s).unwrap())
+}
+
+fn arb_side() -> impl Strategy<Value = Side> {
+    prop_oneof![Just(Side::Buy), Just(Side::Sell)]
+}
+
+fn arb_pitch_message() -> impl Strategy<Value = pitch::Message> {
+    prop_oneof![
+        any::<u32>().prop_map(|seconds| pitch::Message::Time { seconds }),
+        (any::<u32>(), any::<u64>(), arb_side(), any::<u32>(), arb_symbol(), 0u64..100_000_000)
+            .prop_map(|(offset_ns, order_id, side, qty, symbol, price)| {
+                pitch::Message::AddOrder { offset_ns, order_id, side, qty, symbol, price }
+            }),
+        (any::<u32>(), any::<u64>(), any::<u32>(), any::<u64>()).prop_map(
+            |(offset_ns, order_id, qty, exec_id)| pitch::Message::OrderExecuted {
+                offset_ns,
+                order_id,
+                qty,
+                exec_id
+            }
+        ),
+        (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(offset_ns, order_id, qty)| {
+            pitch::Message::ReduceSize { offset_ns, order_id, qty }
+        }),
+        (any::<u32>(), any::<u64>(), any::<u32>(), 0u64..100_000_000).prop_map(
+            |(offset_ns, order_id, qty, price)| pitch::Message::ModifyOrder {
+                offset_ns,
+                order_id,
+                qty,
+                price
+            }
+        ),
+        (any::<u32>(), any::<u64>()).prop_map(|(offset_ns, order_id)| {
+            pitch::Message::DeleteOrder { offset_ns, order_id }
+        }),
+        (any::<u32>(), any::<u64>(), arb_side(), any::<u32>(), arb_symbol(), 0u64..100_000_000,
+         any::<u64>())
+            .prop_map(|(offset_ns, order_id, side, qty, symbol, price, exec_id)| {
+                pitch::Message::Trade { offset_ns, order_id, side, qty, symbol, price, exec_id }
+            }),
+        (any::<u32>(), arb_symbol(), prop_oneof![Just(b'T'), Just(b'H')]).prop_map(
+            |(offset_ns, symbol, status)| pitch::Message::TradingStatus {
+                offset_ns,
+                symbol,
+                status
+            }
+        ),
+    ]
+}
+
+fn arb_boe_message() -> impl Strategy<Value = boe::Message> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(session, token)| boe::Message::Login { session, token }),
+        Just(boe::Message::Heartbeat),
+        (any::<u64>(), arb_side(), any::<u32>(), arb_symbol(), any::<u64>()).prop_map(
+            |(cl_ord_id, side, qty, symbol, price)| boe::Message::NewOrder {
+                cl_ord_id,
+                side,
+                qty,
+                symbol,
+                price
+            }
+        ),
+        any::<u64>().prop_map(|cl_ord_id| boe::Message::CancelOrder { cl_ord_id }),
+        (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(cl_ord_id, qty, price)| {
+            boe::Message::ModifyOrder { cl_ord_id, qty, price }
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(cl_ord_id, exch_ord_id)| {
+            boe::Message::OrderAck { cl_ord_id, exch_ord_id }
+        }),
+        (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<u32>()).prop_map(
+            |(cl_ord_id, exec_id, qty, price, leaves)| boe::Message::Fill {
+                cl_ord_id,
+                exec_id,
+                qty,
+                price,
+                leaves
+            }
+        ),
+        any::<u64>().prop_map(|cl_ord_id| boe::Message::CancelAck { cl_ord_id }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn pitch_message_roundtrip(msg in arb_pitch_message()) {
+        let mut buf = Vec::new();
+        msg.emit(&mut buf);
+        prop_assert_eq!(buf.len(), msg.wire_len());
+        let (parsed, used) = pitch::Message::parse(&buf).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn pitch_packet_roundtrip(msgs in proptest::collection::vec(arb_pitch_message(), 1..40),
+                              unit in any::<u8>(), first_seq in any::<u32>()) {
+        let mut pb = pitch::PacketBuilder::new(unit, first_seq, 1400);
+        let mut packets = Vec::new();
+        for m in &msgs {
+            if let Some(p) = pb.push(m) {
+                packets.push(p);
+            }
+        }
+        packets.extend(pb.flush());
+        let mut decoded = Vec::new();
+        let mut seq = first_seq;
+        for p in &packets {
+            let pkt = pitch::Packet::new_checked(&p[..]).unwrap();
+            prop_assert_eq!(pkt.unit(), unit);
+            prop_assert_eq!(pkt.sequence(), seq);
+            seq = seq.wrapping_add(u32::from(pkt.count()));
+            for m in pkt.messages() {
+                decoded.push(m.unwrap());
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn pitch_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = pitch::Message::parse(&bytes);
+        if let Ok(pkt) = pitch::Packet::new_checked(&bytes[..]) {
+            for m in pkt.messages() {
+                let _ = m;
+            }
+        }
+    }
+
+    #[test]
+    fn boe_message_roundtrip(msg in arb_boe_message(), seq in any::<u32>()) {
+        let mut buf = Vec::new();
+        msg.emit(seq, &mut buf);
+        prop_assert_eq!(buf.len(), msg.wire_len());
+        let (parsed, got_seq, used) = boe::Message::parse(&buf).unwrap();
+        prop_assert_eq!(parsed, msg);
+        prop_assert_eq!(got_seq, seq);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn boe_decoder_handles_any_segmentation(
+        msgs in proptest::collection::vec(arb_boe_message(), 1..20),
+        cut in 1usize..17,
+    ) {
+        let mut stream = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            m.emit(i as u32, &mut stream);
+        }
+        let mut dec = boe::Decoder::new();
+        let mut out = Vec::new();
+        for chunk in stream.chunks(cut) {
+            dec.push(chunk);
+            while let Some((m, _)) = dec.next_message().unwrap() {
+                out.push(m);
+            }
+        }
+        prop_assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn boe_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = boe::Message::parse(&bytes);
+    }
+
+    #[test]
+    fn norm_record_roundtrip(
+        kind in 1u8..=4, exchange in any::<u8>(), side in any::<u8>(),
+        symbol_id in any::<u32>(), price in any::<i64>(), size in any::<u32>(),
+        aux in any::<u32>(), src_time_ns in any::<u64>(),
+    ) {
+        let kind = match kind {
+            1 => norm::Kind::Bbo,
+            2 => norm::Kind::Trade,
+            3 => norm::Kind::Status,
+            _ => norm::Kind::BookDelta,
+        };
+        let r = norm::Record {
+            kind, exchange, side, flags: 0, symbol_id, price, size, aux, src_time_ns,
+        };
+        let mut buf = Vec::new();
+        r.emit(&mut buf);
+        prop_assert_eq!(norm::Record::parse(&buf).unwrap(), r);
+    }
+
+    #[test]
+    fn l1t_roundtrip(stream in any::<u16>(), seq in any::<u32>(),
+                     payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let buf = l1t::build(stream, seq, &payload);
+        let f = l1t::Frame::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(f.stream(), stream);
+        prop_assert_eq!(f.seq(), seq);
+        prop_assert_eq!(f.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn udp_stack_roundtrip(
+        src in any::<u32>(), group in 0u32..1_000_000,
+        src_port in any::<u16>(), dst_port in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let src_ip = ipv4::Addr::host(src);
+        let dst_ip = ipv4::Addr::multicast_group(group);
+        let frame = stack::build_udp(
+            tn_wire::eth::MacAddr::host(src), None, src_ip, dst_ip, src_port, dst_port, &payload,
+        );
+        let v = stack::parse_udp(&frame).unwrap();
+        prop_assert_eq!(v.src_ip, src_ip);
+        prop_assert_eq!(v.dst_ip, dst_ip);
+        prop_assert_eq!(v.src_port, src_port);
+        prop_assert_eq!(v.dst_port, dst_port);
+        prop_assert_eq!(v.payload, &payload[..]);
+        // UDP checksum over the real pseudo-header must verify.
+        let d = udp::Datagram::new_checked(
+            &frame[stack::UDP_OVERHEAD - udp::HEADER_LEN..],
+        ).unwrap();
+        prop_assert!(d.verify_checksum(src_ip, dst_ip));
+    }
+
+    #[test]
+    fn tcp_stack_roundtrip(
+        seq in any::<u32>(), ack in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let a = ipv4::Addr::host(1);
+        let b = ipv4::Addr::host(2);
+        let frame = stack::build_tcp(
+            tn_wire::eth::MacAddr::host(1), tn_wire::eth::MacAddr::host(2),
+            a, b, 100, 200, seq, ack, tcp::Flags::ACK, &payload,
+        );
+        let v = stack::parse_tcp(&frame).unwrap();
+        prop_assert_eq!(v.seq, seq);
+        prop_assert_eq!(v.ack, ack);
+        prop_assert_eq!(v.payload, &payload[..]);
+    }
+
+    #[test]
+    fn stack_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = stack::parse_udp(&bytes);
+        let _ = stack::parse_tcp(&bytes);
+    }
+}

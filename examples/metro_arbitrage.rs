@@ -1,0 +1,138 @@
+//! Metro arbitrage: aggregate market data across two co-location
+//! facilities and measure what the §2 microwave links buy.
+//!
+//! ```sh
+//! cargo run --release --example metro_arbitrage
+//! ```
+//!
+//! Two exchanges trade the same instruments in different colos (Figure
+//! 1(a)'s metro triangle). The firm sits in colo 0: the remote exchange's
+//! feed crosses the metro circuit, gets normalized, and merges with the
+//! local feed into a cross-market arbitrage strategy that fires when one
+//! exchange's bid crosses the other's ask. Running the identical scenario
+//! over fiber and over microwave shows the speed-of-light edge — the
+//! reason firms run rain-faded microwave at all.
+
+use trading_networks::market::{Exchange, ExchangeConfig, PartitionScheme, SymbolDirectory};
+use trading_networks::netdev::EtherLink;
+use trading_networks::sim::{PortId, SimTime, Simulator};
+use trading_networks::switch::l1s::{L1Config, L1Switch};
+use trading_networks::topo::metro::{CircuitKind, MetroRegion};
+use trading_networks::trading::{
+    normalizer, strategy, CrossMarketArb, Normalizer, NormalizerConfig, Strategy, StrategyConfig,
+};
+use trading_networks::feed::SubscriptionSet;
+use trading_networks::wire::Symbol;
+
+struct Outcome {
+    opportunities: u64,
+    records: u64,
+    median_feed_latency: SimTime,
+}
+
+fn run(kind: CircuitKind) -> Outcome {
+    let metro = MetroRegion::nj_triangle();
+    let dir = SymbolDirectory::synthetic(30);
+    let symbols: Vec<Symbol> = dir.instruments().iter().map(|i| i.symbol).collect();
+    let partitions = 4u16;
+    let mut sim = Simulator::new(11);
+
+    // Exchanges in colo 0 (local) and colo 1 (remote).
+    let mut mk_exchange = |id: u8, mcast_base: u32| {
+        let mut cfg = ExchangeConfig::new(id, dir.clone());
+        cfg.scheme = PartitionScheme::ByHash { units: 2 };
+        cfg.mcast_base = mcast_base;
+        cfg.background_rate = 30_000.0;
+        cfg.tick_interval = SimTime::from_us(100);
+        cfg.seed = 100 + u64::from(id); // independent order flow
+        sim.add_node(format!("exch{id}"), Exchange::new(cfg))
+    };
+    let exch_local = mk_exchange(1, 0);
+    let exch_remote = mk_exchange(2, 100);
+
+    // One normalizer per exchange, both in colo 0.
+    let mut mk_norm = |i: u32, exchange_id: u8| {
+        let mut cfg = NormalizerConfig::new(exchange_id, i);
+        cfg.out_partitions = partitions;
+        cfg.out_mcast_base = 20_000;
+        cfg.preload = symbols.clone();
+        cfg.per_message_service = SimTime::from_ns(650);
+        sim.add_node(format!("norm{i}"), Normalizer::new(cfg))
+    };
+    let norm_local = mk_norm(0, 1);
+    let norm_remote = mk_norm(1, 2);
+
+    // Feed circuits: local cross-connect vs metro circuit.
+    sim.connect(
+        exch_local,
+        PortId(0),
+        norm_local,
+        normalizer::FEED_A,
+        EtherLink::ten_gig(SimTime::from_ns(25)),
+    );
+    sim.connect(exch_remote, PortId(0), norm_remote, normalizer::FEED_A, metro.circuit(1, 0, kind));
+
+    // Merge both normalized feeds onto the strategy's NIC with an L1 mux.
+    let mut mux = L1Switch::new(L1Config::default());
+    mux.provision_merge(PortId(0), PortId(2));
+    mux.provision_merge(PortId(1), PortId(2));
+    let mux = sim.add_node("mux", mux);
+    sim.connect(norm_local, normalizer::OUT, mux, PortId(0), EtherLink::ten_gig(SimTime::from_ns(25)));
+    sim.connect(norm_remote, normalizer::OUT, mux, PortId(1), EtherLink::ten_gig(SimTime::from_ns(25)));
+
+    let mut cfg = StrategyConfig::new(0, symbols.clone());
+    cfg.mcast_base = 20_000;
+    let mut subs = SubscriptionSet::unbounded();
+    for p in 0..partitions {
+        subs.subscribe(p);
+    }
+    cfg.subscriptions = subs;
+    cfg.send_igmp_joins = false;
+    let strat = sim.add_node("arb", Strategy::new(cfg, CrossMarketArb::default()));
+    sim.connect(mux, PortId(2), strat, strategy::FEED, EtherLink::ten_gig(SimTime::from_ns(25)));
+
+    sim.schedule_timer(SimTime::ZERO, exch_local, trading_networks::market::TICK);
+    sim.schedule_timer(SimTime::ZERO, exch_remote, trading_networks::market::TICK);
+    sim.run_until(SimTime::from_ms(80));
+
+    let node = sim.node::<Strategy<CrossMarketArb>>(strat).expect("strategy");
+    let mut lat = trading_networks::stats::Summary::new();
+    lat.extend(node.decision_latency_ps.iter().copied());
+    Outcome {
+        opportunities: node.logic().opportunities,
+        records: node.stats().records_evaluated,
+        median_feed_latency: SimTime::from_ps(lat.median()),
+    }
+}
+
+fn main() {
+    let metro = MetroRegion::nj_triangle();
+    println!(
+        "remote colo at {:.1} km: fiber one-way {} vs microwave {}\n",
+        metro.distance_km(0, 1),
+        metro.propagation(0, 1, CircuitKind::Fiber),
+        metro.propagation(0, 1, CircuitKind::Microwave),
+    );
+
+    let fiber = run(CircuitKind::Fiber);
+    let microwave = run(CircuitKind::Microwave);
+    println!(
+        "{:<11} {:>9} records {:>6} crossed-market detections, median detection latency {}",
+        "fiber:", fiber.records, fiber.opportunities, fiber.median_feed_latency
+    );
+    println!(
+        "{:<11} {:>9} records {:>6} crossed-market detections, median detection latency {}",
+        "microwave:", microwave.records, microwave.opportunities, microwave.median_feed_latency
+    );
+    println!();
+    let edge = fiber
+        .median_feed_latency
+        .saturating_sub(microwave.median_feed_latency);
+    println!(
+        "microwave edge on remote-triggered detections: ~{edge} — the §2 trade: \
+         less bandwidth,\nweather loss, but every cross-colo signal lands sooner \
+         than the competition's fiber."
+    );
+    assert!(microwave.median_feed_latency < fiber.median_feed_latency);
+    assert!(fiber.opportunities > 0 && microwave.opportunities > 0);
+}

@@ -1,0 +1,20 @@
+//! # trading-networks
+//!
+//! Facade crate for the `trading-networks` workspace: a simulation toolkit
+//! for low-latency trading-network design, reproducing *"Network Design
+//! Considerations for Trading Systems"* (HotNets '24).
+//!
+//! Each member crate is re-exported under a short module name; see the
+//! README for the architecture overview and `DESIGN.md` for the experiment
+//! index.
+
+pub use tn_core as core;
+pub use tn_feed as feed;
+pub use tn_market as market;
+pub use tn_netdev as netdev;
+pub use tn_sim as sim;
+pub use tn_stats as stats;
+pub use tn_switch as switch;
+pub use tn_topo as topo;
+pub use tn_trading as trading;
+pub use tn_wire as wire;

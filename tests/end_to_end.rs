@@ -1,0 +1,119 @@
+//! Cross-crate integration tests: the whole system assembled through the
+//! facade crate, asserting the paper's structural and quantitative claims
+//! end to end.
+
+use trading_networks::core::design::{
+    CloudDesign, LayerOneSwitches, TradingNetworkDesign, TraditionalSwitches,
+};
+use trading_networks::core::ScenarioConfig;
+use trading_networks::sim::SimTime;
+
+fn quick(seed: u64) -> ScenarioConfig {
+    let mut sc = ScenarioConfig::small(seed);
+    sc.duration = SimTime::from_ms(25);
+    sc
+}
+
+#[test]
+fn design1_full_loop_produces_fills() {
+    let report = TraditionalSwitches::default().run(&quick(11));
+    // The complete causal chain: feed -> normalize -> decide -> gateway
+    // -> exchange -> ack/fill, all over the simulated fabric.
+    assert!(report.feed_messages > 500, "{}", report.summary());
+    assert!(report.orders_sent > 10, "{}", report.summary());
+    assert_eq!(report.orders_sent, report.acks, "every order must be acked");
+    assert!(report.fills > 0, "momentum orders cross the spread: some must fill");
+    assert!(report.frames_dropped == 0, "no loss in an unloaded design-1 fabric");
+}
+
+#[test]
+fn reaction_decomposition_matches_section_4_1() {
+    // With the paper's assumption of ~2 us per software function, the
+    // network's share of the round trip should be roughly half — §4.1's
+    // punchline ("half of the overall time through the system is spent
+    // in the network").
+    let mut sc = quick(13);
+    sc.normalizer_service = SimTime::from_us(2);
+    sc.background_rate = 10_000.0; // light load: no queueing noise
+    sc.tick_interval = SimTime::from_us(20); // near-per-event publication
+    let report = TraditionalSwitches::default().run(&sc);
+    assert!(report.reaction.count > 0);
+    let share = report.network_share;
+    assert!(
+        (0.30..=0.75).contains(&share),
+        "network share should be near half, got {share:.2}\n{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn design_ordering_holds_across_seeds() {
+    // The paper's qualitative result must be robust, not a seed artifact.
+    for seed in [1, 2, 3] {
+        let sc = quick(seed);
+        let d1 = TraditionalSwitches::default().run(&sc);
+        let d3 = LayerOneSwitches::default().run(&sc);
+        assert!(
+            d3.reaction.median < d1.reaction.median,
+            "seed {seed}: d3 {} !< d1 {}",
+            d3.reaction.median,
+            d1.reaction.median
+        );
+        assert!(d3.network_time() < d1.network_time(), "seed {seed}");
+    }
+}
+
+#[test]
+fn cloud_is_orders_of_magnitude_slower() {
+    let sc = quick(17);
+    let d1 = TraditionalSwitches::default().run(&sc);
+    let d2 = CloudDesign::default().run(&sc);
+    assert!(d2.reaction.count > 0, "{}", d2.summary());
+    // Equalized fabric + WAN puts the cloud's reaction out by >10x.
+    assert!(
+        d2.reaction.median.as_ps() > 10 * d1.reaction.median.as_ps(),
+        "d2 {} vs d1 {}",
+        d2.reaction.median,
+        d1.reaction.median
+    );
+}
+
+#[test]
+fn l1_subscription_cap_reduces_coverage() {
+    // §4.3: capping subscriptions means strategies miss market data. With
+    // the cap at 1 of 2 normalizers, roughly half the records reaching
+    // each strategy disappear.
+    let sc = quick(19);
+    let full = LayerOneSwitches { subscription_cap: None, ..Default::default() }.run(&sc);
+    let capped = LayerOneSwitches { subscription_cap: Some(1), ..Default::default() }.run(&sc);
+    let full_seen = full.records_evaluated + full.records_discarded;
+    let capped_seen = capped.records_evaluated + capped.records_discarded;
+    assert!(full_seen > 0 && capped_seen > 0);
+    assert!(
+        (capped_seen as f64) < 0.8 * full_seen as f64,
+        "cap should shrink delivered records: {capped_seen} vs {full_seen}"
+    );
+}
+
+#[test]
+fn identical_seeds_identical_reports() {
+    let sc = quick(23);
+    let a = TraditionalSwitches::default().run(&sc);
+    let b = TraditionalSwitches::default().run(&sc);
+    assert_eq!(a.reaction.count, b.reaction.count);
+    assert_eq!(a.reaction.median, b.reaction.median);
+    assert_eq!(a.feed_messages, b.feed_messages);
+    assert_eq!(a.orders_sent, b.orders_sent);
+}
+
+#[test]
+fn strategies_only_see_subscribed_partitions_on_multicast_fabrics() {
+    // On design 1 the switches filter by group: strategies should discard
+    // nothing (their NIC never sees unsubscribed partitions).
+    let report = TraditionalSwitches::default().run(&quick(29));
+    assert_eq!(report.records_discarded, 0, "{}", report.summary());
+    // On the L1 fabric, circuits deliver whole normalizer outputs, so
+    // host-side filtering must be doing real work.
+    let l1 = LayerOneSwitches::default().run(&quick(29));
+    assert!(l1.records_discarded > 0, "{}", l1.summary());
+}
