@@ -1,0 +1,399 @@
+//! Dual-run divergence checking.
+//!
+//! The static lints catch *sources* of nondeterminism; this module checks
+//! the *property itself*: every registered scenario is run twice with the
+//! same seed, and the kernel trace digests (FNV-1a over the full event
+//! stream, see `tn_sim::TraceLog`) must match bit-for-bit. Any HashMap
+//! iteration order, address-dependent hash, or stray entropy that escapes
+//! into event timing or ordering flips the digest.
+//!
+//! The registry mirrors every example under `examples/` — same topologies,
+//! same seeds — with durations trimmed so `tn-audit check` stays fast. The
+//! feed-handler example has no simulator, so its signature hashes the
+//! published packet bytes instead of a kernel trace.
+
+use tn_core::{
+    CloudDesign, FpgaHybrid, LayerOneSwitches, ScenarioConfig, TradingNetworkDesign,
+    TraditionalSwitches,
+};
+use tn_sim::{SimTime, Simulator, EMPTY_DIGEST};
+
+/// What one scenario run distills to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSignature {
+    /// Trace digest (or content digest for non-kernel scenarios).
+    pub digest: u64,
+    /// Events folded into the digest.
+    pub events: u64,
+}
+
+/// A registered divergence scenario.
+pub struct Scenario {
+    /// Stable name (mirrors the example it covers).
+    pub name: &'static str,
+    /// Execute one run and return its signature.
+    pub run: fn() -> RunSignature,
+}
+
+/// Result of dual-running one scenario.
+#[derive(Debug, Clone)]
+pub struct DivergenceOutcome {
+    /// Scenario name.
+    pub name: &'static str,
+    /// First run.
+    pub first: RunSignature,
+    /// Second run.
+    pub second: RunSignature,
+}
+
+impl DivergenceOutcome {
+    /// Did the two runs agree?
+    pub fn passed(&self) -> bool {
+        self.first == self.second
+    }
+}
+
+/// All registered scenarios: one (or more) per example in `examples/`.
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "quickstart",
+            run: run_quickstart,
+        },
+        Scenario {
+            name: "shootout-traditional",
+            run: || run_design(&TraditionalSwitches::default(), 7),
+        },
+        Scenario {
+            name: "shootout-cloud",
+            run: || run_design(&CloudDesign::default(), 7),
+        },
+        Scenario {
+            name: "shootout-l1",
+            run: || run_design(&LayerOneSwitches::default(), 7),
+        },
+        Scenario {
+            name: "shootout-fpga",
+            run: || run_design(&FpgaHybrid::default(), 7),
+        },
+        Scenario {
+            name: "feed-handler",
+            run: run_feed_handler,
+        },
+        Scenario {
+            name: "mcast-cliff",
+            run: run_mcast_cliff,
+        },
+        Scenario {
+            name: "metro-arbitrage-fiber",
+            run: || run_metro(tn_topo::metro::CircuitKind::Fiber),
+        },
+        Scenario {
+            name: "metro-arbitrage-microwave",
+            run: || run_metro(tn_topo::metro::CircuitKind::Microwave),
+        },
+    ]
+}
+
+/// Run each scenario twice (optionally filtered by substring) and collect
+/// the outcomes.
+pub fn run_all(filter: Option<&str>) -> Vec<DivergenceOutcome> {
+    registry()
+        .iter()
+        .filter(|s| filter.is_none_or(|f| s.name.contains(f)))
+        .map(|s| DivergenceOutcome {
+            name: s.name,
+            first: (s.run)(),
+            second: (s.run)(),
+        })
+        .collect()
+}
+
+/// Divergence scenarios trim the measured interval: digest equality is a
+/// property of the machinery, not of how long it runs.
+fn trimmed(mut sc: ScenarioConfig) -> ScenarioConfig {
+    sc.duration = SimTime::from_ms(8);
+    sc.warmup = SimTime::from_ms(1);
+    sc
+}
+
+fn run_quickstart() -> RunSignature {
+    // Mirrors `examples/quickstart.rs`: TraditionalSwitches, seed 42.
+    run_design(&TraditionalSwitches::default(), 42)
+}
+
+fn run_design(design: &dyn TradingNetworkDesign, seed: u64) -> RunSignature {
+    let report = design.run(&trimmed(ScenarioConfig::small(seed)));
+    RunSignature {
+        digest: report.trace_digest,
+        events: report.events_recorded,
+    }
+}
+
+fn sim_signature(sim: &Simulator) -> RunSignature {
+    RunSignature {
+        digest: sim.trace.digest(),
+        events: sim.trace.recorded(),
+    }
+}
+
+/// Mirrors `examples/feed_handler.rs`: matching engine → publisher →
+/// A/B-arbitrating normalizer, no network. The signature hashes every
+/// published packet and every normalized record count.
+fn run_feed_handler() -> RunSignature {
+    use tn_feed::normalize::{HashRepartition, NormalizerCore};
+    use tn_market::{
+        FeedPublisher, FlowMix, MatchingEngine, OrderFlowGenerator, PartitionScheme,
+        SymbolDirectory,
+    };
+    use tn_sim::{Rng, SeedableRng, SmallRng};
+
+    let dir = SymbolDirectory::synthetic(100);
+    let mut engine = MatchingEngine::new(dir.instruments().iter().map(|i| i.symbol));
+    let mut flow = OrderFlowGenerator::new(&dir, FlowMix::default());
+    let mut publisher = FeedPublisher::new(PartitionScheme::ByHash { units: 4 }, 1400, 0);
+    let mut rng = SmallRng::seed_from_u64(99);
+
+    let mut digest = EMPTY_DIGEST;
+    let mut events = 0u64;
+    let fold = |digest: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *digest ^= u64::from(b);
+            *digest = digest.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+
+    let mut packets: Vec<Vec<u8>> = Vec::new();
+    for batch in 0..100u64 {
+        let mut msgs = Vec::new();
+        for _ in 0..40 {
+            msgs.extend(flow.step(&dir, &mut engine, &mut rng, (batch * 2_000_000) as u32));
+        }
+        let time_ns = 34_200_000_000_000 + batch * 2_000_000;
+        for p in publisher.publish(&dir, time_ns, &msgs) {
+            packets.push(p.bytes);
+        }
+    }
+
+    let mut normalizer = NormalizerCore::new(1, HashRepartition { partitions: 16 });
+    normalizer.preload_symbols(dir.instruments().iter().map(|i| i.symbol));
+    for (i, pkt) in packets.iter().enumerate() {
+        fold(&mut digest, pkt);
+        events += 1;
+        let drop_a = rng.gen::<f64>() < 0.02;
+        let drop_b = rng.gen::<f64>() < 0.02;
+        let t = 34_200_000_000_000 + i as u64;
+        for (side_dropped, _) in [(drop_a, 'a'), (drop_b, 'b')] {
+            if side_dropped {
+                continue;
+            }
+            if let Ok(outs) = normalizer.on_packet(pkt, t) {
+                for out in outs {
+                    fold(&mut digest, &[out.record.kind as u8]);
+                    fold(&mut digest, &out.partition.to_le_bytes());
+                    events += 1;
+                }
+            }
+        }
+    }
+    RunSignature { digest, events }
+}
+
+/// Mirrors `examples/mcast_cliff.rs`: 96 IGMP joins against a 64-entry
+/// mroute table, then one packet per group; seed 3.
+fn run_mcast_cliff() -> RunSignature {
+    use tn_netdev::EtherLink;
+    use tn_sim::{Context, Frame, Node, PortId};
+    use tn_switch::{commodity, CommoditySwitch, SwitchConfig};
+    use tn_wire::{eth, igmp, ipv4, stack};
+
+    struct Receiver;
+    impl Node for Receiver {
+        fn on_frame(&mut self, _ctx: &mut Context<'_>, _p: PortId, _f: Frame) {}
+    }
+
+    let cfg = SwitchConfig {
+        mcast_table_size: 64,
+        sw_service: SimTime::from_us(25),
+        sw_queue: 16,
+        ..SwitchConfig::default()
+    };
+    let mut sim = Simulator::new(3);
+    let sw = sim.add_node("switch", CommoditySwitch::new(cfg));
+    let rx = sim.add_node("rx", Receiver);
+    sim.connect(
+        sw,
+        PortId(1),
+        rx,
+        PortId(0),
+        EtherLink::ten_gig(SimTime::ZERO),
+    );
+
+    for g in 0..96u32 {
+        let join = commodity::igmp_frame(
+            igmp::MessageType::Report,
+            eth::MacAddr::host(2),
+            ipv4::Addr::host(2),
+            ipv4::Addr::multicast_group(g),
+        );
+        let f = sim.new_frame(join);
+        sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
+    }
+    sim.run();
+
+    let t0 = sim.now();
+    for g in 0..96u32 {
+        let frame = stack::build_udp(
+            eth::MacAddr::host(1),
+            None,
+            ipv4::Addr::host(1),
+            ipv4::Addr::multicast_group(g),
+            30_001,
+            30_001,
+            &[0u8; 100],
+        );
+        let f = sim.new_frame(frame);
+        sim.inject_frame(t0, sw, PortId(0), f);
+    }
+    sim.run();
+    sim_signature(&sim)
+}
+
+/// Mirrors `examples/metro_arbitrage.rs`: two exchanges in two colos, the
+/// remote feed over a metro circuit, L1-muxed into a cross-market arb
+/// strategy; seed 11, trimmed to 12 ms.
+fn run_metro(kind: tn_topo::metro::CircuitKind) -> RunSignature {
+    use tn_market::{Exchange, ExchangeConfig, PartitionScheme, SymbolDirectory};
+    use tn_netdev::EtherLink;
+    use tn_sim::PortId;
+    use tn_switch::l1s::{L1Config, L1Switch};
+    use tn_topo::metro::MetroRegion;
+    use tn_trading::{
+        normalizer, strategy, CrossMarketArb, Normalizer, NormalizerConfig, Strategy,
+        StrategyConfig,
+    };
+    use tn_wire::Symbol;
+
+    let metro = MetroRegion::nj_triangle();
+    let dir = SymbolDirectory::synthetic(30);
+    let symbols: Vec<Symbol> = dir.instruments().iter().map(|i| i.symbol).collect();
+    let partitions = 4u16;
+    let mut sim = Simulator::new(11);
+
+    let mk_exchange = |sim: &mut Simulator, id: u8, mcast_base: u32| {
+        let mut cfg = ExchangeConfig::new(id, dir.clone());
+        cfg.scheme = PartitionScheme::ByHash { units: 2 };
+        cfg.mcast_base = mcast_base;
+        cfg.background_rate = 30_000.0;
+        cfg.tick_interval = SimTime::from_us(100);
+        cfg.seed = 100 + u64::from(id);
+        sim.add_node(format!("exch{id}"), Exchange::new(cfg))
+    };
+    let exch_local = mk_exchange(&mut sim, 1, 0);
+    let exch_remote = mk_exchange(&mut sim, 2, 100);
+
+    let mk_norm = |sim: &mut Simulator, i: u32, exchange_id: u8| {
+        let mut cfg = NormalizerConfig::new(exchange_id, i);
+        cfg.out_partitions = partitions;
+        cfg.out_mcast_base = 20_000;
+        cfg.preload = symbols.clone();
+        cfg.per_message_service = SimTime::from_ns(650);
+        sim.add_node(format!("norm{i}"), Normalizer::new(cfg))
+    };
+    let norm_local = mk_norm(&mut sim, 0, 1);
+    let norm_remote = mk_norm(&mut sim, 1, 2);
+
+    sim.connect(
+        exch_local,
+        PortId(0),
+        norm_local,
+        normalizer::FEED_A,
+        EtherLink::ten_gig(SimTime::from_ns(25)),
+    );
+    sim.connect(
+        exch_remote,
+        PortId(0),
+        norm_remote,
+        normalizer::FEED_A,
+        metro.circuit(1, 0, kind),
+    );
+
+    let mut mux = L1Switch::new(L1Config::default());
+    mux.provision_merge(PortId(0), PortId(2));
+    mux.provision_merge(PortId(1), PortId(2));
+    let mux = sim.add_node("mux", mux);
+    sim.connect(
+        norm_local,
+        normalizer::OUT,
+        mux,
+        PortId(0),
+        EtherLink::ten_gig(SimTime::from_ns(25)),
+    );
+    sim.connect(
+        norm_remote,
+        normalizer::OUT,
+        mux,
+        PortId(1),
+        EtherLink::ten_gig(SimTime::from_ns(25)),
+    );
+
+    let mut cfg = StrategyConfig::new(0, symbols.clone());
+    cfg.mcast_base = 20_000;
+    let mut subs = tn_feed::SubscriptionSet::unbounded();
+    for p in 0..partitions {
+        subs.subscribe(p);
+    }
+    cfg.subscriptions = subs;
+    cfg.send_igmp_joins = false;
+    let strat = sim.add_node("arb", Strategy::new(cfg, CrossMarketArb::default()));
+    sim.connect(
+        mux,
+        PortId(2),
+        strat,
+        strategy::FEED,
+        EtherLink::ten_gig(SimTime::from_ns(25)),
+    );
+
+    sim.schedule_timer(SimTime::ZERO, exch_local, tn_market::TICK);
+    sim.schedule_timer(SimTime::ZERO, exch_remote, tn_market::TICK);
+    sim.run_until(SimTime::from_ms(12));
+    sim_signature(&sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_example() {
+        let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        for example in [
+            "quickstart",
+            "shootout",
+            "feed-handler",
+            "mcast-cliff",
+            "metro-arbitrage",
+        ] {
+            assert!(
+                names.iter().any(|n| n.contains(example)),
+                "no divergence scenario mirrors example {example}"
+            );
+        }
+    }
+
+    #[test]
+    fn mcast_cliff_is_deterministic() {
+        let o = run_all(Some("mcast-cliff"));
+        assert_eq!(o.len(), 1);
+        assert!(o[0].passed(), "{:?}", o[0]);
+        assert!(o[0].first.events > 0, "mirror should generate traffic");
+    }
+
+    #[test]
+    fn feed_handler_is_deterministic() {
+        let a = run_feed_handler();
+        let b = run_feed_handler();
+        assert_eq!(a, b);
+        assert!(a.events > 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # tn-audit — determinism & hot-path auditing
+//!
+//! The kernel promises: same scenario + same seed ⇒ the same run,
+//! bit-for-bit. This crate turns that comment into an enforced invariant,
+//! from both directions:
+//!
+//! * **Static** ([`lints`], [`scan`]): a token-level lint pass over every
+//!   workspace crate flags the classic ways determinism dies in Rust —
+//!   iterating a `HashMap`/`HashSet` (address-seeded order), wall-clock
+//!   reads, entropy-seeded RNGs — plus hot-path hygiene (panics and
+//!   allocation inside `on_frame`/`on_timer`/`decode*`/`parse*`).
+//!   Findings can be waived in place with
+//!   `// audit:allow(<lint>): <justification>`.
+//! * **Dynamic** ([`divergence`]): every example scenario is run twice
+//!   with the same seed and the kernel trace digests
+//!   ([`tn_sim::TraceLog::digest`]) must match exactly.
+//!
+//! The binary (`cargo run -p tn-audit -- check`) runs both and exits
+//! non-zero on any active finding or digest mismatch; `scripts/ci.sh`
+//! wires it into the build.
+
+pub mod divergence;
+pub mod lints;
+pub mod report;
+pub mod scan;
+pub mod source;
+
+pub use lints::{scan_file, Finding, LintInfo, Scope, Severity, LINTS};
+pub use report::{counts, render_json, render_text, Counts};
+pub use scan::{scan_workspace, scope_for};
+pub use source::SourceFile;

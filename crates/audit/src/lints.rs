@@ -1,0 +1,625 @@
+//! The lint pass: five determinism / hot-path lints over lexed source.
+//!
+//! Determinism lints (`det-*`) guard the property `tn-audit divergence`
+//! verifies dynamically: same scenario + same seed ⇒ same trace digest.
+//! Hot-path lints (`hotpath-*`) guard the per-frame code paths (`on_frame`,
+//! `on_timer`, `decode*`/`parse*`) against panics and allocation — the
+//! paper's whole argument is that the hot path is measured in nanoseconds.
+//!
+//! The pass is heuristic (token-level, not type-aware), so it is tuned to
+//! the workspace's idioms and every finding can be waived in place with
+//! `// audit:allow(<lint>): <justification>`.
+
+use crate::source::{tokenize, SourceFile, Tok};
+
+/// How bad a finding is. Both severities fail the build when active; the
+/// split exists for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Breaks the determinism contract.
+    Error,
+    /// Hurts the hot path.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// Static description of one lint.
+pub struct LintInfo {
+    /// Stable id, used in reports and `audit:allow(...)`.
+    pub id: &'static str,
+    /// Report severity.
+    pub severity: Severity,
+    /// One-line description for `tn-audit lints`.
+    pub summary: &'static str,
+}
+
+/// Every lint the pass knows about.
+pub const LINTS: &[LintInfo] = &[
+    LintInfo {
+        id: "det-hashmap-iter",
+        severity: Severity::Error,
+        summary: "iteration over a HashMap/HashSet — visit order is nondeterministic",
+    },
+    LintInfo {
+        id: "det-wallclock",
+        severity: Severity::Error,
+        summary: "wall-clock time source (Instant/SystemTime) in simulation logic",
+    },
+    LintInfo {
+        id: "det-unseeded-rng",
+        severity: Severity::Error,
+        summary: "entropy-seeded RNG (thread_rng/from_entropy/OsRng) — runs are not reproducible",
+    },
+    LintInfo {
+        id: "hotpath-unwrap",
+        severity: Severity::Warning,
+        summary: "unwrap/expect/panic! inside a per-frame handler",
+    },
+    LintInfo {
+        id: "hotpath-alloc",
+        severity: Severity::Warning,
+        summary: "heap allocation (Vec::new/format!/to_vec/...) inside a per-frame handler",
+    },
+];
+
+/// Look up a lint's metadata by id.
+pub fn lint_info(id: &str) -> &'static LintInfo {
+    LINTS.iter().find(|l| l.id == id).expect("unknown lint id")
+}
+
+/// One finding at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Lint id.
+    pub lint: &'static str,
+    /// Severity (from the lint).
+    pub severity: Severity,
+    /// File, relative to the repo root.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// Human-readable message.
+    pub message: String,
+    /// The raw source line, for the report.
+    pub snippet: String,
+    /// Whether an `audit:allow` waives it.
+    pub suppressed: bool,
+}
+
+/// Which lint families apply to a file.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope {
+    /// Apply `det-hashmap-iter` / `det-wallclock` (simulation-facing code).
+    pub det: bool,
+    /// Apply `hotpath-*` lints.
+    pub hotpath: bool,
+}
+
+impl Scope {
+    /// Everything on (used by tests and fixtures).
+    pub fn full() -> Scope {
+        Scope {
+            det: true,
+            hotpath: true,
+        }
+    }
+}
+
+/// Methods whose receiver iteration order escapes into program behaviour.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Functions whose bodies are hot paths.
+fn is_hot_fn(name: &str) -> bool {
+    name == "on_frame"
+        || name == "on_timer"
+        || name.starts_with("decode")
+        || name.starts_with("parse")
+}
+
+/// Panicking calls flagged on hot paths: `.NAME(` receivers.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+/// Panicking macros flagged on hot paths: `NAME!`.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+/// Allocating macros flagged on hot paths.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+/// Allocating `TYPE::METHOD` paths flagged on hot paths.
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("String", "new"),
+    ("String", "from"),
+    ("Box", "new"),
+];
+/// Allocating `.METHOD(` receivers flagged on hot paths.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned"];
+
+/// Run every applicable lint over one file.
+pub fn scan_file(sf: &SourceFile, scope: Scope) -> Vec<Finding> {
+    let toks: Vec<Vec<(usize, Tok)>> = sf.lines.iter().map(|l| tokenize(&l.code)).collect();
+    let maps = collect_map_names(&toks);
+    let hot = hot_lines(sf, &toks);
+
+    let mut out = Vec::new();
+    for (idx, line) in sf.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let lineno = idx + 1;
+        let t = &toks[idx];
+
+        if scope.det {
+            lint_hashmap_iter(sf, lineno, t, &maps, &mut out);
+            lint_wallclock(sf, lineno, t, &mut out);
+        }
+        lint_unseeded_rng(sf, lineno, t, &mut out);
+        if scope.hotpath && hot[idx] {
+            lint_hot_unwrap(sf, lineno, t, &mut out);
+            lint_hot_alloc(sf, lineno, t, &mut out);
+        }
+    }
+    out
+}
+
+/// Names declared with a `HashMap`/`HashSet` type or constructor anywhere
+/// in the file: struct fields (`name: HashMap<..>`), let bindings
+/// (`let [mut] name = HashMap::new()` / `let name: HashMap<..>`), and fn
+/// params. Only *iteration* over these names is flagged — keyed access
+/// (`get`/`insert`/`entry`) is order-free and allowed.
+fn collect_map_names(toks: &[Vec<(usize, Tok)>]) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in toks {
+        for (i, (_, tok)) in line.iter().enumerate() {
+            let Some(id) = tok.ident() else { continue };
+            if id != "HashMap" && id != "HashSet" {
+                continue;
+            }
+            // `HashMap::new()` on a let line: find `let [mut] name =` left.
+            // `name: [wrappers<] HashMap<..>`: walk left past wrapper
+            // tokens to the `:` and take the ident before it.
+            let mut j = i;
+            let mut name: Option<&str> = None;
+            while j > 0 {
+                j -= 1;
+                match &line[j].1 {
+                    Tok::Punct(':') => {
+                        // skip a `::` path qualifier (std::collections::)
+                        if j > 0 && line[j - 1].1.is(':') {
+                            j -= 1;
+                            continue;
+                        }
+                        if j > 0 {
+                            if let Some(n) = line[j - 1].1.ident() {
+                                if n != "mut" {
+                                    name = Some(n);
+                                }
+                            }
+                        }
+                        break;
+                    }
+                    Tok::Punct('=') => {
+                        // `let [mut] name = HashMap::new()`
+                        if j >= 2 {
+                            if let Some(n) = line[j - 1].1.ident() {
+                                let n = if n == "mut" {
+                                    line.get(j.wrapping_sub(2)).and_then(|t| t.1.ident())
+                                } else {
+                                    Some(n)
+                                };
+                                name = n;
+                            }
+                        }
+                        break;
+                    }
+                    Tok::Punct('<') | Tok::Punct('(') | Tok::Punct('&') => continue,
+                    Tok::Ident(w)
+                        if matches!(
+                            w.as_str(),
+                            "Option" | "Box" | "Vec" | "std" | "collections" | "pub" | "crate"
+                        ) =>
+                    {
+                        continue
+                    }
+                    _ => break,
+                }
+            }
+            if let Some(n) = name {
+                if !names.iter().any(|x| x == n) {
+                    names.push(n.to_string());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Mark lines inside hot-path function bodies, via brace tracking from
+/// each `fn on_frame`/`on_timer`/`decode*`/`parse*` signature.
+fn hot_lines(sf: &SourceFile, toks: &[Vec<(usize, Tok)>]) -> Vec<bool> {
+    let n = sf.lines.len();
+    let mut hot = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        let is_hot_sig = toks[i]
+            .windows(2)
+            .any(|w| w[0].1.ident() == Some("fn") && w[1].1.ident().is_some_and(is_hot_fn));
+        if !is_hot_sig || sf.lines[i].in_test {
+            i += 1;
+            continue;
+        }
+        // Find the body: first `{` at/after the signature line, then its
+        // matching `}`. Signatures don't contain braces before the body.
+        let mut depth: i32 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < n {
+            for ch in sf.lines[j].code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    // A trait method *declaration* ends at `;` — no body.
+                    ';' if !opened => {
+                        j = n; // sentinel: nothing to mark
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if j >= n || (opened && depth <= 0) {
+                break;
+            }
+            j += 1;
+        }
+        if j < n {
+            for flag in &mut hot[i..=j] {
+                *flag = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    hot
+}
+
+fn push(
+    sf: &SourceFile,
+    lineno: usize,
+    column: usize,
+    lint: &'static str,
+    message: String,
+    out: &mut Vec<Finding>,
+) {
+    out.push(Finding {
+        lint,
+        severity: lint_info(lint).severity,
+        file: sf.rel.clone(),
+        line: lineno,
+        column,
+        message,
+        snippet: sf.lines[lineno - 1].raw.clone(),
+        suppressed: sf.allowed(lineno, lint),
+    });
+}
+
+fn lint_hashmap_iter(
+    sf: &SourceFile,
+    lineno: usize,
+    toks: &[(usize, Tok)],
+    maps: &[String],
+    out: &mut Vec<Finding>,
+) {
+    let is_map = |t: &Tok| t.ident().is_some_and(|n| maps.iter().any(|m| m == n));
+
+    for (i, (col, tok)) in toks.iter().enumerate() {
+        // `name.iter_method(` — receiver must be a known map name.
+        if is_map(tok)
+            && toks.get(i + 1).is_some_and(|t| t.1.is('.'))
+            && toks
+                .get(i + 2)
+                .and_then(|t| t.1.ident())
+                .is_some_and(|m| ITER_METHODS.contains(&m))
+        {
+            let method = toks[i + 2].1.ident().unwrap_or_default();
+            push(
+                sf,
+                lineno,
+                *col,
+                "det-hashmap-iter",
+                format!(
+                    "`{}.{}()` iterates a HashMap/HashSet; visit order varies across \
+                     processes — use BTreeMap/BTreeSet or sort first",
+                    tok.ident().unwrap_or_default(),
+                    method
+                ),
+                out,
+            );
+        }
+        // `for pat in [&][mut] [self.]name {` — direct iteration.
+        if tok.ident() == Some("in") {
+            let mut j = i + 1;
+            while toks
+                .get(j)
+                .is_some_and(|t| t.1.is('&') || t.1.ident() == Some("mut"))
+            {
+                j += 1;
+            }
+            if toks.get(j).and_then(|t| t.1.ident()) == Some("self")
+                && toks.get(j + 1).is_some_and(|t| t.1.is('.'))
+            {
+                j += 2;
+            }
+            if let Some((mcol, mtok)) = toks.get(j) {
+                let ends_iter = match toks.get(j + 1) {
+                    None => true,
+                    Some(t) => t.1.is('{'),
+                };
+                if is_map(mtok) && ends_iter {
+                    push(
+                        sf,
+                        lineno,
+                        *mcol,
+                        "det-hashmap-iter",
+                        format!(
+                            "`for .. in {}` iterates a HashMap/HashSet; visit order varies \
+                             across processes — use BTreeMap/BTreeSet or sort first",
+                            mtok.ident().unwrap_or_default()
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn lint_wallclock(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &mut Vec<Finding>) {
+    for (col, tok) in toks {
+        if let Some(id) = tok.ident() {
+            if id == "Instant" || id == "SystemTime" {
+                push(
+                    sf,
+                    lineno,
+                    *col,
+                    "det-wallclock",
+                    format!(
+                        "`{id}` reads the wall clock; simulation logic must use SimTime \
+                         so identical runs stay identical"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+fn lint_unseeded_rng(
+    sf: &SourceFile,
+    lineno: usize,
+    toks: &[(usize, Tok)],
+    out: &mut Vec<Finding>,
+) {
+    for (col, tok) in toks {
+        if let Some(id) = tok.ident() {
+            if id == "thread_rng" || id == "from_entropy" || id == "OsRng" {
+                push(
+                    sf,
+                    lineno,
+                    *col,
+                    "det-unseeded-rng",
+                    format!(
+                        "`{id}` draws entropy from the OS; all randomness must flow from \
+                         the scenario seed"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+fn lint_hot_unwrap(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &mut Vec<Finding>) {
+    for (i, (col, tok)) in toks.iter().enumerate() {
+        let Some(id) = tok.ident() else { continue };
+        let prev_dot = i > 0 && toks[i - 1].1.is('.');
+        let next = toks.get(i + 1).map(|t| &t.1);
+        if prev_dot && PANIC_METHODS.contains(&id) && next.is_some_and(|t| t.is('(')) {
+            push(
+                sf,
+                lineno,
+                *col,
+                "hotpath-unwrap",
+                format!("`.{id}()` can panic on the per-frame path; handle the None/Err case"),
+                out,
+            );
+        }
+        if PANIC_MACROS.contains(&id) && next.is_some_and(|t| t.is('!')) {
+            push(
+                sf,
+                lineno,
+                *col,
+                "hotpath-unwrap",
+                format!("`{id}!` panics on the per-frame path; degrade gracefully instead"),
+                out,
+            );
+        }
+    }
+}
+
+fn lint_hot_alloc(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &mut Vec<Finding>) {
+    for (i, (col, tok)) in toks.iter().enumerate() {
+        let Some(id) = tok.ident() else { continue };
+        let next = toks.get(i + 1).map(|t| &t.1);
+        if ALLOC_MACROS.contains(&id) && next.is_some_and(|t| t.is('!')) {
+            push(
+                sf,
+                lineno,
+                *col,
+                "hotpath-alloc",
+                format!("`{id}!` allocates on the per-frame path; reuse a buffer"),
+                out,
+            );
+            continue;
+        }
+        // `Type::method(` paths.
+        if ALLOC_PATHS.iter().any(|(t, _)| *t == id)
+            && toks.get(i + 1).is_some_and(|t| t.1.is(':'))
+            && toks.get(i + 2).is_some_and(|t| t.1.is(':'))
+        {
+            if let Some(m) = toks.get(i + 3).and_then(|t| t.1.ident()) {
+                if ALLOC_PATHS.iter().any(|(t, mm)| *t == id && *mm == m) {
+                    push(
+                        sf,
+                        lineno,
+                        *col,
+                        "hotpath-alloc",
+                        format!("`{id}::{m}` allocates on the per-frame path; preallocate in the constructor"),
+                        out,
+                    );
+                }
+            }
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].1.is('.');
+        if prev_dot && ALLOC_METHODS.contains(&id) && next.is_some_and(|t| t.is('(')) {
+            push(
+                sf,
+                lineno,
+                *col,
+                "hotpath-alloc",
+                format!("`.{id}()` allocates on the per-frame path; borrow instead"),
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn scan(text: &str) -> Vec<Finding> {
+        scan_file(&SourceFile::parse("t.rs", text), Scope::full())
+    }
+
+    #[test]
+    fn keyed_hashmap_access_is_clean() {
+        let f = scan(
+            "struct S { m: HashMap<u32, u32> }\n\
+             impl S { fn get(&self) -> Option<&u32> { self.m.get(&1) } }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn hashmap_method_iteration_is_flagged() {
+        let f = scan(
+            "struct S { m: HashMap<u32, u32> }\n\
+             impl S { fn sum(&self) -> u32 { self.m.values().sum() } }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "det-hashmap-iter");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn hashmap_for_loop_is_flagged() {
+        let f = scan(
+            "struct S { m: HashMap<u32, u32> }\n\
+             impl S { fn go(&self) { for (k, v) in &self.m { let _ = (k, v); } } }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "det-hashmap-iter");
+    }
+
+    #[test]
+    fn let_bound_hashset_iteration_is_flagged() {
+        let f = scan(
+            "fn f() { let mut seen = HashSet::new();\nfor x in seen.drain() { let _ = x; } }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn btreemap_iteration_is_clean() {
+        let f = scan(
+            "struct S { m: BTreeMap<u32, u32> }\n\
+             impl S { fn sum(&self) -> u32 { self.m.values().sum() } }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unrelated_name_iteration_is_clean() {
+        let f = scan("fn f(v: Vec<u32>) -> u32 { v.iter().sum() }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn hot_fn_extents() {
+        let f = scan(
+            "fn on_frame(&mut self) {\n    let v = Vec::new();\n}\n\
+             fn cold(&mut self) {\n    let v = Vec::new();\n}\n",
+        );
+        assert_eq!(f.len(), 1, "only the on_frame body is hot: {f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn trait_method_declaration_is_not_a_body() {
+        let f = scan("trait T {\n    fn on_frame(&mut self);\n}\nfn x() { panic!(); }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let f = scan("fn on_timer(&mut self) { let x = o.unwrap_or(3); let _ = x; }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = scan("#[cfg(test)]\nmod t {\n    fn on_frame() { x.unwrap(); }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn suppression_marks_finding() {
+        let f = scan(
+            "fn f() {\n    // audit:allow(det-wallclock): measuring the harness itself\n    let t = Instant::now();\n}\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed);
+    }
+
+    #[test]
+    fn string_mention_is_clean() {
+        let f = scan("fn f() -> &'static str { \"thread_rng Instant::now()\" }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

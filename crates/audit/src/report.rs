@@ -1,0 +1,196 @@
+//! Rendering: rustc-style terminal output and a stable JSON document.
+//!
+//! The JSON schema is versioned and covered by tests — downstream tooling
+//! (CI annotations, dashboards) may rely on it:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "findings": [
+//!     {"lint": "...", "severity": "error|warning", "file": "...",
+//!      "line": 1, "column": 1, "message": "...", "suppressed": false}
+//!   ],
+//!   "counts": {"total": 0, "suppressed": 0, "active": 0}
+//! }
+//! ```
+
+use crate::lints::Finding;
+
+/// Aggregate counts over a finding set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counts {
+    /// All findings, suppressed or not.
+    pub total: usize,
+    /// Findings waived by `audit:allow`.
+    pub suppressed: usize,
+    /// Findings that fail the audit.
+    pub active: usize,
+}
+
+/// Count findings.
+pub fn counts(findings: &[Finding]) -> Counts {
+    let suppressed = findings.iter().filter(|f| f.suppressed).count();
+    Counts {
+        total: findings.len(),
+        suppressed,
+        active: findings.len() - suppressed,
+    }
+}
+
+/// Sort findings into report order: file, then line, column, lint id.
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.column, a.lint).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.column,
+            b.lint,
+        ))
+    });
+}
+
+/// Render findings the way rustc renders diagnostics.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let sup = if f.suppressed { " (suppressed)" } else { "" };
+        out.push_str(&format!(
+            "{}[{}]{}: {}\n",
+            f.severity.name(),
+            f.lint,
+            sup,
+            f.message
+        ));
+        let gutter = digits(f.line);
+        out.push_str(&format!(
+            "{:>gutter$}--> {}:{}:{}\n",
+            "", f.file, f.line, f.column
+        ));
+        out.push_str(&format!("{:>gutter$} |\n", ""));
+        out.push_str(&format!("{} | {}\n", f.line, f.snippet));
+        out.push_str(&format!(
+            "{:>gutter$} | {:>col$}\n",
+            "",
+            "^",
+            col = f.column
+        ));
+        out.push('\n');
+    }
+    let c = counts(findings);
+    out.push_str(&format!(
+        "audit: {} finding(s), {} suppressed, {} active\n",
+        c.total, c.suppressed, c.active
+    ));
+    out
+}
+
+fn digits(mut n: usize) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d + 1 // one space of padding, matching rustc's gutter
+}
+
+/// Render the versioned JSON document (schema above).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"version\":1,\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"lint\":{},\"severity\":{},\"file\":{},\"line\":{},\"column\":{},\"message\":{},\"suppressed\":{}}}",
+            json_str(f.lint),
+            json_str(f.severity.name()),
+            json_str(&f.file),
+            f.line,
+            f.column,
+            json_str(&f.message),
+            f.suppressed
+        ));
+    }
+    let c = counts(findings);
+    out.push_str(&format!(
+        "],\"counts\":{{\"total\":{},\"suppressed\":{},\"active\":{}}}}}",
+        c.total, c.suppressed, c.active
+    ));
+    out.push('\n');
+    out
+}
+
+/// Escape a string as a JSON literal (hand-rolled; no serde offline).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::{Finding, Severity};
+
+    fn finding(suppressed: bool) -> Finding {
+        Finding {
+            lint: "det-wallclock",
+            severity: Severity::Error,
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            column: 13,
+            message: "`Instant` reads the wall clock".into(),
+            snippet: "    let t = Instant::now();".into(),
+            suppressed,
+        }
+    }
+
+    #[test]
+    fn text_report_shape() {
+        let out = render_text(&[finding(false)]);
+        assert!(out.contains("error[det-wallclock]:"), "{out}");
+        assert!(out.contains("--> crates/x/src/lib.rs:7:13"), "{out}");
+        assert!(out.contains("7 |     let t = Instant::now();"), "{out}");
+        assert!(
+            out.contains("1 finding(s), 0 suppressed, 1 active"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn json_is_stable() {
+        let out = render_json(&[finding(true)]);
+        assert_eq!(
+            out,
+            "{\"version\":1,\"findings\":[{\"lint\":\"det-wallclock\",\"severity\":\"error\",\
+             \"file\":\"crates/x/src/lib.rs\",\"line\":7,\"column\":13,\
+             \"message\":\"`Instant` reads the wall clock\",\"suppressed\":true}],\
+             \"counts\":{\"total\":1,\"suppressed\":1,\"active\":0}}\n"
+        );
+    }
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn sort_orders_by_location() {
+        let mut v = vec![finding(false), finding(false)];
+        v[0].line = 9;
+        sort(&mut v);
+        assert_eq!(v[0].line, 7);
+    }
+}

@@ -1,0 +1,138 @@
+//! Workspace walking: which files get scanned, with which lint scope.
+
+use crate::lints::{scan_file, Finding, Scope};
+use crate::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Crates whose runtime logic feeds the deterministic simulation; the
+/// `det-*` structure lints apply here. `wire`/`stats` are pure functions
+/// of their inputs and `bench` is a measurement harness, so they only get
+/// the RNG and hot-path lints.
+const DET_CRATES: &[&str] = &[
+    "sim", "switch", "feed", "trading", "market", "topo", "core", "netdev",
+];
+
+/// Crates not scanned at all. The auditor's own sources are full of lint
+/// pattern fragments and parser functions named `parse_*`, so it audits
+/// the workspace, not itself (its correctness is covered by its tests).
+const SKIP_CRATES: &[&str] = &["audit"];
+
+/// Lint scope for a file at `rel` (repo-relative, `/`-separated), or
+/// `None` if the file is out of scope.
+pub fn scope_for(rel: &str) -> Option<Scope> {
+    let mut parts = rel.split('/');
+    if parts.next() != Some("crates") {
+        return None;
+    }
+    let krate = parts.next()?;
+    if SKIP_CRATES.contains(&krate) {
+        return None;
+    }
+    if parts.next() != Some("src") {
+        return None;
+    }
+    Some(Scope {
+        det: DET_CRATES.contains(&krate),
+        hotpath: true,
+    })
+}
+
+/// Every `.rs` file under `crates/*/src`, sorted for stable output.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, root, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(PathBuf, String)>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((path, rel));
+        }
+    }
+    Ok(())
+}
+
+/// Scan the whole workspace under `root`, sorted into report order.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for (path, rel) in workspace_files(root)? {
+        let Some(scope) = scope_for(&rel) else {
+            continue;
+        };
+        let sf = SourceFile::load(&path, &rel)?;
+        findings.extend(scan_file(&sf, scope));
+    }
+    crate::report::sort(&mut findings);
+    Ok(findings)
+}
+
+/// The repository root: `--root` override, else the workspace that built
+/// this binary (two levels up from the audit crate's manifest).
+pub fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_rules() {
+        let det = scope_for("crates/sim/src/kernel.rs").unwrap();
+        assert!(det.det && det.hotpath);
+        let wire = scope_for("crates/wire/src/pitch.rs").unwrap();
+        assert!(!wire.det && wire.hotpath);
+        assert!(
+            scope_for("crates/audit/src/lints.rs").is_none(),
+            "auditor skips itself"
+        );
+        assert!(
+            scope_for("crates/sim/tests/props.rs").is_none(),
+            "tests out of scope"
+        );
+        assert!(scope_for("examples/quickstart.rs").is_none());
+    }
+
+    #[test]
+    fn workspace_walk_finds_kernel() {
+        let files = workspace_files(&default_root()).unwrap();
+        assert!(files
+            .iter()
+            .any(|(_, rel)| rel == "crates/sim/src/kernel.rs"));
+        assert!(
+            files.windows(2).all(|w| w[0].1 < w[1].1),
+            "sorted, no dupes"
+        );
+    }
+}

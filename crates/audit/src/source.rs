@@ -1,0 +1,454 @@
+//! Source model: a lightweight line-oriented lexer for Rust files.
+//!
+//! Full parsing (`syn`) is deliberately out of scope — the audit runs in
+//! offline environments with no registry access — so this module does the
+//! minimum lexing a lint pass needs to be trustworthy:
+//!
+//! * comments and string/char literal *contents* are blanked out of the
+//!   `code` view, so `"thread_rng"` in a doc string never trips a lint;
+//! * `// audit:allow(<lint>, ...)` suppression comments are collected per
+//!   line (they apply to their own line and the line that follows);
+//! * `#[cfg(test)]` regions are brace-tracked and marked, so test-only
+//!   code is exempt from determinism lints.
+//!
+//! The `code` view preserves column positions (every skipped character is
+//! replaced by a space), so findings can point at real source columns.
+
+/// One lexed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code with comments stripped and literal contents blanked (delimiters
+    /// kept). Same character count as `raw` for ASCII source.
+    pub code: String,
+    /// The raw line as written.
+    pub raw: String,
+    /// Comment text found on the line (line + block comments, concatenated).
+    pub comment: String,
+    /// Lint ids named by `audit:allow(...)` on this line.
+    pub allows: Vec<String>,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the repository root (used in reports).
+    pub rel: String,
+    /// Lexed lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum St {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    Char,
+    ByteStr,
+}
+
+impl SourceFile {
+    /// Lex `text` into lines. `rel` is the path used in findings.
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let mut lines: Vec<Line> = Vec::new();
+        let mut st = St::Code;
+
+        for raw in text.lines() {
+            let mut code = String::with_capacity(raw.len());
+            let mut comment = String::new();
+            let chars: Vec<char> = raw.chars().collect();
+            let mut i = 0usize;
+
+            // A line comment never spans lines.
+            if st == St::LineComment {
+                st = St::Code;
+            }
+
+            while i < chars.len() {
+                let c = chars[i];
+                let next = chars.get(i + 1).copied();
+                match st {
+                    St::Code => match c {
+                        '/' if next == Some('/') => {
+                            st = St::LineComment;
+                            comment.push_str(&raw[char_byte(raw, i)..]);
+                            // blank the rest of the line in the code view
+                            for _ in i..chars.len() {
+                                code.push(' ');
+                            }
+                            i = chars.len();
+                            continue;
+                        }
+                        '/' if next == Some('*') => {
+                            st = St::BlockComment(1);
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                        '"' => {
+                            st = St::Str;
+                            code.push('"');
+                        }
+                        'r' if next == Some('"') || next == Some('#') => {
+                            // possible raw string r"..." / r#"..."#
+                            if let Some(h) = raw_str_hashes(&chars, i + 1) {
+                                st = St::RawStr(h);
+                                code.push('r');
+                                for _ in 0..(h as usize + 1) {
+                                    code.push(' ');
+                                }
+                                i += 2 + h as usize;
+                                continue;
+                            }
+                            code.push(c);
+                        }
+                        'b' if next == Some('"') => {
+                            st = St::ByteStr;
+                            code.push('b');
+                            code.push('"');
+                            i += 2;
+                            continue;
+                        }
+                        '\'' => {
+                            // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                            let is_char = match next {
+                                Some('\\') => true,
+                                Some(_) => chars.get(i + 2) == Some(&'\''),
+                                None => false,
+                            };
+                            if is_char {
+                                st = St::Char;
+                                code.push('\'');
+                            } else {
+                                code.push('\''); // lifetime quote, keep as-is
+                            }
+                        }
+                        _ => code.push(c),
+                    },
+                    St::LineComment => unreachable!("handled above"),
+                    St::BlockComment(d) => {
+                        if c == '*' && next == Some('/') {
+                            st = if d == 1 {
+                                St::Code
+                            } else {
+                                St::BlockComment(d - 1)
+                            };
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                        if c == '/' && next == Some('*') {
+                            st = St::BlockComment(d + 1);
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                        comment.push(c);
+                        code.push(' ');
+                    }
+                    St::Str | St::ByteStr => {
+                        if c == '\\' {
+                            code.push(' ');
+                            if next.is_some() {
+                                code.push(' ');
+                                i += 2;
+                                continue;
+                            }
+                        } else if c == '"' {
+                            st = St::Code;
+                            code.push('"');
+                        } else {
+                            code.push(' ');
+                        }
+                    }
+                    St::RawStr(h) => {
+                        if c == '"' && closes_raw(&chars, i + 1, h) {
+                            st = St::Code;
+                            code.push('"');
+                            for _ in 0..h {
+                                code.push(' ');
+                            }
+                            i += 1 + h as usize;
+                            continue;
+                        }
+                        code.push(' ');
+                    }
+                    St::Char => {
+                        if c == '\\' {
+                            code.push(' ');
+                            if next.is_some() {
+                                code.push(' ');
+                                i += 2;
+                                continue;
+                            }
+                        } else if c == '\'' {
+                            st = St::Code;
+                            code.push('\'');
+                        } else {
+                            code.push(' ');
+                        }
+                    }
+                }
+                i += 1;
+            }
+
+            let allows = parse_allows(&comment);
+            lines.push(Line {
+                code,
+                raw: raw.to_string(),
+                comment,
+                allows,
+                in_test: false,
+            });
+        }
+
+        let mut sf = SourceFile {
+            rel: rel.to_string(),
+            lines,
+        };
+        sf.mark_test_regions();
+        sf
+    }
+
+    /// Read and lex a file from disk.
+    pub fn load(path: &std::path::Path, rel: &str) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(SourceFile::parse(rel, &text))
+    }
+
+    /// Is lint `id` suppressed at 1-based line `line`? An `audit:allow`
+    /// applies to its own line and to the following line (so it can sit on
+    /// a comment line directly above the flagged code).
+    pub fn allowed(&self, line: usize, id: &str) -> bool {
+        let hit = |l: usize| {
+            self.lines
+                .get(l.wrapping_sub(1))
+                .map(|ln| ln.allows.iter().any(|a| a == id || a == "all"))
+                .unwrap_or(false)
+        };
+        hit(line) || (line > 1 && hit(line - 1))
+    }
+
+    /// Mark lines belonging to `#[cfg(test)]` items by brace tracking.
+    fn mark_test_regions(&mut self) {
+        let n = self.lines.len();
+        let mut i = 0usize;
+        while i < n {
+            if self.lines[i].code.contains("#[cfg(test)]") {
+                // Find the opening brace of the annotated item, then its
+                // matching close, and mark everything in between.
+                let mut depth: i32 = 0;
+                let mut opened = false;
+                let mut j = i;
+                'scan: while j < n {
+                    for ch in self.lines[j].code.chars() {
+                        match ch {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => depth -= 1,
+                            // An attribute on a braceless item (e.g. a
+                            // `use`) ends at `;` before any brace opens.
+                            ';' if !opened => {
+                                break 'scan;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if opened && depth <= 0 {
+                        break;
+                    }
+                    j += 1;
+                }
+                let end = j.min(n - 1);
+                for ln in &mut self.lines[i..=end] {
+                    ln.in_test = true;
+                }
+                i = end + 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Byte offset of the `idx`-th char of `s`.
+fn char_byte(s: &str, idx: usize) -> usize {
+    s.char_indices().nth(idx).map(|(b, _)| b).unwrap_or(s.len())
+}
+
+/// If `chars[from..]` starts a raw-string opener (`#*"`), the hash count.
+fn raw_str_hashes(chars: &[char], from: usize) -> Option<u8> {
+    let mut h = 0u8;
+    let mut i = from;
+    while chars.get(i) == Some(&'#') {
+        h += 1;
+        i += 1;
+    }
+    (chars.get(i) == Some(&'"')).then_some(h)
+}
+
+/// Does `chars[from..]` hold `h` hashes (closing a raw string)?
+fn closes_raw(chars: &[char], from: usize, h: u8) -> bool {
+    (0..h as usize).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// Extract lint ids from `audit:allow(a, b)` occurrences in a comment.
+fn parse_allows(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("audit:allow(") {
+        let after = &rest[pos + "audit:allow(".len()..];
+        if let Some(close) = after.find(')') {
+            for id in after[..close].split(',') {
+                let id = id.trim();
+                if !id.is_empty() {
+                    out.push(id.to_string());
+                }
+            }
+            rest = &after[close + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Split a `code` view line into (column, token) pairs. Tokens are
+/// identifiers (including keywords) or single punctuation characters;
+/// whitespace separates. Columns are 1-based char positions.
+pub fn tokenize(code: &str) -> Vec<(usize, Tok)> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push((start + 1, Tok::Ident(chars[start..i].iter().collect())));
+        } else {
+            out.push((i + 1, Tok::Punct(c)));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A lexed token: identifier/keyword or one punctuation char.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character.
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s.as_str()),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    /// Is this exactly punctuation `c`?
+    pub fn is(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let sf = SourceFile::parse(
+            "x.rs",
+            "let a = \"thread_rng\"; // thread_rng here too\nlet b = 1; /* Instant */ let c = 2;\n",
+        );
+        assert!(!sf.lines[0].code.contains("thread_rng"));
+        assert!(sf.lines[0].comment.contains("thread_rng"));
+        assert!(!sf.lines[1].code.contains("Instant"));
+        assert!(sf.lines[1].code.contains("let c"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let sf = SourceFile::parse(
+            "x.rs",
+            "let a = r#\"panic!(\"x\")\"#;\nlet b = '\\n'; let lt: &'static str = \"\";\n",
+        );
+        assert!(!sf.lines[0].code.contains("panic"));
+        assert!(sf.lines[1].code.contains("static"), "{}", sf.lines[1].code);
+    }
+
+    #[test]
+    fn multiline_block_comment() {
+        let sf = SourceFile::parse("x.rs", "/* Instant::now()\n SystemTime */ let x = 1;\n");
+        assert!(!sf.lines[0].code.contains("Instant"));
+        assert!(!sf.lines[1].code.contains("SystemTime"));
+        assert!(sf.lines[1].code.contains("let x"));
+    }
+
+    #[test]
+    fn allows_parse_and_apply() {
+        let sf = SourceFile::parse(
+            "x.rs",
+            "// audit:allow(det-wallclock): reason\nlet t = 1;\nlet u = 2; // audit:allow(a, b)\n",
+        );
+        assert_eq!(sf.lines[0].allows, vec!["det-wallclock"]);
+        assert!(sf.allowed(1, "det-wallclock"));
+        assert!(
+            sf.allowed(2, "det-wallclock"),
+            "allow reaches the next line"
+        );
+        assert!(!sf.allowed(3, "det-wallclock"));
+        assert!(sf.allowed(3, "a") && sf.allowed(3, "b"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let text = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let m = 1; }\n}\nfn after() {}\n";
+        let sf = SourceFile::parse("x.rs", text);
+        assert!(!sf.lines[0].in_test);
+        assert!(
+            sf.lines[1].in_test
+                && sf.lines[2].in_test
+                && sf.lines[3].in_test
+                && sf.lines[4].in_test
+        );
+        assert!(!sf.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item() {
+        let text = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let sf = SourceFile::parse("x.rs", text);
+        assert!(sf.lines[0].in_test && sf.lines[1].in_test);
+        assert!(!sf.lines[2].in_test);
+    }
+
+    #[test]
+    fn tokenize_splits_idents_and_punct() {
+        let toks = tokenize("self.books.keys()");
+        let idents: Vec<&str> = toks.iter().filter_map(|(_, t)| t.ident()).collect();
+        assert_eq!(idents, vec!["self", "books", "keys"]);
+        assert!(toks[1].1.is('.'));
+    }
+}

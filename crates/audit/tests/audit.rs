@@ -1,0 +1,123 @@
+//! Integration tests: each lint fires on its fixture exactly once,
+//! suppression is honoured, the JSON schema is stable, and the real
+//! workspace passes its own audit.
+
+use tn_audit::{counts, render_json, scan_file, Scope, SourceFile};
+
+fn scan_fixture(name: &str, text: &str) -> Vec<tn_audit::Finding> {
+    scan_file(&SourceFile::parse(name, text), Scope::full())
+}
+
+macro_rules! fixture {
+    ($name:literal) => {
+        ($name, include_str!(concat!("fixtures/", $name, ".rs")))
+    };
+}
+
+#[test]
+fn each_lint_fires_exactly_once_on_its_fixture() {
+    for (lint, (name, text)) in [
+        ("det-hashmap-iter", fixture!("det_hashmap_iter")),
+        ("det-wallclock", fixture!("det_wallclock")),
+        ("det-unseeded-rng", fixture!("det_unseeded_rng")),
+        ("hotpath-unwrap", fixture!("hotpath_unwrap")),
+        ("hotpath-alloc", fixture!("hotpath_alloc")),
+    ] {
+        let findings = scan_fixture(name, text);
+        assert_eq!(
+            findings.len(),
+            1,
+            "{name}: expected one finding, got {findings:#?}"
+        );
+        assert_eq!(findings[0].lint, lint, "{name}");
+        assert!(!findings[0].suppressed, "{name}");
+    }
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let (name, text) = fixture!("clean");
+    let findings = scan_fixture(name, text);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn suppression_is_honoured_and_counted() {
+    let (name, text) = fixture!("suppressed");
+    let findings = scan_fixture(name, text);
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.suppressed), "{findings:#?}");
+    let c = counts(&findings);
+    assert_eq!((c.total, c.suppressed, c.active), (2, 2, 0));
+}
+
+#[test]
+fn json_schema_is_stable() {
+    let (name, text) = fixture!("det_wallclock");
+    let mut findings = scan_fixture(name, text);
+    tn_audit::report::sort(&mut findings);
+    let json = render_json(&findings);
+    // The exact layout downstream tooling can rely on.
+    assert!(json.starts_with("{\"version\":1,\"findings\":["), "{json}");
+    assert!(
+        json.trim_end()
+            .ends_with("\"counts\":{\"total\":1,\"suppressed\":0,\"active\":1}}"),
+        "{json}"
+    );
+    for key in [
+        "\"lint\":",
+        "\"severity\":",
+        "\"file\":",
+        "\"line\":",
+        "\"column\":",
+        "\"message\":",
+        "\"suppressed\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    let empty = render_json(&[]);
+    assert_eq!(
+        empty,
+        "{\"version\":1,\"findings\":[],\"counts\":{\"total\":0,\"suppressed\":0,\"active\":0}}\n"
+    );
+}
+
+#[test]
+fn workspace_audit_is_clean() {
+    // The repo must pass its own audit: everything fixed or waived.
+    let findings = tn_audit::scan_workspace(&tn_audit::scan::default_root()).unwrap();
+    let active: Vec<_> = findings.iter().filter(|f| !f.suppressed).collect();
+    assert!(active.is_empty(), "active findings: {active:#?}");
+}
+
+#[test]
+fn cli_lint_exits_zero_on_this_workspace() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tn-audit"))
+        .arg("lint")
+        .output()
+        .expect("run tn-audit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("active"), "{stdout}");
+}
+
+#[test]
+fn cli_rejects_unknown_arguments() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tn-audit"))
+        .arg("--bogus")
+        .output()
+        .expect("run tn-audit");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn divergence_registry_dual_runs_agree() {
+    // One cheap end-to-end divergence pass (the full registry runs in CI
+    // via `tn-audit check`).
+    let outcomes = tn_audit::divergence::run_all(Some("mcast-cliff"));
+    assert!(outcomes.iter().all(|o| o.passed()), "{outcomes:#?}");
+}

@@ -1,0 +1,18 @@
+//! Fixture: deterministic, allocation-free hot path — zero findings.
+use std::collections::BTreeMap;
+
+pub struct Counter {
+    per_port: BTreeMap<u16, u64>,
+}
+
+impl Counter {
+    pub fn on_frame(&mut self, port: u16) -> u64 {
+        let slot = self.per_port.entry(port).or_insert(0);
+        *slot += 1;
+        *slot
+    }
+
+    pub fn total(&self) -> u64 {
+        self.per_port.values().sum()
+    }
+}

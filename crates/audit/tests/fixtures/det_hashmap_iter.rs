@@ -1,0 +1,16 @@
+//! Fixture: triggers `det-hashmap-iter` exactly once.
+use std::collections::HashMap;
+
+pub struct Positions {
+    by_symbol: HashMap<u32, i64>,
+}
+
+impl Positions {
+    pub fn get(&self, s: u32) -> Option<i64> {
+        self.by_symbol.get(&s).copied() // keyed access: clean
+    }
+
+    pub fn gross(&self) -> u64 {
+        self.by_symbol.values().map(|p| p.unsigned_abs()).sum()
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: triggers `det-unseeded-rng` exactly once.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..100)
+}

@@ -1,0 +1,5 @@
+//! Fixture: triggers `det-wallclock` exactly once.
+pub fn elapsed_ps() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64 * 1000
+}

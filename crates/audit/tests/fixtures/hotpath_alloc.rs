@@ -1,0 +1,8 @@
+//! Fixture: triggers `hotpath-alloc` exactly once.
+pub fn on_timer(n: u64) -> String {
+    format!("timer {n}")
+}
+
+pub fn cold_format(n: u64) -> String {
+    format!("cold {n}") // not a hot fn: clean
+}

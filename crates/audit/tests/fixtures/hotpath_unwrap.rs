@@ -1,0 +1,8 @@
+//! Fixture: triggers `hotpath-unwrap` exactly once.
+pub fn on_frame(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap()
+}
+
+pub fn cold_path(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap() // not a hot fn: clean
+}

@@ -1,0 +1,11 @@
+//! Fixture: one finding of each family, every one waived in place.
+pub fn on_frame(bytes: &[u8]) -> u8 {
+    // audit:allow(hotpath-unwrap): fixture demonstrates suppression
+    *bytes.first().unwrap()
+}
+
+pub fn stamp_ns() -> u64 {
+    // audit:allow(det-wallclock): fixture demonstrates suppression
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -16,7 +16,10 @@ fn table1_frame_lengths(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            profiles.iter().map(|p| p.sample_frame_lengths(seed, 50_000).len()).sum::<usize>()
+            profiles
+                .iter()
+                .map(|p| p.sample_frame_lengths(seed, 50_000).len())
+                .sum::<usize>()
         })
     });
 }
@@ -83,5 +86,10 @@ fn design_roundtrips(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, table1_frame_lengths, fig2_models, design_roundtrips);
+criterion_group!(
+    benches,
+    table1_frame_lengths,
+    fig2_models,
+    design_roundtrips
+);
 criterion_main!(benches);

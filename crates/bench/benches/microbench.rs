@@ -57,7 +57,10 @@ fn wire_codecs(c: &mut Criterion) {
     // Whole-stack parse: Ethernet + IPv4 + UDP around a PITCH packet.
     let mut pb = pitch::PacketBuilder::new(1, 1, 1400);
     for i in 0..10 {
-        pb.push(&pitch::Message::DeleteOrder { offset_ns: i, order_id: u64::from(i) });
+        pb.push(&pitch::Message::DeleteOrder {
+            offset_ns: i,
+            order_id: u64::from(i),
+        });
     }
     let frame = stack::build_udp(
         tn_wire::eth::MacAddr::host(1),
@@ -135,8 +138,10 @@ fn market_pipeline(c: &mut Criterion) {
         }
     }
     packets.extend(pb.flush());
-    let msg_count: usize =
-        packets.iter().map(|p| pitch::Packet::new_checked(&p[..]).unwrap().count() as usize).sum();
+    let msg_count: usize = packets
+        .iter()
+        .map(|p| pitch::Packet::new_checked(&p[..]).unwrap().count() as usize)
+        .sum();
     g.throughput(Throughput::Elements(msg_count as u64));
     g.bench_function("normalizer_core_full_feed", |b| {
         b.iter(|| {
@@ -187,5 +192,11 @@ fn workload_models(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, wire_codecs, order_book, market_pipeline, workload_models);
+criterion_group!(
+    benches,
+    wire_codecs,
+    order_book,
+    market_pipeline,
+    workload_models
+);
 criterion_main!(benches);

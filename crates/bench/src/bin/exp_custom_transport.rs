@@ -24,7 +24,11 @@ fn main() {
     sc.duration = SimTime::from_ms(60);
 
     let udp = LayerOneSwitches::default().run(&sc);
-    let custom = LayerOneSwitches { custom_transport: true, ..Default::default() }.run(&sc);
+    let custom = LayerOneSwitches {
+        custom_transport: true,
+        ..Default::default()
+    }
+    .run(&sc);
 
     println!("Design 3 internal feed, UDP framing vs the §5 custom transport:\n");
     println!(

@@ -9,9 +9,7 @@
 //! cargo run --release -p tn-bench --bin exp_design_comparison
 //! ```
 
-use tn_core::design::{
-    CloudDesign, LayerOneSwitches, TradingNetworkDesign, TraditionalSwitches,
-};
+use tn_core::design::{CloudDesign, LayerOneSwitches, TradingNetworkDesign, TraditionalSwitches};
 use tn_core::ScenarioConfig;
 use tn_sim::SimTime;
 

@@ -73,8 +73,19 @@ fn run_naive() -> (u64, u64, u64, u64) {
         sw.provision_merge(PortId(s as u16), out);
     }
     let sw = sim.add_node("merge", sw);
-    let rx = sim.add_node("rx", Rx { latencies_ns: vec![] });
-    sim.connect(sw, out, rx, PortId(0), EtherLink::ten_gig(SimTime::ZERO).with_queue_bytes(65_536));
+    let rx = sim.add_node(
+        "rx",
+        Rx {
+            latencies_ns: vec![],
+        },
+    );
+    sim.connect(
+        sw,
+        out,
+        rx,
+        PortId(0),
+        EtherLink::ten_gig(SimTime::ZERO).with_queue_bytes(65_536),
+    );
     burst(&mut sim, sw);
     sim.run();
     summarize(&sim, rx)
@@ -95,8 +106,19 @@ fn run_filtered() -> (u64, u64, u64, u64) {
         sw.set_ingress_filter(PortId(s as u16), wanted.clone());
     }
     let sw = sim.add_node("fpga", sw);
-    let rx = sim.add_node("rx", Rx { latencies_ns: vec![] });
-    sim.connect(sw, out, rx, PortId(0), EtherLink::ten_gig(SimTime::ZERO).with_queue_bytes(65_536));
+    let rx = sim.add_node(
+        "rx",
+        Rx {
+            latencies_ns: vec![],
+        },
+    );
+    sim.connect(
+        sw,
+        out,
+        rx,
+        PortId(0),
+        EtherLink::ten_gig(SimTime::ZERO).with_queue_bytes(65_536),
+    );
     burst(&mut sim, sw);
     sim.run();
     summarize(&sim, rx)
@@ -106,7 +128,12 @@ fn summarize(sim: &Simulator, rx: tn_sim::NodeId) -> (u64, u64, u64, u64) {
     let lat = &sim.node::<Rx>(rx).unwrap().latencies_ns;
     let mut s = Summary::new();
     s.extend(lat.iter().copied());
-    (s.count() as u64, sim.stats().frames_dropped, s.median(), s.max())
+    (
+        s.count() as u64,
+        sim.stats().frames_dropped,
+        s.median(),
+        s.max(),
+    )
 }
 
 fn main() {
@@ -123,19 +150,11 @@ fn main() {
     );
     println!(
         "{:<26} {:>10} {:>10} {:>9} ns {:>9} ns   (delivers everything, incl. 3/4 junk)",
-        "naive L1S (56 ns)",
-        d1,
-        drop1,
-        med1,
-        max1
+        "naive L1S (56 ns)", d1, drop1, med1, max1
     );
     println!(
         "{:<26} {:>10} {:>10} {:>9} ns {:>9} ns   (wanted: {wanted_total})",
-        "FPGA-L1S filter (100 ns)",
-        d2,
-        drop2,
-        med2,
-        max2
+        "FPGA-L1S filter (100 ns)", d2, drop2, med2, max2
     );
     println!();
     println!("the naive merge offers 4x the circuit rate: it loses frames and its queue");

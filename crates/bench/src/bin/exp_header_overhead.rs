@@ -59,9 +59,7 @@ fn main() {
         price: 450_0000,
     };
     let cancel = boe::Message::CancelOrder { cl_ord_id: 1 };
-    for (name, msg, pitch_equiv) in
-        [("new order", &new_order, 26usize), ("cancel", &cancel, 14)]
-    {
+    for (name, msg, pitch_equiv) in [("new order", &new_order, 26usize), ("cancel", &cancel, 14)] {
         let body = msg.wire_len();
         let framed = TCP_OVERHEAD + body;
         println!(

@@ -41,14 +41,19 @@ fn main() {
     for g in &hosts {
         println!("{:>6} {:>12}", g.year, g.latency.to_string());
     }
-    println!("(paper: 'latency for a hop through a software host ... is now below 1 microsecond')\n");
+    println!(
+        "(paper: 'latency for a hop through a software host ... is now below 1 microsecond')\n"
+    );
 
     println!("the §4.1 round trip (12 switch hops + 3 software hops) by era:");
     println!(
         "{:>12} {:>14} {:>14} {:>14} {:>10}",
         "era", "network", "software", "total", "net share"
     );
-    for (sw, host) in switches.iter().zip([0, 0, 1, 1, 2, 2].iter().map(|&i| &hosts[i])) {
+    for (sw, host) in switches
+        .iter()
+        .zip([0, 0, 1, 1, 2, 2].iter().map(|&i| &hosts[i]))
+    {
         let network = sw.latency * 12;
         let software = host.latency * 3;
         let total = network + software;

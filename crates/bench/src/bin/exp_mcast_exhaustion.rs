@@ -44,7 +44,13 @@ fn run_sweep(groups: usize, table: usize, packets_per_group: usize) -> (f64, f64
     let mut sim = Simulator::new(1);
     let sw = sim.add_node("sw", CommoditySwitch::new(cfg));
     let rx = sim.add_node("rx", Receiver { arrivals: vec![] });
-    sim.connect(sw, PortId(1), rx, PortId(0), EtherLink::ten_gig(SimTime::ZERO));
+    sim.connect(
+        sw,
+        PortId(1),
+        rx,
+        PortId(0),
+        EtherLink::ten_gig(SimTime::ZERO),
+    );
     for g in 0..groups as u32 {
         let join = tn_switch::commodity::igmp_frame(
             igmp::MessageType::Report,
@@ -100,9 +106,22 @@ fn run_sweep(groups: usize, table: usize, packets_per_group: usize) -> (f64, f64
     }
     let hw_expected = table.min(groups) * packets_per_group;
     let sw_expected = groups.saturating_sub(table) * packets_per_group;
-    let hw_rate = if hw_expected > 0 { hw_lat.count() as f64 / hw_expected as f64 } else { 1.0 };
-    let sw_rate = if sw_expected > 0 { sw_lat.count() as f64 / sw_expected as f64 } else { 1.0 };
-    (100.0 * hw_rate, 100.0 * sw_rate, hw_lat.median(), sw_lat.median())
+    let hw_rate = if hw_expected > 0 {
+        hw_lat.count() as f64 / hw_expected as f64
+    } else {
+        1.0
+    };
+    let sw_rate = if sw_expected > 0 {
+        sw_lat.count() as f64 / sw_expected as f64
+    } else {
+        1.0
+    };
+    (
+        100.0 * hw_rate,
+        100.0 * sw_rate,
+        hw_lat.median(),
+        sw_lat.median(),
+    )
 }
 
 fn main() {

@@ -39,10 +39,21 @@ fn run(sources: usize, frames_per_burst: usize, frame_len: usize) -> (u64, u64, 
         sw.provision_merge(PortId(s as u16), out);
     }
     let sw = sim.add_node("merge", sw);
-    let rx = sim.add_node("rx", Rx { latencies_ns: vec![] });
+    let rx = sim.add_node(
+        "rx",
+        Rx {
+            latencies_ns: vec![],
+        },
+    );
     // The strategy's single NIC circuit: 10G with a 64 kB egress buffer —
     // a generous L1S mux FIFO.
-    sim.connect(sw, out, rx, PortId(0), EtherLink::ten_gig(SimTime::ZERO).with_queue_bytes(65_536));
+    sim.connect(
+        sw,
+        out,
+        rx,
+        PortId(0),
+        EtherLink::ten_gig(SimTime::ZERO).with_queue_bytes(65_536),
+    );
 
     // Correlated burst: all sources fire at the same instant, each frame
     // spaced at its own line rate (they arrive on independent 10G links).
@@ -59,7 +70,13 @@ fn run(sources: usize, frames_per_burst: usize, frame_len: usize) -> (u64, u64, 
     let dropped = sim.stats().frames_dropped;
     let mut s = Summary::new();
     s.extend(delivered.iter().copied());
-    (s.count() as u64, dropped, s.median(), s.percentile(99.0), s.max())
+    (
+        s.count() as u64,
+        dropped,
+        s.median(),
+        s.percentile(99.0),
+        s.max(),
+    )
 }
 
 fn main() {

@@ -11,9 +11,7 @@
 //! cargo run --release -p tn-bench --bin exp_placement
 //! ```
 
-use tn_topo::placement::{
-    colocated_fraction, grouped, mean_path_hops, optimize, skewed_demands,
-};
+use tn_topo::placement::{colocated_fraction, grouped, mean_path_hops, optimize, skewed_demands};
 
 fn main() {
     let normalizers = 4;

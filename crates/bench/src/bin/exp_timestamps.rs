@@ -52,7 +52,10 @@ fn main() {
         events.len(),
         mean_gap_ns
     );
-    println!("{:>22} {:>16} {:>16}", "sync residual", "misordered pairs", "rate");
+    println!(
+        "{:>22} {:>16} {:>16}",
+        "sync residual", "misordered pairs", "rate"
+    );
     for residual_ns in [10_000i64, 1_000, 100, 10, 1, 0] {
         let residual_ps = residual_ns * 1_000;
         let (bad, pairs) = misordered_pairs(&events, residual_ps, 0);
@@ -87,9 +90,15 @@ fn main() {
     println!("ambiguous. Hence §2's 'precision below 100 picoseconds'.");
     let (bad_100ps, pairs) = misordered_pairs(&events, 100, 0);
     let rate_100ps = bad_100ps as f64 / pairs as f64;
-    assert!(rate_100ps < 0.0005, "100 ps should flip <0.05%: {rate_100ps}");
+    assert!(
+        rate_100ps < 0.0005,
+        "100 ps should flip <0.05%: {rate_100ps}"
+    );
     let (bad_100ns, _) = misordered_pairs(&events, 100_000, 0);
-    assert!(bad_100ns as f64 / pairs as f64 > 0.05, "100 ns must flip a visible fraction");
+    assert!(
+        bad_100ns as f64 / pairs as f64 > 0.05,
+        "100 ns must flip a visible fraction"
+    );
     let (bad_10us, _) = misordered_pairs(&events, 10_000_000, 0);
     assert!(bad_10us > 0, "10 us sync must scramble ordering");
 }

@@ -13,20 +13,36 @@ fn main() {
     println!("Figure 2(a): market data event count by day (US options + equities)\n");
     let values: Vec<f64> = series.iter().map(|p| p.events as f64).collect();
     println!("{}", ascii_chart(&values, 100, 12));
-    println!("2020{:>24}2021{:>20}2022{:>20}2023{:>20}2024", "", "", "", "");
+    println!(
+        "2020{:>24}2021{:>20}2022{:>20}2023{:>20}2024",
+        "", "", "", ""
+    );
     println!();
 
     // Yearly means, plus the growth anchors §3 quotes.
-    println!("{:<8} {:>14} {:>18}", "year", "events/day", "avg events/sec");
+    println!(
+        "{:<8} {:>14} {:>18}",
+        "year", "events/day", "avg events/sec"
+    );
     for year in 0..5 {
-        let span: Vec<&_> =
-            series.iter().filter(|p| (p.year.floor() as i64) == 2020 + year).collect();
+        let span: Vec<&_> = series
+            .iter()
+            .filter(|p| (p.year.floor() as i64) == 2020 + year)
+            .collect();
         let mean = span.iter().map(|p| p.events as f64).sum::<f64>() / span.len() as f64;
-        println!("{:<8} {:>14} {:>18}", 2020 + year, eng(mean), eng(mean / 86_400.0));
+        println!(
+            "{:<8} {:>14} {:>18}",
+            2020 + year,
+            eng(mean),
+            eng(mean / 86_400.0)
+        );
     }
     let first: f64 = series[..60].iter().map(|p| p.events as f64).sum::<f64>() / 60.0;
-    let last: f64 =
-        series[series.len() - 60..].iter().map(|p| p.events as f64).sum::<f64>() / 60.0;
+    let last: f64 = series[series.len() - 60..]
+        .iter()
+        .map(|p| p.events as f64)
+        .sum::<f64>()
+        / 60.0;
     println!();
     println!(
         "growth over 5 years: {:.1}x = +{:.0}%  (paper: 'increased 500% over the last 5 years';\n\
@@ -36,5 +52,8 @@ fn main() {
     );
     let avg_rate = last / 86_400.0;
     println!("2024 average rate: {} events/sec", eng(avg_rate));
-    assert!(avg_rate > 500_000.0, "paper anchor: >500k events/sec average");
+    assert!(
+        avg_rate > 500_000.0,
+        "paper anchor: >500k events/sec average"
+    );
 }

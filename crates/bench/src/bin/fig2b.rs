@@ -18,27 +18,39 @@ fn main() {
     let to = 59_400usize;
     let window: Vec<f64> = counts[from..to].iter().map(|&c| c as f64).collect();
     println!("{}", ascii_chart(&window, 108, 14));
-    println!("9:00{:>20}10:30{:>20}12:00{:>20}13:30{:>20}15:00{:>8}16:30", "", "", "", "", "");
+    println!(
+        "9:00{:>20}10:30{:>20}12:00{:>20}13:30{:>20}15:00{:>8}16:30",
+        "", "", "", "", ""
+    );
     println!();
 
     let mut s = Summary::new();
     s.extend(
-        counts[SESSION_OPEN_SEC as usize..SESSION_CLOSE_SEC as usize].iter().copied(),
+        counts[SESSION_OPEN_SEC as usize..SESSION_CLOSE_SEC as usize]
+            .iter()
+            .copied(),
     );
     let median = s.median();
     let max = s.max();
     println!("session seconds : {}", s.count());
-    println!("median second   : {} events   (paper: >300k)", eng(median as f64));
-    println!("busiest second  : {} events   (paper: 1.5M)", eng(max as f64));
+    println!(
+        "median second   : {} events   (paper: >300k)",
+        eng(median as f64)
+    );
+    println!(
+        "busiest second  : {} events   (paper: 1.5M)",
+        eng(max as f64)
+    );
     println!("day total       : {} events", eng(s.sum() as f64));
     println!();
     // §3: "to be able to process a single second's events as quickly as
     // they arrive, a trading system would need to be able to process each
     // event in around 650 nanoseconds".
     let budget_ns = 1e9 / max as f64;
-    println!(
-        "per-event budget during the busiest second: {budget_ns:.0} ns   (paper: ~650 ns)"
-    );
+    println!("per-event budget during the busiest second: {budget_ns:.0} ns   (paper: ~650 ns)");
     assert!(median > 300_000, "paper anchor: median > 300k");
-    assert!((1_150_000..=1_600_000).contains(&max), "paper anchor: busiest ~1.5M");
+    assert!(
+        (1_150_000..=1_600_000).contains(&max),
+        "paper anchor: busiest ~1.5M"
+    );
 }

@@ -22,7 +22,10 @@ fn main() {
         .map(|(i, &c)| (SESSION_OPEN_SEC as usize + i, c))
         .expect("session has seconds");
 
-    let model = MicroburstModel { total_events: busiest_count, ..MicroburstModel::default() };
+    let model = MicroburstModel {
+        total_events: busiest_count,
+        ..MicroburstModel::default()
+    };
     let windows = model.window_counts(4);
 
     println!(
@@ -34,13 +37,22 @@ fn main() {
     );
     let series: Vec<f64> = windows.iter().map(|&c| c as f64).collect();
     println!("{}", ascii_chart(&series, 100, 14));
-    println!("0ms{:>22}200ms{:>18}400ms{:>18}600ms{:>18}800ms", "", "", "", "");
+    println!(
+        "0ms{:>22}200ms{:>18}400ms{:>18}600ms{:>18}800ms",
+        "", "", "", ""
+    );
     println!();
 
     let mut s = Summary::new();
     s.extend(windows.iter().copied());
-    println!("median 100 us window  : {:>5} events   (paper: 129)", s.median());
-    println!("busiest 100 us window : {:>5} events   (paper: 1066)", s.max());
+    println!(
+        "median 100 us window  : {:>5} events   (paper: 129)",
+        s.median()
+    );
+    println!(
+        "busiest 100 us window : {:>5} events   (paper: 1066)",
+        s.max()
+    );
     println!();
     // §3: "processing at 100 nanoseconds per event — i.e., a software
     // system would have little time to perform any operations beyond

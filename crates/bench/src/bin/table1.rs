@@ -20,7 +20,10 @@ fn main() {
     ];
 
     println!("Table 1: Frame lengths from market data feeds");
-    println!("{:<12} {:>6} {:>7} {:>8} {:>6}   (paper: min/avg/median/max)", "Feed", "min", "avg", "median", "max");
+    println!(
+        "{:<12} {:>6} {:>7} {:>8} {:>6}   (paper: min/avg/median/max)",
+        "Feed", "min", "avg", "median", "max"
+    );
     for (profile, (name, (p_min, p_avg, p_med, p_max))) in
         ExchangeProfile::table1().into_iter().zip(paper)
     {

@@ -12,7 +12,9 @@ use tn_market::{Exchange, ExchangeConfig, PartitionScheme, SymbolDirectory};
 use tn_netdev::EtherLink;
 use tn_sim::{NodeId, PortId, SimTime, Simulator};
 use tn_switch::{FpgaConfig, FpgaL1Switch};
-use tn_topo::{CloudConfig, CloudFabric, L1FabricConfig, L1TradingFabric, LeafSpine, LeafSpineConfig};
+use tn_topo::{
+    CloudConfig, CloudFabric, L1FabricConfig, L1TradingFabric, LeafSpine, LeafSpineConfig,
+};
 use tn_trading::{
     gateway, normalizer, strategy, Gateway, GatewayConfig, MomentumLogic, Normalizer,
     NormalizerConfig, OutputTransport, Strategy, StrategyConfig,
@@ -131,12 +133,21 @@ fn build_firm_with_transport(
         normalizers.push(sim.add_node(format!("norm{n}"), Normalizer::new(cfg)));
     }
 
-    Firm { normalizers, strategies, gateways, gateway_addrs, strategy_addrs, normalizer_addrs }
+    Firm {
+        normalizers,
+        strategies,
+        gateways,
+        gateway_addrs,
+        strategy_addrs,
+        normalizer_addrs,
+    }
 }
 
 fn exchange_config(sc: &ScenarioConfig, dir: &SymbolDirectory) -> ExchangeConfig {
     let mut cfg = ExchangeConfig::new(1, dir.clone());
-    cfg.scheme = PartitionScheme::ByHash { units: sc.feed_units };
+    cfg.scheme = PartitionScheme::ByHash {
+        units: sc.feed_units,
+    };
     cfg.mcast_base = FEED_MCAST_BASE;
     cfg.order_service = sc.exchange_service;
     cfg.background_rate = sc.background_rate;
@@ -147,15 +158,12 @@ fn exchange_config(sc: &ScenarioConfig, dir: &SymbolDirectory) -> ExchangeConfig
 
 /// The units normalizer `n` owns under round-robin unit assignment.
 fn units_for(sc: &ScenarioConfig, n: usize) -> Vec<u32> {
-    (0..u32::from(sc.feed_units)).filter(|u| (*u as usize) % sc.normalizers == n).collect()
+    (0..u32::from(sc.feed_units))
+        .filter(|u| (*u as usize) % sc.normalizers == n)
+        .collect()
 }
 
-fn start_everything(
-    sim: &mut Simulator,
-    firm: &Firm,
-    exchange: NodeId,
-    warmup: SimTime,
-) {
+fn start_everything(sim: &mut Simulator, firm: &Firm, exchange: NodeId, warmup: SimTime) {
     for &g in &firm.gateways {
         sim.schedule_timer(SimTime::ZERO, g, gateway::START);
     }
@@ -213,6 +221,8 @@ fn collect_report(
         frames_dropped: sim.stats().frames_dropped,
         software_path: software,
         network_share,
+        trace_digest: sim.trace.digest(),
+        events_recorded: sim.trace.recorded(),
     }
 }
 
@@ -230,13 +240,11 @@ fn igmp_join_frame(mac: eth::MacAddr, ip: ipv4::Addr, group_idx: u32) -> Vec<u8>
 // ---------------------------------------------------------------------
 
 /// §4.1: commodity leaf-and-spine with functions grouped by rack.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TraditionalSwitches {
     /// Base fabric parameters; rack count is auto-sized to the scenario.
     pub fabric: LeafSpineConfig,
 }
-
 
 impl TradingNetworkDesign for TraditionalSwitches {
     fn name(&self) -> String {
@@ -316,7 +324,14 @@ impl TradingNetworkDesign for TraditionalSwitches {
         }
 
         start_everything(&mut sim, &firm, exchange, sc.warmup);
-        collect_report(sim, self.name(), sc, &firm, exchange, sc.warmup + sc.duration)
+        collect_report(
+            sim,
+            self.name(),
+            sc,
+            &firm,
+            exchange,
+            sc.warmup + sc.duration,
+        )
     }
 }
 
@@ -326,13 +341,11 @@ impl TradingNetworkDesign for TraditionalSwitches {
 
 /// §4.2: a latency-equalized provider fabric, exchange on-prem behind a
 /// WAN circuit.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CloudDesign {
     /// Provider fabric parameters.
     pub cloud: CloudConfig,
 }
-
 
 impl TradingNetworkDesign for CloudDesign {
     fn name(&self) -> String {
@@ -359,13 +372,25 @@ impl TradingNetworkDesign for CloudDesign {
         let exch_cfg = exchange_config(sc, &dir);
         let exch_ip = exch_cfg.src_ip;
         let exchange = sim.add_node("exchange", Exchange::new(exch_cfg));
-        sim.connect(exchange, PortId(0), cloud.fabric, cloud.external_port, cloud.external_link());
+        sim.connect(
+            exchange,
+            PortId(0),
+            cloud.fabric,
+            cloud.external_port,
+            cloud.external_link(),
+        );
         cloud.install_route(&mut sim, exch_ip, cloud.external_port);
 
         for (n, &node) in firm.normalizers.iter().enumerate() {
             let pf = cloud.take_tenant_port();
             let po = cloud.take_tenant_port();
-            sim.connect(node, normalizer::FEED_A, cloud.fabric, pf, cloud.tenant_link());
+            sim.connect(
+                node,
+                normalizer::FEED_A,
+                cloud.fabric,
+                pf,
+                cloud.tenant_link(),
+            );
             sim.connect(node, normalizer::OUT, cloud.fabric, po, cloud.tenant_link());
             let (mac, ip) = firm.normalizer_addrs[n];
             for u in units_for(sc, n) {
@@ -378,21 +403,46 @@ impl TradingNetworkDesign for CloudDesign {
             let pf = cloud.take_tenant_port();
             let po = cloud.take_tenant_port();
             sim.connect(node, strategy::FEED, cloud.fabric, pf, cloud.tenant_link());
-            sim.connect(node, strategy::ORDERS, cloud.fabric, po, cloud.tenant_link());
+            sim.connect(
+                node,
+                strategy::ORDERS,
+                cloud.fabric,
+                po,
+                cloud.tenant_link(),
+            );
             cloud.install_route(&mut sim, firm.strategy_addrs[s].1, po);
         }
         for (g, &node) in firm.gateways.iter().enumerate() {
             let pi = cloud.take_tenant_port();
             let px = cloud.take_tenant_port();
-            sim.connect(node, gateway::INTERNAL, cloud.fabric, pi, cloud.tenant_link());
-            sim.connect(node, gateway::EXCHANGE, cloud.fabric, px, cloud.tenant_link());
+            sim.connect(
+                node,
+                gateway::INTERNAL,
+                cloud.fabric,
+                pi,
+                cloud.tenant_link(),
+            );
+            sim.connect(
+                node,
+                gateway::EXCHANGE,
+                cloud.fabric,
+                px,
+                cloud.tenant_link(),
+            );
             let (_mac, exch_side_ip, internal_ip) = firm.gateway_addrs[g];
             cloud.install_route(&mut sim, internal_ip, pi);
             cloud.install_route(&mut sim, exch_side_ip, px);
         }
 
         start_everything(&mut sim, &firm, exchange, sc.warmup);
-        collect_report(sim, self.name(), sc, &firm, exchange, sc.warmup + sc.duration)
+        collect_report(
+            sim,
+            self.name(),
+            sc,
+            &firm,
+            exchange,
+            sc.warmup + sc.duration,
+        )
     }
 }
 
@@ -401,8 +451,7 @@ impl TradingNetworkDesign for CloudDesign {
 // ---------------------------------------------------------------------
 
 /// §4.3: four circuit networks on L1 switches.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LayerOneSwitches {
     /// How many normalizer feeds each strategy's NIC can take (merged).
     /// `None` subscribes every strategy to every normalizer.
@@ -411,7 +460,6 @@ pub struct LayerOneSwitches {
     /// Eth+IP+UDP — only circuit fabrics permit this.
     pub custom_transport: bool,
 }
-
 
 impl TradingNetworkDesign for LayerOneSwitches {
     fn name(&self) -> String {
@@ -452,7 +500,13 @@ impl TradingNetworkDesign for LayerOneSwitches {
         let exchange = sim.add_node("exchange", Exchange::new(exch_cfg));
         // Feed out on port 0 into network 1; orders in/out on port 1 via
         // network 4.
-        sim.connect(exchange, PortId(0), fabric.feed_net.switch, fabric.feed_net.inputs[0], link());
+        sim.connect(
+            exchange,
+            PortId(0),
+            fabric.feed_net.switch,
+            fabric.feed_net.inputs[0],
+            link(),
+        );
         sim.connect(
             exchange,
             PortId(1),
@@ -469,7 +523,13 @@ impl TradingNetworkDesign for LayerOneSwitches {
                 fabric.feed_net.outputs[n],
                 link(),
             );
-            sim.connect(node, normalizer::OUT, fabric.dist_net.switch, fabric.dist_net.inputs[n], link());
+            sim.connect(
+                node,
+                normalizer::OUT,
+                fabric.dist_net.switch,
+                fabric.dist_net.inputs[n],
+                link(),
+            );
         }
         for (s, &node) in firm.strategies.iter().enumerate() {
             sim.connect(
@@ -479,7 +539,13 @@ impl TradingNetworkDesign for LayerOneSwitches {
                 fabric.dist_net.outputs[s],
                 link(),
             );
-            sim.connect(node, strategy::ORDERS, fabric.order_net.switch, fabric.order_net.inputs[s], link());
+            sim.connect(
+                node,
+                strategy::ORDERS,
+                fabric.order_net.switch,
+                fabric.order_net.inputs[s],
+                link(),
+            );
         }
         for (g, &node) in firm.gateways.iter().enumerate() {
             sim.connect(
@@ -489,11 +555,24 @@ impl TradingNetworkDesign for LayerOneSwitches {
                 fabric.order_net.outputs[g],
                 link(),
             );
-            sim.connect(node, gateway::EXCHANGE, fabric.entry_net.switch, fabric.entry_net.inputs[g], link());
+            sim.connect(
+                node,
+                gateway::EXCHANGE,
+                fabric.entry_net.switch,
+                fabric.entry_net.inputs[g],
+                link(),
+            );
         }
 
         start_everything(&mut sim, &firm, exchange, sc.warmup);
-        collect_report(sim, self.name(), sc, &firm, exchange, sc.warmup + sc.duration)
+        collect_report(
+            sim,
+            self.name(),
+            sc,
+            &firm,
+            exchange,
+            sc.warmup + sc.duration,
+        )
     }
 }
 
@@ -514,7 +593,12 @@ pub struct FpgaHybrid {
 
 impl Default for FpgaHybrid {
     fn default() -> FpgaHybrid {
-        FpgaHybrid { fpga: FpgaConfig { mcast_table_size: 1024, ..FpgaConfig::default() } }
+        FpgaHybrid {
+            fpga: FpgaConfig {
+                mcast_table_size: 1024,
+                ..FpgaConfig::default()
+            },
+        }
     }
 }
 
@@ -549,7 +633,9 @@ impl TradingNetworkDesign for FpgaHybrid {
         let exchange = sim.add_node("exchange", Exchange::new(exch_cfg));
         let xp = take();
         sim.connect(exchange, PortId(0), fabric, xp, link());
-        sim.node_mut::<FpgaL1Switch>(fabric).unwrap().add_route(exch_ip, xp);
+        sim.node_mut::<FpgaL1Switch>(fabric)
+            .unwrap()
+            .add_route(exch_ip, xp);
 
         for (n, &node) in firm.normalizers.iter().enumerate() {
             let pf = take();
@@ -569,7 +655,9 @@ impl TradingNetworkDesign for FpgaHybrid {
             sim.connect(node, strategy::FEED, fabric, pf, link());
             sim.connect(node, strategy::ORDERS, fabric, po, link());
             let ip = firm.strategy_addrs[s].1;
-            sim.node_mut::<FpgaL1Switch>(fabric).unwrap().add_route(ip, po);
+            sim.node_mut::<FpgaL1Switch>(fabric)
+                .unwrap()
+                .add_route(ip, po);
         }
         for (g, &node) in firm.gateways.iter().enumerate() {
             let pi = take();
@@ -583,7 +671,14 @@ impl TradingNetworkDesign for FpgaHybrid {
         }
 
         start_everything(&mut sim, &firm, exchange, sc.warmup);
-        collect_report(sim, self.name(), sc, &firm, exchange, sc.warmup + sc.duration)
+        collect_report(
+            sim,
+            self.name(),
+            sc,
+            &firm,
+            exchange,
+            sc.warmup + sc.duration,
+        )
     }
 }
 
@@ -626,8 +721,11 @@ mod tests {
     fn design3_custom_transport_works_and_saves_bytes() {
         let sc = ScenarioConfig::small(7);
         let udp = LayerOneSwitches::default().run(&sc);
-        let l1t =
-            LayerOneSwitches { custom_transport: true, ..Default::default() }.run(&sc);
+        let l1t = LayerOneSwitches {
+            custom_transport: true,
+            ..Default::default()
+        }
+        .run(&sc);
         // Identical event flow; the transport never changes what trades.
         assert_eq!(udp.feed_messages, l1t.feed_messages);
         assert!(l1t.orders_sent > 0, "{}", l1t.summary());

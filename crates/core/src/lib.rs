@@ -21,6 +21,8 @@ pub mod design;
 pub mod report;
 pub mod scenario;
 
-pub use design::{CloudDesign, FpgaHybrid, LayerOneSwitches, TradingNetworkDesign, TraditionalSwitches};
+pub use design::{
+    CloudDesign, FpgaHybrid, LayerOneSwitches, TradingNetworkDesign, TraditionalSwitches,
+};
 pub use report::{DesignReport, LatencyStats};
 pub use scenario::ScenarioConfig;

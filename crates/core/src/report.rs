@@ -89,6 +89,12 @@ pub struct DesignReport {
     /// software (network + exchange): §4.1's "half of the overall time
     /// through the system is spent in the network".
     pub network_share: f64,
+    /// Kernel trace digest of the run (FNV-1a over every event the
+    /// kernel processed). Two runs of the same design + scenario + seed
+    /// must report the same digest; `tn-audit divergence` enforces it.
+    pub trace_digest: u64,
+    /// Events folded into `trace_digest`.
+    pub events_recorded: u64,
 }
 
 impl DesignReport {
@@ -96,7 +102,8 @@ impl DesignReport {
     pub fn summary(&self) -> String {
         format!(
             "[{}]\n  feed     : {}\n  reaction : {}\n  feed_msgs={} evaluated={} discarded={} \
-             orders={} acks={} fills={} drops={}\n  software_path={} network_share={:.1}%",
+             orders={} acks={} fills={} drops={}\n  software_path={} network_share={:.1}% \
+             digest={:016x}",
             self.design,
             self.feed_latency,
             self.reaction,
@@ -109,6 +116,7 @@ impl DesignReport {
             self.frames_dropped,
             self.software_path,
             self.network_share * 100.0,
+            self.trace_digest,
         )
     }
 

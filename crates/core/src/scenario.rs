@@ -104,7 +104,9 @@ impl ScenarioConfig {
     /// The partitions strategy `s` subscribes to (deterministic
     /// round-robin, like the L1 fabric's circuit provisioning).
     pub fn subscriptions_for(&self, s: usize) -> Vec<u16> {
-        (0..self.subs_per_strategy.min(self.internal_partitions as usize))
+        (0..self
+            .subs_per_strategy
+            .min(self.internal_partitions as usize))
             .map(|k| ((s + k) % self.internal_partitions as usize) as u16)
             .collect()
     }

@@ -67,7 +67,11 @@ impl Arbiter {
             return Ok(None);
         }
         // Overlapping start: partial duplicate — deliver only the new tail.
-        let skip = if wrapping_lt(seq, next) { next.wrapping_sub(seq) } else { 0 };
+        let skip = if wrapping_lt(seq, next) {
+            next.wrapping_sub(seq)
+        } else {
+            0
+        };
         if skip > 0 {
             self.stats.duplicates += 1; // overlapping copy counted once
         }
@@ -156,7 +160,7 @@ mod tests {
     fn gap_detection_and_skip_forward() {
         let mut arb = Arbiter::new();
         assert!(arb.offer(&packet(0, 1, 2)).unwrap().is_some()); // 1,2
-        // 3..=5 lost on both sides; next packet starts at 6.
+                                                                 // 3..=5 lost on both sides; next packet starts at 6.
         let msgs = arb.offer(&packet(0, 6, 2)).unwrap().unwrap();
         assert_eq!(msgs.len(), 2);
         let s = arb.stats();
@@ -169,7 +173,7 @@ mod tests {
     fn partial_overlap_delivers_only_new_messages() {
         let mut arb = Arbiter::new();
         assert!(arb.offer(&packet(0, 1, 3)).unwrap().is_some()); // 1..=3
-        // A retransmitted copy covering 2..=5: only 4,5 are new.
+                                                                 // A retransmitted copy covering 2..=5: only 4,5 are new.
         let msgs = arb.offer(&packet(0, 2, 4)).unwrap().unwrap();
         assert_eq!(msgs.len(), 2);
         match msgs[0] {

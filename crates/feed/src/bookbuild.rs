@@ -46,8 +46,18 @@ struct SymbolBook {
 impl SymbolBook {
     fn best(&self, side: Side) -> (u64, u64) {
         match side {
-            Side::Buy => self.bids.iter().next_back().map(|(&p, &s)| (p, s)).unwrap_or((0, 0)),
-            Side::Sell => self.asks.iter().next().map(|(&p, &s)| (p, s)).unwrap_or((0, 0)),
+            Side::Buy => self
+                .bids
+                .iter()
+                .next_back()
+                .map(|(&p, &s)| (p, s))
+                .unwrap_or((0, 0)),
+            Side::Sell => self
+                .asks
+                .iter()
+                .next()
+                .map(|(&p, &s)| (p, s))
+                .unwrap_or((0, 0)),
         }
     }
 
@@ -123,9 +133,27 @@ impl BookBuilder {
     pub fn apply(&mut self, msg: &Message) -> Option<BboUpdate> {
         self.stats.applied += 1;
         let (symbol, side) = match *msg {
-            Message::AddOrder { order_id, side, qty, symbol, price, .. } => {
-                self.orders.insert(order_id, TrackedOrder { symbol, side, price, qty });
-                self.books.entry(symbol).or_default().apply(side, price, i64::from(qty));
+            Message::AddOrder {
+                order_id,
+                side,
+                qty,
+                symbol,
+                price,
+                ..
+            } => {
+                self.orders.insert(
+                    order_id,
+                    TrackedOrder {
+                        symbol,
+                        side,
+                        price,
+                        qty,
+                    },
+                );
+                self.books
+                    .entry(symbol)
+                    .or_default()
+                    .apply(side, price, i64::from(qty));
                 (symbol, side)
             }
             Message::OrderExecuted { order_id, qty, .. }
@@ -158,7 +186,12 @@ impl BookBuilder {
                     .apply(o.side, o.price, -i64::from(o.qty));
                 (o.symbol, o.side)
             }
-            Message::ModifyOrder { order_id, qty, price, .. } => {
+            Message::ModifyOrder {
+                order_id,
+                qty,
+                price,
+                ..
+            } => {
                 let Some(mut o) = self.orders.get(&order_id).copied() else {
                     self.stats.unknown_orders += 1;
                     return None;
@@ -181,7 +214,12 @@ impl BookBuilder {
         // Did the top of book change on that side?
         let book = self.books.get(&symbol).expect("book exists");
         let (price, size) = book.best(side);
-        let update = BboUpdate { symbol, side, price, size };
+        let update = BboUpdate {
+            symbol,
+            side,
+            price,
+            size,
+        };
         // Track last-published BBO per (symbol, side) to suppress no-ops.
         let changed = self.note_bbo(update);
         if changed {
@@ -217,14 +255,29 @@ mod tests {
     }
 
     fn add(order_id: u64, side: Side, qty: u32, price: u64) -> Message {
-        Message::AddOrder { offset_ns: 0, order_id, side, qty, symbol: sym("SPY"), price }
+        Message::AddOrder {
+            offset_ns: 0,
+            order_id,
+            side,
+            qty,
+            symbol: sym("SPY"),
+            price,
+        }
     }
 
     #[test]
     fn adds_move_the_bbo() {
         let mut b = BookBuilder::new();
         let u = b.apply(&add(1, Side::Buy, 100, 449_0000)).unwrap();
-        assert_eq!(u, BboUpdate { symbol: sym("SPY"), side: Side::Buy, price: 449_0000, size: 100 });
+        assert_eq!(
+            u,
+            BboUpdate {
+                symbol: sym("SPY"),
+                side: Side::Buy,
+                price: 449_0000,
+                size: 100
+            }
+        );
         // A better bid moves the top.
         let u = b.apply(&add(2, Side::Buy, 50, 450_0000)).unwrap();
         assert_eq!(u.price, 450_0000);
@@ -241,7 +294,12 @@ mod tests {
         b.apply(&add(1, Side::Sell, 100, 451_0000));
         b.apply(&add(2, Side::Sell, 60, 451_0000)); // same level, more size
         let u = b
-            .apply(&Message::OrderExecuted { offset_ns: 0, order_id: 1, qty: 40, exec_id: 1 })
+            .apply(&Message::OrderExecuted {
+                offset_ns: 0,
+                order_id: 1,
+                qty: 40,
+                exec_id: 1,
+            })
             .unwrap();
         assert_eq!(u.size, 120); // 160 - 40
         assert_eq!(u.price, 451_0000);
@@ -252,11 +310,21 @@ mod tests {
         let mut b = BookBuilder::new();
         b.apply(&add(1, Side::Buy, 100, 450_0000));
         b.apply(&add(2, Side::Buy, 70, 449_0000));
-        let u = b.apply(&Message::DeleteOrder { offset_ns: 0, order_id: 1 }).unwrap();
+        let u = b
+            .apply(&Message::DeleteOrder {
+                offset_ns: 0,
+                order_id: 1,
+            })
+            .unwrap();
         assert_eq!(u.price, 449_0000);
         assert_eq!(u.size, 70);
         // Deleting the last order empties the side.
-        let u = b.apply(&Message::DeleteOrder { offset_ns: 0, order_id: 2 }).unwrap();
+        let u = b
+            .apply(&Message::DeleteOrder {
+                offset_ns: 0,
+                order_id: 2,
+            })
+            .unwrap();
         assert_eq!((u.price, u.size), (0, 0));
         assert_eq!(b.tracked_orders(), 0);
     }
@@ -266,7 +334,12 @@ mod tests {
         let mut b = BookBuilder::new();
         b.apply(&add(1, Side::Sell, 100, 452_0000));
         let u = b
-            .apply(&Message::ModifyOrder { offset_ns: 0, order_id: 1, qty: 80, price: 451_0000 })
+            .apply(&Message::ModifyOrder {
+                offset_ns: 0,
+                order_id: 1,
+                qty: 80,
+                price: 451_0000,
+            })
             .unwrap();
         assert_eq!(u.price, 451_0000);
         assert_eq!(u.size, 80);
@@ -277,9 +350,19 @@ mod tests {
     fn unknown_orders_are_counted_not_fatal() {
         let mut b = BookBuilder::new();
         assert!(b
-            .apply(&Message::OrderExecuted { offset_ns: 0, order_id: 99, qty: 1, exec_id: 1 })
+            .apply(&Message::OrderExecuted {
+                offset_ns: 0,
+                order_id: 99,
+                qty: 1,
+                exec_id: 1
+            })
             .is_none());
-        assert!(b.apply(&Message::DeleteOrder { offset_ns: 0, order_id: 98 }).is_none());
+        assert!(b
+            .apply(&Message::DeleteOrder {
+                offset_ns: 0,
+                order_id: 98
+            })
+            .is_none());
         assert_eq!(b.stats().unknown_orders, 2);
     }
 
@@ -288,7 +371,11 @@ mod tests {
         let mut b = BookBuilder::new();
         assert!(b.apply(&Message::Time { seconds: 1 }).is_none());
         assert!(b
-            .apply(&Message::TradingStatus { offset_ns: 0, symbol: sym("SPY"), status: b'H' })
+            .apply(&Message::TradingStatus {
+                offset_ns: 0,
+                symbol: sym("SPY"),
+                status: b'H'
+            })
             .is_none());
         assert_eq!(b.stats().applied, 2);
         assert_eq!(b.stats().bbo_updates, 0);
@@ -301,7 +388,11 @@ mod tests {
         b.apply(&add(2, Side::Buy, 100, 449_0000));
         // Reduce the second-level order: BBO unchanged.
         assert!(b
-            .apply(&Message::ReduceSize { offset_ns: 0, order_id: 2, qty: 50 })
+            .apply(&Message::ReduceSize {
+                offset_ns: 0,
+                order_id: 2,
+                qty: 50
+            })
             .is_none());
         assert_eq!(b.stats().bbo_updates, 1);
     }

@@ -137,11 +137,7 @@ impl<R: Repartition> NormalizerCore<R> {
 
     /// Process one feed packet (UDP payload from either A or B side).
     /// `src_time_ns` is the receive timestamp propagated into records.
-    pub fn on_packet(
-        &mut self,
-        payload: &[u8],
-        src_time_ns: u64,
-    ) -> Result<Vec<NormalizerOutput>> {
+    pub fn on_packet(&mut self, payload: &[u8], src_time_ns: u64) -> Result<Vec<NormalizerOutput>> {
         let Some(msgs) = self.arbiter.offer(payload)? else {
             return Ok(Vec::new()); // duplicate
         };
@@ -157,11 +153,18 @@ impl<R: Repartition> NormalizerCore<R> {
 
     fn normalize(&mut self, msg: &Message, src_time_ns: u64, out: &mut Vec<NormalizerOutput>) {
         // Resolve the symbol before mutating the book (deletes forget it).
-        let symbol = msg.symbol().or_else(|| {
-            msg.order_id().and_then(|id| self.builder.symbol_of(id))
-        });
+        let symbol = msg
+            .symbol()
+            .or_else(|| msg.order_id().and_then(|id| self.builder.symbol_of(id)));
         // Trades print directly.
-        if let Message::Trade { side, qty, price, exec_id, .. } = *msg {
+        if let Message::Trade {
+            side,
+            qty,
+            price,
+            exec_id,
+            ..
+        } = *msg
+        {
             if let Some(symbol) = symbol {
                 let symbol_id = self.interner.intern(symbol);
                 out.push(self.make(
@@ -243,7 +246,10 @@ impl<R: Repartition> NormalizerCore<R> {
     }
 
     fn make(&self, symbol: Symbol, record: norm::Record) -> NormalizerOutput {
-        NormalizerOutput { partition: self.repartition.partition_for(symbol), record }
+        NormalizerOutput {
+            partition: self.repartition.partition_for(symbol),
+            record,
+        }
     }
 }
 
@@ -272,7 +278,14 @@ mod tests {
     }
 
     fn add(order_id: u64, side: Side, qty: u32, price: u64, s: &str) -> Message {
-        Message::AddOrder { offset_ns: 0, order_id, side, qty, symbol: sym(s), price }
+        Message::AddOrder {
+            offset_ns: 0,
+            order_id,
+            side,
+            qty,
+            symbol: sym(s),
+            price,
+        }
     }
 
     #[test]
@@ -315,7 +328,11 @@ mod tests {
                 price: 380_0000,
                 exec_id: 77,
             },
-            Message::TradingStatus { offset_ns: 0, symbol: sym("QQQ"), status: b'H' },
+            Message::TradingStatus {
+                offset_ns: 0,
+                symbol: sym("QQQ"),
+                status: b'H',
+            },
         ];
         let out = n.on_packet(&packet(1, &msgs), 5).unwrap();
         assert_eq!(out.len(), 2);
@@ -332,7 +349,10 @@ mod tests {
         let mut n = NormalizerCore::new(1, HashRepartition { partitions: 4 });
         let p1 = packet(
             1,
-            &[add(1, Side::Buy, 100, 450_0000, "SPY"), add(2, Side::Buy, 100, 449_0000, "SPY")],
+            &[
+                add(1, Side::Buy, 100, 450_0000, "SPY"),
+                add(2, Side::Buy, 100, 449_0000, "SPY"),
+            ],
         );
         // Second add is below the top: only one BBO record.
         let out = n.on_packet(&p1, 0).unwrap();
@@ -351,12 +371,21 @@ mod tests {
         n.emit_depth = true;
         let p1 = packet(
             1,
-            &[add(1, Side::Buy, 100, 450_0000, "SPY"), add(2, Side::Buy, 50, 451_0000, "SPY")],
+            &[
+                add(1, Side::Buy, 100, 450_0000, "SPY"),
+                add(2, Side::Buy, 50, 451_0000, "SPY"),
+            ],
         );
         n.on_packet(&p1, 0).unwrap();
         // Delete order 1 (below top after order 2 improved it): must emit
         // a BookDelta with SPY's partition, not be dropped.
-        let p2 = packet(3, &[Message::DeleteOrder { offset_ns: 0, order_id: 1 }]);
+        let p2 = packet(
+            3,
+            &[Message::DeleteOrder {
+                offset_ns: 0,
+                order_id: 1,
+            }],
+        );
         let out = n.on_packet(&p2, 0).unwrap();
         assert_eq!(out.len(), 1);
         let expected = HashRepartition { partitions: 4 }.partition_for(sym("SPY"));

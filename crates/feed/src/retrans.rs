@@ -43,7 +43,7 @@ struct UnitReorder {
 /// Receiver-side reordering with gap requests.
 #[derive(Debug)]
 pub struct Reorderer {
-    units: HashMap<u8, UnitReorder>,
+    units: BTreeMap<u8, UnitReorder>,
     /// Held messages per unit before giving up on a gap.
     max_held: usize,
     stats: ReorderStats,
@@ -66,7 +66,11 @@ impl Reorderer {
     /// Receiver that holds at most `max_held` messages per unit while
     /// waiting for a retransmission.
     pub fn new(max_held: usize) -> Reorderer {
-        Reorderer { units: HashMap::new(), max_held, stats: ReorderStats::default() }
+        Reorderer {
+            units: BTreeMap::new(),
+            max_held,
+            stats: ReorderStats::default(),
+        }
     }
 
     /// Counters so far.
@@ -109,7 +113,9 @@ impl Reorderer {
             // Drain any held packets that are now contiguous.
             let mut gap_was_open = unit.requested;
             loop {
-                let Some((&held_seq, _)) = unit.held.iter().next() else { break };
+                let Some((&held_seq, _)) = unit.held.iter().next() else {
+                    break;
+                };
                 let cur = unit.next_seq.expect("set above");
                 if wrapping_lt(cur, held_seq) {
                     break; // still a hole before the next held packet
@@ -157,7 +163,9 @@ impl Reorderer {
                 unit.requested = false;
                 // Re-run the drain by recursion-free loop.
                 loop {
-                    let Some((&held_seq, _)) = unit.held.iter().next() else { break };
+                    let Some((&held_seq, _)) = unit.held.iter().next() else {
+                        break;
+                    };
                     let cur = unit.next_seq.expect("set");
                     if wrapping_lt(cur, held_seq) {
                         break;
@@ -313,10 +321,17 @@ mod tests {
     fn gap_holds_and_requests_then_recovers() {
         let mut r = Reorderer::new(100);
         r.offer(&packet(0, 1, 2)).unwrap(); // 1,2
-        // 3..=4 lost; 5..=6 arrives.
+                                            // 3..=4 lost; 5..=6 arrives.
         let out = r.offer(&packet(0, 5, 2)).unwrap();
         assert!(out.messages.is_empty());
-        assert_eq!(out.request, Some(GapRequest { unit: 0, seq: 3, count: 2 }));
+        assert_eq!(
+            out.request,
+            Some(GapRequest {
+                unit: 0,
+                seq: 3,
+                count: 2
+            })
+        );
         assert_eq!(r.held(), 2);
         // More future data: held, but no duplicate request.
         let out = r.offer(&packet(0, 7, 1)).unwrap();
@@ -365,7 +380,14 @@ mod tests {
             s.store(&packet(2, seq, 3)).unwrap();
         }
         let replay = s
-            .serve(SimTime::ZERO, &GapRequest { unit: 2, seq: 4, count: 3 })
+            .serve(
+                SimTime::ZERO,
+                &GapRequest {
+                    unit: 2,
+                    seq: 4,
+                    count: 3,
+                },
+            )
             .unwrap();
         assert_eq!(replay.len(), 1);
         let pkt = pitch::Packet::new_checked(&replay[0][..]).unwrap();
@@ -373,7 +395,14 @@ mod tests {
         assert_eq!(s.stats().served, 1);
         // A range spanning two packets returns both.
         let replay = s
-            .serve(SimTime::ZERO, &GapRequest { unit: 2, seq: 5, count: 4 })
+            .serve(
+                SimTime::ZERO,
+                &GapRequest {
+                    unit: 2,
+                    seq: 5,
+                    count: 4,
+                },
+            )
             .unwrap();
         assert_eq!(replay.len(), 2);
     }
@@ -385,10 +414,37 @@ mod tests {
             s.store(&packet(0, seq, 3)).unwrap();
         }
         // Only 7.. and 10.. remain in a 2-deep ring.
-        assert!(s.serve(SimTime::ZERO, &GapRequest { unit: 0, seq: 1, count: 3 }).is_err());
-        assert!(s.serve(SimTime::ZERO, &GapRequest { unit: 9, seq: 1, count: 1 }).is_err());
+        assert!(s
+            .serve(
+                SimTime::ZERO,
+                &GapRequest {
+                    unit: 0,
+                    seq: 1,
+                    count: 3
+                }
+            )
+            .is_err());
+        assert!(s
+            .serve(
+                SimTime::ZERO,
+                &GapRequest {
+                    unit: 9,
+                    seq: 1,
+                    count: 1
+                }
+            )
+            .is_err());
         assert_eq!(s.stats().too_old, 2);
-        assert!(s.serve(SimTime::ZERO, &GapRequest { unit: 0, seq: 7, count: 3 }).is_ok());
+        assert!(s
+            .serve(
+                SimTime::ZERO,
+                &GapRequest {
+                    unit: 0,
+                    seq: 7,
+                    count: 3
+                }
+            )
+            .is_ok());
     }
 
     #[test]
@@ -397,12 +453,37 @@ mod tests {
         let pkt = packet(0, 1, 3);
         let mut s = RetransmissionServer::new(16, 1_000, pkt.len() as u64 + 4);
         s.store(&pkt).unwrap();
-        assert!(s.serve(SimTime::ZERO, &GapRequest { unit: 0, seq: 1, count: 3 }).is_ok());
-        assert!(s.serve(SimTime::ZERO, &GapRequest { unit: 0, seq: 1, count: 3 }).is_err());
+        assert!(s
+            .serve(
+                SimTime::ZERO,
+                &GapRequest {
+                    unit: 0,
+                    seq: 1,
+                    count: 3
+                }
+            )
+            .is_ok());
+        assert!(s
+            .serve(
+                SimTime::ZERO,
+                &GapRequest {
+                    unit: 0,
+                    seq: 1,
+                    count: 3
+                }
+            )
+            .is_err());
         assert_eq!(s.stats().throttled, 1);
         // Tokens refill with time.
         assert!(s
-            .serve(SimTime::from_secs(1), &GapRequest { unit: 0, seq: 1, count: 3 })
+            .serve(
+                SimTime::from_secs(1),
+                &GapRequest {
+                    unit: 0,
+                    seq: 1,
+                    count: 3
+                }
+            )
             .is_ok());
     }
 

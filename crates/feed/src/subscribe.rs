@@ -20,12 +20,20 @@ pub struct SubscriptionSet {
 impl SubscriptionSet {
     /// An empty set with no cap.
     pub fn unbounded() -> SubscriptionSet {
-        SubscriptionSet { subscribed: BTreeSet::new(), cap: usize::MAX, rejected: 0 }
+        SubscriptionSet {
+            subscribed: BTreeSet::new(),
+            cap: usize::MAX,
+            rejected: 0,
+        }
     }
 
     /// An empty set admitting at most `cap` partitions.
     pub fn with_cap(cap: usize) -> SubscriptionSet {
-        SubscriptionSet { subscribed: BTreeSet::new(), cap, rejected: 0 }
+        SubscriptionSet {
+            subscribed: BTreeSet::new(),
+            cap,
+            rejected: 0,
+        }
     }
 
     /// Subscribe to a partition. Returns `false` (and counts a rejection)

@@ -34,15 +34,22 @@ struct Fate {
 
 fn arb_stream() -> impl Strategy<Value = (Vec<u32>, Vec<Fate>)> {
     // Packet sizes 1..=4 messages, 5..40 packets.
-    proptest::collection::vec((1u32..=4, any::<bool>(), any::<bool>(), any::<bool>()), 5..40)
-        .prop_map(|v| {
-            let sizes: Vec<u32> = v.iter().map(|(s, _, _, _)| *s).collect();
-            let fates = v
-                .into_iter()
-                .map(|(_, drop_a, drop_b, dup_a)| Fate { drop_a, drop_b, dup_a })
-                .collect();
-            (sizes, fates)
-        })
+    proptest::collection::vec(
+        (1u32..=4, any::<bool>(), any::<bool>(), any::<bool>()),
+        5..40,
+    )
+    .prop_map(|v| {
+        let sizes: Vec<u32> = v.iter().map(|(s, _, _, _)| *s).collect();
+        let fates = v
+            .into_iter()
+            .map(|(_, drop_a, drop_b, dup_a)| Fate {
+                drop_a,
+                drop_b,
+                dup_a,
+            })
+            .collect();
+        (sizes, fates)
+    })
 }
 
 proptest! {

@@ -68,12 +68,18 @@ impl OrderBook {
 
     /// Best bid (price, total displayed size).
     pub fn best_bid(&self) -> Option<(Price, Qty)> {
-        self.bids.iter().next_back().map(|(&p, level)| (p, level_size(level)))
+        self.bids
+            .iter()
+            .next_back()
+            .map(|(&p, level)| (p, level_size(level)))
     }
 
     /// Best ask (price, total displayed size).
     pub fn best_ask(&self) -> Option<(Price, Qty)> {
-        self.asks.iter().next().map(|(&p, level)| (p, level_size(level)))
+        self.asks
+            .iter()
+            .next()
+            .map(|(&p, level)| (p, level_size(level)))
     }
 
     /// Number of resting orders.
@@ -108,10 +114,18 @@ impl OrderBook {
                 break;
             }
             let best = match side {
-                Side::Buy => self.asks.iter().next().map(|(&p, _)| p).filter(|&p| p <= price),
-                Side::Sell => {
-                    self.bids.iter().next_back().map(|(&p, _)| p).filter(|&p| p >= price)
-                }
+                Side::Buy => self
+                    .asks
+                    .iter()
+                    .next()
+                    .map(|(&p, _)| p)
+                    .filter(|&p| p <= price),
+                Side::Sell => self
+                    .bids
+                    .iter()
+                    .next_back()
+                    .map(|(&p, _)| p)
+                    .filter(|&p| p >= price),
             };
             let Some(level_price) = best else {
                 break;
@@ -148,7 +162,10 @@ impl OrderBook {
                 Side::Buy => &mut self.bids,
                 Side::Sell => &mut self.asks,
             };
-            levels.entry(price).or_default().push_back(Resting { id, qty });
+            levels
+                .entry(price)
+                .or_default()
+                .push_back(Resting { id, qty });
             self.locators.insert(id, Locator { side, price });
             qty
         } else {
@@ -242,9 +259,33 @@ mod tests {
         let r = b.submit(10, Side::Buy, 100_0000, 70, false);
         // Best price first (99), then time priority at 100 (id 1, then 2).
         assert_eq!(r.executions.len(), 3);
-        assert_eq!(r.executions[0], Execution { resting_id: 3, qty: 30, price: 99_0000, resting_leaves: 0 });
-        assert_eq!(r.executions[1], Execution { resting_id: 1, qty: 30, price: 100_0000, resting_leaves: 0 });
-        assert_eq!(r.executions[2], Execution { resting_id: 2, qty: 10, price: 100_0000, resting_leaves: 20 });
+        assert_eq!(
+            r.executions[0],
+            Execution {
+                resting_id: 3,
+                qty: 30,
+                price: 99_0000,
+                resting_leaves: 0
+            }
+        );
+        assert_eq!(
+            r.executions[1],
+            Execution {
+                resting_id: 1,
+                qty: 30,
+                price: 100_0000,
+                resting_leaves: 0
+            }
+        );
+        assert_eq!(
+            r.executions[2],
+            Execution {
+                resting_id: 2,
+                qty: 10,
+                price: 100_0000,
+                resting_leaves: 20
+            }
+        );
         assert_eq!(r.posted, 0);
         assert_eq!(b.best_ask(), Some((100_0000, 20)));
     }

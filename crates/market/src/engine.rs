@@ -53,7 +53,7 @@ pub struct EngineOutput {
 
 /// The engine.
 pub struct MatchingEngine {
-    books: HashMap<Symbol, OrderBook>,
+    books: BTreeMap<Symbol, OrderBook>,
     open: BTreeMap<OrderId, OpenOrder>,
     by_client: HashMap<(u32, u64), OrderId>,
     next_order_id: OrderId,
@@ -77,7 +77,7 @@ impl MatchingEngine {
         self.books.contains_key(&symbol)
     }
 
-    /// Listed symbols (arbitrary order).
+    /// Listed symbols, in sorted order.
     pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
         self.books.keys().copied()
     }
@@ -147,12 +147,18 @@ impl MatchingEngine {
         if let Owner::Session(s) = owner {
             out.replies.push(Reply {
                 session: s,
-                message: boe::Message::OrderAck { cl_ord_id, exch_ord_id: exch_id },
+                message: boe::Message::OrderAck {
+                    cl_ord_id,
+                    exch_ord_id: exch_id,
+                },
             });
             self.by_client.insert((s, cl_ord_id), exch_id);
         }
-        let result =
-            self.books.get_mut(&symbol).expect("listed").submit(exch_id, side, price, qty, ioc);
+        let result = self
+            .books
+            .get_mut(&symbol)
+            .expect("listed")
+            .submit(exch_id, side, price, qty, ioc);
         let mut aggressor_filled: Qty = 0;
         for exec in &result.executions {
             aggressor_filled += exec.qty;
@@ -201,7 +207,15 @@ impl MatchingEngine {
             }
         }
         if result.posted > 0 {
-            self.open.insert(exch_id, OpenOrder { owner, cl_ord_id, symbol, side });
+            self.open.insert(
+                exch_id,
+                OpenOrder {
+                    owner,
+                    cl_ord_id,
+                    symbol,
+                    side,
+                },
+            );
             out.feed.push(pitch::Message::AddOrder {
                 offset_ns,
                 order_id: exch_id,
@@ -229,10 +243,15 @@ impl MatchingEngine {
                 self.by_client.remove(&(s, open.cl_ord_id));
                 out.replies.push(Reply {
                     session: s,
-                    message: boe::Message::CancelAck { cl_ord_id: open.cl_ord_id },
+                    message: boe::Message::CancelAck {
+                        cl_ord_id: open.cl_ord_id,
+                    },
                 });
             }
-            out.feed.push(pitch::Message::DeleteOrder { offset_ns, order_id });
+            out.feed.push(pitch::Message::DeleteOrder {
+                offset_ns,
+                order_id,
+            });
         }
         out
     }
@@ -252,10 +271,17 @@ impl MatchingEngine {
         match book.reduce(order_id, by) {
             Some(0) => {
                 self.open.remove(&order_id);
-                out.feed.push(pitch::Message::DeleteOrder { offset_ns, order_id });
+                out.feed.push(pitch::Message::DeleteOrder {
+                    offset_ns,
+                    order_id,
+                });
             }
             Some(_) => {
-                out.feed.push(pitch::Message::ReduceSize { offset_ns, order_id, qty: by });
+                out.feed.push(pitch::Message::ReduceSize {
+                    offset_ns,
+                    order_id,
+                    qty: by,
+                });
             }
             None => {}
         }
@@ -273,14 +299,15 @@ impl MatchingEngine {
     }
 
     /// Process one order-entry message from `session`.
-    pub fn handle_boe(
-        &mut self,
-        session: u32,
-        msg: boe::Message,
-        offset_ns: u32,
-    ) -> EngineOutput {
+    pub fn handle_boe(&mut self, session: u32, msg: boe::Message, offset_ns: u32) -> EngineOutput {
         match msg {
-            boe::Message::NewOrder { cl_ord_id, side, qty, symbol, price } => self.submit(
+            boe::Message::NewOrder {
+                cl_ord_id,
+                side,
+                qty,
+                symbol,
+                price,
+            } => self.submit(
                 Owner::Session(session),
                 cl_ord_id,
                 symbol,
@@ -307,7 +334,11 @@ impl MatchingEngine {
                     }
                 }
             }
-            boe::Message::ModifyOrder { cl_ord_id, qty, price } => {
+            boe::Message::ModifyOrder {
+                cl_ord_id,
+                qty,
+                price,
+            } => {
                 // Cancel/replace semantics: price moves lose time priority.
                 match self.by_client.get(&(session, cl_ord_id)).copied() {
                     Some(exch_id) => {
@@ -377,16 +408,33 @@ mod tests {
     #[test]
     fn new_order_acks_and_publishes_add() {
         let mut e = engine();
-        let out = e.submit(Owner::Session(1), 100, sym("SPY"), Side::Buy, 450_0000, 10, false, 5);
+        let out = e.submit(
+            Owner::Session(1),
+            100,
+            sym("SPY"),
+            Side::Buy,
+            450_0000,
+            10,
+            false,
+            5,
+        );
         assert_eq!(out.replies.len(), 1);
         assert!(matches!(
             out.replies[0].message,
-            boe::Message::OrderAck { cl_ord_id: 100, exch_ord_id: 1 }
+            boe::Message::OrderAck {
+                cl_ord_id: 100,
+                exch_ord_id: 1
+            }
         ));
         assert_eq!(out.feed.len(), 1);
         assert!(matches!(
             out.feed[0],
-            pitch::Message::AddOrder { order_id: 1, qty: 10, offset_ns: 5, .. }
+            pitch::Message::AddOrder {
+                order_id: 1,
+                qty: 10,
+                offset_ns: 5,
+                ..
+            }
         ));
         assert_eq!(e.open_orders(), 1);
     }
@@ -394,10 +442,22 @@ mod tests {
     #[test]
     fn unknown_symbol_rejected() {
         let mut e = engine();
-        let out = e.submit(Owner::Session(1), 7, sym("ZZZ"), Side::Buy, 1_0000, 1, false, 0);
+        let out = e.submit(
+            Owner::Session(1),
+            7,
+            sym("ZZZ"),
+            Side::Buy,
+            1_0000,
+            1,
+            false,
+            0,
+        );
         assert!(matches!(
             out.replies[0].message,
-            boe::Message::OrderReject { reason: boe::RejectReason::UnknownSymbol, .. }
+            boe::Message::OrderReject {
+                reason: boe::RejectReason::UnknownSymbol,
+                ..
+            }
         ));
         assert!(out.feed.is_empty());
     }
@@ -405,19 +465,44 @@ mod tests {
     #[test]
     fn cross_fills_both_sessions_and_publishes_execution() {
         let mut e = engine();
-        e.submit(Owner::Session(1), 1, sym("SPY"), Side::Sell, 450_0000, 10, false, 0);
-        let out = e.submit(Owner::Session(2), 2, sym("SPY"), Side::Buy, 450_0000, 10, false, 9);
+        e.submit(
+            Owner::Session(1),
+            1,
+            sym("SPY"),
+            Side::Sell,
+            450_0000,
+            10,
+            false,
+            0,
+        );
+        let out = e.submit(
+            Owner::Session(2),
+            2,
+            sym("SPY"),
+            Side::Buy,
+            450_0000,
+            10,
+            false,
+            9,
+        );
         // Ack to session 2, fill to session 1 (resting), fill to session 2.
         let kinds: Vec<_> = out.replies.iter().map(|r| (r.session, r.message)).collect();
         assert!(matches!(kinds[0], (2, boe::Message::OrderAck { .. })));
-        assert!(
-            kinds.iter().any(|(s, m)| *s == 1 && matches!(m, boe::Message::Fill { leaves: 0, .. }))
-        );
-        assert!(kinds.iter().any(|(s, m)| *s == 2 && matches!(m, boe::Message::Fill { .. })));
+        assert!(kinds
+            .iter()
+            .any(|(s, m)| *s == 1 && matches!(m, boe::Message::Fill { leaves: 0, .. })));
+        assert!(kinds
+            .iter()
+            .any(|(s, m)| *s == 2 && matches!(m, boe::Message::Fill { .. })));
         assert_eq!(out.feed.len(), 1);
         assert!(matches!(
             out.feed[0],
-            pitch::Message::OrderExecuted { order_id: 1, qty: 10, offset_ns: 9, .. }
+            pitch::Message::OrderExecuted {
+                order_id: 1,
+                qty: 10,
+                offset_ns: 9,
+                ..
+            }
         ));
         assert_eq!(e.open_orders(), 0);
     }
@@ -433,15 +518,27 @@ mod tests {
             price: 380_0000,
         };
         let out = e.handle_boe(9, new, 0);
-        assert!(matches!(out.replies[0].message, boe::Message::OrderAck { .. }));
+        assert!(matches!(
+            out.replies[0].message,
+            boe::Message::OrderAck { .. }
+        ));
         let out = e.handle_boe(9, boe::Message::CancelOrder { cl_ord_id: 5 }, 100);
-        assert!(matches!(out.replies[0].message, boe::Message::CancelAck { cl_ord_id: 5 }));
-        assert!(matches!(out.feed[0], pitch::Message::DeleteOrder { offset_ns: 100, .. }));
+        assert!(matches!(
+            out.replies[0].message,
+            boe::Message::CancelAck { cl_ord_id: 5 }
+        ));
+        assert!(matches!(
+            out.feed[0],
+            pitch::Message::DeleteOrder { offset_ns: 100, .. }
+        ));
         // Cancel again: the unknown-order race reject.
         let out = e.handle_boe(9, boe::Message::CancelOrder { cl_ord_id: 5 }, 101);
         assert!(matches!(
             out.replies[0].message,
-            boe::Message::OrderReject { reason: boe::RejectReason::UnknownOrder, .. }
+            boe::Message::OrderReject {
+                reason: boe::RejectReason::UnknownOrder,
+                ..
+            }
         ));
     }
 
@@ -460,18 +557,39 @@ mod tests {
             0,
         );
         // Background flow lifts the offer before the cancel arrives.
-        e.submit(Owner::Background, 0, sym("SPY"), Side::Buy, 450_0000, 5, true, 1);
+        e.submit(
+            Owner::Background,
+            0,
+            sym("SPY"),
+            Side::Buy,
+            450_0000,
+            5,
+            true,
+            1,
+        );
         let out = e.handle_boe(1, boe::Message::CancelOrder { cl_ord_id: 10 }, 2);
         assert!(matches!(
             out.replies[0].message,
-            boe::Message::OrderReject { reason: boe::RejectReason::UnknownOrder, .. }
+            boe::Message::OrderReject {
+                reason: boe::RejectReason::UnknownOrder,
+                ..
+            }
         ));
     }
 
     #[test]
     fn background_flow_produces_feed_without_replies() {
         let mut e = engine();
-        let out = e.submit(Owner::Background, 0, sym("SPY"), Side::Buy, 449_0000, 100, false, 3);
+        let out = e.submit(
+            Owner::Background,
+            0,
+            sym("SPY"),
+            Side::Buy,
+            449_0000,
+            100,
+            false,
+            3,
+        );
         assert!(out.replies.is_empty());
         assert_eq!(out.feed.len(), 1);
         let id = match out.feed[0] {
@@ -479,7 +597,10 @@ mod tests {
             ref other => panic!("{other:?}"),
         };
         let out = e.reduce_exchange_order(id, 40, 4);
-        assert!(matches!(out.feed[0], pitch::Message::ReduceSize { qty: 40, .. }));
+        assert!(matches!(
+            out.feed[0],
+            pitch::Message::ReduceSize { qty: 40, .. }
+        ));
         let out = e.reduce_exchange_order(id, 60, 5);
         assert!(matches!(out.feed[0], pitch::Message::DeleteOrder { .. }));
         assert_eq!(e.open_orders(), 0);
@@ -490,7 +611,16 @@ mod tests {
         let mut e = engine();
         assert_eq!(e.sample_open_order(0), None);
         for i in 0..5 {
-            e.submit(Owner::Background, 0, sym("SPY"), Side::Buy, 400_0000 - i, 10, false, 0);
+            e.submit(
+                Owner::Background,
+                0,
+                sym("SPY"),
+                Side::Buy,
+                400_0000 - i,
+                10,
+                false,
+                0,
+            );
         }
         let a = e.sample_open_order(0).unwrap();
         let b = e.sample_open_order(1).unwrap();
@@ -512,14 +642,28 @@ mod tests {
             },
             0,
         );
-        let out =
-            e.handle_boe(1, boe::Message::ModifyOrder { cl_ord_id: 1, qty: 20, price: 451_0000 }, 1);
+        let out = e.handle_boe(
+            1,
+            boe::Message::ModifyOrder {
+                cl_ord_id: 1,
+                qty: 20,
+                price: 451_0000,
+            },
+            1,
+        );
         // Delete of the old order, ack + add of the replacement.
-        assert!(out.feed.iter().any(|m| matches!(m, pitch::Message::DeleteOrder { .. })));
         assert!(out
             .feed
             .iter()
-            .any(|m| matches!(m, pitch::Message::AddOrder { qty: 20, price: 451_0000, .. })));
+            .any(|m| matches!(m, pitch::Message::DeleteOrder { .. })));
+        assert!(out.feed.iter().any(|m| matches!(
+            m,
+            pitch::Message::AddOrder {
+                qty: 20,
+                price: 451_0000,
+                ..
+            }
+        )));
         assert_eq!(e.open_orders(), 1);
     }
 }

@@ -241,7 +241,10 @@ impl Exchange {
                 &pkt.bytes,
             );
             self.event_counter += 1;
-            let meta = FrameMeta { tag: self.event_counter, event_time: now };
+            let meta = FrameMeta {
+                tag: self.event_counter,
+                event_time: now,
+            };
             for &port in &self.cfg.feed_ports {
                 let frame = ctx.new_frame_with_meta(bytes.clone(), meta);
                 self.stats.feed_packets += 1;
@@ -321,7 +324,13 @@ impl Exchange {
             if let boe::Message::Login { session, .. } = msg {
                 self.sessions.insert(
                     session,
-                    SessionAddr { port, mac: src_mac, ip: src_ip, tcp_port: src_port, tx_seq: 1 },
+                    SessionAddr {
+                        port,
+                        mac: src_mac,
+                        ip: src_ip,
+                        tcp_port: src_port,
+                        tx_seq: 1,
+                    },
                 );
                 self.peer_session.insert(peer, session);
                 continue;
@@ -439,9 +448,9 @@ fn sample_poisson(rng: &mut SmallRng, lambda: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tn_wire::pitch::Side;
     use tn_sim::{IdealLink, Simulator};
     use tn_wire::pitch;
+    use tn_wire::pitch::Side;
     use tn_wire::Symbol;
 
     struct Collector {
@@ -465,7 +474,13 @@ mod tests {
         let mut sim = Simulator::new(3);
         let ex = sim.add_node("exch", Exchange::new(small_exchange(50_000.0)));
         let col = sim.add_node("col", Collector { frames: vec![] });
-        sim.connect(ex, PortId(0), col, PortId(0), IdealLink::new(SimTime::from_ns(100)));
+        sim.connect(
+            ex,
+            PortId(0),
+            col,
+            PortId(0),
+            IdealLink::new(SimTime::from_ns(100)),
+        );
         sim.schedule_timer(SimTime::ZERO, ex, TICK);
         sim.run_until(SimTime::from_ms(20));
         let frames = &sim.node::<Collector>(col).unwrap().frames;
@@ -517,14 +532,30 @@ mod tests {
         let ex = sim.add_node("exch", Exchange::new(cfg));
         let firm = sim.add_node("firm", Collector { frames: vec![] });
         let feed = sim.add_node("feed", Collector { frames: vec![] });
-        sim.connect(ex, PortId(0), firm, PortId(0), IdealLink::new(SimTime::from_ns(500)));
-        sim.connect(ex, PortId(1), feed, PortId(0), IdealLink::new(SimTime::from_ns(500)));
+        sim.connect(
+            ex,
+            PortId(0),
+            firm,
+            PortId(0),
+            IdealLink::new(SimTime::from_ns(500)),
+        );
+        sim.connect(
+            ex,
+            PortId(1),
+            feed,
+            PortId(0),
+            IdealLink::new(SimTime::from_ns(500)),
+        );
 
         // Login then a new order, from 10.0.0.9:40000.
         let firm_ip = ipv4::Addr::new(10, 0, 0, 9);
         let firm_mac = eth::MacAddr::host(9);
         let mut payload = Vec::new();
-        boe::Message::Login { session: 7, token: 1 }.emit(0, &mut payload);
+        boe::Message::Login {
+            session: 7,
+            token: 1,
+        }
+        .emit(0, &mut payload);
         boe::Message::NewOrder {
             cl_ord_id: 1,
             side: Side::Buy,
@@ -590,7 +621,11 @@ mod tests {
         };
         let before = sim.node::<Collector>(col).unwrap().frames.len();
         // Ask for it back over the recovery channel.
-        let req = tn_wire::pitch::GapRequest { unit, seq, count: u16::from(count) };
+        let req = tn_wire::pitch::GapRequest {
+            unit,
+            seq,
+            count: u16::from(count),
+        };
         let frame_bytes = stack::build_udp(
             eth::MacAddr::host(9),
             Some(eth::MacAddr::host(0xEE01)),
@@ -611,7 +646,11 @@ mod tests {
         assert_eq!(v.dst_ip, ipv4::Addr::new(10, 0, 0, 9)); // unicast to requester
         assert_eq!(v.payload, &original[..], "replay is byte-identical");
         // A request for data that never existed is refused silently.
-        let bad = tn_wire::pitch::GapRequest { unit: 99, seq: 1, count: 1 };
+        let bad = tn_wire::pitch::GapRequest {
+            unit: 99,
+            seq: 1,
+            count: 1,
+        };
         let frame_bytes = stack::build_udp(
             eth::MacAddr::host(9),
             Some(eth::MacAddr::host(0xEE01)),

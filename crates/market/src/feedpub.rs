@@ -44,7 +44,9 @@ impl FeedPublisher {
         let units = scheme.units() as usize;
         FeedPublisher {
             scheme,
-            builders: (0..units).map(|u| PacketBuilder::new(u as u8, 1, max_payload)).collect(),
+            builders: (0..units)
+                .map(|u| PacketBuilder::new(u as u8, 1, max_payload))
+                .collect(),
             last_time_sec: vec![None; units],
             order_units: HashMap::new(),
             extra_header,
@@ -180,14 +182,21 @@ mod tests {
         let u1 = scheme.unit_for(&d, s1);
         let packets = p.publish(&d, 1_000_000_000, &[add(1, s1), add(2, s2)]);
         // Executions without symbols follow the add's unit.
-        let exec =
-            pitch::Message::OrderExecuted { offset_ns: 2, order_id: 1, qty: 10, exec_id: 1 };
+        let exec = pitch::Message::OrderExecuted {
+            offset_ns: 2,
+            order_id: 1,
+            qty: 10,
+            exec_id: 1,
+        };
         let packets2 = p.publish(&d, 1_000_000_100, &[exec]);
         assert_eq!(packets2.len(), 1);
         assert_eq!(packets2[0].unit, u1);
         assert_eq!(p.tracked_orders(), 2);
         // Deletes release tracking.
-        let del = pitch::Message::DeleteOrder { offset_ns: 3, order_id: 1 };
+        let del = pitch::Message::DeleteOrder {
+            offset_ns: 3,
+            order_id: 1,
+        };
         let _ = p.publish(&d, 1_000_000_200, &[del]);
         assert_eq!(p.tracked_orders(), 1);
         let _ = packets;
@@ -199,7 +208,9 @@ mod tests {
         let mut p = FeedPublisher::new(PartitionScheme::ByHash { units: 1 }, 1400, 0);
         let mut next_seq = 1u32;
         for batch in 0..5 {
-            let msgs: Vec<_> = (0..3).map(|i| add(batch * 3 + i + 1, sym("A0000"))).collect();
+            let msgs: Vec<_> = (0..3)
+                .map(|i| add(batch * 3 + i + 1, sym("A0000")))
+                .collect();
             let packets = p.publish(&d, 1_000_000_000 * (batch + 1), &msgs);
             for pkt_bytes in &packets {
                 let pkt = pitch::Packet::new_checked(&pkt_bytes.bytes[..]).unwrap();
@@ -218,9 +229,7 @@ mod tests {
         assert!(packets.len() > 1);
         let total: usize = packets
             .iter()
-            .map(|pk| {
-                pitch::Packet::new_checked(&pk.bytes[..]).unwrap().count() as usize
-            })
+            .map(|pk| pitch::Packet::new_checked(&pk.bytes[..]).unwrap().count() as usize)
             .sum();
         assert_eq!(total, 21); // 20 adds + 1 Time
         for pk in &packets {

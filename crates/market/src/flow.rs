@@ -31,7 +31,12 @@ impl Default for FlowMix {
     /// Roughly the composition of US equities depth feeds: adds and full
     /// cancels dominate; a few percent of events are trades.
     fn default() -> FlowMix {
-        FlowMix { add: 0.47, cancel: 0.38, reduce: 0.09, aggress: 0.06 }
+        FlowMix {
+            add: 0.47,
+            cancel: 0.38,
+            reduce: 0.09,
+            aggress: 0.06,
+        }
     }
 }
 
@@ -53,7 +58,12 @@ impl OrderFlowGenerator {
             .iter()
             .map(|inst| 5_0000 + u64::from(inst.id % 997) * 5000) // $0.50 .. ~$500
             .collect();
-        OrderFlowGenerator { mix, mid_prices, next_cl_ord: 1, sample_k: 0 }
+        OrderFlowGenerator {
+            mix,
+            mid_prices,
+            next_cl_ord: 1,
+            sample_k: 0,
+        }
     }
 
     fn pick_symbol(&self, dir: &SymbolDirectory, rng: &mut SmallRng) -> Symbol {
@@ -108,7 +118,16 @@ impl OrderFlowGenerator {
                 let qty = rng.gen_range(1..=200);
                 self.next_cl_ord += 1;
                 return engine
-                    .submit(Owner::Background, 0, symbol, side, price, qty, true, offset_ns)
+                    .submit(
+                        Owner::Background,
+                        0,
+                        symbol,
+                        side,
+                        price,
+                        qty,
+                        true,
+                        offset_ns,
+                    )
                     .feed;
             }
         }
@@ -131,7 +150,18 @@ impl OrderFlowGenerator {
         };
         let qty = rng.gen_range(1..=65_000);
         self.next_cl_ord += 1;
-        engine.submit(Owner::Background, 0, symbol, side, price, qty, false, offset_ns).feed
+        engine
+            .submit(
+                Owner::Background,
+                0,
+                symbol,
+                side,
+                price,
+                qty,
+                false,
+                offset_ns,
+            )
+            .feed
     }
 }
 

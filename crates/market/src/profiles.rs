@@ -263,18 +263,28 @@ mod tests {
             let total: u64 = lens.iter().sum();
             let headers = UDP_OVERHEAD as u64 * lens.len() as u64;
             let share = headers as f64 / total as f64;
-            assert!((0.20..=0.50).contains(&share), "{}: header share {share:.2}", p.name);
+            assert!(
+                (0.20..=0.50).contains(&share),
+                "{}: header share {share:.2}",
+                p.name
+            );
             total_bytes += total;
             total_headers += headers;
         }
         let aggregate = total_headers as f64 / total_bytes as f64;
-        assert!((0.25..=0.40).contains(&aggregate), "aggregate share {aggregate:.3}");
+        assert!(
+            (0.25..=0.40).contains(&aggregate),
+            "aggregate share {aggregate:.3}"
+        );
     }
 
     #[test]
     fn profiles_are_deterministic() {
         let p = ExchangeProfile::exchange_b();
-        assert_eq!(p.sample_frame_lengths(5, 100), p.sample_frame_lengths(5, 100));
+        assert_eq!(
+            p.sample_frame_lengths(5, 100),
+            p.sample_frame_lengths(5, 100)
+        );
     }
 
     #[test]

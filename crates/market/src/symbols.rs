@@ -127,13 +127,24 @@ mod tests {
     fn synthetic_universe_mix() {
         let d = SymbolDirectory::synthetic(1000);
         assert_eq!(d.len(), 1000);
-        let eq = d.instruments().iter().filter(|i| i.class == InstrumentClass::Equity).count();
-        let opt = d.instruments().iter().filter(|i| i.class == InstrumentClass::Option).count();
+        let eq = d
+            .instruments()
+            .iter()
+            .filter(|i| i.class == InstrumentClass::Equity)
+            .count();
+        let opt = d
+            .instruments()
+            .iter()
+            .filter(|i| i.class == InstrumentClass::Option)
+            .count();
         assert!(eq > 500 && eq < 700, "equities {eq}");
         assert!(opt > 200 && opt < 300, "options {opt}");
         // Tickers span the alphabet.
-        let first_letters: std::collections::HashSet<u8> =
-            d.instruments().iter().map(|i| i.symbol.first_char()).collect();
+        let first_letters: std::collections::HashSet<u8> = d
+            .instruments()
+            .iter()
+            .map(|i| i.symbol.first_char())
+            .collect();
         assert_eq!(first_letters.len(), 26);
     }
 }

@@ -220,7 +220,11 @@ pub struct MicroburstModel {
 
 impl Default for MicroburstModel {
     fn default() -> MicroburstModel {
-        MicroburstModel { total_events: 1_450_000, windows: 10_000, sigma: 0.56 }
+        MicroburstModel {
+            total_events: 1_450_000,
+            windows: 10_000,
+            sigma: 0.56,
+        }
     }
 }
 
@@ -282,17 +286,20 @@ mod tests {
         // Fig 2a: ~4x10^10 -> ~2x10^11 events/day over 5 years (≈500%).
         let series = GrowthModel::default().series(42);
         assert_eq!(series.len(), 1260);
-        let head: f64 =
-            series[..60].iter().map(|p| p.events as f64).sum::<f64>() / 60.0;
-        let tail: f64 =
-            series[series.len() - 60..].iter().map(|p| p.events as f64).sum::<f64>() / 60.0;
+        let head: f64 = series[..60].iter().map(|p| p.events as f64).sum::<f64>() / 60.0;
+        let tail: f64 = series[series.len() - 60..]
+            .iter()
+            .map(|p| p.events as f64)
+            .sum::<f64>()
+            / 60.0;
         assert!((3.0e10..5.5e10).contains(&head), "head {head:e}");
         assert!((1.6e11..2.6e11).contains(&tail), "tail {tail:e}");
         let growth = tail / head;
         assert!((4.0..6.5).contains(&growth), "growth {growth}");
         // Day-to-day variability is visible (max/min over a quarter > 1.5).
         let q: Vec<f64> = series[..63].iter().map(|p| p.events as f64).collect();
-        let ratio = q.iter().cloned().fold(0.0, f64::max) / q.iter().cloned().fold(f64::MAX, f64::min);
+        let ratio =
+            q.iter().cloned().fold(0.0, f64::max) / q.iter().cloned().fold(f64::MAX, f64::min);
         assert!(ratio > 1.5, "ratio {ratio}");
         assert!((series[0].year - 2020.0).abs() < 0.01);
         assert!(series.last().unwrap().year < 2025.01);
@@ -347,7 +354,11 @@ mod tests {
 
     #[test]
     fn event_times_agree_with_window_counts() {
-        let m = MicroburstModel { total_events: 50_000, windows: 1000, sigma: 0.5 };
+        let m = MicroburstModel {
+            total_events: 50_000,
+            windows: 1000,
+            sigma: 0.5,
+        };
         let counts = m.window_counts(3);
         let times = m.event_times_ps(3);
         assert_eq!(times.len() as u64, counts.iter().sum::<u64>());

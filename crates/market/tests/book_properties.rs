@@ -9,9 +9,19 @@ use tn_wire::pitch::{Message, Side};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Submit { side: Side, price: u64, qty: u32, ioc: bool },
-    Cancel { idx: usize },
-    Reduce { idx: usize, by: u32 },
+    Submit {
+        side: Side,
+        price: u64,
+        qty: u32,
+        ioc: bool,
+    },
+    Cancel {
+        idx: usize,
+    },
+    Reduce {
+        idx: usize,
+        by: u32,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -22,7 +32,12 @@ fn arb_op() -> impl Strategy<Value = Op> {
             1u32..500,
             any::<bool>()
         )
-            .prop_map(|(side, price, qty, ioc)| Op::Submit { side, price: price * 100, qty, ioc }),
+            .prop_map(|(side, price, qty, ioc)| Op::Submit {
+                side,
+                price: price * 100,
+                qty,
+                ioc
+            }),
         (any::<usize>()).prop_map(|idx| Op::Cancel { idx }),
         (any::<usize>(), 1u32..100).prop_map(|(idx, by)| Op::Reduce { idx, by }),
     ]

@@ -47,7 +47,10 @@ pub struct Tap {
 impl Tap {
     /// A zero-insertion-delay optical tap.
     pub fn new() -> Tap {
-        Tap { records: Vec::new(), enabled: true }
+        Tap {
+            records: Vec::new(),
+            enabled: true,
+        }
     }
 
     /// Stop recording (keeps forwarding).
@@ -62,7 +65,11 @@ impl Tap {
 
     /// Timestamps at which `frame` was observed, in order.
     pub fn times_for(&self, frame: FrameId) -> Vec<SimTime> {
-        self.records.iter().filter(|r| r.frame == frame).map(|r| r.at).collect()
+        self.records
+            .iter()
+            .filter(|r| r.frame == frame)
+            .map(|r| r.at)
+            .collect()
     }
 
     /// Total observed frames.
@@ -82,6 +89,9 @@ impl Node for Tap {
         let (direction, out) = match port {
             PortId(0) => (Direction::AtoB, PortId(1)),
             PortId(1) => (Direction::BtoA, PortId(0)),
+            // Wiring invariant: ports are fixed at topology build time, so
+            // failing fast beats silently eating frames.
+            // audit:allow(hotpath-unwrap): unreachable on a provisioned topology
             other => panic!("taps have two ports, got {other:?}"),
         };
         if self.enabled {
@@ -113,8 +123,20 @@ mod tests {
         let a = sim.add_node("a", Sink);
         let tap = sim.add_node("tap", Tap::new());
         let b = sim.add_node("b", Sink);
-        sim.connect(a, PortId(0), tap, PortId(0), IdealLink::new(SimTime::from_ns(5)));
-        sim.connect(tap, PortId(1), b, PortId(0), IdealLink::new(SimTime::from_ns(5)));
+        sim.connect(
+            a,
+            PortId(0),
+            tap,
+            PortId(0),
+            IdealLink::new(SimTime::from_ns(5)),
+        );
+        sim.connect(
+            tap,
+            PortId(1),
+            b,
+            PortId(0),
+            IdealLink::new(SimTime::from_ns(5)),
+        );
 
         let mut f = sim.new_frame(vec![0; 100]);
         f.meta.tag = 77;
@@ -145,7 +167,13 @@ mod tests {
         let mut sim = Simulator::new(3);
         let tap_id = sim.add_node("tap", Tap::new());
         let b = sim.add_node("b", Sink);
-        sim.connect(tap_id, PortId(1), b, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.connect(
+            tap_id,
+            PortId(1),
+            b,
+            PortId(0),
+            IdealLink::new(SimTime::ZERO),
+        );
         sim.node_mut::<Tap>(tap_id).unwrap().set_enabled(false);
         let f = sim.new_frame(vec![0; 10]);
         sim.inject_frame(SimTime::ZERO, tap_id, PortId(0), f);

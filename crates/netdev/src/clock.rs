@@ -24,7 +24,11 @@ pub struct DriftClock {
 impl DriftClock {
     /// A clock with the given frequency error and initial offset.
     pub fn new(drift_ppb: i64, offset_ps: i64) -> DriftClock {
-        DriftClock { drift_ppb, offset_ps, last_sync: SimTime::ZERO }
+        DriftClock {
+            drift_ppb,
+            offset_ps,
+            last_sync: SimTime::ZERO,
+        }
     }
 
     /// A perfect clock.

@@ -186,15 +186,27 @@ mod tests {
     #[test]
     fn mtu_enforced() {
         let mut l = EtherLink::ten_gig(SimTime::ZERO).with_mtu(1514);
-        assert_eq!(l.transmit(SimTime::ZERO, 1515, 0.9), LinkOutcome::Drop(DropReason::Mtu));
-        assert!(matches!(l.transmit(SimTime::ZERO, 1514, 0.9), LinkOutcome::Deliver(_)));
+        assert_eq!(
+            l.transmit(SimTime::ZERO, 1515, 0.9),
+            LinkOutcome::Drop(DropReason::Mtu)
+        );
+        assert!(matches!(
+            l.transmit(SimTime::ZERO, 1514, 0.9),
+            LinkOutcome::Deliver(_)
+        ));
     }
 
     #[test]
     fn loss_uses_the_coin() {
         let mut l = EtherLink::ten_gig(SimTime::ZERO).with_loss(0.25);
-        assert_eq!(l.transmit(SimTime::ZERO, 100, 0.1), LinkOutcome::Drop(DropReason::RandomLoss));
-        assert!(matches!(l.transmit(SimTime::ZERO, 100, 0.3), LinkOutcome::Deliver(_)));
+        assert_eq!(
+            l.transmit(SimTime::ZERO, 100, 0.1),
+            LinkOutcome::Drop(DropReason::RandomLoss)
+        );
+        assert!(matches!(
+            l.transmit(SimTime::ZERO, 100, 0.3),
+            LinkOutcome::Deliver(_)
+        ));
     }
 
     #[test]
@@ -214,6 +226,9 @@ mod tests {
     fn microwave_constructor() {
         let mut l = EtherLink::microwave(1_000_000_000, 50.0, 0.001);
         assert_eq!(l.rate(), 1_000_000_000);
-        assert!(matches!(l.transmit(SimTime::ZERO, 100, 0.5), LinkOutcome::Deliver(_)));
+        assert!(matches!(
+            l.transmit(SimTime::ZERO, 100, 0.5),
+            LinkOutcome::Deliver(_)
+        ));
     }
 }

@@ -106,7 +106,10 @@ impl Nic {
     /// Counters so far. Ring drops are visible here, mirroring the
     /// `rx_nodesc_drop` counters operators watch on real NICs.
     pub fn stats(&self) -> NicStats {
-        NicStats { rx_dropped: self.rx.dropped(), ..self.stats }
+        NicStats {
+            rx_dropped: self.rx.dropped(),
+            ..self.stats
+        }
     }
 }
 
@@ -117,7 +120,10 @@ impl Node for Nic {
                 // The frame occupies the drain engine for `rx_service`
                 // (the packet-rate ceiling) and then traverses a fixed
                 // `rx_latency` pipeline before reaching the host.
-                if self.rx.send_after(ctx, self.profile.rx_service, HOST, frame) {
+                if self
+                    .rx
+                    .send_after(ctx, self.profile.rx_service, HOST, frame)
+                {
                     self.stats.rx_delivered += 1;
                 }
             }
@@ -125,6 +131,9 @@ impl Node for Nic {
                 self.stats.tx_sent += 1;
                 self.tx.send_after(ctx, SimTime::ZERO, WIRE, frame);
             }
+            // Wiring invariant: ports are fixed at topology build time, so
+            // failing fast beats silently eating frames.
+            // audit:allow(hotpath-unwrap): unreachable on a provisioned topology
             other => panic!("NIC has two ports, got {other:?}"),
         }
     }
@@ -170,7 +179,10 @@ mod tests {
         sim.run();
         let arrivals = &sim.node::<Sink>(host).unwrap().arrivals;
         assert_eq!(arrivals.len(), 1);
-        assert_eq!(arrivals[0], SimTime::from_us(1) + profile.rx_service + profile.rx_latency);
+        assert_eq!(
+            arrivals[0],
+            SimTime::from_us(1) + profile.rx_service + profile.rx_latency
+        );
         assert_eq!(sim.node::<Nic>(nic).unwrap().stats().rx_delivered, 1);
     }
 
@@ -207,7 +219,13 @@ mod tests {
         let mut sim = Simulator::new(7);
         let nic = sim.add_node("nic", Nic::new(profile));
         let wire_sink = sim.add_node("wire", Sink { arrivals: vec![] });
-        sim.connect(nic, WIRE, wire_sink, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.connect(
+            nic,
+            WIRE,
+            wire_sink,
+            PortId(0),
+            IdealLink::new(SimTime::ZERO),
+        );
         let f = sim.new_frame(vec![0; 64]);
         sim.inject_frame(SimTime::ZERO, nic, HOST, f);
         sim.run();

@@ -82,13 +82,22 @@ mod tests {
     use tn_sim::{FrameId, SimTime};
 
     fn rec(at: SimTime, len: usize) -> CaptureRecord {
-        CaptureRecord { frame: FrameId(1), at, direction: Direction::AtoB, len, tag: 0 }
+        CaptureRecord {
+            frame: FrameId(1),
+            at,
+            direction: Direction::AtoB,
+            len,
+            tag: 0,
+        }
     }
 
     #[test]
     fn roundtrip() {
         let frames = vec![
-            (rec(SimTime::from_secs(34_200) + SimTime::from_ns(123), 60), vec![0xAA; 60]),
+            (
+                rec(SimTime::from_secs(34_200) + SimTime::from_ns(123), 60),
+                vec![0xAA; 60],
+            ),
             (rec(SimTime::from_secs(34_201), 1514), vec![0xBB; 1514]),
         ];
         let pcap = to_pcap(&frames);

@@ -33,8 +33,8 @@ impl TokenBucket {
     fn refill(&mut self, now: SimTime) {
         let elapsed = now.saturating_sub(self.last).as_secs_f64();
         self.last = self.last.max(now);
-        self.tokens = (self.tokens + elapsed * self.rate_bytes_per_sec as f64)
-            .min(self.capacity as f64);
+        self.tokens =
+            (self.tokens + elapsed * self.rate_bytes_per_sec as f64).min(self.capacity as f64);
     }
 
     /// Try to consume `bytes` at time `now`; `true` on success.

@@ -162,10 +162,16 @@ mod tests {
         assert!(c.is_idle(t0));
         assert_eq!(c.complete(t0, SimTime::from_us(2)), SimTime::from_us(2));
         // Second event arrives while the first is processing.
-        assert_eq!(c.complete(SimTime::from_us(1), SimTime::from_us(2)), SimTime::from_us(4));
+        assert_eq!(
+            c.complete(SimTime::from_us(1), SimTime::from_us(2)),
+            SimTime::from_us(4)
+        );
         assert_eq!(c.backlog(SimTime::from_us(1)), SimTime::from_us(3));
         // After the backlog drains, service starts immediately.
-        assert_eq!(c.complete(SimTime::from_us(10), SimTime::from_us(2)), SimTime::from_us(12));
+        assert_eq!(
+            c.complete(SimTime::from_us(10), SimTime::from_us(2)),
+            SimTime::from_us(12)
+        );
         assert!(c.is_idle(SimTime::from_us(12)));
     }
 
@@ -197,10 +203,21 @@ mod tests {
     #[test]
     fn txqueue_applies_service_time_and_fifo_backlog() {
         let mut sim = Simulator::new(1);
-        let worker =
-            sim.add_node("worker", Worker { txq: TxQueue::new(0), service: SimTime::from_us(2) });
+        let worker = sim.add_node(
+            "worker",
+            Worker {
+                txq: TxQueue::new(0),
+                service: SimTime::from_us(2),
+            },
+        );
         let sink = sim.add_node("sink", Sink { arrivals: vec![] });
-        sim.connect(worker, PortId(0), sink, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.connect(
+            worker,
+            PortId(0),
+            sink,
+            PortId(0),
+            IdealLink::new(SimTime::ZERO),
+        );
         // Three frames arrive simultaneously; the worker is a single core.
         for _ in 0..3 {
             let f = sim.new_frame(vec![0; 64]);
@@ -210,7 +227,11 @@ mod tests {
         let sink = sim.node::<Sink>(sink).unwrap();
         assert_eq!(
             sink.arrivals,
-            vec![SimTime::from_us(3), SimTime::from_us(5), SimTime::from_us(7)]
+            vec![
+                SimTime::from_us(3),
+                SimTime::from_us(5),
+                SimTime::from_us(7)
+            ]
         );
     }
 
@@ -219,10 +240,19 @@ mod tests {
         let mut sim = Simulator::new(1);
         let worker = sim.add_node(
             "worker",
-            Worker { txq: TxQueue::new(0).with_capacity(2), service: SimTime::from_us(1) },
+            Worker {
+                txq: TxQueue::new(0).with_capacity(2),
+                service: SimTime::from_us(1),
+            },
         );
         let sink = sim.add_node("sink", Sink { arrivals: vec![] });
-        sim.connect(worker, PortId(0), sink, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.connect(
+            worker,
+            PortId(0),
+            sink,
+            PortId(0),
+            IdealLink::new(SimTime::ZERO),
+        );
         for _ in 0..5 {
             let f = sim.new_frame(vec![0; 64]);
             sim.inject_frame(SimTime::ZERO, worker, PortId(0), f);

@@ -16,12 +16,23 @@ pub struct TimerToken(pub u64);
 /// applies them after the handler returns.
 #[derive(Debug)]
 pub(crate) enum Action {
-    Send { port: PortId, frame: Frame },
-    Timer { delay: SimTime, token: TimerToken },
+    Send {
+        port: PortId,
+        frame: Frame,
+    },
+    Timer {
+        delay: SimTime,
+        token: TimerToken,
+    },
     /// Deliver a frame to another node directly, bypassing links. Used for
     /// intra-host delivery between co-resident components with an explicit
     /// modeled delay (e.g. strategy process to kernel-bypass NIC queue).
-    DeliverLocal { dst: NodeId, port: PortId, delay: SimTime, frame: Frame },
+    DeliverLocal {
+        dst: NodeId,
+        port: PortId,
+        delay: SimTime,
+        frame: Frame,
+    },
 }
 
 /// Handle through which a node interacts with the simulation while
@@ -62,7 +73,12 @@ impl Context<'_> {
     pub fn new_frame(&mut self, bytes: Vec<u8>) -> Frame {
         let id = FrameId(*self.next_frame_id);
         *self.next_frame_id += 1;
-        Frame { bytes, id, born: self.now, meta: FrameMeta::default() }
+        Frame {
+            bytes,
+            id,
+            born: self.now,
+            meta: FrameMeta::default(),
+        }
     }
 
     /// Create a new frame carrying application metadata.
@@ -84,7 +100,12 @@ impl Context<'_> {
     /// the caller accounts for explicitly in `delay`.
     #[inline]
     pub fn deliver_local(&mut self, dst: NodeId, port: PortId, delay: SimTime, frame: Frame) {
-        self.actions.push(Action::DeliverLocal { dst, port, delay, frame });
+        self.actions.push(Action::DeliverLocal {
+            dst,
+            port,
+            delay,
+            frame,
+        });
     }
 
     /// Uniform random value in `[0, 1)` from the scenario PRNG.
@@ -110,7 +131,13 @@ mod tests {
         rng: &'a mut SmallRng,
         next: &'a mut u64,
     ) -> Context<'a> {
-        Context { now: SimTime::from_ns(5), me: NodeId(3), actions, rng, next_frame_id: next }
+        Context {
+            now: SimTime::from_ns(5),
+            me: NodeId(3),
+            actions,
+            rng,
+            next_frame_id: next,
+        }
     }
 
     #[test]
@@ -138,9 +165,24 @@ mod tests {
         c.set_timer(SimTime::from_us(1), TimerToken(9));
         c.deliver_local(NodeId(1), PortId(0), SimTime::from_ns(1), f);
         assert_eq!(actions.len(), 3);
-        assert!(matches!(actions[0], Action::Send { port: PortId(2), .. }));
-        assert!(matches!(actions[1], Action::Timer { token: TimerToken(9), .. }));
-        assert!(matches!(actions[2], Action::DeliverLocal { dst: NodeId(1), .. }));
+        assert!(matches!(
+            actions[0],
+            Action::Send {
+                port: PortId(2),
+                ..
+            }
+        ));
+        assert!(matches!(
+            actions[1],
+            Action::Timer {
+                token: TimerToken(9),
+                ..
+            }
+        ));
+        assert!(matches!(
+            actions[2],
+            Action::DeliverLocal { dst: NodeId(1), .. }
+        ));
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use kernel::{AnyNode, SimStats, Simulator};
 pub use link::{DropReason, IdealLink, Link, LinkOutcome};
 pub use node::{Node, NodeId, PortId};
 pub use time::SimTime;
-pub use trace::{TraceEvent, TraceKind, TraceLog};
+pub use trace::{TraceEvent, TraceKind, TraceLog, EMPTY_DIGEST};
 
 /// Re-export of the PRNG used throughout the workspace, so models can name
 /// it without depending on `rand` directly.

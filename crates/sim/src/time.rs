@@ -291,7 +291,13 @@ mod tests {
     fn sum_and_minmax() {
         let total: SimTime = [SimTime::from_ns(1), SimTime::from_ns(2)].into_iter().sum();
         assert_eq!(total, SimTime::from_ns(3));
-        assert_eq!(SimTime::from_ns(1).max(SimTime::from_ns(2)), SimTime::from_ns(2));
-        assert_eq!(SimTime::from_ns(1).min(SimTime::from_ns(2)), SimTime::from_ns(1));
+        assert_eq!(
+            SimTime::from_ns(1).max(SimTime::from_ns(2)),
+            SimTime::from_ns(2)
+        );
+        assert_eq!(
+            SimTime::from_ns(1).min(SimTime::from_ns(2)),
+            SimTime::from_ns(1)
+        );
     }
 }

@@ -35,39 +35,96 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
-/// An append-only in-memory trace log.
-#[derive(Debug, Default)]
+/// FNV-1a 64-bit offset basis: the digest of an empty event stream.
+pub const EMPTY_DIGEST: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+#[inline]
+fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// An append-only in-memory trace log with an always-on run digest.
+///
+/// Event *storage* is gated on `enabled` (it costs memory proportional to
+/// the run), but the [`digest`](TraceLog::digest) — an FNV-1a hash folded
+/// over every `(time, node, port, frame, kind)` the kernel records — is
+/// maintained unconditionally. Two runs of the same scenario with the same
+/// seed must produce identical digests; `tn-audit divergence` checks
+/// exactly that, which turns the kernel's "deterministic" promise into an
+/// enforced invariant rather than a comment.
+#[derive(Debug)]
 pub struct TraceLog {
     enabled: bool,
     events: Vec<TraceEvent>,
+    digest: u64,
+    recorded: u64,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::disabled()
+    }
 }
 
 impl TraceLog {
-    /// A disabled log (records nothing).
+    /// A disabled log (hashes, but stores nothing).
     pub fn disabled() -> Self {
-        TraceLog { enabled: false, events: Vec::new() }
+        TraceLog {
+            enabled: false,
+            events: Vec::new(),
+            digest: EMPTY_DIGEST,
+            recorded: 0,
+        }
     }
 
     /// An enabled log.
     pub fn enabled() -> Self {
-        TraceLog { enabled: true, events: Vec::new() }
+        TraceLog {
+            enabled: true,
+            ..TraceLog::disabled()
+        }
     }
 
-    /// Turn recording on or off.
+    /// Turn event storage on or off (the digest is always maintained).
     pub fn set_enabled(&mut self, on: bool) {
         self.enabled = on;
     }
 
-    /// Whether recording is on.
+    /// Whether event storage is on.
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
     #[inline]
     pub(crate) fn record(&mut self, ev: TraceEvent) {
+        let mut h = self.digest;
+        h = fnv1a_fold(h, &ev.at.as_ps().to_le_bytes());
+        h = fnv1a_fold(h, &ev.node.0.to_le_bytes());
+        h = fnv1a_fold(h, &ev.port.0.to_le_bytes());
+        h = fnv1a_fold(h, &ev.frame.0.to_le_bytes());
+        h = fnv1a_fold(h, &[ev.kind as u8]);
+        self.digest = h;
+        self.recorded += 1;
         if self.enabled {
             self.events.push(ev);
         }
+    }
+
+    /// The run digest: FNV-1a folded over every event recorded so far,
+    /// including those recorded while storage was disabled. Equal inputs
+    /// (scenario + seed) must yield equal digests.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Total events folded into the digest (stored or not).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
     }
 
     /// All recorded events in order.
@@ -80,9 +137,11 @@ impl TraceLog {
         self.events.iter().filter(|e| e.kind == kind).count()
     }
 
-    /// Drop all records (keeps the enabled flag).
+    /// Drop all records and reset the digest (keeps the enabled flag).
     pub fn clear(&mut self) {
         self.events.clear();
+        self.digest = EMPTY_DIGEST;
+        self.recorded = 0;
     }
 }
 
@@ -106,6 +165,56 @@ mod tests {
         log.record(ev(TraceKind::Deliver));
         assert!(log.events().is_empty());
         assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn digest_covers_events_even_when_storage_is_off() {
+        let mut on = TraceLog::enabled();
+        let mut off = TraceLog::disabled();
+        assert_eq!(on.digest(), EMPTY_DIGEST);
+        for kind in [TraceKind::Deliver, TraceKind::Drop, TraceKind::Timer] {
+            on.record(ev(kind));
+            off.record(ev(kind));
+        }
+        assert_eq!(on.digest(), off.digest());
+        assert_ne!(on.digest(), EMPTY_DIGEST);
+        assert_eq!(off.recorded(), 3);
+        assert!(off.events().is_empty());
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let mut a = TraceLog::disabled();
+        a.record(ev(TraceKind::Deliver));
+        a.record(ev(TraceKind::Drop));
+        let mut b = TraceLog::disabled();
+        b.record(ev(TraceKind::Drop));
+        b.record(ev(TraceKind::Deliver));
+        assert_ne!(
+            a.digest(),
+            b.digest(),
+            "swapped order must change the digest"
+        );
+        let mut c = TraceLog::disabled();
+        c.record(ev(TraceKind::Deliver));
+        c.record(TraceEvent {
+            at: SimTime::from_ns(1),
+            ..ev(TraceKind::Drop)
+        });
+        assert_ne!(
+            a.digest(),
+            c.digest(),
+            "changed timestamp must change the digest"
+        );
+    }
+
+    #[test]
+    fn clear_resets_digest() {
+        let mut log = TraceLog::enabled();
+        log.record(ev(TraceKind::Deliver));
+        log.clear();
+        assert_eq!(log.digest(), EMPTY_DIGEST);
+        assert_eq!(log.recorded(), 0);
     }
 
     #[test]

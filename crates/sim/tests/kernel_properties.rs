@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use tn_sim::{
-    Context, Frame, IdealLink, Node, NodeId, PortId, SimTime, Simulator, TimerToken,
-};
+use tn_sim::{Context, Frame, IdealLink, Node, NodeId, PortId, SimTime, Simulator, TimerToken};
 
 /// Forwards every frame out a fixed port after a per-node delay, up to a
 /// TTL carried in the first payload byte (prevents infinite ping-pong).
@@ -36,15 +34,26 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
     (2usize..8).prop_flat_map(|nodes| {
         let edges = proptest::collection::vec((0..nodes, 0..nodes), 1..nodes * 2);
         let injections = proptest::collection::vec((0..nodes, 0u64..10_000, 0u8..12), 1..20);
-        (Just(nodes), edges, injections)
-            .prop_map(|(nodes, edges, injections)| Plan { nodes, edges, injections })
+        (Just(nodes), edges, injections).prop_map(|(nodes, edges, injections)| Plan {
+            nodes,
+            edges,
+            injections,
+        })
     })
 }
 
 fn run_plan(plan: &Plan, seed: u64) -> (Vec<Vec<(SimTime, u64)>>, tn_sim::SimStats, SimTime) {
     let mut sim = Simulator::new(seed);
     let ids: Vec<NodeId> = (0..plan.nodes)
-        .map(|i| sim.add_node(format!("n{i}"), Hopper { out: PortId(0), arrivals: vec![] }))
+        .map(|i| {
+            sim.add_node(
+                format!("n{i}"),
+                Hopper {
+                    out: PortId(0),
+                    arrivals: vec![],
+                },
+            )
+        })
         .collect();
     // Wire each node's port 0 to the first edge target listed for it;
     // extra edges use ascending port numbers (point-to-point constraint).
@@ -59,7 +68,13 @@ fn run_plan(plan: &Plan, seed: u64) -> (Vec<Vec<(SimTime, u64)>>, tn_sim::SimSta
         if sim.is_connected(ids[a], PortId(pa)) || sim.is_connected(ids[b], PortId(pb)) {
             continue;
         }
-        sim.connect(ids[a], PortId(pa), ids[b], PortId(pb), IdealLink::new(SimTime::from_ns(7)));
+        sim.connect(
+            ids[a],
+            PortId(pa),
+            ids[b],
+            PortId(pb),
+            IdealLink::new(SimTime::from_ns(7)),
+        );
         next_port[a] += 1;
         next_port[b] += 1;
     }

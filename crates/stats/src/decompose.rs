@@ -96,7 +96,10 @@ mod tests {
     #[test]
     fn segments_and_merge() {
         let mut a = Decomposition::new();
-        a.add_segment(&Segment { category: "wire", duration: 100 });
+        a.add_segment(&Segment {
+            category: "wire",
+            duration: 100,
+        });
         let mut b = Decomposition::new();
         b.add("wire", 50);
         b.add("switch", 25);

@@ -17,7 +17,14 @@ impl Histogram {
     /// Histogram covering `[lo, lo + bins*bin_width)`.
     pub fn new(lo: u64, bin_width: u64, bins: usize) -> Histogram {
         assert!(bin_width > 0 && bins > 0);
-        Histogram { lo, bin_width, bins: vec![0; bins], overflow: 0, underflow: 0, count: 0 }
+        Histogram {
+            lo,
+            bin_width,
+            bins: vec![0; bins],
+            overflow: 0,
+            underflow: 0,
+            count: 0,
+        }
     }
 
     /// Record a value.

@@ -19,7 +19,11 @@ impl WindowCounter {
     /// Counter starting at `origin` with windows of `width` (any unit).
     pub fn new(origin: u64, width: u64) -> WindowCounter {
         assert!(width > 0, "window width must be positive");
-        WindowCounter { origin, width, counts: Vec::new() }
+        WindowCounter {
+            origin,
+            width,
+            counts: Vec::new(),
+        }
     }
 
     /// Record `n` events at time `t`.
@@ -68,7 +72,12 @@ impl WindowCounter {
     /// (non-empty) windows.
     pub fn summary(&self, skip_empty: bool) -> Summary {
         let mut s = Summary::new();
-        s.extend(self.counts.iter().copied().filter(|&c| !skip_empty || c > 0));
+        s.extend(
+            self.counts
+                .iter()
+                .copied()
+                .filter(|&c| !skip_empty || c > 0),
+        );
         s
     }
 

@@ -199,7 +199,8 @@ impl CommoditySwitch {
                 if newly_seen {
                     if let Some(up) = self.cfg.mcast_upstream {
                         if up != port {
-                            self.hw_path.send_after(ctx, SimTime::ZERO, up, frame.clone());
+                            self.hw_path
+                                .send_after(ctx, SimTime::ZERO, up, frame.clone());
                         }
                     }
                 }
@@ -224,7 +225,8 @@ impl CommoditySwitch {
                 if now_empty {
                     if let Some(up) = self.cfg.mcast_upstream {
                         if up != port {
-                            self.hw_path.send_after(ctx, SimTime::ZERO, up, frame.clone());
+                            self.hw_path
+                                .send_after(ctx, SimTime::ZERO, up, frame.clone());
                         }
                     }
                 }
@@ -233,7 +235,13 @@ impl CommoditySwitch {
         }
     }
 
-    fn forward_multicast(&mut self, ctx: &mut Context<'_>, ingress: PortId, frame: Frame, group: ipv4::Addr) {
+    fn forward_multicast(
+        &mut self,
+        ctx: &mut Context<'_>,
+        ingress: PortId,
+        frame: Frame,
+        group: ipv4::Addr,
+    ) {
         // Rendezvous forwarding: traffic always flows toward the multicast
         // upstream (the fabric's rendezvous point) in addition to local
         // members, so sources anywhere reach receivers anywhere. Data
@@ -246,13 +254,20 @@ impl CommoditySwitch {
             for &p in members {
                 if p != ingress {
                     self.stats.mcast_forwarded += 1;
-                    self.hw_path.send_after(ctx, SimTime::ZERO, p, frame.clone());
+                    self.hw_path
+                        .send_after(ctx, SimTime::ZERO, p, frame.clone());
                 }
             }
             if let Some(up) = upstream_extra {
-                if !self.hw_groups.get(&group).map(|m| m.contains(&up)).unwrap_or(false) {
+                if !self
+                    .hw_groups
+                    .get(&group)
+                    .map(|m| m.contains(&up))
+                    .unwrap_or(false)
+                {
                     self.stats.mcast_forwarded += 1;
-                    self.hw_path.send_after(ctx, SimTime::ZERO, up, frame.clone());
+                    self.hw_path
+                        .send_after(ctx, SimTime::ZERO, up, frame.clone());
                 }
             }
             return;
@@ -280,10 +295,12 @@ impl CommoditySwitch {
                     }
                     for &p in &targets {
                         if p != ingress
-                            && self.sw_path.send_after(ctx, self.cfg.sw_service, p, frame.clone())
-                            {
-                                self.stats.mcast_sw_forwarded += 1;
-                            }
+                            && self
+                                .sw_path
+                                .send_after(ctx, self.cfg.sw_service, p, frame.clone())
+                        {
+                            self.stats.mcast_sw_forwarded += 1;
+                        }
                     }
                 }
             }
@@ -357,15 +374,20 @@ pub fn igmp_frame(
 ) -> Vec<u8> {
     let msg = igmp::Message { kind, group }.emit();
     let packet = ipv4::build(host_ip, group, ipv4::PROTO_IGMP, &msg);
-    eth::build(eth::MacAddr::ipv4_multicast(group), host_mac, eth::EtherType::Ipv4, &packet)
+    eth::build(
+        eth::MacAddr::ipv4_multicast(group),
+        host_mac,
+        eth::EtherType::Ipv4,
+        &packet,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use tn_sim::{IdealLink, Simulator};
-    use tn_wire::stack;
     use tn_wire::eth::MacAddr;
+    use tn_wire::stack;
 
     struct Sink {
         got: Vec<(SimTime, usize)>,
@@ -407,7 +429,13 @@ mod tests {
         let mut ids = Vec::new();
         for i in 0..sinks {
             let s = sim.add_node(format!("sink{i}"), Sink { got: vec![] });
-            sim.connect(sw, PortId(1 + i as u16), s, PortId(0), IdealLink::new(SimTime::ZERO));
+            sim.connect(
+                sw,
+                PortId(1 + i as u16),
+                s,
+                PortId(0),
+                IdealLink::new(SimTime::ZERO),
+            );
             ids.push(s);
         }
         (sim, sw, ids)
@@ -428,7 +456,13 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, SimTime::from_ns(500)); // cut-through latency
         assert!(sim.node::<Sink>(sinks[1]).unwrap().got.is_empty());
-        assert_eq!(sim.node::<CommoditySwitch>(sw).unwrap().stats().unicast_forwarded, 1);
+        assert_eq!(
+            sim.node::<CommoditySwitch>(sw)
+                .unwrap()
+                .stats()
+                .unicast_forwarded,
+            1
+        );
     }
 
     #[test]
@@ -438,7 +472,9 @@ mod tests {
         sim.inject_frame(SimTime::ZERO, sw, PortId(0), f);
         sim.run();
         assert_eq!(sim.node::<CommoditySwitch>(sw).unwrap().stats().no_route, 1);
-        sim.node_mut::<CommoditySwitch>(sw).unwrap().set_default_route(vec![PortId(1)]);
+        sim.node_mut::<CommoditySwitch>(sw)
+            .unwrap()
+            .set_default_route(vec![PortId(1)]);
         let f = sim.new_frame(unicast_frame(1, 99));
         let t = sim.now();
         sim.inject_frame(t, sw, PortId(0), f);
@@ -503,13 +539,21 @@ mod tests {
     fn leave_prunes_membership() {
         let (mut sim, sw, sinks) = rig(SwitchConfig::default(), 1);
         let group = ipv4::Addr::multicast_group(7);
-        let join =
-            igmp_frame(igmp::MessageType::Report, MacAddr::host(1), ipv4::Addr::host(1), group);
+        let join = igmp_frame(
+            igmp::MessageType::Report,
+            MacAddr::host(1),
+            ipv4::Addr::host(1),
+            group,
+        );
         let f = sim.new_frame(join);
         sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
         sim.run();
-        let leave =
-            igmp_frame(igmp::MessageType::Leave, MacAddr::host(1), ipv4::Addr::host(1), group);
+        let leave = igmp_frame(
+            igmp::MessageType::Leave,
+            MacAddr::host(1),
+            ipv4::Addr::host(1),
+            group,
+        );
         let f = sim.new_frame(leave);
         let t = sim.now();
         sim.inject_frame(t, sw, PortId(1), f);
@@ -574,8 +618,12 @@ mod tests {
         };
         let (mut sim, sw, sinks) = rig(cfg, 1);
         let group = ipv4::Addr::multicast_group(0);
-        let join =
-            igmp_frame(igmp::MessageType::Report, MacAddr::host(1), ipv4::Addr::host(1), group);
+        let join = igmp_frame(
+            igmp::MessageType::Report,
+            MacAddr::host(1),
+            ipv4::Addr::host(1),
+            group,
+        );
         let f = sim.new_frame(join);
         sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
         sim.run();
@@ -600,8 +648,12 @@ mod tests {
         };
         let (mut sim, sw, sinks) = rig(cfg, 1);
         let group = ipv4::Addr::multicast_group(0);
-        let join =
-            igmp_frame(igmp::MessageType::Report, MacAddr::host(1), ipv4::Addr::host(1), group);
+        let join = igmp_frame(
+            igmp::MessageType::Report,
+            MacAddr::host(1),
+            ipv4::Addr::host(1),
+            group,
+        );
         let f = sim.new_frame(join);
         sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
         sim.run();
@@ -610,27 +662,44 @@ mod tests {
         sim.inject_frame(t, sw, PortId(0), f);
         sim.run();
         assert!(sim.node::<Sink>(sinks[0]).unwrap().got.is_empty());
-        assert!(sim.node::<CommoditySwitch>(sw).unwrap().stats().mcast_dropped >= 1);
+        assert!(
+            sim.node::<CommoditySwitch>(sw)
+                .unwrap()
+                .stats()
+                .mcast_dropped
+                >= 1
+        );
     }
 
     #[test]
     fn joins_propagate_upstream() {
         // Port 0 is upstream; a join on port 1 must be re-emitted on 0.
-        let cfg = SwitchConfig { mcast_upstream: Some(PortId(0)), ..SwitchConfig::default() };
+        let cfg = SwitchConfig {
+            mcast_upstream: Some(PortId(0)),
+            ..SwitchConfig::default()
+        };
         let mut sim = Simulator::new(5);
         let sw = sim.add_node("sw", CommoditySwitch::new(cfg));
         let up = sim.add_node("up", Sink { got: vec![] });
         sim.connect(sw, PortId(0), up, PortId(0), IdealLink::new(SimTime::ZERO));
         let group = ipv4::Addr::multicast_group(3);
-        let join =
-            igmp_frame(igmp::MessageType::Report, MacAddr::host(1), ipv4::Addr::host(1), group);
+        let join = igmp_frame(
+            igmp::MessageType::Report,
+            MacAddr::host(1),
+            ipv4::Addr::host(1),
+            group,
+        );
         let f = sim.new_frame(join);
         sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
         sim.run();
         assert_eq!(sim.node::<Sink>(up).unwrap().got.len(), 1);
         // A second join to the same group does not re-propagate.
-        let join2 =
-            igmp_frame(igmp::MessageType::Report, MacAddr::host(2), ipv4::Addr::host(2), group);
+        let join2 = igmp_frame(
+            igmp::MessageType::Report,
+            MacAddr::host(2),
+            ipv4::Addr::host(2),
+            group,
+        );
         let f = sim.new_frame(join2);
         let t = sim.now();
         sim.inject_frame(t, sw, PortId(2), f);

@@ -30,7 +30,10 @@ pub struct FpgaConfig {
 
 impl Default for FpgaConfig {
     fn default() -> FpgaConfig {
-        FpgaConfig { latency: SimTime::from_ns(100), mcast_table_size: 128 }
+        FpgaConfig {
+            latency: SimTime::from_ns(100),
+            mcast_table_size: 128,
+        }
     }
 }
 
@@ -202,7 +205,15 @@ mod tests {
     }
 
     fn feed(group: ipv4::Addr) -> Vec<u8> {
-        stack::build_udp(MacAddr::host(1), None, ipv4::Addr::host(1), group, 1, 1, &[0; 64])
+        stack::build_udp(
+            MacAddr::host(1),
+            None,
+            ipv4::Addr::host(1),
+            group,
+            1,
+            1,
+            &[0; 64],
+        )
     }
 
     fn rig(cfg: FpgaConfig, sinks: usize) -> (Simulator, tn_sim::NodeId, Vec<tn_sim::NodeId>) {
@@ -211,7 +222,13 @@ mod tests {
         let mut ids = Vec::new();
         for i in 0..sinks {
             let s = sim.add_node(format!("s{i}"), Sink { got: vec![] });
-            sim.connect(sw, PortId(1 + i as u16), s, PortId(0), IdealLink::new(SimTime::ZERO));
+            sim.connect(
+                sw,
+                PortId(1 + i as u16),
+                s,
+                PortId(0),
+                IdealLink::new(SimTime::ZERO),
+            );
             ids.push(s);
         }
         (sim, sw, ids)
@@ -230,14 +247,26 @@ mod tests {
         sim.inject_frame(SimTime::ZERO, sw, PortId(0), f);
         sim.run();
         for s in &sinks {
-            assert_eq!(sim.node::<Sink>(*s).unwrap().got, vec![SimTime::from_ns(100)]);
+            assert_eq!(
+                sim.node::<Sink>(*s).unwrap().got,
+                vec![SimTime::from_ns(100)]
+            );
         }
-        assert_eq!(sim.node::<FpgaL1Switch>(sw).unwrap().stats().mcast_forwarded, 2);
+        assert_eq!(
+            sim.node::<FpgaL1Switch>(sw)
+                .unwrap()
+                .stats()
+                .mcast_forwarded,
+            2
+        );
     }
 
     #[test]
     fn small_table_rejects_overflow_joins() {
-        let cfg = FpgaConfig { mcast_table_size: 2, ..FpgaConfig::default() };
+        let cfg = FpgaConfig {
+            mcast_table_size: 2,
+            ..FpgaConfig::default()
+        };
         let (mut sim, sw, _sinks) = rig(cfg, 1);
         let s = sim.node_mut::<FpgaL1Switch>(sw).unwrap();
         assert!(s.add_group_member(ipv4::Addr::multicast_group(0), PortId(1)));
@@ -286,7 +315,9 @@ mod tests {
         sim.run();
         assert_eq!(sim.node::<FpgaL1Switch>(sw).unwrap().group_count(), 1);
 
-        sim.node_mut::<FpgaL1Switch>(sw).unwrap().add_route(ipv4::Addr::host(50), PortId(2));
+        sim.node_mut::<FpgaL1Switch>(sw)
+            .unwrap()
+            .add_route(ipv4::Addr::host(50), PortId(2));
         let uni = stack::build_udp(
             MacAddr::host(1),
             Some(MacAddr::host(50)),
@@ -301,7 +332,13 @@ mod tests {
         sim.inject_frame(t, sw, PortId(0), f);
         sim.run();
         assert_eq!(sim.node::<Sink>(sinks[1]).unwrap().got.len(), 1);
-        assert_eq!(sim.node::<FpgaL1Switch>(sw).unwrap().stats().unicast_forwarded, 1);
+        assert_eq!(
+            sim.node::<FpgaL1Switch>(sw)
+                .unwrap()
+                .stats()
+                .unicast_forwarded,
+            1
+        );
     }
 
     #[test]

@@ -109,7 +109,8 @@ impl Node for L1Switch {
                 // Clone membership to satisfy borrowck; fan-outs are tiny.
                 for &out in outputs.clone().iter() {
                     self.stats.fanned_out += 1;
-                    self.fanout_path.send_after(ctx, SimTime::ZERO, out, frame.clone());
+                    self.fanout_path
+                        .send_after(ctx, SimTime::ZERO, out, frame.clone());
                 }
             }
             Some(PortRole::Merge(output)) => {
@@ -154,7 +155,13 @@ mod tests {
         let mut sinks = Vec::new();
         for i in 0..3u16 {
             let s = sim.add_node(format!("s{i}"), Sink { got: vec![] });
-            sim.connect(sw, PortId(1 + i), s, PortId(0), IdealLink::new(SimTime::ZERO));
+            sim.connect(
+                sw,
+                PortId(1 + i),
+                s,
+                PortId(0),
+                IdealLink::new(SimTime::ZERO),
+            );
             sinks.push(s);
         }
         sim.node_mut::<L1Switch>(sw)
@@ -176,7 +183,13 @@ mod tests {
         let sw = sim.add_node("l1s", L1Switch::new(L1Config::default()));
         let sink = sim.add_node("sink", Sink { got: vec![] });
         // Egress is a real 10G link: contention shows up as serialization queueing.
-        sim.connect(sw, PortId(9), sink, PortId(0), EtherLink::ten_gig(SimTime::ZERO));
+        sim.connect(
+            sw,
+            PortId(9),
+            sink,
+            PortId(0),
+            EtherLink::ten_gig(SimTime::ZERO),
+        );
         {
             let s = sim.node_mut::<L1Switch>(sw).unwrap();
             s.provision_merge(PortId(0), PortId(9));

@@ -73,7 +73,13 @@ impl CloudFabric {
         let fabric = sim.add_node("cloud-fabric", CommoditySwitch::new(sw_cfg));
         let tenant_ports = (0..cfg.tenant_ports).map(|p| PortId(p as u16)).collect();
         let external_port = PortId(cfg.tenant_ports as u16);
-        CloudFabric { fabric, tenant_ports, external_port, cfg, next_port: 0 }
+        CloudFabric {
+            fabric,
+            tenant_ports,
+            external_port,
+            cfg,
+            next_port: 0,
+        }
     }
 
     /// Access-link profile for attaching a tenant.
@@ -126,7 +132,10 @@ mod tests {
         let mut sim = Simulator::new(1);
         let mut cloud = CloudFabric::build(
             &mut sim,
-            CloudConfig { tenant_ports: 4, ..CloudConfig::default() },
+            CloudConfig {
+                tenant_ports: 4,
+                ..CloudConfig::default()
+            },
         );
         let mut hosts = Vec::new();
         for i in 0..4u32 {
@@ -164,8 +173,13 @@ mod tests {
     #[test]
     fn provider_multicast_is_generous() {
         let mut sim = Simulator::new(1);
-        let cloud =
-            CloudFabric::build(&mut sim, CloudConfig { tenant_ports: 2, ..CloudConfig::default() });
+        let cloud = CloudFabric::build(
+            &mut sim,
+            CloudConfig {
+                tenant_ports: 2,
+                ..CloudConfig::default()
+            },
+        );
         let sw = sim.node::<CommoditySwitch>(cloud.fabric).unwrap();
         assert_eq!(sw.hw_group_count(), 0);
         // The group budget is far beyond any commodity switch (§3's
@@ -178,14 +192,27 @@ mod tests {
         let mut sim = Simulator::new(1);
         let mut cloud = CloudFabric::build(
             &mut sim,
-            CloudConfig { tenant_ports: 2, ..CloudConfig::default() },
+            CloudConfig {
+                tenant_ports: 2,
+                ..CloudConfig::default()
+            },
         );
         let t_port = cloud.take_tenant_port();
         let tenant = sim.add_node("tenant", Sink { got: vec![] });
         sim.connect(cloud.fabric, t_port, tenant, PortId(0), cloud.tenant_link());
         let exch = sim.add_node("exch", Sink { got: vec![] });
-        sim.connect(cloud.fabric, cloud.external_port, exch, PortId(0), cloud.external_link());
-        cloud.install_route(&mut sim, ipv4::Addr::new(10, 200, 1, 1), cloud.external_port);
+        sim.connect(
+            cloud.fabric,
+            cloud.external_port,
+            exch,
+            PortId(0),
+            cloud.external_link(),
+        );
+        cloud.install_route(
+            &mut sim,
+            ipv4::Addr::new(10, 200, 1, 1),
+            cloud.external_port,
+        );
 
         let frame = stack::build_udp(
             eth::MacAddr::host(1),

@@ -13,9 +13,9 @@
 //! subscriptions means more merge contention; fewer means coarser
 //! partitioning.
 
+use tn_sim::SimTime;
 use tn_sim::{NodeId, PortId, Simulator};
 use tn_switch::l1s::{L1Config, L1Switch};
-use tn_sim::SimTime;
 
 /// Configuration for the L1 trading fabric.
 #[derive(Debug, Clone)]
@@ -90,11 +90,14 @@ impl L1TradingFabric {
         let feed_net = {
             let mut sw = L1Switch::new(cfg.fanout);
             let input = PortId(0);
-            let outputs: Vec<PortId> =
-                (0..cfg.normalizers).map(|i| PortId(1 + i as u16)).collect();
+            let outputs: Vec<PortId> = (0..cfg.normalizers).map(|i| PortId(1 + i as u16)).collect();
             sw.provision_fanout(input, outputs.clone());
             let switch = sim.add_node("l1-feed", sw);
-            StagePorts { switch, inputs: vec![input], outputs }
+            StagePorts {
+                switch,
+                inputs: vec![input],
+                outputs,
+            }
         };
 
         // --- Network 2: normalizers -> strategies.
@@ -160,7 +163,11 @@ impl L1TradingFabric {
                     );
                 }
             }
-            StagePorts { switch: fan_node, inputs, outputs }
+            StagePorts {
+                switch: fan_node,
+                inputs,
+                outputs,
+            }
         };
 
         // --- Network 3: strategies -> gateways (merge per gateway).
@@ -187,7 +194,11 @@ impl L1TradingFabric {
                 }
             }
             let switch = sim.add_node("l1-orders", sw);
-            StagePorts { switch, inputs, outputs }
+            StagePorts {
+                switch,
+                inputs,
+                outputs,
+            }
         };
 
         // --- Network 4: gateways -> exchange (merge onto cross-connect).
@@ -201,7 +212,11 @@ impl L1TradingFabric {
             // Exchange replies fan back to every gateway circuit.
             sw.provision_fanout(output, inputs.clone());
             let switch = sim.add_node("l1-entry", sw);
-            StagePorts { switch, inputs, outputs: vec![output] }
+            StagePorts {
+                switch,
+                inputs,
+                outputs: vec![output],
+            }
         };
 
         L1TradingFabric {
@@ -238,16 +253,30 @@ mod tests {
     #[test]
     fn feed_net_fans_out_to_all_normalizers() {
         let mut sim = Simulator::new(1);
-        let cfg = L1FabricConfig { normalizers: 3, ..L1FabricConfig::default() };
+        let cfg = L1FabricConfig {
+            normalizers: 3,
+            ..L1FabricConfig::default()
+        };
         let fabric = L1TradingFabric::build(&mut sim, &cfg);
         let mut sinks = Vec::new();
         for (i, &out) in fabric.feed_net.outputs.iter().enumerate() {
             let s = sim.add_node(format!("n{i}"), Sink { got: vec![] });
-            sim.connect(fabric.feed_net.switch, out, s, PortId(0), tn_sim::IdealLink::new(SimTime::ZERO));
+            sim.connect(
+                fabric.feed_net.switch,
+                out,
+                s,
+                PortId(0),
+                tn_sim::IdealLink::new(SimTime::ZERO),
+            );
             sinks.push(s);
         }
         let f = sim.new_frame(vec![0; 100]);
-        sim.inject_frame(SimTime::ZERO, fabric.feed_net.switch, fabric.feed_net.inputs[0], f);
+        sim.inject_frame(
+            SimTime::ZERO,
+            fabric.feed_net.switch,
+            fabric.feed_net.inputs[0],
+            f,
+        );
         sim.run();
         for s in sinks {
             let got = &sim.node::<Sink>(s).unwrap().got;
@@ -303,8 +332,20 @@ mod tests {
         let fabric = L1TradingFabric::build(&mut sim, &cfg);
         let g0 = sim.add_node("g0", Sink { got: vec![] });
         let g1 = sim.add_node("g1", Sink { got: vec![] });
-        sim.connect(fabric.order_net.switch, fabric.order_net.outputs[0], g0, PortId(0), tn_sim::IdealLink::new(SimTime::ZERO));
-        sim.connect(fabric.order_net.switch, fabric.order_net.outputs[1], g1, PortId(0), tn_sim::IdealLink::new(SimTime::ZERO));
+        sim.connect(
+            fabric.order_net.switch,
+            fabric.order_net.outputs[0],
+            g0,
+            PortId(0),
+            tn_sim::IdealLink::new(SimTime::ZERO),
+        );
+        sim.connect(
+            fabric.order_net.switch,
+            fabric.order_net.outputs[1],
+            g1,
+            PortId(0),
+            tn_sim::IdealLink::new(SimTime::ZERO),
+        );
         // Strategies 0..3 send one order each; 0,2 -> gw0; 1,3 -> gw1.
         for s in 0..4u16 {
             let f = sim.new_frame(vec![0; 64]);
@@ -316,7 +357,13 @@ mod tests {
 
         // Entry net: both gateways merge onto one cross-connect.
         let x = sim.add_node("x", Sink { got: vec![] });
-        sim.connect(fabric.entry_net.switch, fabric.entry_net.outputs[0], x, PortId(0), tn_sim::IdealLink::new(SimTime::ZERO));
+        sim.connect(
+            fabric.entry_net.switch,
+            fabric.entry_net.outputs[0],
+            x,
+            PortId(0),
+            tn_sim::IdealLink::new(SimTime::ZERO),
+        );
         let t = sim.now();
         for g in 0..2u16 {
             let f = sim.new_frame(vec![0; 64]);

@@ -133,8 +133,9 @@ impl LeafSpine {
             .iter()
             .flat_map(|&leaf| (0..cfg.hosts_per_rack).map(move |p| (leaf, PortId(p as u16))))
             .collect();
-        let exchange_attach =
-            (0..cfg.exchange_ports).map(|p| (exchange_tor, PortId(p as u16))).collect();
+        let exchange_attach = (0..cfg.exchange_ports)
+            .map(|p| (exchange_tor, PortId(p as u16)))
+            .collect();
 
         let racks = cfg.racks;
         LeafSpine {
@@ -217,7 +218,9 @@ impl LeafSpine {
             let uplinks: Vec<PortId> = (0..self.cfg.spines)
                 .map(|s| PortId((self.cfg.hosts_per_rack + s) as u16))
                 .collect();
-            sim.node_mut::<CommoditySwitch>(l).expect("leaf").set_default_route(uplinks);
+            sim.node_mut::<CommoditySwitch>(l)
+                .expect("leaf")
+                .set_default_route(uplinks);
         }
     }
 

@@ -148,6 +148,9 @@ mod tests {
         // ~50 km straight-line -> 70 km routed -> ~343 us in glass.
         let m = MetroRegion::nj_triangle();
         let p = m.propagation(1, 2, CircuitKind::Fiber);
-        assert!(p > SimTime::from_us(100) && p < SimTime::from_us(300), "{p}");
+        assert!(
+            p > SimTime::from_us(100) && p < SimTime::from_us(300),
+            "{p}"
+        );
     }
 }

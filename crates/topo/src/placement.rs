@@ -98,7 +98,11 @@ pub fn grouped(
     place(normalizers, &mut n, true);
     place(strategies, &mut s, true);
     place(gateways, &mut g, false);
-    Placement { normalizer_rack: n, strategy_rack: s, gateway_rack: g }
+    Placement {
+        normalizer_rack: n,
+        strategy_rack: s,
+        gateway_rack: g,
+    }
 }
 
 /// Greedy latency-aware placement: spread normalizers and gateways, then
@@ -137,12 +141,18 @@ pub fn optimize(
             want
         } else {
             // Emptiest rack (stable tie-break on index).
-            (0..racks).max_by_key(|&r| (free[r], usize::MAX - r)).expect("racks >= 1")
+            (0..racks)
+                .max_by_key(|&r| (free[r], usize::MAX - r))
+                .expect("racks >= 1")
         };
         strategy_rack[s] = r;
         free[r] = free[r].saturating_sub(1);
     }
-    Placement { normalizer_rack, strategy_rack, gateway_rack }
+    Placement {
+        normalizer_rack,
+        strategy_rack,
+        gateway_rack,
+    }
 }
 
 /// Fraction of strategies co-located with their primary normalizer.
@@ -161,7 +171,11 @@ pub fn colocated_fraction(demands: &[StrategyDemand], p: &Placement) -> f64 {
 /// A skewed demand set: strategy `s` mostly consumes normalizer
 /// `s % normalizers`, with Zipf-ish weights (few strategies dominate
 /// traffic — §4.1's "distribution ... is not uniform").
-pub fn skewed_demands(strategies: usize, normalizers: usize, gateways: usize) -> Vec<StrategyDemand> {
+pub fn skewed_demands(
+    strategies: usize,
+    normalizers: usize,
+    gateways: usize,
+) -> Vec<StrategyDemand> {
     (0..strategies)
         .map(|s| StrategyDemand {
             primary_normalizer: s % normalizers.max(1),
@@ -174,8 +188,11 @@ pub fn skewed_demands(strategies: usize, normalizers: usize, gateways: usize) ->
 /// Per-rack host counts implied by a placement (for capacity checks).
 pub fn rack_loads(p: &Placement) -> HashMap<usize, usize> {
     let mut loads = HashMap::new();
-    for &r in
-        p.normalizer_rack.iter().chain(p.strategy_rack.iter()).chain(p.gateway_rack.iter())
+    for &r in p
+        .normalizer_rack
+        .iter()
+        .chain(p.strategy_rack.iter())
+        .chain(p.gateway_rack.iter())
     {
         *loads.entry(r).or_insert(0) += 1;
     }
@@ -217,7 +234,10 @@ mod tests {
         let opt_hops = mean_path_hops(&demands, &p);
         let grp_hops = mean_path_hops(&demands, &grouped_p);
         // Optimization buys a meaningful weighted-hop reduction...
-        assert!(opt_hops < grp_hops - 0.5, "opt {opt_hops} vs grouped {grp_hops}");
+        assert!(
+            opt_hops < grp_hops - 0.5,
+            "opt {opt_hops} vs grouped {grp_hops}"
+        );
         // ...by co-locating the heavy head of the distribution.
         assert!(colocated_fraction(&demands, &p) > 0.3);
     }

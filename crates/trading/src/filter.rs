@@ -93,15 +93,19 @@ impl FilterWorkload {
 
     /// The cheapest *feasible* placement.
     pub fn best(&self) -> (FilterPlacement, PlacementCost) {
-        [FilterPlacement::InProcess, FilterPlacement::DedicatedCore, FilterPlacement::Middlebox]
-            .into_iter()
-            .map(|p| (p, self.cost(p)))
-            .filter(|(_, c)| c.feasible)
-            .min_by(|a, b| a.1.cores.partial_cmp(&b.1.cores).expect("finite"))
-            .unwrap_or((
-                FilterPlacement::Middlebox,
-                self.cost(FilterPlacement::Middlebox),
-            ))
+        [
+            FilterPlacement::InProcess,
+            FilterPlacement::DedicatedCore,
+            FilterPlacement::Middlebox,
+        ]
+        .into_iter()
+        .map(|p| (p, self.cost(p)))
+        .filter(|(_, c)| c.feasible)
+        .min_by(|a, b| a.1.cores.partial_cmp(&b.1.cores).expect("finite"))
+        .unwrap_or((
+            FilterPlacement::Middlebox,
+            self.cost(FilterPlacement::Middlebox),
+        ))
     }
 }
 
@@ -136,7 +140,10 @@ mod tests {
         // With one consumer there is nothing to amortize, and the
         // standalone filter is strictly worse: it pays the discard-scan
         // cost on *wanted* events too before handing them over.
-        let w = FilterWorkload { consumers: 1, ..base() };
+        let w = FilterWorkload {
+            consumers: 1,
+            ..base()
+        };
         let inproc = w.cost(FilterPlacement::InProcess).cores;
         let mid = w.cost(FilterPlacement::Middlebox).cores;
         assert!(inproc < mid, "inproc {inproc} vs middlebox {mid}");
@@ -156,9 +163,16 @@ mod tests {
             consumers: 10,
         };
         let inproc = w.cost(FilterPlacement::InProcess);
-        assert!(!inproc.feasible, "utilization {}", inproc.peak_core_utilization);
+        assert!(
+            !inproc.feasible,
+            "utilization {}",
+            inproc.peak_core_utilization
+        );
         // A faster (hardware-ish) filter restores feasibility.
-        let w2 = FilterWorkload { discard_cost: SimTime::from_ns(40), ..w };
+        let w2 = FilterWorkload {
+            discard_cost: SimTime::from_ns(40),
+            ..w
+        };
         let ded = w2.cost(FilterPlacement::DedicatedCore);
         assert!(ded.feasible);
     }
@@ -166,10 +180,16 @@ mod tests {
     #[test]
     fn crossover_with_consumer_count() {
         // The middlebox advantage grows linearly with consumers.
-        let few = FilterWorkload { consumers: 2, ..base() };
-        let many = FilterWorkload { consumers: 200, ..base() };
-        let gain_few = few.cost(FilterPlacement::InProcess).cores
-            - few.cost(FilterPlacement::Middlebox).cores;
+        let few = FilterWorkload {
+            consumers: 2,
+            ..base()
+        };
+        let many = FilterWorkload {
+            consumers: 200,
+            ..base()
+        };
+        let gain_few =
+            few.cost(FilterPlacement::InProcess).cores - few.cost(FilterPlacement::Middlebox).cores;
         let gain_many = many.cost(FilterPlacement::InProcess).cores
             - many.cost(FilterPlacement::Middlebox).cores;
         assert!(gain_many > gain_few * 50.0);

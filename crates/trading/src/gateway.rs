@@ -200,11 +200,23 @@ impl Gateway {
         for msg in msgs {
             match msg {
                 boe::Message::Login { session, .. } => {
-                    self.strategies
-                        .insert(session, StrategyAddr { mac, ip, tcp_port: port });
+                    self.strategies.insert(
+                        session,
+                        StrategyAddr {
+                            mac,
+                            ip,
+                            tcp_port: port,
+                        },
+                    );
                     self.peer_session.insert(peer, session);
                 }
-                boe::Message::NewOrder { cl_ord_id, side, qty, symbol, price } => {
+                boe::Message::NewOrder {
+                    cl_ord_id,
+                    side,
+                    qty,
+                    symbol,
+                    price,
+                } => {
                     let Some(&session) = self.peer_session.get(&peer) else {
                         self.stats.dropped += 1;
                         continue;
@@ -243,7 +255,9 @@ impl Gateway {
                             let service = self.cfg.service;
                             self.send_to_exchange(
                                 ctx,
-                                &boe::Message::CancelOrder { cl_ord_id: gw_cl_ord },
+                                &boe::Message::CancelOrder {
+                                    cl_ord_id: gw_cl_ord,
+                                },
                                 frame.meta,
                                 service,
                             );
@@ -274,34 +288,49 @@ impl Gateway {
         for msg in msgs {
             let service = self.cfg.service;
             let (gw_cl_ord, rewrite): (u64, fn(u64, &boe::Message) -> boe::Message) = match msg {
-                boe::Message::OrderAck { cl_ord_id, exch_ord_id } => (
+                boe::Message::OrderAck {
+                    cl_ord_id,
+                    exch_ord_id,
+                } => (
                     cl_ord_id,
                     // Rewrap with the strategy's own cl_ord_id.
                     {
                         let _ = exch_ord_id;
                         |c, m| match *m {
-                            boe::Message::OrderAck { exch_ord_id, .. } => {
-                                boe::Message::OrderAck { cl_ord_id: c, exch_ord_id }
-                            }
+                            boe::Message::OrderAck { exch_ord_id, .. } => boe::Message::OrderAck {
+                                cl_ord_id: c,
+                                exch_ord_id,
+                            },
                             _ => unreachable!(),
                         }
                     },
                 ),
                 boe::Message::OrderReject { cl_ord_id, .. } => (cl_ord_id, |c, m| match *m {
-                    boe::Message::OrderReject { reason, .. } => {
-                        boe::Message::OrderReject { cl_ord_id: c, reason }
-                    }
+                    boe::Message::OrderReject { reason, .. } => boe::Message::OrderReject {
+                        cl_ord_id: c,
+                        reason,
+                    },
                     _ => unreachable!(),
                 }),
                 boe::Message::Fill { cl_ord_id, .. } => (cl_ord_id, |c, m| match *m {
-                    boe::Message::Fill { exec_id, qty, price, leaves, .. } => {
-                        boe::Message::Fill { cl_ord_id: c, exec_id, qty, price, leaves }
-                    }
+                    boe::Message::Fill {
+                        exec_id,
+                        qty,
+                        price,
+                        leaves,
+                        ..
+                    } => boe::Message::Fill {
+                        cl_ord_id: c,
+                        exec_id,
+                        qty,
+                        price,
+                        leaves,
+                    },
                     _ => unreachable!(),
                 }),
-                boe::Message::CancelAck { cl_ord_id } => (cl_ord_id, |c, _| {
-                    boe::Message::CancelAck { cl_ord_id: c }
-                }),
+                boe::Message::CancelAck { cl_ord_id } => {
+                    (cl_ord_id, |c, _| boe::Message::CancelAck { cl_ord_id: c })
+                }
                 _ => continue,
             };
             let Some(&(session, strat_cl_ord)) = self.order_map.get(&gw_cl_ord) else {
@@ -319,6 +348,9 @@ impl Node for Gateway {
         match port {
             INTERNAL => self.on_internal(ctx, &frame),
             EXCHANGE => self.on_exchange(ctx, &frame),
+            // Wiring invariant: ports are fixed at topology build time, so
+            // failing fast beats silently eating frames.
+            // audit:allow(hotpath-unwrap): unreachable on a provisioned topology
             other => panic!("gateway has 2 ports, got {other:?}"),
         }
     }
@@ -329,7 +361,10 @@ impl Node for Gateway {
         }
         if timer == START {
             let session = self.cfg.exchange_session;
-            let login = boe::Message::Login { session, token: u64::from(session) };
+            let login = boe::Message::Login {
+                session,
+                token: u64::from(session),
+            };
             self.send_to_exchange(ctx, &login, tn_sim::FrameMeta::default(), SimTime::ZERO);
         }
     }
@@ -372,11 +407,21 @@ mod tests {
 
     fn rig() -> (Simulator, tn_sim::NodeId, tn_sim::NodeId, tn_sim::NodeId) {
         let mut sim = Simulator::new(8);
-        let cfg = GatewayConfig::new(0, eth::MacAddr::host(0xEE01), ipv4::Addr::new(10, 200, 1, 1));
+        let cfg = GatewayConfig::new(
+            0,
+            eth::MacAddr::host(0xEE01),
+            ipv4::Addr::new(10, 200, 1, 1),
+        );
         let gw = sim.add_node("gw", Gateway::new(cfg));
         let strat = sim.add_node("strat", Collector { frames: vec![] });
         let exch = sim.add_node("exch", Collector { frames: vec![] });
-        sim.connect(gw, INTERNAL, strat, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.connect(
+            gw,
+            INTERNAL,
+            strat,
+            PortId(0),
+            IdealLink::new(SimTime::ZERO),
+        );
         sim.connect(gw, EXCHANGE, exch, PortId(0), IdealLink::new(SimTime::ZERO));
         (sim, gw, strat, exch)
     }
@@ -392,8 +437,17 @@ mod tests {
             symbol: Symbol::new("SPY").unwrap(),
             price: 450_0000,
         };
-        let frame_bytes =
-            boe_in_tcp(&[boe::Message::Login { session: 100, token: 1 }, order], strat_ip, 40_100);
+        let frame_bytes = boe_in_tcp(
+            &[
+                boe::Message::Login {
+                    session: 100,
+                    token: 1,
+                },
+                order,
+            ],
+            strat_ip,
+            40_100,
+        );
         let f = sim.new_frame(frame_bytes);
         sim.inject_frame(SimTime::ZERO, gw, INTERNAL, f);
         sim.run();
@@ -404,7 +458,9 @@ mod tests {
         let v = stack::parse_tcp(&exch_frames[0].1).unwrap();
         let (msg, _, _) = boe::Message::parse(v.payload).unwrap();
         match msg {
-            boe::Message::NewOrder { cl_ord_id, qty: 10, .. } => {
+            boe::Message::NewOrder {
+                cl_ord_id, qty: 10, ..
+            } => {
                 assert_ne!(cl_ord_id, 777, "gateway must remap ids");
             }
             other => panic!("{other:?}"),
@@ -424,7 +480,13 @@ mod tests {
             price: 380_0000,
         };
         let f = sim.new_frame(boe_in_tcp(
-            &[boe::Message::Login { session: 100, token: 1 }, order],
+            &[
+                boe::Message::Login {
+                    session: 100,
+                    token: 1,
+                },
+                order,
+            ],
             strat_ip,
             40_100,
         ));
@@ -432,7 +494,11 @@ mod tests {
         sim.run();
         // Exchange acks gateway order id 1.
         let mut payload = Vec::new();
-        boe::Message::OrderAck { cl_ord_id: 1, exch_ord_id: 42 }.emit(1, &mut payload);
+        boe::Message::OrderAck {
+            cl_ord_id: 1,
+            exch_ord_id: 42,
+        }
+        .emit(1, &mut payload);
         let ack = stack::build_tcp(
             eth::MacAddr::host(0xEE01),
             eth::MacAddr::host(0x6000),
@@ -454,7 +520,13 @@ mod tests {
         let v = stack::parse_tcp(&strat_frames[0].1).unwrap();
         let (msg, _, _) = boe::Message::parse(v.payload).unwrap();
         // The strategy sees its own id again.
-        assert!(matches!(msg, boe::Message::OrderAck { cl_ord_id: 5, exch_ord_id: 42 }));
+        assert!(matches!(
+            msg,
+            boe::Message::OrderAck {
+                cl_ord_id: 5,
+                exch_ord_id: 42
+            }
+        ));
         assert_eq!(sim.node::<Gateway>(gw).unwrap().stats().replies_back, 1);
     }
 
@@ -462,7 +534,11 @@ mod tests {
     fn unknown_replies_are_dropped() {
         let (mut sim, gw, strat, _exch) = rig();
         let mut payload = Vec::new();
-        boe::Message::OrderAck { cl_ord_id: 99, exch_ord_id: 1 }.emit(1, &mut payload);
+        boe::Message::OrderAck {
+            cl_ord_id: 99,
+            exch_ord_id: 1,
+        }
+        .emit(1, &mut payload);
         let ack = stack::build_tcp(
             eth::MacAddr::host(0xEE01),
             eth::MacAddr::host(0x6000),

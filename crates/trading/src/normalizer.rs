@@ -121,7 +121,9 @@ impl Normalizer {
     pub fn new(cfg: NormalizerConfig) -> Normalizer {
         let mut core = NormalizerCore::new(
             cfg.exchange_id,
-            HashRepartition { partitions: cfg.out_partitions },
+            HashRepartition {
+                partitions: cfg.out_partitions,
+            },
         );
         core.emit_depth = cfg.emit_depth;
         core.preload_symbols(cfg.preload.iter().copied());
@@ -153,11 +155,8 @@ impl Normalizer {
         let mut i = 0;
         while i < outputs.len() {
             let partition = outputs[i].partition;
-            let mut pb = norm::PacketBuilder::new(
-                partition,
-                self.next_seq[partition as usize],
-                1_400,
-            );
+            let mut pb =
+                norm::PacketBuilder::new(partition, self.next_seq[partition as usize], 1_400);
             let mut sealed = Vec::new();
             while i < outputs.len() && outputs[i].partition == partition {
                 if let Some(done) = pb.push(&outputs[i].record) {
@@ -226,7 +225,8 @@ impl Node for Normalizer {
                         // not it survives normalization — the basis of the
                         // §3 filtering analysis.
                         let consumed = self.core.stats().messages_in - msgs_before;
-                        self.svc.charge(ctx.now(), self.cfg.per_message_service * consumed);
+                        self.svc
+                            .charge(ctx.now(), self.cfg.per_message_service * consumed);
                         self.stats.records_out += outputs.len() as u64;
                         self.emit(ctx, &outputs, &frame);
                     }
@@ -234,6 +234,9 @@ impl Node for Normalizer {
                 }
             }
             OUT => {} // nothing arrives on the output port
+            // Wiring invariant: ports are fixed at topology build time, so
+            // failing fast beats silently eating frames.
+            // audit:allow(hotpath-unwrap): unreachable on a provisioned topology
             other => panic!("normalizer has 3 ports, got {other:?}"),
         }
     }

@@ -8,14 +8,14 @@
 //! exchanges — the "broad internal communication" requirement that shapes
 //! the firm's network.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tn_wire::{boe, norm};
 
 /// Net-position tracker keyed by interned symbol id.
 #[derive(Debug, Default)]
 pub struct PositionTracker {
-    positions: HashMap<u32, i64>,
+    positions: BTreeMap<u32, i64>,
     /// Signed notional traded (1e-4 dollars), for gross-exposure checks.
     notional: i128,
     fills: u64,
@@ -92,7 +92,7 @@ pub enum MarketCondition {
 #[derive(Debug, Default)]
 pub struct ComplianceMonitor {
     /// (symbol, exchange) → (bid, ask); zero means absent.
-    quotes: HashMap<(u32, u8), (i64, i64)>,
+    quotes: BTreeMap<(u32, u8), (i64, i64)>,
 }
 
 impl ComplianceMonitor {
@@ -106,7 +106,10 @@ impl ComplianceMonitor {
         if r.kind != norm::Kind::Bbo {
             return;
         }
-        let entry = self.quotes.entry((r.symbol_id, r.exchange)).or_insert((0, 0));
+        let entry = self
+            .quotes
+            .entry((r.symbol_id, r.exchange))
+            .or_insert((0, 0));
         match r.side {
             b'B' => entry.0 = r.price,
             b'S' => entry.1 = r.price,
@@ -212,7 +215,13 @@ mod tests {
     #[test]
     fn boe_fill_signs_by_side() {
         let mut p = PositionTracker::new();
-        let fill = boe::Message::Fill { cl_ord_id: 1, exec_id: 1, qty: 10, price: 5_0000, leaves: 0 };
+        let fill = boe::Message::Fill {
+            cl_ord_id: 1,
+            exec_id: 1,
+            qty: 10,
+            price: 5_0000,
+            leaves: 0,
+        };
         p.on_boe_fill(7, Side::Buy, &fill);
         p.on_boe_fill(7, Side::Sell, &fill);
         assert_eq!(p.position(7), 0);

@@ -67,7 +67,10 @@ pub struct MomentumLogic {
 impl MomentumLogic {
     /// Momentum logic with a price-move threshold.
     pub fn new(threshold: i64) -> MomentumLogic {
-        MomentumLogic { last_bid: HashMap::new(), threshold }
+        MomentumLogic {
+            last_bid: HashMap::new(),
+            threshold,
+        }
     }
 }
 
@@ -107,14 +110,19 @@ impl StrategyLogic for CrossMarketArb {
         }
         match record.side {
             b'B' => {
-                let e = self.best_bid.entry(record.symbol_id).or_insert((record.exchange, 0));
+                let e = self
+                    .best_bid
+                    .entry(record.symbol_id)
+                    .or_insert((record.exchange, 0));
                 if record.price >= e.1 || e.0 == record.exchange {
                     *e = (record.exchange, record.price);
                 }
             }
             b'S' => {
-                let e =
-                    self.best_ask.entry(record.symbol_id).or_insert((record.exchange, i64::MAX));
+                let e = self
+                    .best_ask
+                    .entry(record.symbol_id)
+                    .or_insert((record.exchange, i64::MAX));
                 if record.price <= e.1 || e.0 == record.exchange {
                     *e = (record.exchange, record.price);
                 }
@@ -155,7 +163,10 @@ pub struct MarketMakerLogic {
 impl MarketMakerLogic {
     /// Market maker quoting inside spreads wider than `min_spread`.
     pub fn new(min_spread: i64) -> MarketMakerLogic {
-        MarketMakerLogic { min_spread, ..MarketMakerLogic::default() }
+        MarketMakerLogic {
+            min_spread,
+            ..MarketMakerLogic::default()
+        }
     }
 }
 
@@ -166,8 +177,14 @@ impl StrategyLogic for MarketMakerLogic {
             return None;
         }
         use crate::risk::MarketSide;
-        let bid = self.compliance.nbbo_side(record.symbol_id, MarketSide::Bid)?.1;
-        let ask = self.compliance.nbbo_side(record.symbol_id, MarketSide::Ask)?.1;
+        let bid = self
+            .compliance
+            .nbbo_side(record.symbol_id, MarketSide::Bid)?
+            .1;
+        let ask = self
+            .compliance
+            .nbbo_side(record.symbol_id, MarketSide::Ask)?
+            .1;
         if ask - bid < self.min_spread {
             return None;
         }
@@ -183,12 +200,20 @@ impl StrategyLogic for MarketMakerLogic {
             Side::Sell => (MarketSide::Ask, ask - 200),
         };
         // §4.2: never advertise a locking/crossing price.
-        if self.compliance.would_lock_or_cross(record.symbol_id, market_side, price) {
+        if self
+            .compliance
+            .would_lock_or_cross(record.symbol_id, market_side, price)
+        {
             self.suppressed += 1;
             return None;
         }
         self.last_quoted.insert(record.symbol_id, side);
-        Some(OrderIntent { symbol_id: record.symbol_id, side, qty: 50, price: price as u64 })
+        Some(OrderIntent {
+            symbol_id: record.symbol_id,
+            side,
+            qty: 50,
+            price: price as u64,
+        })
     }
 }
 
@@ -395,6 +420,9 @@ impl<L: StrategyLogic + 'static> Node for Strategy<L> {
         match port {
             FEED => self.on_feed(ctx, &frame),
             ORDERS => self.on_reply(&frame),
+            // Wiring invariant: ports are fixed at topology build time, so
+            // failing fast beats silently eating frames.
+            // audit:allow(hotpath-unwrap): unreachable on a provisioned topology
             other => panic!("strategy has 2 ports, got {other:?}"),
         }
     }
@@ -412,6 +440,8 @@ impl<L: StrategyLogic + 'static> Node for Strategy<L> {
                     .map(|p| self.cfg.mcast_base + u32::from(p))
                     .collect()
             } else {
+                // One-time START handling, not steady state.
+                // audit:allow(hotpath-alloc): capacity-0 Vec never touches the heap
                 Vec::new()
             };
             for g in groups {
@@ -426,7 +456,10 @@ impl<L: StrategyLogic + 'static> Node for Strategy<L> {
                 ctx.send(FEED, frame);
             }
             let session = self.cfg.session;
-            let login = boe::Message::Login { session, token: u64::from(session) };
+            let login = boe::Message::Login {
+                session,
+                token: u64::from(session),
+            };
             self.send_boe(ctx, &login, tn_sim::FrameMeta::default());
         }
     }

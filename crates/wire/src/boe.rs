@@ -192,7 +192,13 @@ impl Message {
                 set_u64_le(b, 11, token);
             }
             Message::Heartbeat => {}
-            Message::NewOrder { cl_ord_id, side, qty, symbol, price } => {
+            Message::NewOrder {
+                cl_ord_id,
+                side,
+                qty,
+                symbol,
+                price,
+            } => {
                 set_u64_le(b, 7, cl_ord_id);
                 b[15] = match side {
                     Side::Buy => b'B',
@@ -205,12 +211,19 @@ impl Message {
             Message::CancelOrder { cl_ord_id } => {
                 set_u64_le(b, 7, cl_ord_id);
             }
-            Message::ModifyOrder { cl_ord_id, qty, price } => {
+            Message::ModifyOrder {
+                cl_ord_id,
+                qty,
+                price,
+            } => {
                 set_u64_le(b, 7, cl_ord_id);
                 set_u32_le(b, 15, qty);
                 set_u64_le(b, 19, price);
             }
-            Message::OrderAck { cl_ord_id, exch_ord_id } => {
+            Message::OrderAck {
+                cl_ord_id,
+                exch_ord_id,
+            } => {
                 set_u64_le(b, 7, cl_ord_id);
                 set_u64_le(b, 15, exch_ord_id);
             }
@@ -218,7 +231,13 @@ impl Message {
                 set_u64_le(b, 7, cl_ord_id);
                 b[15] = reason.to_wire();
             }
-            Message::Fill { cl_ord_id, exec_id, qty, price, leaves } => {
+            Message::Fill {
+                cl_ord_id,
+                exec_id,
+                qty,
+                price,
+                leaves,
+            } => {
                 set_u64_le(b, 7, cl_ord_id);
                 set_u64_le(b, 15, exec_id);
                 set_u32_le(b, 23, qty);
@@ -246,11 +265,20 @@ impl Message {
         }
         let seq = get_u32_le(buf, 3);
         let b = &buf[..len];
-        let need = |want: usize| if len == want { Ok(()) } else { Err(WireError::BadLength) };
+        let need = |want: usize| {
+            if len == want {
+                Ok(())
+            } else {
+                Err(WireError::BadLength)
+            }
+        };
         let msg = match b[2] {
             msg_type::LOGIN => {
                 need(19)?;
-                Message::Login { session: get_u32_le(b, 7), token: get_u64_le(b, 11) }
+                Message::Login {
+                    session: get_u32_le(b, 7),
+                    token: get_u64_le(b, 11),
+                }
             }
             msg_type::HEARTBEAT => {
                 need(7)?;
@@ -272,7 +300,9 @@ impl Message {
             }
             msg_type::CANCEL_ORDER => {
                 need(15)?;
-                Message::CancelOrder { cl_ord_id: get_u64_le(b, 7) }
+                Message::CancelOrder {
+                    cl_ord_id: get_u64_le(b, 7),
+                }
             }
             msg_type::MODIFY_ORDER => {
                 need(27)?;
@@ -284,7 +314,10 @@ impl Message {
             }
             msg_type::ORDER_ACK => {
                 need(23)?;
-                Message::OrderAck { cl_ord_id: get_u64_le(b, 7), exch_ord_id: get_u64_le(b, 15) }
+                Message::OrderAck {
+                    cl_ord_id: get_u64_le(b, 7),
+                    exch_ord_id: get_u64_le(b, 15),
+                }
             }
             msg_type::ORDER_REJECT => {
                 need(16)?;
@@ -305,7 +338,9 @@ impl Message {
             }
             msg_type::CANCEL_ACK => {
                 need(15)?;
-                Message::CancelAck { cl_ord_id: get_u64_le(b, 7) }
+                Message::CancelAck {
+                    cl_ord_id: get_u64_le(b, 7),
+                }
             }
             _ => return Err(WireError::BadField),
         };
@@ -371,7 +406,10 @@ mod tests {
 
     fn sample() -> Vec<Message> {
         vec![
-            Message::Login { session: 7, token: 0xDEAD },
+            Message::Login {
+                session: 7,
+                token: 0xDEAD,
+            },
             Message::Heartbeat,
             Message::NewOrder {
                 cl_ord_id: 42,
@@ -381,10 +419,26 @@ mod tests {
                 price: 450_0000,
             },
             Message::CancelOrder { cl_ord_id: 42 },
-            Message::ModifyOrder { cl_ord_id: 42, qty: 50, price: 449_0000 },
-            Message::OrderAck { cl_ord_id: 42, exch_ord_id: 9001 },
-            Message::OrderReject { cl_ord_id: 43, reason: RejectReason::UnknownSymbol },
-            Message::Fill { cl_ord_id: 42, exec_id: 77, qty: 50, price: 450_0000, leaves: 50 },
+            Message::ModifyOrder {
+                cl_ord_id: 42,
+                qty: 50,
+                price: 449_0000,
+            },
+            Message::OrderAck {
+                cl_ord_id: 42,
+                exch_ord_id: 9001,
+            },
+            Message::OrderReject {
+                cl_ord_id: 43,
+                reason: RejectReason::UnknownSymbol,
+            },
+            Message::Fill {
+                cl_ord_id: 42,
+                exec_id: 77,
+                qty: 50,
+                price: 450_0000,
+                leaves: 50,
+            },
             Message::CancelAck { cl_ord_id: 42 },
         ]
     }
@@ -449,7 +503,11 @@ mod tests {
         assert_eq!(Message::parse(&buf).unwrap_err(), WireError::BadField);
 
         let mut buf = Vec::new();
-        Message::OrderReject { cl_ord_id: 1, reason: RejectReason::Session }.emit(0, &mut buf);
+        Message::OrderReject {
+            cl_ord_id: 1,
+            reason: RejectReason::Session,
+        }
+        .emit(0, &mut buf);
         buf[15] = 200; // invalid reason
         assert_eq!(Message::parse(&buf).unwrap_err(), WireError::BadField);
     }

@@ -49,7 +49,11 @@ impl MacAddr {
 impl fmt::Display for MacAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
-        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
     }
 }
 
@@ -183,7 +187,12 @@ mod tests {
     #[test]
     fn build_and_parse_roundtrip() {
         let payload = [0xAAu8; 46];
-        let buf = build(MacAddr::BROADCAST, MacAddr::host(3), EtherType::Ipv4, &payload);
+        let buf = build(
+            MacAddr::BROADCAST,
+            MacAddr::host(3),
+            EtherType::Ipv4,
+            &payload,
+        );
         assert_eq!(buf.len(), 60);
         let f = Frame::new_checked(&buf[..]).unwrap();
         assert_eq!(f.dst(), MacAddr::BROADCAST);

@@ -84,7 +84,10 @@ mod tests {
     #[test]
     fn roundtrip_all_types() {
         for kind in [MessageType::Query, MessageType::Report, MessageType::Leave] {
-            let m = Message { kind, group: ipv4::Addr::multicast_group(123) };
+            let m = Message {
+                kind,
+                group: ipv4::Addr::multicast_group(123),
+            };
             let buf = m.emit();
             assert_eq!(buf.len(), MESSAGE_LEN);
             assert_eq!(Message::parse(&buf).unwrap(), m);
@@ -93,7 +96,10 @@ mod tests {
 
     #[test]
     fn corruption_and_truncation_rejected() {
-        let m = Message { kind: MessageType::Report, group: ipv4::Addr::multicast_group(1) };
+        let m = Message {
+            kind: MessageType::Report,
+            group: ipv4::Addr::multicast_group(1),
+        };
         let mut buf = m.emit();
         buf[5] ^= 0xff;
         assert_eq!(Message::parse(&buf).unwrap_err(), WireError::BadChecksum);
@@ -102,7 +108,10 @@ mod tests {
 
     #[test]
     fn unknown_type_rejected() {
-        let m = Message { kind: MessageType::Report, group: ipv4::Addr::multicast_group(1) };
+        let m = Message {
+            kind: MessageType::Report,
+            group: ipv4::Addr::multicast_group(1),
+        };
         let mut buf = m.emit();
         buf[0] = 0x99;
         // Fix up checksum so the type check is what fails.

@@ -249,16 +249,28 @@ mod tests {
 
     #[test]
     fn structural_validation() {
-        assert_eq!(Packet::new_checked(&[0u8; 10][..]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            Packet::new_checked(&[0u8; 10][..]).unwrap_err(),
+            WireError::Truncated
+        );
         let mut buf = build(Addr::host(1), Addr::host(2), PROTO_UDP, b"abc");
         buf[0] = 0x65; // version 6
-        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), WireError::BadField);
+        assert_eq!(
+            Packet::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadField
+        );
         buf[0] = 0x46; // IHL 6 (options)
-        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), WireError::BadField);
+        assert_eq!(
+            Packet::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadField
+        );
         buf[0] = 0x45;
         buf[2] = 0xff; // total length > buffer
         buf[3] = 0xff;
-        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), WireError::BadLength);
+        assert_eq!(
+            Packet::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadLength
+        );
     }
 
     #[test]

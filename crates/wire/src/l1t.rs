@@ -135,13 +135,22 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert_eq!(Frame::new_checked(&[0u8; 4][..]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            Frame::new_checked(&[0u8; 4][..]).unwrap_err(),
+            WireError::Truncated
+        );
         let mut buf = build(1, 1, b"abc");
         buf[0] = 200;
-        assert_eq!(Frame::new_checked(&buf[..]).unwrap_err(), WireError::BadLength);
+        assert_eq!(
+            Frame::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadLength
+        );
         buf[0] = 4; // below header length
         buf[1] = 0;
-        assert_eq!(Frame::new_checked(&buf[..]).unwrap_err(), WireError::BadLength);
+        assert_eq!(
+            Frame::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadLength
+        );
     }
 
     #[test]

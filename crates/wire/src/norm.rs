@@ -29,8 +29,7 @@
 //! ```
 
 use crate::bytes::{
-    get_i64_le, get_u16_le, get_u32_le, get_u64_le, set_i64_le, set_u16_le, set_u32_le,
-    set_u64_le,
+    get_i64_le, get_u16_le, get_u32_le, get_u64_le, set_i64_le, set_u16_le, set_u32_le, set_u64_le,
 };
 use crate::error::{Result, WireError};
 
@@ -214,7 +213,11 @@ impl PacketBuilder {
     /// Append a record; returns a sealed packet when the buffer filled up
     /// *before* this record (which then starts the next packet).
     pub fn push(&mut self, rec: &Record) -> Option<Vec<u8>> {
-        let flushed = if self.count == self.max_records { Some(self.seal()) } else { None };
+        let flushed = if self.count == self.max_records {
+            Some(self.seal())
+        } else {
+            None
+        };
         rec.emit(&mut self.buf);
         self.count += 1;
         flushed
@@ -275,7 +278,10 @@ mod tests {
     fn negative_prices_roundtrip() {
         // Options spreads and certain futures can print negative prices
         // (as crude oil famously did); the format must carry them.
-        let r = Record { price: -37_6300, ..rec(1) };
+        let r = Record {
+            price: -37_6300,
+            ..rec(1)
+        };
         let mut buf = Vec::new();
         r.emit(&mut buf);
         assert_eq!(Record::parse(&buf).unwrap().price, -37_6300);
@@ -312,12 +318,18 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert_eq!(Packet::new_checked(&[0u8; 4][..]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            Packet::new_checked(&[0u8; 4][..]).unwrap_err(),
+            WireError::Truncated
+        );
         let mut pb = PacketBuilder::new(0, 0, 200);
         pb.push(&rec(0));
         let mut p = pb.flush().unwrap();
         p[0] = 10; // count larger than buffer
-        assert_eq!(Packet::new_checked(&p[..]).unwrap_err(), WireError::BadLength);
+        assert_eq!(
+            Packet::new_checked(&p[..]).unwrap_err(),
+            WireError::BadLength
+        );
         assert_eq!(Record::parse(&[0u8; 10]).unwrap_err(), WireError::Truncated);
         let mut buf = Vec::new();
         rec(0).emit(&mut buf);

@@ -24,9 +24,7 @@
 //! on the unit, exactly as PITCH does, which is part of why the encoding
 //! is so compact.
 
-use crate::bytes::{
-    get_u16_le, get_u32_le, get_u64_le, set_u16_le, set_u32_le, set_u64_le,
-};
+use crate::bytes::{get_u16_le, get_u32_le, get_u64_le, set_u16_le, set_u32_le, set_u64_le};
 use crate::error::{Result, WireError};
 use crate::symbol::Symbol;
 
@@ -269,7 +267,14 @@ impl Message {
                 b[1] = msg_type::TIME;
                 set_u32_le(b, 2, seconds);
             }
-            Message::AddOrder { offset_ns, order_id, side, qty, symbol, price } => {
+            Message::AddOrder {
+                offset_ns,
+                order_id,
+                side,
+                qty,
+                symbol,
+                price,
+            } => {
                 set_u32_le(b, 2, offset_ns);
                 set_u64_le(b, 6, order_id);
                 b[14] = side.to_wire();
@@ -287,14 +292,23 @@ impl Message {
                     b[33] = 0; // flags
                 }
             }
-            Message::OrderExecuted { offset_ns, order_id, qty, exec_id } => {
+            Message::OrderExecuted {
+                offset_ns,
+                order_id,
+                qty,
+                exec_id,
+            } => {
                 b[1] = msg_type::ORDER_EXECUTED;
                 set_u32_le(b, 2, offset_ns);
                 set_u64_le(b, 6, order_id);
                 set_u32_le(b, 14, qty);
                 set_u64_le(b, 18, exec_id);
             }
-            Message::ReduceSize { offset_ns, order_id, qty } => {
+            Message::ReduceSize {
+                offset_ns,
+                order_id,
+                qty,
+            } => {
                 set_u32_le(b, 2, offset_ns);
                 set_u64_le(b, 6, order_id);
                 if len == 16 {
@@ -305,7 +319,12 @@ impl Message {
                     set_u32_le(b, 14, qty);
                 }
             }
-            Message::ModifyOrder { offset_ns, order_id, qty, price } => {
+            Message::ModifyOrder {
+                offset_ns,
+                order_id,
+                qty,
+                price,
+            } => {
                 set_u32_le(b, 2, offset_ns);
                 set_u64_le(b, 6, order_id);
                 if len == 19 {
@@ -320,12 +339,23 @@ impl Message {
                     b[26] = 0; // flags
                 }
             }
-            Message::DeleteOrder { offset_ns, order_id } => {
+            Message::DeleteOrder {
+                offset_ns,
+                order_id,
+            } => {
                 b[1] = msg_type::DELETE_ORDER;
                 set_u32_le(b, 2, offset_ns);
                 set_u64_le(b, 6, order_id);
             }
-            Message::Trade { offset_ns, order_id, side, qty, symbol, price, exec_id } => {
+            Message::Trade {
+                offset_ns,
+                order_id,
+                side,
+                qty,
+                symbol,
+                price,
+                exec_id,
+            } => {
                 set_u32_le(b, 2, offset_ns);
                 set_u64_le(b, 6, order_id);
                 b[14] = side.to_wire();
@@ -343,7 +373,11 @@ impl Message {
                     set_u64_le(b, 33, exec_id);
                 }
             }
-            Message::TradingStatus { offset_ns, symbol, status } => {
+            Message::TradingStatus {
+                offset_ns,
+                symbol,
+                status,
+            } => {
                 b[1] = msg_type::TRADING_STATUS;
                 set_u32_le(b, 2, offset_ns);
                 symbol.to_wire(&mut b[6..12]);
@@ -367,7 +401,9 @@ impl Message {
         let msg = match b[1] {
             msg_type::TIME => {
                 Self::expect_len(len, 6)?;
-                Message::Time { seconds: get_u32_le(b, 2) }
+                Message::Time {
+                    seconds: get_u32_le(b, 2),
+                }
             }
             msg_type::ADD_ORDER_SHORT => {
                 Self::expect_len(len, 26)?;
@@ -436,7 +472,10 @@ impl Message {
             }
             msg_type::DELETE_ORDER => {
                 Self::expect_len(len, 14)?;
-                Message::DeleteOrder { offset_ns: get_u32_le(b, 2), order_id: get_u64_le(b, 6) }
+                Message::DeleteOrder {
+                    offset_ns: get_u32_le(b, 2),
+                    order_id: get_u64_le(b, 6),
+                }
             }
             msg_type::TRADE_SHORT => {
                 Self::expect_len(len, 33)?;
@@ -633,7 +672,13 @@ impl PacketBuilder {
         assert!(max_payload >= UNIT_HEADER_LEN + 64, "max_payload too small");
         let mut buf = Vec::with_capacity(max_payload);
         buf.resize(UNIT_HEADER_LEN, 0);
-        PacketBuilder { unit, next_seq: first_seq, max_payload, buf, count: 0 }
+        PacketBuilder {
+            unit,
+            next_seq: first_seq,
+            max_payload,
+            buf,
+            count: 0,
+        }
     }
 
     /// Next sequence number that will be assigned.
@@ -715,12 +760,38 @@ mod tests {
                 symbol: sym("BRKA"),
                 price: 6_213_450_001, // odd ticks force long encoding
             },
-            Message::OrderExecuted { offset_ns: 30, order_id: 1, qty: 50, exec_id: 900 },
-            Message::ReduceSize { offset_ns: 40, order_id: 2, qty: 25 },
-            Message::ReduceSize { offset_ns: 41, order_id: 2, qty: 100_000 },
-            Message::ModifyOrder { offset_ns: 50, order_id: 1, qty: 75, price: 449_9900 },
-            Message::ModifyOrder { offset_ns: 51, order_id: 1, qty: 75, price: 449_9901 },
-            Message::DeleteOrder { offset_ns: 60, order_id: 1 },
+            Message::OrderExecuted {
+                offset_ns: 30,
+                order_id: 1,
+                qty: 50,
+                exec_id: 900,
+            },
+            Message::ReduceSize {
+                offset_ns: 40,
+                order_id: 2,
+                qty: 25,
+            },
+            Message::ReduceSize {
+                offset_ns: 41,
+                order_id: 2,
+                qty: 100_000,
+            },
+            Message::ModifyOrder {
+                offset_ns: 50,
+                order_id: 1,
+                qty: 75,
+                price: 449_9900,
+            },
+            Message::ModifyOrder {
+                offset_ns: 51,
+                order_id: 1,
+                qty: 75,
+                price: 449_9901,
+            },
+            Message::DeleteOrder {
+                offset_ns: 60,
+                order_id: 1,
+            },
             Message::Trade {
                 offset_ns: 70,
                 order_id: 3,
@@ -730,7 +801,11 @@ mod tests {
                 price: 380_0000,
                 exec_id: 901,
             },
-            Message::TradingStatus { offset_ns: 80, symbol: sym("SPY"), status: b'T' },
+            Message::TradingStatus {
+                offset_ns: 80,
+                symbol: sym("SPY"),
+                status: b'T',
+            },
         ]
     }
 
@@ -747,7 +822,10 @@ mod tests {
             price: 100_0000,
         };
         assert_eq!(add.wire_len(), 26);
-        let del = Message::DeleteOrder { offset_ns: 0, order_id: 1 };
+        let del = Message::DeleteOrder {
+            offset_ns: 0,
+            order_id: 1,
+        };
         assert_eq!(del.wire_len(), 14);
     }
 
@@ -756,7 +834,11 @@ mod tests {
         for msg in sample_messages() {
             let mut buf = Vec::new();
             msg.emit(&mut buf);
-            assert_eq!(buf.len(), msg.wire_len(), "emit/wire_len mismatch for {msg:?}");
+            assert_eq!(
+                buf.len(),
+                msg.wire_len(),
+                "emit/wire_len mismatch for {msg:?}"
+            );
             assert_eq!(buf[0] as usize, buf.len());
             let (parsed, used) = Message::parse(&buf).unwrap();
             assert_eq!(used, buf.len());
@@ -835,19 +917,28 @@ mod tests {
 
     #[test]
     fn malformed_packets_rejected() {
-        assert_eq!(Packet::new_checked(&[0u8; 4][..]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            Packet::new_checked(&[0u8; 4][..]).unwrap_err(),
+            WireError::Truncated
+        );
         let mut pb = PacketBuilder::new(0, 0, 1400);
         pb.push(&Message::Time { seconds: 1 });
         let mut p = pb.flush().unwrap();
         p[0] = 200; // length > buffer
-        assert_eq!(Packet::new_checked(&p[..]).unwrap_err(), WireError::BadLength);
+        assert_eq!(
+            Packet::new_checked(&p[..]).unwrap_err(),
+            WireError::BadLength
+        );
     }
 
     #[test]
     fn iterator_surfaces_mid_packet_corruption() {
         let mut pb = PacketBuilder::new(0, 0, 1400);
         pb.push(&Message::Time { seconds: 1 });
-        pb.push(&Message::DeleteOrder { offset_ns: 0, order_id: 5 });
+        pb.push(&Message::DeleteOrder {
+            offset_ns: 0,
+            order_id: 5,
+        });
         let mut p = pb.flush().unwrap();
         p[UNIT_HEADER_LEN + 6 + 1] = 0x99; // corrupt the delete's type byte
         let pkt = Packet::new_checked(&p[..]).unwrap();
@@ -860,7 +951,10 @@ mod tests {
     #[test]
     fn message_parse_rejects_bad_lengths() {
         assert_eq!(Message::parse(&[1u8]).unwrap_err(), WireError::Truncated);
-        assert_eq!(Message::parse(&[0, 0x20]).unwrap_err(), WireError::BadLength);
+        assert_eq!(
+            Message::parse(&[0, 0x20]).unwrap_err(),
+            WireError::BadLength
+        );
         // Wrong declared length for a known type.
         let mut buf = Vec::new();
         Message::Time { seconds: 1 }.emit(&mut buf);
@@ -870,7 +964,11 @@ mod tests {
 
     #[test]
     fn gap_request_roundtrip_and_validation() {
-        let g = GapRequest { unit: 3, seq: 1_000_000, count: 250 };
+        let g = GapRequest {
+            unit: 3,
+            seq: 1_000_000,
+            count: 250,
+        };
         let buf = g.emit();
         assert_eq!(buf.len(), GAP_REQUEST_LEN);
         assert_eq!(GapRequest::parse(&buf).unwrap(), g);
@@ -880,7 +978,10 @@ mod tests {
         let mut bad = buf.clone();
         bad[0] = 0;
         assert_eq!(GapRequest::parse(&bad).unwrap_err(), WireError::BadField);
-        assert_eq!(GapRequest::parse(&buf[..5]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            GapRequest::parse(&buf[..5]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

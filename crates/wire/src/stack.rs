@@ -168,8 +168,15 @@ mod tests {
     #[test]
     fn udp_stack_roundtrip_multicast() {
         let group = ipv4::Addr::multicast_group(42);
-        let frame =
-            build_udp(MacAddr::host(1), None, SRC_IP, group, 30001, 30001, b"pitch packet");
+        let frame = build_udp(
+            MacAddr::host(1),
+            None,
+            SRC_IP,
+            group,
+            30001,
+            30001,
+            b"pitch packet",
+        );
         assert_eq!(frame.len(), UDP_OVERHEAD + 12);
         let v = parse_udp(&frame).unwrap();
         assert_eq!(v.dst_mac, MacAddr::ipv4_multicast(group));
@@ -231,7 +238,12 @@ mod tests {
         );
         assert_eq!(parse_udp(&tcp_frame).unwrap_err(), WireError::BadField);
         // Non-IPv4 ethertype.
-        let l1 = eth::build(MacAddr::host(2), MacAddr::host(1), EtherType::L1Transport, b"xx");
+        let l1 = eth::build(
+            MacAddr::host(2),
+            MacAddr::host(1),
+            EtherType::L1Transport,
+            b"xx",
+        );
         assert_eq!(parse_udp(&l1).unwrap_err(), WireError::BadField);
     }
 

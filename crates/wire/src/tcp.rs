@@ -203,8 +203,16 @@ mod tests {
 
     #[test]
     fn build_parse_roundtrip() {
-        let buf =
-            build(A, B, 49000, 443, 1000, 2000, Flags::ACK | Flags::PSH, b"new order bytes");
+        let buf = build(
+            A,
+            B,
+            49000,
+            443,
+            1000,
+            2000,
+            Flags::ACK | Flags::PSH,
+            b"new order bytes",
+        );
         let s = Segment::new_checked(&buf[..]).unwrap();
         assert_eq!(s.src_port(), 49000);
         assert_eq!(s.dst_port(), 443);
@@ -228,12 +236,21 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert_eq!(Segment::new_checked(&[0u8; 19][..]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            Segment::new_checked(&[0u8; 19][..]).unwrap_err(),
+            WireError::Truncated
+        );
         let mut buf = build(A, B, 1, 2, 0, 0, Flags::SYN, b"");
         buf[12] = 2 << 4; // data offset below minimum
-        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), WireError::BadLength);
+        assert_eq!(
+            Segment::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadLength
+        );
         buf[12] = 15 << 4; // data offset beyond buffer
-        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), WireError::BadLength);
+        assert_eq!(
+            Segment::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadLength
+        );
     }
 
     #[test]

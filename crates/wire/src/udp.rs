@@ -166,13 +166,22 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert_eq!(Datagram::new_checked(&[0u8; 7][..]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            Datagram::new_checked(&[0u8; 7][..]).unwrap_err(),
+            WireError::Truncated
+        );
         let mut buf = build(SRC, DST, 1, 2, b"abc");
         buf[4] = 0xff; // length > buffer
-        assert_eq!(Datagram::new_checked(&buf[..]).unwrap_err(), WireError::BadLength);
+        assert_eq!(
+            Datagram::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadLength
+        );
         buf[4] = 0;
         buf[5] = 4; // length < header
-        assert_eq!(Datagram::new_checked(&buf[..]).unwrap_err(), WireError::BadLength);
+        assert_eq!(
+            Datagram::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadLength
+        );
     }
 
     #[test]

@@ -19,9 +19,23 @@ fn arb_side() -> impl Strategy<Value = Side> {
 fn arb_pitch_message() -> impl Strategy<Value = pitch::Message> {
     prop_oneof![
         any::<u32>().prop_map(|seconds| pitch::Message::Time { seconds }),
-        (any::<u32>(), any::<u64>(), arb_side(), any::<u32>(), arb_symbol(), 0u64..100_000_000)
+        (
+            any::<u32>(),
+            any::<u64>(),
+            arb_side(),
+            any::<u32>(),
+            arb_symbol(),
+            0u64..100_000_000
+        )
             .prop_map(|(offset_ns, order_id, side, qty, symbol, price)| {
-                pitch::Message::AddOrder { offset_ns, order_id, side, qty, symbol, price }
+                pitch::Message::AddOrder {
+                    offset_ns,
+                    order_id,
+                    side,
+                    qty,
+                    symbol,
+                    price,
+                }
             }),
         (any::<u32>(), any::<u64>(), any::<u32>(), any::<u64>()).prop_map(
             |(offset_ns, order_id, qty, exec_id)| pitch::Message::OrderExecuted {
@@ -32,7 +46,11 @@ fn arb_pitch_message() -> impl Strategy<Value = pitch::Message> {
             }
         ),
         (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(offset_ns, order_id, qty)| {
-            pitch::Message::ReduceSize { offset_ns, order_id, qty }
+            pitch::Message::ReduceSize {
+                offset_ns,
+                order_id,
+                qty,
+            }
         }),
         (any::<u32>(), any::<u64>(), any::<u32>(), 0u64..100_000_000).prop_map(
             |(offset_ns, order_id, qty, price)| pitch::Message::ModifyOrder {
@@ -43,20 +61,43 @@ fn arb_pitch_message() -> impl Strategy<Value = pitch::Message> {
             }
         ),
         (any::<u32>(), any::<u64>()).prop_map(|(offset_ns, order_id)| {
-            pitch::Message::DeleteOrder { offset_ns, order_id }
-        }),
-        (any::<u32>(), any::<u64>(), arb_side(), any::<u32>(), arb_symbol(), 0u64..100_000_000,
-         any::<u64>())
-            .prop_map(|(offset_ns, order_id, side, qty, symbol, price, exec_id)| {
-                pitch::Message::Trade { offset_ns, order_id, side, qty, symbol, price, exec_id }
-            }),
-        (any::<u32>(), arb_symbol(), prop_oneof![Just(b'T'), Just(b'H')]).prop_map(
-            |(offset_ns, symbol, status)| pitch::Message::TradingStatus {
+            pitch::Message::DeleteOrder {
                 offset_ns,
-                symbol,
-                status
+                order_id,
             }
-        ),
+        }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            arb_side(),
+            any::<u32>(),
+            arb_symbol(),
+            0u64..100_000_000,
+            any::<u64>()
+        )
+            .prop_map(|(offset_ns, order_id, side, qty, symbol, price, exec_id)| {
+                pitch::Message::Trade {
+                    offset_ns,
+                    order_id,
+                    side,
+                    qty,
+                    symbol,
+                    price,
+                    exec_id,
+                }
+            }),
+        (
+            any::<u32>(),
+            arb_symbol(),
+            prop_oneof![Just(b'T'), Just(b'H')]
+        )
+            .prop_map(
+                |(offset_ns, symbol, status)| pitch::Message::TradingStatus {
+                    offset_ns,
+                    symbol,
+                    status
+                }
+            ),
     ]
 }
 
@@ -65,31 +106,52 @@ fn arb_boe_message() -> impl Strategy<Value = boe::Message> {
         (any::<u32>(), any::<u64>())
             .prop_map(|(session, token)| boe::Message::Login { session, token }),
         Just(boe::Message::Heartbeat),
-        (any::<u64>(), arb_side(), any::<u32>(), arb_symbol(), any::<u64>()).prop_map(
-            |(cl_ord_id, side, qty, symbol, price)| boe::Message::NewOrder {
-                cl_ord_id,
-                side,
-                qty,
-                symbol,
-                price
-            }
-        ),
+        (
+            any::<u64>(),
+            arb_side(),
+            any::<u32>(),
+            arb_symbol(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(cl_ord_id, side, qty, symbol, price)| boe::Message::NewOrder {
+                    cl_ord_id,
+                    side,
+                    qty,
+                    symbol,
+                    price
+                }
+            ),
         any::<u64>().prop_map(|cl_ord_id| boe::Message::CancelOrder { cl_ord_id }),
         (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(cl_ord_id, qty, price)| {
-            boe::Message::ModifyOrder { cl_ord_id, qty, price }
-        }),
-        (any::<u64>(), any::<u64>()).prop_map(|(cl_ord_id, exch_ord_id)| {
-            boe::Message::OrderAck { cl_ord_id, exch_ord_id }
-        }),
-        (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<u32>()).prop_map(
-            |(cl_ord_id, exec_id, qty, price, leaves)| boe::Message::Fill {
+            boe::Message::ModifyOrder {
                 cl_ord_id,
-                exec_id,
                 qty,
                 price,
-                leaves
             }
-        ),
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(cl_ord_id, exch_ord_id)| {
+            boe::Message::OrderAck {
+                cl_ord_id,
+                exch_ord_id,
+            }
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(cl_ord_id, exec_id, qty, price, leaves)| boe::Message::Fill {
+                    cl_ord_id,
+                    exec_id,
+                    qty,
+                    price,
+                    leaves
+                }
+            ),
         any::<u64>().prop_map(|cl_ord_id| boe::Message::CancelAck { cl_ord_id }),
     ]
 }

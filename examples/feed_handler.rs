@@ -12,8 +12,8 @@
 //! hit both sides.
 
 use trading_networks::feed::normalize::{HashRepartition, NormalizerCore};
-use trading_networks::market::{FlowMix, MatchingEngine, OrderFlowGenerator, SymbolDirectory};
 use trading_networks::market::{FeedPublisher, PartitionScheme};
+use trading_networks::market::{FlowMix, MatchingEngine, OrderFlowGenerator, SymbolDirectory};
 use trading_networks::sim::{Rng, SeedableRng, SmallRng};
 use trading_networks::wire::norm;
 
@@ -68,8 +68,10 @@ fn main() {
 
     let arb = normalizer.arbiter().stats();
     let stats = normalizer.stats();
-    println!("arbitration: accepted={} duplicates={} gaps={} (in {} gap events)",
-        arb.accepted, arb.duplicates, arb.gap_messages, arb.gap_events);
+    println!(
+        "arbitration: accepted={} duplicates={} gaps={} (in {} gap events)",
+        arb.accepted, arb.duplicates, arb.gap_messages, arb.gap_events
+    );
     println!(
         "normalized:  {} native messages -> {} records ({} BBO updates)",
         stats.messages_in, records, bbo
@@ -78,5 +80,8 @@ fn main() {
         "loss handling: both-sides loss probability 0.02^2 = 0.04% of packets -> {} gap events",
         arb.gap_events
     );
-    assert!(arb.duplicates > 0, "B side should have been mostly redundant");
+    assert!(
+        arb.duplicates > 0,
+        "B side should have been mostly redundant"
+    );
 }

@@ -43,7 +43,13 @@ fn main() {
     let mut sim = Simulator::new(3);
     let sw = sim.add_node("switch", CommoditySwitch::new(cfg));
     let rx = sim.add_node("rx", Receiver { arrivals: vec![] });
-    sim.connect(sw, PortId(1), rx, PortId(0), EtherLink::ten_gig(SimTime::ZERO));
+    sim.connect(
+        sw,
+        PortId(1),
+        rx,
+        PortId(0),
+        EtherLink::ten_gig(SimTime::ZERO),
+    );
 
     // Join all the groups from the receiver port.
     for g in 0..total_groups as u32 {
@@ -96,7 +102,12 @@ fn main() {
         .collect();
     let stats = sim.node::<CommoditySwitch>(sw).unwrap().stats();
 
-    println!("hardware groups: {}/{} delivered, first at {} ns", hw.len(), table_size, hw.first().copied().unwrap_or(0));
+    println!(
+        "hardware groups: {}/{} delivered, first at {} ns",
+        hw.len(),
+        table_size,
+        hw.first().copied().unwrap_or(0)
+    );
     println!(
         "software groups: {}/{} delivered (queue depth 16), first at {} ns, last at {} ns",
         sw_lat.len(),

@@ -13,6 +13,7 @@
 //! over fiber and over microwave shows the speed-of-light edge — the
 //! reason firms run rain-faded microwave at all.
 
+use trading_networks::feed::SubscriptionSet;
 use trading_networks::market::{Exchange, ExchangeConfig, PartitionScheme, SymbolDirectory};
 use trading_networks::netdev::EtherLink;
 use trading_networks::sim::{PortId, SimTime, Simulator};
@@ -21,7 +22,6 @@ use trading_networks::topo::metro::{CircuitKind, MetroRegion};
 use trading_networks::trading::{
     normalizer, strategy, CrossMarketArb, Normalizer, NormalizerConfig, Strategy, StrategyConfig,
 };
-use trading_networks::feed::SubscriptionSet;
 use trading_networks::wire::Symbol;
 
 struct Outcome {
@@ -70,15 +70,33 @@ fn run(kind: CircuitKind) -> Outcome {
         normalizer::FEED_A,
         EtherLink::ten_gig(SimTime::from_ns(25)),
     );
-    sim.connect(exch_remote, PortId(0), norm_remote, normalizer::FEED_A, metro.circuit(1, 0, kind));
+    sim.connect(
+        exch_remote,
+        PortId(0),
+        norm_remote,
+        normalizer::FEED_A,
+        metro.circuit(1, 0, kind),
+    );
 
     // Merge both normalized feeds onto the strategy's NIC with an L1 mux.
     let mut mux = L1Switch::new(L1Config::default());
     mux.provision_merge(PortId(0), PortId(2));
     mux.provision_merge(PortId(1), PortId(2));
     let mux = sim.add_node("mux", mux);
-    sim.connect(norm_local, normalizer::OUT, mux, PortId(0), EtherLink::ten_gig(SimTime::from_ns(25)));
-    sim.connect(norm_remote, normalizer::OUT, mux, PortId(1), EtherLink::ten_gig(SimTime::from_ns(25)));
+    sim.connect(
+        norm_local,
+        normalizer::OUT,
+        mux,
+        PortId(0),
+        EtherLink::ten_gig(SimTime::from_ns(25)),
+    );
+    sim.connect(
+        norm_remote,
+        normalizer::OUT,
+        mux,
+        PortId(1),
+        EtherLink::ten_gig(SimTime::from_ns(25)),
+    );
 
     let mut cfg = StrategyConfig::new(0, symbols.clone());
     cfg.mcast_base = 20_000;
@@ -89,13 +107,21 @@ fn run(kind: CircuitKind) -> Outcome {
     cfg.subscriptions = subs;
     cfg.send_igmp_joins = false;
     let strat = sim.add_node("arb", Strategy::new(cfg, CrossMarketArb::default()));
-    sim.connect(mux, PortId(2), strat, strategy::FEED, EtherLink::ten_gig(SimTime::from_ns(25)));
+    sim.connect(
+        mux,
+        PortId(2),
+        strat,
+        strategy::FEED,
+        EtherLink::ten_gig(SimTime::from_ns(25)),
+    );
 
     sim.schedule_timer(SimTime::ZERO, exch_local, trading_networks::market::TICK);
     sim.schedule_timer(SimTime::ZERO, exch_remote, trading_networks::market::TICK);
     sim.run_until(SimTime::from_ms(80));
 
-    let node = sim.node::<Strategy<CrossMarketArb>>(strat).expect("strategy");
+    let node = sim
+        .node::<Strategy<CrossMarketArb>>(strat)
+        .expect("strategy");
     let mut lat = trading_networks::stats::Summary::new();
     lat.extend(node.decision_latency_ps.iter().copied());
     Outcome {

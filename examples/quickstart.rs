@@ -26,9 +26,7 @@ fn main() {
     );
     println!(
         "  {} strategies (momentum, {} per-record) -> {} gateways -> exchange",
-        scenario.strategies,
-        scenario.decision_service,
-        scenario.gateways
+        scenario.strategies, scenario.decision_service, scenario.gateways
     );
     println!();
 

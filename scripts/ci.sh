@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# The full CI gauntlet. Everything runs offline (deps are vendored in
+# vendor/); any failure fails the script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline --workspace
+run cargo test -q --offline --workspace
+run cargo fmt --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+run cargo run --release --offline -q -p tn-audit -- check
+
+echo "==> ci: all green"

@@ -54,7 +54,10 @@ fn clean_ab_pair_delivers_everything_once() {
         accepted + IN_FLIGHT_TOLERANCE >= published && accepted <= published,
         "exactly-once delivery: {accepted} of {published}"
     );
-    assert!(duplicates + IN_FLIGHT_TOLERANCE >= accepted, "every twin dropped");
+    assert!(
+        duplicates + IN_FLIGHT_TOLERANCE >= accepted,
+        "every twin dropped"
+    );
     assert_eq!(gaps, 0);
 }
 

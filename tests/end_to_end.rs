@@ -22,8 +22,14 @@ fn design1_full_loop_produces_fills() {
     assert!(report.feed_messages > 500, "{}", report.summary());
     assert!(report.orders_sent > 10, "{}", report.summary());
     assert_eq!(report.orders_sent, report.acks, "every order must be acked");
-    assert!(report.fills > 0, "momentum orders cross the spread: some must fill");
-    assert!(report.frames_dropped == 0, "no loss in an unloaded design-1 fabric");
+    assert!(
+        report.fills > 0,
+        "momentum orders cross the spread: some must fill"
+    );
+    assert!(
+        report.frames_dropped == 0,
+        "no loss in an unloaded design-1 fabric"
+    );
 }
 
 #[test]
@@ -84,8 +90,16 @@ fn l1_subscription_cap_reduces_coverage() {
     // the cap at 1 of 2 normalizers, roughly half the records reaching
     // each strategy disappear.
     let sc = quick(19);
-    let full = LayerOneSwitches { subscription_cap: None, ..Default::default() }.run(&sc);
-    let capped = LayerOneSwitches { subscription_cap: Some(1), ..Default::default() }.run(&sc);
+    let full = LayerOneSwitches {
+        subscription_cap: None,
+        ..Default::default()
+    }
+    .run(&sc);
+    let capped = LayerOneSwitches {
+        subscription_cap: Some(1),
+        ..Default::default()
+    }
+    .run(&sc);
     let full_seen = full.records_evaluated + full.records_discarded;
     let capped_seen = capped.records_evaluated + capped.records_discarded;
     assert!(full_seen > 0 && capped_seen > 0);

@@ -1,0 +1,566 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! subset of proptest's API the workspace's property tests use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map` / `boxed`, range and tuple strategies, [`prop_oneof!`],
+//! `Just`, `any`, [`collection::vec`], and a tiny [`string::string_regex`].
+//!
+//! Differences from real proptest, on purpose:
+//! - **Fully deterministic**: the RNG seed is derived from the test name,
+//!   so every run explores the identical case sequence. That matches this
+//!   repository's determinism-first policy (see `tn-audit`).
+//! - **No shrinking**: a failure reports the case index and message; the
+//!   deterministic seed makes it reproducible without persisted regression
+//!   files (`.proptest-regressions` files are ignored).
+
+#![forbid(unsafe_code)]
+
+/// A test-case failure message produced by the `prop_assert*` macros.
+pub type TestCaseError = String;
+
+pub mod test_runner {
+    //! Deterministic case loop.
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = SmallRng;
+
+    /// Number of cases per property (override with `PROPTEST_CASES`).
+    fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Run `body` for the configured number of cases with a seed derived
+    /// from `name`. Panics (failing the enclosing `#[test]`) on the first
+    /// `Err` with the case index, so the failure is reproducible.
+    pub fn run<F>(name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), crate::TestCaseError>,
+    {
+        let seed = fnv1a(name.as_bytes());
+        let n = cases();
+        for case in 0..n {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(case) << 32));
+            if let Err(msg) = body(&mut rng) {
+                panic!(
+                    "proptest '{name}' failed at case {case}/{n} (seed {seed:#x}): {msg}\n\
+                     (cases are deterministic; rerunning reproduces this failure)"
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// Something that can produce values of `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// Type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Build a dependent strategy from each generated value.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erase into a [`BoxedStrategy`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// `prop_flat_map` adapter.
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    trait DynStrategy<V> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`prop_oneof!`]).
+    pub struct OneOf<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Build from a non-empty set of alternatives.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            OneOf { options }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].sample(rng)
+        }
+    }
+
+    /// Strategy for `any::<T>()`.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Produce arbitrary values of a primitive type.
+    pub fn any<T: ArbPrimitive>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Primitives supported by [`any`].
+    pub trait ArbPrimitive: Sized {
+        /// Draw an unconstrained value.
+        fn arb(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: ArbPrimitive> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arb(rng)
+        }
+    }
+
+    macro_rules! arb_prim {
+        ($($t:ty),+ $(,)?) => {$(
+            impl ArbPrimitive for $t {
+                fn arb(rng: &mut TestRng) -> $t {
+                    rand::StandardSample::sample(rng)
+                }
+            }
+        )+};
+    }
+    arb_prim!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive-exclusive length bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! A tiny regex-shaped string strategy.
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Error from [`string_regex`] on unsupported patterns.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        /// Inclusive char ranges to choose from.
+        ranges: Vec<(char, char)>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a small regex subset:
+    /// sequences of literal chars or `[a-zX]` classes, each optionally
+    /// followed by `{m}`, `{m,n}`, `?`, `+`, or `*` (unbounded repeats
+    /// are capped at 8).
+    pub struct RegexStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    /// Parse `pattern` into a [`RegexStrategy`].
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let ranges = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| Error(format!("unclosed class in {pattern:?}")))?
+                        + i;
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    ranges
+                }
+                '\\' => {
+                    i += 1;
+                    if i >= chars.len() {
+                        return Err(Error(format!("dangling escape in {pattern:?}")));
+                    }
+                    let c = chars[i];
+                    i += 1;
+                    vec![(c, c)]
+                }
+                c if "(){}?*+|.^$".contains(c) => {
+                    return Err(Error(format!(
+                        "unsupported regex construct {c:?} in {pattern:?}"
+                    )))
+                }
+                c => {
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .ok_or_else(|| Error(format!("unclosed repeat in {pattern:?}")))?
+                            + i;
+                        let spec: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        let parts: Vec<&str> = spec.split(',').collect();
+                        let lo: usize = parts[0]
+                            .trim()
+                            .parse()
+                            .map_err(|_| Error(format!("bad repeat {spec:?}")))?;
+                        let hi = if parts.len() > 1 {
+                            parts[1]
+                                .trim()
+                                .parse()
+                                .map_err(|_| Error(format!("bad repeat {spec:?}")))?
+                        } else {
+                            lo
+                        };
+                        (lo, hi)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err(Error(format!("inverted repeat bounds in {pattern:?}")));
+            }
+            atoms.push(Atom { ranges, min, max });
+        }
+        Ok(RegexStrategy { atoms })
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let count = rng.gen_range(atom.min..=atom.max);
+                let total: u32 = atom
+                    .ranges
+                    .iter()
+                    .map(|&(a, b)| b as u32 - a as u32 + 1)
+                    .sum();
+                for _ in 0..count {
+                    let mut pick = rng.gen_range(0..total);
+                    for &(a, b) in &atom.ranges {
+                        let span = b as u32 - a as u32 + 1;
+                        if pick < span {
+                            out.push(char::from_u32(a as u32 + pick).unwrap_or(a));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define deterministic property tests. Each `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` that samples the strategies and runs the body for a
+/// fixed number of cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fallible assertion: fails the current proptest case without panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {{
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}", __a, __b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+                __a, __b, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Fallible inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                __a
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between alternative strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
