@@ -92,6 +92,18 @@ pub fn registry() -> Vec<Scenario> {
             name: "metro-arbitrage-microwave",
             run: || run_metro(tn_topo::metro::CircuitKind::Microwave),
         },
+        Scenario {
+            name: "fault-loss-recovery",
+            run: run_fault_loss_recovery,
+        },
+        Scenario {
+            name: "fault-ab-failover",
+            run: run_fault_ab_failover,
+        },
+        Scenario {
+            name: "fault-quickstart-degraded",
+            run: run_quickstart_degraded,
+        },
     ]
 }
 
@@ -360,6 +372,51 @@ fn run_metro(kind: tn_topo::metro::CircuitKind) -> RunSignature {
     sim_signature(&sim)
 }
 
+/// Mirrors `exp_loss_recovery` (trimmed): lossy feed, gap requests,
+/// retransmission fills. The fault layer owns its own PRNG, so two runs
+/// must agree even though every drop decision is random-looking.
+fn run_fault_loss_recovery() -> RunSignature {
+    use tn_bench::faultsim::{run_loss_recovery, LossRecoveryConfig};
+    use tn_fault::FaultSpec;
+
+    let mut cfg = LossRecoveryConfig::new(1, FaultSpec::new(11).with_iid_loss(0.01));
+    cfg.packets = 800;
+    let run = run_loss_recovery(&cfg);
+    RunSignature {
+        digest: run.digest,
+        events: run.events,
+    }
+}
+
+/// Mirrors `exp_ab_failover` (trimmed): A-side outage, arbitration keeps
+/// the stream whole out of B.
+fn run_fault_ab_failover() -> RunSignature {
+    use tn_bench::faultsim::{run_ab_failover, AbFailoverConfig};
+
+    let mut cfg = AbFailoverConfig::new(2);
+    cfg.packets = 2_400; // 12 ms: through the outage start
+    let run = run_ab_failover(&cfg);
+    RunSignature {
+        digest: run.digest,
+        events: run.events,
+    }
+}
+
+/// The quickstart scenario with a burst-degraded feed: the full design-1
+/// topology with FaultLink-wrapped publish links must still dual-run to
+/// identical digests.
+fn run_quickstart_degraded() -> RunSignature {
+    use tn_fault::FaultSpec;
+
+    let mut sc = trimmed(ScenarioConfig::small(42));
+    sc.feed_fault = Some(FaultSpec::new(13).with_burst_loss(0.01, 0.3, 0.0, 0.9));
+    let report = TraditionalSwitches::default().run(&sc);
+    RunSignature {
+        digest: report.trace_digest,
+        events: report.events_recorded,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +435,36 @@ mod tests {
                 names.iter().any(|n| n.contains(example)),
                 "no divergence scenario mirrors example {example}"
             );
+        }
+    }
+
+    #[test]
+    fn quickstart_digest_is_pinned() {
+        // Golden digest from before the fault layer existed: the refactor
+        // (LinkSpec, builder, RecoveryStats) must not perturb a single
+        // kernel event on the zero-fault path.
+        let sig = run_quickstart();
+        assert_eq!(sig.digest, 0xff1dbcd7cf7e729e, "{sig:?}");
+        assert_eq!(sig.events, 19_924);
+    }
+
+    #[test]
+    fn zero_fault_spec_reproduces_quickstart_digest() {
+        // A no-op FaultSpec routes the feed through FaultLink wrappers;
+        // the wrapping itself must be bit-transparent.
+        let baseline = run_quickstart();
+        let mut sc = trimmed(ScenarioConfig::small(42));
+        sc.feed_fault = Some(tn_fault::FaultSpec::new(0));
+        let report = TraditionalSwitches::default().run(&sc);
+        assert_eq!(report.trace_digest, baseline.digest);
+        assert_eq!(report.events_recorded, baseline.events);
+    }
+
+    #[test]
+    fn fault_scenarios_are_deterministic() {
+        for o in run_all(Some("fault")) {
+            assert!(o.passed(), "{o:?}");
+            assert!(o.first.events > 0, "{:?}", o.name);
         }
     }
 

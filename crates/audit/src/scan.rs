@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 /// of their inputs and `bench` is a measurement harness, so they only get
 /// the RNG and hot-path lints.
 const DET_CRATES: &[&str] = &[
-    "sim", "switch", "feed", "trading", "market", "topo", "core", "netdev",
+    "sim", "switch", "feed", "trading", "market", "topo", "core", "netdev", "fault",
 ];
 
 /// Crates not scanned at all. The auditor's own sources are full of lint

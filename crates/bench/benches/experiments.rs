@@ -52,10 +52,11 @@ fn fig2_models(c: &mut Criterion) {
 }
 
 fn quick_scenario(seed: u64) -> ScenarioConfig {
-    let mut sc = ScenarioConfig::small(seed);
-    sc.duration = SimTime::from_ms(10);
-    sc.background_rate = 20_000.0;
-    sc
+    ScenarioConfig::builder(seed)
+        .duration(SimTime::from_ms(10))
+        .background_rate(20_000.0)
+        .build()
+        .expect("valid scenario")
 }
 
 fn design_roundtrips(c: &mut Criterion) {

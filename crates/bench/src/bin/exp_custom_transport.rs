@@ -19,9 +19,11 @@ use tn_wire::l1t;
 use tn_wire::stack::UDP_OVERHEAD;
 
 fn main() {
-    let mut sc = ScenarioConfig::small(21);
-    sc.background_rate = 20_000.0;
-    sc.duration = SimTime::from_ms(60);
+    let sc = ScenarioConfig::builder(21)
+        .background_rate(20_000.0)
+        .duration(SimTime::from_ms(60))
+        .build()
+        .expect("valid scenario");
 
     let udp = LayerOneSwitches::default().run(&sc);
     let custom = LayerOneSwitches {
@@ -29,6 +31,11 @@ fn main() {
         ..Default::default()
     }
     .run(&sc);
+
+    if tn_bench::json_flag() {
+        println!("[{},{}]", udp.to_json(), custom.to_json());
+        return;
+    }
 
     println!("Design 3 internal feed, UDP framing vs the §5 custom transport:\n");
     println!(

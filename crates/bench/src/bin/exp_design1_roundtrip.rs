@@ -16,13 +16,20 @@ use tn_sim::SimTime;
 fn main() {
     // The paper's assumptions: every software function ~2 us, light load
     // so queueing does not blur the path.
-    let mut sc = ScenarioConfig::small(5);
-    sc.normalizer_service = SimTime::from_us(2);
-    sc.decision_service = SimTime::from_us(2);
-    sc.gateway_service = SimTime::from_us(2);
-    sc.background_rate = 10_000.0;
-    sc.tick_interval = SimTime::from_us(20);
-    sc.duration = SimTime::from_ms(60);
+    let sc = ScenarioConfig::builder(5)
+        .normalizer_service(SimTime::from_us(2))
+        .decision_service(SimTime::from_us(2))
+        .gateway_service(SimTime::from_us(2))
+        .background_rate(10_000.0)
+        .tick_interval(SimTime::from_us(20))
+        .duration(SimTime::from_ms(60))
+        .build()
+        .expect("valid scenario");
+
+    if tn_bench::json_flag() {
+        println!("{}", TraditionalSwitches::default().run(&sc).to_json());
+        return;
+    }
 
     // The analytic model first.
     let switch_hop = SimTime::from_ns(500);

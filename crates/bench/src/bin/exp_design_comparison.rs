@@ -14,10 +14,12 @@ use tn_core::ScenarioConfig;
 use tn_sim::SimTime;
 
 fn main() {
-    let mut sc = ScenarioConfig::small(9);
-    sc.background_rate = 10_000.0;
-    sc.tick_interval = SimTime::from_us(20); // near-per-event: clean paths
-    sc.duration = SimTime::from_ms(60);
+    let sc = ScenarioConfig::builder(9)
+        .background_rate(10_000.0)
+        .tick_interval(SimTime::from_us(20)) // near-per-event: clean paths
+        .duration(SimTime::from_ms(60))
+        .build()
+        .expect("valid scenario");
 
     let designs: Vec<Box<dyn TradingNetworkDesign>> = vec![
         Box::new(TraditionalSwitches::default()),
@@ -25,6 +27,12 @@ fn main() {
         Box::new(LayerOneSwitches::default()),
     ];
     let reports: Vec<_> = designs.iter().map(|d| d.run(&sc)).collect();
+
+    if tn_bench::json_flag() {
+        let docs: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", docs.join(","));
+        return;
+    }
 
     println!(
         "{:<32} {:>12} {:>12} {:>12} {:>12} {:>8}",

@@ -1,0 +1,133 @@
+//! E19 — gap recovery under feed loss: the edge papers over the fabric.
+//!
+//! The paper's reliability premise: multicast feeds drop (fades, flaps,
+//! oversubscribed replication), and receivers recover via sequence-gap
+//! detection + retransmission requests rather than a reliable transport.
+//! This experiment sweeps loss models over the same 16k-message stream
+//! and reports what the recovery loop gave back and what it cost.
+//!
+//! ```sh
+//! cargo run --release -p tn-bench --bin exp_loss_recovery [-- --json]
+//! ```
+
+use tn_bench::faultsim::{run_loss_recovery, LossRecoveryConfig, LossRecoveryRun};
+use tn_core::LatencyStats;
+use tn_fault::FaultSpec;
+
+fn sweep() -> Vec<(&'static str, LossRecoveryRun)> {
+    let cases: Vec<(&'static str, FaultSpec)> = vec![
+        ("clean", FaultSpec::new(11)),
+        ("iid 0.1%", FaultSpec::new(11).with_iid_loss(0.001)),
+        ("iid 1%", FaultSpec::new(11).with_iid_loss(0.01)),
+        ("iid 5%", FaultSpec::new(11).with_iid_loss(0.05)),
+        // Same 5% mean loss, but clustered: P(good→bad)=1.6%,
+        // P(bad→good)=30%, bad state drops everything.
+        (
+            "burst ~5%",
+            FaultSpec::new(11).with_burst_loss(0.016, 0.3, 0.0, 1.0),
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, fault)| (name, run_loss_recovery(&LossRecoveryConfig::new(1, fault))))
+        .collect()
+}
+
+fn json(runs: &[(&str, LossRecoveryRun)]) -> String {
+    let mut out =
+        String::from("{\"schema\":\"tn-exp/v1\",\"experiment\":\"loss_recovery\",\"runs\":[");
+    for (i, (name, r)) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let fill = LatencyStats::from_samples(&r.fill_latency_ps);
+        out.push_str(&format!(
+            "{{\"fault\":\"{name}\",\"published\":{},\"delivered\":{},\"gaps\":{},\
+             \"requests\":{},\"recovered\":{},\"abandoned\":{},\"refused\":{},\
+             \"fill_median_ps\":{},\"fill_p99_ps\":{},\"digest\":\"{:016x}\",\"events\":{}}}",
+            r.published_messages,
+            r.delivered_messages,
+            r.gaps_seen,
+            r.retrans_requests,
+            r.recovered_messages,
+            r.abandoned,
+            r.refused,
+            fill.median.as_ps(),
+            fill.p99.as_ps(),
+            r.digest,
+            r.events,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    let runs = sweep();
+    if tn_bench::json_flag() {
+        println!("{}", json(&runs));
+        return;
+    }
+
+    println!("Gap recovery over a lossy feed (4,000 packets / 16,000 messages, 20 ms):\n");
+    println!(
+        "{:<12} {:>10} {:>10} {:>7} {:>9} {:>10} {:>10} {:>11} {:>11}",
+        "fault",
+        "published",
+        "delivered",
+        "gaps",
+        "requests",
+        "recovered",
+        "abandoned",
+        "fill med",
+        "fill p99"
+    );
+    for (name, r) in &runs {
+        let fill = LatencyStats::from_samples(&r.fill_latency_ps);
+        println!(
+            "{:<12} {:>10} {:>10} {:>7} {:>9} {:>10} {:>10} {:>11} {:>11}",
+            name,
+            r.published_messages,
+            r.delivered_messages,
+            r.gaps_seen,
+            r.retrans_requests,
+            r.recovered_messages,
+            r.abandoned,
+            fill.median.to_string(),
+            fill.p99.to_string(),
+        );
+    }
+    println!();
+
+    let clean = &runs[0].1;
+    let heavy = &runs[3].1;
+    println!(
+        "clean feed: {} of {} delivered, zero requests — the recovery path is free when unused.",
+        clean.delivered_messages, clean.published_messages
+    );
+    println!(
+        "at 5% i.i.d. loss the loop recovers {} messages across {} gaps \
+         ({:.1}% delivery without it, {:.1}% with).",
+        heavy.recovered_messages,
+        heavy.gaps_seen,
+        100.0 * (heavy.published_messages - heavy.recovered_messages) as f64
+            / heavy.published_messages as f64,
+        100.0 * heavy.delivery_rate(),
+    );
+    println!(
+        "burstiness at equal mean loss concentrates gaps: {} gap events vs {} i.i.d. \
+         — fewer, longer, cheaper to repair per record.",
+        runs[4].1.gaps_seen, heavy.gaps_seen
+    );
+
+    assert_eq!(clean.delivered_messages, clean.published_messages);
+    assert_eq!(clean.gaps_seen, 0);
+    for (name, r) in &runs {
+        assert_eq!(
+            r.delivered_messages, r.published_messages,
+            "{name}: recovery must close every gap at these loss rates"
+        );
+        assert_eq!(r.abandoned, 0, "{name}");
+    }
+    assert!(runs[4].1.gaps_seen < heavy.gaps_seen);
+}

@@ -18,16 +18,25 @@ use tn_sim::SimTime;
 
 fn main() {
     let t0 = std::time::Instant::now();
-    let mut sc = ScenarioConfig::paper_scale(3);
-    sc.duration = SimTime::from_ms(20);
-    // Keep the order rate within the matching engine's service capacity
-    // so acks drain within the window (the default threshold floods the
-    // single simulated exchange — fine for stress, noisy for latency).
-    sc.momentum_threshold = 600;
+    let sc = ScenarioConfig::paper_scale(3)
+        .to_builder()
+        .duration(SimTime::from_ms(20))
+        // Keep the order rate within the matching engine's service
+        // capacity so acks drain within the window (the default threshold
+        // floods the single simulated exchange — fine for stress, noisy
+        // for latency).
+        .momentum_threshold(600)
+        .build()
+        .expect("valid scenario");
     let servers = sc.normalizers + sc.strategies + sc.gateways;
 
     let report = TraditionalSwitches::default().run(&sc);
     let wall = t0.elapsed();
+
+    if tn_bench::json_flag() {
+        println!("{}", report.to_json());
+        return;
+    }
 
     println!(
         "{} servers ({} normalizers, {} strategies, {} gateways), {} feed units,\n\

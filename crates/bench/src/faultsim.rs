@@ -1,0 +1,492 @@
+//! Shared fault-injection scenarios.
+//!
+//! The two degraded-mode experiments (`exp_loss_recovery`,
+//! `exp_ab_failover`) and tn-audit's fault divergence scenarios run
+//! *exactly* this code — one implementation, so the digests the audit
+//! pins are the digests the experiments print.
+//!
+//! Both scenarios follow the paper's reliability story: the fabric is
+//! allowed to drop (microwave fade, flapping ports, maintenance), and
+//! the *edge* — A/B arbitration, gap requests, retransmission units —
+//! papers over it.
+
+use tn_fault::{FaultConnect, FaultSpec, LinkSpec};
+use tn_feed::arb::FeedSide;
+use tn_feed::nodes::{
+    RecoveryReceiver, RecoveryReceiverConfig, RetransUnit, RetransUnitConfig, RECV_FEED,
+    RECV_RETRANS, UNIT_REQ, UNIT_TAP,
+};
+use tn_feed::retrans::RecoveryConfig;
+use tn_feed::Arbiter;
+use tn_sim::{Context, Frame, Node, PortId, SimTime, Simulator, TimerToken};
+use tn_wire::{eth, ipv4, pitch, stack};
+
+// ---------------------------------------------------------------------
+// Building blocks
+// ---------------------------------------------------------------------
+
+const TICK: TimerToken = TimerToken(1);
+
+/// Timer-driven sequenced-unit publisher: every `interval` it emits one
+/// PITCH packet of `msgs_per_packet` messages, identically on each of
+/// its first `copies` ports (A/B copies, feed + retrans-server tap).
+pub struct PitchSource {
+    interval: SimTime,
+    packets: u64,
+    msgs_per_packet: u32,
+    copies: u16,
+    sent_packets: u64,
+    next_seq: u32,
+}
+
+impl PitchSource {
+    /// Publisher of `packets` packets at `interval`, `copies` ports wide.
+    pub fn new(interval: SimTime, packets: u64, msgs_per_packet: u32, copies: u16) -> PitchSource {
+        PitchSource {
+            interval,
+            packets,
+            msgs_per_packet,
+            copies,
+            sent_packets: 0,
+            next_seq: 1,
+        }
+    }
+
+    /// Messages published so far.
+    pub fn published_messages(&self) -> u64 {
+        self.sent_packets * u64::from(self.msgs_per_packet)
+    }
+}
+
+impl Node for PitchSource {
+    fn on_frame(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        debug_assert_eq!(timer, TICK);
+        if self.sent_packets >= self.packets {
+            return;
+        }
+        let mut pb = pitch::PacketBuilder::new(0, self.next_seq, 1_400);
+        for i in 0..self.msgs_per_packet {
+            pb.push(&pitch::Message::DeleteOrder {
+                offset_ns: i,
+                order_id: u64::from(self.next_seq.wrapping_add(i)),
+            });
+        }
+        let Some(payload) = pb.flush() else {
+            return; // msgs_per_packet == 0: nothing to publish
+        };
+        self.next_seq = self.next_seq.wrapping_add(self.msgs_per_packet);
+        let bytes = stack::build_udp(
+            eth::MacAddr::host(0x0A00),
+            None,
+            ipv4::Addr::new(10, 200, 1, 1),
+            ipv4::Addr::multicast_group(0),
+            32_000,
+            32_000,
+            &payload,
+        );
+        for p in 0..self.copies {
+            let frame = ctx.new_frame(bytes.clone());
+            ctx.send(PortId(p), frame);
+        }
+        self.sent_packets += 1;
+        if self.sent_packets < self.packets {
+            ctx.set_timer(self.interval, TICK);
+        }
+    }
+}
+
+/// A-side input of [`AbReceiver`].
+pub const AB_A: PortId = PortId(0);
+/// B-side input of [`AbReceiver`].
+pub const AB_B: PortId = PortId(1);
+
+/// A/B-arbitrating receiver: first copy wins, duplicates absorbed, gaps
+/// (both sides lost) skipped forward — [`Arbiter`] as a node, with a
+/// release timeline for degraded-window throughput.
+pub struct AbReceiver {
+    arb: Arbiter,
+    delivered: u64,
+    deliveries: Vec<(SimTime, u32)>,
+    parse_errors: u64,
+}
+
+impl AbReceiver {
+    /// Fresh receiver.
+    pub fn new() -> AbReceiver {
+        AbReceiver {
+            arb: Arbiter::new(),
+            delivered: 0,
+            deliveries: Vec::new(),
+            parse_errors: 0,
+        }
+    }
+
+    /// The arbiter (per-side win shares, gap counts).
+    pub fn arbiter(&self) -> &Arbiter {
+        &self.arb
+    }
+
+    /// Messages released in order.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Release timeline `(when, messages)`.
+    pub fn deliveries(&self) -> &[(SimTime, u32)] {
+        &self.deliveries
+    }
+}
+
+impl Default for AbReceiver {
+    fn default() -> AbReceiver {
+        AbReceiver::new()
+    }
+}
+
+impl Node for AbReceiver {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
+        let Ok(view) = stack::parse_udp(&frame.bytes) else {
+            self.parse_errors += 1;
+            return;
+        };
+        let side = if port == AB_A {
+            FeedSide::A
+        } else {
+            FeedSide::B
+        };
+        match self.arb.offer_from(side, view.payload) {
+            Ok(Some(msgs)) => {
+                self.delivered += msgs.len() as u64;
+                self.deliveries.push((ctx.now(), msgs.len() as u32));
+            }
+            Ok(None) => {}
+            Err(_) => self.parse_errors += 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario 1: loss → gap request → retransmission
+// ---------------------------------------------------------------------
+
+/// Workload + fault for the loss-recovery scenario.
+#[derive(Debug, Clone)]
+pub struct LossRecoveryConfig {
+    /// Kernel seed.
+    pub seed: u64,
+    /// Fault injected on the multicast feed link.
+    pub fault: FaultSpec,
+    /// Packets to publish.
+    pub packets: u64,
+    /// Messages per packet.
+    pub msgs_per_packet: u32,
+    /// Publish interval.
+    pub interval: SimTime,
+    /// Receiver retry policy.
+    pub recovery: RecoveryConfig,
+}
+
+impl LossRecoveryConfig {
+    /// Default workload (4,000 packets / 16,000 messages over 20 ms)
+    /// with `fault` on the feed link.
+    pub fn new(seed: u64, fault: FaultSpec) -> LossRecoveryConfig {
+        LossRecoveryConfig {
+            seed,
+            fault,
+            packets: 4_000,
+            msgs_per_packet: 4,
+            interval: SimTime::from_us(5),
+            recovery: RecoveryConfig {
+                timeout: SimTime::from_us(50),
+                backoff: 2,
+                max_retries: 3,
+                max_held: 10_000,
+            },
+        }
+    }
+}
+
+/// What one loss-recovery run produced.
+#[derive(Debug, Clone)]
+pub struct LossRecoveryRun {
+    /// Messages published.
+    pub published_messages: u64,
+    /// Messages released in order at the receiver.
+    pub delivered_messages: u64,
+    /// Distinct gaps detected (first requests).
+    pub gaps_seen: u64,
+    /// Requests sent, including timed-out re-requests.
+    pub retrans_requests: u64,
+    /// Messages recovered by retransmission fills.
+    pub recovered_messages: u64,
+    /// Sequence numbers abandoned as unrecoverable.
+    pub abandoned: u64,
+    /// Gap-fill latencies (request → in-order release), picoseconds.
+    pub fill_latency_ps: Vec<u64>,
+    /// Replays the server refused (aged out / throttled).
+    pub refused: u64,
+    /// Measured wall of the run.
+    pub duration: SimTime,
+    /// Kernel trace digest.
+    pub digest: u64,
+    /// Events folded into the digest.
+    pub events: u64,
+}
+
+impl LossRecoveryRun {
+    /// Delivered fraction of the published stream.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.published_messages == 0 {
+            return 1.0;
+        }
+        self.delivered_messages as f64 / self.published_messages as f64
+    }
+}
+
+/// Run the loss-recovery scenario: publisher → faulty feed link →
+/// reordering receiver, with a clean tap into a retransmission unit and
+/// a clean unicast recovery channel.
+pub fn run_loss_recovery(cfg: &LossRecoveryConfig) -> LossRecoveryRun {
+    let mut sim = Simulator::new(cfg.seed);
+    let src = sim.add_node(
+        "src",
+        PitchSource::new(cfg.interval, cfg.packets, cfg.msgs_per_packet, 2),
+    );
+    let mut rx_cfg = RecoveryReceiverConfig::new(0);
+    rx_cfg.recovery = cfg.recovery;
+    let rx = sim.add_node("rx", RecoveryReceiver::new(rx_cfg));
+    let unit = sim.add_node("unit", RetransUnit::new(RetransUnitConfig::default()));
+
+    let prop = SimTime::from_ns(500);
+    // Feed path carries the fault; tap and recovery channel stay clean.
+    let feed = LinkSpec::ten_gig(prop).with_fault(cfg.fault.clone());
+    sim.connect_directed_spec(src, PortId(0), rx, RECV_FEED, &feed);
+    sim.connect_directed_spec(src, PortId(1), unit, UNIT_TAP, &LinkSpec::ten_gig(prop));
+    sim.connect_spec(rx, RECV_RETRANS, unit, UNIT_REQ, &LinkSpec::ten_gig(prop));
+
+    sim.schedule_timer(SimTime::from_us(10), src, TICK);
+    // Publish window plus a tail for the last retries to resolve.
+    let duration = cfg.interval * cfg.packets + SimTime::from_ms(5);
+    sim.run_until(duration);
+
+    let published = sim
+        .node::<PitchSource>(src)
+        .expect("src")
+        .published_messages();
+    let rx_node = sim.node::<RecoveryReceiver>(rx).expect("rx");
+    let reorder = rx_node.client().reorderer().stats();
+    let unit_node = sim.node::<RetransUnit>(unit).expect("unit");
+    LossRecoveryRun {
+        published_messages: published,
+        delivered_messages: rx_node.stats().delivered_messages,
+        gaps_seen: reorder.requests,
+        retrans_requests: rx_node.stats().requests_sent,
+        recovered_messages: reorder.recovered_messages,
+        abandoned: reorder.abandoned,
+        fill_latency_ps: rx_node.client().fill_latencies_ps().to_vec(),
+        refused: unit_node.stats().refused,
+        duration,
+        digest: sim.trace.digest(),
+        events: sim.trace.recorded(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario 2: A/B failover through an outage
+// ---------------------------------------------------------------------
+
+/// Workload + faults for the A/B-failover scenario.
+#[derive(Debug, Clone)]
+pub struct AbFailoverConfig {
+    /// Kernel seed.
+    pub seed: u64,
+    /// Fault on the A feed (the primary; normally wins every race).
+    pub a_fault: FaultSpec,
+    /// Fault on the B feed (`None` keeps it clean).
+    pub b_fault: Option<FaultSpec>,
+    /// Extra one-way propagation on B — the detour path that only wins
+    /// when A is degraded.
+    pub b_extra_delay: SimTime,
+    /// Packets to publish.
+    pub packets: u64,
+    /// Messages per packet.
+    pub msgs_per_packet: u32,
+    /// Publish interval.
+    pub interval: SimTime,
+    /// Degraded window to measure throughput over (usually the A-side
+    /// outage), as `(start, end)`.
+    pub window: (SimTime, SimTime),
+}
+
+impl AbFailoverConfig {
+    /// Default workload: 6,000 packets over 30 ms; A suffers a hard
+    /// outage for `window`; B is clean but 2 µs longer.
+    pub fn new(seed: u64) -> AbFailoverConfig {
+        let window = (SimTime::from_ms(10), SimTime::from_ms(20));
+        AbFailoverConfig {
+            seed,
+            a_fault: FaultSpec::new(seed ^ 0xA).with_outage(window.0, window.1),
+            b_fault: None,
+            b_extra_delay: SimTime::from_us(2),
+            packets: 6_000,
+            msgs_per_packet: 4,
+            interval: SimTime::from_us(5),
+            window,
+        }
+    }
+}
+
+/// What one A/B-failover run produced.
+#[derive(Debug, Clone)]
+pub struct AbFailoverRun {
+    /// Messages published (per side; the stream is one copy).
+    pub published_messages: u64,
+    /// Messages released in order.
+    pub delivered_messages: u64,
+    /// Distinct gap events (lost on both sides).
+    pub gap_events: u64,
+    /// Sequence numbers lost on both sides.
+    pub gap_messages: u64,
+    /// Duplicate copies absorbed.
+    pub duplicates: u64,
+    /// A-side (offered, won).
+    pub side_a: (u64, u64),
+    /// B-side (offered, won).
+    pub side_b: (u64, u64),
+    /// Messages delivered inside the degraded window.
+    pub window_delivered: u64,
+    /// Delivered messages/second inside the degraded window.
+    pub window_throughput: f64,
+    /// Delivered messages/second outside it.
+    pub clean_throughput: f64,
+    /// Kernel trace digest.
+    pub digest: u64,
+    /// Events folded into the digest.
+    pub events: u64,
+}
+
+/// Run the A/B-failover scenario: one publisher, two copies over
+/// independently faulted links, arbitration at the receiver.
+pub fn run_ab_failover(cfg: &AbFailoverConfig) -> AbFailoverRun {
+    let mut sim = Simulator::new(cfg.seed);
+    let src = sim.add_node(
+        "src",
+        PitchSource::new(cfg.interval, cfg.packets, cfg.msgs_per_packet, 2),
+    );
+    let rx = sim.add_node("rx", AbReceiver::new());
+
+    let prop = SimTime::from_ns(500);
+    let a_spec = LinkSpec::ten_gig(prop).with_fault(cfg.a_fault.clone());
+    let mut b_spec = LinkSpec::ten_gig(prop + cfg.b_extra_delay);
+    if let Some(f) = &cfg.b_fault {
+        b_spec = b_spec.with_fault(f.clone());
+    }
+    sim.connect_directed_spec(src, PortId(0), rx, AB_A, &a_spec);
+    sim.connect_directed_spec(src, PortId(1), rx, AB_B, &b_spec);
+
+    sim.schedule_timer(SimTime::from_us(10), src, TICK);
+    let duration = cfg.interval * cfg.packets + SimTime::from_ms(1);
+    sim.run_until(duration);
+
+    let published = sim
+        .node::<PitchSource>(src)
+        .expect("src")
+        .published_messages();
+    let rx_node = sim.node::<AbReceiver>(rx).expect("rx");
+    let arb = rx_node.arbiter().stats();
+    let (w0, w1) = cfg.window;
+    let window_delivered: u64 = rx_node
+        .deliveries()
+        .iter()
+        .filter(|(t, _)| *t >= w0 && *t < w1)
+        .map(|(_, n)| u64::from(*n))
+        .sum();
+    let secs = |t: SimTime| t.as_ps() as f64 / 1e12;
+    let window_secs = secs(w1.saturating_sub(w0)).max(1e-12);
+    let clean_secs = (secs(duration) - window_secs).max(1e-12);
+    AbFailoverRun {
+        published_messages: published,
+        delivered_messages: rx_node.delivered(),
+        gap_events: arb.gap_events,
+        gap_messages: arb.gap_messages,
+        duplicates: arb.duplicates,
+        side_a: (arb.side_a.offered, arb.side_a.won),
+        side_b: (arb.side_b.offered, arb.side_b.won),
+        window_delivered,
+        window_throughput: window_delivered as f64 / window_secs,
+        clean_throughput: (rx_node.delivered() - window_delivered) as f64 / clean_secs,
+        digest: sim.trace.digest(),
+        events: sim.trace.recorded(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_loss(seed: u64, fault: FaultSpec) -> LossRecoveryConfig {
+        let mut c = LossRecoveryConfig::new(seed, fault);
+        c.packets = 400;
+        c
+    }
+
+    #[test]
+    fn clean_feed_delivers_everything() {
+        let run = run_loss_recovery(&small_loss(1, FaultSpec::new(0)));
+        assert_eq!(run.published_messages, 1_600);
+        assert_eq!(run.delivered_messages, run.published_messages);
+        assert_eq!(run.gaps_seen, 0);
+        assert_eq!(run.abandoned, 0);
+    }
+
+    #[test]
+    fn lossy_feed_recovers_via_retransmission() {
+        let fault = FaultSpec::new(77).with_iid_loss(0.02);
+        let run = run_loss_recovery(&small_loss(1, fault));
+        assert!(run.gaps_seen > 0, "{run:?}");
+        assert!(run.recovered_messages > 0, "{run:?}");
+        // The recovery loop papers over 2% loss completely.
+        assert_eq!(run.delivered_messages, run.published_messages, "{run:?}");
+        assert_eq!(run.abandoned, 0, "{run:?}");
+        assert_eq!(run.fill_latency_ps.len() as u64, run.gaps_seen);
+    }
+
+    #[test]
+    fn loss_recovery_is_deterministic() {
+        let cfg = small_loss(9, FaultSpec::new(3).with_burst_loss(0.02, 0.3, 0.0, 0.9));
+        let a = run_loss_recovery(&cfg);
+        let b = run_loss_recovery(&cfg);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.delivered_messages, b.delivered_messages);
+    }
+
+    #[test]
+    fn ab_failover_covers_the_outage() {
+        let mut cfg = AbFailoverConfig::new(4);
+        cfg.packets = 3_000; // 15 ms of traffic, outage 10–20 ms
+        cfg.a_fault = FaultSpec::new(4 ^ 0xA).with_outage(cfg.window.0, cfg.window.1);
+        let run = run_ab_failover(&cfg);
+        // Nothing lost: B carries the stream through A's outage.
+        assert_eq!(run.delivered_messages, run.published_messages, "{run:?}");
+        assert_eq!(run.gap_messages, 0, "{run:?}");
+        // A wins while up; B wins only inside the outage.
+        assert!(run.side_a.1 > 0 && run.side_b.1 > 0, "{run:?}");
+        assert!(run.window_delivered > 0, "{run:?}");
+        // Everything B won it won during the window (A wins otherwise).
+        assert_eq!(run.side_b.1, run.window_delivered / 4, "{run:?}");
+    }
+
+    #[test]
+    fn ab_failover_is_deterministic() {
+        let cfg = AbFailoverConfig::new(8);
+        let mut small = cfg.clone();
+        small.packets = 1_000;
+        let a = run_ab_failover(&small);
+        let b = run_ab_failover(&small);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.events, b.events);
+    }
+}

@@ -1,6 +1,16 @@
 //! Shared helpers for the experiment binaries: table rendering and tiny
 //! ASCII charts, so every figure regenerates as terminal output without
-//! plotting dependencies.
+//! plotting dependencies — plus the shared fault scenarios
+//! ([`faultsim`]) behind `exp_loss_recovery`/`exp_ab_failover` and
+//! tn-audit's fault divergence checks.
+
+pub mod faultsim;
+
+/// True when the process was invoked with `--json` (experiment binaries
+/// then emit a machine-readable report instead of tables).
+pub fn json_flag() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
 
 /// Render a labeled table row with right-aligned numeric cells.
 pub fn row(label: &str, cells: &[String]) -> String {

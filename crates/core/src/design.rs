@@ -21,7 +21,10 @@ use tn_trading::{
 };
 use tn_wire::{eth, igmp, ipv4, Symbol};
 
-use crate::report::{DesignReport, LatencyStats};
+use tn_fault::FaultLink;
+use tn_sim::Link;
+
+use crate::report::{DesignReport, LatencyStats, RecoveryStats};
 use crate::scenario::ScenarioConfig;
 
 /// Multicast group index base of the exchange's native feed.
@@ -163,6 +166,35 @@ fn units_for(sc: &ScenarioConfig, n: usize) -> Vec<u32> {
         .collect()
 }
 
+/// Attach the exchange's feed port to the fabric, injecting the
+/// scenario's feed fault (if any) on the publish direction only — order
+/// entry and acks ride the clean reverse path. With no fault configured
+/// this is exactly `Simulator::connect`, so pre-fault digests reproduce
+/// bit-for-bit.
+fn connect_exchange_feed(
+    sim: &mut Simulator,
+    sc: &ScenarioConfig,
+    exchange: NodeId,
+    exch_port: PortId,
+    fabric: NodeId,
+    fabric_port: PortId,
+    link: impl Link + Clone + 'static,
+) {
+    match &sc.feed_fault {
+        Some(spec) => {
+            sim.connect_directed(
+                exchange,
+                exch_port,
+                fabric,
+                fabric_port,
+                Box::new(FaultLink::wrap(link.clone(), spec.clone())),
+            );
+            sim.connect_directed(fabric, fabric_port, exchange, exch_port, Box::new(link));
+        }
+        None => sim.connect(exchange, exch_port, fabric, fabric_port, link),
+    }
+}
+
 fn start_everything(sim: &mut Simulator, firm: &Firm, exchange: NodeId, warmup: SimTime) {
     for &g in &firm.gateways {
         sim.schedule_timer(SimTime::ZERO, g, gateway::START);
@@ -198,6 +230,18 @@ fn collect_report(
         evaluated += st.records_evaluated;
         discarded += st.records_discarded;
     }
+    // Degraded-mode accounting from the normalizers' arbiters: gaps the
+    // skip-forward policy declared, sequence numbers lost, duplicate
+    // copies absorbed. (Retransmission fills come from the dedicated
+    // recovery experiments, not the design topologies.)
+    let mut recovery = RecoveryStats::none();
+    for &n in &firm.normalizers {
+        let node = sim.node::<Normalizer>(n).expect("normalizer");
+        let arb = node.core().arbiter().stats();
+        recovery.gaps_seen += arb.gap_events;
+        recovery.records_lost += arb.gap_messages;
+        recovery.duplicates_absorbed += arb.duplicates;
+    }
     let exch = sim.node::<Exchange>(exchange).expect("exchange");
     let reaction = LatencyStats::from_samples(exch.response_latency_ps());
     let feed_messages = exch.stats().feed_messages;
@@ -223,6 +267,7 @@ fn collect_report(
         network_share,
         trace_digest: sim.trace.digest(),
         events_recorded: sim.trace.recorded(),
+        recovery,
     }
 }
 
@@ -280,7 +325,15 @@ impl TradingNetworkDesign for TraditionalSwitches {
         let (exch_mac, exch_ip) = (exch_cfg.src_mac, exch_cfg.src_ip);
         let exchange = sim.add_node("exchange", Exchange::new(exch_cfg));
         let (tor, tor_port) = fabric.exchange_attach[0];
-        sim.connect(exchange, PortId(0), tor, tor_port, fabric.host_link());
+        connect_exchange_feed(
+            &mut sim,
+            sc,
+            exchange,
+            PortId(0),
+            tor,
+            tor_port,
+            fabric.host_link(),
+        );
         fabric.install_host_routes(&mut sim, tor, tor_port, exch_ip);
         debug_assert_eq!(exch_mac, eth::MacAddr::host(0xEE01));
 
@@ -372,7 +425,9 @@ impl TradingNetworkDesign for CloudDesign {
         let exch_cfg = exchange_config(sc, &dir);
         let exch_ip = exch_cfg.src_ip;
         let exchange = sim.add_node("exchange", Exchange::new(exch_cfg));
-        sim.connect(
+        connect_exchange_feed(
+            &mut sim,
+            sc,
             exchange,
             PortId(0),
             cloud.fabric,
@@ -500,7 +555,9 @@ impl TradingNetworkDesign for LayerOneSwitches {
         let exchange = sim.add_node("exchange", Exchange::new(exch_cfg));
         // Feed out on port 0 into network 1; orders in/out on port 1 via
         // network 4.
-        sim.connect(
+        connect_exchange_feed(
+            &mut sim,
+            sc,
             exchange,
             PortId(0),
             fabric.feed_net.switch,
@@ -632,7 +689,7 @@ impl TradingNetworkDesign for FpgaHybrid {
         let exch_ip = exch_cfg.src_ip;
         let exchange = sim.add_node("exchange", Exchange::new(exch_cfg));
         let xp = take();
-        sim.connect(exchange, PortId(0), fabric, xp, link());
+        connect_exchange_feed(&mut sim, sc, exchange, PortId(0), fabric, xp, link());
         sim.node_mut::<FpgaL1Switch>(fabric)
             .unwrap()
             .add_route(exch_ip, xp);

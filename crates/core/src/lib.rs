@@ -24,5 +24,5 @@ pub mod scenario;
 pub use design::{
     CloudDesign, FpgaHybrid, LayerOneSwitches, TradingNetworkDesign, TraditionalSwitches,
 };
-pub use report::{DesignReport, LatencyStats};
-pub use scenario::ScenarioConfig;
+pub use report::{DesignReport, LatencyStats, RecoveryStats, SCHEMA_V1};
+pub use scenario::{ConfigError, ScenarioBuilder, ScenarioConfig};

@@ -58,6 +58,50 @@ impl std::fmt::Display for LatencyStats {
     }
 }
 
+/// Degraded-mode accounting: what the feed path lost and what the
+/// recovery machinery (A/B arbitration, reorder buffers, retransmission)
+/// got back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryStats {
+    /// Distinct sequence-gap events receivers observed.
+    pub gaps_seen: u64,
+    /// Records lost for good (skipped forward or abandoned).
+    pub records_lost: u64,
+    /// Records recovered (retransmission fills plus the held packets
+    /// they unblocked).
+    pub records_recovered: u64,
+    /// Duplicate copies absorbed (the other feed side arrived first).
+    pub duplicates_absorbed: u64,
+    /// Retransmission requests issued (including timed-out re-requests).
+    pub retrans_requests: u64,
+    /// Gap-fill latency: request to in-order release.
+    pub gap_fill: LatencyStats,
+    /// Delivered messages per second over the degraded window (0 when no
+    /// degraded window was measured).
+    pub degraded_throughput: f64,
+}
+
+impl RecoveryStats {
+    /// A run with nothing to recover.
+    pub fn none() -> RecoveryStats {
+        RecoveryStats {
+            gaps_seen: 0,
+            records_lost: 0,
+            records_recovered: 0,
+            duplicates_absorbed: 0,
+            retrans_requests: 0,
+            gap_fill: LatencyStats::empty(),
+            degraded_throughput: 0.0,
+        }
+    }
+}
+
+impl Default for RecoveryStats {
+    fn default() -> RecoveryStats {
+        RecoveryStats::none()
+    }
+}
+
 /// Outcome of running one scenario over one design.
 #[derive(Debug, Clone)]
 pub struct DesignReport {
@@ -95,15 +139,31 @@ pub struct DesignReport {
     pub trace_digest: u64,
     /// Events folded into `trace_digest`.
     pub events_recorded: u64,
+    /// Degraded-mode accounting (all-zero for clean runs).
+    pub recovery: RecoveryStats,
 }
 
 impl DesignReport {
     /// Multi-line human-readable summary.
     pub fn summary(&self) -> String {
+        let recovery = if self.recovery == RecoveryStats::none() {
+            String::new()
+        } else {
+            let r = &self.recovery;
+            format!(
+                "\n  recovery : gaps={} lost={} recovered={} dups={} requests={} fill[{}]",
+                r.gaps_seen,
+                r.records_lost,
+                r.records_recovered,
+                r.duplicates_absorbed,
+                r.retrans_requests,
+                r.gap_fill,
+            )
+        };
         format!(
             "[{}]\n  feed     : {}\n  reaction : {}\n  feed_msgs={} evaluated={} discarded={} \
-             orders={} acks={} fills={} drops={}\n  software_path={} network_share={:.1}% \
-             digest={:016x}",
+             orders={} acks={} fills={} drops={}{recovery}\n  software_path={} \
+             network_share={:.1}% digest={:016x}",
             self.design,
             self.feed_latency,
             self.reaction,
@@ -125,6 +185,122 @@ impl DesignReport {
     pub fn network_time(&self) -> SimTime {
         self.reaction.median.saturating_sub(self.software_path)
     }
+
+    /// Machine-readable report. The schema is versioned — consumers must
+    /// check `"schema": "tn-report/v1"` before parsing; fields may only
+    /// be *added* within a version. All times are integer picoseconds;
+    /// the digest is 16 lowercase hex digits.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        json_str(&mut s, "schema", SCHEMA_V1);
+        s.push(',');
+        json_str(&mut s, "design", &self.design);
+        s.push(',');
+        json_latency(&mut s, "feed_latency", &self.feed_latency);
+        s.push(',');
+        json_latency(&mut s, "reaction", &self.reaction);
+        for (k, v) in [
+            ("feed_messages", self.feed_messages),
+            ("records_evaluated", self.records_evaluated),
+            ("records_discarded", self.records_discarded),
+            ("orders_sent", self.orders_sent),
+            ("acks", self.acks),
+            ("fills", self.fills),
+            ("frames_dropped", self.frames_dropped),
+            ("software_path_ps", self.software_path.as_ps()),
+            ("events_recorded", self.events_recorded),
+        ] {
+            s.push(',');
+            json_u64(&mut s, k, v);
+        }
+        s.push(',');
+        json_f64(&mut s, "network_share", self.network_share);
+        s.push(',');
+        json_str(
+            &mut s,
+            "trace_digest",
+            &format!("{:016x}", self.trace_digest),
+        );
+        let r = &self.recovery;
+        s.push_str(",\"recovery\":{");
+        for (i, (k, v)) in [
+            ("gaps_seen", r.gaps_seen),
+            ("records_lost", r.records_lost),
+            ("records_recovered", r.records_recovered),
+            ("duplicates_absorbed", r.duplicates_absorbed),
+            ("retrans_requests", r.retrans_requests),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                s.push(',');
+            }
+            json_u64(&mut s, k, v);
+        }
+        s.push(',');
+        json_latency(&mut s, "gap_fill", &r.gap_fill);
+        s.push(',');
+        json_f64(&mut s, "degraded_throughput", r.degraded_throughput);
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Schema tag emitted by [`DesignReport::to_json`].
+pub const SCHEMA_V1: &str = "tn-report/v1";
+
+fn json_str(out: &mut String, key: &str, val: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in val.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_u64(out: &mut String, key: &str, val: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&val.to_string());
+}
+
+fn json_f64(out: &mut String, key: &str, val: f64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    // JSON has no NaN/Inf; clamp to null for robustness.
+    if val.is_finite() {
+        out.push_str(&format!("{val:.6}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_latency(out: &mut String, key: &str, l: &LatencyStats) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":{");
+    json_u64(out, "count", l.count as u64);
+    for (k, v) in [
+        ("min_ps", l.min),
+        ("mean_ps", l.mean),
+        ("median_ps", l.median),
+        ("p99_ps", l.p99),
+        ("max_ps", l.max),
+    ] {
+        out.push(',');
+        json_u64(out, k, v.as_ps());
+    }
+    out.push('}');
 }
 
 #[cfg(test)]
@@ -156,5 +332,61 @@ mod tests {
         let s = LatencyStats::from_samples(&[1_000_000]);
         let out = s.to_string();
         assert!(out.contains("median=1.000us"), "{out}");
+    }
+
+    fn sample_report() -> DesignReport {
+        DesignReport {
+            design: "test \"design\"".into(),
+            feed_latency: LatencyStats::from_samples(&[1_000, 2_000]),
+            reaction: LatencyStats::from_samples(&[5_000]),
+            feed_messages: 10,
+            records_evaluated: 8,
+            records_discarded: 2,
+            orders_sent: 3,
+            acks: 3,
+            fills: 1,
+            frames_dropped: 4,
+            software_path: SimTime::from_us(5),
+            network_share: 0.5,
+            trace_digest: 0xff1d_bcd7_cf7e_729e,
+            events_recorded: 123,
+            recovery: RecoveryStats {
+                gaps_seen: 2,
+                records_lost: 1,
+                records_recovered: 5,
+                duplicates_absorbed: 7,
+                retrans_requests: 3,
+                gap_fill: LatencyStats::from_samples(&[9_000]),
+                degraded_throughput: 1234.5,
+            },
+        }
+    }
+
+    #[test]
+    fn json_is_versioned_and_carries_recovery() {
+        let j = sample_report().to_json();
+        assert!(j.starts_with("{\"schema\":\"tn-report/v1\""), "{j}");
+        assert!(j.contains("\"design\":\"test \\\"design\\\"\""), "{j}");
+        assert!(j.contains("\"trace_digest\":\"ff1dbcd7cf7e729e\""), "{j}");
+        assert!(j.contains("\"recovery\":{\"gaps_seen\":2"), "{j}");
+        assert!(j.contains("\"records_recovered\":5"), "{j}");
+        assert!(j.contains("\"gap_fill\":{\"count\":1"), "{j}");
+        assert!(j.contains("\"median_ps\":9000"), "{j}");
+        assert!(j.contains("\"degraded_throughput\":1234.5"), "{j}");
+        // Balanced braces — cheap structural sanity without a parser.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced: {j}"
+        );
+        assert!(j.ends_with("}}"), "{j}");
+    }
+
+    #[test]
+    fn summary_shows_recovery_only_when_degraded() {
+        let mut r = sample_report();
+        assert!(r.summary().contains("recovery : gaps=2"), "{}", r.summary());
+        r.recovery = RecoveryStats::none();
+        assert!(!r.summary().contains("recovery"), "{}", r.summary());
     }
 }

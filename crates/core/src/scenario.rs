@@ -1,11 +1,61 @@
 //! The common firm + market scenario all designs run.
 
+use tn_fault::FaultSpec;
 use tn_sim::SimTime;
+
+/// Why a [`ScenarioBuilder`] refused to produce a config.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A host tier (normalizers/strategies/gateways) has zero members.
+    ZeroHosts(&'static str),
+    /// A structural count (symbols, feed units, partitions, …) is zero.
+    ZeroField(&'static str),
+    /// Warm-up must end before the measured interval does.
+    WarmupExceedsDuration {
+        /// Configured warm-up.
+        warmup: SimTime,
+        /// Configured measured duration.
+        duration: SimTime,
+    },
+    /// Background event rate must be positive and finite.
+    NonPositiveRate(f64),
+    /// Strategies cannot subscribe to more partitions than exist.
+    SubsExceedPartitions {
+        /// Requested subscriptions per strategy.
+        subs: usize,
+        /// Available internal partitions.
+        partitions: u16,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroHosts(tier) => write!(f, "scenario needs at least one {tier}"),
+            ConfigError::ZeroField(field) => write!(f, "{field} must be non-zero"),
+            ConfigError::WarmupExceedsDuration { warmup, duration } => {
+                write!(
+                    f,
+                    "warmup {warmup} must be shorter than duration {duration}"
+                )
+            }
+            ConfigError::NonPositiveRate(r) => {
+                write!(f, "background_rate {r} must be positive and finite")
+            }
+            ConfigError::SubsExceedPartitions { subs, partitions } => write!(
+                f,
+                "subs_per_strategy {subs} exceeds internal_partitions {partitions}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Everything about the workload and the firm that is *not* the network:
 /// the same `ScenarioConfig` runs over every design, so differences in
 /// the reports are attributable to the fabric alone.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// Master seed (drives workload and any model randomness).
     pub seed: u64,
@@ -44,9 +94,33 @@ pub struct ScenarioConfig {
     /// near-per-event (clean latency paths); larger ones coalesce events
     /// into multi-message packets (realistic bursts).
     pub tick_interval: SimTime,
+    /// Fault model for the exchange's feed-publish links. `None` (the
+    /// default) is bit-identical to the pre-fault-injection fabric; a
+    /// spec degrades the A feed (and, where a design has only one feed
+    /// path, the feed) while order entry stays clean.
+    pub feed_fault: Option<FaultSpec>,
 }
 
 impl ScenarioConfig {
+    /// Start a validated builder seeded from the [`small`] preset (every
+    /// field has a working default; override what the experiment varies,
+    /// then [`build`](ScenarioBuilder::build)).
+    ///
+    /// [`small`]: ScenarioConfig::small
+    pub fn builder(seed: u64) -> ScenarioBuilder {
+        ScenarioBuilder {
+            cfg: ScenarioConfig::small(seed),
+        }
+    }
+
+    /// Re-open any config (e.g. the [`paper_scale`] preset) as a builder
+    /// to adjust and re-validate.
+    ///
+    /// [`paper_scale`]: ScenarioConfig::paper_scale
+    pub fn to_builder(self) -> ScenarioBuilder {
+        ScenarioBuilder { cfg: self }
+    }
+
     /// A laptop-fast scenario for tests and the quickstart example.
     pub fn small(seed: u64) -> ScenarioConfig {
         ScenarioConfig {
@@ -67,6 +141,7 @@ impl ScenarioConfig {
             exchange_service: SimTime::from_us(10),
             momentum_threshold: 100,
             tick_interval: SimTime::from_us(200),
+            feed_fault: None,
         }
     }
 
@@ -91,6 +166,7 @@ impl ScenarioConfig {
             exchange_service: SimTime::from_us(10),
             momentum_threshold: 100,
             tick_interval: SimTime::from_us(200),
+            feed_fault: None,
         }
     }
 
@@ -112,9 +188,177 @@ impl ScenarioConfig {
     }
 }
 
+/// Validated construction of a [`ScenarioConfig`].
+///
+/// Starts from the [`ScenarioConfig::small`] defaults and overrides
+/// field by field; [`build`](ScenarioBuilder::build) rejects structurally
+/// broken configs (zero hosts, warm-up at least as long as the measured
+/// window, …) instead of letting a design panic mid-run.
+///
+/// ```
+/// use tn_core::ScenarioConfig;
+/// use tn_sim::SimTime;
+///
+/// let sc = ScenarioConfig::builder(42)
+///     .strategies(12)
+///     .duration(SimTime::from_ms(10))
+///     .build()
+///     .expect("valid scenario");
+/// assert_eq!(sc.strategies, 12);
+///
+/// let err = ScenarioConfig::builder(42).normalizers(0).build();
+/// assert!(err.is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    cfg: ScenarioConfig,
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta] $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            #[$doc]
+            pub fn $name(mut self, $name: $ty) -> ScenarioBuilder {
+                self.cfg.$name = $name;
+                self
+            }
+        )*
+    };
+}
+
+impl ScenarioBuilder {
+    setter! {
+        /// Master seed.
+        seed: u64,
+        /// Listed instruments.
+        symbols: usize,
+        /// Normalizer hosts.
+        normalizers: usize,
+        /// Strategy hosts.
+        strategies: usize,
+        /// Gateway hosts.
+        gateways: usize,
+        /// Exchange feed units.
+        feed_units: u16,
+        /// Firm-internal partitions.
+        internal_partitions: u16,
+        /// Partitions each strategy subscribes to.
+        subs_per_strategy: usize,
+        /// Background market events per second.
+        background_rate: f64,
+        /// Measured interval (after warm-up).
+        duration: SimTime,
+        /// Warm-up before measurement starts.
+        warmup: SimTime,
+        /// Normalizer cost per native message.
+        normalizer_service: SimTime,
+        /// Strategy decision cost per evaluated record.
+        decision_service: SimTime,
+        /// Gateway translation cost per order.
+        gateway_service: SimTime,
+        /// Exchange matching cost per order-entry message.
+        exchange_service: SimTime,
+        /// Momentum threshold (lower fires more orders).
+        momentum_threshold: i64,
+        /// Exchange background-flow batch interval.
+        tick_interval: SimTime,
+    }
+
+    /// Inject `spec`'s faults on the exchange's feed-publish links.
+    pub fn feed_fault(mut self, spec: FaultSpec) -> ScenarioBuilder {
+        self.cfg.feed_fault = Some(spec);
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ScenarioConfig, ConfigError> {
+        let c = self.cfg;
+        for (n, tier) in [
+            (c.normalizers, "normalizer"),
+            (c.strategies, "strategy"),
+            (c.gateways, "gateway"),
+        ] {
+            if n == 0 {
+                return Err(ConfigError::ZeroHosts(tier));
+            }
+        }
+        for (n, field) in [
+            (c.symbols, "symbols"),
+            (c.feed_units as usize, "feed_units"),
+            (c.internal_partitions as usize, "internal_partitions"),
+            (c.subs_per_strategy, "subs_per_strategy"),
+            (c.duration.as_ps() as usize, "duration"),
+        ] {
+            if n == 0 {
+                return Err(ConfigError::ZeroField(field));
+            }
+        }
+        if c.warmup >= c.duration {
+            return Err(ConfigError::WarmupExceedsDuration {
+                warmup: c.warmup,
+                duration: c.duration,
+            });
+        }
+        if !(c.background_rate.is_finite() && c.background_rate > 0.0) {
+            return Err(ConfigError::NonPositiveRate(c.background_rate));
+        }
+        if c.subs_per_strategy > c.internal_partitions as usize {
+            return Err(ConfigError::SubsExceedPartitions {
+                subs: c.subs_per_strategy,
+                partitions: c.internal_partitions,
+            });
+        }
+        Ok(c)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_defaults_match_small_preset() {
+        let built = ScenarioConfig::builder(42).build().unwrap();
+        let preset = ScenarioConfig::small(42);
+        // The builder is the preset plus validation — field for field.
+        assert_eq!(format!("{built:?}"), format!("{preset:?}"));
+    }
+
+    #[test]
+    fn builder_rejects_broken_configs() {
+        assert_eq!(
+            ScenarioConfig::builder(1).strategies(0).build(),
+            Err(ConfigError::ZeroHosts("strategy"))
+        );
+        assert_eq!(
+            ScenarioConfig::builder(1).feed_units(0).build(),
+            Err(ConfigError::ZeroField("feed_units"))
+        );
+        let err = ScenarioConfig::builder(1)
+            .warmup(SimTime::from_ms(40))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::WarmupExceedsDuration { .. }));
+        assert!(!err.to_string().is_empty());
+        assert!(matches!(
+            ScenarioConfig::builder(1).background_rate(f64::NAN).build(),
+            Err(ConfigError::NonPositiveRate(_))
+        ));
+        assert!(matches!(
+            ScenarioConfig::builder(1).subs_per_strategy(500).build(),
+            Err(ConfigError::SubsExceedPartitions { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_carries_fault_spec() {
+        let sc = ScenarioConfig::builder(1)
+            .feed_fault(FaultSpec::new(9).with_iid_loss(0.02))
+            .build()
+            .unwrap();
+        assert!(sc.feed_fault.is_some());
+        assert!(ScenarioConfig::small(1).feed_fault.is_none());
+    }
 
     #[test]
     fn paper_scale_is_about_1000_servers() {

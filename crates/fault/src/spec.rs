@@ -1,0 +1,286 @@
+//! Declarative fault models.
+//!
+//! A [`FaultSpec`] describes everything that can go wrong on one link
+//! direction (or, by applying it to every link of a device, on a feed
+//! unit, switch port, or retransmission server). Specs are plain data:
+//! they carry a seed but no generator, so they can be cloned into
+//! scenario configs, compared, and rebuilt into identical
+//! [`crate::FaultLink`] instances for dual-run digest checks.
+
+use tn_sim::SimTime;
+
+/// Frame-loss process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// No injected loss.
+    None,
+    /// Independent per-frame loss with probability `p`.
+    Iid {
+        /// Loss probability in `[0,1]`.
+        p: f64,
+    },
+    /// Two-state Gilbert–Elliott burst loss: a Good and a Bad state with
+    /// separate loss probabilities, flipping between them per frame. The
+    /// classic model for microwave fade and congested-port loss, where
+    /// drops cluster instead of arriving i.i.d.
+    GilbertElliott {
+        /// P(Good → Bad) per offered frame.
+        p_good_bad: f64,
+        /// P(Bad → Good) per offered frame.
+        p_bad_good: f64,
+        /// Loss probability while Good (usually ~0).
+        loss_good: f64,
+        /// Loss probability while Bad (often near 1).
+        loss_bad: f64,
+    },
+}
+
+impl LossModel {
+    /// Mean loss rate of the stationary process (for reports/sanity
+    /// checks, not simulation).
+    pub fn mean_loss(&self) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Iid { p } => p,
+            LossModel::GilbertElliott {
+                p_good_bad,
+                p_bad_good,
+                loss_good,
+                loss_bad,
+            } => {
+                // Stationary occupancy of Bad = p_gb / (p_gb + p_bg).
+                let denom = p_good_bad + p_bad_good;
+                if denom <= 0.0 {
+                    return loss_good;
+                }
+                let pi_bad = p_good_bad / denom;
+                loss_good * (1.0 - pi_bad) + loss_bad * pi_bad
+            }
+        }
+    }
+}
+
+/// A scheduled hard-down window: `[start, end)` in absolute sim time.
+/// Models maintenance windows and the feed-unit / switch-port / retrans
+/// -server outages of the degraded-mode experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// First instant the link is down.
+    pub start: SimTime,
+    /// First instant the link is back up.
+    pub end: SimTime,
+}
+
+impl Outage {
+    /// Is the window active at `now`?
+    pub fn covers(&self, now: SimTime) -> bool {
+        self.start <= now && now < self.end
+    }
+
+    /// Window length.
+    pub fn duration(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Periodic link flapping: down for `down_for` at the start of every
+/// `period`, beginning at `offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flap {
+    /// Cycle length.
+    pub period: SimTime,
+    /// Down time at the head of each cycle.
+    pub down_for: SimTime,
+    /// Phase: the first down window opens at `offset`.
+    pub offset: SimTime,
+}
+
+impl Flap {
+    /// Is the link flapped down at `now`?
+    pub fn down_at(&self, now: SimTime) -> bool {
+        if now < self.offset || self.period == SimTime::ZERO {
+            return false;
+        }
+        let phase = (now.as_ps() - self.offset.as_ps()) % self.period.as_ps();
+        phase < self.down_for.as_ps()
+    }
+}
+
+/// Everything injectable on one link direction. Construct with
+/// [`FaultSpec::new`] and chain `with_*` calls; the default spec is a
+/// no-op (and [`crate::FaultLink`] guarantees a no-op spec is
+/// bit-transparent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the fault stream. Derive it from the scenario's master
+    /// seed (e.g. `master ^ link_index`) so whole runs replay from one
+    /// number.
+    pub seed: u64,
+    /// Loss process.
+    pub loss: LossModel,
+    /// Per-frame corruption probability (corrupted frames are dropped at
+    /// the receiver's FCS check).
+    pub corrupt: f64,
+    /// Maximum extra delivery delay, drawn uniformly per frame. Non-zero
+    /// jitter lets frames pass each other in flight — the reordering
+    /// that sequenced feeds must tolerate.
+    pub jitter: SimTime,
+    /// Scheduled hard-down windows.
+    pub outages: Vec<Outage>,
+    /// Periodic flapping.
+    pub flap: Option<Flap>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> FaultSpec {
+        FaultSpec::new(0)
+    }
+}
+
+impl FaultSpec {
+    /// A no-op spec seeded with `seed`; add faults with the `with_*`
+    /// builders.
+    pub fn new(seed: u64) -> FaultSpec {
+        FaultSpec {
+            seed,
+            loss: LossModel::None,
+            corrupt: 0.0,
+            jitter: SimTime::ZERO,
+            outages: Vec::new(),
+            flap: None,
+        }
+    }
+
+    /// Independent per-frame loss.
+    pub fn with_iid_loss(mut self, p: f64) -> FaultSpec {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.loss = LossModel::Iid { p };
+        self
+    }
+
+    /// Gilbert–Elliott burst loss (see [`LossModel::GilbertElliott`]).
+    pub fn with_burst_loss(
+        mut self,
+        p_good_bad: f64,
+        p_bad_good: f64,
+        loss_good: f64,
+        loss_bad: f64,
+    ) -> FaultSpec {
+        for p in [p_good_bad, p_bad_good, loss_good, loss_bad] {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+        }
+        self.loss = LossModel::GilbertElliott {
+            p_good_bad,
+            p_bad_good,
+            loss_good,
+            loss_bad,
+        };
+        self
+    }
+
+    /// Per-frame corruption probability.
+    pub fn with_corruption(mut self, p: f64) -> FaultSpec {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "corruption probability out of range"
+        );
+        self.corrupt = p;
+        self
+    }
+
+    /// Uniform reordering jitter in `[0, max_extra]`.
+    pub fn with_jitter(mut self, max_extra: SimTime) -> FaultSpec {
+        self.jitter = max_extra;
+        self
+    }
+
+    /// Add a scheduled outage window `[start, end)`.
+    pub fn with_outage(mut self, start: SimTime, end: SimTime) -> FaultSpec {
+        assert!(start < end, "empty outage window");
+        self.outages.push(Outage { start, end });
+        self
+    }
+
+    /// Periodic flapping from `offset` onward.
+    pub fn with_flap(mut self, period: SimTime, down_for: SimTime, offset: SimTime) -> FaultSpec {
+        assert!(down_for <= period, "down_for longer than the period");
+        self.flap = Some(Flap {
+            period,
+            down_for,
+            offset,
+        });
+        self
+    }
+
+    /// True if this spec injects nothing — the bit-transparent case.
+    pub fn is_noop(&self) -> bool {
+        self.loss == LossModel::None
+            && self.corrupt == 0.0
+            && self.jitter == SimTime::ZERO
+            && self.outages.is_empty()
+            && self.flap.is_none()
+    }
+
+    /// Is the link down (outage or flap) at `now`?
+    pub fn down_at(&self, now: SimTime) -> bool {
+        self.outages.iter().any(|o| o.covers(now))
+            || self.flap.as_ref().is_some_and(|f| f.down_at(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_noop() {
+        let s = FaultSpec::default();
+        assert!(s.is_noop());
+        assert!(!s.down_at(SimTime::from_ms(5)));
+        assert_eq!(s.loss.mean_loss(), 0.0);
+    }
+
+    #[test]
+    fn outage_window_edges() {
+        let s = FaultSpec::new(1).with_outage(SimTime::from_ms(10), SimTime::from_ms(20));
+        assert!(!s.is_noop());
+        assert!(!s.down_at(SimTime::from_ms(10) - SimTime::PICOSECOND));
+        assert!(s.down_at(SimTime::from_ms(10)));
+        assert!(s.down_at(SimTime::from_ms(20) - SimTime::PICOSECOND));
+        assert!(!s.down_at(SimTime::from_ms(20)));
+    }
+
+    #[test]
+    fn flap_cycles() {
+        let s = FaultSpec::new(1).with_flap(
+            SimTime::from_ms(10),
+            SimTime::from_ms(2),
+            SimTime::from_ms(5),
+        );
+        assert!(!s.down_at(SimTime::from_ms(4))); // before offset
+        assert!(s.down_at(SimTime::from_ms(5)));
+        assert!(s.down_at(SimTime::from_ms(6)));
+        assert!(!s.down_at(SimTime::from_ms(7)));
+        assert!(s.down_at(SimTime::from_ms(15))); // next cycle
+        assert!(!s.down_at(SimTime::from_ms(18)));
+    }
+
+    #[test]
+    fn gilbert_elliott_mean_loss() {
+        // Symmetric transitions: half the time Bad at loss 0.5 -> 0.25.
+        let m = LossModel::GilbertElliott {
+            p_good_bad: 0.1,
+            p_bad_good: 0.1,
+            loss_good: 0.0,
+            loss_bad: 0.5,
+        };
+        assert!((m.mean_loss() - 0.25).abs() < 1e-12);
+        assert_eq!(LossModel::Iid { p: 0.03 }.mean_loss(), 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn loss_probability_validated() {
+        let _ = FaultSpec::new(1).with_iid_loss(1.5);
+    }
+}

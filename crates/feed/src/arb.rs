@@ -10,6 +10,25 @@ use std::collections::HashMap;
 use tn_wire::pitch;
 use tn_wire::Result;
 
+/// Which of the exchange's two feed copies a packet arrived on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedSide {
+    /// The A feed.
+    A,
+    /// The B feed.
+    B,
+}
+
+/// Per-side arbitration counters: when one side degrades, its `won`
+/// share collapses while the pair keeps the stream whole.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SideStats {
+    /// Packets offered from this side.
+    pub offered: u64,
+    /// Packets from this side that advanced the stream (arrived first).
+    pub won: u64,
+}
+
 /// Arbitration counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArbStats {
@@ -23,6 +42,10 @@ pub struct ArbStats {
     pub gap_messages: u64,
     /// Distinct gap events.
     pub gap_events: u64,
+    /// A-side breakdown (only populated via [`Arbiter::offer_from`]).
+    pub side_a: SideStats,
+    /// B-side breakdown (only populated via [`Arbiter::offer_from`]).
+    pub side_b: SideStats,
 }
 
 /// Per-unit arbitration state.
@@ -95,6 +118,27 @@ impl Arbiter {
         }
         self.stats.accepted += 1;
         Ok(Some(msgs))
+    }
+
+    /// [`offer`](Arbiter::offer), attributed to a feed side so the stats
+    /// record which copy is actually winning races (the A/B-failover
+    /// experiments read this to show arbitration papering over
+    /// single-side loss).
+    pub fn offer_from(
+        &mut self,
+        side: FeedSide,
+        payload: &[u8],
+    ) -> Result<Option<Vec<pitch::Message>>> {
+        let out = self.offer(payload)?;
+        let s = match side {
+            FeedSide::A => &mut self.stats.side_a,
+            FeedSide::B => &mut self.stats.side_b,
+        };
+        s.offered += 1;
+        if out.is_some() {
+            s.won += 1;
+        }
+        Ok(out)
     }
 
     /// The next expected sequence for a unit (`None` before any packet).
@@ -202,6 +246,21 @@ mod tests {
         assert!(arb.offer(&packet(0, 0, 2)).unwrap().is_some());
         assert_eq!(arb.expected_seq(0), Some(2));
         assert_eq!(arb.stats().gap_messages, 0);
+    }
+
+    #[test]
+    fn per_side_attribution() {
+        let mut arb = Arbiter::new();
+        let p1 = packet(0, 1, 2);
+        let p2 = packet(0, 3, 2);
+        // A wins p1; B's copy is a duplicate. B wins p2 (A copy lost).
+        assert!(arb.offer_from(FeedSide::A, &p1).unwrap().is_some());
+        assert!(arb.offer_from(FeedSide::B, &p1).unwrap().is_none());
+        assert!(arb.offer_from(FeedSide::B, &p2).unwrap().is_some());
+        let s = arb.stats();
+        assert_eq!(s.side_a, SideStats { offered: 1, won: 1 });
+        assert_eq!(s.side_b, SideStats { offered: 2, won: 1 });
+        assert_eq!(s.accepted, 2);
     }
 
     #[test]

@@ -14,17 +14,23 @@
 //!   scheme.
 //! * [`subscribe`] — partition subscription sets, including the
 //!   subscription caps that the L1S design forces (§4.3).
-//! * [`retrans`] — gap recovery: reordering receivers, gap requests, and
-//!   rate-limited retransmission servers.
+//! * [`retrans`] — gap recovery: reordering receivers, gap requests,
+//!   timeout/backoff retry policy, and rate-limited retransmission
+//!   servers.
+//! * [`nodes`] — the recovery machinery packaged as simulation nodes
+//!   ([`nodes::RecoveryReceiver`], [`nodes::RetransUnit`]) for the
+//!   fault-injection experiments.
 
 pub mod arb;
 pub mod bookbuild;
+pub mod nodes;
 pub mod normalize;
 pub mod retrans;
 pub mod subscribe;
 
-pub use arb::{ArbStats, Arbiter};
+pub use arb::{ArbStats, Arbiter, FeedSide, SideStats};
 pub use bookbuild::{BboUpdate, BookBuilder};
+pub use nodes::{RecoveryReceiver, RetransUnit};
 pub use normalize::{NormalizerCore, NormalizerOutput};
-pub use retrans::{Reorderer, RetransmissionServer};
+pub use retrans::{RecoveryClient, RecoveryConfig, Reorderer, RetransmissionServer};
 pub use subscribe::SubscriptionSet;

@@ -58,6 +58,9 @@ pub struct ReorderStats {
     pub requests: u64,
     /// Messages recovered via retransmission (arrived while held).
     pub recovered_gaps: u64,
+    /// Messages released by a gap closing (the retransmitted fill plus
+    /// the held packets it unblocked) — the "records recovered" number.
+    pub recovered_messages: u64,
     /// Sequence numbers abandoned.
     pub abandoned: u64,
 }
@@ -83,11 +86,53 @@ impl Reorderer {
         self.units.values().map(|u| u.held_messages).sum()
     }
 
+    /// Is a gap currently open (request outstanding / packets held) on
+    /// `unit`?
+    pub fn gap_open(&self, unit: u8) -> bool {
+        self.units
+            .get(&unit)
+            .is_some_and(|u| u.requested || !u.held.is_empty())
+    }
+
+    /// The hole currently blocking `unit`, as a re-requestable range
+    /// (first missing sequence up to the first held packet), or `None`
+    /// when the unit is flowing in order.
+    pub fn current_gap(&self, unit: u8) -> Option<GapRequest> {
+        let u = self.units.get(&unit)?;
+        let next = u.next_seq?;
+        let (&first_held, _) = u.held.iter().next()?;
+        Some(GapRequest {
+            unit,
+            seq: next,
+            count: first_held.wrapping_sub(next).min(u32::from(u16::MAX)) as u16,
+        })
+    }
+
+    /// Give up on `unit`'s open gap: declare the hole lost, skip the
+    /// cursor to the first held packet, and drain. The timeout/backoff
+    /// path of [`RecoveryClient`] calls this when retries are exhausted.
+    pub fn abandon_gap(&mut self, unit: u8) -> ReorderOutput {
+        let mut out = ReorderOutput::default();
+        let Some(u) = self.units.get_mut(&unit) else {
+            return out;
+        };
+        let Some((&first_held, _)) = u.held.iter().next() else {
+            u.requested = false;
+            return out;
+        };
+        let next = u.next_seq.expect("held implies a cursor");
+        let lost = u64::from(first_held.wrapping_sub(next));
+        out.abandoned += lost;
+        self.stats.abandoned += lost;
+        u.next_seq = Some(first_held);
+        u.requested = false;
+        drain_held(u, &mut out);
+        self.stats.released += out.messages.len() as u64;
+        out
+    }
+
     /// Offer a sequenced-unit packet (multicast or retransmitted — the
     /// server replays the same packets, so both paths converge here).
-    // The drain loops peek-then-conditionally-pop; clippy's while-let
-    // suggestion would hold the map borrow across the pop.
-    #[allow(clippy::while_let_loop)]
     pub fn offer(&mut self, payload: &[u8]) -> Result<ReorderOutput> {
         let pkt = pitch::Packet::new_checked(payload)?;
         let unit_id = pkt.unit();
@@ -111,32 +156,15 @@ impl Reorderer {
             out.messages.extend(released);
             unit.next_seq = Some(end);
             // Drain any held packets that are now contiguous.
-            let mut gap_was_open = unit.requested;
-            loop {
-                let Some((&held_seq, _)) = unit.held.iter().next() else {
-                    break;
-                };
-                let cur = unit.next_seq.expect("set above");
-                if wrapping_lt(cur, held_seq) {
-                    break; // still a hole before the next held packet
-                }
-                let (held_seq, held_msgs) = unit.held.pop_first().expect("non-empty");
-                let held_count = held_msgs.len() as u32;
-                unit.held_messages -= held_msgs.len();
-                let held_end = held_seq.wrapping_add(held_count);
-                if wrapping_le(held_end, cur) {
-                    continue; // fully duplicate of what we released
-                }
-                let skip = cur.wrapping_sub(held_seq) as usize;
-                out.messages.extend(held_msgs.into_iter().skip(skip));
-                unit.next_seq = Some(held_end);
-            }
+            let gap_was_open = unit.requested;
+            drain_held(unit, &mut out);
             if gap_was_open && unit.held.is_empty() {
                 unit.requested = false;
                 self.stats.recovered_gaps += 1;
-                gap_was_open = false;
             }
-            let _ = gap_was_open;
+            if gap_was_open {
+                self.stats.recovered_messages += out.messages.len() as u64;
+            }
         } else {
             // Future packet: a gap is open. Hold it and maybe request.
             if !unit.held.contains_key(&seq) {
@@ -161,30 +189,38 @@ impl Reorderer {
                 self.stats.abandoned += u64::from(lost);
                 unit.next_seq = Some(first_held);
                 unit.requested = false;
-                // Re-run the drain by recursion-free loop.
-                loop {
-                    let Some((&held_seq, _)) = unit.held.iter().next() else {
-                        break;
-                    };
-                    let cur = unit.next_seq.expect("set");
-                    if wrapping_lt(cur, held_seq) {
-                        break;
-                    }
-                    let (held_seq, held_msgs) = unit.held.pop_first().expect("non-empty");
-                    let held_count = held_msgs.len() as u32;
-                    unit.held_messages -= held_msgs.len();
-                    let held_end = held_seq.wrapping_add(held_count);
-                    if wrapping_le(held_end, cur) {
-                        continue;
-                    }
-                    let skip = cur.wrapping_sub(held_seq) as usize;
-                    out.messages.extend(held_msgs.into_iter().skip(skip));
-                    unit.next_seq = Some(held_end);
-                }
+                drain_held(unit, &mut out);
             }
         }
         self.stats.released += out.messages.len() as u64;
         Ok(out)
+    }
+}
+
+/// Release every held packet that became contiguous with `unit`'s
+/// cursor, skipping fully/partially duplicate ranges.
+// Peek-then-conditionally-pop; clippy's while-let suggestion would hold
+// the map borrow across the pop.
+#[allow(clippy::while_let_loop)]
+fn drain_held(unit: &mut UnitReorder, out: &mut ReorderOutput) {
+    loop {
+        let Some((&held_seq, _)) = unit.held.iter().next() else {
+            break;
+        };
+        let cur = unit.next_seq.expect("drain requires a cursor");
+        if wrapping_lt(cur, held_seq) {
+            break; // still a hole before the next held packet
+        }
+        let (held_seq, held_msgs) = unit.held.pop_first().expect("non-empty");
+        let held_count = held_msgs.len() as u32;
+        unit.held_messages -= held_msgs.len();
+        let held_end = held_seq.wrapping_add(held_count);
+        if wrapping_le(held_end, cur) {
+            continue; // fully duplicate of what we released
+        }
+        let skip = cur.wrapping_sub(held_seq) as usize;
+        out.messages.extend(held_msgs.into_iter().skip(skip));
+        unit.next_seq = Some(held_end);
     }
 }
 
@@ -194,6 +230,200 @@ fn wrapping_lt(a: u32, b: u32) -> bool {
 
 fn wrapping_le(a: u32, b: u32) -> bool {
     a == b || wrapping_lt(a, b)
+}
+
+/// Timeout/backoff policy for [`RecoveryClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Wait this long for a fill before re-requesting.
+    pub timeout: SimTime,
+    /// Multiply the wait by this factor on every retry (exponential
+    /// backoff; `1` keeps a fixed interval).
+    pub backoff: u32,
+    /// Re-request at most this many times before abandoning the gap and
+    /// resuming from the first held packet.
+    pub max_retries: u32,
+    /// Held-message bound handed to the inner [`Reorderer`].
+    pub max_held: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig {
+            timeout: SimTime::from_us(200),
+            backoff: 2,
+            max_retries: 3,
+            max_held: 4096,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenGap {
+    opened_at: SimTime,
+    /// When the next re-request (or the abandon) fires.
+    deadline: SimTime,
+    retries: u32,
+}
+
+/// What a [`RecoveryClient`] call produced.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryOutput {
+    /// Messages released in sequence order.
+    pub messages: Vec<pitch::Message>,
+    /// Gap requests (first requests and timed-out re-requests) to send.
+    pub requests: Vec<GapRequest>,
+    /// Sequence numbers abandoned as unrecoverable.
+    pub abandoned: u64,
+}
+
+impl RecoveryOutput {
+    fn absorb(&mut self, out: ReorderOutput) {
+        self.messages.extend(out.messages);
+        self.requests.extend(out.request);
+        self.abandoned += out.abandoned;
+    }
+}
+
+/// Receiver-side gap recovery with timeout/backoff: a [`Reorderer`] plus
+/// the retry state machine around its requests.
+///
+/// Drive it with [`offer`](RecoveryClient::offer) for every arriving
+/// packet (live or retransmitted) and [`poll`](RecoveryClient::poll)
+/// whenever [`next_deadline`](RecoveryClient::next_deadline) passes —
+/// sim nodes arm a timer for exactly that instant. The client records a
+/// gap-fill latency sample (request to release, in picoseconds) for every
+/// gap a retransmission closes; those samples feed the report layer's
+/// recovery section.
+#[derive(Debug)]
+pub struct RecoveryClient {
+    reorderer: Reorderer,
+    cfg: RecoveryConfig,
+    open: BTreeMap<u8, OpenGap>,
+    fill_latency_ps: Vec<u64>,
+    re_requests: u64,
+    abandoned_gaps: u64,
+}
+
+impl RecoveryClient {
+    /// New client with `cfg`'s policy.
+    pub fn new(cfg: RecoveryConfig) -> RecoveryClient {
+        RecoveryClient {
+            reorderer: Reorderer::new(cfg.max_held),
+            cfg,
+            open: BTreeMap::new(),
+            fill_latency_ps: Vec::new(),
+            re_requests: 0,
+            abandoned_gaps: 0,
+        }
+    }
+
+    /// The inner reorderer (for its counters).
+    pub fn reorderer(&self) -> &Reorderer {
+        &self.reorderer
+    }
+
+    /// The retry policy.
+    pub fn config(&self) -> &RecoveryConfig {
+        &self.cfg
+    }
+
+    /// Request-to-release latency of every gap a retransmission filled,
+    /// in picoseconds.
+    pub fn fill_latencies_ps(&self) -> &[u64] {
+        &self.fill_latency_ps
+    }
+
+    /// Timed-out re-requests issued.
+    pub fn re_requests(&self) -> u64 {
+        self.re_requests
+    }
+
+    /// Gaps abandoned (retries exhausted or hold bound passed).
+    pub fn abandoned_gaps(&self) -> u64 {
+        self.abandoned_gaps
+    }
+
+    /// Units currently blocked on an open gap.
+    pub fn open_gaps(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Earliest re-request/abandon deadline across open gaps, if any —
+    /// the instant to call [`poll`](RecoveryClient::poll) at.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.open.values().map(|g| g.deadline).min()
+    }
+
+    /// Offer an arriving packet at time `now`.
+    pub fn offer(&mut self, now: SimTime, payload: &[u8]) -> Result<RecoveryOutput> {
+        let unit = pitch::Packet::new_checked(payload)?.unit();
+        let inner = self.reorderer.offer(payload)?;
+        let mut out = RecoveryOutput::default();
+        let abandoned_by_bound = inner.abandoned > 0;
+        if inner.request.is_some() {
+            self.open.insert(
+                unit,
+                OpenGap {
+                    opened_at: now,
+                    deadline: now + self.cfg.timeout,
+                    retries: 0,
+                },
+            );
+        }
+        out.absorb(inner);
+        if let Some(gap) = self.open.get(&unit).copied() {
+            if !self.reorderer.gap_open(unit) {
+                self.open.remove(&unit);
+                if abandoned_by_bound {
+                    self.abandoned_gaps += 1;
+                } else {
+                    self.fill_latency_ps
+                        .push(now.saturating_sub(gap.opened_at).as_ps());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fire timeouts due at `now`: re-request still-open gaps (with
+    /// exponential backoff) and abandon those out of retries.
+    pub fn poll(&mut self, now: SimTime) -> RecoveryOutput {
+        let mut out = RecoveryOutput::default();
+        let due: Vec<u8> = self
+            .open
+            .iter()
+            .filter(|(_, g)| g.deadline <= now)
+            .map(|(&u, _)| u)
+            .collect();
+        for unit in due {
+            let Some(req) = self.reorderer.current_gap(unit) else {
+                // Nothing held any more (e.g. closed by an abandon path);
+                // drop the bookkeeping entry.
+                self.open.remove(&unit);
+                continue;
+            };
+            let gap = self.open.get_mut(&unit).expect("due implies open");
+            if gap.retries >= self.cfg.max_retries {
+                self.open.remove(&unit);
+                self.abandoned_gaps += 1;
+                let drained = self.reorderer.abandon_gap(unit);
+                out.messages.extend(drained.messages);
+                out.abandoned += drained.abandoned;
+            } else {
+                gap.retries += 1;
+                let wait_ps = self
+                    .cfg
+                    .timeout
+                    .as_ps()
+                    .saturating_mul(u64::from(self.cfg.backoff).saturating_pow(gap.retries));
+                gap.deadline = now + SimTime::from_ps(wait_ps);
+                self.re_requests += 1;
+                out.requests.push(req);
+            }
+        }
+        out
+    }
 }
 
 /// Exchange-side retransmission server: bounded per-unit history, rate
@@ -485,6 +715,81 @@ mod tests {
                 }
             )
             .is_ok());
+    }
+
+    fn client_cfg() -> RecoveryConfig {
+        RecoveryConfig {
+            timeout: SimTime::from_us(100),
+            backoff: 2,
+            max_retries: 2,
+            max_held: 100,
+        }
+    }
+
+    #[test]
+    fn client_requests_and_records_fill_latency() {
+        let mut c = RecoveryClient::new(client_cfg());
+        c.offer(SimTime::ZERO, &packet(0, 1, 2)).unwrap();
+        // 3..=4 lost; 5 arrives at t=10us.
+        let out = c.offer(SimTime::from_us(10), &packet(0, 5, 1)).unwrap();
+        assert_eq!(out.requests.len(), 1);
+        assert_eq!(c.open_gaps(), 1);
+        assert_eq!(c.next_deadline(), Some(SimTime::from_us(110)));
+        // Fill arrives at t=60us: gap closes, latency = 50us.
+        let out = c.offer(SimTime::from_us(60), &packet(0, 3, 2)).unwrap();
+        assert_eq!(ids(&out.messages), vec![3, 4, 5]);
+        assert_eq!(c.open_gaps(), 0);
+        assert_eq!(c.next_deadline(), None);
+        assert_eq!(c.fill_latencies_ps(), &[SimTime::from_us(50).as_ps()]);
+        assert_eq!(c.abandoned_gaps(), 0);
+    }
+
+    #[test]
+    fn client_backs_off_then_abandons() {
+        let mut c = RecoveryClient::new(client_cfg());
+        c.offer(SimTime::ZERO, &packet(0, 1, 1)).unwrap();
+        let out = c.offer(SimTime::ZERO, &packet(0, 3, 1)).unwrap(); // 2 lost
+        let first = out.requests[0];
+        // Before the deadline nothing fires.
+        assert!(c.poll(SimTime::from_us(99)).requests.is_empty());
+        // 1st timeout at 100us: re-request, next wait doubles to 200us.
+        let out = c.poll(SimTime::from_us(100));
+        assert_eq!(out.requests, vec![first]);
+        assert_eq!(c.next_deadline(), Some(SimTime::from_us(300)));
+        // 2nd timeout: re-request again, wait doubles to 400us.
+        let out = c.poll(SimTime::from_us(300));
+        assert_eq!(out.requests, vec![first]);
+        assert_eq!(c.re_requests(), 2);
+        assert_eq!(c.next_deadline(), Some(SimTime::from_us(700)));
+        // Retries exhausted: abandon, releasing the held tail.
+        let out = c.poll(SimTime::from_us(700));
+        assert!(out.requests.is_empty());
+        assert_eq!(out.abandoned, 1); // seq 2
+        assert_eq!(ids(&out.messages), vec![3]);
+        assert_eq!(c.abandoned_gaps(), 1);
+        assert_eq!(c.open_gaps(), 0);
+        assert!(c.fill_latencies_ps().is_empty());
+        // Stream resumes cleanly past the abandoned hole.
+        let out = c.offer(SimTime::from_us(800), &packet(0, 4, 1)).unwrap();
+        assert_eq!(ids(&out.messages), vec![4]);
+    }
+
+    #[test]
+    fn client_bound_abandon_counts_as_abandoned_not_fill() {
+        let mut c = RecoveryClient::new(RecoveryConfig {
+            max_held: 2,
+            ..client_cfg()
+        });
+        c.offer(SimTime::ZERO, &packet(0, 1, 1)).unwrap();
+        c.offer(SimTime::from_us(1), &packet(0, 3, 1)).unwrap();
+        c.offer(SimTime::from_us(2), &packet(0, 4, 1)).unwrap();
+        // Third held message trips the bound: seq 2 declared lost.
+        let out = c.offer(SimTime::from_us(3), &packet(0, 5, 1)).unwrap();
+        assert_eq!(out.abandoned, 1);
+        assert_eq!(ids(&out.messages), vec![3, 4, 5]);
+        assert_eq!(c.abandoned_gaps(), 1);
+        assert!(c.fill_latencies_ps().is_empty());
+        assert_eq!(c.open_gaps(), 0);
     }
 
     #[test]

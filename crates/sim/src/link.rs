@@ -27,6 +27,12 @@ pub enum DropReason {
     RandomLoss,
     /// Frame exceeded the link MTU.
     Mtu,
+    /// Frame corrupted in flight; the receiving NIC's FCS check discards
+    /// it, so at the simulation level corruption is a delivery failure.
+    Corrupted,
+    /// The link was administratively or physically down (flap, scheduled
+    /// outage) when the frame was offered.
+    LinkDown,
 }
 
 /// A directional point-to-point link.

@@ -16,8 +16,9 @@ use trading_networks::core::ScenarioConfig;
 
 fn main() {
     // The common scenario: one exchange, 2 normalizers, 6 strategies,
-    // 2 gateways, 50k market events/second.
-    let scenario = ScenarioConfig::small(42);
+    // 2 gateways, 50k market events/second. The builder starts from the
+    // `small` preset and validates whatever you override.
+    let scenario = ScenarioConfig::builder(42).build().expect("valid scenario");
 
     println!("Figure 1 architecture, Design 1 (commodity leaf-spine):");
     println!(

@@ -15,5 +15,8 @@ run cargo test -q --offline --workspace
 run cargo fmt --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo run --release --offline -q -p tn-audit -- check
+# Fault-injection determinism: dual-run the degraded scenarios explicitly
+# (check already covers the registry; this keeps the fault paths loud).
+run cargo run --release --offline -q -p tn-audit -- divergence --filter fault
 
 echo "==> ci: all green"

@@ -9,6 +9,7 @@
 //! index.
 
 pub use tn_core as core;
+pub use tn_fault as fault;
 pub use tn_feed as feed;
 pub use tn_market as market;
 pub use tn_netdev as netdev;

@@ -9,9 +9,10 @@ use trading_networks::core::ScenarioConfig;
 use trading_networks::sim::SimTime;
 
 fn quick(seed: u64) -> ScenarioConfig {
-    let mut sc = ScenarioConfig::small(seed);
-    sc.duration = SimTime::from_ms(25);
-    sc
+    ScenarioConfig::builder(seed)
+        .duration(SimTime::from_ms(25))
+        .build()
+        .expect("valid scenario")
 }
 
 #[test]
