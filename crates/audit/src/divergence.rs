@@ -104,6 +104,14 @@ pub fn registry() -> Vec<Scenario> {
             name: "fault-quickstart-degraded",
             run: run_quickstart_degraded,
         },
+        Scenario {
+            name: "obs-on-vs-off",
+            run: run_quickstart_obs_on_vs_off,
+        },
+        Scenario {
+            name: "latency-decomposition",
+            run: run_latency_decomposition,
+        },
     ]
 }
 
@@ -417,6 +425,41 @@ fn run_quickstart_degraded() -> RunSignature {
     }
 }
 
+/// The quickstart scenario with every telemetry switch on, compared
+/// against the same run with telemetry off: provenance accumulation, the
+/// metrics registry, and trace export are pure side-state, so the two
+/// event streams must be bit-for-bit identical. Returns the telemetry-on
+/// signature (pinned against the golden quickstart digest in tests).
+fn run_quickstart_obs_on_vs_off() -> RunSignature {
+    let off = run_quickstart();
+    let mut sc = trimmed(ScenarioConfig::small(42));
+    sc.obs = tn_sim::ObsConfig::full();
+    let report = TraditionalSwitches::default().run(&sc);
+    let on = RunSignature {
+        digest: report.trace_digest,
+        events: report.events_recorded,
+    };
+    assert_eq!(off, on, "telemetry must not perturb the event stream");
+    on
+}
+
+/// Mirrors `exp_latency_decomposition` (E21): the shared decomposition
+/// chain with full telemetry — per-frame provenance through a tap and a
+/// store-and-forward relay.
+fn run_latency_decomposition() -> RunSignature {
+    use tn_bench::obssim::{run_decomposition, DecompositionConfig};
+
+    let run = run_decomposition(&DecompositionConfig::new(42), tn_sim::ObsConfig::full());
+    assert_eq!(
+        run.max_residual_ps, 0,
+        "provenance must reconcile against the kernel clock"
+    );
+    RunSignature {
+        digest: run.digest,
+        events: run.events,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,6 +501,22 @@ mod tests {
         let report = TraditionalSwitches::default().run(&sc);
         assert_eq!(report.trace_digest, baseline.digest);
         assert_eq!(report.events_recorded, baseline.events);
+    }
+
+    #[test]
+    fn full_telemetry_reproduces_the_golden_quickstart_digest() {
+        // The tentpole invariant of tn-obs: turning everything on leaves
+        // the pre-telemetry golden digest untouched.
+        let sig = run_quickstart_obs_on_vs_off();
+        assert_eq!(sig.digest, 0xff1dbcd7cf7e729e, "{sig:?}");
+        assert_eq!(sig.events, 19_924);
+    }
+
+    #[test]
+    fn latency_decomposition_digest_is_pinned() {
+        let sig = run_latency_decomposition();
+        assert_eq!(sig.digest, 0xb97aeac301534e76, "{sig:?}");
+        assert_eq!(sig.events, 1_088);
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub const LINTS: &[LintInfo] = &[
         summary: "entropy-seeded RNG (thread_rng/from_entropy/OsRng) — runs are not reproducible",
     },
     LintInfo {
+        id: "obs-wallclock",
+        severity: Severity::Error,
+        summary: "std::time type (Duration/UNIX_EPOCH/...) in telemetry code — timestamps must be simulated picoseconds",
+    },
+    LintInfo {
         id: "hotpath-unwrap",
         severity: Severity::Warning,
         summary: "unwrap/expect/panic! inside a per-frame handler",
@@ -104,6 +109,8 @@ pub struct Scope {
     pub det: bool,
     /// Apply `hotpath-*` lints.
     pub hotpath: bool,
+    /// Apply `obs-wallclock` (telemetry code: the tn-obs crate).
+    pub obs: bool,
 }
 
 impl Scope {
@@ -112,6 +119,7 @@ impl Scope {
         Scope {
             det: true,
             hotpath: true,
+            obs: true,
         }
     }
 }
@@ -172,6 +180,9 @@ pub fn scan_file(sf: &SourceFile, scope: Scope) -> Vec<Finding> {
         if scope.det {
             lint_hashmap_iter(sf, lineno, t, &maps, &mut out);
             lint_wallclock(sf, lineno, t, &mut out);
+        }
+        if scope.obs {
+            lint_obs_wallclock(sf, lineno, t, &mut out);
         }
         lint_unseeded_rng(sf, lineno, t, &mut out);
         if scope.hotpath && hot[idx] {
@@ -417,6 +428,55 @@ fn lint_wallclock(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &m
     }
 }
 
+/// Telemetry code may only speak simulated picoseconds: beyond the
+/// `det-wallclock` clock sources, *any* `std::time` type (`Duration`,
+/// `UNIX_EPOCH`, a `std::time::` path) smuggles wall-clock semantics into
+/// records that must be identical across runs and hosts.
+fn lint_obs_wallclock(
+    sf: &SourceFile,
+    lineno: usize,
+    toks: &[(usize, Tok)],
+    out: &mut Vec<Finding>,
+) {
+    for (i, (col, tok)) in toks.iter().enumerate() {
+        let Some(id) = tok.ident() else { continue };
+        let flagged = match id {
+            // `std::time::Duration` is already flagged at the `std` token.
+            "Duration" | "UNIX_EPOCH" => {
+                !(i >= 3
+                    && toks[i - 1].1.is(':')
+                    && toks[i - 2].1.is(':')
+                    && toks[i - 3].1.ident() == Some("time"))
+            }
+            // `std :: time` path, however the type is spelled after it —
+            // except the clock sources, which `det-wallclock` owns.
+            "std" => {
+                toks.get(i + 1).is_some_and(|t| t.1.is(':'))
+                    && toks.get(i + 2).is_some_and(|t| t.1.is(':'))
+                    && toks.get(i + 3).and_then(|t| t.1.ident()) == Some("time")
+                    && !matches!(
+                        toks.get(i + 6).and_then(|t| t.1.ident()),
+                        Some("Instant") | Some("SystemTime")
+                    )
+            }
+            _ => false,
+        };
+        if flagged {
+            push(
+                sf,
+                lineno,
+                *col,
+                "obs-wallclock",
+                format!(
+                    "`{id}` brings std::time into telemetry; timestamps and durations \
+                     must be u64 simulated picoseconds"
+                ),
+                out,
+            );
+        }
+    }
+}
+
 fn lint_unseeded_rng(
     sf: &SourceFile,
     lineno: usize,
@@ -615,6 +675,32 @@ mod tests {
         );
         assert_eq!(f.len(), 1);
         assert!(f[0].suppressed);
+    }
+
+    #[test]
+    fn obs_wallclock_flags_std_time_once() {
+        let f = scan("fn f() { let d = std::time::Duration::from_secs(1); let _ = d; }\n");
+        let obs: Vec<_> = f.iter().filter(|x| x.lint == "obs-wallclock").collect();
+        assert_eq!(obs.len(), 1, "{f:?}");
+        assert_eq!(obs[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn obs_wallclock_flags_bare_duration() {
+        let f = scan("fn f(d: Duration) -> u64 { d.as_nanos() as u64 }\n");
+        assert!(f.iter().any(|x| x.lint == "obs-wallclock"), "{f:?}");
+    }
+
+    #[test]
+    fn obs_wallclock_off_outside_telemetry_scope() {
+        let sf = SourceFile::parse("t.rs", "fn f(d: Duration) {}\n");
+        let scope = Scope {
+            det: true,
+            hotpath: true,
+            obs: false,
+        };
+        let f = scan_file(&sf, scope);
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

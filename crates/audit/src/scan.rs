@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 /// of their inputs and `bench` is a measurement harness, so they only get
 /// the RNG and hot-path lints.
 const DET_CRATES: &[&str] = &[
-    "sim", "switch", "feed", "trading", "market", "topo", "core", "netdev", "fault",
+    "sim", "switch", "feed", "trading", "market", "topo", "core", "netdev", "fault", "obs",
 ];
 
 /// Crates not scanned at all. The auditor's own sources are full of lint
@@ -33,7 +33,12 @@ pub fn scope_for(rel: &str) -> Option<Scope> {
     }
     Some(Scope {
         det: DET_CRATES.contains(&krate),
-        hotpath: true,
+        // tn-obs's `parse*` functions are offline trace readers, not
+        // per-frame handlers, so the hot-path name heuristic would flag
+        // them wholesale; its recording paths are guarded by the
+        // dedicated `obs-wallclock` lint instead.
+        hotpath: krate != "obs",
+        obs: krate == "obs",
     })
 }
 

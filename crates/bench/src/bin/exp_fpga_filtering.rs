@@ -16,7 +16,7 @@
 
 use std::collections::HashSet;
 
-use tn_netdev::EtherLink;
+use tn_fault::{FaultConnect, LinkSpec};
 use tn_sim::{Context, Frame, Node, PortId, SimTime, Simulator};
 use tn_stats::Summary;
 use tn_switch::l1s::{L1Config, L1Switch};
@@ -79,12 +79,12 @@ fn run_naive() -> (u64, u64, u64, u64) {
             latencies_ns: vec![],
         },
     );
-    sim.connect(
+    sim.connect_spec(
         sw,
         out,
         rx,
         PortId(0),
-        EtherLink::ten_gig(SimTime::ZERO).with_queue_bytes(65_536),
+        &LinkSpec::ten_gig(SimTime::ZERO).with_queue_bytes(65_536),
     );
     burst(&mut sim, sw);
     sim.run();
@@ -112,12 +112,12 @@ fn run_filtered() -> (u64, u64, u64, u64) {
             latencies_ns: vec![],
         },
     );
-    sim.connect(
+    sim.connect_spec(
         sw,
         out,
         rx,
         PortId(0),
-        EtherLink::ten_gig(SimTime::ZERO).with_queue_bytes(65_536),
+        &LinkSpec::ten_gig(SimTime::ZERO).with_queue_bytes(65_536),
     );
     burst(&mut sim, sw);
     sim.run();

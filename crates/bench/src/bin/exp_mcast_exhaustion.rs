@@ -11,7 +11,7 @@
 //! cargo run --release -p tn-bench --bin exp_mcast_exhaustion
 //! ```
 
-use tn_netdev::EtherLink;
+use tn_fault::{FaultConnect, LinkSpec};
 use tn_sim::{Context, Frame, Node, PortId, SimTime, Simulator};
 use tn_stats::Summary;
 use tn_switch::{switch_generations, CommoditySwitch, SwitchConfig};
@@ -44,12 +44,12 @@ fn run_sweep(groups: usize, table: usize, packets_per_group: usize) -> (f64, f64
     let mut sim = Simulator::new(1);
     let sw = sim.add_node("sw", CommoditySwitch::new(cfg));
     let rx = sim.add_node("rx", Receiver { arrivals: vec![] });
-    sim.connect(
+    sim.connect_spec(
         sw,
         PortId(1),
         rx,
         PortId(0),
-        EtherLink::ten_gig(SimTime::ZERO),
+        &LinkSpec::ten_gig(SimTime::ZERO),
     );
     for g in 0..groups as u32 {
         let join = tn_switch::commodity::igmp_frame(

@@ -14,7 +14,7 @@
 //! cargo run --release -p tn-bench --bin exp_merge_bottleneck
 //! ```
 
-use tn_netdev::EtherLink;
+use tn_fault::{FaultConnect, LinkSpec};
 use tn_sim::{Context, Frame, Node, PortId, SimTime, Simulator};
 use tn_stats::Summary;
 use tn_switch::l1s::{L1Config, L1Switch};
@@ -47,12 +47,12 @@ fn run(sources: usize, frames_per_burst: usize, frame_len: usize) -> (u64, u64, 
     );
     // The strategy's single NIC circuit: 10G with a 64 kB egress buffer —
     // a generous L1S mux FIFO.
-    sim.connect(
+    sim.connect_spec(
         sw,
         out,
         rx,
         PortId(0),
-        EtherLink::ten_gig(SimTime::ZERO).with_queue_bytes(65_536),
+        &LinkSpec::ten_gig(SimTime::ZERO).with_queue_bytes(65_536),
     );
 
     // Correlated burst: all sources fire at the same instant, each frame
@@ -70,13 +70,7 @@ fn run(sources: usize, frames_per_burst: usize, frame_len: usize) -> (u64, u64, 
     let dropped = sim.stats().frames_dropped;
     let mut s = Summary::new();
     s.extend(delivered.iter().copied());
-    (
-        s.count() as u64,
-        dropped,
-        s.median(),
-        s.percentile(99.0),
-        s.max(),
-    )
+    (s.count() as u64, dropped, s.median(), s.p99(), s.max())
 }
 
 fn main() {

@@ -5,6 +5,7 @@
 //! tn-audit's fault divergence checks.
 
 pub mod faultsim;
+pub mod obssim;
 
 /// True when the process was invoked with `--json` (experiment binaries
 /// then emit a machine-readable report instead of tables).

@@ -195,6 +195,21 @@ fn connect_exchange_feed(
     }
 }
 
+/// Turn on the telemetry the scenario asked for. Called right after
+/// `Simulator::new`, before any node or link exists: `add_node` /
+/// `connect_directed` hand the metrics handle to everything added later,
+/// including the fault wrappers `connect_exchange_feed` installs. Purely
+/// side-state — the run's event schedule and trace digest are identical
+/// with any [`tn_sim::ObsConfig`] (pinned by `tn-audit divergence`).
+fn apply_obs(sim: &mut Simulator, sc: &ScenarioConfig) {
+    if sc.obs.provenance {
+        sim.set_provenance(true);
+    }
+    if sc.obs.registry {
+        sim.set_metrics(tn_sim::Metrics::enabled());
+    }
+}
+
 fn start_everything(sim: &mut Simulator, firm: &Firm, exchange: NodeId, warmup: SimTime) {
     for &g in &firm.gateways {
         sim.schedule_timer(SimTime::ZERO, g, gateway::START);
@@ -242,6 +257,12 @@ fn collect_report(
         recovery.records_lost += arb.gap_messages;
         recovery.duplicates_absorbed += arb.duplicates;
     }
+    // Snapshot the registry (if the scenario enabled one) at the deadline
+    // the run was driven to — reading it is pure observation.
+    let telemetry = sim
+        .metrics()
+        .snapshot(deadline.as_ps())
+        .map(|snap| crate::report::Telemetry::from_snapshot(&snap));
     let exch = sim.node::<Exchange>(exchange).expect("exchange");
     let reaction = LatencyStats::from_samples(exch.response_latency_ps());
     let feed_messages = exch.stats().feed_messages;
@@ -268,6 +289,7 @@ fn collect_report(
         trace_digest: sim.trace.digest(),
         events_recorded: sim.trace.recorded(),
         recovery,
+        telemetry,
     }
 }
 
@@ -298,6 +320,7 @@ impl TradingNetworkDesign for TraditionalSwitches {
 
     fn run(&self, sc: &ScenarioConfig) -> DesignReport {
         let mut sim = Simulator::new(sc.seed);
+        apply_obs(&mut sim, sc);
         let dir = SymbolDirectory::synthetic(sc.symbols);
         // Auto-size racks: every host consumes two ports (Fig 1(d):
         // separate NICs for market data and orders), grouped by function.
@@ -407,6 +430,7 @@ impl TradingNetworkDesign for CloudDesign {
 
     fn run(&self, sc: &ScenarioConfig) -> DesignReport {
         let mut sim = Simulator::new(sc.seed);
+        apply_obs(&mut sim, sc);
         let dir = SymbolDirectory::synthetic(sc.symbols);
         let mut cloud_cfg = self.cloud.clone();
         cloud_cfg.tenant_ports = 2 * (sc.normalizers + sc.strategies + sc.gateways) + 4;
@@ -523,6 +547,7 @@ impl TradingNetworkDesign for LayerOneSwitches {
 
     fn run(&self, sc: &ScenarioConfig) -> DesignReport {
         let mut sim = Simulator::new(sc.seed);
+        apply_obs(&mut sim, sc);
         let dir = SymbolDirectory::synthetic(sc.symbols);
         let l1_cfg = L1FabricConfig {
             normalizers: sc.normalizers,
@@ -666,6 +691,7 @@ impl TradingNetworkDesign for FpgaHybrid {
 
     fn run(&self, sc: &ScenarioConfig) -> DesignReport {
         let mut sim = Simulator::new(sc.seed);
+        apply_obs(&mut sim, sc);
         let dir = SymbolDirectory::synthetic(sc.symbols);
         let fabric = sim.add_node("fpga-fabric", FpgaL1Switch::new(self.fpga.clone()));
         let firm = build_firm(
@@ -758,6 +784,29 @@ mod tests {
             d3b.reaction.min,
             d1.reaction.min
         );
+    }
+
+    #[test]
+    fn full_telemetry_leaves_digest_untouched_and_reconciles() {
+        let off = ScenarioConfig::small(7);
+        let mut on = ScenarioConfig::small(7);
+        on.obs = tn_sim::ObsConfig::full();
+        let r_off = TraditionalSwitches::default().run(&off);
+        let r_on = TraditionalSwitches::default().run(&on);
+        // The tentpole invariant: telemetry is pure observation.
+        assert_eq!(r_off.trace_digest, r_on.trace_digest);
+        assert_eq!(r_off.events_recorded, r_on.events_recorded);
+        assert!(r_off.telemetry.is_none());
+        let t = r_on.telemetry.clone().expect("registry enabled");
+        // Every delivered frame passed the kernel's deliver counter, and
+        // the hop decomposition saw real link time.
+        assert!(t.counter_total("kernel", "deliver") > 0, "{t:?}");
+        assert!(t.counter_total("switch", "frames") > 0, "{t:?}");
+        assert!(!t.hops.is_empty() && !t.hottest_nodes.is_empty());
+        let share_sum: f64 = t.hops.iter().map(|h| h.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to {share_sum}");
+        // And the JSON report carries the section.
+        assert!(r_on.to_json().contains("\"telemetry\":{"));
     }
 
     #[test]

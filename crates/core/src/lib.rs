@@ -24,5 +24,7 @@ pub mod scenario;
 pub use design::{
     CloudDesign, FpgaHybrid, LayerOneSwitches, TradingNetworkDesign, TraditionalSwitches,
 };
-pub use report::{DesignReport, LatencyStats, RecoveryStats, SCHEMA_V1};
+pub use report::{
+    DesignReport, HopKindStat, LatencyStats, NodeHopStat, RecoveryStats, Telemetry, SCHEMA_V1,
+};
 pub use scenario::{ConfigError, ScenarioBuilder, ScenarioConfig};

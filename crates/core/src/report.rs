@@ -1,6 +1,6 @@
 //! Evaluation reports: what a design run produces.
 
-use tn_sim::SimTime;
+use tn_sim::{SimTime, Snapshot, SnapshotValue};
 use tn_stats::Summary;
 
 /// Order statistics for a latency population, picoseconds.
@@ -30,7 +30,7 @@ impl LatencyStats {
             min: SimTime::from_ps(s.min()),
             mean: SimTime::from_ps(s.mean() as u64),
             median: SimTime::from_ps(s.median()),
-            p99: SimTime::from_ps(s.percentile(99.0)),
+            p99: SimTime::from_ps(s.p99()),
             max: SimTime::from_ps(s.max()),
         }
     }
@@ -102,6 +102,134 @@ impl Default for RecoveryStats {
     }
 }
 
+/// One segment kind's aggregate across every instrumented hop: where the
+/// run's frame time went (enqueue vs. serialize vs. propagate ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopKindStat {
+    /// Segment kind name (`"enqueue"`, `"serialize"`, ...).
+    pub kind: String,
+    /// Segments recorded.
+    pub count: u64,
+    /// Exact sum of segment durations, picoseconds.
+    pub total_ps: u128,
+    /// Mean segment duration, picoseconds.
+    pub mean_ps: u64,
+    /// Largest single segment, picoseconds.
+    pub max_ps: u64,
+    /// This kind's share of all hop time, `0.0..=1.0`.
+    pub share: f64,
+}
+
+/// One node's share of accumulated hop time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeHopStat {
+    /// Node id.
+    pub node: u32,
+    /// Segments attributed to the node.
+    pub count: u64,
+    /// Total hop time attributed to the node, picoseconds.
+    pub total_ps: u128,
+}
+
+/// How many hottest nodes [`Telemetry::from_snapshot`] keeps.
+const HOTTEST_NODES: usize = 5;
+
+/// Telemetry section of a report, distilled from a metrics-registry
+/// snapshot when the scenario enables recording
+/// (`ScenarioConfig::obs.registry`); absent otherwise. Purely an *output*
+/// of the run — whether it is collected never changes the trace digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Telemetry {
+    /// Simulated time the snapshot was taken, picoseconds.
+    pub at_ps: u64,
+    /// Per-kind hop decomposition (scope `"hop"`), in kind order.
+    pub hops: Vec<HopKindStat>,
+    /// Top nodes by accumulated hop time, descending (ties by node id).
+    pub hottest_nodes: Vec<NodeHopStat>,
+    /// Every counter in the registry: `(scope, name, node, value)`, in
+    /// key order.
+    pub counters: Vec<(String, String, Option<u32>, u64)>,
+}
+
+impl Telemetry {
+    /// Distill a registry snapshot: aggregate the per-`(kind, node)` hop
+    /// distributions into per-kind and per-node totals, and carry the
+    /// counters through verbatim.
+    pub fn from_snapshot(snap: &Snapshot) -> Telemetry {
+        use std::collections::BTreeMap;
+        let mut by_kind: BTreeMap<&str, (u64, u128, u64)> = BTreeMap::new();
+        let mut by_node: BTreeMap<u32, (u64, u128)> = BTreeMap::new();
+        let mut counters = Vec::new();
+        for e in &snap.entries {
+            match &e.value {
+                SnapshotValue::Distribution {
+                    count, sum, max, ..
+                } if e.scope == "hop" => {
+                    let k = by_kind.entry(e.name.as_str()).or_insert((0, 0, 0));
+                    k.0 += count;
+                    k.1 += sum;
+                    k.2 = (k.2).max(*max);
+                    if let Some(node) = e.node {
+                        let n = by_node.entry(node).or_insert((0, 0));
+                        n.0 += count;
+                        n.1 += sum;
+                    }
+                }
+                SnapshotValue::Counter(v) => {
+                    counters.push((e.scope.clone(), e.name.clone(), e.node, *v));
+                }
+                _ => {}
+            }
+        }
+        let grand: u128 = by_kind.values().map(|(_, sum, _)| sum).sum();
+        let hops = by_kind
+            .into_iter()
+            .map(|(kind, (count, total_ps, max_ps))| HopKindStat {
+                kind: kind.to_string(),
+                count,
+                total_ps,
+                mean_ps: if count == 0 {
+                    0
+                } else {
+                    (total_ps / u128::from(count)) as u64
+                },
+                max_ps,
+                share: if grand == 0 {
+                    0.0
+                } else {
+                    total_ps as f64 / grand as f64
+                },
+            })
+            .collect();
+        let mut hottest_nodes: Vec<NodeHopStat> = by_node
+            .into_iter()
+            .map(|(node, (count, total_ps))| NodeHopStat {
+                node,
+                count,
+                total_ps,
+            })
+            .collect();
+        // BTreeMap order makes the sort's tie-break (node id) deterministic.
+        hottest_nodes.sort_by(|a, b| b.total_ps.cmp(&a.total_ps).then(a.node.cmp(&b.node)));
+        hottest_nodes.truncate(HOTTEST_NODES);
+        Telemetry {
+            at_ps: snap.at_ps,
+            hops,
+            hottest_nodes,
+            counters,
+        }
+    }
+
+    /// Sum of every counter named `name` under `scope`, across nodes.
+    pub fn counter_total(&self, scope: &str, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(s, n, _, _)| s == scope && n == name)
+            .map(|(_, _, _, v)| v)
+            .sum()
+    }
+}
+
 /// Outcome of running one scenario over one design.
 #[derive(Debug, Clone)]
 pub struct DesignReport {
@@ -141,6 +269,9 @@ pub struct DesignReport {
     pub events_recorded: u64,
     /// Degraded-mode accounting (all-zero for clean runs).
     pub recovery: RecoveryStats,
+    /// Latency decomposition and counters, when the scenario enabled the
+    /// metrics registry (`ScenarioConfig::obs.registry`).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl DesignReport {
@@ -160,9 +291,37 @@ impl DesignReport {
                 r.gap_fill,
             )
         };
+        let telemetry = match &self.telemetry {
+            None => String::new(),
+            Some(t) => {
+                let mut s = String::new();
+                for h in &t.hops {
+                    s.push_str(&format!(
+                        "\n    hop {:<10}: n={} total={} mean={} max={} ({:.1}%)",
+                        h.kind,
+                        h.count,
+                        SimTime::from_ps(h.total_ps.min(u128::from(u64::MAX)) as u64),
+                        SimTime::from_ps(h.mean_ps),
+                        SimTime::from_ps(h.max_ps),
+                        h.share * 100.0,
+                    ));
+                }
+                if !t.hottest_nodes.is_empty() {
+                    s.push_str("\n    hottest   :");
+                    for n in &t.hottest_nodes {
+                        s.push_str(&format!(
+                            " node{}={}",
+                            n.node,
+                            SimTime::from_ps(n.total_ps.min(u128::from(u64::MAX)) as u64),
+                        ));
+                    }
+                }
+                format!("\n  telemetry: {} counters{s}", t.counters.len())
+            }
+        };
         format!(
             "[{}]\n  feed     : {}\n  reaction : {}\n  feed_msgs={} evaluated={} discarded={} \
-             orders={} acks={} fills={} drops={}{recovery}\n  software_path={} \
+             orders={} acks={} fills={} drops={}{recovery}{telemetry}\n  software_path={} \
              network_share={:.1}% digest={:016x}",
             self.design,
             self.feed_latency,
@@ -243,9 +402,72 @@ impl DesignReport {
         json_latency(&mut s, "gap_fill", &r.gap_fill);
         s.push(',');
         json_f64(&mut s, "degraded_throughput", r.degraded_throughput);
-        s.push_str("}}");
+        s.push('}');
+        if let Some(t) = &self.telemetry {
+            s.push_str(",\"telemetry\":{");
+            json_u64(&mut s, "at_ps", t.at_ps);
+            s.push_str(",\"hops\":[");
+            for (i, h) in t.hops.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push('{');
+                json_str(&mut s, "kind", &h.kind);
+                for (k, v) in [
+                    ("count", h.count),
+                    ("total_ps", clamp_u64(h.total_ps)),
+                    ("mean_ps", h.mean_ps),
+                    ("max_ps", h.max_ps),
+                ] {
+                    s.push(',');
+                    json_u64(&mut s, k, v);
+                }
+                s.push(',');
+                json_f64(&mut s, "share", h.share);
+                s.push('}');
+            }
+            s.push_str("],\"hottest_nodes\":[");
+            for (i, n) in t.hottest_nodes.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push('{');
+                json_u64(&mut s, "node", u64::from(n.node));
+                s.push(',');
+                json_u64(&mut s, "count", n.count);
+                s.push(',');
+                json_u64(&mut s, "total_ps", clamp_u64(n.total_ps));
+                s.push('}');
+            }
+            s.push_str("],\"counters\":[");
+            for (i, (scope, name, node, v)) in t.counters.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push('{');
+                json_str(&mut s, "scope", scope);
+                s.push(',');
+                json_str(&mut s, "name", name);
+                s.push_str(",\"node\":");
+                match node {
+                    Some(n) => s.push_str(&n.to_string()),
+                    None => s.push_str("null"),
+                }
+                s.push(',');
+                json_u64(&mut s, "value", *v);
+                s.push('}');
+            }
+            s.push_str("]}");
+        }
+        s.push('}');
         s
     }
+}
+
+/// Picosecond totals are u128 to be overflow-proof, but JSON carries u64;
+/// saturate (a run would need ~half a year of simulated hop time to clip).
+fn clamp_u64(v: u128) -> u64 {
+    v.min(u128::from(u64::MAX)) as u64
 }
 
 /// Schema tag emitted by [`DesignReport::to_json`].
@@ -359,6 +581,30 @@ mod tests {
                 gap_fill: LatencyStats::from_samples(&[9_000]),
                 degraded_throughput: 1234.5,
             },
+            telemetry: None,
+        }
+    }
+
+    fn sample_telemetry() -> Telemetry {
+        Telemetry {
+            at_ps: 9_000_000,
+            hops: vec![HopKindStat {
+                kind: "serialize".into(),
+                count: 4,
+                total_ps: 40_000,
+                mean_ps: 10_000,
+                max_ps: 12_000,
+                share: 1.0,
+            }],
+            hottest_nodes: vec![NodeHopStat {
+                node: 3,
+                count: 4,
+                total_ps: 40_000,
+            }],
+            counters: vec![
+                ("kernel".into(), "deliver".into(), None, 7),
+                ("switch".into(), "frames".into(), Some(3), 4),
+            ],
         }
     }
 
@@ -380,6 +626,56 @@ mod tests {
             "unbalanced: {j}"
         );
         assert!(j.ends_with("}}"), "{j}");
+    }
+
+    #[test]
+    fn json_telemetry_is_absent_when_disabled_and_additive_when_on() {
+        let mut r = sample_report();
+        assert!(!r.to_json().contains("telemetry"));
+        r.telemetry = Some(sample_telemetry());
+        let j = r.to_json();
+        assert!(j.contains("\"telemetry\":{\"at_ps\":9000000"), "{j}");
+        assert!(
+            j.contains("\"hops\":[{\"kind\":\"serialize\",\"count\":4,\"total_ps\":40000"),
+            "{j}"
+        );
+        assert!(
+            j.contains("\"hottest_nodes\":[{\"node\":3,\"count\":4,\"total_ps\":40000}]"),
+            "{j}"
+        );
+        assert!(
+            j.contains("{\"scope\":\"kernel\",\"name\":\"deliver\",\"node\":null,\"value\":7}"),
+            "{j}"
+        );
+        assert!(
+            j.contains("{\"scope\":\"switch\",\"name\":\"frames\",\"node\":3,\"value\":4}"),
+            "{j}"
+        );
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced: {j}"
+        );
+    }
+
+    #[test]
+    fn telemetry_from_snapshot_aggregates_hops_and_ranks_nodes() {
+        let m = tn_sim::Metrics::enabled();
+        m.observe("hop", "serialize", Some(1), 10_000);
+        m.observe("hop", "serialize", Some(2), 30_000);
+        m.observe("hop", "propagate", Some(2), 60_000);
+        m.inc("kernel", "deliver", None);
+        let t = Telemetry::from_snapshot(&m.snapshot(5_000).unwrap());
+        assert_eq!(t.at_ps, 5_000);
+        assert_eq!(t.hops.len(), 2);
+        let ser = t.hops.iter().find(|h| h.kind == "serialize").unwrap();
+        assert_eq!((ser.count, ser.total_ps, ser.mean_ps), (2, 40_000, 20_000));
+        assert_eq!(ser.max_ps, 30_000);
+        assert!((ser.share - 0.4).abs() < 1e-9);
+        // Node 2 carries 90 µs of hop time vs node 1's 10 µs.
+        assert_eq!(t.hottest_nodes[0].node, 2);
+        assert_eq!(t.hottest_nodes[0].total_ps, 90_000);
+        assert_eq!(t.counter_total("kernel", "deliver"), 1);
     }
 
     #[test]

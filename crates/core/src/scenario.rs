@@ -1,7 +1,7 @@
 //! The common firm + market scenario all designs run.
 
 use tn_fault::FaultSpec;
-use tn_sim::SimTime;
+use tn_sim::{ObsConfig, SimTime};
 
 /// Why a [`ScenarioBuilder`] refused to produce a config.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +99,10 @@ pub struct ScenarioConfig {
     /// spec degrades the A feed (and, where a design has only one feed
     /// path, the feed) while order entry stays clean.
     pub feed_fault: Option<FaultSpec>,
+    /// Telemetry switches (provenance, metrics registry, trace export).
+    /// Off by default; turning any of them on never changes a run's
+    /// event schedule or trace digest (pinned by `tn-audit divergence`).
+    pub obs: ObsConfig,
 }
 
 impl ScenarioConfig {
@@ -142,6 +146,7 @@ impl ScenarioConfig {
             momentum_threshold: 100,
             tick_interval: SimTime::from_us(200),
             feed_fault: None,
+            obs: ObsConfig::off(),
         }
     }
 
@@ -167,6 +172,7 @@ impl ScenarioConfig {
             momentum_threshold: 100,
             tick_interval: SimTime::from_us(200),
             feed_fault: None,
+            obs: ObsConfig::off(),
         }
     }
 
@@ -267,6 +273,12 @@ impl ScenarioBuilder {
     /// Inject `spec`'s faults on the exchange's feed-publish links.
     pub fn feed_fault(mut self, spec: FaultSpec) -> ScenarioBuilder {
         self.cfg.feed_fault = Some(spec);
+        self
+    }
+
+    /// Telemetry switches (provenance, metrics registry, trace export).
+    pub fn obs(mut self, obs: ObsConfig) -> ScenarioBuilder {
+        self.cfg.obs = obs;
         self
     }
 

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use tn_sim::Metrics;
 use tn_wire::pitch;
 use tn_wire::Result;
 
@@ -61,6 +62,7 @@ struct UnitState {
 pub struct Arbiter {
     units: HashMap<u8, UnitState>,
     stats: ArbStats,
+    metrics: Metrics,
 }
 
 impl Arbiter {
@@ -72,6 +74,12 @@ impl Arbiter {
     /// Counters so far.
     pub fn stats(&self) -> ArbStats {
         self.stats
+    }
+
+    /// Mirror arbitration counters into a metrics registry (scope
+    /// `"feed"`). Pure side-state; arbitration decisions are unaffected.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = metrics.clone();
     }
 
     /// Offer a sequenced-unit packet (the UDP payload). Returns the
@@ -87,6 +95,7 @@ impl Arbiter {
         // Entirely before the cursor: duplicate of something delivered.
         if wrapping_le(end, next) && count > 0 && unit.next_seq.is_some() {
             self.stats.duplicates += 1;
+            self.metrics.inc("feed", "arb_duplicate", None);
             return Ok(None);
         }
         // Overlapping start: partial duplicate — deliver only the new tail.
@@ -102,6 +111,13 @@ impl Arbiter {
         if wrapping_lt(next, seq) && unit.next_seq.is_some() {
             self.stats.gap_events += 1;
             self.stats.gap_messages += u64::from(seq.wrapping_sub(next));
+            self.metrics.inc("feed", "arb_gap", None);
+            self.metrics.add(
+                "feed",
+                "arb_gap_msgs",
+                None,
+                u64::from(seq.wrapping_sub(next)),
+            );
         }
         let mut msgs = Vec::with_capacity(count as usize);
         for (i, m) in pkt.messages().enumerate() {
@@ -117,6 +133,7 @@ impl Arbiter {
             return Ok(None);
         }
         self.stats.accepted += 1;
+        self.metrics.inc("feed", "arb_accepted", None);
         Ok(Some(msgs))
     }
 
@@ -130,13 +147,17 @@ impl Arbiter {
         payload: &[u8],
     ) -> Result<Option<Vec<pitch::Message>>> {
         let out = self.offer(payload)?;
-        let s = match side {
-            FeedSide::A => &mut self.stats.side_a,
-            FeedSide::B => &mut self.stats.side_b,
+        let (s, offered_name, won_name) = match side {
+            FeedSide::A => (&mut self.stats.side_a, "a_offered", "a_won"),
+            FeedSide::B => (&mut self.stats.side_b, "b_offered", "b_won"),
         };
         s.offered += 1;
         if out.is_some() {
             s.won += 1;
+        }
+        self.metrics.inc("feed", offered_name, None);
+        if out.is_some() {
+            self.metrics.inc("feed", won_name, None);
         }
         Ok(out)
     }

@@ -15,7 +15,7 @@
 //! loss, reordering, and outages the spec describes.
 
 use tn_netdev::TxQueue;
-use tn_sim::{Context, Frame, Node, PortId, SimTime, TimerToken};
+use tn_sim::{Context, Frame, Metrics, Node, PortId, SimTime, TimerToken};
 use tn_wire::pitch::GapRequest;
 use tn_wire::{eth, ipv4, stack};
 
@@ -187,6 +187,10 @@ impl Node for RecoveryReceiver {
         self.send_requests(ctx, &out.requests);
         self.rearm(ctx);
     }
+
+    fn on_attach_metrics(&mut self, metrics: &Metrics) {
+        self.client.set_metrics(metrics);
+    }
 }
 
 /// [`RetransUnit`] configuration.
@@ -244,6 +248,7 @@ pub struct RetransUnit {
     server: RetransmissionServer,
     svc: TxQueue,
     stats: RetransUnitStats,
+    metrics: Metrics,
 }
 
 impl RetransUnit {
@@ -258,6 +263,7 @@ impl RetransUnit {
             svc: TxQueue::new(SVC_TOKEN),
             cfg,
             stats: RetransUnitStats::default(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -285,6 +291,7 @@ impl Node for RetransUnit {
             },
             UNIT_REQ => {
                 self.stats.requests_in += 1;
+                self.metrics.inc("feed", "retrans_req", Some(ctx.me().0));
                 let Ok(req) = GapRequest::parse(view.payload) else {
                     self.stats.parse_errors += 1;
                     return;
@@ -306,10 +313,15 @@ impl Node for RetransUnit {
                             );
                             let out = ctx.new_frame(bytes);
                             self.stats.replays_out += 1;
+                            self.metrics.inc("feed", "retrans_replay", Some(ctx.me().0));
                             self.svc.send_after(ctx, SimTime::ZERO, UNIT_REQ, out);
                         }
                     }
-                    Err(_) => self.stats.refused += 1,
+                    Err(_) => {
+                        self.stats.refused += 1;
+                        self.metrics
+                            .inc("feed", "retrans_refused", Some(ctx.me().0));
+                    }
                 }
             }
             // audit:allow(hotpath-unwrap): unreachable on a provisioned topology
@@ -320,6 +332,10 @@ impl Node for RetransUnit {
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
         let consumed = self.svc.on_timer(ctx, timer);
         debug_assert!(consumed, "unexpected timer {timer:?}");
+    }
+
+    fn on_attach_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = metrics.clone();
     }
 }
 

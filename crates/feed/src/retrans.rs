@@ -15,7 +15,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use tn_netdev::queues::TokenBucket;
-use tn_sim::SimTime;
+use tn_sim::{Metrics, SimTime};
 use tn_wire::pitch::{self, GapRequest};
 use tn_wire::{Result, WireError};
 
@@ -303,6 +303,7 @@ pub struct RecoveryClient {
     fill_latency_ps: Vec<u64>,
     re_requests: u64,
     abandoned_gaps: u64,
+    metrics: Metrics,
 }
 
 impl RecoveryClient {
@@ -315,7 +316,15 @@ impl RecoveryClient {
             fill_latency_ps: Vec::new(),
             re_requests: 0,
             abandoned_gaps: 0,
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Mirror recovery counters — gap detections, retransmit round-trip
+    /// latencies, re-requests, abandons — into a metrics registry (scope
+    /// `"feed"`). Pure side-state; recovery decisions are unaffected.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = metrics.clone();
     }
 
     /// The inner reorderer (for its counters).
@@ -362,6 +371,7 @@ impl RecoveryClient {
         let mut out = RecoveryOutput::default();
         let abandoned_by_bound = inner.abandoned > 0;
         if inner.request.is_some() {
+            self.metrics.inc("feed", "gap_detected", None);
             self.open.insert(
                 unit,
                 OpenGap {
@@ -377,9 +387,11 @@ impl RecoveryClient {
                 self.open.remove(&unit);
                 if abandoned_by_bound {
                     self.abandoned_gaps += 1;
+                    self.metrics.inc("feed", "gap_abandoned", None);
                 } else {
-                    self.fill_latency_ps
-                        .push(now.saturating_sub(gap.opened_at).as_ps());
+                    let fill_ps = now.saturating_sub(gap.opened_at).as_ps();
+                    self.fill_latency_ps.push(fill_ps);
+                    self.metrics.observe("feed", "fill_ps", None, fill_ps);
                 }
             }
         }
@@ -407,6 +419,7 @@ impl RecoveryClient {
             if gap.retries >= self.cfg.max_retries {
                 self.open.remove(&unit);
                 self.abandoned_gaps += 1;
+                self.metrics.inc("feed", "gap_abandoned", None);
                 let drained = self.reorderer.abandon_gap(unit);
                 out.messages.extend(drained.messages);
                 out.abandoned += drained.abandoned;
@@ -419,6 +432,7 @@ impl RecoveryClient {
                     .saturating_mul(u64::from(self.cfg.backoff).saturating_pow(gap.retries));
                 gap.deadline = now + SimTime::from_ps(wait_ps);
                 self.re_requests += 1;
+                self.metrics.inc("feed", "re_request", None);
                 out.requests.push(req);
             }
         }

@@ -244,9 +244,10 @@ impl Exchange {
             let meta = FrameMeta {
                 tag: self.event_counter,
                 event_time: now,
+                ..FrameMeta::default()
             };
             for &port in &self.cfg.feed_ports {
-                let frame = ctx.new_frame_with_meta(bytes.clone(), meta);
+                let frame = ctx.new_frame_with_meta(bytes.clone(), meta.clone());
                 self.stats.feed_packets += 1;
                 out.push((port, frame));
             }

@@ -11,7 +11,7 @@
 //! latency — exactly how firms measure strategy latency (order-out time
 //! minus last-input time).
 
-use tn_sim::{Context, Frame, FrameId, Node, PortId, SimTime};
+use tn_sim::{Context, Frame, FrameId, Metrics, Node, PortId, SimTime};
 
 /// Which way the frame was heading.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +42,7 @@ pub struct CaptureRecord {
 pub struct Tap {
     records: Vec<CaptureRecord>,
     enabled: bool,
+    metrics: Metrics,
 }
 
 impl Tap {
@@ -50,6 +51,7 @@ impl Tap {
         Tap {
             records: Vec::new(),
             enabled: true,
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -103,7 +105,22 @@ impl Node for Tap {
                 tag: frame.meta.tag,
             });
         }
+        // Taps feed the registry like any capture appliance feeds the
+        // monitoring plane: frame counts plus frame age (time since the
+        // frame was born) observed at this point in the fabric.
+        let me = ctx.me().0;
+        self.metrics.inc("tap", "frames", Some(me));
+        self.metrics.observe(
+            "tap",
+            "age_ps",
+            Some(me),
+            ctx.now().saturating_sub(frame.born).as_ps(),
+        );
         ctx.send(out, frame);
+    }
+
+    fn on_attach_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = metrics.clone();
     }
 }
 

@@ -1,0 +1,58 @@
+//! Observability configuration.
+
+/// What telemetry the simulator should collect.
+///
+/// The default is everything off: telemetry is strictly opt-in, and — by
+/// the determinism invariant this crate maintains — turning any of it on
+/// must not change a run's trace digest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Accumulate per-hop [`crate::Provenance`] segments on every frame.
+    pub provenance: bool,
+    /// Maintain a [`crate::MetricsRegistry`] fed by kernel, link, switch,
+    /// and feed-path hooks.
+    pub registry: bool,
+    /// Emit a `tn-trace/v1` JSONL document at the end of the run (drivers
+    /// decide where it goes; the kernel itself never does I/O).
+    pub trace: bool,
+}
+
+impl ObsConfig {
+    /// No telemetry (the default).
+    pub const fn off() -> ObsConfig {
+        ObsConfig {
+            provenance: false,
+            registry: false,
+            trace: false,
+        }
+    }
+
+    /// Everything on: provenance, registry, and trace export.
+    pub const fn full() -> ObsConfig {
+        ObsConfig {
+            provenance: true,
+            registry: true,
+            trace: true,
+        }
+    }
+
+    /// True if any collection is enabled.
+    pub const fn any(&self) -> bool {
+        self.provenance || self.registry || self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_off() {
+        assert_eq!(ObsConfig::default(), ObsConfig::off());
+        assert!(!ObsConfig::off().any());
+        assert!(ObsConfig::full().any());
+        assert!(ObsConfig::full().provenance);
+        assert!(ObsConfig::full().registry);
+        assert!(ObsConfig::full().trace);
+    }
+}

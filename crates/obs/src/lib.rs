@@ -1,0 +1,36 @@
+//! # tn-obs — deterministic telemetry
+//!
+//! The paper's central argument is that trading plants are *measured*
+//! systems: operators decompose end-to-end latency hop by hop with optical
+//! taps and hardware timestamps (§2). This crate is the simulator's
+//! equivalent of that capture fabric:
+//!
+//! - [`Provenance`] — an optional per-frame record of contiguous
+//!   `(node, port, kind, start, end)` segments accumulated by the kernel at
+//!   every dispatch and link traversal, so a delivered frame decomposes
+//!   into processing vs. queueing vs. serialization vs. propagation time.
+//! - [`MetricsRegistry`] / [`Metrics`] — counters, gauges, and histograms
+//!   keyed by `(scope, name, node)` in `BTreeMap`s (deterministic
+//!   iteration), snapshotted on simulated-time windows.
+//! - [`TraceWriter`] / [`parse`](trace::parse) / [`TraceSummary`] — the
+//!   versioned `tn-trace/v1` JSONL span/event export and its summarizer.
+//!
+//! Everything here is pure side-state over plain integers (`u64`
+//! picoseconds, `u32` node ids, `u16` ports): recording never draws
+//! randomness, never schedules events, and never touches wall-clock time,
+//! so enabling full telemetry leaves run digests bit-for-bit identical —
+//! an invariant `tn-audit divergence` pins against golden digests.
+
+mod config;
+mod provenance;
+mod registry;
+mod summarize;
+pub mod trace;
+
+pub use config::ObsConfig;
+pub use provenance::{HopSegment, Provenance, SegmentKind};
+pub use registry::{
+    Distribution, Metrics, MetricsRegistry, Snapshot, SnapshotEntry, SnapshotValue,
+};
+pub use summarize::{summarize, SegStat, TraceSummary};
+pub use trace::{parse, EventRecord, MetricRecord, SpanRecord, TraceDoc, TraceWriter, SCHEMA};

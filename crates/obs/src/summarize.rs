@@ -1,0 +1,213 @@
+//! Summarize a parsed trace: per-hop breakdown and hottest nodes/links.
+
+use std::collections::BTreeMap;
+
+use crate::provenance::SegmentKind;
+use crate::trace::TraceDoc;
+
+/// Aggregate over one segment kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegStat {
+    /// Segments seen.
+    pub count: u64,
+    /// Total duration, picoseconds.
+    pub total_ps: u128,
+    /// Longest single segment, picoseconds.
+    pub max_ps: u64,
+}
+
+/// Aggregated view of a `tn-trace/v1` document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Per-kind totals across all spans.
+    pub by_kind: BTreeMap<SegmentKind, SegStat>,
+    /// Per-node `Process` time (where software/devices spent time).
+    pub node_busy_ps: BTreeMap<u32, u128>,
+    /// Per-`(node, port)` link time: queue + serialize + propagate of
+    /// frames leaving that port.
+    pub link_busy_ps: BTreeMap<(u32, u16), u128>,
+    /// Distinct frames with at least one span.
+    pub frames: u64,
+    /// Total spans aggregated.
+    pub spans: u64,
+}
+
+impl TraceSummary {
+    /// Grand total across all kinds, picoseconds.
+    pub fn total_ps(&self) -> u128 {
+        self.by_kind.values().map(|s| s.total_ps).sum()
+    }
+
+    /// Share of the grand total attributable to `kind` (0.0 when empty).
+    pub fn share(&self, kind: SegmentKind) -> f64 {
+        let total = self.total_ps();
+        if total == 0 {
+            return 0.0;
+        }
+        self.by_kind.get(&kind).map_or(0, |s| s.total_ps) as f64 / total as f64
+    }
+
+    /// The `k` nodes with the most `Process` time, busiest first (ties
+    /// broken by node id for determinism).
+    pub fn hottest_nodes(&self, k: usize) -> Vec<(u32, u128)> {
+        let mut v: Vec<_> = self.node_busy_ps.iter().map(|(&n, &t)| (n, t)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// The `k` egress ports with the most link time, busiest first.
+    pub fn hottest_links(&self, k: usize) -> Vec<((u32, u16), u128)> {
+        let mut v: Vec<_> = self.link_busy_ps.iter().map(|(&l, &t)| (l, t)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Render the per-hop breakdown table plus top-`k` hottest nodes and
+    /// links, resolving node names through `doc`.
+    pub fn render(&self, doc: &TraceDoc, k: usize) -> String {
+        let name = |n: u32| -> String {
+            doc.nodes
+                .get(&n)
+                .cloned()
+                .unwrap_or_else(|| format!("node{n}"))
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "per-hop latency breakdown ({} spans over {} frames)\n",
+            self.spans, self.frames
+        ));
+        out.push_str("  kind        count    total            share\n");
+        for kind in SegmentKind::ALL {
+            let s = self.by_kind.get(&kind).copied().unwrap_or_default();
+            out.push_str(&format!(
+                "  {:<10} {:>6}    {:>12} ns    {:>5.1}%\n",
+                kind.name(),
+                s.count,
+                s.total_ps / 1_000,
+                self.share(kind) * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "  total                {:>12} ns\n",
+            self.total_ps() / 1_000
+        ));
+        out.push_str(&format!("hottest nodes (process time, top {k})\n"));
+        for (n, t) in self.hottest_nodes(k) {
+            out.push_str(&format!("  {:<24} {:>12} ns\n", name(n), t / 1_000));
+        }
+        out.push_str(&format!(
+            "hottest links (queue+serialize+propagate, top {k})\n"
+        ));
+        for ((n, p), t) in self.hottest_links(k) {
+            out.push_str(&format!(
+                "  {:<24} {:>12} ns\n",
+                format!("{}:{}", name(n), p),
+                t / 1_000
+            ));
+        }
+        out
+    }
+}
+
+/// Aggregate all spans of a parsed document.
+pub fn summarize(doc: &TraceDoc) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    let mut frames = std::collections::BTreeSet::new();
+    for span in &doc.spans {
+        frames.insert(span.frame);
+        s.spans += 1;
+        let dur = span.seg.duration_ps();
+        let e = s.by_kind.entry(span.seg.kind).or_default();
+        e.count += 1;
+        e.total_ps += u128::from(dur);
+        e.max_ps = e.max_ps.max(dur);
+        match span.seg.kind {
+            SegmentKind::Process => {
+                *s.node_busy_ps.entry(span.seg.node).or_default() += u128::from(dur);
+            }
+            _ => {
+                *s.link_busy_ps
+                    .entry((span.seg.node, span.seg.port))
+                    .or_default() += u128::from(dur);
+            }
+        }
+    }
+    s.frames = frames.len() as u64;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::Provenance;
+    use crate::trace::{parse, TraceWriter};
+
+    fn doc_with_two_frames() -> TraceDoc {
+        let mut w = TraceWriter::new("sum", 1);
+        w.node(0, "src");
+        w.node(1, "sw");
+        let mut p = Provenance::new(0);
+        p.record_process(0, 0, 100);
+        p.record_hop(0, 0, 10, 20, 30);
+        p.record_process(1, 0, 200);
+        p.record_hop(1, 0, 5, 0, 45);
+        w.provenance(1, &p);
+        let mut q = Provenance::new(50);
+        q.record_hop(0, 1, 0, 0, 400);
+        w.provenance(2, &q);
+        parse(&w.to_jsonl()).unwrap()
+    }
+
+    #[test]
+    fn aggregates_by_kind_node_and_link() {
+        let doc = doc_with_two_frames();
+        let s = summarize(&doc);
+        assert_eq!(s.frames, 2);
+        assert_eq!(s.spans, 8);
+        assert_eq!(s.by_kind[&SegmentKind::Process].count, 2);
+        // Process: 100 at node 0, 40 at node 1 (gap 160→200).
+        assert_eq!(s.node_busy_ps[&0], 100);
+        assert_eq!(s.node_busy_ps[&1], 40);
+        // Links: (0,0)=60, (1,0)=50, (0,1)=400.
+        assert_eq!(s.link_busy_ps[&(0, 0)], 60);
+        assert_eq!(s.link_busy_ps[&(1, 0)], 50);
+        assert_eq!(s.link_busy_ps[&(0, 1)], 400);
+        assert_eq!(s.hottest_links(1), vec![((0, 1), 400)]);
+        assert_eq!(s.hottest_nodes(2), vec![(0, 100), (1, 40)]);
+        let total: u128 = s.by_kind.values().map(|k| k.total_ps).sum();
+        assert_eq!(s.total_ps(), total);
+        let share_sum: f64 = SegmentKind::ALL.iter().map(|&k| s.share(k)).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_survives_a_serialize_parse_round_trip() {
+        let doc = doc_with_two_frames();
+        let direct = summarize(&doc);
+        // Serialize again from the parsed doc, re-parse, re-summarize.
+        let mut w = TraceWriter::new(&doc.scenario, doc.seed);
+        for (id, name) in &doc.nodes {
+            w.node(*id, name);
+        }
+        for s in &doc.spans {
+            w.span(s.frame, &s.seg);
+        }
+        let reparsed = parse(&w.to_jsonl()).unwrap();
+        assert_eq!(summarize(&reparsed), direct);
+        let rendered = direct.render(&reparsed, 3);
+        assert!(rendered.contains("per-hop latency breakdown"));
+        assert!(rendered.contains("src"));
+        assert!(rendered.contains("hottest links"));
+    }
+
+    #[test]
+    fn empty_doc_summarizes_to_zeroes() {
+        let w = TraceWriter::new("empty", 0);
+        let s = summarize(&parse(&w.to_jsonl()).unwrap());
+        assert_eq!(s.total_ps(), 0);
+        assert_eq!(s.share(SegmentKind::Queue), 0.0);
+        assert!(s.hottest_nodes(5).is_empty());
+    }
+}

@@ -1,0 +1,512 @@
+//! `tn-trace/v1` — versioned JSONL span/event export.
+//!
+//! One JSON object per line. The first line is always a `meta` record
+//! carrying the schema tag; subsequent lines are `node` (id → name),
+//! `span` (one provenance segment), `event` (point occurrence), and
+//! `metric` (registry snapshot entry) records. The format is append-only
+//! within a version: consumers must ignore unknown fields, and fields are
+//! only ever added.
+//!
+//! Both the writer and the parser are hand-rolled over the small JSON
+//! subset the schema uses (flat objects; string / unsigned / signed /
+//! null values) — the workspace has no serde, and a strict tiny parser
+//! doubles as a schema check.
+
+use std::collections::BTreeMap;
+
+use crate::provenance::{HopSegment, Provenance, SegmentKind};
+use crate::registry::{Snapshot, SnapshotValue};
+
+/// Schema identifier carried by the leading `meta` record.
+pub const SCHEMA: &str = "tn-trace/v1";
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_u32(v: Option<u32>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Builds a `tn-trace/v1` document line by line.
+#[derive(Debug, Clone)]
+pub struct TraceWriter {
+    lines: Vec<String>,
+}
+
+impl TraceWriter {
+    /// Start a document for `scenario` run with `seed`; writes the `meta`
+    /// record.
+    pub fn new(scenario: &str, seed: u64) -> TraceWriter {
+        TraceWriter {
+            lines: vec![format!(
+                "{{\"schema\":\"{SCHEMA}\",\"type\":\"meta\",\"scenario\":\"{}\",\"seed\":{seed}}}",
+                json_escape(scenario)
+            )],
+        }
+    }
+
+    /// Record a node id → diagnostic name binding.
+    pub fn node(&mut self, id: u32, name: &str) {
+        self.lines.push(format!(
+            "{{\"type\":\"node\",\"id\":{id},\"name\":\"{}\"}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Record one provenance segment of frame `frame`.
+    pub fn span(&mut self, frame: u64, seg: &HopSegment) {
+        self.lines.push(format!(
+            "{{\"type\":\"span\",\"frame\":{frame},\"node\":{},\"port\":{},\"kind\":\"{}\",\"start_ps\":{},\"end_ps\":{}}}",
+            seg.node,
+            seg.port,
+            seg.kind.name(),
+            seg.start_ps,
+            seg.end_ps
+        ));
+    }
+
+    /// Record every segment of a frame's provenance.
+    pub fn provenance(&mut self, frame: u64, p: &Provenance) {
+        for seg in p.segments() {
+            self.span(frame, seg);
+        }
+    }
+
+    /// Record a point event at `at_ps` on `node`.
+    pub fn event(&mut self, at_ps: u64, node: u32, name: &str, value: u64) {
+        self.lines.push(format!(
+            "{{\"type\":\"event\",\"at_ps\":{at_ps},\"node\":{node},\"name\":\"{}\",\"value\":{value}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Record every entry of a registry snapshot as `metric` records.
+    pub fn snapshot(&mut self, snap: &Snapshot) {
+        for e in &snap.entries {
+            let head = format!(
+                "{{\"type\":\"metric\",\"scope\":\"{}\",\"name\":\"{}\",\"node\":{}",
+                json_escape(&e.scope),
+                json_escape(&e.name),
+                opt_u32(e.node)
+            );
+            let tail = match &e.value {
+                SnapshotValue::Counter(c) => format!(",\"kind\":\"counter\",\"value\":{c}}}"),
+                SnapshotValue::Gauge(g) => format!(",\"kind\":\"gauge\",\"value\":{g}}}"),
+                SnapshotValue::Distribution {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    p50,
+                    p99,
+                } => format!(
+                    ",\"kind\":\"distribution\",\"count\":{count},\"sum\":{sum},\"min\":{min},\"max\":{max},\"p50\":{p50},\"p99\":{p99}}}"
+                ),
+            };
+            self.lines.push(head + &tail);
+        }
+    }
+
+    /// Lines written so far (including the `meta` line).
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The document as newline-terminated JSONL.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One `span` record: a provenance segment attributed to a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Frame the segment belongs to.
+    pub frame: u64,
+    /// The segment.
+    pub seg: HopSegment,
+}
+
+/// One `event` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Simulated time, picoseconds.
+    pub at_ps: u64,
+    /// Node the event occurred on.
+    pub node: u32,
+    /// Event name.
+    pub name: String,
+    /// Event value.
+    pub value: u64,
+}
+
+/// One `metric` record (counter / gauge / distribution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRecord {
+    /// Metric scope.
+    pub scope: String,
+    /// Metric name.
+    pub name: String,
+    /// Node attribution, if per-node.
+    pub node: Option<u32>,
+    /// The value.
+    pub value: SnapshotValue,
+}
+
+/// A parsed `tn-trace/v1` document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceDoc {
+    /// Scenario name from the `meta` record.
+    pub scenario: String,
+    /// Seed from the `meta` record.
+    pub seed: u64,
+    /// Node id → diagnostic name.
+    pub nodes: BTreeMap<u32, String>,
+    /// All spans, in document order.
+    pub spans: Vec<SpanRecord>,
+    /// All events, in document order.
+    pub events: Vec<EventRecord>,
+    /// All metrics, in document order.
+    pub metrics: Vec<MetricRecord>,
+}
+
+/// Why a document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The document is empty or the first line is not a `tn-trace/v1`
+    /// meta record.
+    BadHeader(String),
+    /// A line is not one of the known record shapes.
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        why: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader(why) => write!(f, "bad tn-trace header: {why}"),
+            ParseError::BadRecord { line, why } => write!(f, "line {line}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Str(String),
+    Num(i128),
+    Null,
+}
+
+/// Parse one flat JSON object (the only shape tn-trace/v1 emits).
+fn parse_object(line: &str) -> Result<BTreeMap<String, Val>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = BTreeMap::new();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            other => return Err(format!("expected key, found {other:?}")),
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        let val = match chars.peek() {
+            Some('"') => Val::Str(parse_string(&mut chars)?),
+            Some('n') => {
+                for expect in "null".chars() {
+                    if chars.next() != Some(expect) {
+                        return Err("expected 'null'".into());
+                    }
+                }
+                Val::Null
+            }
+            Some(c) if *c == '-' || c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == '-' || c.is_ascii_digit() {
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                Val::Num(num.parse::<i128>().map_err(|e| e.to_string())?)
+            }
+            other => return Err(format!("unsupported value start {other:?}")),
+        };
+        out.insert(key, val);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    if chars.next().is_some() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(out)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                    out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+fn get_u64(obj: &BTreeMap<String, Val>, key: &str) -> Result<u64, String> {
+    match obj.get(key) {
+        Some(Val::Num(n)) if *n >= 0 && *n <= i128::from(u64::MAX) => Ok(*n as u64),
+        other => Err(format!("field {key:?}: expected u64, found {other:?}")),
+    }
+}
+
+fn get_u128(obj: &BTreeMap<String, Val>, key: &str) -> Result<u128, String> {
+    match obj.get(key) {
+        Some(Val::Num(n)) if *n >= 0 => Ok(*n as u128),
+        other => Err(format!("field {key:?}: expected u128, found {other:?}")),
+    }
+}
+
+fn get_i64(obj: &BTreeMap<String, Val>, key: &str) -> Result<i64, String> {
+    match obj.get(key) {
+        Some(Val::Num(n)) => i64::try_from(*n).map_err(|e| e.to_string()),
+        other => Err(format!("field {key:?}: expected i64, found {other:?}")),
+    }
+}
+
+fn get_str<'a>(obj: &'a BTreeMap<String, Val>, key: &str) -> Result<&'a str, String> {
+    match obj.get(key) {
+        Some(Val::Str(s)) => Ok(s),
+        other => Err(format!("field {key:?}: expected string, found {other:?}")),
+    }
+}
+
+/// Parse a `tn-trace/v1` JSONL document. Strict on the known record
+/// shapes; unknown record types and unknown fields are ignored, as the
+/// versioning contract requires.
+pub fn parse(input: &str) -> Result<TraceDoc, ParseError> {
+    let mut lines = input
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("empty document".into()))?;
+    let obj = parse_object(header).map_err(ParseError::BadHeader)?;
+    if get_str(&obj, "schema").map_err(ParseError::BadHeader)? != SCHEMA {
+        return Err(ParseError::BadHeader(format!("schema is not {SCHEMA:?}")));
+    }
+    let mut doc = TraceDoc {
+        scenario: get_str(&obj, "scenario")
+            .map_err(ParseError::BadHeader)?
+            .to_string(),
+        seed: get_u64(&obj, "seed").map_err(ParseError::BadHeader)?,
+        ..TraceDoc::default()
+    };
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let bad = |why: String| ParseError::BadRecord { line: lineno, why };
+        let obj = parse_object(line).map_err(bad)?;
+        match get_str(&obj, "type").map_err(bad)? {
+            "node" => {
+                doc.nodes.insert(
+                    get_u64(&obj, "id").map_err(bad)? as u32,
+                    get_str(&obj, "name").map_err(bad)?.to_string(),
+                );
+            }
+            "span" => {
+                let kind_name = get_str(&obj, "kind").map_err(bad)?;
+                let kind = SegmentKind::parse(kind_name)
+                    .ok_or_else(|| bad(format!("unknown span kind {kind_name:?}")))?;
+                doc.spans.push(SpanRecord {
+                    frame: get_u64(&obj, "frame").map_err(bad)?,
+                    seg: HopSegment {
+                        node: get_u64(&obj, "node").map_err(bad)? as u32,
+                        port: get_u64(&obj, "port").map_err(bad)? as u16,
+                        kind,
+                        start_ps: get_u64(&obj, "start_ps").map_err(bad)?,
+                        end_ps: get_u64(&obj, "end_ps").map_err(bad)?,
+                    },
+                });
+            }
+            "event" => {
+                doc.events.push(EventRecord {
+                    at_ps: get_u64(&obj, "at_ps").map_err(bad)?,
+                    node: get_u64(&obj, "node").map_err(bad)? as u32,
+                    name: get_str(&obj, "name").map_err(bad)?.to_string(),
+                    value: get_u64(&obj, "value").map_err(bad)?,
+                });
+            }
+            "metric" => {
+                let node = match obj.get("node") {
+                    Some(Val::Null) | None => None,
+                    Some(Val::Num(n)) if *n >= 0 => Some(*n as u32),
+                    other => return Err(bad(format!("bad node field {other:?}"))),
+                };
+                let value = match get_str(&obj, "kind").map_err(bad)? {
+                    "counter" => SnapshotValue::Counter(get_u64(&obj, "value").map_err(bad)?),
+                    "gauge" => SnapshotValue::Gauge(get_i64(&obj, "value").map_err(bad)?),
+                    "distribution" => SnapshotValue::Distribution {
+                        count: get_u64(&obj, "count").map_err(bad)?,
+                        sum: get_u128(&obj, "sum").map_err(bad)?,
+                        min: get_u64(&obj, "min").map_err(bad)?,
+                        max: get_u64(&obj, "max").map_err(bad)?,
+                        p50: get_u64(&obj, "p50").map_err(bad)?,
+                        p99: get_u64(&obj, "p99").map_err(bad)?,
+                    },
+                    other => return Err(bad(format!("unknown metric kind {other:?}"))),
+                };
+                doc.metrics.push(MetricRecord {
+                    scope: get_str(&obj, "scope").map_err(bad)?.to_string(),
+                    name: get_str(&obj, "name").map_err(bad)?.to_string(),
+                    node,
+                    value,
+                });
+            }
+            // Forward compatibility: skip record types this version does
+            // not know.
+            _ => {}
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_writer() -> TraceWriter {
+        let mut w = TraceWriter::new("unit \"quoted\"", 42);
+        w.node(0, "src");
+        w.node(1, "sink\n");
+        let mut p = Provenance::new(100);
+        p.record_process(0, 0, 350);
+        p.record_hop(0, 0, 10, 20, 30);
+        w.provenance(7, &p);
+        w.event(500, 1, "gap", 3);
+        let mut r = MetricsRegistry::new();
+        r.inc("kernel", "deliver", Some(1));
+        r.set_gauge("link", "backlog", None, -4);
+        r.observe("hop", "queue", Some(0), 10);
+        w.snapshot(&r.snapshot(600));
+        w
+    }
+
+    #[test]
+    fn writer_emits_schema_header_first() {
+        let w = sample_writer();
+        assert!(w.lines()[0].contains("\"schema\":\"tn-trace/v1\""));
+        assert!(w.to_jsonl().ends_with('\n'));
+    }
+
+    #[test]
+    fn document_round_trips() {
+        let w = sample_writer();
+        let doc = parse(&w.to_jsonl()).unwrap();
+        assert_eq!(doc.scenario, "unit \"quoted\"");
+        assert_eq!(doc.seed, 42);
+        assert_eq!(doc.nodes.len(), 2);
+        assert_eq!(doc.nodes[&1], "sink\n");
+        assert_eq!(doc.spans.len(), 4);
+        assert_eq!(doc.spans[0].frame, 7);
+        assert_eq!(doc.spans[0].seg.kind, SegmentKind::Process);
+        assert_eq!(doc.spans[0].seg.start_ps, 100);
+        assert_eq!(doc.events.len(), 1);
+        assert_eq!(doc.metrics.len(), 3);
+        // Re-serializing the parsed document yields an identical parse.
+        let mut w2 = TraceWriter::new(&doc.scenario, doc.seed);
+        for (id, name) in &doc.nodes {
+            w2.node(*id, name);
+        }
+        for s in &doc.spans {
+            w2.span(s.frame, &s.seg);
+        }
+        for e in &doc.events {
+            w2.event(e.at_ps, e.node, &e.name, e.value);
+        }
+        let doc2 = parse(&w2.to_jsonl()).unwrap();
+        assert_eq!(doc.spans, doc2.spans);
+        assert_eq!(doc.events, doc2.events);
+        assert_eq!(doc.nodes, doc2.nodes);
+    }
+
+    #[test]
+    fn parser_rejects_wrong_schema_and_bad_records() {
+        assert!(matches!(parse(""), Err(ParseError::BadHeader(_))));
+        assert!(matches!(
+            parse("{\"schema\":\"tn-trace/v2\",\"type\":\"meta\",\"scenario\":\"x\",\"seed\":1}"),
+            Err(ParseError::BadHeader(_))
+        ));
+        let doc = "{\"schema\":\"tn-trace/v1\",\"type\":\"meta\",\"scenario\":\"x\",\"seed\":1}\n\
+                   {\"type\":\"span\",\"frame\":1,\"node\":0,\"port\":0,\"kind\":\"warp\",\"start_ps\":0,\"end_ps\":1}\n";
+        let err = parse(doc).unwrap_err();
+        assert!(matches!(err, ParseError::BadRecord { line: 2, .. }));
+        assert!(err.to_string().contains("warp"));
+    }
+
+    #[test]
+    fn unknown_record_types_are_ignored() {
+        let doc = "{\"schema\":\"tn-trace/v1\",\"type\":\"meta\",\"scenario\":\"x\",\"seed\":1}\n\
+                   {\"type\":\"future-thing\",\"field\":123}\n";
+        let parsed = parse(doc).unwrap();
+        assert!(parsed.spans.is_empty());
+        assert_eq!(parsed.seed, 1);
+    }
+}

@@ -16,7 +16,7 @@ pub struct FrameId(pub u64);
 /// None of this exists on the wire; it models the knowledge an observer
 /// with a perfect capture fabric would have, and is used exclusively for
 /// measurement and assertions.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FrameMeta {
     /// Application-level tag (e.g. market-data event sequence, order id).
     pub tag: u64,
@@ -24,6 +24,11 @@ pub struct FrameMeta {
     /// (for market data: when the matching engine produced the update).
     /// Zero when unset.
     pub event_time: SimTime,
+    /// Per-hop latency provenance, accumulated by the kernel when
+    /// [`crate::Simulator::set_provenance`] is on. Boxed so the disabled
+    /// (`None`) case costs one pointer; middleboxes that copy metadata
+    /// onto rewritten frames carry the journey forward with it.
+    pub provenance: Option<Box<tn_obs::Provenance>>,
 }
 
 /// A frame in flight: owned bytes plus measurement metadata.

@@ -113,6 +113,8 @@ pub struct Simulator {
     next_frame_id: u64,
     scratch: Vec<Action>,
     stats: SimStats,
+    provenance: bool,
+    metrics: tn_obs::Metrics,
     /// Kernel-level trace log (disabled by default).
     pub trace: TraceLog,
 }
@@ -131,8 +133,48 @@ impl Simulator {
             next_frame_id: 0,
             scratch: Vec::new(),
             stats: SimStats::default(),
+            provenance: false,
+            metrics: tn_obs::Metrics::disabled(),
             trace: TraceLog::disabled(),
         }
+    }
+
+    /// Enable or disable per-hop latency provenance. When on, every frame
+    /// accumulates contiguous [`tn_obs::Provenance`] segments in its
+    /// [`FrameMeta`] at each transmit: processing time inside the source
+    /// node, then the link traversal decomposed via [`Link::decompose`].
+    ///
+    /// Provenance is pure side-state — it never draws randomness,
+    /// schedules events, or feeds the trace digest, so toggling it cannot
+    /// change a run's digest (pinned by `tn-audit divergence`).
+    pub fn set_provenance(&mut self, on: bool) {
+        self.provenance = on;
+    }
+
+    /// True when per-hop provenance accumulation is on.
+    pub fn provenance_enabled(&self) -> bool {
+        self.provenance
+    }
+
+    /// Install a metrics handle. The kernel records delivery / drop /
+    /// timer counters and per-hop latency distributions into it, and the
+    /// handle is offered to every node (current and future) via
+    /// [`Node::on_attach_metrics`] so instrumented devices can record
+    /// their own scopes. Like provenance, recording is pure side-state.
+    pub fn set_metrics(&mut self, metrics: tn_obs::Metrics) {
+        self.metrics = metrics;
+        for slot in &mut self.nodes {
+            slot.node.on_attach_metrics(&self.metrics);
+        }
+        for slot in &mut self.links {
+            slot.link.on_attach_metrics(&self.metrics);
+        }
+    }
+
+    /// The current metrics handle (disabled unless [`Simulator::set_metrics`]
+    /// installed a live one).
+    pub fn metrics(&self) -> &tn_obs::Metrics {
+        &self.metrics
     }
 
     /// Current simulation time.
@@ -153,6 +195,11 @@ impl Simulator {
             node: Box::new(node),
             name: name.into(),
         });
+        if self.metrics.is_enabled() {
+            self.nodes[id.0 as usize]
+                .node
+                .on_attach_metrics(&self.metrics);
+        }
         id
     }
 
@@ -209,6 +256,9 @@ impl Simulator {
             dst,
             dst_port,
         });
+        if self.metrics.is_enabled() {
+            self.links[idx].link.on_attach_metrics(&self.metrics);
+        }
         let prev = self.port_map.insert((src, src_port), idx);
         assert!(
             prev.is_none(),
@@ -309,6 +359,7 @@ impl Simulator {
 
     fn dispatch_frame(&mut self, node: NodeId, port: PortId, frame: Frame) {
         self.stats.frames_delivered += 1;
+        self.metrics.inc("kernel", "deliver", Some(node.0));
         self.trace.record(TraceEvent {
             at: self.now,
             node,
@@ -330,6 +381,7 @@ impl Simulator {
 
     fn dispatch_timer(&mut self, node: NodeId, token: TimerToken) {
         self.stats.timers_fired += 1;
+        self.metrics.inc("kernel", "timer", Some(node.0));
         self.trace.record(TraceEvent {
             at: self.now,
             node,
@@ -388,9 +440,49 @@ impl Simulator {
         self.scratch = actions;
     }
 
-    fn transmit(&mut self, src: NodeId, port: PortId, frame: Frame) {
+    /// Accumulate provenance for a hop that will complete at `deliver_at`
+    /// and record the new segments into the metrics registry. Pure
+    /// side-state over `frame.meta`; the event schedule is untouched.
+    fn record_hop_provenance(
+        &mut self,
+        src: NodeId,
+        port: PortId,
+        frame: &mut Frame,
+        link_idx: usize,
+        deliver_at: SimTime,
+    ) {
+        let born = frame.born;
+        let len = frame.len();
+        let timing = self.links[link_idx]
+            .link
+            .decompose(len, deliver_at - self.now);
+        let prov = frame
+            .meta
+            .provenance
+            .get_or_insert_with(|| Box::new(tn_obs::Provenance::new(born.as_ps())));
+        let before = prov.segments().len();
+        // Time the frame spent inside `src` since its last recorded
+        // movement (or since birth) is processing time at `src`.
+        prov.record_process(src.0, port.0, self.now.as_ps());
+        prov.record_hop(
+            src.0,
+            port.0,
+            timing.queue.as_ps(),
+            timing.serialize.as_ps(),
+            timing.propagate.as_ps(),
+        );
+        if self.metrics.is_enabled() {
+            for seg in &prov.segments()[before..] {
+                self.metrics
+                    .observe("hop", seg.kind.name(), Some(seg.node), seg.duration_ps());
+            }
+        }
+    }
+
+    fn transmit(&mut self, src: NodeId, port: PortId, mut frame: Frame) {
         let Some(&idx) = self.port_map.get(&(src, port)) else {
             self.stats.frames_unrouted += 1;
+            self.metrics.inc("kernel", "unrouted", Some(src.0));
             self.trace.record(TraceEvent {
                 at: self.now,
                 node: src,
@@ -406,6 +498,9 @@ impl Simulator {
             LinkOutcome::Deliver(at) => {
                 debug_assert!(at >= self.now);
                 let (dst, dst_port) = (slot.dst, slot.dst_port);
+                if self.provenance {
+                    self.record_hop_provenance(src, port, &mut frame, idx, at);
+                }
                 let seq = self.bump_seq();
                 self.queue.push(QueuedEvent {
                     at,
@@ -417,8 +512,10 @@ impl Simulator {
                     },
                 });
             }
-            LinkOutcome::Drop(_reason) => {
+            LinkOutcome::Drop(reason) => {
                 self.stats.frames_dropped += 1;
+                self.metrics.inc("kernel", "drop", Some(src.0));
+                self.metrics.inc("link_drop", reason.name(), None);
                 self.trace.record(TraceEvent {
                     at: self.now,
                     node: src,

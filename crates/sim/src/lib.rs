@@ -59,10 +59,18 @@ mod trace;
 pub use context::{Context, TimerToken};
 pub use frame::{Frame, FrameId, FrameMeta};
 pub use kernel::{AnyNode, SimStats, Simulator};
-pub use link::{DropReason, IdealLink, Link, LinkOutcome};
+pub use link::{DropReason, HopTiming, IdealLink, Link, LinkOutcome};
 pub use node::{Node, NodeId, PortId};
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceKind, TraceLog, EMPTY_DIGEST};
+
+/// Re-export of the telemetry types the kernel integrates with (see
+/// [`Simulator::set_provenance`] / [`Simulator::set_metrics`]), so models
+/// can name them without depending on `tn-obs` directly.
+pub use tn_obs::{
+    Distribution, HopSegment, Metrics, MetricsRegistry, ObsConfig, Provenance, SegmentKind,
+    Snapshot, SnapshotEntry, SnapshotValue,
+};
 
 /// Re-export of the PRNG used throughout the workspace, so models can name
 /// it without depending on `rand` directly.

@@ -18,6 +18,19 @@ pub enum LinkOutcome {
     Drop(DropReason),
 }
 
+/// How a link traversal's total latency splits into phases — the per-hop
+/// decomposition recorded into [`tn_obs::Provenance`] when provenance
+/// tracking is on. Phases always sum to the decomposed total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HopTiming {
+    /// Time waiting behind earlier frames at the egress.
+    pub queue: SimTime,
+    /// Time clocking the frame onto the wire at the link rate.
+    pub serialize: SimTime,
+    /// Time in flight at propagation speed.
+    pub propagate: SimTime,
+}
+
 /// Why a link dropped a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DropReason {
@@ -33,6 +46,19 @@ pub enum DropReason {
     /// The link was administratively or physically down (flap, scheduled
     /// outage) when the frame was offered.
     LinkDown,
+}
+
+impl DropReason {
+    /// Stable lowercase name, used in metrics keys and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::QueueOverflow => "queue_overflow",
+            DropReason::RandomLoss => "random_loss",
+            DropReason::Mtu => "mtu",
+            DropReason::Corrupted => "corrupted",
+            DropReason::LinkDown => "link_down",
+        }
+    }
 }
 
 /// A directional point-to-point link.
@@ -53,6 +79,50 @@ pub trait Link {
     /// Nominal rate in bits per second, if the link models serialization.
     fn rate_bps(&self) -> Option<u64> {
         None
+    }
+
+    /// The simulator's metrics registry became available (see
+    /// [`crate::Simulator::set_metrics`]). Instrumented links — fault
+    /// wrappers counting drops by cause, for instance — keep a clone of
+    /// the handle; the default does nothing. Recording is pure side-state:
+    /// implementations must not change transmit outcomes here.
+    fn on_attach_metrics(&mut self, metrics: &tn_obs::Metrics) {
+        let _ = metrics;
+    }
+
+    /// Split a traversal's `total` latency (delivery time minus offer
+    /// time, for a frame of `len` bytes) into queue / serialize /
+    /// propagate phases using the link's advertised propagation and rate.
+    ///
+    /// The phases sum to `total` exactly: propagation and serialization
+    /// are clamped to what is available and the remainder — including any
+    /// delay the advertised figures cannot explain, such as injected
+    /// jitter — is attributed to queueing. Links with richer internal
+    /// state may override for a sharper split.
+    fn decompose(&self, len: usize, total: SimTime) -> HopTiming {
+        let propagate = if self.propagation() < total {
+            self.propagation()
+        } else {
+            total
+        };
+        let remain = total - propagate;
+        let serialize = match self.rate_bps() {
+            Some(rate) if rate > 0 => {
+                let ps = (len as u128 * 8 * 1_000_000_000_000) / u128::from(rate);
+                let ser = SimTime::from_ps(ps.min(u128::from(u64::MAX)) as u64);
+                if ser < remain {
+                    ser
+                } else {
+                    remain
+                }
+            }
+            _ => SimTime::ZERO,
+        };
+        HopTiming {
+            queue: remain - serialize,
+            serialize,
+            propagate,
+        }
     }
 }
 
@@ -94,6 +164,39 @@ mod tests {
         }
         assert_eq!(l.propagation(), SimTime::from_ns(100));
         assert_eq!(l.rate_bps(), None);
+    }
+
+    #[test]
+    fn decompose_phases_sum_to_total() {
+        // Rate-less link: everything beyond propagation is queueing.
+        let l = IdealLink::new(SimTime::from_ns(100));
+        let t = l.decompose(1500, SimTime::from_ns(130));
+        assert_eq!(t.propagate, SimTime::from_ns(100));
+        assert_eq!(t.serialize, SimTime::ZERO);
+        assert_eq!(t.queue, SimTime::from_ns(30));
+        assert_eq!(t.queue + t.serialize + t.propagate, SimTime::from_ns(130));
+        // Total shorter than propagation clamps instead of underflowing.
+        let t = l.decompose(1500, SimTime::from_ns(40));
+        assert_eq!(t.propagate, SimTime::from_ns(40));
+        assert_eq!(t.queue, SimTime::ZERO);
+
+        struct Rated;
+        impl Link for Rated {
+            fn transmit(&mut self, now: SimTime, _: usize, _: f64) -> LinkOutcome {
+                LinkOutcome::Deliver(now)
+            }
+            fn propagation(&self) -> SimTime {
+                SimTime::from_ns(10)
+            }
+            fn rate_bps(&self) -> Option<u64> {
+                Some(10_000_000_000) // 10G: 0.1 ns per bit
+            }
+        }
+        // 125 bytes = 1000 bits = 100 ns serialization at 10G.
+        let t = Rated.decompose(125, SimTime::from_ns(150));
+        assert_eq!(t.propagate, SimTime::from_ns(10));
+        assert_eq!(t.serialize, SimTime::from_ns(100));
+        assert_eq!(t.queue, SimTime::from_ns(40));
     }
 
     #[test]

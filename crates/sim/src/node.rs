@@ -30,6 +30,17 @@ pub trait Node {
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
         let _ = (ctx, timer);
     }
+
+    /// The simulator's metrics registry became available (see
+    /// [`crate::Simulator::set_metrics`]). Instrumented nodes keep a clone
+    /// of the handle and record into it; the default does nothing.
+    ///
+    /// Recording is pure side-state: implementations must not schedule,
+    /// send, or draw randomness here — determinism audits pin run digests
+    /// with telemetry both on and off.
+    fn on_attach_metrics(&mut self, metrics: &tn_obs::Metrics) {
+        let _ = metrics;
+    }
 }
 
 #[cfg(test)]

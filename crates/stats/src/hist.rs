@@ -67,6 +67,31 @@ impl Histogram {
         self.lo + idx as u64 * self.bin_width
     }
 
+    /// Nearest-rank percentile over *all* recorded values, including
+    /// under/overflow. `q` is in percent. Because a fixed-bin histogram
+    /// cannot name a value outside its range, ranks that land in the
+    /// underflow or overflow buckets are reported as such rather than
+    /// guessed; in-range ranks report the inclusive upper edge of the
+    /// containing bin (a conservative estimate, exact for bin width 1).
+    pub fn percentile(&self, q: f64) -> Percentile {
+        if self.count == 0 {
+            return Percentile::Empty;
+        }
+        let q = q.clamp(0.0, 100.0);
+        let rank = (((q / 100.0) * self.count as f64).ceil() as u64).max(1);
+        if rank <= self.underflow {
+            return Percentile::Underflow;
+        }
+        let mut cum = self.underflow;
+        for (idx, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if rank <= cum {
+                return Percentile::Value(self.bin_lo(idx) + self.bin_width - 1);
+            }
+        }
+        Percentile::Overflow
+    }
+
     /// Fraction of in-range samples at or below the top of bin `idx`.
     pub fn cdf_at(&self, idx: usize) -> f64 {
         let in_range: u64 = self.bins.iter().sum();
@@ -75,6 +100,30 @@ impl Histogram {
         }
         let cum: u64 = self.bins[..=idx].iter().sum();
         cum as f64 / in_range as f64
+    }
+}
+
+/// Result of [`Histogram::percentile`]: a histogram only knows values
+/// inside its range, so out-of-range ranks are reported explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Percentile {
+    /// No samples recorded.
+    Empty,
+    /// The rank falls among samples below the histogram range.
+    Underflow,
+    /// Inclusive upper edge of the bin containing the rank.
+    Value(u64),
+    /// The rank falls among samples at or above the top of the range.
+    Overflow,
+}
+
+impl Percentile {
+    /// The in-range value, if any.
+    pub fn value(self) -> Option<u64> {
+        match self {
+            Percentile::Value(v) => Some(v),
+            _ => None,
+        }
     }
 }
 
@@ -117,5 +166,33 @@ mod tests {
         assert!((h.cdf_at(3) - 1.0).abs() < 1e-9);
         let empty = Histogram::new(0, 1, 1);
         assert_eq!(empty.cdf_at(0), 0.0);
+    }
+
+    #[test]
+    fn percentile_in_range() {
+        let mut h = Histogram::new(0, 1, 100); // width-1 bins: exact
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), Percentile::Value(49));
+        assert_eq!(h.percentile(99.0), Percentile::Value(98));
+        assert_eq!(h.percentile(100.0), Percentile::Value(99));
+        assert_eq!(h.percentile(0.0), Percentile::Value(0));
+        assert_eq!(h.percentile(50.0).value(), Some(49));
+    }
+
+    #[test]
+    fn percentile_handles_under_and_overflow() {
+        let mut h = Histogram::new(100, 10, 2); // [100, 120)
+        h.record(5); // underflow
+        h.record(105);
+        h.record(115);
+        h.record(500); // overflow
+        assert_eq!(h.percentile(10.0), Percentile::Underflow);
+        assert_eq!(h.percentile(50.0), Percentile::Value(109));
+        assert_eq!(h.percentile(75.0), Percentile::Value(119));
+        assert_eq!(h.percentile(99.0), Percentile::Overflow);
+        assert_eq!(h.percentile(99.0).value(), None);
+        assert_eq!(Histogram::new(0, 1, 1).percentile(50.0), Percentile::Empty);
     }
 }

@@ -15,6 +15,6 @@ mod summary;
 mod windows;
 
 pub use decompose::{Decomposition, Segment};
-pub use hist::Histogram;
+pub use hist::{Histogram, Percentile};
 pub use summary::Summary;
 pub use windows::WindowCounter;

@@ -87,6 +87,21 @@ impl Summary {
         self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
     }
 
+    /// The median, i.e. `percentile(50.0)`.
+    pub fn p50(&mut self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&mut self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// The 99.9th percentile.
+    pub fn p999(&mut self) -> u64 {
+        self.percentile(99.9)
+    }
+
     /// Borrow the raw samples (unsorted order not guaranteed after
     /// percentile queries).
     pub fn samples(&self) -> &[u64] {
@@ -131,6 +146,16 @@ mod tests {
         assert_eq!(s.percentile(0.0), 1);
         assert_eq!(s.percentile(0.5), 1);
         assert_eq!(s.percentile(99.5), 100);
+    }
+
+    #[test]
+    fn named_percentile_helpers() {
+        let mut s = Summary::new();
+        s.extend(1..=1000);
+        assert_eq!(s.p50(), 500);
+        assert_eq!(s.p99(), 990);
+        assert_eq!(s.p999(), s.percentile(99.9));
+        assert_eq!(s.p50(), s.percentile(50.0));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 
 use tn_netdev::TxQueue;
-use tn_sim::{Context, Frame, Node, PortId, SimTime, TimerToken};
+use tn_sim::{Context, Frame, Metrics, Node, PortId, SimTime, TimerToken};
 use tn_wire::{eth, igmp, ipv4};
 
 /// What to do with traffic for groups that did not fit in the mroute
@@ -104,6 +104,7 @@ pub struct CommoditySwitch {
     hw_path: TxQueue,
     sw_path: TxQueue,
     stats: SwitchStats,
+    metrics: Metrics,
 }
 
 impl CommoditySwitch {
@@ -120,6 +121,7 @@ impl CommoditySwitch {
             hw_path,
             sw_path,
             stats: SwitchStats::default(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -250,10 +252,12 @@ impl CommoditySwitch {
             Some(up) if up != ingress => Some(up),
             _ => None,
         };
+        let me = ctx.me().0;
         if let Some(members) = self.hw_groups.get(&group) {
             for &p in members {
                 if p != ingress {
                     self.stats.mcast_forwarded += 1;
+                    self.metrics.inc("switch", "mcast_fwd", Some(me));
                     self.hw_path
                         .send_after(ctx, SimTime::ZERO, p, frame.clone());
                 }
@@ -266,6 +270,7 @@ impl CommoditySwitch {
                     .unwrap_or(false)
                 {
                     self.stats.mcast_forwarded += 1;
+                    self.metrics.inc("switch", "mcast_fwd", Some(me));
                     self.hw_path
                         .send_after(ctx, SimTime::ZERO, up, frame.clone());
                 }
@@ -277,6 +282,7 @@ impl CommoditySwitch {
             // fabric-wide membership lives.
             if let Some(up) = upstream_extra {
                 self.stats.mcast_forwarded += 1;
+                self.metrics.inc("switch", "mcast_fwd", Some(me));
                 self.hw_path.send_after(ctx, SimTime::ZERO, up, frame);
                 return;
             }
@@ -285,6 +291,7 @@ impl CommoditySwitch {
             match self.cfg.overflow {
                 McastOverflowPolicy::Drop => {
                     self.stats.mcast_dropped += 1;
+                    self.metrics.inc("switch", "mcast_drop", Some(me));
                 }
                 McastOverflowPolicy::SoftwareForward => {
                     let mut targets = members.clone();
@@ -300,6 +307,7 @@ impl CommoditySwitch {
                                 .send_after(ctx, self.cfg.sw_service, p, frame.clone())
                         {
                             self.stats.mcast_sw_forwarded += 1;
+                            self.metrics.inc("switch", "mcast_sw_fwd", Some(me));
                         }
                     }
                 }
@@ -308,6 +316,7 @@ impl CommoditySwitch {
         }
         // No receivers anywhere: drop silently (normal for multicast).
         self.stats.mcast_dropped += 1;
+        self.metrics.inc("switch", "mcast_drop", Some(me));
     }
 }
 
@@ -316,9 +325,11 @@ impl Node for CommoditySwitch {
         let Ok(eth_view) = eth::Frame::new_checked(frame.bytes.as_slice()) else {
             return;
         };
+        self.metrics.inc("switch", "frames", Some(ctx.me().0));
         if eth_view.ethertype() != eth::EtherType::Ipv4 {
             // L1-transport or unknown ethertypes are not routable here.
             self.stats.no_route += 1;
+            self.metrics.inc("switch", "no_route", Some(ctx.me().0));
             return;
         }
         let Ok(ip) = ipv4::Packet::new_checked(eth_view.payload()) else {
@@ -348,10 +359,12 @@ impl Node for CommoditySwitch {
         match egress {
             Some(p) if p != port => {
                 self.stats.unicast_forwarded += 1;
+                self.metrics.inc("switch", "unicast_fwd", Some(ctx.me().0));
                 self.hw_path.send_after(ctx, SimTime::ZERO, p, frame);
             }
             _ => {
                 self.stats.no_route += 1;
+                self.metrics.inc("switch", "no_route", Some(ctx.me().0));
             }
         }
     }
@@ -362,6 +375,10 @@ impl Node for CommoditySwitch {
         }
         let consumed = self.sw_path.on_timer(ctx, timer);
         debug_assert!(consumed, "unexpected timer {timer:?}");
+    }
+
+    fn on_attach_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = metrics.clone();
     }
 }
 

@@ -16,7 +16,7 @@
 use std::collections::{HashMap, HashSet};
 
 use tn_netdev::TxQueue;
-use tn_sim::{Context, Frame, Node, PortId, SimTime, TimerToken};
+use tn_sim::{Context, Frame, Metrics, Node, PortId, SimTime, TimerToken};
 use tn_wire::{eth, igmp, ipv4};
 
 /// Configuration of an [`FpgaL1Switch`].
@@ -65,6 +65,7 @@ pub struct FpgaL1Switch {
     ingress_filters: HashMap<PortId, HashSet<ipv4::Addr>>,
     pipe: TxQueue,
     stats: FpgaStats,
+    metrics: Metrics,
 }
 
 impl FpgaL1Switch {
@@ -78,6 +79,7 @@ impl FpgaL1Switch {
             ingress_filters: HashMap::new(),
             pipe,
             stats: FpgaStats::default(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -122,8 +124,10 @@ impl Node for FpgaL1Switch {
         let Ok(eth_view) = eth::Frame::new_checked(frame.bytes.as_slice()) else {
             return;
         };
+        self.metrics.inc("switch", "frames", Some(ctx.me().0));
         if eth_view.ethertype() != eth::EtherType::Ipv4 {
             self.stats.dropped += 1;
+            self.metrics.inc("switch", "no_route", Some(ctx.me().0));
             return;
         }
         let Ok(ip) = ipv4::Packet::new_checked(eth_view.payload()) else {
@@ -151,9 +155,11 @@ impl Node for FpgaL1Switch {
             return;
         }
 
+        let me = ctx.me().0;
         if let Some(allow) = self.ingress_filters.get(&port) {
             if !allow.contains(&dst) {
                 self.stats.filtered += 1;
+                self.metrics.inc("switch", "filtered", Some(me));
                 return;
             }
         }
@@ -164,11 +170,15 @@ impl Node for FpgaL1Switch {
                     for &p in members.clone().iter() {
                         if p != port {
                             self.stats.mcast_forwarded += 1;
+                            self.metrics.inc("switch", "mcast_fwd", Some(me));
                             self.pipe.send_after(ctx, SimTime::ZERO, p, frame.clone());
                         }
                     }
                 }
-                None => self.stats.dropped += 1,
+                None => {
+                    self.stats.dropped += 1;
+                    self.metrics.inc("switch", "mcast_drop", Some(me));
+                }
             }
             return;
         }
@@ -176,15 +186,23 @@ impl Node for FpgaL1Switch {
         match self.routes.get(&dst) {
             Some(&p) if p != port => {
                 self.stats.unicast_forwarded += 1;
+                self.metrics.inc("switch", "unicast_fwd", Some(me));
                 self.pipe.send_after(ctx, SimTime::ZERO, p, frame);
             }
-            _ => self.stats.dropped += 1,
+            _ => {
+                self.stats.dropped += 1;
+                self.metrics.inc("switch", "no_route", Some(me));
+            }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
         let consumed = self.pipe.on_timer(ctx, timer);
         debug_assert!(consumed, "unexpected timer {timer:?}");
+    }
+
+    fn on_attach_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = metrics.clone();
     }
 }
 

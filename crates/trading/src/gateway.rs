@@ -235,7 +235,7 @@ impl Gateway {
                             symbol,
                             price,
                         },
-                        frame.meta,
+                        frame.meta.clone(),
                         service,
                     );
                 }
@@ -258,7 +258,7 @@ impl Gateway {
                                 &boe::Message::CancelOrder {
                                     cl_ord_id: gw_cl_ord,
                                 },
-                                frame.meta,
+                                frame.meta.clone(),
                                 service,
                             );
                         }

@@ -190,7 +190,7 @@ impl Normalizer {
                 let mut frame = ctx.new_frame(bytes);
                 // Propagate the market event's identity/time so downstream
                 // latency is measured against the original event.
-                frame.meta = src.meta;
+                frame.meta = src.meta.clone();
                 self.stats.packets_out += 1;
                 self.svc.send_after(ctx, SimTime::ZERO, OUT, frame);
             }
@@ -244,6 +244,10 @@ impl Node for Normalizer {
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
         let consumed = self.svc.on_timer(ctx, timer);
         debug_assert!(consumed, "unexpected timer {timer:?}");
+    }
+
+    fn on_attach_metrics(&mut self, metrics: &tn_sim::Metrics) {
+        self.core.set_metrics(metrics);
     }
 }
 

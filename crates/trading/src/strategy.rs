@@ -390,7 +390,7 @@ impl<L: StrategyLogic> Strategy<L> {
                 self.decision_latency_ps
                     .push(ctx.now().saturating_sub(frame.meta.event_time).as_ps());
             }
-            self.send_boe(ctx, &msg, frame.meta);
+            self.send_boe(ctx, &msg, frame.meta.clone());
         }
     }
 

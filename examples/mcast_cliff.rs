@@ -11,7 +11,7 @@
 //! forwarding and drop heavily under load — "cripples performance and
 //! induces heavy packet loss."
 
-use trading_networks::netdev::EtherLink;
+use trading_networks::fault::{FaultConnect, LinkSpec};
 use trading_networks::sim::{Context, Frame, Node, PortId, SimTime, Simulator};
 use trading_networks::switch::{CommoditySwitch, SwitchConfig};
 use trading_networks::wire::{eth, igmp, ipv4, stack};
@@ -43,12 +43,12 @@ fn main() {
     let mut sim = Simulator::new(3);
     let sw = sim.add_node("switch", CommoditySwitch::new(cfg));
     let rx = sim.add_node("rx", Receiver { arrivals: vec![] });
-    sim.connect(
+    sim.connect_spec(
         sw,
         PortId(1),
         rx,
         PortId(0),
-        EtherLink::ten_gig(SimTime::ZERO),
+        &LinkSpec::ten_gig(SimTime::ZERO),
     );
 
     // Join all the groups from the receiver port.

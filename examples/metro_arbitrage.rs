@@ -13,9 +13,9 @@
 //! over fiber and over microwave shows the speed-of-light edge — the
 //! reason firms run rain-faded microwave at all.
 
+use trading_networks::fault::{FaultConnect, LinkSpec};
 use trading_networks::feed::SubscriptionSet;
 use trading_networks::market::{Exchange, ExchangeConfig, PartitionScheme, SymbolDirectory};
-use trading_networks::netdev::EtherLink;
 use trading_networks::sim::{PortId, SimTime, Simulator};
 use trading_networks::switch::l1s::{L1Config, L1Switch};
 use trading_networks::topo::metro::{CircuitKind, MetroRegion};
@@ -63,13 +63,17 @@ fn run(kind: CircuitKind) -> Outcome {
     let norm_remote = mk_norm(1, 2);
 
     // Feed circuits: local cross-connect vs metro circuit.
-    sim.connect(
+    let cross_connect = LinkSpec::ten_gig(SimTime::from_ns(25));
+    sim.connect_spec(
         exch_local,
         PortId(0),
         norm_local,
         normalizer::FEED_A,
-        EtherLink::ten_gig(SimTime::from_ns(25)),
+        &cross_connect,
     );
+    // The metro circuit stays positional: `MetroRegion::circuit` hands
+    // back a fully profiled link (rate, physics-derived delay, microwave
+    // fade) that a hand-built spec would only restate.
     sim.connect(
         exch_remote,
         PortId(0),
@@ -83,20 +87,8 @@ fn run(kind: CircuitKind) -> Outcome {
     mux.provision_merge(PortId(0), PortId(2));
     mux.provision_merge(PortId(1), PortId(2));
     let mux = sim.add_node("mux", mux);
-    sim.connect(
-        norm_local,
-        normalizer::OUT,
-        mux,
-        PortId(0),
-        EtherLink::ten_gig(SimTime::from_ns(25)),
-    );
-    sim.connect(
-        norm_remote,
-        normalizer::OUT,
-        mux,
-        PortId(1),
-        EtherLink::ten_gig(SimTime::from_ns(25)),
-    );
+    sim.connect_spec(norm_local, normalizer::OUT, mux, PortId(0), &cross_connect);
+    sim.connect_spec(norm_remote, normalizer::OUT, mux, PortId(1), &cross_connect);
 
     let mut cfg = StrategyConfig::new(0, symbols.clone());
     cfg.mcast_base = 20_000;
@@ -107,13 +99,7 @@ fn run(kind: CircuitKind) -> Outcome {
     cfg.subscriptions = subs;
     cfg.send_igmp_joins = false;
     let strat = sim.add_node("arb", Strategy::new(cfg, CrossMarketArb::default()));
-    sim.connect(
-        mux,
-        PortId(2),
-        strat,
-        strategy::FEED,
-        EtherLink::ten_gig(SimTime::from_ns(25)),
-    );
+    sim.connect_spec(mux, PortId(2), strat, strategy::FEED, &cross_connect);
 
     sim.schedule_timer(SimTime::ZERO, exch_local, trading_networks::market::TICK);
     sim.schedule_timer(SimTime::ZERO, exch_remote, trading_networks::market::TICK);

@@ -18,5 +18,15 @@ run cargo run --release --offline -q -p tn-audit -- check
 # Fault-injection determinism: dual-run the degraded scenarios explicitly
 # (check already covers the registry; this keeps the fault paths loud).
 run cargo run --release --offline -q -p tn-audit -- divergence --filter fault
+# Telemetry determinism: full observability must not move any digest.
+run cargo run --release --offline -q -p tn-audit -- divergence --filter obs
+run cargo run --release --offline -q -p tn-audit -- divergence --filter latency-decomposition
+# tn-trace/v1 smoke: E21's JSONL leads with the schema marker.
+echo "==> exp_latency_decomposition --json (tn-trace/v1 schema check)"
+trace_out=target/e21-trace.jsonl
+cargo run --release --offline -q -p tn-bench --bin exp_latency_decomposition -- --json \
+    > "$trace_out"
+head -1 "$trace_out" | grep -q '"schema":"tn-trace/v1"'
+rm -f "$trace_out"
 
 echo "==> ci: all green"

@@ -2,8 +2,8 @@
 //! real normalizer node — redundancy absorbs single-path loss; only
 //! both-path loss surfaces as gaps.
 
+use trading_networks::fault::{FaultConnect, FaultSpec, LinkSpec};
 use trading_networks::market::{Exchange, ExchangeConfig, PartitionScheme, SymbolDirectory};
-use trading_networks::netdev::EtherLink;
 use trading_networks::sim::{PortId, SimTime, Simulator};
 use trading_networks::trading::{normalizer, Normalizer, NormalizerConfig};
 
@@ -18,20 +18,24 @@ fn run(loss_a: f64, loss_b: f64, seed: u64) -> (u64, u64, u64, u64) {
     let exchange = sim.add_node("exch", Exchange::new(cfg));
 
     let norm = sim.add_node("norm", Normalizer::new(NormalizerConfig::new(1, 0)));
-    // Two independent lossy paths, as microwave circuits would be.
-    sim.connect(
+    // Two independent lossy paths, as microwave circuits would be; each
+    // fault stream derives its seed from the scenario's, so a run replays
+    // from one number.
+    sim.connect_spec(
         exchange,
         PortId(0),
         norm,
         normalizer::FEED_A,
-        EtherLink::ten_gig(SimTime::from_us(100)).with_loss(loss_a),
+        &LinkSpec::ten_gig(SimTime::from_us(100))
+            .with_fault(FaultSpec::new(seed ^ 0xA).with_iid_loss(loss_a)),
     );
-    sim.connect(
+    sim.connect_spec(
         exchange,
         PortId(1),
         norm,
         normalizer::FEED_B,
-        EtherLink::ten_gig(SimTime::from_us(120)).with_loss(loss_b),
+        &LinkSpec::ten_gig(SimTime::from_us(120))
+            .with_fault(FaultSpec::new(seed ^ 0xB).with_iid_loss(loss_b)),
     );
     sim.schedule_timer(SimTime::ZERO, exchange, trading_networks::market::TICK);
     sim.run_until(SimTime::from_ms(60));
