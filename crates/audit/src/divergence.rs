@@ -16,7 +16,7 @@ use tn_core::{
     CloudDesign, FpgaHybrid, LayerOneSwitches, ScenarioConfig, TradingNetworkDesign,
     TraditionalSwitches,
 };
-use tn_sim::{SimTime, Simulator, EMPTY_DIGEST};
+use tn_sim::{SchedulerKind, SimTime, Simulator, EMPTY_DIGEST};
 
 /// What one scenario run distills to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,25 +31,31 @@ pub struct RunSignature {
 pub struct Scenario {
     /// Stable name (mirrors the example it covers).
     pub name: &'static str,
-    /// Execute one run and return its signature.
-    pub run: fn() -> RunSignature,
+    /// Execute one run under the given event scheduler and return its
+    /// signature. Scenarios with no kernel (feed-handler) ignore the kind.
+    pub run: fn(SchedulerKind) -> RunSignature,
 }
 
-/// Result of dual-running one scenario.
+/// Result of checking one scenario: two reference-scheduler runs (the
+/// classic dual-run determinism check) plus one calendar-queue run (the
+/// scheduler-equivalence check).
 #[derive(Debug, Clone)]
 pub struct DivergenceOutcome {
     /// Scenario name.
     pub name: &'static str,
-    /// First run.
+    /// First run (reference binary-heap scheduler).
     pub first: RunSignature,
-    /// Second run.
+    /// Second run (reference binary-heap scheduler).
     pub second: RunSignature,
+    /// Calendar-queue run; must equal the reference runs bit-for-bit.
+    pub calendar: RunSignature,
 }
 
 impl DivergenceOutcome {
-    /// Did the two runs agree?
+    /// Did the dual runs agree with each other *and* with the
+    /// calendar-queue run?
     pub fn passed(&self) -> bool {
-        self.first == self.second
+        self.first == self.second && self.first == self.calendar
     }
 }
 
@@ -62,19 +68,19 @@ pub fn registry() -> Vec<Scenario> {
         },
         Scenario {
             name: "shootout-traditional",
-            run: || run_design(&TraditionalSwitches::default(), 7),
+            run: |k| run_design(&TraditionalSwitches::default(), 7, k),
         },
         Scenario {
             name: "shootout-cloud",
-            run: || run_design(&CloudDesign::default(), 7),
+            run: |k| run_design(&CloudDesign::default(), 7, k),
         },
         Scenario {
             name: "shootout-l1",
-            run: || run_design(&LayerOneSwitches::default(), 7),
+            run: |k| run_design(&LayerOneSwitches::default(), 7, k),
         },
         Scenario {
             name: "shootout-fpga",
-            run: || run_design(&FpgaHybrid::default(), 7),
+            run: |k| run_design(&FpgaHybrid::default(), 7, k),
         },
         Scenario {
             name: "feed-handler",
@@ -86,11 +92,11 @@ pub fn registry() -> Vec<Scenario> {
         },
         Scenario {
             name: "metro-arbitrage-fiber",
-            run: || run_metro(tn_topo::metro::CircuitKind::Fiber),
+            run: |k| run_metro(tn_topo::metro::CircuitKind::Fiber, k),
         },
         Scenario {
             name: "metro-arbitrage-microwave",
-            run: || run_metro(tn_topo::metro::CircuitKind::Microwave),
+            run: |k| run_metro(tn_topo::metro::CircuitKind::Microwave, k),
         },
         Scenario {
             name: "fault-loss-recovery",
@@ -115,16 +121,18 @@ pub fn registry() -> Vec<Scenario> {
     ]
 }
 
-/// Run each scenario twice (optionally filtered by substring) and collect
-/// the outcomes.
+/// Run each scenario (optionally filtered by substring) twice under the
+/// reference scheduler and once under the calendar queue, and collect the
+/// outcomes.
 pub fn run_all(filter: Option<&str>) -> Vec<DivergenceOutcome> {
     registry()
         .iter()
         .filter(|s| filter.is_none_or(|f| s.name.contains(f)))
         .map(|s| DivergenceOutcome {
             name: s.name,
-            first: (s.run)(),
-            second: (s.run)(),
+            first: (s.run)(SchedulerKind::BinaryHeap),
+            second: (s.run)(SchedulerKind::BinaryHeap),
+            calendar: (s.run)(SchedulerKind::CalendarQueue),
         })
         .collect()
 }
@@ -137,13 +145,15 @@ fn trimmed(mut sc: ScenarioConfig) -> ScenarioConfig {
     sc
 }
 
-fn run_quickstart() -> RunSignature {
+fn run_quickstart(kind: SchedulerKind) -> RunSignature {
     // Mirrors `examples/quickstart.rs`: TraditionalSwitches, seed 42.
-    run_design(&TraditionalSwitches::default(), 42)
+    run_design(&TraditionalSwitches::default(), 42, kind)
 }
 
-fn run_design(design: &dyn TradingNetworkDesign, seed: u64) -> RunSignature {
-    let report = design.run(&trimmed(ScenarioConfig::small(seed)));
+fn run_design(design: &dyn TradingNetworkDesign, seed: u64, kind: SchedulerKind) -> RunSignature {
+    let mut sc = trimmed(ScenarioConfig::small(seed));
+    sc.scheduler = kind;
+    let report = design.run(&sc);
     RunSignature {
         digest: report.trace_digest,
         events: report.events_recorded,
@@ -160,7 +170,10 @@ fn sim_signature(sim: &Simulator) -> RunSignature {
 /// Mirrors `examples/feed_handler.rs`: matching engine → publisher →
 /// A/B-arbitrating normalizer, no network. The signature hashes every
 /// published packet and every normalized record count.
-fn run_feed_handler() -> RunSignature {
+fn run_feed_handler(kind: SchedulerKind) -> RunSignature {
+    // No kernel here — the scenario hashes publisher bytes directly, so
+    // the scheduler cannot matter; accept the kind for registry symmetry.
+    let _ = kind;
     use tn_feed::normalize::{HashRepartition, NormalizerCore};
     use tn_market::{
         FeedPublisher, FlowMix, MatchingEngine, OrderFlowGenerator, PartitionScheme,
@@ -221,7 +234,7 @@ fn run_feed_handler() -> RunSignature {
 
 /// Mirrors `examples/mcast_cliff.rs`: 96 IGMP joins against a 64-entry
 /// mroute table, then one packet per group; seed 3.
-fn run_mcast_cliff() -> RunSignature {
+fn run_mcast_cliff(kind: SchedulerKind) -> RunSignature {
     use tn_netdev::EtherLink;
     use tn_sim::{Context, Frame, Node, PortId};
     use tn_switch::{commodity, CommoditySwitch, SwitchConfig};
@@ -238,7 +251,7 @@ fn run_mcast_cliff() -> RunSignature {
         sw_queue: 16,
         ..SwitchConfig::default()
     };
-    let mut sim = Simulator::new(3);
+    let mut sim = Simulator::with_scheduler(3, kind);
     let sw = sim.add_node("switch", CommoditySwitch::new(cfg));
     let rx = sim.add_node("rx", Receiver);
     sim.connect(
@@ -282,7 +295,7 @@ fn run_mcast_cliff() -> RunSignature {
 /// Mirrors `examples/metro_arbitrage.rs`: two exchanges in two colos, the
 /// remote feed over a metro circuit, L1-muxed into a cross-market arb
 /// strategy; seed 11, trimmed to 12 ms.
-fn run_metro(kind: tn_topo::metro::CircuitKind) -> RunSignature {
+fn run_metro(kind: tn_topo::metro::CircuitKind, sched: SchedulerKind) -> RunSignature {
     use tn_market::{Exchange, ExchangeConfig, PartitionScheme, SymbolDirectory};
     use tn_netdev::EtherLink;
     use tn_sim::PortId;
@@ -298,7 +311,7 @@ fn run_metro(kind: tn_topo::metro::CircuitKind) -> RunSignature {
     let dir = SymbolDirectory::synthetic(30);
     let symbols: Vec<Symbol> = dir.instruments().iter().map(|i| i.symbol).collect();
     let partitions = 4u16;
-    let mut sim = Simulator::new(11);
+    let mut sim = Simulator::with_scheduler(11, sched);
 
     let mk_exchange = |sim: &mut Simulator, id: u8, mcast_base: u32| {
         let mut cfg = ExchangeConfig::new(id, dir.clone());
@@ -383,12 +396,13 @@ fn run_metro(kind: tn_topo::metro::CircuitKind) -> RunSignature {
 /// Mirrors `exp_loss_recovery` (trimmed): lossy feed, gap requests,
 /// retransmission fills. The fault layer owns its own PRNG, so two runs
 /// must agree even though every drop decision is random-looking.
-fn run_fault_loss_recovery() -> RunSignature {
+fn run_fault_loss_recovery(kind: SchedulerKind) -> RunSignature {
     use tn_bench::faultsim::{run_loss_recovery, LossRecoveryConfig};
     use tn_fault::FaultSpec;
 
     let mut cfg = LossRecoveryConfig::new(1, FaultSpec::new(11).with_iid_loss(0.01));
     cfg.packets = 800;
+    cfg.scheduler = kind;
     let run = run_loss_recovery(&cfg);
     RunSignature {
         digest: run.digest,
@@ -398,11 +412,12 @@ fn run_fault_loss_recovery() -> RunSignature {
 
 /// Mirrors `exp_ab_failover` (trimmed): A-side outage, arbitration keeps
 /// the stream whole out of B.
-fn run_fault_ab_failover() -> RunSignature {
+fn run_fault_ab_failover(kind: SchedulerKind) -> RunSignature {
     use tn_bench::faultsim::{run_ab_failover, AbFailoverConfig};
 
     let mut cfg = AbFailoverConfig::new(2);
     cfg.packets = 2_400; // 12 ms: through the outage start
+    cfg.scheduler = kind;
     let run = run_ab_failover(&cfg);
     RunSignature {
         digest: run.digest,
@@ -413,10 +428,11 @@ fn run_fault_ab_failover() -> RunSignature {
 /// The quickstart scenario with a burst-degraded feed: the full design-1
 /// topology with FaultLink-wrapped publish links must still dual-run to
 /// identical digests.
-fn run_quickstart_degraded() -> RunSignature {
+fn run_quickstart_degraded(kind: SchedulerKind) -> RunSignature {
     use tn_fault::FaultSpec;
 
     let mut sc = trimmed(ScenarioConfig::small(42));
+    sc.scheduler = kind;
     sc.feed_fault = Some(FaultSpec::new(13).with_burst_loss(0.01, 0.3, 0.0, 0.9));
     let report = TraditionalSwitches::default().run(&sc);
     RunSignature {
@@ -430,9 +446,10 @@ fn run_quickstart_degraded() -> RunSignature {
 /// metrics registry, and trace export are pure side-state, so the two
 /// event streams must be bit-for-bit identical. Returns the telemetry-on
 /// signature (pinned against the golden quickstart digest in tests).
-fn run_quickstart_obs_on_vs_off() -> RunSignature {
-    let off = run_quickstart();
+fn run_quickstart_obs_on_vs_off(kind: SchedulerKind) -> RunSignature {
+    let off = run_quickstart(kind);
     let mut sc = trimmed(ScenarioConfig::small(42));
+    sc.scheduler = kind;
     sc.obs = tn_sim::ObsConfig::full();
     let report = TraditionalSwitches::default().run(&sc);
     let on = RunSignature {
@@ -446,10 +463,12 @@ fn run_quickstart_obs_on_vs_off() -> RunSignature {
 /// Mirrors `exp_latency_decomposition` (E21): the shared decomposition
 /// chain with full telemetry — per-frame provenance through a tap and a
 /// store-and-forward relay.
-fn run_latency_decomposition() -> RunSignature {
+fn run_latency_decomposition(kind: SchedulerKind) -> RunSignature {
     use tn_bench::obssim::{run_decomposition, DecompositionConfig};
 
-    let run = run_decomposition(&DecompositionConfig::new(42), tn_sim::ObsConfig::full());
+    let mut cfg = DecompositionConfig::new(42);
+    cfg.scheduler = kind;
+    let run = run_decomposition(&cfg, tn_sim::ObsConfig::full());
     assert_eq!(
         run.max_residual_ps, 0,
         "provenance must reconcile against the kernel clock"
@@ -486,16 +505,41 @@ mod tests {
         // Golden digest from before the fault layer existed: the refactor
         // (LinkSpec, builder, RecoveryStats) must not perturb a single
         // kernel event on the zero-fault path.
-        let sig = run_quickstart();
+        let sig = run_quickstart(SchedulerKind::BinaryHeap);
         assert_eq!(sig.digest, 0xff1dbcd7cf7e729e, "{sig:?}");
         assert_eq!(sig.events, 19_924);
+    }
+
+    #[test]
+    fn golden_digests_hold_under_the_calendar_queue() {
+        // The scheduler swap must be invisible: the calendar queue has to
+        // reproduce the pinned binary-heap digests bit for bit, with and
+        // without telemetry and under the fault layer.
+        let sig = run_quickstart(SchedulerKind::CalendarQueue);
+        assert_eq!(sig.digest, 0xff1dbcd7cf7e729e, "{sig:?}");
+        assert_eq!(sig.events, 19_924);
+
+        let obs = run_quickstart_obs_on_vs_off(SchedulerKind::CalendarQueue);
+        assert_eq!(obs.digest, 0xff1dbcd7cf7e729e, "{obs:?}");
+
+        let decomp = run_latency_decomposition(SchedulerKind::CalendarQueue);
+        assert_eq!(decomp.digest, 0xb97aeac301534e76, "{decomp:?}");
+        assert_eq!(decomp.events, 1_088);
+
+        for runner in [run_fault_loss_recovery, run_fault_ab_failover] {
+            assert_eq!(
+                runner(SchedulerKind::BinaryHeap),
+                runner(SchedulerKind::CalendarQueue),
+                "fault scenarios must agree across schedulers"
+            );
+        }
     }
 
     #[test]
     fn zero_fault_spec_reproduces_quickstart_digest() {
         // A no-op FaultSpec routes the feed through FaultLink wrappers;
         // the wrapping itself must be bit-transparent.
-        let baseline = run_quickstart();
+        let baseline = run_quickstart(SchedulerKind::BinaryHeap);
         let mut sc = trimmed(ScenarioConfig::small(42));
         sc.feed_fault = Some(tn_fault::FaultSpec::new(0));
         let report = TraditionalSwitches::default().run(&sc);
@@ -507,14 +551,14 @@ mod tests {
     fn full_telemetry_reproduces_the_golden_quickstart_digest() {
         // The tentpole invariant of tn-obs: turning everything on leaves
         // the pre-telemetry golden digest untouched.
-        let sig = run_quickstart_obs_on_vs_off();
+        let sig = run_quickstart_obs_on_vs_off(SchedulerKind::BinaryHeap);
         assert_eq!(sig.digest, 0xff1dbcd7cf7e729e, "{sig:?}");
         assert_eq!(sig.events, 19_924);
     }
 
     #[test]
     fn latency_decomposition_digest_is_pinned() {
-        let sig = run_latency_decomposition();
+        let sig = run_latency_decomposition(SchedulerKind::BinaryHeap);
         assert_eq!(sig.digest, 0xb97aeac301534e76, "{sig:?}");
         assert_eq!(sig.events, 1_088);
     }
@@ -537,8 +581,8 @@ mod tests {
 
     #[test]
     fn feed_handler_is_deterministic() {
-        let a = run_feed_handler();
-        let b = run_feed_handler();
+        let a = run_feed_handler(SchedulerKind::BinaryHeap);
+        let b = run_feed_handler(SchedulerKind::CalendarQueue);
         assert_eq!(a, b);
         assert!(a.events > 0);
     }

@@ -74,6 +74,11 @@ pub const LINTS: &[LintInfo] = &[
         severity: Severity::Warning,
         summary: "heap allocation (Vec::new/format!/to_vec/...) inside a per-frame handler",
     },
+    LintInfo {
+        id: "perf-arena-leak",
+        severity: Severity::Warning,
+        summary: "frame buffer dropped (`drop(frame)`) instead of returned to the arena",
+    },
 ];
 
 /// Look up a lint's metadata by id.
@@ -111,6 +116,9 @@ pub struct Scope {
     pub hotpath: bool,
     /// Apply `obs-wallclock` (telemetry code: the tn-obs crate).
     pub obs: bool,
+    /// Apply `perf-*` lints (frame-arena discipline: code that handles
+    /// kernel frame buffers).
+    pub perf: bool,
 }
 
 impl Scope {
@@ -120,6 +128,7 @@ impl Scope {
             det: true,
             hotpath: true,
             obs: true,
+            perf: true,
         }
     }
 }
@@ -188,6 +197,9 @@ pub fn scan_file(sf: &SourceFile, scope: Scope) -> Vec<Finding> {
         if scope.hotpath && hot[idx] {
             lint_hot_unwrap(sf, lineno, t, &mut out);
             lint_hot_alloc(sf, lineno, t, &mut out);
+        }
+        if scope.perf {
+            lint_perf_arena_leak(sf, lineno, t, &mut out);
         }
     }
     out
@@ -578,6 +590,47 @@ fn lint_hot_alloc(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &m
     }
 }
 
+/// An explicit `drop(<frame binding>)` throws a pooled payload buffer
+/// away: the `Vec` returns to the global allocator instead of the kernel's
+/// arena free list, silently reintroducing the per-frame allocation the
+/// arena exists to kill. Recycle instead (`ctx.recycle(frame)` /
+/// `arena.give(frame.bytes)`); an implicit drop at end of scope is the
+/// same leak but is not detectable token-locally, so only the explicit
+/// spelling is flagged.
+fn lint_perf_arena_leak(
+    sf: &SourceFile,
+    lineno: usize,
+    toks: &[(usize, Tok)],
+    out: &mut Vec<Finding>,
+) {
+    for (i, (col, tok)) in toks.iter().enumerate() {
+        if tok.ident() != Some("drop") {
+            continue;
+        }
+        // `.drop(` is a method on some other type, not std's consume.
+        if i > 0 && toks[i - 1].1.is('.') {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.1.is('(')) {
+            continue;
+        }
+        if let Some(arg) = toks.get(i + 2).and_then(|t| t.1.ident()) {
+            if arg.to_ascii_lowercase().contains("frame") {
+                push(
+                    sf,
+                    lineno,
+                    *col,
+                    "perf-arena-leak",
+                    format!(
+                        "`drop({arg})` discards a pooled frame buffer; recycle it                          (ctx.recycle / arena.give) so the payload Vec is reused"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -698,8 +751,37 @@ mod tests {
             det: true,
             hotpath: true,
             obs: false,
+            perf: true,
         };
         let f = scan_file(&sf, scope);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn dropping_a_frame_is_flagged() {
+        let f = scan(
+            "fn f(frame: Frame) {
+    drop(frame);
+}
+",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "perf-arena-leak");
+        assert_eq!(f[0].severity, Severity::Warning);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn dropping_non_frames_and_method_drops_are_clean() {
+        let f = scan(
+            "fn f(guard: Guard, q: Queue, frames: Frames) {
+    drop(guard);
+    q.drop(3);
+    let n = frames.len();
+    let _ = n;
+}
+",
+        );
         assert!(f.is_empty(), "{f:?}");
     }
 

@@ -12,6 +12,13 @@ const DET_CRATES: &[&str] = &[
     "sim", "switch", "feed", "trading", "market", "topo", "core", "netdev", "fault", "obs",
 ];
 
+/// Crates whose code creates, forwards, or retires kernel frame buffers;
+/// the `perf-*` arena-discipline lints apply here. `wire`/`stats`/`topo`
+/// never hold a `Frame`, and `obs` only reads exported traces.
+const PERF_CRATES: &[&str] = &[
+    "sim", "switch", "feed", "trading", "market", "core", "netdev", "fault", "bench",
+];
+
 /// Crates not scanned at all. The auditor's own sources are full of lint
 /// pattern fragments and parser functions named `parse_*`, so it audits
 /// the workspace, not itself (its correctness is covered by its tests).
@@ -39,6 +46,7 @@ pub fn scope_for(rel: &str) -> Option<Scope> {
         // dedicated `obs-wallclock` lint instead.
         hotpath: krate != "obs",
         obs: krate == "obs",
+        perf: PERF_CRATES.contains(&krate),
     })
 }
 
@@ -115,9 +123,11 @@ mod tests {
     #[test]
     fn scope_rules() {
         let det = scope_for("crates/sim/src/kernel.rs").unwrap();
-        assert!(det.det && det.hotpath);
+        assert!(det.det && det.hotpath && det.perf);
         let wire = scope_for("crates/wire/src/pitch.rs").unwrap();
-        assert!(!wire.det && wire.hotpath);
+        assert!(!wire.det && wire.hotpath && !wire.perf);
+        let bench = scope_for("crates/bench/src/obssim.rs").unwrap();
+        assert!(bench.perf, "bench handles pooled frames");
         assert!(
             scope_for("crates/audit/src/lints.rs").is_none(),
             "auditor skips itself"

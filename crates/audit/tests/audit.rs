@@ -22,6 +22,7 @@ fn each_lint_fires_exactly_once_on_its_fixture() {
         ("det-unseeded-rng", fixture!("det_unseeded_rng")),
         ("hotpath-unwrap", fixture!("hotpath_unwrap")),
         ("hotpath-alloc", fixture!("hotpath_alloc")),
+        ("perf-arena-leak", fixture!("perf_arena_leak")),
     ] {
         let findings = scan_fixture(name, text);
         assert_eq!(

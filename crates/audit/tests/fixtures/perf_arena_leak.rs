@@ -1,0 +1,8 @@
+//! Fixture: triggers `perf-arena-leak` exactly once.
+pub fn retire(frame: Frame) {
+    drop(frame);
+}
+
+pub fn retire_guard(guard: Guard) {
+    drop(guard); // not a frame buffer: clean
+}

@@ -1,0 +1,311 @@
+//! BENCH — kernel wall-clock benchmark: binary heap vs calendar queue.
+//!
+//! Runs three representative workloads (the quickstart design, the
+//! loss-recovery fault scenario, the latency-decomposition telemetry
+//! chain) plus a scheduler-bound timer-churn stress at three scales each,
+//! under both event schedulers. Every pairing is first checked for
+//! bit-identical trace digests — a benchmark that changed the simulation
+//! would be measuring a different program — then timed best-of-N.
+//!
+//! Results land in `BENCH_kernel.json` (schema `tn-bench/v1`) at the repo
+//! root and as a table on stdout.
+//!
+//! ```sh
+//! cargo run --release -p tn-bench --bin bench_kernel [-- --smoke]
+//! ```
+//!
+//! `--smoke` runs the smallest scale only, once, for CI.
+
+use std::time::Instant;
+use tn_bench::faultsim::{run_loss_recovery, LossRecoveryConfig};
+use tn_bench::obssim::{run_decomposition, DecompositionConfig};
+use tn_bench::row;
+use tn_core::{ScenarioConfig, TradingNetworkDesign, TraditionalSwitches};
+use tn_fault::FaultSpec;
+use tn_netdev::EtherLink;
+use tn_sim::{Context, Frame, Node, PortId, SchedulerKind, SimTime, Simulator, TimerToken};
+
+/// One (scenario, scale) measurement across both schedulers.
+struct Measurement {
+    scenario: &'static str,
+    scale: String,
+    events: u64,
+    digest: u64,
+    heap_ns: u128,
+    calendar_ns: u128,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.heap_ns as f64 / self.calendar_ns.max(1) as f64
+    }
+}
+
+/// Signature a workload reduces to, for the cross-scheduler equality gate.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+struct Sig {
+    digest: u64,
+    events: u64,
+}
+
+/// Time `work` best-of-`reps` and return (best wall ns, signature).
+fn time_best(reps: u32, mut work: impl FnMut() -> Sig) -> (u128, Sig) {
+    let mut best = u128::MAX;
+    let mut sig = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let s = work();
+        let dt = t0.elapsed().as_nanos();
+        best = best.min(dt);
+        if let Some(prev) = sig {
+            assert_eq!(prev, s, "benchmark workload must be deterministic");
+        }
+        sig = Some(s);
+    }
+    (best, sig.expect("at least one rep"))
+}
+
+/// Run one workload under both schedulers, assert identical signatures,
+/// and record wall times.
+fn measure(
+    scenario: &'static str,
+    scale: String,
+    reps: u32,
+    run: impl Fn(SchedulerKind) -> Sig,
+) -> Measurement {
+    let (heap_ns, heap_sig) = time_best(reps, || run(SchedulerKind::BinaryHeap));
+    let (calendar_ns, cal_sig) = time_best(reps, || run(SchedulerKind::CalendarQueue));
+    assert_eq!(
+        heap_sig, cal_sig,
+        "{scenario}/{scale}: schedulers diverged — benchmark void"
+    );
+    Measurement {
+        scenario,
+        scale,
+        events: heap_sig.events,
+        digest: heap_sig.digest,
+        heap_ns,
+        calendar_ns,
+    }
+}
+
+/// The quickstart design (TraditionalSwitches, seed 42) at a given
+/// measured duration; the largest step uses the paper-scale topology.
+fn quickstart_sig(sc: &ScenarioConfig) -> Sig {
+    let report = TraditionalSwitches::default().run(sc);
+    Sig {
+        digest: report.trace_digest,
+        events: report.events_recorded,
+    }
+}
+
+/// Timer-churn stress: `timers` self-re-arming timers with staggered
+/// periods on one node, plus a trickle of frames over a real link so the
+/// trace digest is non-trivial. Queue operations dominate here, so this
+/// is the workload where scheduler asymptotics actually show.
+struct Churn {
+    base_ns: u64,
+}
+
+impl Node for Churn {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, _: PortId, frame: Frame) {
+        ctx.recycle(frame);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        // Token-dependent stagger keeps thousands of distinct deadlines
+        // live in the queue instead of one synchronized cohort.
+        let stagger = (timer.0.wrapping_mul(7919)) % 977;
+        ctx.set_timer(SimTime::from_ns(self.base_ns + stagger), timer);
+        if timer.0.is_multiple_of(16) {
+            let frame = ctx.new_frame_zeroed(64);
+            ctx.send(PortId(0), frame);
+        }
+    }
+}
+
+/// Absorbs the churn trickle and recycles the payloads.
+struct Sink;
+
+impl Node for Sink {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, _: PortId, frame: Frame) {
+        ctx.recycle(frame);
+    }
+}
+
+fn churn_sig(kind: SchedulerKind, timers: u64) -> Sig {
+    let mut sim = Simulator::with_scheduler(99, kind);
+    let churn = sim.add_node("churn", Churn { base_ns: 1_000 });
+    let sink = sim.add_node("sink", Sink);
+    sim.connect(
+        churn,
+        PortId(0),
+        sink,
+        PortId(0),
+        EtherLink::ten_gig(SimTime::from_ns(50)),
+    );
+    for i in 0..timers {
+        sim.schedule_timer(SimTime::from_ns(i % 1_000), churn, TimerToken(i));
+    }
+    sim.run_until(SimTime::from_us(400));
+    Sig {
+        digest: sim.trace.digest(),
+        events: sim.trace.recorded(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps: u32 = if smoke { 1 } else { 3 };
+    let mut runs: Vec<Measurement> = Vec::new();
+
+    // 1. Quickstart design at three measured durations; the top step is
+    //    the paper-scale topology.
+    let mut quickstart_scales: Vec<(String, ScenarioConfig)> =
+        vec![("small-8ms".into(), small_with_duration(SimTime::from_ms(8)))];
+    if !smoke {
+        quickstart_scales.push((
+            "small-40ms".into(),
+            small_with_duration(SimTime::from_ms(40)),
+        ));
+        let mut paper = ScenarioConfig::paper_scale(42);
+        paper.duration = SimTime::from_ms(6);
+        paper.warmup = SimTime::from_ms(1);
+        quickstart_scales.push(("paper-6ms".into(), paper));
+    }
+    for (scale, sc) in quickstart_scales {
+        runs.push(measure("quickstart", scale, reps, |kind| {
+            let mut sc = sc.clone();
+            sc.scheduler = kind;
+            quickstart_sig(&sc)
+        }));
+    }
+
+    // 2. Loss-recovery fault scenario at growing packet counts.
+    let packet_scales: &[u64] = if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 4_000, 16_000]
+    };
+    for &packets in packet_scales {
+        runs.push(measure(
+            "faultsim-loss-recovery",
+            format!("{packets}pkt"),
+            reps,
+            |kind| {
+                let mut cfg = LossRecoveryConfig::new(1, FaultSpec::new(11).with_iid_loss(0.01));
+                cfg.packets = packets;
+                cfg.scheduler = kind;
+                let run = run_loss_recovery(&cfg);
+                Sig {
+                    digest: run.digest,
+                    events: run.events,
+                }
+            },
+        ));
+    }
+
+    // 3. Telemetry decomposition chain at growing burst counts.
+    let burst_scales: &[u64] = if smoke { &[64] } else { &[64, 256, 1_024] };
+    for &bursts in burst_scales {
+        runs.push(measure(
+            "obssim-decomposition",
+            format!("{bursts}burst"),
+            reps,
+            |kind| {
+                let mut cfg = DecompositionConfig::new(42);
+                cfg.bursts = bursts;
+                cfg.scheduler = kind;
+                let run = run_decomposition(&cfg, tn_sim::ObsConfig::full());
+                Sig {
+                    digest: run.digest,
+                    events: run.events,
+                }
+            },
+        ));
+    }
+
+    // 4. Scheduler-bound timer churn at growing live-timer counts.
+    let timer_scales: &[u64] = if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 4_000, 16_000]
+    };
+    for &timers in timer_scales {
+        runs.push(measure(
+            "timer-churn",
+            format!("{timers}timer"),
+            reps,
+            |kind| churn_sig(kind, timers),
+        ));
+    }
+
+    println!(
+        "{}",
+        row(
+            "scenario/scale",
+            &[
+                "events".into(),
+                "heap ms".into(),
+                "calendar ms".into(),
+                "speedup".into(),
+            ],
+        )
+    );
+    for m in &runs {
+        println!(
+            "{}",
+            row(
+                &format!("{}/{}", m.scenario, m.scale),
+                &[
+                    m.events.to_string(),
+                    format!("{:.2}", m.heap_ns as f64 / 1e6),
+                    format!("{:.2}", m.calendar_ns as f64 / 1e6),
+                    format!("{:.2}x", m.speedup()),
+                ],
+            )
+        );
+    }
+
+    let json = render_bench_json(&runs, smoke, reps);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+    std::fs::write(out, &json).expect("write BENCH_kernel.json");
+    println!("\nwrote {out}");
+}
+
+fn small_with_duration(duration: SimTime) -> ScenarioConfig {
+    let mut sc = ScenarioConfig::small(42);
+    sc.duration = duration;
+    sc
+}
+
+fn render_bench_json(runs: &[Measurement], smoke: bool, reps: u32) -> String {
+    let mut out = String::from("{\"schema\":\"tn-bench/v1\",\"harness\":\"bench_kernel\",");
+    out.push_str(&format!("\"smoke\":{smoke},\"reps\":{reps},\"runs\":["));
+    for (i, m) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"scenario\":\"{}\",\"scale\":\"{}\",\"events\":{},\"digest\":\"0x{:016x}\",\
+             \"binary_heap_ns\":{},\"calendar_queue_ns\":{},\"speedup\":{:.4}}}",
+            m.scenario,
+            m.scale,
+            m.events,
+            m.digest,
+            m.heap_ns,
+            m.calendar_ns,
+            m.speedup()
+        ));
+    }
+    let max = runs.iter().map(Measurement::speedup).fold(0.0, f64::max);
+    let geomean = if runs.is_empty() {
+        1.0
+    } else {
+        (runs.iter().map(|m| m.speedup().ln()).sum::<f64>() / runs.len() as f64).exp()
+    };
+    out.push_str(&format!(
+        "],\"summary\":{{\"max_speedup\":{max:.4},\"geomean_speedup\":{geomean:.4}}}}}\n"
+    ));
+    out
+}

@@ -18,7 +18,7 @@ use tn_feed::nodes::{
 };
 use tn_feed::retrans::RecoveryConfig;
 use tn_feed::Arbiter;
-use tn_sim::{Context, Frame, Node, PortId, SimTime, Simulator, TimerToken};
+use tn_sim::{Context, Frame, Node, PortId, SchedulerKind, SimTime, Simulator, TimerToken};
 use tn_wire::{eth, ipv4, pitch, stack};
 
 // ---------------------------------------------------------------------
@@ -87,7 +87,9 @@ impl Node for PitchSource {
             &payload,
         );
         for p in 0..self.copies {
-            let frame = ctx.new_frame(bytes.clone());
+            // Pooled copy: each port's frame reuses a recycled arena
+            // buffer instead of allocating per packet on the hot path.
+            let frame = ctx.new_frame_copied(&bytes);
             ctx.send(PortId(p), frame);
         }
         self.sent_packets += 1;
@@ -186,6 +188,8 @@ pub struct LossRecoveryConfig {
     pub interval: SimTime,
     /// Receiver retry policy.
     pub recovery: RecoveryConfig,
+    /// Event scheduler the kernel runs on (digest-neutral).
+    pub scheduler: SchedulerKind,
 }
 
 impl LossRecoveryConfig {
@@ -204,6 +208,7 @@ impl LossRecoveryConfig {
                 max_retries: 3,
                 max_held: 10_000,
             },
+            scheduler: SchedulerKind::BinaryHeap,
         }
     }
 }
@@ -249,7 +254,7 @@ impl LossRecoveryRun {
 /// reordering receiver, with a clean tap into a retransmission unit and
 /// a clean unicast recovery channel.
 pub fn run_loss_recovery(cfg: &LossRecoveryConfig) -> LossRecoveryRun {
-    let mut sim = Simulator::new(cfg.seed);
+    let mut sim = Simulator::with_scheduler(cfg.seed, cfg.scheduler);
     let src = sim.add_node(
         "src",
         PitchSource::new(cfg.interval, cfg.packets, cfg.msgs_per_packet, 2),
@@ -318,6 +323,8 @@ pub struct AbFailoverConfig {
     /// Degraded window to measure throughput over (usually the A-side
     /// outage), as `(start, end)`.
     pub window: (SimTime, SimTime),
+    /// Event scheduler the kernel runs on (digest-neutral).
+    pub scheduler: SchedulerKind,
 }
 
 impl AbFailoverConfig {
@@ -334,6 +341,7 @@ impl AbFailoverConfig {
             msgs_per_packet: 4,
             interval: SimTime::from_us(5),
             window,
+            scheduler: SchedulerKind::BinaryHeap,
         }
     }
 }
@@ -370,7 +378,7 @@ pub struct AbFailoverRun {
 /// Run the A/B-failover scenario: one publisher, two copies over
 /// independently faulted links, arbitration at the receiver.
 pub fn run_ab_failover(cfg: &AbFailoverConfig) -> AbFailoverRun {
-    let mut sim = Simulator::new(cfg.seed);
+    let mut sim = Simulator::with_scheduler(cfg.seed, cfg.scheduler);
     let src = sim.add_node(
         "src",
         PitchSource::new(cfg.interval, cfg.packets, cfg.msgs_per_packet, 2),

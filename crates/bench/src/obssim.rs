@@ -17,8 +17,8 @@
 use tn_netdev::{EtherLink, Tap};
 use tn_obs::TraceWriter;
 use tn_sim::{
-    Context, Frame, Metrics, Node, ObsConfig, PortId, Provenance, SimTime, Simulator, Snapshot,
-    TimerToken,
+    Context, Frame, Metrics, Node, ObsConfig, PortId, Provenance, SchedulerKind, SimTime,
+    Simulator, Snapshot, TimerToken,
 };
 
 const TICK: TimerToken = TimerToken(1);
@@ -39,6 +39,8 @@ pub struct DecompositionConfig {
     pub interval: SimTime,
     /// Per-frame hold time at the relay (its processing service).
     pub relay_service: SimTime,
+    /// Event scheduler the kernel runs on (digest-neutral).
+    pub scheduler: SchedulerKind,
 }
 
 impl DecompositionConfig {
@@ -54,6 +56,7 @@ impl DecompositionConfig {
             payload: 512,
             interval: SimTime::from_us(20),
             relay_service: SimTime::from_us(1),
+            scheduler: SchedulerKind::BinaryHeap,
         }
     }
 }
@@ -75,8 +78,9 @@ impl Node for BurstSource {
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
         debug_assert_eq!(timer, TICK);
         for _ in 0..self.burst_frames {
-            // audit:allow(hotpath-alloc): synthetic source builds its payload per burst
-            let frame = ctx.new_frame(vec![0u8; self.payload]);
+            // Pooled zero-fill: the sink recycles every payload buffer, so
+            // in steady state no burst allocates.
+            let frame = ctx.new_frame_zeroed(self.payload);
             ctx.send(PortId(0), frame);
             self.sent += 1;
         }
@@ -144,13 +148,16 @@ struct SinkNode {
 }
 
 impl Node for SinkNode {
-    fn on_frame(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, _port: PortId, mut frame: Frame) {
         self.deliveries.push(Delivery {
             frame: frame.id.0,
             born_ps: frame.born.as_ps(),
             arrived_ps: ctx.now().as_ps(),
-            provenance: frame.meta.provenance.map(|b| *b),
+            provenance: frame.meta.provenance.take().map(|b| *b),
         });
+        // Terminal consumer: hand the payload buffer back to the arena so
+        // the source's next burst reuses it.
+        ctx.recycle(frame);
     }
 }
 
@@ -177,7 +184,7 @@ pub struct DecompositionRun {
 /// Run the chain under the given telemetry switches. The digest must not
 /// depend on `obs` — that is the invariant `tn-audit divergence` pins.
 pub fn run_decomposition(cfg: &DecompositionConfig, obs: ObsConfig) -> DecompositionRun {
-    let mut sim = Simulator::new(cfg.seed);
+    let mut sim = Simulator::with_scheduler(cfg.seed, cfg.scheduler);
     if obs.provenance {
         sim.set_provenance(true);
     }

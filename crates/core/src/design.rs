@@ -195,19 +195,24 @@ fn connect_exchange_feed(
     }
 }
 
-/// Turn on the telemetry the scenario asked for. Called right after
-/// `Simulator::new`, before any node or link exists: `add_node` /
-/// `connect_directed` hand the metrics handle to everything added later,
-/// including the fault wrappers `connect_exchange_feed` installs. Purely
-/// side-state — the run's event schedule and trace digest are identical
-/// with any [`tn_sim::ObsConfig`] (pinned by `tn-audit divergence`).
-fn apply_obs(sim: &mut Simulator, sc: &ScenarioConfig) {
+/// Build the kernel a design runs on: the scenario's event scheduler,
+/// then the telemetry it asked for. Called before any node or link
+/// exists: `add_node` / `connect_directed` hand the metrics handle to
+/// everything added later, including the fault wrappers
+/// `connect_exchange_feed` installs. Neither knob moves the run —
+/// schedulers pop in identical `(time, seq)` order and telemetry is
+/// purely side-state, so the event schedule and trace digest are
+/// identical for any [`tn_sim::SchedulerKind`] / [`tn_sim::ObsConfig`]
+/// (pinned by `tn-audit divergence`).
+fn build_sim(sc: &ScenarioConfig) -> Simulator {
+    let mut sim = Simulator::with_scheduler(sc.seed, sc.scheduler);
     if sc.obs.provenance {
         sim.set_provenance(true);
     }
     if sc.obs.registry {
         sim.set_metrics(tn_sim::Metrics::enabled());
     }
+    sim
 }
 
 fn start_everything(sim: &mut Simulator, firm: &Firm, exchange: NodeId, warmup: SimTime) {
@@ -319,8 +324,7 @@ impl TradingNetworkDesign for TraditionalSwitches {
     }
 
     fn run(&self, sc: &ScenarioConfig) -> DesignReport {
-        let mut sim = Simulator::new(sc.seed);
-        apply_obs(&mut sim, sc);
+        let mut sim = build_sim(sc);
         let dir = SymbolDirectory::synthetic(sc.symbols);
         // Auto-size racks: every host consumes two ports (Fig 1(d):
         // separate NICs for market data and orders), grouped by function.
@@ -429,8 +433,7 @@ impl TradingNetworkDesign for CloudDesign {
     }
 
     fn run(&self, sc: &ScenarioConfig) -> DesignReport {
-        let mut sim = Simulator::new(sc.seed);
-        apply_obs(&mut sim, sc);
+        let mut sim = build_sim(sc);
         let dir = SymbolDirectory::synthetic(sc.symbols);
         let mut cloud_cfg = self.cloud.clone();
         cloud_cfg.tenant_ports = 2 * (sc.normalizers + sc.strategies + sc.gateways) + 4;
@@ -546,8 +549,7 @@ impl TradingNetworkDesign for LayerOneSwitches {
     }
 
     fn run(&self, sc: &ScenarioConfig) -> DesignReport {
-        let mut sim = Simulator::new(sc.seed);
-        apply_obs(&mut sim, sc);
+        let mut sim = build_sim(sc);
         let dir = SymbolDirectory::synthetic(sc.symbols);
         let l1_cfg = L1FabricConfig {
             normalizers: sc.normalizers,
@@ -690,8 +692,7 @@ impl TradingNetworkDesign for FpgaHybrid {
     }
 
     fn run(&self, sc: &ScenarioConfig) -> DesignReport {
-        let mut sim = Simulator::new(sc.seed);
-        apply_obs(&mut sim, sc);
+        let mut sim = build_sim(sc);
         let dir = SymbolDirectory::synthetic(sc.symbols);
         let fabric = sim.add_node("fpga-fabric", FpgaL1Switch::new(self.fpga.clone()));
         let firm = build_firm(
@@ -784,6 +785,19 @@ mod tests {
             d3b.reaction.min,
             d1.reaction.min
         );
+    }
+
+    #[test]
+    fn calendar_queue_scheduler_leaves_digest_untouched() {
+        let heap = ScenarioConfig::small(7);
+        let mut cal = ScenarioConfig::small(7);
+        cal.scheduler = tn_sim::SchedulerKind::CalendarQueue;
+        let r_heap = TraditionalSwitches::default().run(&heap);
+        let r_cal = TraditionalSwitches::default().run(&cal);
+        // Scheduler choice is wall-clock-only: same pops, same digest.
+        assert_eq!(r_heap.trace_digest, r_cal.trace_digest);
+        assert_eq!(r_heap.events_recorded, r_cal.events_recorded);
+        assert_eq!(r_heap.orders_sent, r_cal.orders_sent);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The common firm + market scenario all designs run.
 
 use tn_fault::FaultSpec;
-use tn_sim::{ObsConfig, SimTime};
+use tn_sim::{ObsConfig, SchedulerKind, SimTime};
 
 /// Why a [`ScenarioBuilder`] refused to produce a config.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +103,13 @@ pub struct ScenarioConfig {
     /// Off by default; turning any of them on never changes a run's
     /// event schedule or trace digest (pinned by `tn-audit divergence`).
     pub obs: ObsConfig,
+    /// Event scheduler the kernel runs on. The default stays the
+    /// reference [`SchedulerKind::BinaryHeap`]; switching to
+    /// [`SchedulerKind::CalendarQueue`] changes wall-clock speed only —
+    /// both pop events in identical `(time, seq)` order, so trace digests
+    /// are bit-for-bit unchanged (pinned by `tn-audit divergence` and the
+    /// scheduler-equivalence proptest).
+    pub scheduler: SchedulerKind,
 }
 
 impl ScenarioConfig {
@@ -147,6 +154,7 @@ impl ScenarioConfig {
             tick_interval: SimTime::from_us(200),
             feed_fault: None,
             obs: ObsConfig::off(),
+            scheduler: SchedulerKind::BinaryHeap,
         }
     }
 
@@ -173,6 +181,7 @@ impl ScenarioConfig {
             tick_interval: SimTime::from_us(200),
             feed_fault: None,
             obs: ObsConfig::off(),
+            scheduler: SchedulerKind::BinaryHeap,
         }
     }
 
@@ -282,6 +291,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Event scheduler the kernel runs on (digest-neutral; see
+    /// [`ScenarioConfig::scheduler`]).
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> ScenarioBuilder {
+        self.cfg.scheduler = scheduler;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ScenarioConfig, ConfigError> {
         let c = self.cfg;
@@ -370,6 +386,24 @@ mod tests {
             .unwrap();
         assert!(sc.feed_fault.is_some());
         assert!(ScenarioConfig::small(1).feed_fault.is_none());
+    }
+
+    #[test]
+    fn builder_carries_scheduler_kind() {
+        let sc = ScenarioConfig::builder(1)
+            .scheduler(SchedulerKind::CalendarQueue)
+            .build()
+            .unwrap();
+        assert_eq!(sc.scheduler, SchedulerKind::CalendarQueue);
+        // Presets stay on the reference heap so existing runs never move.
+        assert_eq!(
+            ScenarioConfig::small(1).scheduler,
+            SchedulerKind::BinaryHeap
+        );
+        assert_eq!(
+            ScenarioConfig::paper_scale(1).scheduler,
+            SchedulerKind::BinaryHeap
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::frame::{Frame, FrameId, FrameMeta};
+use crate::frame::{Frame, FrameArena, FrameId, FrameMeta};
 use crate::node::{NodeId, PortId};
 use crate::time::SimTime;
 
@@ -47,6 +47,7 @@ pub struct Context<'a> {
     pub(crate) actions: &'a mut Vec<Action>,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) next_frame_id: &'a mut u64,
+    pub(crate) arena: &'a mut FrameArena,
 }
 
 impl Context<'_> {
@@ -86,6 +87,32 @@ impl Context<'_> {
         let mut f = self.new_frame(bytes);
         f.meta = meta;
         f
+    }
+
+    /// Create a new frame of `len` zero bytes, drawing the payload buffer
+    /// from the kernel's [`FrameArena`] — in steady state this reuses a
+    /// recycled buffer instead of allocating on the hot path.
+    pub fn new_frame_zeroed(&mut self, len: usize) -> Frame {
+        let mut bytes = self.arena.take();
+        bytes.resize(len, 0);
+        self.new_frame(bytes)
+    }
+
+    /// Create a new frame carrying a copy of `bytes`, drawing the payload
+    /// buffer from the kernel's [`FrameArena`].
+    pub fn new_frame_copied(&mut self, bytes: &[u8]) -> Frame {
+        let mut buf = self.arena.take();
+        buf.extend_from_slice(bytes);
+        self.new_frame(buf)
+    }
+
+    /// Return a finished frame's payload buffer to the [`FrameArena`].
+    /// Terminal consumers (sinks, handlers that fully decode and discard)
+    /// should prefer this over dropping the frame, closing the recycling
+    /// loop that keeps the hot path allocation-free.
+    #[inline]
+    pub fn recycle(&mut self, frame: Frame) {
+        self.arena.give(frame.bytes);
     }
 
     /// Arrange for [`crate::Node::on_timer`] to be called on this node
@@ -130,6 +157,7 @@ mod tests {
         actions: &'a mut Vec<Action>,
         rng: &'a mut SmallRng,
         next: &'a mut u64,
+        arena: &'a mut FrameArena,
     ) -> Context<'a> {
         Context {
             now: SimTime::from_ns(5),
@@ -137,6 +165,7 @@ mod tests {
             actions,
             rng,
             next_frame_id: next,
+            arena,
         }
     }
 
@@ -145,7 +174,8 @@ mod tests {
         let mut actions = Vec::new();
         let mut rng = SmallRng::seed_from_u64(1);
         let mut next = 10;
-        let mut c = ctx(&mut actions, &mut rng, &mut next);
+        let mut arena = FrameArena::new();
+        let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena);
         let a = c.new_frame(vec![0]);
         let b = c.new_frame(vec![1]);
         assert_eq!(a.id, FrameId(10));
@@ -159,7 +189,8 @@ mod tests {
         let mut actions = Vec::new();
         let mut rng = SmallRng::seed_from_u64(1);
         let mut next = 0;
-        let mut c = ctx(&mut actions, &mut rng, &mut next);
+        let mut arena = FrameArena::new();
+        let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena);
         let f = c.new_frame(vec![0]);
         c.send(PortId(2), f.clone());
         c.set_timer(SimTime::from_us(1), TimerToken(9));
@@ -186,11 +217,36 @@ mod tests {
     }
 
     #[test]
+    fn pooled_frames_recycle_without_aliasing_or_id_reuse() {
+        let mut actions = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut next = 0;
+        let mut arena = FrameArena::new();
+        let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena);
+        let a = c.new_frame_zeroed(64);
+        let b = c.new_frame_copied(&[7, 7, 7]);
+        assert_eq!(a.bytes, vec![0u8; 64]);
+        assert_eq!(b.bytes, vec![7, 7, 7]);
+        // Live frames never alias: the arena hands each out a distinct
+        // buffer, so writing one cannot disturb the other.
+        assert_ne!(a.bytes.as_ptr(), b.bytes.as_ptr());
+        let a_id = a.id;
+        c.recycle(a);
+        // Recycled storage comes back zero-length-reset and re-filled…
+        let reused = c.new_frame_zeroed(16);
+        assert_eq!(reused.bytes, vec![0u8; 16]);
+        // …under a fresh id: frame-id monotonicity survives recycling.
+        assert!(reused.id > a_id && reused.id > b.id);
+        assert_eq!(c.arena.stats().reused, 1);
+    }
+
+    #[test]
     fn coin_is_unit_interval() {
         let mut actions = Vec::new();
         let mut rng = SmallRng::seed_from_u64(7);
         let mut next = 0;
-        let mut c = ctx(&mut actions, &mut rng, &mut next);
+        let mut arena = FrameArena::new();
+        let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena);
         for _ in 0..1000 {
             let v = c.coin();
             assert!((0.0..1.0).contains(&v));

@@ -1,16 +1,16 @@
 //! The event loop: queue, dispatch, link lookup, statistics.
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::context::{Action, Context, TimerToken};
-use crate::frame::{Frame, FrameId, FrameMeta};
+use crate::frame::{ArenaStats, Frame, FrameArena, FrameId, FrameMeta};
 use crate::link::{Link, LinkOutcome};
 use crate::node::{Node, NodeId, PortId};
+use crate::sched::{EventKind, QueuedEvent, Scheduler, SchedulerKind};
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, TraceKind, TraceLog};
 
@@ -30,44 +30,6 @@ impl<T: Node + 'static> AnyNode for T {
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
-    }
-}
-
-enum EventKind {
-    Frame {
-        node: NodeId,
-        port: PortId,
-        frame: Frame,
-    },
-    Timer {
-        node: NodeId,
-        token: TimerToken,
-    },
-}
-
-struct QueuedEvent {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedEvent {
-    /// Reverse ordering so the `BinaryHeap` becomes a min-heap on
-    /// `(time, seq)`; the `seq` tiebreak keeps equal-time events in
-    /// schedule order, which is what makes runs reproducible.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -105,13 +67,15 @@ pub struct SimStats {
 pub struct Simulator {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<QueuedEvent>,
+    queue: Box<dyn Scheduler>,
+    sched_kind: SchedulerKind,
     nodes: Vec<NodeSlot>,
     links: Vec<LinkSlot>,
     port_map: BTreeMap<(NodeId, PortId), usize>,
     rng: SmallRng,
     next_frame_id: u64,
     scratch: Vec<Action>,
+    arena: FrameArena,
     stats: SimStats,
     provenance: bool,
     metrics: tn_obs::Metrics,
@@ -120,23 +84,40 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Create an empty simulator whose randomness is derived from `seed`.
+    /// Create an empty simulator whose randomness is derived from `seed`,
+    /// using the reference [`SchedulerKind::BinaryHeap`] event scheduler.
     pub fn new(seed: u64) -> Self {
+        Simulator::with_scheduler(seed, SchedulerKind::BinaryHeap)
+    }
+
+    /// Create an empty simulator with an explicit event scheduler. Every
+    /// [`SchedulerKind`] pops events in the same `(time, seq)` order, so
+    /// the choice affects wall-clock speed only — trace digests are
+    /// bit-for-bit identical across kinds (pinned by `tn-audit divergence`
+    /// and `tests/scheduler_equivalence.rs`).
+    pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> Self {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: kind.build(),
+            sched_kind: kind,
             nodes: Vec::new(),
             links: Vec::new(),
             port_map: BTreeMap::new(),
             rng: SmallRng::seed_from_u64(seed),
             next_frame_id: 0,
             scratch: Vec::new(),
+            arena: FrameArena::new(),
             stats: SimStats::default(),
             provenance: false,
             metrics: tn_obs::Metrics::disabled(),
             trace: TraceLog::disabled(),
         }
+    }
+
+    /// Which event scheduler this simulator runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.sched_kind
     }
 
     /// Enable or disable per-hop latency provenance. When on, every frame
@@ -284,6 +265,36 @@ impl Simulator {
         }
     }
 
+    /// Allocate a frame of `len` zero bytes from the [`FrameArena`] — in
+    /// steady state this reuses a recycled buffer instead of allocating.
+    /// Nodes use [`Context::new_frame_zeroed`].
+    pub fn new_frame_zeroed(&mut self, len: usize) -> Frame {
+        let mut bytes = self.arena.take();
+        bytes.resize(len, 0);
+        self.new_frame(bytes)
+    }
+
+    /// Allocate a frame carrying a copy of `bytes`, drawing the buffer
+    /// from the [`FrameArena`]. Nodes use [`Context::new_frame_copied`].
+    pub fn new_frame_copied(&mut self, bytes: &[u8]) -> Frame {
+        let mut buf = self.arena.take();
+        buf.extend_from_slice(bytes);
+        self.new_frame(buf)
+    }
+
+    /// Return a finished frame's payload buffer to the [`FrameArena`] for
+    /// reuse. Sinks that would otherwise drop frames should prefer this;
+    /// the kernel recycles internally when it discards frames itself
+    /// (unrouted ports, link drops).
+    pub fn recycle_frame(&mut self, frame: Frame) {
+        self.arena.give(frame.bytes);
+    }
+
+    /// Buffer-recycling counters for this simulator's arena.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
     /// Schedule delivery of `frame` to `(node, port)` at absolute time `at`.
     pub fn inject_frame(&mut self, at: SimTime, node: NodeId, port: PortId, frame: Frame) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
@@ -337,8 +348,8 @@ impl Simulator {
     /// number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(ev) = self.queue.peek() {
-            if ev.at > deadline {
+        while let Some(at) = self.queue.next_at() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -374,6 +385,7 @@ impl Simulator {
             actions: &mut self.scratch,
             rng: &mut self.rng,
             next_frame_id: &mut self.next_frame_id,
+            arena: &mut self.arena,
         };
         slot.node.on_frame(&mut ctx, port, frame);
         self.apply_actions(node);
@@ -396,6 +408,7 @@ impl Simulator {
             actions: &mut self.scratch,
             rng: &mut self.rng,
             next_frame_id: &mut self.next_frame_id,
+            arena: &mut self.arena,
         };
         slot.node.on_timer(&mut ctx, token);
         self.apply_actions(node);
@@ -490,6 +503,7 @@ impl Simulator {
                 frame: frame.id,
                 kind: TraceKind::Drop,
             });
+            self.arena.give(frame.bytes);
             return;
         };
         let coin = self.rng.gen::<f64>();
@@ -523,6 +537,7 @@ impl Simulator {
                     frame: frame.id,
                     kind: TraceKind::Drop,
                 });
+                self.arena.give(frame.bytes);
             }
         }
     }
@@ -755,6 +770,83 @@ mod tests {
         // A different injection time must shift the digest.
         let (d3, _) = digest(5); // same again, sanity
         assert_eq!(d1, d3);
+    }
+
+    #[test]
+    fn schedulers_produce_identical_digests() {
+        fn digest(kind: SchedulerKind) -> (u64, u64) {
+            let mut sim = Simulator::with_scheduler(3, kind);
+            assert_eq!(sim.scheduler_kind(), kind);
+            let a = sim.add_node(
+                "a",
+                Repeater {
+                    seen: vec![],
+                    bounce: true,
+                },
+            );
+            let b = sim.add_node(
+                "b",
+                Repeater {
+                    seen: vec![],
+                    bounce: true,
+                },
+            );
+            sim.connect(
+                a,
+                PortId(0),
+                b,
+                PortId(0),
+                IdealLink::new(SimTime::from_ns(13)),
+            );
+            let f = sim.new_frame(vec![0; 100]);
+            sim.inject_frame(SimTime::ZERO, a, PortId(0), f);
+            sim.run_until(SimTime::from_us(1));
+            (sim.trace.digest(), sim.trace.recorded())
+        }
+        assert_eq!(
+            digest(SchedulerKind::BinaryHeap),
+            digest(SchedulerKind::CalendarQueue)
+        );
+    }
+
+    #[test]
+    fn kernel_recycles_discarded_frames() {
+        // Unrouted sends return their payload buffers to the arena.
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(
+            "a",
+            Repeater {
+                seen: vec![],
+                bounce: true,
+            },
+        );
+        let f = sim.new_frame(vec![0; 64]);
+        sim.inject_frame(SimTime::ZERO, a, PortId(0), f);
+        sim.run();
+        assert_eq!(sim.stats().frames_unrouted, 1);
+        assert_eq!(sim.arena_stats().recycled, 1);
+        // The next pooled frame reuses that buffer: no fresh allocation.
+        let g = sim.new_frame_zeroed(64);
+        assert_eq!(g.bytes, vec![0u8; 64]);
+        assert_eq!(sim.arena_stats().reused, 1);
+        assert_eq!(sim.arena_stats().allocated, 0);
+    }
+
+    #[test]
+    fn pooled_frame_ids_stay_monotonic_across_recycling() {
+        let mut sim = Simulator::new(1);
+        let mut last = None;
+        for _ in 0..10 {
+            let f = sim.new_frame_zeroed(32);
+            if let Some(prev) = last {
+                assert!(f.id > prev, "frame ids must grow despite buffer reuse");
+            }
+            last = Some(f.id);
+            sim.recycle_frame(f);
+        }
+        let s = sim.arena_stats();
+        assert_eq!(s.recycled, 10);
+        assert_eq!(s.allocated, 1, "one real allocation feeds all ten frames");
     }
 
     #[test]

@@ -53,14 +53,16 @@ mod frame;
 mod kernel;
 mod link;
 mod node;
+mod sched;
 mod time;
 mod trace;
 
 pub use context::{Context, TimerToken};
-pub use frame::{Frame, FrameId, FrameMeta};
+pub use frame::{ArenaStats, Frame, FrameArena, FrameId, FrameMeta};
 pub use kernel::{AnyNode, SimStats, Simulator};
 pub use link::{DropReason, HopTiming, IdealLink, Link, LinkOutcome};
 pub use node::{Node, NodeId, PortId};
+pub use sched::{BinaryHeapScheduler, CalendarQueue, Scheduler, SchedulerKind};
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceKind, TraceLog, EMPTY_DIGEST};
 

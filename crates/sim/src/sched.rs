@@ -1,0 +1,577 @@
+//! Pluggable event schedulers: the pending-event set behind the kernel.
+//!
+//! The kernel pops events in strict `(time, seq)` order — time first, then
+//! insertion sequence so equal-time events replay in schedule order. That
+//! total order *is* the determinism contract: any two [`Scheduler`]
+//! implementations must pop the exact same sequence for the exact same
+//! pushes, which `tests/scheduler_equivalence.rs` and the tn-audit
+//! divergence corpus pin bit-for-bit via trace digests.
+//!
+//! Two implementations ship:
+//!
+//! * [`BinaryHeapScheduler`] — the reference `O(log n)` min-heap. Default.
+//! * [`CalendarQueue`] — Brown's calendar queue (CACM '88), `O(1)`
+//!   amortized for the dense, near-future event horizons that link and
+//!   switch latencies produce. Selected per scenario via
+//!   [`SchedulerKind::CalendarQueue`].
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::context::TimerToken;
+use crate::frame::Frame;
+use crate::node::{NodeId, PortId};
+use crate::time::SimTime;
+
+/// What a queued event does when it fires.
+pub(crate) enum EventKind {
+    /// Deliver `frame` to `(node, port)`.
+    Frame {
+        node: NodeId,
+        port: PortId,
+        frame: Frame,
+    },
+    /// Fire `token` on `node`.
+    Timer { node: NodeId, token: TimerToken },
+}
+
+/// One pending event. Ordered by `(at, seq)`; `seq` is the kernel's global
+/// insertion counter, so ordering is total and deterministic.
+///
+/// Public so [`Scheduler`] is nameable outside the crate, but fields and
+/// construction are kernel-internal.
+pub struct QueuedEvent {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl QueuedEvent {
+    /// `(time, seq)` sort key.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    /// Reverse ordering so a `BinaryHeap` becomes a min-heap on
+    /// `(time, seq)`; the `seq` tiebreak keeps equal-time events in
+    /// schedule order, which is what makes runs reproducible.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The pending-event set. Implementations must pop in ascending
+/// `(time, seq)` order — the same total order as the reference
+/// [`BinaryHeapScheduler`] — or trace digests diverge and the
+/// equivalence suite fails.
+pub trait Scheduler {
+    /// Insert an event.
+    fn push(&mut self, ev: QueuedEvent);
+    /// Remove and return the `(time, seq)`-minimal event.
+    fn pop(&mut self) -> Option<QueuedEvent>;
+    /// Timestamp of the event [`Scheduler::pop`] would return, without
+    /// removing it. Takes `&mut self` so implementations may cache the
+    /// search.
+    fn next_at(&mut self) -> Option<SimTime>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// True when no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Short implementation name for diagnostics and bench output.
+    fn name(&self) -> &'static str;
+}
+
+/// Which [`Scheduler`] a simulator uses. Selectable per scenario via
+/// `ScenarioConfig::scheduler` in `tn-core`; the default stays the
+/// reference heap so existing runs are untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Reference `O(log n)` binary min-heap.
+    #[default]
+    BinaryHeap,
+    /// Brown's `O(1)`-amortized calendar queue.
+    CalendarQueue,
+}
+
+impl SchedulerKind {
+    /// Both kinds, for differential test sweeps.
+    pub const ALL: [SchedulerKind; 2] = [SchedulerKind::BinaryHeap, SchedulerKind::CalendarQueue];
+
+    /// Construct the scheduler this kind names.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::BinaryHeap => Box::new(BinaryHeapScheduler::new()),
+            SchedulerKind::CalendarQueue => Box::new(CalendarQueue::new()),
+        }
+    }
+
+    /// Stable name, matching [`Scheduler::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::BinaryHeap => "binary-heap",
+            SchedulerKind::CalendarQueue => "calendar-queue",
+        }
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "binary-heap" | "heap" => Ok(SchedulerKind::BinaryHeap),
+            "calendar-queue" | "calendar" => Ok(SchedulerKind::CalendarQueue),
+            other => Err(format!(
+                "unknown scheduler {other:?} (expected binary-heap or calendar-queue)"
+            )),
+        }
+    }
+}
+
+/// Reference scheduler: `std::collections::BinaryHeap` turned into a
+/// min-heap by [`QueuedEvent`]'s reversed `Ord`.
+#[derive(Default)]
+pub struct BinaryHeapScheduler {
+    heap: BinaryHeap<QueuedEvent>,
+}
+
+impl BinaryHeapScheduler {
+    /// An empty heap.
+    pub fn new() -> Self {
+        BinaryHeapScheduler::default()
+    }
+}
+
+impl Scheduler for BinaryHeapScheduler {
+    fn push(&mut self, ev: QueuedEvent) {
+        self.heap.push(ev);
+    }
+
+    fn pop(&mut self) -> Option<QueuedEvent> {
+        self.heap.pop()
+    }
+
+    fn next_at(&mut self) -> Option<SimTime> {
+        self.heap.peek().map(|ev| ev.at)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "binary-heap"
+    }
+}
+
+/// Smallest bucket count; the queue starts here and never shrinks below.
+const MIN_BUCKETS: usize = 16;
+/// Largest bucket count; growth stops here regardless of population.
+const MAX_BUCKETS: usize = 1 << 16;
+/// Initial bucket-width shift (2^10 ps ≈ 1 ns) until the first resize
+/// measures the real inter-event gap. Widths are always powers of two so
+/// the day of a timestamp is a shift, not a division — `day_of` runs on
+/// every push, pop, and scan probe.
+const INITIAL_WIDTH_SHIFT: u32 = 10;
+
+/// Brown's calendar queue: a bucket ring indexed by `time / width`, like a
+/// desk calendar — one bucket per "day", one lap of the ring per "year".
+///
+/// Each bucket is kept sorted ascending by `(time, seq)`, so a bucket's
+/// front is its minimum and `pop` is a front removal. The scan from the
+/// current day therefore probes one front per bucket: the first bucket
+/// whose front belongs to the day being visited holds the global minimum
+/// (later "years" hash to the same bucket but sort behind the current
+/// day). If a whole year of days is empty the queue falls back to a
+/// direct minimum over bucket fronts, which also fast-forwards the
+/// calendar. Resizes re-derive the bucket width from the median non-zero
+/// gap between pending events — the mean is useless here because this
+/// kernel's workloads mix equal-time cohorts with millisecond dead zones.
+/// All decisions are pure functions of the queue contents, so the
+/// schedule stays deterministic.
+pub struct CalendarQueue {
+    /// `buckets.len()` is a power of two; `mask = len - 1`. Each bucket is
+    /// sorted ascending by `(time, seq)`.
+    buckets: Vec<VecDeque<QueuedEvent>>,
+    mask: usize,
+    /// Bucket width is `1 << shift` picoseconds. An event at `t` lives in
+    /// bucket `(t >> shift) & mask` — `t >> shift` is its absolute "day".
+    shift: u32,
+    /// Day of the most recent pop; scans resume here.
+    cursor: u64,
+    len: usize,
+    /// Bucket whose front is the global minimum, cached between
+    /// [`Scheduler::next_at`] and [`Scheduler::pop`].
+    cached_min: Option<usize>,
+    /// Searches since the last rebuild that fell off the calendar into
+    /// the direct-minimum fallback. A high count means the width no
+    /// longer matches the event horizon (it is only re-derived on
+    /// resize), so [`Scheduler::pop`] forces a re-derivation. Purely a
+    /// function of the push/pop history, so determinism is preserved.
+    fallbacks: u32,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl CalendarQueue {
+    /// An empty calendar with [`MIN_BUCKETS`] days of [`INITIAL_WIDTH_PS`].
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| VecDeque::new()).collect(),
+            mask: MIN_BUCKETS - 1,
+            shift: INITIAL_WIDTH_SHIFT,
+            cursor: 0,
+            len: 0,
+            cached_min: None,
+            fallbacks: 0,
+        }
+    }
+
+    /// Current bucket count (test / diagnostic visibility).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Current bucket width in picoseconds (test / diagnostic visibility).
+    pub fn bucket_width_ps(&self) -> u64 {
+        1u64 << self.shift
+    }
+
+    #[inline]
+    fn day_of(&self, at: SimTime) -> u64 {
+        at.as_ps() >> self.shift
+    }
+
+    /// Locate the bucket whose front is the `(time, seq)`-minimal event:
+    /// one lap of the calendar from the cursor peeking only at fronts,
+    /// then a direct minimum over fronts when the year ahead is empty.
+    fn find_min(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        for i in 0..self.buckets.len() as u64 {
+            let day = self.cursor.wrapping_add(i);
+            let b = (day as usize) & self.mask;
+            if let Some(front) = self.buckets[b].front() {
+                // The front is the bucket minimum; it belongs to `day`
+                // exactly when this bucket has anything this "year".
+                if self.day_of(front.at) == day {
+                    return Some(b);
+                }
+            }
+        }
+        self.fallbacks += 1;
+        let mut best: Option<(usize, (SimTime, u64))> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            if let Some(front) = bucket.front() {
+                let key = front.key();
+                if best.is_none_or(|(_, k)| key < k) {
+                    best = Some((b, key));
+                }
+            }
+        }
+        best.map(|(b, _)| b)
+    }
+
+    /// Re-bucket every event into `new_nb` buckets, re-deriving the width
+    /// as a power of two near the *smaller* of ≈3× the median non-zero
+    /// inter-event gap and ≈3× the mean gap (`span / len`). The median
+    /// keeps equal-time cohorts — which drag the mean to zero — from
+    /// collapsing the width; the mean keeps dense horizons (many live
+    /// timers in a short span) from over-filling each day, which would
+    /// turn the sorted-bucket inserts into large memmoves. Deterministic:
+    /// inputs are the queue contents only.
+    fn rebuild(&mut self, new_nb: usize) {
+        let new_nb = new_nb.clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let mut evs: Vec<QueuedEvent> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            evs.extend(bucket.drain(..));
+        }
+        evs.sort_unstable_by_key(QueuedEvent::key);
+        if evs.len() >= 2 {
+            let mut gaps: Vec<u64> = evs
+                .windows(2)
+                .map(|w| w[1].at.as_ps() - w[0].at.as_ps())
+                .filter(|&g| g > 0)
+                .collect();
+            if !gaps.is_empty() {
+                gaps.sort_unstable();
+                let median = gaps[gaps.len() / 2];
+                let span = evs[evs.len() - 1].at.as_ps() - evs[0].at.as_ps();
+                let mean = span / evs.len() as u64;
+                let target = median.min(mean.max(1)).saturating_mul(3).max(1);
+                self.shift = 63 - target.next_power_of_two().leading_zeros();
+            }
+        }
+        if let Some(first) = evs.first() {
+            self.cursor = self.day_of(first.at);
+        }
+        self.buckets = (0..new_nb).map(|_| VecDeque::new()).collect();
+        self.mask = new_nb - 1;
+        for ev in evs {
+            // Ascending feed: appending keeps every bucket sorted.
+            let b = (self.day_of(ev.at) as usize) & self.mask;
+            self.buckets[b].push_back(ev);
+        }
+        self.cached_min = None;
+        self.fallbacks = 0;
+    }
+}
+
+impl Scheduler for CalendarQueue {
+    fn push(&mut self, ev: QueuedEvent) {
+        if self.len + 1 > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild(self.buckets.len() * 2);
+        }
+        let day = self.day_of(ev.at);
+        if day < self.cursor {
+            // The kernel never schedules into the past, but a standalone
+            // scheduler must still honor it: rewind so the scan sees it.
+            self.cursor = day;
+        }
+        let b = (day as usize) & self.mask;
+        let key = ev.key();
+        let bucket = &mut self.buckets[b];
+        // Binary search for the sorted slot. The common shapes are cheap:
+        // an equal-time cohort appends at the back, and VecDeque::insert
+        // rotates whichever side is shorter.
+        let (mut lo, mut hi) = (0usize, bucket.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if bucket[mid].key() < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        bucket.insert(lo, ev);
+        self.len += 1;
+        if let Some(cb) = self.cached_min {
+            // A key below the cached global minimum is the new minimum,
+            // and is therefore at the front of its own bucket.
+            if key < self.buckets[cb].front().expect("cached bucket empty").key() {
+                self.cached_min = Some(b);
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<QueuedEvent> {
+        let b = match self.cached_min.take() {
+            Some(b) => b,
+            None => self.find_min()?,
+        };
+        let ev = self.buckets[b].pop_front()?;
+        self.len -= 1;
+        self.cursor = self.day_of(ev.at);
+        if self.len * 4 < self.buckets.len() && self.buckets.len() > MIN_BUCKETS {
+            self.rebuild(self.buckets.len() / 2);
+        } else if self.fallbacks >= 64 {
+            // The width has drifted away from the live horizon; same
+            // bucket count, fresh width.
+            self.rebuild(self.buckets.len());
+        }
+        Some(ev)
+    }
+
+    fn next_at(&mut self) -> Option<SimTime> {
+        if self.cached_min.is_none() {
+            self.cached_min = self.find_min();
+        }
+        self.cached_min
+            .and_then(|b| self.buckets[b].front())
+            .map(|ev| ev.at)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn name(&self) -> &'static str {
+        "calendar-queue"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn timer(at: SimTime, seq: u64) -> QueuedEvent {
+        QueuedEvent {
+            at,
+            seq,
+            kind: EventKind::Timer {
+                node: NodeId(0),
+                token: TimerToken(0),
+            },
+        }
+    }
+
+    /// Feed both schedulers the same pushes (interleaved with pops) and
+    /// assert identical pop sequences.
+    fn differential(pushes: &[(u64, usize)]) {
+        let mut heap: Box<dyn Scheduler> = SchedulerKind::BinaryHeap.build();
+        let mut cal: Box<dyn Scheduler> = SchedulerKind::CalendarQueue.build();
+        for (seq, &(at_ps, pops)) in pushes.iter().enumerate() {
+            let at = SimTime::from_ps(at_ps);
+            heap.push(timer(at, seq as u64));
+            cal.push(timer(at, seq as u64));
+            for _ in 0..pops {
+                assert_eq!(heap.next_at(), cal.next_at());
+                let (h, c) = (heap.pop(), cal.pop());
+                match (h, c) {
+                    (None, None) => {}
+                    (Some(h), Some(c)) => {
+                        assert_eq!((h.at, h.seq), (c.at, c.seq));
+                    }
+                    _ => panic!("schedulers disagreed on emptiness"),
+                }
+            }
+        }
+        while let Some(h) = heap.pop() {
+            let c = cal.pop().expect("calendar drained early");
+            assert_eq!((h.at, h.seq), (c.at, c.seq));
+        }
+        assert!(cal.pop().is_none());
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        for kind in SchedulerKind::ALL {
+            let mut s = kind.build();
+            s.push(timer(SimTime::from_ns(30), 0));
+            s.push(timer(SimTime::from_ns(10), 1));
+            s.push(timer(SimTime::from_ns(10), 2));
+            s.push(timer(SimTime::from_ns(20), 3));
+            let order: Vec<(u64, u64)> = std::iter::from_fn(|| s.pop())
+                .map(|e| (e.at.as_ps(), e.seq))
+                .collect();
+            assert_eq!(
+                order,
+                vec![(10_000, 1), (10_000, 2), (20_000, 3), (30_000, 0)],
+                "{} broke (time, seq) order",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn equal_time_bursts_stay_in_schedule_order() {
+        for kind in SchedulerKind::ALL {
+            let mut s = kind.build();
+            for seq in 0..100 {
+                s.push(timer(SimTime::from_us(1), seq));
+            }
+            let seqs: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|e| e.seq).collect();
+            assert_eq!(seqs, (0..100).collect::<Vec<_>>(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn calendar_matches_heap_on_dense_near_future_events() {
+        // The workload shape the calendar is built for: tight horizon,
+        // lots of ties.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let pushes: Vec<(u64, usize)> = (0..2_000u64)
+            .map(|i| {
+                (
+                    1_000 * (i / 4) + rng.gen_range(0..5_000u64),
+                    rng.gen_range(0..2),
+                )
+            })
+            .collect();
+        differential(&pushes);
+    }
+
+    #[test]
+    fn calendar_matches_heap_on_sparse_far_future_events() {
+        // Sparse horizon: most laps are empty, exercising the direct-search
+        // fallback and width re-derivation on resize.
+        let mut rng = SmallRng::seed_from_u64(8);
+        let pushes: Vec<(u64, usize)> = (0..500)
+            .map(|_| (rng.gen_range(0..1_000_000_000_000u64), rng.gen_range(0..3)))
+            .collect();
+        differential(&pushes);
+    }
+
+    #[test]
+    fn calendar_matches_heap_through_grow_and_shrink() {
+        // Fill far past the grow threshold, then drain past the shrink
+        // threshold, twice.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut pushes: Vec<(u64, usize)> = Vec::new();
+        for round in 0..2u64 {
+            let base = round * 10_000_000;
+            pushes.extend((0..300u64).map(|i| (base + i * 7 + rng.gen_range(0..50u64), 0)));
+            pushes.extend((0..290).map(|_| (base + 5_000_000, 2)));
+        }
+        differential(&pushes);
+    }
+
+    #[test]
+    fn calendar_resizes_and_reports_geometry() {
+        let mut cal = CalendarQueue::new();
+        assert_eq!(cal.bucket_count(), MIN_BUCKETS);
+        for seq in 0..200 {
+            cal.push(timer(SimTime::from_ns(seq * 13), seq));
+        }
+        assert!(cal.bucket_count() > MIN_BUCKETS, "queue never grew");
+        assert!(cal.bucket_width_ps() >= 1);
+        while cal.pop().is_some() {}
+        assert_eq!(cal.bucket_count(), MIN_BUCKETS, "queue never shrank back");
+        assert_eq!(cal.len(), 0);
+    }
+
+    #[test]
+    fn next_at_matches_pop_without_consuming() {
+        for kind in SchedulerKind::ALL {
+            let mut s = kind.build();
+            assert_eq!(s.next_at(), None);
+            s.push(timer(SimTime::from_ns(40), 0));
+            s.push(timer(SimTime::from_ns(15), 1));
+            assert_eq!(s.next_at(), Some(SimTime::from_ns(15)));
+            assert_eq!(s.len(), 2);
+            // A smaller push must displace the cached minimum.
+            s.push(timer(SimTime::from_ns(5), 2));
+            assert_eq!(s.next_at(), Some(SimTime::from_ns(5)));
+            assert_eq!(s.pop().map(|e| e.seq), Some(2));
+        }
+    }
+
+    #[test]
+    fn kind_parses_and_names_round_trip() {
+        for kind in SchedulerKind::ALL {
+            let parsed: SchedulerKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert_eq!(
+            "heap".parse::<SchedulerKind>(),
+            Ok(SchedulerKind::BinaryHeap)
+        );
+        assert!("fifo".parse::<SchedulerKind>().is_err());
+        assert_eq!(SchedulerKind::default(), SchedulerKind::BinaryHeap);
+    }
+}

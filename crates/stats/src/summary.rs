@@ -97,9 +97,17 @@ impl Summary {
         self.percentile(99.0)
     }
 
-    /// The 99.9th percentile.
-    pub fn p999(&mut self) -> u64 {
-        self.percentile(99.9)
+    /// The 99.9th percentile, or `None` with fewer than 1,000 samples.
+    ///
+    /// Below 1,000 samples the nearest-rank 99.9th percentile collapses
+    /// onto the maximum — a tail estimate with no tail behind it. Earlier
+    /// versions returned that maximum silently; callers that want the
+    /// clamped value can still say `percentile(99.9)` explicitly.
+    pub fn p999(&mut self) -> Option<u64> {
+        if self.samples.len() < 1000 {
+            return None;
+        }
+        Some(self.percentile(99.9))
     }
 
     /// Borrow the raw samples (unsorted order not guaranteed after
@@ -154,8 +162,20 @@ mod tests {
         s.extend(1..=1000);
         assert_eq!(s.p50(), 500);
         assert_eq!(s.p99(), 990);
-        assert_eq!(s.p999(), s.percentile(99.9));
+        assert_eq!(s.p999(), Some(s.percentile(99.9)));
         assert_eq!(s.p50(), s.percentile(50.0));
+    }
+
+    #[test]
+    fn p999_needs_a_real_tail() {
+        // Regression: with n < 1000 the nearest-rank 99.9th percentile is
+        // just the max; p999 must refuse rather than clamp silently.
+        let mut s = Summary::new();
+        s.extend(1..=999);
+        assert_eq!(s.p999(), None);
+        assert_eq!(s.percentile(99.9), 999, "explicit clamp still available");
+        s.record(1000);
+        assert_eq!(s.p999(), Some(1000));
     }
 
     #[test]

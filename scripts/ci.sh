@@ -28,5 +28,14 @@ cargo run --release --offline -q -p tn-bench --bin exp_latency_decomposition -- 
     > "$trace_out"
 head -1 "$trace_out" | grep -q '"schema":"tn-trace/v1"'
 rm -f "$trace_out"
+# Scheduler equivalence: a reduced-case differential sweep (the full
+# 64-case sweep runs with the workspace tests above).
+echo "==> scheduler_equivalence (reduced proptest sweep)"
+PROPTEST_CASES=8 cargo test -q --offline --test scheduler_equivalence
+# BENCH smoke: both schedulers on the small scales, digests asserted
+# equal inside the harness, and the artifact parses as tn-bench/v1.
+run cargo run --release --offline -q -p tn-bench --bin bench_kernel -- --smoke
+head -1 BENCH_kernel.json | grep -q '"schema":"tn-bench/v1"'
+echo "==> BENCH_kernel.json: tn-bench/v1 ok"
 
 echo "==> ci: all green"
