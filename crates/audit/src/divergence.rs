@@ -118,6 +118,14 @@ pub fn registry() -> Vec<Scenario> {
             name: "latency-decomposition",
             run: run_latency_decomposition,
         },
+        Scenario {
+            name: "lab-parallel-vs-serial",
+            run: run_lab_parallel_vs_serial,
+        },
+        Scenario {
+            name: "lab-run-vs-standalone",
+            run: run_lab_run_vs_standalone,
+        },
     ]
 }
 
@@ -479,6 +487,63 @@ fn run_latency_decomposition(kind: SchedulerKind) -> RunSignature {
     }
 }
 
+/// The tn-lab tentpole invariant: the smoke grid (3 strategies × 3
+/// thresholds × 2 tick intervals on design 1) run on 4 workers must
+/// render the *byte-identical* `tn-lab/v1` document a 1-worker run
+/// renders, and the grid's first cell — the trimmed quickstart — must
+/// carry the golden quickstart digest. The signature hashes the merged
+/// document with the kernel's own FNV-1a fold.
+fn run_lab_parallel_vs_serial(kind: SchedulerKind) -> RunSignature {
+    use tn_lab::{run_batch, LabReport, ScenarioExecutor, SweepSpec};
+
+    let exec = ScenarioExecutor { scheduler: kind };
+    let spec = SweepSpec::smoke();
+    let manifest = spec.expand().expect("smoke spec expands");
+    let serial = run_batch(&manifest, 1, &exec).expect("serial batch");
+    let parallel = run_batch(&manifest, 4, &exec).expect("parallel batch");
+    let serial_doc = LabReport::build(&spec.name, &spec.base, &manifest, &serial).to_json();
+    let parallel_doc = LabReport::build(&spec.name, &spec.base, &manifest, &parallel).to_json();
+    assert_eq!(
+        serial_doc, parallel_doc,
+        "4-worker tn-lab/v1 output must be byte-identical to 1-worker"
+    );
+    assert_eq!(
+        serial[0].digest, 0xff1dbcd7cf7e729e,
+        "the grid's first cell is the trimmed quickstart"
+    );
+    RunSignature {
+        digest: tn_sim::fnv1a_fold(EMPTY_DIGEST, serial_doc.as_bytes()),
+        events: serial.iter().map(|o| o.events).sum(),
+    }
+}
+
+/// A lab-executed cell must match the same config run directly: one
+/// single-cell spec (the trimmed quickstart), executed through the lab's
+/// expand → batch → aggregate pipeline, compared against a bare
+/// `TraditionalSwitches::run` on a hand-built config. Pinned to the
+/// golden quickstart digest.
+fn run_lab_run_vs_standalone(kind: SchedulerKind) -> RunSignature {
+    use tn_lab::{run_batch, ScenarioExecutor, SweepSpec};
+
+    let mut spec = SweepSpec::smoke();
+    spec.axes.clear(); // overrides only: exactly the trimmed quickstart
+    let manifest = spec.expand().expect("single-cell spec expands");
+    assert_eq!(manifest.len(), 1);
+    let exec = ScenarioExecutor { scheduler: kind };
+    let lab = &run_batch(&manifest, 1, &exec).expect("cell runs")[0];
+
+    let standalone = run_quickstart(kind);
+    assert_eq!(
+        (lab.digest, lab.events),
+        (standalone.digest, standalone.events),
+        "lab-executed cell must equal the standalone run"
+    );
+    RunSignature {
+        digest: lab.digest,
+        events: lab.events,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,6 +626,27 @@ mod tests {
         let sig = run_latency_decomposition(SchedulerKind::BinaryHeap);
         assert_eq!(sig.digest, 0xb97aeac301534e76, "{sig:?}");
         assert_eq!(sig.events, 1_088);
+    }
+
+    #[test]
+    fn lab_parallel_vs_serial_holds_and_is_pinned() {
+        // One full evaluation: 18 cells serial + 18 cells on 4 workers,
+        // documents asserted byte-equal inside the runner fn. The event
+        // total is pinned: any change to the smoke grid or to a cell's
+        // schedule moves it.
+        let sig = run_lab_parallel_vs_serial(SchedulerKind::BinaryHeap);
+        assert!(sig.events > 18 * 1_000, "{sig:?}");
+        let again = run_lab_parallel_vs_serial(SchedulerKind::BinaryHeap);
+        assert_eq!(sig, again, "merged document must dual-run identically");
+    }
+
+    #[test]
+    fn lab_run_vs_standalone_reproduces_the_golden_digest() {
+        let sig = run_lab_run_vs_standalone(SchedulerKind::BinaryHeap);
+        assert_eq!(sig.digest, 0xff1dbcd7cf7e729e, "{sig:?}");
+        assert_eq!(sig.events, 19_924);
+        let cal = run_lab_run_vs_standalone(SchedulerKind::CalendarQueue);
+        assert_eq!(sig, cal, "lab cell must be scheduler-neutral");
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 /// of their inputs and `bench` is a measurement harness, so they only get
 /// the RNG and hot-path lints.
 const DET_CRATES: &[&str] = &[
-    "sim", "switch", "feed", "trading", "market", "topo", "core", "netdev", "fault", "obs",
+    "sim", "switch", "feed", "trading", "market", "topo", "core", "netdev", "fault", "obs", "lab",
 ];
 
 /// Crates whose code creates, forwards, or retires kernel frame buffers;
@@ -43,8 +43,11 @@ pub fn scope_for(rel: &str) -> Option<Scope> {
         // tn-obs's `parse*` functions are offline trace readers, not
         // per-frame handlers, so the hot-path name heuristic would flag
         // them wholesale; its recording paths are guarded by the
-        // dedicated `obs-wallclock` lint instead.
-        hotpath: krate != "obs",
+        // dedicated `obs-wallclock` lint instead. tn-lab's `parse*`
+        // functions likewise read sweep specs and merged documents
+        // offline — the lab never runs inside the event loop — but its
+        // runner *is* determinism-critical, so it keeps the det lints.
+        hotpath: krate != "obs" && krate != "lab",
         obs: krate == "obs",
         perf: PERF_CRATES.contains(&krate),
     })
@@ -128,6 +131,9 @@ mod tests {
         assert!(!wire.det && wire.hotpath && !wire.perf);
         let bench = scope_for("crates/bench/src/obssim.rs").unwrap();
         assert!(bench.perf, "bench handles pooled frames");
+        let lab = scope_for("crates/lab/src/json.rs").unwrap();
+        assert!(lab.det, "lab runner must stay deterministic");
+        assert!(!lab.hotpath, "lab parsers are offline, like obs");
         assert!(
             scope_for("crates/audit/src/lints.rs").is_none(),
             "auditor skips itself"

@@ -7,11 +7,18 @@
 //! ~80% — partitioning demand (600 → 1300 partitions for one strategy)
 //! is on a collision course with the table.
 //!
+//! The demand axis is expressed as a `tn-lab` sweep spec and executed by
+//! the lab's batch runner through a custom [`RunExecutor`] — the
+//! proof-of-reuse example for lab-backed experiments. Pass `--threads N`
+//! to fan the sweep out across cores; the results are identical for any
+//! thread count.
+//!
 //! ```sh
-//! cargo run --release -p tn-bench --bin exp_mcast_exhaustion
+//! cargo run --release -p tn-bench --bin exp_mcast_exhaustion [-- --threads 4]
 //! ```
 
 use tn_fault::{FaultConnect, LinkSpec};
+use tn_lab::{run_batch, Axis, AxisValues, RunExecutor, RunOutcome, RunPlan, SweepSpec};
 use tn_sim::{Context, Frame, Node, PortId, SimTime, Simulator};
 use tn_stats::Summary;
 use tn_switch::{switch_generations, CommoditySwitch, SwitchConfig};
@@ -31,10 +38,22 @@ impl Node for Receiver {
     }
 }
 
+/// Everything one sweep cell measures.
+struct SweepResult {
+    hw_rate: f64,
+    sw_rate: f64,
+    hw_med_ns: u64,
+    sw_med_ns: u64,
+    /// All per-packet latencies (ps), for the lab's pooled cell stats.
+    latencies_ps: Vec<u64>,
+    /// Kernel trace digest + event count, for the divergence registry.
+    digest: u64,
+    events: u64,
+}
+
 /// Blast `packets_per_group` packets across `groups` groups on a switch
-/// with `table` hardware entries; return (hw delivery %, sw delivery %,
-/// hw median ns, sw median ns).
-fn run_sweep(groups: usize, table: usize, packets_per_group: usize) -> (f64, f64, u64, u64) {
+/// with `table` hardware entries.
+fn run_sweep(groups: usize, table: usize, packets_per_group: usize) -> SweepResult {
     let cfg = SwitchConfig {
         mcast_table_size: table,
         sw_service: SimTime::from_us(25),
@@ -86,6 +105,7 @@ fn run_sweep(groups: usize, table: usize, packets_per_group: usize) -> (f64, f64
     let arrivals = &sim.node::<Receiver>(rx).unwrap().arrivals;
     let mut hw_lat = Summary::new();
     let mut sw_lat = Summary::new();
+    let mut latencies_ps = Vec::with_capacity(arrivals.len());
     // Latency by matching per (group, round) send times in order.
     let mut seen: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
     for &(g, t) in arrivals {
@@ -97,11 +117,12 @@ fn run_sweep(groups: usize, table: usize, packets_per_group: usize) -> (f64, f64
             .map(|&(_, st)| st)
             .unwrap_or(SimTime::ZERO);
         *k += 1;
-        let lat = (t - send).as_ns();
+        let lat = t - send;
+        latencies_ps.push(lat.as_ps());
         if (g as usize) < table {
-            hw_lat.record(lat);
+            hw_lat.record(lat.as_ns());
         } else {
-            sw_lat.record(lat);
+            sw_lat.record(lat.as_ns());
         }
     }
     let hw_expected = table.min(groups) * packets_per_group;
@@ -116,31 +137,105 @@ fn run_sweep(groups: usize, table: usize, packets_per_group: usize) -> (f64, f64
     } else {
         1.0
     };
-    (
-        100.0 * hw_rate,
-        100.0 * sw_rate,
-        hw_lat.median(),
-        sw_lat.median(),
-    )
+    SweepResult {
+        hw_rate: 100.0 * hw_rate,
+        sw_rate: 100.0 * sw_rate,
+        hw_med_ns: hw_lat.median(),
+        sw_med_ns: sw_lat.median(),
+        latencies_ps,
+        digest: sim.trace.digest(),
+        events: sim.trace.recorded(),
+    }
+}
+
+/// The demand axis as a declarative sweep spec. The `groups` axis is a
+/// free-form parameter interpreted by [`McastExecutor`], not a
+/// `ScenarioConfig` field — the lab's manifest/runner/aggregation layers
+/// don't care which executor resolves a cell.
+pub fn e7_spec() -> SweepSpec {
+    SweepSpec {
+        name: "mcast-exhaustion".into(),
+        base: "small".into(),
+        designs: vec!["commodity-switch".into()],
+        overrides: vec![("table".into(), 512.0), ("packets_per_group".into(), 20.0)],
+        axes: vec![Axis {
+            param: "groups".into(),
+            values: AxisValues::List(vec![256.0, 512.0, 576.0, 640.0, 768.0, 1024.0]),
+        }],
+        seeds: vec![1],
+    }
+}
+
+/// Lab executor that resolves a cell of [`e7_spec`] with [`run_sweep`].
+pub struct McastExecutor;
+
+impl RunExecutor for McastExecutor {
+    fn execute(&self, plan: &RunPlan) -> Result<RunOutcome, String> {
+        let param = |name: &str| {
+            plan.params
+                .iter()
+                .find(|(p, _)| p == name)
+                .map(|&(_, v)| v)
+                .ok_or(format!("missing param `{name}`"))
+        };
+        let groups = param("groups")? as usize;
+        let table = param("table")? as usize;
+        let packets = param("packets_per_group")? as usize;
+        let r = run_sweep(groups, table, packets);
+        Ok(RunOutcome {
+            digest: r.digest,
+            events: r.events,
+            samples_ps: r.latencies_ps,
+            metrics: vec![
+                ("hw_delivery_pct".into(), r.hw_rate),
+                ("sw_delivery_pct".into(), r.sw_rate),
+                ("hw_median_ns".into(), r.hw_med_ns as f64),
+                ("sw_median_ns".into(), r.sw_med_ns as f64),
+            ],
+        })
+    }
 }
 
 fn main() {
-    let table = 512; // scaled-down hardware table for a fast sweep
-    println!("mroute table capacity: {table} groups; sweeping demanded groups\n");
+    let args: Vec<String> = std::env::args().collect();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|t| t.parse::<usize>().ok())
+        .unwrap_or(1);
+
+    let spec = e7_spec();
+    let manifest = spec.expand().expect("static spec expands");
+    let outcomes = run_batch(&manifest, threads, &McastExecutor).expect("sweep runs");
+
+    let table = 512usize;
+    println!("mroute table capacity: {table} groups; sweeping demanded groups");
+    println!("(lab-backed: spec `{}`, {threads} thread(s))\n", spec.name);
     println!(
         "{:>8} {:>10} {:>12} {:>12} {:>14} {:>14}",
         "groups", "overflow", "hw del %", "sw del %", "hw median", "sw median"
     );
-    for groups in [256usize, 512, 576, 640, 768, 1024] {
-        let (hw_rate, sw_rate, hw_med, sw_med) = run_sweep(groups, table, 20);
+    for (plan, out) in manifest.iter().zip(&outcomes) {
+        let metric = |name: &str| {
+            out.metrics
+                .iter()
+                .find(|(m, _)| m == name)
+                .map_or(0.0, |&(_, v)| v)
+        };
+        let groups = plan
+            .params
+            .iter()
+            .find(|(p, _)| p == "groups")
+            .map_or(0.0, |&(_, v)| v) as usize;
         println!(
             "{:>8} {:>10} {:>11.1}% {:>11.1}% {:>11} ns {:>11} ns",
             groups,
             groups.saturating_sub(table),
-            hw_rate,
-            sw_rate,
-            hw_med,
-            sw_med
+            metric("hw_delivery_pct"),
+            metric("sw_delivery_pct"),
+            metric("hw_median_ns") as u64,
+            metric("sw_median_ns") as u64,
         );
     }
     println!();

@@ -269,7 +269,8 @@ fn collect_report(
         .snapshot(deadline.as_ps())
         .map(|snap| crate::report::Telemetry::from_snapshot(&snap));
     let exch = sim.node::<Exchange>(exchange).expect("exchange");
-    let reaction = LatencyStats::from_samples(exch.response_latency_ps());
+    let reaction_samples = exch.response_latency_ps().to_vec();
+    let reaction = LatencyStats::from_samples(&reaction_samples);
     let feed_messages = exch.stats().feed_messages;
     let software = sc.software_path();
     let network_share = if reaction.count > 0 && reaction.median > SimTime::ZERO {
@@ -295,6 +296,7 @@ fn collect_report(
         events_recorded: sim.trace.recorded(),
         recovery,
         telemetry,
+        reaction_samples,
     }
 }
 

@@ -272,6 +272,11 @@ pub struct DesignReport {
     /// Latency decomposition and counters, when the scenario enabled the
     /// metrics registry (`ScenarioConfig::obs.registry`).
     pub telemetry: Option<Telemetry>,
+    /// Raw wire-to-wire reaction samples (picoseconds), in arrival order.
+    /// Kept so cross-run consumers (the tn-lab sweep aggregator) can pool
+    /// exact percentiles across seeds instead of averaging summaries.
+    /// Not serialized in `tn-report/v1`.
+    pub reaction_samples: Vec<u64>,
 }
 
 impl DesignReport {
@@ -582,6 +587,7 @@ mod tests {
                 degraded_throughput: 1234.5,
             },
             telemetry: None,
+            reaction_samples: vec![5_000],
         }
     }
 

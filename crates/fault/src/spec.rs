@@ -158,6 +158,18 @@ impl FaultSpec {
         self
     }
 
+    /// A seeded i.i.d.-loss spec, or `None` when `p <= 0`. Sweep axes use
+    /// this so a zero-loss cell carries *no* fault spec at all and stays
+    /// on the clean-path golden digests (a no-op `FaultLink` would still
+    /// reproduce them, but absence is the stronger statement).
+    pub fn iid(seed: u64, p: f64) -> Option<FaultSpec> {
+        if p <= 0.0 {
+            None
+        } else {
+            Some(FaultSpec::new(seed).with_iid_loss(p))
+        }
+    }
+
     /// Gilbert–Elliott burst loss (see [`LossModel::GilbertElliott`]).
     pub fn with_burst_loss(
         mut self,
@@ -238,6 +250,16 @@ mod tests {
         assert!(s.is_noop());
         assert!(!s.down_at(SimTime::from_ms(5)));
         assert_eq!(s.loss.mean_loss(), 0.0);
+    }
+
+    #[test]
+    fn iid_axis_helper() {
+        assert_eq!(FaultSpec::iid(7, 0.0), None);
+        assert_eq!(FaultSpec::iid(7, -1.0), None);
+        let s = FaultSpec::iid(7, 0.02).expect("positive p yields a spec");
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.loss, LossModel::Iid { p: 0.02 });
+        assert!(!s.is_noop());
     }
 
     #[test]

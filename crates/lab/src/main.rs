@@ -1,0 +1,145 @@
+//! `tn-lab` — expand, run, and summarize declarative scenario sweeps.
+//!
+//! ```sh
+//! tn-lab expand  (--preset smoke | --spec FILE)
+//! tn-lab run     (--preset smoke | --spec FILE) [--threads N] [--json] [--out FILE]
+//! tn-lab summarize FILE
+//! ```
+//!
+//! `run` prints the human cell table; `--json` additionally prints the
+//! `tn-lab/v1` document and `--out FILE` writes it to disk. The document
+//! is a pure function of the spec — `--threads` changes wall-clock time
+//! only, never a byte of output.
+
+use tn_lab::{LabReport, ScenarioExecutor, SweepSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("expand") => cmd_expand(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("summarize") => cmd_summarize(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: tn-lab expand (--preset smoke | --spec FILE)\n\
+                 \x20      tn-lab run (--preset smoke | --spec FILE) [--threads N] [--json] [--out FILE]\n\
+                 \x20      tn-lab summarize FILE"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Resolve `--preset NAME` / `--spec FILE` into a spec.
+fn load_spec(args: &[String]) -> Result<SweepSpec, String> {
+    if let Some(name) = flag_value(args, "--preset") {
+        return match name.as_str() {
+            "smoke" => Ok(SweepSpec::smoke()),
+            other => Err(format!("unknown preset `{other}` (available: smoke)")),
+        };
+    }
+    if let Some(path) = flag_value(args, "--spec") {
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return SweepSpec::parse(&src).map_err(|e| format!("{path}: {e}"));
+    }
+    Err("need --preset NAME or --spec FILE".into())
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_expand(args: &[String]) -> i32 {
+    match load_spec(args).and_then(|spec| spec.expand().map(|m| (spec, m))) {
+        Ok((spec, manifest)) => {
+            println!(
+                "sweep `{}` (base {}): {} runs",
+                spec.name,
+                spec.base,
+                manifest.len()
+            );
+            for plan in &manifest {
+                let params: Vec<String> = plan
+                    .params
+                    .iter()
+                    .map(|(p, v)| format!("{p}={v}"))
+                    .collect();
+                println!(
+                    "  [{:>4}] {} seed={} {}",
+                    plan.index,
+                    plan.design,
+                    plan.seed,
+                    params.join(" ")
+                );
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("tn-lab expand: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let threads = match flag_value(args, "--threads").map(|t| t.parse::<usize>()) {
+        None => 1,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("tn-lab run: --threads needs a positive integer");
+            return 1;
+        }
+    };
+    let result = load_spec(args).and_then(|spec| {
+        let manifest = spec.expand()?;
+        let outcomes = tn_lab::run_batch(&manifest, threads, &ScenarioExecutor::new())?;
+        Ok(LabReport::build(
+            &spec.name, &spec.base, &manifest, &outcomes,
+        ))
+    });
+    match result {
+        Ok(report) => {
+            print!("{}", report.table());
+            let json = report.to_json();
+            if let Some(path) = flag_value(args, "--out") {
+                if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("tn-lab run: cannot write {path}: {e}");
+                    return 1;
+                }
+                println!("wrote {path}");
+            }
+            if args.iter().any(|a| a == "--json") {
+                print!("{json}");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("tn-lab run: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_summarize(args: &[String]) -> i32 {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("tn-lab summarize: need a tn-lab/v1 report file");
+        return 1;
+    };
+    let result = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))
+        .and_then(|src| LabReport::parse(&src).map_err(|e| format!("{path}: {e}")));
+    match result {
+        Ok(report) => {
+            print!("{}", report.table());
+            0
+        }
+        Err(e) => {
+            eprintln!("tn-lab summarize: {e}");
+            1
+        }
+    }
+}

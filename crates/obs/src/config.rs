@@ -40,6 +40,16 @@ impl ObsConfig {
     pub const fn any(&self) -> bool {
         self.provenance || self.registry || self.trace
     }
+
+    /// [`ObsConfig::full`] when `on`, [`ObsConfig::off`] otherwise — the
+    /// boolean axis sweep specs use (`obs_full = 0 | 1`).
+    pub const fn from_full_flag(on: bool) -> ObsConfig {
+        if on {
+            ObsConfig::full()
+        } else {
+            ObsConfig::off()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -54,5 +64,11 @@ mod tests {
         assert!(ObsConfig::full().provenance);
         assert!(ObsConfig::full().registry);
         assert!(ObsConfig::full().trace);
+    }
+
+    #[test]
+    fn full_flag_maps_to_presets() {
+        assert_eq!(ObsConfig::from_full_flag(true), ObsConfig::full());
+        assert_eq!(ObsConfig::from_full_flag(false), ObsConfig::off());
     }
 }

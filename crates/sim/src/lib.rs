@@ -64,7 +64,7 @@ pub use link::{DropReason, HopTiming, IdealLink, Link, LinkOutcome};
 pub use node::{Node, NodeId, PortId};
 pub use sched::{BinaryHeapScheduler, CalendarQueue, Scheduler, SchedulerKind};
 pub use time::SimTime;
-pub use trace::{TraceEvent, TraceKind, TraceLog, EMPTY_DIGEST};
+pub use trace::{fnv1a_fold, TraceEvent, TraceKind, TraceLog, EMPTY_DIGEST};
 
 /// Re-export of the telemetry types the kernel integrates with (see
 /// [`Simulator::set_provenance`] / [`Simulator::set_metrics`]), so models

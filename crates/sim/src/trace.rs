@@ -39,8 +39,12 @@ pub struct TraceEvent {
 pub const EMPTY_DIGEST: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01b3;
 
+/// Fold `bytes` into an FNV-1a 64-bit digest. This is the same function
+/// the kernel trace digest uses; exposed so non-kernel artifacts (packet
+/// byte streams, merged sweep documents) can be content-hashed with the
+/// identical algorithm and compared in the divergence registry.
 #[inline]
-fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
+pub fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(FNV_PRIME);

@@ -110,6 +110,12 @@ impl Summary {
         Some(self.percentile(99.9))
     }
 
+    /// Max minus min (0 when empty): the cross-sample spread, used by the
+    /// experiment lab to report cross-seed variation within a sweep cell.
+    pub fn spread(&mut self) -> u64 {
+        self.max() - self.min()
+    }
+
     /// Borrow the raw samples (unsorted order not guaranteed after
     /// percentile queries).
     pub fn samples(&self) -> &[u64] {
@@ -176,6 +182,16 @@ mod tests {
         assert_eq!(s.percentile(99.9), 999, "explicit clamp still available");
         s.record(1000);
         assert_eq!(s.p999(), Some(1000));
+    }
+
+    #[test]
+    fn spread_is_max_minus_min() {
+        let mut s = Summary::new();
+        assert_eq!(s.spread(), 0);
+        s.extend([40, 10, 25]);
+        assert_eq!(s.spread(), 30);
+        s.record(100);
+        assert_eq!(s.spread(), 90);
     }
 
     #[test]

@@ -37,5 +37,22 @@ PROPTEST_CASES=8 cargo test -q --offline --test scheduler_equivalence
 run cargo run --release --offline -q -p tn-bench --bin bench_kernel -- --smoke
 head -1 BENCH_kernel.json | grep -q '"schema":"tn-bench/v1"'
 echo "==> BENCH_kernel.json: tn-bench/v1 ok"
+# Lab determinism: parallel batches must be byte-identical to serial and
+# reproduce the standalone golden digests (registry scenarios).
+run cargo run --release --offline -q -p tn-audit -- divergence --filter lab
+# Lab smoke: expand the smoke grid, run it on 2 workers, and check the
+# report leads with the tn-lab/v1 schema marker.
+echo "==> tn-lab expand + run --threads 2 (tn-lab/v1 schema check)"
+lab_out=target/ci-lab-smoke.json
+cargo run --release --offline -q -p tn-lab -- expand --preset smoke > /dev/null
+cargo run --release --offline -q -p tn-lab -- run --preset smoke --threads 2 \
+    --out "$lab_out" > /dev/null
+head -1 "$lab_out" | grep -q '"schema":"tn-lab/v1"'
+rm -f "$lab_out"
+# BENCH lab smoke: serial-vs-parallel wall clock with byte-identity
+# asserted inside the harness.
+run cargo run --release --offline -q -p tn-bench --bin bench_lab -- --smoke
+head -1 BENCH_lab.json | grep -q '"schema":"tn-bench/v1"'
+echo "==> BENCH_lab.json: tn-bench/v1 ok"
 
 echo "==> ci: all green"

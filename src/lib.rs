@@ -11,6 +11,7 @@
 pub use tn_core as core;
 pub use tn_fault as fault;
 pub use tn_feed as feed;
+pub use tn_lab as lab;
 pub use tn_market as market;
 pub use tn_netdev as netdev;
 pub use tn_sim as sim;

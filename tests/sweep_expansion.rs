@@ -1,0 +1,175 @@
+//! Property tests for `tn-lab` sweep expansion.
+//!
+//! The parallel batch runner's determinism rests on `SweepSpec::expand`
+//! being a pure function of the spec: the manifest must come out in the
+//! same order every time, cover exactly `designs × Π(axis lengths) ×
+//! seeds` runs, and never repeat a (design, params, seed) tuple. These
+//! properties are what let `run_batch` merge worker results by manifest
+//! index and still be byte-identical to a serial run, so they are pinned
+//! here over random axis shapes rather than just the fixed smoke grid.
+
+use proptest::prelude::*;
+use trading_networks::lab::{Axis, AxisValues, LabReport, RunOutcome, RunPlan, SweepSpec};
+
+/// Distinct positive values derived from the index, so duplicate axis
+/// values (which would legitimately collapse cells) cannot occur.
+fn arb_axis(name: String) -> impl Strategy<Value = Axis> {
+    let list = proptest::collection::vec(1u32..1000, 1..5).prop_map(|raw| {
+        let mut vs: Vec<f64> = raw.into_iter().map(f64::from).collect();
+        vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vs.dedup();
+        AxisValues::List(vs)
+    });
+    let range = (1u32..100, 1u32..5, 1u32..50).prop_map(|(start, count, step)| AxisValues::Range {
+        start: f64::from(start),
+        stop: f64::from(start + (count - 1) * step),
+        step: f64::from(step),
+    });
+    let log = (1u32..100, 1usize..5).prop_map(|(start, points)| AxisValues::LogRange {
+        start: f64::from(start),
+        stop: f64::from(start * 16),
+        points,
+    });
+    prop_oneof![list, range, log].prop_map(move |values| Axis {
+        param: name.clone(),
+        values,
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = SweepSpec> {
+    let designs = prop_oneof![
+        Just(vec!["traditional".to_string()]),
+        Just(vec!["traditional".to_string(), "cloud".to_string()]),
+        Just(vec![
+            "l1".to_string(),
+            "fpga".to_string(),
+            "traditional".to_string()
+        ]),
+    ];
+    let axes = prop_oneof![
+        Just(Vec::new()).boxed(),
+        arb_axis("axis0".into()).prop_map(|a| vec![a]).boxed(),
+        (arb_axis("axis0".into()), arb_axis("axis1".into()))
+            .prop_map(|(a, b)| vec![a, b])
+            .boxed(),
+        (
+            arb_axis("axis0".into()),
+            arb_axis("axis1".into()),
+            arb_axis("axis2".into()),
+        )
+            .prop_map(|(a, b, c)| vec![a, b, c])
+            .boxed(),
+    ];
+    let seeds = proptest::collection::vec(1u64..1_000, 1..4).prop_map(|mut s| {
+        s.sort_unstable();
+        s.dedup();
+        s
+    });
+    (designs, axes, seeds).prop_map(|(designs, axes, seeds)| SweepSpec {
+        name: "prop".into(),
+        base: "small".into(),
+        designs,
+        overrides: vec![("duration_us".into(), 8_000.0)],
+        axes,
+        seeds,
+    })
+}
+
+proptest! {
+    /// Same spec, same manifest — expansion has no hidden state.
+    #[test]
+    fn expansion_is_deterministic(spec in arb_spec()) {
+        prop_assert_eq!(spec.expand().unwrap(), spec.expand().unwrap());
+    }
+
+    /// The manifest covers the full cross product, nothing more.
+    #[test]
+    fn expansion_is_complete(spec in arb_spec()) {
+        let manifest = spec.expand().unwrap();
+        let cells: usize = spec
+            .axes
+            .iter()
+            .map(|a| a.values.materialize().unwrap().len())
+            .product();
+        prop_assert_eq!(
+            manifest.len(),
+            spec.designs.len() * cells * spec.seeds.len()
+        );
+    }
+
+    /// No two runs resolve to the same (design, params, seed) tuple, and
+    /// indices are sequential so worker results merge by position.
+    #[test]
+    fn expansion_is_duplicate_free_and_indexed(spec in arb_spec()) {
+        let manifest = spec.expand().unwrap();
+        for (i, plan) in manifest.iter().enumerate() {
+            prop_assert_eq!(plan.index, i);
+        }
+        let mut keys: Vec<(String, u64, String)> = manifest
+            .iter()
+            .map(|p| (p.design.clone(), p.seed, format!("{:?}", p.params)))
+            .collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before, "manifest has duplicate runs");
+    }
+
+    /// The spec survives serialization: emit → parse → emit is
+    /// byte-stable and the parsed spec expands to the same manifest.
+    #[test]
+    fn spec_round_trips_through_json(spec in arb_spec()) {
+        let j = spec.to_json();
+        let back = SweepSpec::parse(&j).unwrap();
+        prop_assert_eq!(back.to_json(), j);
+        prop_assert_eq!(back.expand().unwrap(), spec.expand().unwrap());
+    }
+}
+
+/// Synthetic outcomes for the report round-trip below — one run per
+/// manifest entry with index-derived samples and metrics.
+fn stub_outcomes(manifest: &[RunPlan]) -> Vec<RunOutcome> {
+    manifest
+        .iter()
+        .map(|p| RunOutcome {
+            digest: 0x1000 + p.index as u64,
+            events: 100 + p.index as u64,
+            samples_ps: (0..20).map(|i| 1_000 + 13 * i + p.index as u64).collect(),
+            metrics: vec![("fills".into(), p.index as f64)],
+        })
+        .collect()
+}
+
+#[test]
+fn lab_report_round_trips_byte_exactly() {
+    let spec = SweepSpec::smoke();
+    let manifest = spec.expand().unwrap();
+    let report = LabReport::build(&spec.name, &spec.base, &manifest, &stub_outcomes(&manifest));
+    let j = report.to_json();
+    let back = LabReport::parse(&j).unwrap();
+    assert_eq!(back, report);
+    assert_eq!(back.to_json(), j, "emit→parse→emit must be byte-stable");
+    assert_eq!(report.runs.len(), 18);
+    assert_eq!(
+        report.cells.len(),
+        18,
+        "one seed per cell on the smoke grid"
+    );
+}
+
+#[test]
+fn lab_report_pools_seed_replicates_into_one_cell() {
+    let mut spec = SweepSpec::smoke();
+    spec.axes.truncate(1); // 3 cells…
+    spec.seeds = vec![1, 2, 3]; // …× 3 seeds = 9 runs
+    let manifest = spec.expand().unwrap();
+    let report = LabReport::build(&spec.name, &spec.base, &manifest, &stub_outcomes(&manifest));
+    assert_eq!(report.runs.len(), 9);
+    assert_eq!(report.cells.len(), 3);
+    for cell in &report.cells {
+        assert_eq!(cell.seeds, vec![1, 2, 3]);
+        assert_eq!(cell.count, 60, "3 runs × 20 pooled samples");
+    }
+    let back = LabReport::parse(&report.to_json()).unwrap();
+    assert_eq!(back, report);
+}
