@@ -4,11 +4,17 @@
 //! bit-for-bit. This crate turns that comment into an enforced invariant,
 //! from both directions:
 //!
-//! * **Static** ([`lints`], [`scan`]): a token-level lint pass over every
-//!   workspace crate flags the classic ways determinism dies in Rust —
-//!   iterating a `HashMap`/`HashSet` (address-seeded order), wall-clock
-//!   reads, entropy-seeded RNGs — plus hot-path hygiene (panics and
-//!   allocation inside `on_frame`/`on_timer`/`decode*`/`parse*`).
+//! * **Static** ([`lints`], [`scan`]): a lossless lexer ([`lexer`]) feeds
+//!   a lightweight item parser ([`items`]) that builds a workspace-wide
+//!   call graph ([`callgraph`]). Hot taint is propagated from the
+//!   kernel's registered dispatch roots (`Node::on_frame`/`on_timer`,
+//!   `Scheduler` queue ops, `Link` timing, `Simulator::step`) and
+//!   determinism taint from the schedule-feeding APIs, then token-level
+//!   lints flag the classic ways determinism dies in Rust — iterating a
+//!   `HashMap`/`HashSet` (address-seeded order), wall-clock reads,
+//!   entropy-seeded RNGs — plus hot-path hygiene (panics and allocation
+//!   reachable from a dispatch root) and wire-format schema drift
+//!   ([`schema`]). Every taint-gated finding cites its call chain.
 //!   Findings can be waived in place with
 //!   `// audit:allow(<lint>): <justification>`.
 //! * **Dynamic** ([`divergence`]): every example scenario is run twice
@@ -17,15 +23,23 @@
 //!
 //! The binary (`cargo run -p tn-audit -- check`) runs both and exits
 //! non-zero on any active finding or digest mismatch; `scripts/ci.sh`
-//! wires it into the build.
+//! wires it into the build together with a committed-baseline diff gate
+//! ([`baseline`]).
 
+pub mod baseline;
+pub mod callgraph;
 pub mod divergence;
+pub mod items;
+pub mod lexer;
 pub mod lints;
 pub mod report;
 pub mod scan;
+pub mod schema;
 pub mod source;
 
-pub use lints::{scan_file, Finding, LintInfo, Scope, Severity, LINTS};
+pub use callgraph::{DET_SINKS, HOT_ROOTS};
+pub use lints::{scan_file, FileTaint, Finding, LintInfo, Scope, Severity, LINTS};
 pub use report::{counts, render_json, render_text, Counts};
-pub use scan::{scan_workspace, scope_for};
+pub use scan::{scan_sources, scan_workspace, scope_for};
+pub use schema::SCHEMA_REGISTRY;
 pub use source::SourceFile;

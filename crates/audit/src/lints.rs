@@ -1,22 +1,27 @@
-//! The lint pass: five determinism / hot-path lints over lexed source.
+//! The lint pass: determinism / hot-path / schema lints over lexed source.
 //!
 //! Determinism lints (`det-*`) guard the property `tn-audit divergence`
 //! verifies dynamically: same scenario + same seed ⇒ same trace digest.
-//! Hot-path lints (`hotpath-*`) guard the per-frame code paths (`on_frame`,
-//! `on_timer`, `decode*`/`parse*`) against panics and allocation — the
-//! paper's whole argument is that the hot path is measured in nanoseconds.
+//! Hot-path lints (`hotpath-*`) guard the per-frame code paths against
+//! panics and allocation — the paper's whole argument is that the hot
+//! path is measured in nanoseconds.
 //!
-//! The pass is heuristic (token-level, not type-aware), so it is tuned to
-//! the workspace's idioms and every finding can be waived in place with
+//! Since tn-audit v2, *which* lines are hot or determinism-critical is
+//! not decided here (and not by function-name heuristics): the workspace
+//! call graph ([`crate::callgraph`]) propagates taint from the kernel's
+//! registered hot roots and schedule-feeding APIs, and this pass receives
+//! the per-line verdicts as a [`FileTaint`]. Detection itself stays
+//! token-level, so every finding can still be waived in place with
 //! `// audit:allow(<lint>): <justification>`.
 
-use crate::source::{tokenize, SourceFile, Tok};
+use crate::schema;
+use crate::source::{tokenize, Line, SourceFile, Tok};
 
 /// How bad a finding is. Both severities fail the build when active; the
 /// split exists for reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Severity {
-    /// Breaks the determinism contract.
+    /// Breaks the determinism contract (or ships an unregistered schema).
     Error,
     /// Hurts the hot path.
     Warning,
@@ -47,12 +52,12 @@ pub const LINTS: &[LintInfo] = &[
     LintInfo {
         id: "det-hashmap-iter",
         severity: Severity::Error,
-        summary: "iteration over a HashMap/HashSet — visit order is nondeterministic",
+        summary: "iteration over a HashMap/HashSet in determinism-critical code — visit order is nondeterministic",
     },
     LintInfo {
         id: "det-wallclock",
         severity: Severity::Error,
-        summary: "wall-clock time source (Instant/SystemTime) in simulation logic",
+        summary: "wall-clock time source (Instant/SystemTime) in determinism-critical code",
     },
     LintInfo {
         id: "det-unseeded-rng",
@@ -67,17 +72,22 @@ pub const LINTS: &[LintInfo] = &[
     LintInfo {
         id: "hotpath-unwrap",
         severity: Severity::Warning,
-        summary: "unwrap/expect/panic! inside a per-frame handler",
+        summary: "unwrap/expect/panic! on a path reachable from a kernel dispatch root",
     },
     LintInfo {
         id: "hotpath-alloc",
         severity: Severity::Warning,
-        summary: "heap allocation (Vec::new/format!/to_vec/...) inside a per-frame handler",
+        summary: "heap allocation (Vec::new/format!/to_vec/...) on a path reachable from a kernel dispatch root",
     },
     LintInfo {
         id: "perf-arena-leak",
         severity: Severity::Warning,
         summary: "frame buffer dropped (`drop(frame)`) instead of returned to the arena",
+    },
+    LintInfo {
+        id: "schema-version",
+        severity: Severity::Error,
+        summary: "wire-format version string absent from the schema registry (crates/audit/src/schema.rs)",
     },
 ];
 
@@ -103,32 +113,76 @@ pub struct Finding {
     pub message: String,
     /// The raw source line, for the report.
     pub snippet: String,
+    /// Why the lint applied here: the call chain from a hot root or to a
+    /// schedule-feeding API, rendered by the call-graph analysis.
+    pub note: Option<String>,
     /// Whether an `audit:allow` waives it.
     pub suppressed: bool,
 }
 
-/// Which lint families apply to a file.
+/// Which lint families may apply to a file at all. Whether a given line
+/// actually triggers the taint-gated lints is decided by [`FileTaint`].
 #[derive(Debug, Clone, Copy)]
 pub struct Scope {
-    /// Apply `det-hashmap-iter` / `det-wallclock` (simulation-facing code).
-    pub det: bool,
-    /// Apply `hotpath-*` lints.
+    /// `hotpath-*` lints may fire (crate sources; off for examples/tests
+    /// scaffolding, whose handlers are not kernel-dispatched in anger).
     pub hotpath: bool,
     /// Apply `obs-wallclock` (telemetry code: the tn-obs crate).
     pub obs: bool,
-    /// Apply `perf-*` lints (frame-arena discipline: code that handles
-    /// kernel frame buffers).
+    /// Apply `perf-*` lints (frame-arena discipline).
     pub perf: bool,
+    /// Apply `schema-version` (any code that may emit wire formats).
+    pub schema: bool,
 }
 
 impl Scope {
     /// Everything on (used by tests and fixtures).
     pub fn full() -> Scope {
         Scope {
-            det: true,
             hotpath: true,
             obs: true,
             perf: true,
+            schema: true,
+        }
+    }
+}
+
+/// Per-line taint verdicts for one file, produced by the call-graph
+/// analysis. All vectors are indexed by 0-based line.
+#[derive(Debug, Clone)]
+pub struct FileTaint {
+    /// `Some(chain note)` when the line is inside a hot function.
+    pub hot: Vec<Option<String>>,
+    /// `Some(reason)` when the line is inside a determinism-critical
+    /// function (superset of hot).
+    pub det: Vec<Option<String>>,
+    /// Whether the line is inside any function body at all.
+    pub in_fn: Vec<bool>,
+    /// Whether any function in the file is determinism-critical: lines
+    /// outside every function (`use`, statics) inherit this as their
+    /// det verdict, since imports serve the functions below them.
+    pub file_det: bool,
+}
+
+impl FileTaint {
+    /// No line is hot or det (an untainted file).
+    pub fn cold(lines: usize) -> FileTaint {
+        FileTaint {
+            hot: vec![None; lines],
+            det: vec![None; lines],
+            in_fn: vec![false; lines],
+            file_det: false,
+        }
+    }
+
+    /// Every line hot and det — the unit-test harness for detection
+    /// logic, standing in for a fully tainted file.
+    pub fn full(lines: usize) -> FileTaint {
+        FileTaint {
+            hot: vec![Some("test taint".to_string()); lines],
+            det: vec![Some("test taint".to_string()); lines],
+            in_fn: vec![true; lines],
+            file_det: true,
         }
     }
 }
@@ -147,14 +201,6 @@ const ITER_METHODS: &[&str] = &[
     "retain",
 ];
 
-/// Functions whose bodies are hot paths.
-fn is_hot_fn(name: &str) -> bool {
-    name == "on_frame"
-        || name == "on_timer"
-        || name.starts_with("decode")
-        || name.starts_with("parse")
-}
-
 /// Panicking calls flagged on hot paths: `.NAME(` receivers.
 const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 /// Panicking macros flagged on hot paths: `NAME!`.
@@ -172,11 +218,10 @@ const ALLOC_PATHS: &[(&str, &str)] = &[
 /// Allocating `.METHOD(` receivers flagged on hot paths.
 const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned"];
 
-/// Run every applicable lint over one file.
-pub fn scan_file(sf: &SourceFile, scope: Scope) -> Vec<Finding> {
+/// Run every applicable lint over one file, with per-line taints.
+pub fn scan_file(sf: &SourceFile, scope: Scope, taint: &FileTaint) -> Vec<Finding> {
     let toks: Vec<Vec<(usize, Tok)>> = sf.lines.iter().map(|l| tokenize(&l.code)).collect();
     let maps = collect_map_names(&toks);
-    let hot = hot_lines(sf, &toks);
 
     let mut out = Vec::new();
     for (idx, line) in sf.lines.iter().enumerate() {
@@ -186,20 +231,37 @@ pub fn scan_file(sf: &SourceFile, scope: Scope) -> Vec<Finding> {
         let lineno = idx + 1;
         let t = &toks[idx];
 
-        if scope.det {
-            lint_hashmap_iter(sf, lineno, t, &maps, &mut out);
-            lint_wallclock(sf, lineno, t, &mut out);
+        let in_fn = taint.in_fn.get(idx).copied().unwrap_or(false);
+        let det_note: Option<&str> = match taint.det.get(idx).and_then(|o| o.as_deref()) {
+            Some(n) => Some(n),
+            None if !in_fn && taint.file_det => Some("file contains determinism-critical code"),
+            None => None,
+        };
+        let hot_note: Option<&str> = if scope.hotpath {
+            taint.hot.get(idx).and_then(|o| o.as_deref())
+        } else {
+            None
+        };
+
+        if let Some(note) = det_note {
+            lint_hashmap_iter(sf, lineno, t, &maps, note, &mut out);
+            lint_wallclock(sf, lineno, t, note, &mut out);
         }
         if scope.obs {
             lint_obs_wallclock(sf, lineno, t, &mut out);
         }
         lint_unseeded_rng(sf, lineno, t, &mut out);
-        if scope.hotpath && hot[idx] {
-            lint_hot_unwrap(sf, lineno, t, &mut out);
-            lint_hot_alloc(sf, lineno, t, &mut out);
+        if let Some(note) = hot_note {
+            lint_hot_unwrap(sf, lineno, t, note, &mut out);
+            lint_hot_alloc(sf, lineno, t, note, &mut out);
         }
         if scope.perf {
-            lint_perf_arena_leak(sf, lineno, t, &mut out);
+            if let Some(note) = hot_note.or(det_note) {
+                lint_perf_arena_leak(sf, lineno, t, note, &mut out);
+            }
+        }
+        if scope.schema {
+            lint_schema_version(sf, lineno, line, &mut out);
         }
     }
     out
@@ -277,64 +339,14 @@ fn collect_map_names(toks: &[Vec<(usize, Tok)>]) -> Vec<String> {
     names
 }
 
-/// Mark lines inside hot-path function bodies, via brace tracking from
-/// each `fn on_frame`/`on_timer`/`decode*`/`parse*` signature.
-fn hot_lines(sf: &SourceFile, toks: &[Vec<(usize, Tok)>]) -> Vec<bool> {
-    let n = sf.lines.len();
-    let mut hot = vec![false; n];
-    let mut i = 0usize;
-    while i < n {
-        let is_hot_sig = toks[i]
-            .windows(2)
-            .any(|w| w[0].1.ident() == Some("fn") && w[1].1.ident().is_some_and(is_hot_fn));
-        if !is_hot_sig || sf.lines[i].in_test {
-            i += 1;
-            continue;
-        }
-        // Find the body: first `{` at/after the signature line, then its
-        // matching `}`. Signatures don't contain braces before the body.
-        let mut depth: i32 = 0;
-        let mut opened = false;
-        let mut j = i;
-        while j < n {
-            for ch in sf.lines[j].code.chars() {
-                match ch {
-                    '{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    '}' => depth -= 1,
-                    // A trait method *declaration* ends at `;` — no body.
-                    ';' if !opened => {
-                        j = n; // sentinel: nothing to mark
-                        break;
-                    }
-                    _ => {}
-                }
-            }
-            if j >= n || (opened && depth <= 0) {
-                break;
-            }
-            j += 1;
-        }
-        if j < n {
-            for flag in &mut hot[i..=j] {
-                *flag = true;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    hot
-}
-
+#[allow(clippy::too_many_arguments)]
 fn push(
     sf: &SourceFile,
     lineno: usize,
     column: usize,
     lint: &'static str,
     message: String,
+    note: Option<&str>,
     out: &mut Vec<Finding>,
 ) {
     out.push(Finding {
@@ -345,6 +357,7 @@ fn push(
         column,
         message,
         snippet: sf.lines[lineno - 1].raw.clone(),
+        note: note.map(str::to_string),
         suppressed: sf.allowed(lineno, lint),
     });
 }
@@ -354,6 +367,7 @@ fn lint_hashmap_iter(
     lineno: usize,
     toks: &[(usize, Tok)],
     maps: &[String],
+    note: &str,
     out: &mut Vec<Finding>,
 ) {
     let is_map = |t: &Tok| t.ident().is_some_and(|n| maps.iter().any(|m| m == n));
@@ -379,6 +393,7 @@ fn lint_hashmap_iter(
                     tok.ident().unwrap_or_default(),
                     method
                 ),
+                Some(note),
                 out,
             );
         }
@@ -412,6 +427,7 @@ fn lint_hashmap_iter(
                              across processes — use BTreeMap/BTreeSet or sort first",
                             mtok.ident().unwrap_or_default()
                         ),
+                        Some(note),
                         out,
                     );
                 }
@@ -420,7 +436,17 @@ fn lint_hashmap_iter(
     }
 }
 
-fn lint_wallclock(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &mut Vec<Finding>) {
+fn lint_wallclock(
+    sf: &SourceFile,
+    lineno: usize,
+    toks: &[(usize, Tok)],
+    note: &str,
+    out: &mut Vec<Finding>,
+) {
+    // A `use std::time::...` line is inert; the call sites are flagged.
+    if toks.first().and_then(|t| t.1.ident()) == Some("use") {
+        return;
+    }
     for (col, tok) in toks {
         if let Some(id) = tok.ident() {
             if id == "Instant" || id == "SystemTime" {
@@ -433,6 +459,7 @@ fn lint_wallclock(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &m
                         "`{id}` reads the wall clock; simulation logic must use SimTime \
                          so identical runs stay identical"
                     ),
+                    Some(note),
                     out,
                 );
             }
@@ -450,6 +477,9 @@ fn lint_obs_wallclock(
     toks: &[(usize, Tok)],
     out: &mut Vec<Finding>,
 ) {
+    if toks.first().and_then(|t| t.1.ident()) == Some("use") {
+        return;
+    }
     for (i, (col, tok)) in toks.iter().enumerate() {
         let Some(id) = tok.ident() else { continue };
         let flagged = match id {
@@ -483,6 +513,7 @@ fn lint_obs_wallclock(
                     "`{id}` brings std::time into telemetry; timestamps and durations \
                      must be u64 simulated picoseconds"
                 ),
+                None,
                 out,
             );
         }
@@ -507,6 +538,7 @@ fn lint_unseeded_rng(
                         "`{id}` draws entropy from the OS; all randomness must flow from \
                          the scenario seed"
                     ),
+                    None,
                     out,
                 );
             }
@@ -514,7 +546,13 @@ fn lint_unseeded_rng(
     }
 }
 
-fn lint_hot_unwrap(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &mut Vec<Finding>) {
+fn lint_hot_unwrap(
+    sf: &SourceFile,
+    lineno: usize,
+    toks: &[(usize, Tok)],
+    note: &str,
+    out: &mut Vec<Finding>,
+) {
     for (i, (col, tok)) in toks.iter().enumerate() {
         let Some(id) = tok.ident() else { continue };
         let prev_dot = i > 0 && toks[i - 1].1.is('.');
@@ -526,6 +564,7 @@ fn lint_hot_unwrap(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &
                 *col,
                 "hotpath-unwrap",
                 format!("`.{id}()` can panic on the per-frame path; handle the None/Err case"),
+                Some(note),
                 out,
             );
         }
@@ -536,13 +575,20 @@ fn lint_hot_unwrap(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &
                 *col,
                 "hotpath-unwrap",
                 format!("`{id}!` panics on the per-frame path; degrade gracefully instead"),
+                Some(note),
                 out,
             );
         }
     }
 }
 
-fn lint_hot_alloc(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &mut Vec<Finding>) {
+fn lint_hot_alloc(
+    sf: &SourceFile,
+    lineno: usize,
+    toks: &[(usize, Tok)],
+    note: &str,
+    out: &mut Vec<Finding>,
+) {
     for (i, (col, tok)) in toks.iter().enumerate() {
         let Some(id) = tok.ident() else { continue };
         let next = toks.get(i + 1).map(|t| &t.1);
@@ -553,6 +599,7 @@ fn lint_hot_alloc(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &m
                 *col,
                 "hotpath-alloc",
                 format!("`{id}!` allocates on the per-frame path; reuse a buffer"),
+                Some(note),
                 out,
             );
             continue;
@@ -570,6 +617,7 @@ fn lint_hot_alloc(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &m
                         *col,
                         "hotpath-alloc",
                         format!("`{id}::{m}` allocates on the per-frame path; preallocate in the constructor"),
+                        Some(note),
                         out,
                     );
                 }
@@ -584,6 +632,7 @@ fn lint_hot_alloc(sf: &SourceFile, lineno: usize, toks: &[(usize, Tok)], out: &m
                 *col,
                 "hotpath-alloc",
                 format!("`.{id}()` allocates on the per-frame path; borrow instead"),
+                Some(note),
                 out,
             );
         }
@@ -601,6 +650,7 @@ fn lint_perf_arena_leak(
     sf: &SourceFile,
     lineno: usize,
     toks: &[(usize, Tok)],
+    note: &str,
     out: &mut Vec<Finding>,
 ) {
     for (i, (col, tok)) in toks.iter().enumerate() {
@@ -622,8 +672,34 @@ fn lint_perf_arena_leak(
                     *col,
                     "perf-arena-leak",
                     format!(
-                        "`drop({arg})` discards a pooled frame buffer; recycle it                          (ctx.recycle / arena.give) so the payload Vec is reused"
+                        "`drop({arg})` discards a pooled frame buffer; recycle it \
+                         (ctx.recycle / arena.give) so the payload Vec is reused"
                     ),
+                    Some(note),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Any string literal containing a `tn-…/v<N>`-shaped marker must use a
+/// marker from [`schema::SCHEMA_REGISTRY`] — the single source of truth
+/// for the workspace's wire formats.
+fn lint_schema_version(sf: &SourceFile, lineno: usize, line: &Line, out: &mut Vec<Finding>) {
+    for (col, lit) in &line.lits {
+        for (off, marker) in schema::find_markers(lit) {
+            if !schema::is_registered(&marker) {
+                push(
+                    sf,
+                    lineno,
+                    col + off,
+                    "schema-version",
+                    format!(
+                        "wire-format marker `{marker}` is not in the schema registry; \
+                         register it in crates/audit/src/schema.rs or fix the string"
+                    ),
+                    None,
                     out,
                 );
             }
@@ -636,8 +712,18 @@ mod tests {
     use super::*;
     use crate::source::SourceFile;
 
+    /// Scan with every line tainted hot+det: exercises detection logic.
     fn scan(text: &str) -> Vec<Finding> {
-        scan_file(&SourceFile::parse("t.rs", text), Scope::full())
+        let sf = SourceFile::parse("t.rs", text);
+        let taint = FileTaint::full(sf.lines.len());
+        scan_file(&sf, Scope::full(), &taint)
+    }
+
+    /// Scan with no taint at all: only global lints can fire.
+    fn scan_cold(text: &str) -> Vec<Finding> {
+        let sf = SourceFile::parse("t.rs", text);
+        let taint = FileTaint::cold(sf.lines.len());
+        scan_file(&sf, Scope::full(), &taint)
     }
 
     #[test]
@@ -694,24 +780,42 @@ mod tests {
     }
 
     #[test]
-    fn hot_fn_extents() {
-        let f = scan(
-            "fn on_frame(&mut self) {\n    let v = Vec::new();\n}\n\
-             fn cold(&mut self) {\n    let v = Vec::new();\n}\n",
+    fn cold_lines_never_trip_taint_gated_lints() {
+        let f = scan_cold(
+            "fn helper() {\n    let t = Instant::now();\n    let v = Vec::new();\n    x.unwrap();\n}\n",
         );
-        assert_eq!(f.len(), 1, "only the on_frame body is hot: {f:?}");
-        assert_eq!(f[0].line, 2);
-    }
-
-    #[test]
-    fn trait_method_declaration_is_not_a_body() {
-        let f = scan("trait T {\n    fn on_frame(&mut self);\n}\nfn x() { panic!(); }\n");
         assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
+    fn findings_carry_the_taint_note() {
+        let f = scan("fn on_frame() { x.unwrap(); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].note.as_deref(), Some("test taint"));
+    }
+
+    #[test]
+    fn toplevel_lines_inherit_file_det() {
+        let sf = SourceFile::parse("t.rs", "static LAST: Option<SystemTime> = None;\n");
+        let mut taint = FileTaint::cold(sf.lines.len());
+        taint.file_det = true;
+        let f = scan_file(&sf, Scope::full(), &taint);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "det-wallclock");
+    }
+
+    #[test]
+    fn use_lines_are_inert_for_wallclock() {
+        let sf = SourceFile::parse("t.rs", "use std::time::Instant;\n");
+        let mut taint = FileTaint::cold(sf.lines.len());
+        taint.file_det = true;
+        let f = scan_file(&sf, Scope::full(), &taint);
+        assert!(f.iter().all(|x| x.lint != "det-wallclock"), "{f:?}");
+    }
+
+    #[test]
     fn unwrap_or_is_not_unwrap() {
-        let f = scan("fn on_timer(&mut self) { let x = o.unwrap_or(3); let _ = x; }\n");
+        let f = scan("fn on_timer() { let x = o.unwrap_or(3); let _ = x; }\n");
         assert!(f.is_empty(), "{f:?}");
     }
 
@@ -731,8 +835,15 @@ mod tests {
     }
 
     #[test]
+    fn unseeded_rng_fires_without_taint() {
+        let f = scan_cold("fn f() { let r = thread_rng(); }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "det-unseeded-rng");
+    }
+
+    #[test]
     fn obs_wallclock_flags_std_time_once() {
-        let f = scan("fn f() { let d = std::time::Duration::from_secs(1); let _ = d; }\n");
+        let f = scan_cold("fn f() { let d = std::time::Duration::from_secs(1); let _ = d; }\n");
         let obs: Vec<_> = f.iter().filter(|x| x.lint == "obs-wallclock").collect();
         assert_eq!(obs.len(), 1, "{f:?}");
         assert_eq!(obs[0].severity, Severity::Error);
@@ -740,7 +851,7 @@ mod tests {
 
     #[test]
     fn obs_wallclock_flags_bare_duration() {
-        let f = scan("fn f(d: Duration) -> u64 { d.as_nanos() as u64 }\n");
+        let f = scan_cold("fn f(d: Duration) -> u64 { d.as_nanos() as u64 }\n");
         assert!(f.iter().any(|x| x.lint == "obs-wallclock"), "{f:?}");
     }
 
@@ -748,12 +859,12 @@ mod tests {
     fn obs_wallclock_off_outside_telemetry_scope() {
         let sf = SourceFile::parse("t.rs", "fn f(d: Duration) {}\n");
         let scope = Scope {
-            det: true,
             hotpath: true,
             obs: false,
             perf: true,
+            schema: true,
         };
-        let f = scan_file(&sf, scope);
+        let f = scan_file(&sf, scope, &FileTaint::cold(sf.lines.len()));
         assert!(f.is_empty(), "{f:?}");
     }
 
@@ -782,6 +893,20 @@ mod tests {
 }
 ",
         );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unregistered_schema_marker_is_flagged() {
+        let f = scan_cold("fn f() -> &'static str { \"tn-bogus/v9\" }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "schema-version");
+        assert_eq!(f[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn registered_schema_marker_is_clean() {
+        let f = scan_cold("fn f() -> &'static str { \"tn-trace/v1\" }\n");
         assert!(f.is_empty(), "{f:?}");
     }
 

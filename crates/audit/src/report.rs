@@ -1,14 +1,17 @@
 //! Rendering: rustc-style terminal output and a stable JSON document.
 //!
-//! The JSON schema is versioned and covered by tests — downstream tooling
-//! (CI annotations, dashboards) may rely on it:
+//! The JSON document self-identifies via the registered `tn-audit/v1`
+//! schema marker and is covered by tests — downstream tooling (the CI
+//! baseline gate, dashboards) may rely on it:
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "schema": "tn-audit/v1",
 //!   "findings": [
 //!     {"lint": "...", "severity": "error|warning", "file": "...",
-//!      "line": 1, "column": 1, "message": "...", "suppressed": false}
+//!      "line": 1, "column": 1, "message": "...",
+//!      "note": "call chain (present when taint-gated)",
+//!      "suppressed": false}
 //!   ],
 //!   "counts": {"total": 0, "suppressed": 0, "active": 0}
 //! }
@@ -49,7 +52,8 @@ pub fn sort(findings: &mut [Finding]) {
     });
 }
 
-/// Render findings the way rustc renders diagnostics.
+/// Render findings the way rustc renders diagnostics. Taint-gated
+/// findings cite their call chain in a `= note:` line.
 pub fn render_text(findings: &[Finding]) -> String {
     let mut out = String::new();
     for f in findings {
@@ -74,6 +78,9 @@ pub fn render_text(findings: &[Finding]) -> String {
             "^",
             col = f.column
         ));
+        if let Some(note) = &f.note {
+            out.push_str(&format!("{:>gutter$} = note: {}\n", "", note));
+        }
         out.push('\n');
     }
     let c = counts(findings);
@@ -95,19 +102,24 @@ fn digits(mut n: usize) -> usize {
 
 /// Render the versioned JSON document (schema above).
 pub fn render_json(findings: &[Finding]) -> String {
-    let mut out = String::from("{\"version\":1,\"findings\":[");
+    let mut out = String::from("{\"schema\":\"tn-audit/v1\",\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
+        let note = match &f.note {
+            Some(n) => format!(",\"note\":{}", json_str(n)),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "{{\"lint\":{},\"severity\":{},\"file\":{},\"line\":{},\"column\":{},\"message\":{},\"suppressed\":{}}}",
+            "{{\"lint\":{},\"severity\":{},\"file\":{},\"line\":{},\"column\":{},\"message\":{}{},\"suppressed\":{}}}",
             json_str(f.lint),
             json_str(f.severity.name()),
             json_str(&f.file),
             f.line,
             f.column,
             json_str(&f.message),
+            note,
             f.suppressed
         ));
     }
@@ -121,7 +133,7 @@ pub fn render_json(findings: &[Finding]) -> String {
 }
 
 /// Escape a string as a JSON literal (hand-rolled; no serde offline).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -153,6 +165,7 @@ mod tests {
             column: 13,
             message: "`Instant` reads the wall clock".into(),
             snippet: "    let t = Instant::now();".into(),
+            note: None,
             suppressed,
         }
     }
@@ -170,14 +183,37 @@ mod tests {
     }
 
     #[test]
+    fn text_report_cites_the_chain() {
+        let mut f = finding(false);
+        f.note = Some("feeds the simulator schedule: build -> Simulator::inject_frame".into());
+        let out = render_text(&[f]);
+        assert!(
+            out.contains("= note: feeds the simulator schedule: build -> Simulator::inject_frame"),
+            "{out}"
+        );
+    }
+
+    #[test]
     fn json_is_stable() {
         let out = render_json(&[finding(true)]);
         assert_eq!(
             out,
-            "{\"version\":1,\"findings\":[{\"lint\":\"det-wallclock\",\"severity\":\"error\",\
+            "{\"schema\":\"tn-audit/v1\",\"findings\":[{\"lint\":\"det-wallclock\",\"severity\":\"error\",\
              \"file\":\"crates/x/src/lib.rs\",\"line\":7,\"column\":13,\
              \"message\":\"`Instant` reads the wall clock\",\"suppressed\":true}],\
              \"counts\":{\"total\":1,\"suppressed\":1,\"active\":0}}\n"
+        );
+    }
+
+    #[test]
+    fn json_includes_note_when_present() {
+        let mut f = finding(false);
+        f.note = Some("hot root Node::on_frame".into());
+        let out = render_json(&[f]);
+        assert!(out.starts_with("{\"schema\":\"tn-audit/v1\","), "{out}");
+        assert!(
+            out.contains("\"note\":\"hot root Node::on_frame\",\"suppressed\":false"),
+            "{out}"
         );
     }
 

@@ -1,18 +1,23 @@
-//! Source model: a lightweight line-oriented lexer for Rust files.
+//! Source model: per-line views of a file derived from the lossless
+//! [`crate::lexer`] token stream.
 //!
 //! Full parsing (`syn`) is deliberately out of scope — the audit runs in
-//! offline environments with no registry access — so this module does the
-//! minimum lexing a lint pass needs to be trustworthy:
+//! offline environments with no registry access — so this module exposes
+//! the minimum a lint pass needs to be trustworthy:
 //!
 //! * comments and string/char literal *contents* are blanked out of the
 //!   `code` view, so `"thread_rng"` in a doc string never trips a lint;
+//! * string-literal text is collected per line, so the `schema-version`
+//!   lint can check wire-format version strings against the registry;
 //! * `// audit:allow(<lint>, ...)` suppression comments are collected per
 //!   line (they apply to their own line and the line that follows);
 //! * `#[cfg(test)]` regions are brace-tracked and marked, so test-only
-//!   code is exempt from determinism lints.
+//!   code is exempt from the lints.
 //!
 //! The `code` view preserves column positions (every skipped character is
 //! replaced by a space), so findings can point at real source columns.
+
+use crate::lexer::{lex, TokKind};
 
 /// One lexed source line.
 #[derive(Debug, Clone)]
@@ -24,6 +29,8 @@ pub struct Line {
     pub raw: String,
     /// Comment text found on the line (line + block comments, concatenated).
     pub comment: String,
+    /// String-literal text starting on this line: `(column, exact text)`.
+    pub lits: Vec<(usize, String)>,
     /// Lint ids named by `audit:allow(...)` on this line.
     pub allows: Vec<String>,
     /// Whether the line sits inside a `#[cfg(test)]` item.
@@ -39,175 +46,69 @@ pub struct SourceFile {
     pub lines: Vec<Line>,
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum St {
-    Code,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u8),
-    Char,
-    ByteStr,
-}
-
 impl SourceFile {
     /// Lex `text` into lines. `rel` is the path used in findings.
     pub fn parse(rel: &str, text: &str) -> SourceFile {
-        let mut lines: Vec<Line> = Vec::new();
-        let mut st = St::Code;
-
-        for raw in text.lines() {
-            let mut code = String::with_capacity(raw.len());
-            let mut comment = String::new();
-            let chars: Vec<char> = raw.chars().collect();
-            let mut i = 0usize;
-
-            // A line comment never spans lines.
-            if st == St::LineComment {
-                st = St::Code;
-            }
-
-            while i < chars.len() {
-                let c = chars[i];
-                let next = chars.get(i + 1).copied();
-                match st {
-                    St::Code => match c {
-                        '/' if next == Some('/') => {
-                            st = St::LineComment;
-                            comment.push_str(&raw[char_byte(raw, i)..]);
-                            // blank the rest of the line in the code view
-                            for _ in i..chars.len() {
-                                code.push(' ');
-                            }
-                            i = chars.len();
-                            continue;
-                        }
-                        '/' if next == Some('*') => {
-                            st = St::BlockComment(1);
-                            code.push(' ');
-                            code.push(' ');
-                            i += 2;
-                            continue;
-                        }
-                        '"' => {
-                            st = St::Str;
-                            code.push('"');
-                        }
-                        'r' if next == Some('"') || next == Some('#') => {
-                            // possible raw string r"..." / r#"..."#
-                            if let Some(h) = raw_str_hashes(&chars, i + 1) {
-                                st = St::RawStr(h);
-                                code.push('r');
-                                for _ in 0..(h as usize + 1) {
-                                    code.push(' ');
-                                }
-                                i += 2 + h as usize;
-                                continue;
-                            }
-                            code.push(c);
-                        }
-                        'b' if next == Some('"') => {
-                            st = St::ByteStr;
-                            code.push('b');
-                            code.push('"');
-                            i += 2;
-                            continue;
-                        }
-                        '\'' => {
-                            // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
-                            let is_char = match next {
-                                Some('\\') => true,
-                                Some(_) => chars.get(i + 2) == Some(&'\''),
-                                None => false,
-                            };
-                            if is_char {
-                                st = St::Char;
-                                code.push('\'');
-                            } else {
-                                code.push('\''); // lifetime quote, keep as-is
-                            }
-                        }
-                        _ => code.push(c),
-                    },
-                    St::LineComment => unreachable!("handled above"),
-                    St::BlockComment(d) => {
-                        if c == '*' && next == Some('/') {
-                            st = if d == 1 {
-                                St::Code
-                            } else {
-                                St::BlockComment(d - 1)
-                            };
-                            code.push(' ');
-                            code.push(' ');
-                            i += 2;
-                            continue;
-                        }
-                        if c == '/' && next == Some('*') {
-                            st = St::BlockComment(d + 1);
-                            code.push(' ');
-                            code.push(' ');
-                            i += 2;
-                            continue;
-                        }
-                        comment.push(c);
-                        code.push(' ');
-                    }
-                    St::Str | St::ByteStr => {
-                        if c == '\\' {
-                            code.push(' ');
-                            if next.is_some() {
-                                code.push(' ');
-                                i += 2;
-                                continue;
-                            }
-                        } else if c == '"' {
-                            st = St::Code;
-                            code.push('"');
-                        } else {
-                            code.push(' ');
-                        }
-                    }
-                    St::RawStr(h) => {
-                        if c == '"' && closes_raw(&chars, i + 1, h) {
-                            st = St::Code;
-                            code.push('"');
-                            for _ in 0..h {
-                                code.push(' ');
-                            }
-                            i += 1 + h as usize;
-                            continue;
-                        }
-                        code.push(' ');
-                    }
-                    St::Char => {
-                        if c == '\\' {
-                            code.push(' ');
-                            if next.is_some() {
-                                code.push(' ');
-                                i += 2;
-                                continue;
-                            }
-                        } else if c == '\'' {
-                            st = St::Code;
-                            code.push('\'');
-                        } else {
-                            code.push(' ');
-                        }
-                    }
-                }
-                i += 1;
-            }
-
-            let allows = parse_allows(&comment);
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let mut lines: Vec<Line> = raw_lines
+            .iter()
+            .map(|raw| Line {
+                code: String::with_capacity(raw.len()),
+                raw: (*raw).to_string(),
+                comment: String::new(),
+                lits: Vec::new(),
+                allows: Vec::new(),
+                in_test: false,
+            })
+            .collect();
+        if lines.is_empty() {
             lines.push(Line {
-                code,
-                raw: raw.to_string(),
-                comment,
-                allows,
+                code: String::new(),
+                raw: String::new(),
+                comment: String::new(),
+                lits: Vec::new(),
+                allows: Vec::new(),
                 in_test: false,
             });
         }
 
+        for tok in lex(text) {
+            let mut lineno = tok.line; // 1-based
+            if matches!(tok.kind, TokKind::Str | TokKind::RawStr) {
+                if let Some(line) = lines.get_mut(lineno - 1) {
+                    line.lits.push((tok.col, tok.text.clone()));
+                }
+            }
+            let last = tok.text.chars().count().saturating_sub(1);
+            for (k, c) in tok.text.chars().enumerate() {
+                if c == '\n' {
+                    lineno += 1;
+                    continue;
+                }
+                let Some(line) = lines.get_mut(lineno - 1) else {
+                    continue;
+                };
+                match tok.kind {
+                    TokKind::Ident | TokKind::Punct | TokKind::Whitespace | TokKind::Lifetime => {
+                        line.code.push(c)
+                    }
+                    TokKind::LineComment | TokKind::BlockComment => {
+                        line.code.push(' ');
+                        line.comment.push(c);
+                    }
+                    // Literals keep their first and last character (the
+                    // delimiters, visually anchoring the span); contents
+                    // are blanked so they can never trip a token lint.
+                    TokKind::Str | TokKind::RawStr | TokKind::Char => {
+                        line.code.push(if k == 0 || k == last { c } else { ' ' });
+                    }
+                }
+            }
+        }
+
+        for line in &mut lines {
+            line.allows = parse_allows(&line.comment);
+        }
         let mut sf = SourceFile {
             rel: rel.to_string(),
             lines,
@@ -235,12 +136,15 @@ impl SourceFile {
         hit(line) || (line > 1 && hit(line - 1))
     }
 
-    /// Mark lines belonging to `#[cfg(test)]` items by brace tracking.
+    /// Mark lines belonging to `#[cfg(test)]` or `#[test]` items by brace
+    /// tracking (`#[test]` matters in root `tests/` files, whose test fns
+    /// sit outside any `#[cfg(test)]` module).
     fn mark_test_regions(&mut self) {
         let n = self.lines.len();
         let mut i = 0usize;
         while i < n {
-            if self.lines[i].code.contains("#[cfg(test)]") {
+            if self.lines[i].code.contains("#[cfg(test)]") || self.lines[i].code.contains("#[test]")
+            {
                 // Find the opening brace of the annotated item, then its
                 // matching close, and mark everything in between.
                 let mut depth: i32 = 0;
@@ -277,27 +181,6 @@ impl SourceFile {
             }
         }
     }
-}
-
-/// Byte offset of the `idx`-th char of `s`.
-fn char_byte(s: &str, idx: usize) -> usize {
-    s.char_indices().nth(idx).map(|(b, _)| b).unwrap_or(s.len())
-}
-
-/// If `chars[from..]` starts a raw-string opener (`#*"`), the hash count.
-fn raw_str_hashes(chars: &[char], from: usize) -> Option<u8> {
-    let mut h = 0u8;
-    let mut i = from;
-    while chars.get(i) == Some(&'#') {
-        h += 1;
-        i += 1;
-    }
-    (chars.get(i) == Some(&'"')).then_some(h)
-}
-
-/// Does `chars[from..]` hold `h` hashes (closing a raw string)?
-fn closes_raw(chars: &[char], from: usize, h: u8) -> bool {
-    (0..h as usize).all(|k| chars.get(from + k) == Some(&'#'))
 }
 
 /// Extract lint ids from `audit:allow(a, b)` occurrences in a comment.
@@ -389,6 +272,14 @@ mod tests {
     }
 
     #[test]
+    fn columns_are_preserved() {
+        let raw = "let a = \"xy\"; // tail";
+        let sf = SourceFile::parse("x.rs", raw);
+        assert_eq!(sf.lines[0].code.chars().count(), raw.chars().count());
+        assert!(sf.lines[0].code.starts_with("let a = \""));
+    }
+
+    #[test]
     fn raw_strings_and_chars() {
         let sf = SourceFile::parse(
             "x.rs",
@@ -404,6 +295,16 @@ mod tests {
         assert!(!sf.lines[0].code.contains("Instant"));
         assert!(!sf.lines[1].code.contains("SystemTime"));
         assert!(sf.lines[1].code.contains("let x"));
+    }
+
+    #[test]
+    fn string_literals_are_collected_per_line() {
+        let sf = SourceFile::parse("x.rs", "let a = \"tn-lab/v1\";\nlet b = 2;\n");
+        assert_eq!(sf.lines[0].lits.len(), 1);
+        let (col, text) = &sf.lines[0].lits[0];
+        assert_eq!(*col, 9);
+        assert_eq!(text, "\"tn-lab/v1\"");
+        assert!(sf.lines[1].lits.is_empty());
     }
 
     #[test]

@@ -1,11 +1,16 @@
-//! Integration tests: each lint fires on its fixture exactly once,
-//! suppression is honoured, the JSON schema is stable, and the real
-//! workspace passes its own audit.
+//! Integration tests: each lint fires on its fixture exactly once *via
+//! the call-graph pipeline*, suppression is honoured, the JSON schema is
+//! stable, the baseline/schema CLI gates work, and the real workspace
+//! passes its own audit.
 
-use tn_audit::{counts, render_json, scan_file, Scope, SourceFile};
+use tn_audit::{counts, render_json, scan_sources, scope_for, SourceFile};
 
+/// Scan one fixture through the same pipeline the workspace scan uses:
+/// parse, build the call graph, propagate taint, lint.
 fn scan_fixture(name: &str, text: &str) -> Vec<tn_audit::Finding> {
-    scan_file(&SourceFile::parse(name, text), Scope::full())
+    let rel = format!("crates/fixture/src/{name}.rs");
+    let scope = scope_for(&rel).expect("fixture path is in scope");
+    scan_sources(&[(SourceFile::parse(&rel, text), scope)])
 }
 
 macro_rules! fixture {
@@ -23,6 +28,7 @@ fn each_lint_fires_exactly_once_on_its_fixture() {
         ("hotpath-unwrap", fixture!("hotpath_unwrap")),
         ("hotpath-alloc", fixture!("hotpath_alloc")),
         ("perf-arena-leak", fixture!("perf_arena_leak")),
+        ("schema-version", fixture!("schema_version")),
     ] {
         let findings = scan_fixture(name, text);
         assert_eq!(
@@ -36,7 +42,29 @@ fn each_lint_fires_exactly_once_on_its_fixture() {
 }
 
 #[test]
+fn taint_gated_findings_cite_their_call_chain() {
+    let (name, text) = fixture!("hotpath_unwrap");
+    let f = scan_fixture(name, text);
+    let note = f[0].note.as_deref().expect("hot finding carries a note");
+    assert!(
+        note.contains("Node::on_frame") && note.contains("decode"),
+        "chain cited: {note}"
+    );
+
+    let (name, text) = fixture!("det_hashmap_iter");
+    let f = scan_fixture(name, text);
+    let note = f[0].note.as_deref().expect("det finding carries a note");
+    assert!(
+        note.contains("Simulator::inject_frame") || note.contains("schedule"),
+        "chain cited: {note}"
+    );
+}
+
+#[test]
 fn clean_fixture_has_no_findings() {
+    // `parse_header` has an unwrap but no path from any dispatch root:
+    // under the old name heuristic it was flagged, under reachability
+    // it is clean.
     let (name, text) = fixture!("clean");
     let findings = scan_fixture(name, text);
     assert!(findings.is_empty(), "{findings:#?}");
@@ -54,12 +82,15 @@ fn suppression_is_honoured_and_counted() {
 
 #[test]
 fn json_schema_is_stable() {
-    let (name, text) = fixture!("det_wallclock");
+    let (name, text) = fixture!("schema_version");
     let mut findings = scan_fixture(name, text);
     tn_audit::report::sort(&mut findings);
     let json = render_json(&findings);
     // The exact layout downstream tooling can rely on.
-    assert!(json.starts_with("{\"version\":1,\"findings\":["), "{json}");
+    assert!(
+        json.starts_with("{\"schema\":\"tn-audit/v1\",\"findings\":["),
+        "{json}"
+    );
     assert!(
         json.trim_end()
             .ends_with("\"counts\":{\"total\":1,\"suppressed\":0,\"active\":1}}"),
@@ -79,8 +110,16 @@ fn json_schema_is_stable() {
     let empty = render_json(&[]);
     assert_eq!(
         empty,
-        "{\"version\":1,\"findings\":[],\"counts\":{\"total\":0,\"suppressed\":0,\"active\":0}}\n"
+        "{\"schema\":\"tn-audit/v1\",\"findings\":[],\"counts\":{\"total\":0,\"suppressed\":0,\"active\":0}}\n"
     );
+}
+
+#[test]
+fn reports_validate_against_their_own_schema() {
+    let (name, text) = fixture!("suppressed");
+    let findings = scan_fixture(name, text);
+    let doc = tn_audit::baseline::parse(&render_json(&findings)).unwrap();
+    tn_audit::baseline::validate_report(&doc).unwrap();
 }
 
 #[test]
@@ -89,6 +128,22 @@ fn workspace_audit_is_clean() {
     let findings = tn_audit::scan_workspace(&tn_audit::scan::default_root()).unwrap();
     let active: Vec<_> = findings.iter().filter(|f| !f.suppressed).collect();
     assert!(active.is_empty(), "active findings: {active:#?}");
+}
+
+#[test]
+fn workspace_findings_match_the_committed_baseline() {
+    let root = tn_audit::scan::default_root();
+    let findings = tn_audit::scan_workspace(&root).unwrap();
+    let text = std::fs::read_to_string(root.join("AUDIT_BASELINE.json")).unwrap();
+    let doc = tn_audit::baseline::parse(&text).unwrap();
+    tn_audit::baseline::validate_report(&doc).unwrap();
+    let diff = tn_audit::baseline::diff_against_baseline(&findings, &doc).unwrap();
+    assert!(
+        diff.new.is_empty(),
+        "findings not in AUDIT_BASELINE.json (regenerate with \
+         `cargo run -p tn-audit -- lint --json AUDIT_BASELINE.json`): {:#?}",
+        diff.new
+    );
 }
 
 #[test]
@@ -104,6 +159,79 @@ fn cli_lint_exits_zero_on_this_workspace() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("active"), "{stdout}");
+}
+
+#[test]
+fn cli_baseline_gate_passes_and_catches_new_findings() {
+    let dir = std::env::temp_dir();
+    let report = dir.join("tn-audit-test-report.json");
+    let empty = dir.join("tn-audit-test-empty-baseline.json");
+
+    // A fresh report used as its own baseline: zero new findings.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tn-audit"))
+        .args(["lint", "--json"])
+        .arg(&report)
+        .output()
+        .expect("run tn-audit");
+    assert!(out.status.success());
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tn-audit"))
+        .args(["lint", "--baseline"])
+        .arg(&report)
+        .output()
+        .expect("run tn-audit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // An empty baseline: every current finding (suppressed or not) is
+    // new, so the gate must fail.
+    std::fs::write(
+        &empty,
+        "{\"schema\":\"tn-audit/v1\",\"findings\":[],\
+         \"counts\":{\"total\":0,\"suppressed\":0,\"active\":0}}\n",
+    )
+    .unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tn-audit"))
+        .args(["lint", "--baseline"])
+        .arg(&empty)
+        .output()
+        .expect("run tn-audit");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("NEW finding"), "{stdout}");
+}
+
+#[test]
+fn cli_schema_validates_reports() {
+    let dir = std::env::temp_dir();
+    let report = dir.join("tn-audit-test-schema-report.json");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tn-audit"))
+        .args(["lint", "--json"])
+        .arg(&report)
+        .output()
+        .expect("run tn-audit");
+    assert!(out.status.success());
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tn-audit"))
+        .args(["schema", "--json"])
+        .arg(&report)
+        .output()
+        .expect("run tn-audit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let bogus = dir.join("tn-audit-test-bogus.json");
+    std::fs::write(&bogus, "{\"schema\":\"tn-audit/v2\",\"findings\":[]}").unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tn-audit"))
+        .args(["schema", "--json"])
+        .arg(&bogus)
+        .output()
+        .expect("run tn-audit");
+    assert!(!out.status.success());
 }
 
 #[test]

@@ -1,5 +1,17 @@
-//! Fixture: triggers `det-hashmap-iter` exactly once.
+//! Fixture: triggers `det-hashmap-iter` exactly once. The iteration is
+//! reached *from* schedule-feeding code (forward extension of the det
+//! taint); keyed access stays clean.
 use std::collections::HashMap;
+
+pub struct Simulator {
+    injected: u64,
+}
+
+impl Simulator {
+    pub fn inject_frame(&mut self, at: u64) {
+        self.injected = at;
+    }
+}
 
 pub struct Positions {
     by_symbol: HashMap<u32, i64>,
@@ -10,7 +22,13 @@ impl Positions {
         self.by_symbol.get(&s).copied() // keyed access: clean
     }
 
+    /// Called from the schedule-feeding `replay` below: flagged.
     pub fn gross(&self) -> u64 {
         self.by_symbol.values().map(|p| p.unsigned_abs()).sum()
     }
+}
+
+/// Feeds the schedule from the position book.
+pub fn replay(sim: &mut Simulator, pos: &Positions) {
+    sim.inject_frame(pos.gross());
 }

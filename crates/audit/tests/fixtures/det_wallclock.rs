@@ -1,5 +1,18 @@
-//! Fixture: triggers `det-wallclock` exactly once.
-pub fn elapsed_ps() -> u64 {
+//! Fixture: triggers `det-wallclock` exactly once. The wall-clock read
+//! sits in a function that feeds the simulator schedule, so it carries
+//! determinism taint; a cold read would be clean.
+pub struct Simulator {
+    horizon: u64,
+}
+
+impl Simulator {
+    pub fn inject_frame(&mut self, at: u64) {
+        self.horizon = self.horizon.max(at);
+    }
+}
+
+/// Schedule-feeding, so the wall-clock read is flagged.
+pub fn seed(sim: &mut Simulator) {
     let t = std::time::Instant::now();
-    t.elapsed().as_nanos() as u64 * 1000
+    sim.inject_frame(t.elapsed().as_nanos() as u64);
 }

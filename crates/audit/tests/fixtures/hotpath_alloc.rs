@@ -1,8 +1,21 @@
-//! Fixture: triggers `hotpath-alloc` exactly once.
-pub fn on_timer(n: u64) -> String {
+//! Fixture: triggers `hotpath-alloc` exactly once, via reachability
+//! from the `Node::on_timer` dispatch root.
+pub struct Ticker {
+    log: Vec<String>,
+}
+
+impl Node for Ticker {
+    fn on_timer(&mut self, n: u64) {
+        self.log.push(label(n));
+    }
+}
+
+/// Reached from the timer dispatch root above: flagged.
+fn label(n: u64) -> String {
     format!("timer {n}")
 }
 
-pub fn cold_format(n: u64) -> String {
-    format!("cold {n}") // not a hot fn: clean
+/// Same body, unreachable from any root: clean.
+pub fn cold_label(n: u64) -> String {
+    format!("cold {n}")
 }

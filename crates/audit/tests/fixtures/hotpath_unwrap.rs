@@ -1,8 +1,21 @@
-//! Fixture: triggers `hotpath-unwrap` exactly once.
-pub fn on_frame(bytes: &[u8]) -> u8 {
-    *bytes.first().unwrap()
+//! Fixture: triggers `hotpath-unwrap` exactly once, via reachability
+//! from the `Node::on_frame` dispatch root.
+pub struct Rx {
+    last: u64,
 }
 
-pub fn cold_path(bytes: &[u8]) -> u8 {
-    *bytes.first().unwrap() // not a hot fn: clean
+impl Node for Rx {
+    fn on_frame(&mut self, bytes: &[u8]) {
+        self.last = decode(bytes);
+    }
+}
+
+/// Reached from the dispatch root above: flagged.
+fn decode(bytes: &[u8]) -> u64 {
+    u64::from(*bytes.first().unwrap())
+}
+
+/// Same body, unreachable from any root: clean.
+pub fn cold_decode(bytes: &[u8]) -> u64 {
+    u64::from(*bytes.first().unwrap())
 }

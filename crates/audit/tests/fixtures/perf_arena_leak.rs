@@ -1,8 +1,19 @@
-//! Fixture: triggers `perf-arena-leak` exactly once.
-pub fn retire(frame: Frame) {
+//! Fixture: triggers `perf-arena-leak` exactly once, inside a hot
+//! dispatch handler.
+pub struct Sink;
+
+impl Node for Sink {
+    fn on_frame(&mut self, frame: Frame) {
+        drop(frame);
+    }
+}
+
+/// Unreachable from any root: dropping here is clean.
+pub fn cold_retire(frame: Frame) {
     drop(frame);
 }
 
+/// Not a frame buffer: clean even on a hot path.
 pub fn retire_guard(guard: Guard) {
-    drop(guard); // not a frame buffer: clean
+    drop(guard);
 }

@@ -1,0 +1,8 @@
+//! Fixture: triggers `schema-version` exactly once.
+pub fn header() -> &'static str {
+    "tn-mystery/v9"
+}
+
+pub fn known() -> &'static str {
+    "tn-trace/v1" // registered: clean
+}

@@ -1,11 +1,28 @@
 //! Fixture: one finding of each family, every one waived in place.
-pub fn on_frame(bytes: &[u8]) -> u8 {
-    // audit:allow(hotpath-unwrap): fixture demonstrates suppression
-    *bytes.first().unwrap()
+pub struct Rx {
+    last: u8,
 }
 
-pub fn stamp_ns() -> u64 {
+impl Node for Rx {
+    fn on_frame(&mut self, bytes: &[u8]) {
+        // audit:allow(hotpath-unwrap): fixture demonstrates suppression
+        self.last = *bytes.first().unwrap();
+    }
+}
+
+pub struct Simulator {
+    at: u64,
+}
+
+impl Simulator {
+    pub fn inject_frame(&mut self, at: u64) {
+        self.at = at;
+    }
+}
+
+/// Schedule-feeding, so the wall-clock read fires — and is waived.
+pub fn stamp(sim: &mut Simulator) {
     // audit:allow(det-wallclock): fixture demonstrates suppression
     let t = std::time::Instant::now();
-    t.elapsed().as_nanos() as u64
+    sim.inject_frame(t.elapsed().as_nanos() as u64);
 }

@@ -1,0 +1,195 @@
+//! Property tests for the audit front-end.
+//!
+//! Two invariants the whole analysis rests on:
+//!
+//! 1. the lexer is *lossless*: concatenating the token texts of any
+//!    input — well-formed or not — rebuilds it byte-identically;
+//! 2. findings are *semantic*: perturbing comments and whitespace never
+//!    changes what the lints report (modulo the line shifts the
+//!    perturbation itself introduces).
+
+use proptest::prelude::*;
+use tn_audit::{scan_sources, scope_for, SourceFile};
+
+/// Fragment pool exercising every token kind plus malformed tails.
+fn arb_lex_input() -> impl Strategy<Value = String> {
+    let frag = prop_oneof![
+        Just("fn f() { let x = 1; }\n".to_string()),
+        Just("let s = \"str with \\\" escape\";\n".to_string()),
+        Just("let r = r#\"raw \" quote\"#;\n".to_string()),
+        Just("let b = b\"bytes\"; let rb = br#\"raw\"#;\n".to_string()),
+        Just("let c = '\\n'; let d = '\\''; let e = '\"';\n".to_string()),
+        Just("let lt: &'static str = \"\";\n".to_string()),
+        Just("// line comment with \"quote\" and 'tick\n".to_string()),
+        Just("/* block /* nested */ comment */\n".to_string()),
+        Just("/* unterminated tail".to_string()),
+        Just("\"unterminated str".to_string()),
+        Just("r\"no-hash raw\"; r##\"double\"##;\n".to_string()),
+        Just("'a 'static '_\n".to_string()),
+        Just("}{)(][ ;;; ,,, ->=>::\n".to_string()),
+        Just("idéntifier_🦀; // émoji\n".to_string()),
+        (0u32..0xD800).prop_map(|c| {
+            let ch = char::from_u32(c).unwrap_or('x');
+            format!("{ch}{ch} ")
+        }),
+    ];
+    proptest::collection::vec(frag, 0..40).prop_map(|v| v.concat())
+}
+
+proptest! {
+    /// Concatenating lexed token texts rebuilds any input byte-for-byte.
+    #[test]
+    fn lex_round_trips_byte_identically(src in arb_lex_input()) {
+        let rebuilt: String = tn_audit::lexer::lex(&src)
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(&rebuilt, &src, "lexer must be lossless");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Findings are invariant under comment/whitespace perturbation.
+// ---------------------------------------------------------------------
+
+// Item fragments the generated programs are assembled from. All comments
+// and literals are single-line, so every line boundary in a generated
+// program is outside any multi-line token and a perturbation can safely
+// append to or insert between lines.
+const ITEM_HOT_UNWRAP: &str = "\
+pub struct Rx { last: u64 }
+
+impl Node for Rx {
+    fn on_frame(&mut self, bytes: &[u8]) {
+        self.last = decode(bytes);
+    }
+}
+
+fn decode(bytes: &[u8]) -> u64 {
+    u64::from(*bytes.first().unwrap())
+}
+";
+
+const ITEM_COLD_UNWRAP: &str = "\
+pub fn parse_tail(bytes: &[u8]) -> u8 {
+    *bytes.last().unwrap()
+}
+";
+
+const ITEM_SINK: &str = "\
+pub struct Simulator { horizon: u64 }
+
+impl Simulator {
+    pub fn inject_frame(&mut self, at: u64) {
+        self.horizon = at;
+    }
+}
+
+pub fn seed_schedule(sim: &mut Simulator) {
+    let t = std::time::Instant::now();
+    sim.inject_frame(t.elapsed().as_nanos() as u64);
+}
+";
+
+const ITEM_HASHMAP: &str = "\
+use std::collections::HashMap;
+
+pub struct Ledger { by_id: HashMap<u32, i64> }
+
+impl Ledger {
+    pub fn gross(&self) -> u64 {
+        self.by_id.values().map(|v| v.unsigned_abs()).sum()
+    }
+}
+
+pub fn settle(sim: &mut Simulator, l: &Ledger) {
+    sim.inject_frame(l.gross());
+}
+";
+
+const ITEM_SCHEMA: &str = "\
+pub fn header() -> &'static str {
+    \"tn-weird/v3\"
+}
+";
+
+const ITEM_PLAIN: &str = "\
+pub fn checksum(xs: &[u8]) -> u8 {
+    xs.iter().fold(0u8, |a, b| a.wrapping_add(*b))
+}
+";
+
+fn arb_program() -> impl Strategy<Value = String> {
+    let item = prop_oneof![
+        Just(ITEM_HOT_UNWRAP.to_string()),
+        Just(ITEM_COLD_UNWRAP.to_string()),
+        Just(ITEM_SINK.to_string()),
+        Just(ITEM_HASHMAP.to_string()),
+        Just(ITEM_SCHEMA.to_string()),
+        Just(ITEM_PLAIN.to_string()),
+    ];
+    proptest::collection::vec(item, 1..6).prop_map(|v| v.concat())
+}
+
+/// (kind, position) perturbation ops; positions are taken mod the line
+/// count when applied.
+fn arb_perturbations() -> impl Strategy<Value = Vec<(u8, usize)>> {
+    proptest::collection::vec((0u8..3, 0usize..500), 0..12)
+}
+
+/// Scan `text` through the full pipeline and return (lint, line, column)
+/// triples, sorted.
+fn scan_triples(text: &str) -> Vec<(String, usize, usize)> {
+    let rel = "crates/fixture/src/prog.rs";
+    let scope = scope_for(rel).expect("in scope");
+    let mut out: Vec<(String, usize, usize)> =
+        scan_sources(&[(SourceFile::parse(rel, text), scope)])
+            .into_iter()
+            .map(|f| (f.lint.to_string(), f.line, f.column))
+            .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    /// Comments and whitespace are semantically inert to the lints.
+    #[test]
+    fn findings_survive_comment_and_whitespace_perturbation(
+        base in arb_program(),
+        ops in arb_perturbations(),
+    ) {
+        let mut lines: Vec<String> = base.lines().map(String::from).collect();
+        let normalized = format!("{}\n", lines.join("\n"));
+        let before = scan_triples(&normalized);
+
+        // Line-preserving perturbations first: end-of-line comments and
+        // trailing whitespace never move or suppress anything.
+        let mut inserts: Vec<usize> = Vec::new();
+        for &(kind, pos) in &ops {
+            let p = pos % lines.len();
+            match kind {
+                0 => lines[p].push_str("  // padding comment about buffers"),
+                1 => lines[p].push_str("   "),
+                _ => inserts.push(p),
+            }
+        }
+        // Whole-line comment inserts shift everything below them down;
+        // apply bottom-up so earlier positions stay valid.
+        inserts.sort_unstable();
+        for &p in inserts.iter().rev() {
+            lines.insert(p, "// an inserted standalone comment line".to_string());
+        }
+        let perturbed = format!("{}\n", lines.join("\n"));
+        let after = scan_triples(&perturbed);
+
+        // Map each original finding through the inserts and compare.
+        let expected: Vec<(String, usize, usize)> = before
+            .iter()
+            .map(|(lint, line, col)| {
+                let shift = inserts.iter().filter(|&&p| p < *line).count();
+                (lint.clone(), line + shift, *col)
+            })
+            .collect();
+        prop_assert_eq!(expected, after, "perturbation changed the findings");
+    }
+}

@@ -53,6 +53,7 @@ fn time_best(reps: u32, mut work: impl FnMut() -> Sig) -> (u128, Sig) {
     let mut best = u128::MAX;
     let mut sig = None;
     for _ in 0..reps {
+        // audit:allow(det-wallclock): measuring the harness itself; timings are reported, never fed back into the schedule
         let t0 = Instant::now();
         let s = work();
         let dt = t0.elapsed().as_nanos();

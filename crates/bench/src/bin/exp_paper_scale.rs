@@ -17,6 +17,7 @@ use tn_core::ScenarioConfig;
 use tn_sim::SimTime;
 
 fn main() {
+    // audit:allow(det-wallclock): measuring the harness itself; timings are reported, never fed back into the schedule
     let t0 = std::time::Instant::now();
     let sc = ScenarioConfig::paper_scale(3)
         .to_builder()

@@ -119,6 +119,7 @@ impl Arbiter {
                 u64::from(seq.wrapping_sub(next)),
             );
         }
+        // audit:allow(hotpath-alloc): per-replay message batch; zero-alloc feed path is ROADMAP item 2
         let mut msgs = Vec::with_capacity(count as usize);
         for (i, m) in pkt.messages().enumerate() {
             let m = m?;

@@ -212,6 +212,7 @@ impl BookBuilder {
             }
         };
         // Did the top of book change on that side?
+        // audit:allow(hotpath-unwrap): books are created when a symbol is first seen; a miss is corrupted state worth a loud stop
         let book = self.books.get(&symbol).expect("book exists");
         let (price, size) = book.best(side);
         let update = BboUpdate {

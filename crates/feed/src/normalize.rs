@@ -144,9 +144,11 @@ impl<R: Repartition> NormalizerCore<R> {
     /// `src_time_ns` is the receive timestamp propagated into records.
     pub fn on_packet(&mut self, payload: &[u8], src_time_ns: u64) -> Result<Vec<NormalizerOutput>> {
         let Some(msgs) = self.arbiter.offer(payload)? else {
+            // audit:allow(hotpath-alloc): capacity-0 Vec never touches the heap
             return Ok(Vec::new()); // duplicate
         };
         self.stats.packets_in += 1;
+        // audit:allow(hotpath-alloc): per-packet message batch; zero-alloc feed path is ROADMAP item 2
         let mut out = Vec::new();
         for msg in msgs {
             self.stats.messages_in += 1;

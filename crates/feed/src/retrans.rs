@@ -120,6 +120,7 @@ impl Reorderer {
             u.requested = false;
             return out;
         };
+        // audit:allow(hotpath-unwrap): a unit holding packets always has a cursor, set when its first gap opened
         let next = u.next_seq.expect("held implies a cursor");
         let lost = u64::from(first_held.wrapping_sub(next));
         out.abandoned += lost;
@@ -183,6 +184,7 @@ impl Reorderer {
             // Give up if the hold buffer is past its bound: skip to the
             // first held packet (declaring the hole lost) and drain.
             if unit.held_messages > max_held {
+                // audit:allow(hotpath-unwrap): held_messages > 0 implies the held map is non-empty
                 let (&first_held, _) = unit.held.iter().next().expect("non-empty");
                 let lost = first_held.wrapping_sub(next);
                 out.abandoned += u64::from(lost);
@@ -207,10 +209,12 @@ fn drain_held(unit: &mut UnitReorder, out: &mut ReorderOutput) {
         let Some((&held_seq, _)) = unit.held.iter().next() else {
             break;
         };
+        // audit:allow(hotpath-unwrap): drain_held is only entered after the caller set the cursor
         let cur = unit.next_seq.expect("drain requires a cursor");
         if wrapping_lt(cur, held_seq) {
             break; // still a hole before the next held packet
         }
+        // audit:allow(hotpath-unwrap): the loop head just observed a held entry; pop_first cannot miss
         let (held_seq, held_msgs) = unit.held.pop_first().expect("non-empty");
         let held_count = held_msgs.len() as u32;
         unit.held_messages -= held_msgs.len();
@@ -415,6 +419,7 @@ impl RecoveryClient {
                 self.open.remove(&unit);
                 continue;
             };
+            // audit:allow(hotpath-unwrap): `due` was filtered from `open`; the entry cannot have vanished since
             let gap = self.open.get_mut(&unit).expect("due implies open");
             if gap.retries >= self.cfg.max_retries {
                 self.open.remove(&unit);
@@ -487,6 +492,7 @@ impl RetransmissionServer {
     pub fn store(&mut self, payload: &[u8]) -> Result<()> {
         let pkt = pitch::Packet::new_checked(payload)?;
         let ring = self.history.entry(pkt.unit()).or_default();
+        // audit:allow(hotpath-alloc): retention ring owns a copy of every live payload; pooling is ROADMAP item 2
         ring.push_back((pkt.sequence(), payload.to_vec()));
         if ring.len() > self.max_packets_per_unit {
             ring.pop_front();
@@ -503,6 +509,7 @@ impl RetransmissionServer {
             return Err(WireError::BadField);
         };
         let want_end = req.seq.wrapping_add(u32::from(req.count));
+        // audit:allow(hotpath-alloc): replay batch for one gap request; zero-alloc feed path is ROADMAP item 2
         let mut replay = Vec::new();
         let mut covered_start = false;
         for (seq, payload) in ring {

@@ -107,6 +107,7 @@ impl OrderBook {
         ioc: bool,
     ) -> SubmitResult {
         assert!(!self.locators.contains_key(&id), "duplicate order id {id}");
+        // audit:allow(hotpath-alloc): per-submit execution batch; batch reuse is ROADMAP item 2
         let mut executions = Vec::new();
         // Match against the opposite side while crossed.
         loop {
@@ -134,6 +135,7 @@ impl OrderBook {
                 Side::Buy => &mut self.asks,
                 Side::Sell => &mut self.bids,
             };
+            // audit:allow(hotpath-unwrap): `best` was read from this side's map just above; the level cannot be gone
             let level = levels.get_mut(&level_price).expect("level exists");
             while qty > 0 {
                 let Some(front) = level.front_mut() else {

@@ -157,6 +157,7 @@ impl MatchingEngine {
         let result = self
             .books
             .get_mut(&symbol)
+            // audit:allow(hotpath-unwrap): entry validation rejected unlisted symbols before this point
             .expect("listed")
             .submit(exch_id, side, price, qty, ioc);
         let mut aggressor_filled: Qty = 0;
@@ -236,6 +237,7 @@ impl MatchingEngine {
         let Some(open) = self.open.get(&order_id).copied() else {
             return out;
         };
+        // audit:allow(hotpath-unwrap): every open order was admitted against a listed book
         let book = self.books.get_mut(&open.symbol).expect("listed");
         if book.cancel(order_id).is_some() {
             self.open.remove(&order_id);
@@ -267,6 +269,7 @@ impl MatchingEngine {
         let Some(open) = self.open.get(&order_id).copied() else {
             return out;
         };
+        // audit:allow(hotpath-unwrap): every open order was admitted against a listed book
         let book = self.books.get_mut(&open.symbol).expect("listed");
         match book.reduce(order_id, by) {
             Some(0) => {

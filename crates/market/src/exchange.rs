@@ -219,12 +219,14 @@ impl Exchange {
         msgs: &[tn_wire::pitch::Message],
     ) -> Vec<(PortId, Frame)> {
         if msgs.is_empty() {
+            // audit:allow(hotpath-alloc): capacity-0 Vec never touches the heap
             return Vec::new();
         }
         let now = ctx.now();
         let time_ns = now.as_ps() / 1_000;
         self.stats.feed_messages += msgs.len() as u64;
         let packets = self.publisher.publish(&self.cfg.directory, time_ns, msgs);
+        // audit:allow(hotpath-alloc): per-dispatch feed-frame batch; batch reuse is ROADMAP item 2
         let mut out = Vec::new();
         for pkt in packets {
             if let Some(server) = &mut self.retrans {
@@ -264,6 +266,7 @@ impl Exchange {
     }
 
     fn run_background(&mut self, ctx: &mut Context<'_>, events: u32) {
+        // audit:allow(hotpath-alloc): per-tick background message batch; batch reuse is ROADMAP item 2
         let mut msgs = Vec::new();
         let offset = Self::offset_ns(ctx.now());
         for _ in 0..events {
@@ -283,11 +286,13 @@ impl Exchange {
         ctx: &mut Context<'_>,
         replies: &[Reply],
     ) -> Vec<(PortId, Frame)> {
+        // audit:allow(hotpath-alloc): per-dispatch reply-frame batch; batch reuse is ROADMAP item 2
         let mut out = Vec::new();
         for r in replies {
             let Some(addr) = self.sessions.get_mut(&r.session) else {
                 continue;
             };
+            // audit:allow(hotpath-alloc): per-reply payload buffer; zero-copy emit is ROADMAP item 2
             let mut payload = Vec::new();
             r.message.emit(addr.tx_seq, &mut payload);
             let seg = stack::build_tcp(
@@ -315,6 +320,7 @@ impl Exchange {
         let peer = (view.src_ip, view.src_port);
         let decoder = self.decoders.entry(peer).or_default();
         decoder.push(view.payload);
+        // audit:allow(hotpath-alloc): per-entry message batch; batch reuse is ROADMAP item 2
         let mut messages = Vec::new();
         while let Ok(Some((msg, _seq))) = decoder.next_message() {
             messages.push(msg);

@@ -86,8 +86,10 @@ impl FeedPublisher {
         time_ns: u64,
         msgs: &[pitch::Message],
     ) -> Vec<UnitPacket> {
+        // audit:allow(hotpath-alloc): per-publish sealed-packet batch; batch reuse is ROADMAP item 2
         let mut sealed = Vec::new();
         let second = (time_ns / 1_000_000_000) as u32;
+        // audit:allow(hotpath-alloc): per-publish touched-unit set; batch reuse is ROADMAP item 2
         let mut touched = Vec::new();
         for msg in msgs {
             let unit = self.unit_of(dir, msg);
@@ -113,6 +115,7 @@ impl FeedPublisher {
         if self.extra_header > 0 {
             for p in &mut sealed {
                 // Prepend the exchange's extra framing as opaque padding.
+                // audit:allow(hotpath-alloc): re-framing copy when an extra header is configured; zero-copy emit is ROADMAP item 2
                 let mut with = vec![0u8; self.extra_header];
                 with.extend_from_slice(&p.bytes);
                 p.bytes = with;

@@ -72,6 +72,7 @@ impl OrderFlowGenerator {
         let n = dir.len();
         let r: f64 = rng.gen::<f64>();
         let idx = ((n as f64) * r * r) as usize;
+        // audit:allow(hotpath-unwrap): idx is clamped to n-1, so the directory lookup cannot miss
         dir.by_id(idx.min(n - 1) as u32).expect("in range").symbol
     }
 
@@ -107,6 +108,7 @@ impl OrderFlowGenerator {
             pick -= self.mix.aggress;
             if pick < 0.0 {
                 let symbol = self.pick_symbol(dir, rng);
+                // audit:allow(hotpath-unwrap): pick_symbol only returns symbols from this directory
                 let inst = dir.get(symbol).expect("listed");
                 let side = if rng.gen() { Side::Buy } else { Side::Sell };
                 let mid = self.mid_prices[inst.id as usize];
@@ -134,6 +136,7 @@ impl OrderFlowGenerator {
 
         // Default: post passive liquidity near the mid.
         let symbol = self.pick_symbol(dir, rng);
+        // audit:allow(hotpath-unwrap): pick_symbol only returns symbols from this directory
         let inst = dir.get(symbol).expect("listed");
         // Random-walk the reference price occasionally.
         if rng.gen::<f64>() < 0.02 {

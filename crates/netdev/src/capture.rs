@@ -93,7 +93,7 @@ impl Node for Tap {
             PortId(1) => (Direction::BtoA, PortId(0)),
             // Wiring invariant: ports are fixed at topology build time, so
             // failing fast beats silently eating frames.
-            // audit:allow(hotpath-unwrap): unreachable on a provisioned topology
+            // audit:allow(hotpath-unwrap): port fan-in is fixed by connect() wiring at build time; a mismatch is a topology bug where stopping loudly beats simulating garbage
             other => panic!("taps have two ports, got {other:?}"),
         };
         if self.enabled {

@@ -133,7 +133,7 @@ impl Node for Nic {
             }
             // Wiring invariant: ports are fixed at topology build time, so
             // failing fast beats silently eating frames.
-            // audit:allow(hotpath-unwrap): unreachable on a provisioned topology
+            // audit:allow(hotpath-unwrap): port fan-in is fixed by connect() wiring at build time; a mismatch is a topology bug where stopping loudly beats simulating garbage
             other => panic!("NIC has two ports, got {other:?}"),
         }
     }

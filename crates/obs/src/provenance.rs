@@ -86,6 +86,7 @@ impl Provenance {
     pub fn new(origin_ps: u64) -> Provenance {
         Provenance {
             origin_ps,
+            // audit:allow(hotpath-alloc): provenance capture is opt-in diagnostics; per-hop allocation is the feature's price when enabled
             segments: Vec::new(),
         }
     }

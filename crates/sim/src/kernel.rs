@@ -472,6 +472,7 @@ impl Simulator {
         let prov = frame
             .meta
             .provenance
+            // audit:allow(hotpath-alloc): lazy init, paid only when hop provenance is enabled (opt-in diagnostics)
             .get_or_insert_with(|| Box::new(tn_obs::Provenance::new(born.as_ps())));
         let before = prov.segments().len();
         // Time the frame spent inside `src` since its last recorded

@@ -303,6 +303,7 @@ impl CalendarQueue {
     /// inputs are the queue contents only.
     fn rebuild(&mut self, new_nb: usize) {
         let new_nb = new_nb.clamp(MIN_BUCKETS, MAX_BUCKETS);
+        // audit:allow(hotpath-alloc): rebuild is an occupancy-triggered resize, amortized across many pushes
         let mut evs: Vec<QueuedEvent> = Vec::with_capacity(self.len);
         for bucket in &mut self.buckets {
             evs.extend(bucket.drain(..));
@@ -369,6 +370,7 @@ impl Scheduler for CalendarQueue {
         if let Some(cb) = self.cached_min {
             // A key below the cached global minimum is the new minimum,
             // and is therefore at the front of its own bucket.
+            // audit:allow(hotpath-unwrap): cached_min always points at a non-empty bucket; it is cleared when its bucket drains
             if key < self.buckets[cb].front().expect("cached bucket empty").key() {
                 self.cached_min = Some(b);
             }

@@ -20,6 +20,7 @@ impl Histogram {
         Histogram {
             lo,
             bin_width,
+            // audit:allow(hotpath-alloc): backing store allocated once per metric on first observation; steady-state observe is alloc-free
             bins: vec![0; bins],
             overflow: 0,
             underflow: 0,

@@ -101,6 +101,7 @@ impl FilterWorkload {
         .into_iter()
         .map(|p| (p, self.cost(p)))
         .filter(|(_, c)| c.feasible)
+        // audit:allow(hotpath-unwrap): core counts come from config constants; partial_cmp on finite floats cannot fail
         .min_by(|a, b| a.1.cores.partial_cmp(&b.1.cores).expect("finite"))
         .unwrap_or((
             FilterPlacement::Middlebox,

@@ -133,6 +133,7 @@ impl Gateway {
         meta: tn_sim::FrameMeta,
         service: SimTime,
     ) {
+        // audit:allow(hotpath-alloc): per-order payload buffer; zero-copy emit is ROADMAP item 2
         let mut payload = Vec::new();
         msg.emit(self.exch_tx_seq, &mut payload);
         let seg = stack::build_tcp(
@@ -164,6 +165,7 @@ impl Gateway {
             self.stats.dropped += 1;
             return;
         };
+        // audit:allow(hotpath-alloc): per-reply payload buffer; zero-copy emit is ROADMAP item 2
         let mut payload = Vec::new();
         msg.emit(self.internal_tx_seq, &mut payload);
         let seg = stack::build_tcp(
@@ -192,6 +194,7 @@ impl Gateway {
         let peer = (view.src_ip, view.src_port);
         let decoder = self.internal_decoders.entry(peer).or_default();
         decoder.push(view.payload);
+        // audit:allow(hotpath-alloc): per-dispatch message batch; batch reuse is ROADMAP item 2
         let mut msgs = Vec::new();
         while let Ok(Some((msg, _))) = decoder.next_message() {
             msgs.push(msg);
@@ -281,6 +284,7 @@ impl Gateway {
             return;
         }
         self.exchange_decoder.push(view.payload);
+        // audit:allow(hotpath-alloc): per-dispatch message batch; batch reuse is ROADMAP item 2
         let mut msgs = Vec::new();
         while let Ok(Some((msg, _))) = self.exchange_decoder.next_message() {
             msgs.push(msg);
@@ -350,7 +354,7 @@ impl Node for Gateway {
             EXCHANGE => self.on_exchange(ctx, &frame),
             // Wiring invariant: ports are fixed at topology build time, so
             // failing fast beats silently eating frames.
-            // audit:allow(hotpath-unwrap): unreachable on a provisioned topology
+            // audit:allow(hotpath-unwrap): port fan-in is fixed by connect() wiring at build time; a mismatch is a topology bug where stopping loudly beats simulating garbage
             other => panic!("gateway has 2 ports, got {other:?}"),
         }
     }

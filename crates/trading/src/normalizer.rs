@@ -157,6 +157,7 @@ impl Normalizer {
             let partition = outputs[i].partition;
             let mut pb =
                 norm::PacketBuilder::new(partition, self.next_seq[partition as usize], 1_400);
+            // audit:allow(hotpath-alloc): per-dispatch sealed-packet batch; batch reuse is ROADMAP item 2
             let mut sealed = Vec::new();
             while i < outputs.len() && outputs[i].partition == partition {
                 if let Some(done) = pb.push(&outputs[i].record) {
@@ -236,7 +237,7 @@ impl Node for Normalizer {
             OUT => {} // nothing arrives on the output port
             // Wiring invariant: ports are fixed at topology build time, so
             // failing fast beats silently eating frames.
-            // audit:allow(hotpath-unwrap): unreachable on a provisioned topology
+            // audit:allow(hotpath-unwrap): port fan-in is fixed by connect() wiring at build time; a mismatch is a topology bug where stopping loudly beats simulating garbage
             other => panic!("normalizer has 3 ports, got {other:?}"),
         }
     }

@@ -319,6 +319,7 @@ impl<L: StrategyLogic> Strategy<L> {
     }
 
     fn send_boe(&mut self, ctx: &mut Context<'_>, msg: &boe::Message, meta: tn_sim::FrameMeta) {
+        // audit:allow(hotpath-alloc): per-order payload buffer; zero-copy emit is ROADMAP item 2
         let mut payload = Vec::new();
         msg.emit(self.tx_seq, &mut payload);
         let seg = stack::build_tcp(
@@ -361,6 +362,7 @@ impl<L: StrategyLogic> Strategy<L> {
             self.svc.charge(ctx.now(), self.cfg.discard_service * n);
             return;
         }
+        // audit:allow(hotpath-alloc): per-update intent batch; batch reuse is ROADMAP item 2
         let mut intents = Vec::new();
         let mut n = 0u64;
         for rec in pkt.records() {
@@ -422,7 +424,7 @@ impl<L: StrategyLogic + 'static> Node for Strategy<L> {
             ORDERS => self.on_reply(&frame),
             // Wiring invariant: ports are fixed at topology build time, so
             // failing fast beats silently eating frames.
-            // audit:allow(hotpath-unwrap): unreachable on a provisioned topology
+            // audit:allow(hotpath-unwrap): port fan-in is fixed by connect() wiring at build time; a mismatch is a topology bug where stopping loudly beats simulating garbage
             other => panic!("strategy has 2 ports, got {other:?}"),
         }
     }

@@ -171,6 +171,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
 
 /// Allocate and fill a complete frame around `payload`.
 pub fn build(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: &[u8]) -> Vec<u8> {
+    // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
     let mut buf = vec![0u8; HEADER_LEN + payload.len()];
     let mut f = Frame::new_unchecked(&mut buf[..]);
     f.set_dst(dst);

@@ -53,6 +53,7 @@ pub struct Message {
 impl Message {
     /// Encode to an 8-byte buffer.
     pub fn emit(&self) -> Vec<u8> {
+        // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
         let mut buf = vec![0u8; MESSAGE_LEN];
         buf[0] = self.kind.to_wire();
         buf[1] = 0; // max response time (unused in the simulator)

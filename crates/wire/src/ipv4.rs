@@ -210,6 +210,7 @@ pub fn pseudo_header_sum(src: Addr, dst: Addr, protocol: u8, l4_len: u16) -> u32
 pub fn build(src: Addr, dst: Addr, protocol: u8, payload: &[u8]) -> Vec<u8> {
     let total = HEADER_LEN + payload.len();
     debug_assert!(total <= u16::MAX as usize);
+    // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
     let mut buf = vec![0u8; total];
     let mut p = Packet::new_unchecked(&mut buf[..]);
     p.init();

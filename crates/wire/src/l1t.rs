@@ -72,6 +72,7 @@ impl<T: AsRef<[u8]>> Frame<T> {
 pub fn build(stream: u16, seq: u32, payload: &[u8]) -> Vec<u8> {
     let total = HEADER_LEN + payload.len();
     debug_assert!(total <= u16::MAX as usize);
+    // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
     let mut buf = vec![0u8; total];
     set_u16_le(&mut buf, 0, total as u16);
     set_u16_le(&mut buf, 2, stream);

@@ -625,6 +625,7 @@ const GAP_MAGIC: u8 = 0x47;
 impl GapRequest {
     /// Encode to wire bytes.
     pub fn emit(&self) -> Vec<u8> {
+        // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
         let mut b = vec![0u8; GAP_REQUEST_LEN];
         b[0] = GAP_MAGIC;
         b[1] = self.unit;
@@ -670,6 +671,7 @@ impl PacketBuilder {
     /// emit (typically MTU − 42).
     pub fn new(unit: u8, first_seq: u32, max_payload: usize) -> PacketBuilder {
         assert!(max_payload >= UNIT_HEADER_LEN + 64, "max_payload too small");
+        // audit:allow(hotpath-alloc): builder working buffer; arena-backed zero-copy emit is ROADMAP item 2
         let mut buf = Vec::with_capacity(max_payload);
         buf.resize(UNIT_HEADER_LEN, 0);
         PacketBuilder {

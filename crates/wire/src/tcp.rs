@@ -180,6 +180,7 @@ pub fn build(
     flags: Flags,
     payload: &[u8],
 ) -> Vec<u8> {
+    // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
     let mut buf = vec![0u8; HEADER_LEN + payload.len()];
     let mut s = Segment::new_unchecked(&mut buf[..]);
     s.init();

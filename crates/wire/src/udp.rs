@@ -115,6 +115,7 @@ pub fn build(
 ) -> Vec<u8> {
     let total = HEADER_LEN + payload.len();
     debug_assert!(total <= u16::MAX as usize);
+    // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
     let mut buf = vec![0u8; total];
     let mut d = Datagram::new_unchecked(&mut buf[..]);
     d.set_src_port(src_port);

@@ -14,7 +14,15 @@ run cargo build --release --offline --workspace
 run cargo test -q --offline --workspace
 run cargo fmt --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
-run cargo run --release --offline -q -p tn-audit -- check
+# Static analysis + divergence, gated against the committed baseline:
+# any finding not in AUDIT_BASELINE.json — suppressed or not — fails CI,
+# so suppression creep is visible in review. The JSON report must lead
+# with the registered tn-audit/v1 marker and validate against it.
+audit_report=target/audit-report.json
+run cargo run --release --offline -q -p tn-audit -- check \
+    --json "$audit_report" --baseline AUDIT_BASELINE.json
+head -1 "$audit_report" | grep -q '"schema":"tn-audit/v1"'
+run cargo run --release --offline -q -p tn-audit -- schema --json "$audit_report"
 # Fault-injection determinism: dual-run the degraded scenarios explicitly
 # (check already covers the registry; this keeps the fault paths loud).
 run cargo run --release --offline -q -p tn-audit -- divergence --filter fault
