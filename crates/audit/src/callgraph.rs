@@ -100,6 +100,15 @@ pub const HOT_ROOTS: &[RootSpec] = &[
         kind: RootKind::Inherent,
         why: "the kernel dispatch loop itself",
     },
+    // `build` sits on the COMMON blocklist (builder-pattern calls would
+    // otherwise edge every hot fn into every workspace `build`), so the
+    // per-frame arena builder is registered as a root of its own.
+    RootSpec {
+        owner: "FrameBuilder",
+        method: "build",
+        kind: RootKind::Inherent,
+        why: "arena frame finalization, once per constructed frame",
+    },
 ];
 
 /// Schedule-feeding kernel APIs: calling one of these means the caller's
@@ -113,10 +122,12 @@ pub const DET_SINKS: &[(&str, &str)] = &[
     ("Simulator", "connect_directed"),
     ("Simulator", "inject_frame"),
     ("Simulator", "schedule_timer"),
+    ("Simulator", "install_link"),
     ("Simulator", "new_frame"),
     ("Simulator", "new_frame_zeroed"),
     ("Simulator", "new_frame_copied"),
     ("Simulator", "recycle_frame"),
+    ("Simulator", "frame"),
     ("Context", "send"),
     ("Context", "set_timer"),
     ("Context", "deliver_local"),
@@ -125,6 +136,9 @@ pub const DET_SINKS: &[(&str, &str)] = &[
     ("Context", "new_frame_zeroed"),
     ("Context", "new_frame_copied"),
     ("Context", "recycle"),
+    ("Context", "frame"),
+    ("Context", "clone_frame"),
+    ("FrameBuilder", "build"),
 ];
 
 /// Method names so dominated by std receivers (`Vec`, `Option`, slices,
@@ -143,6 +157,11 @@ pub const COMMON: &[&str] = &[
     "as_slice",
     "as_str",
     "binary_search",
+    // Builder-pattern terminator: `.build()` chains off `ctx.frame()` on
+    // every hot path and would otherwise edge into each workspace
+    // `build` (fabric builders, report builders, ...). FrameBuilder's
+    // own `build` is covered by its HOT_ROOTS / DET_SINKS entries.
+    "build",
     "bytes",
     "chain",
     "chars",

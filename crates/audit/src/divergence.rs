@@ -262,13 +262,11 @@ fn run_mcast_cliff(kind: SchedulerKind) -> RunSignature {
     let mut sim = Simulator::with_scheduler(3, kind);
     let sw = sim.add_node("switch", CommoditySwitch::new(cfg));
     let rx = sim.add_node("rx", Receiver);
-    sim.connect(
-        sw,
-        PortId(1),
-        rx,
-        PortId(0),
-        EtherLink::ten_gig(SimTime::ZERO),
-    );
+    // EtherLink has no LinkSpec equivalent: install the built model
+    // directly, one instance per direction.
+    let link = EtherLink::ten_gig(SimTime::ZERO);
+    sim.install_link(sw, PortId(1), rx, PortId(0), Box::new(link.clone()));
+    sim.install_link(rx, PortId(0), sw, PortId(1), Box::new(link));
 
     for g in 0..96u32 {
         let join = commodity::igmp_frame(
@@ -277,7 +275,7 @@ fn run_mcast_cliff(kind: SchedulerKind) -> RunSignature {
             ipv4::Addr::host(2),
             ipv4::Addr::multicast_group(g),
         );
-        let f = sim.new_frame(join);
+        let f = sim.frame().copy_from(&join).build();
         sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
     }
     sim.run();
@@ -293,7 +291,7 @@ fn run_mcast_cliff(kind: SchedulerKind) -> RunSignature {
             30_001,
             &[0u8; 100],
         );
-        let f = sim.new_frame(frame);
+        let f = sim.frame().copy_from(&frame).build();
         sim.inject_frame(t0, sw, PortId(0), f);
     }
     sim.run();
@@ -344,38 +342,61 @@ fn run_metro(kind: tn_topo::metro::CircuitKind, sched: SchedulerKind) -> RunSign
     let norm_local = mk_norm(&mut sim, 0, 1);
     let norm_remote = mk_norm(&mut sim, 1, 2);
 
-    sim.connect(
+    // Concrete link models (EtherLink, metro circuits) have no LinkSpec
+    // equivalent: install the built models directly, one per direction.
+    let attach = |sim: &mut Simulator,
+                  a: tn_sim::NodeId,
+                  ap: PortId,
+                  b: tn_sim::NodeId,
+                  bp: PortId,
+                  link: Box<dyn tn_sim::Link>,
+                  back: Box<dyn tn_sim::Link>| {
+        sim.install_link(a, ap, b, bp, link);
+        sim.install_link(b, bp, a, ap, back);
+    };
+    let l = EtherLink::ten_gig(SimTime::from_ns(25));
+    attach(
+        &mut sim,
         exch_local,
         PortId(0),
         norm_local,
         normalizer::FEED_A,
-        EtherLink::ten_gig(SimTime::from_ns(25)),
+        Box::new(l.clone()),
+        Box::new(l),
     );
-    sim.connect(
+    let circuit = metro.circuit(1, 0, kind);
+    attach(
+        &mut sim,
         exch_remote,
         PortId(0),
         norm_remote,
         normalizer::FEED_A,
-        metro.circuit(1, 0, kind),
+        Box::new(circuit.clone()),
+        Box::new(circuit),
     );
 
     let mut mux = L1Switch::new(L1Config::default());
     mux.provision_merge(PortId(0), PortId(2));
     mux.provision_merge(PortId(1), PortId(2));
     let mux = sim.add_node("mux", mux);
-    sim.connect(
+    let l = EtherLink::ten_gig(SimTime::from_ns(25));
+    attach(
+        &mut sim,
         norm_local,
         normalizer::OUT,
         mux,
         PortId(0),
-        EtherLink::ten_gig(SimTime::from_ns(25)),
+        Box::new(l.clone()),
+        Box::new(l.clone()),
     );
-    sim.connect(
+    attach(
+        &mut sim,
         norm_remote,
         normalizer::OUT,
         mux,
         PortId(1),
-        EtherLink::ten_gig(SimTime::from_ns(25)),
+        Box::new(l.clone()),
+        Box::new(l),
     );
 
     let mut cfg = StrategyConfig::new(0, symbols.clone());
@@ -387,12 +408,15 @@ fn run_metro(kind: tn_topo::metro::CircuitKind, sched: SchedulerKind) -> RunSign
     cfg.subscriptions = subs;
     cfg.send_igmp_joins = false;
     let strat = sim.add_node("arb", Strategy::new(cfg, CrossMarketArb::default()));
-    sim.connect(
+    let l = EtherLink::ten_gig(SimTime::from_ns(25));
+    attach(
+        &mut sim,
         mux,
         PortId(2),
         strat,
         strategy::FEED,
-        EtherLink::ten_gig(SimTime::from_ns(25)),
+        Box::new(l.clone()),
+        Box::new(l),
     );
 
     sim.schedule_timer(SimTime::ZERO, exch_local, tn_market::TICK);
@@ -598,6 +622,30 @@ mod tests {
                 "fault scenarios must agree across schedulers"
             );
         }
+    }
+
+    #[test]
+    fn golden_digests_hold_under_the_timing_wheel() {
+        // Third scheduler, same contract: the hierarchical wheel must
+        // reproduce the pinned binary-heap digest bit for bit.
+        let sig = run_quickstart(SchedulerKind::TimingWheel);
+        assert_eq!(sig.digest, 0xff1dbcd7cf7e729e, "{sig:?}");
+        assert_eq!(sig.events, 19_924);
+
+        let decomp = run_latency_decomposition(SchedulerKind::TimingWheel);
+        assert_eq!(decomp.digest, 0xb97aeac301534e76, "{decomp:?}");
+        assert_eq!(decomp.events, 1_088);
+    }
+
+    #[test]
+    fn frame_pooling_off_reproduces_the_golden_quickstart_digest() {
+        // The arena is pure side-state: a run that allocates every
+        // payload buffer fresh must not perturb a single kernel event.
+        let mut sc = trimmed(ScenarioConfig::small(42));
+        sc.frame_pooling = false;
+        let report = TraditionalSwitches::default().run(&sc);
+        assert_eq!(report.trace_digest, 0xff1dbcd7cf7e729e);
+        assert_eq!(report.events_recorded, 19_924);
     }
 
     #[test]

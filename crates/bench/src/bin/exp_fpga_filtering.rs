@@ -57,7 +57,8 @@ fn burst(sim: &mut Simulator, switch: tn_sim::NodeId) {
     for s in 0..SOURCES {
         for i in 0..FRAMES_PER_BURST {
             let group = (s as u32) * GROUPS_PER_SOURCE + (i as u32 % GROUPS_PER_SOURCE);
-            let mut f = sim.new_frame(feed_frame(group));
+            let bytes = feed_frame(group);
+            let mut f = sim.frame().copy_from(&bytes).build();
             f.born = spacing * i as u64;
             let at = f.born;
             sim.inject_frame(at, switch, PortId(s as u16), f);

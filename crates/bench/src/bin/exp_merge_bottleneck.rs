@@ -60,7 +60,7 @@ fn run(sources: usize, frames_per_burst: usize, frame_len: usize) -> (u64, u64, 
     let spacing = SimTime::serialization(frame_len, 10_000_000_000);
     for s in 0..sources {
         for i in 0..frames_per_burst {
-            let mut f = sim.new_frame(vec![0u8; frame_len]);
+            let mut f = sim.frame().zeroed(frame_len).build();
             f.born = spacing * i as u64; // stamp the true emission time
             sim.inject_frame(f.born, sw, PortId(s as u16), f);
         }

@@ -37,6 +37,8 @@ pub struct PitchSource {
     copies: u16,
     sent_packets: u64,
     next_seq: u32,
+    payload_scratch: Vec<u8>,
+    wire_scratch: Vec<u8>,
 }
 
 impl PitchSource {
@@ -49,6 +51,8 @@ impl PitchSource {
             copies,
             sent_packets: 0,
             next_seq: 1,
+            payload_scratch: Vec::new(),
+            wire_scratch: Vec::new(),
         }
     }
 
@@ -66,30 +70,36 @@ impl Node for PitchSource {
         if self.sent_packets >= self.packets {
             return;
         }
+        self.payload_scratch.clear();
         let mut pb = pitch::PacketBuilder::new(0, self.next_seq, 1_400);
         for i in 0..self.msgs_per_packet {
-            pb.push(&pitch::Message::DeleteOrder {
-                offset_ns: i,
-                order_id: u64::from(self.next_seq.wrapping_add(i)),
-            });
+            pb.push_into(
+                &pitch::Message::DeleteOrder {
+                    offset_ns: i,
+                    order_id: u64::from(self.next_seq.wrapping_add(i)),
+                },
+                &mut self.payload_scratch,
+            );
         }
-        let Some(payload) = pb.flush() else {
+        if !pb.flush_into(&mut self.payload_scratch) && self.payload_scratch.is_empty() {
             return; // msgs_per_packet == 0: nothing to publish
-        };
+        }
         self.next_seq = self.next_seq.wrapping_add(self.msgs_per_packet);
-        let bytes = stack::build_udp(
+        self.wire_scratch.clear();
+        stack::emit_udp_into(
             eth::MacAddr::host(0x0A00),
             None,
             ipv4::Addr::new(10, 200, 1, 1),
             ipv4::Addr::multicast_group(0),
             32_000,
             32_000,
-            &payload,
+            &self.payload_scratch,
+            &mut self.wire_scratch,
         );
         for p in 0..self.copies {
             // Pooled copy: each port's frame reuses a recycled arena
             // buffer instead of allocating per packet on the hot path.
-            let frame = ctx.new_frame_copied(&bytes);
+            let frame = ctx.frame().copy_from(&self.wire_scratch).build();
             ctx.send(PortId(p), frame);
         }
         self.sent_packets += 1;

@@ -80,7 +80,7 @@ impl Node for BurstSource {
         for _ in 0..self.burst_frames {
             // Pooled zero-fill: the sink recycles every payload buffer, so
             // in steady state no burst allocates.
-            let frame = ctx.new_frame_zeroed(self.payload);
+            let frame = ctx.frame().zeroed(self.payload).build();
             ctx.send(PortId(0), frame);
             self.sent += 1;
         }
@@ -214,21 +214,21 @@ pub fn run_decomposition(cfg: &DecompositionConfig, obs: ObsConfig) -> Decomposi
     // Fast ingress into the tap, a 1 Gb/s middle hop with metro-scale
     // propagation (dominates, and queues under bursts), then a clean
     // last hop out of the relay.
-    sim.connect_directed(
+    sim.install_link(
         src,
         PortId(0),
         tap,
         PortId(0),
         Box::new(EtherLink::new(10_000_000_000, SimTime::from_ns(500))),
     );
-    sim.connect_directed(
+    sim.install_link(
         tap,
         PortId(1),
         relay,
         PortId(0),
         Box::new(EtherLink::new(1_000_000_000, SimTime::from_us(5))),
     );
-    sim.connect_directed(
+    sim.install_link(
         relay,
         PortId(1),
         sink,

@@ -166,11 +166,27 @@ fn units_for(sc: &ScenarioConfig, n: usize) -> Vec<u32> {
         .collect()
 }
 
+/// Bidirectional attach of an already-built link model. The designs wire
+/// concrete hardware models (`EtherLink`, fabric host links) that the
+/// `LinkSpec`-based `connect_spec` cannot express, so they go in through
+/// the raw `install_link` primitive, one instance per direction.
+fn attach(
+    sim: &mut Simulator,
+    a: NodeId,
+    a_port: PortId,
+    b: NodeId,
+    b_port: PortId,
+    link: impl Link + Clone + 'static,
+) {
+    sim.install_link(a, a_port, b, b_port, Box::new(link.clone()));
+    sim.install_link(b, b_port, a, a_port, Box::new(link));
+}
+
 /// Attach the exchange's feed port to the fabric, injecting the
 /// scenario's feed fault (if any) on the publish direction only — order
 /// entry and acks ride the clean reverse path. With no fault configured
-/// this is exactly `Simulator::connect`, so pre-fault digests reproduce
-/// bit-for-bit.
+/// this is exactly a plain bidirectional attach, so pre-fault digests
+/// reproduce bit-for-bit.
 fn connect_exchange_feed(
     sim: &mut Simulator,
     sc: &ScenarioConfig,
@@ -182,30 +198,34 @@ fn connect_exchange_feed(
 ) {
     match &sc.feed_fault {
         Some(spec) => {
-            sim.connect_directed(
+            sim.install_link(
                 exchange,
                 exch_port,
                 fabric,
                 fabric_port,
                 Box::new(FaultLink::wrap(link.clone(), spec.clone())),
             );
-            sim.connect_directed(fabric, fabric_port, exchange, exch_port, Box::new(link));
+            sim.install_link(fabric, fabric_port, exchange, exch_port, Box::new(link));
         }
-        None => sim.connect(exchange, exch_port, fabric, fabric_port, link),
+        None => attach(sim, exchange, exch_port, fabric, fabric_port, link),
     }
 }
 
 /// Build the kernel a design runs on: the scenario's event scheduler,
 /// then the telemetry it asked for. Called before any node or link
-/// exists: `add_node` / `connect_directed` hand the metrics handle to
+/// exists: `add_node` / `install_link` hand the metrics handle to
 /// everything added later, including the fault wrappers
-/// `connect_exchange_feed` installs. Neither knob moves the run —
-/// schedulers pop in identical `(time, seq)` order and telemetry is
-/// purely side-state, so the event schedule and trace digest are
-/// identical for any [`tn_sim::SchedulerKind`] / [`tn_sim::ObsConfig`]
-/// (pinned by `tn-audit divergence`).
+/// `connect_exchange_feed` installs. None of the knobs move the run —
+/// schedulers pop in identical `(time, seq)` order, telemetry is purely
+/// side-state, and arena pooling hands out logically empty buffers
+/// either way, so the event schedule and trace digest are identical for
+/// any [`tn_sim::SchedulerKind`] / [`tn_sim::ObsConfig`] /
+/// `frame_pooling` setting (pinned by `tn-audit divergence`).
 fn build_sim(sc: &ScenarioConfig) -> Simulator {
     let mut sim = Simulator::with_scheduler(sc.seed, sc.scheduler);
+    if !sc.frame_pooling {
+        sim.set_arena_max_free(0);
+    }
     if sc.obs.provenance {
         sim.set_provenance(true);
     }
@@ -371,13 +391,27 @@ impl TradingNetworkDesign for TraditionalSwitches {
             let rack = (2 * n) / hpr;
             let (leaf_f, port_f) = fabric.take_host_port_in_rack(rack);
             let (leaf_o, port_o) = fabric.take_host_port_in_rack(rack);
-            sim.connect(node, normalizer::FEED_A, leaf_f, port_f, fabric.host_link());
-            sim.connect(node, normalizer::OUT, leaf_o, port_o, fabric.host_link());
+            attach(
+                &mut sim,
+                node,
+                normalizer::FEED_A,
+                leaf_f,
+                port_f,
+                fabric.host_link(),
+            );
+            attach(
+                &mut sim,
+                node,
+                normalizer::OUT,
+                leaf_o,
+                port_o,
+                fabric.host_link(),
+            );
             // Join this normalizer's feed units.
             let (mac, ip) = firm.normalizer_addrs[n];
             for u in units_for(sc, n) {
                 let join = igmp_join_frame(mac, ip, FEED_MCAST_BASE + u);
-                let f = sim.new_frame(join);
+                let f = sim.frame().copy_from(&join).build();
                 sim.inject_frame(SimTime::ZERO, leaf_f, port_f, f);
             }
         }
@@ -387,8 +421,22 @@ impl TradingNetworkDesign for TraditionalSwitches {
             let rack = norm_racks + (2 * s) / hpr;
             let (leaf_f, port_f) = fabric.take_host_port_in_rack(rack);
             let (leaf_o, port_o) = fabric.take_host_port_in_rack(rack);
-            sim.connect(node, strategy::FEED, leaf_f, port_f, fabric.host_link());
-            sim.connect(node, strategy::ORDERS, leaf_o, port_o, fabric.host_link());
+            attach(
+                &mut sim,
+                node,
+                strategy::FEED,
+                leaf_f,
+                port_f,
+                fabric.host_link(),
+            );
+            attach(
+                &mut sim,
+                node,
+                strategy::ORDERS,
+                leaf_o,
+                port_o,
+                fabric.host_link(),
+            );
             let (_mac, ip) = firm.strategy_addrs[s];
             fabric.install_host_routes(&mut sim, leaf_o, port_o, ip);
         }
@@ -398,8 +446,22 @@ impl TradingNetworkDesign for TraditionalSwitches {
             let rack = norm_racks + strat_racks + (2 * g) / hpr;
             let (leaf_i, port_i) = fabric.take_host_port_in_rack(rack);
             let (leaf_x, port_x) = fabric.take_host_port_in_rack(rack);
-            sim.connect(node, gateway::INTERNAL, leaf_i, port_i, fabric.host_link());
-            sim.connect(node, gateway::EXCHANGE, leaf_x, port_x, fabric.host_link());
+            attach(
+                &mut sim,
+                node,
+                gateway::INTERNAL,
+                leaf_i,
+                port_i,
+                fabric.host_link(),
+            );
+            attach(
+                &mut sim,
+                node,
+                gateway::EXCHANGE,
+                leaf_x,
+                port_x,
+                fabric.host_link(),
+            );
             let (_mac, exch_side_ip, internal_ip) = firm.gateway_addrs[g];
             fabric.install_host_routes(&mut sim, leaf_i, port_i, internal_ip);
             fabric.install_host_routes(&mut sim, leaf_x, port_x, exch_side_ip);
@@ -468,26 +530,42 @@ impl TradingNetworkDesign for CloudDesign {
         for (n, &node) in firm.normalizers.iter().enumerate() {
             let pf = cloud.take_tenant_port();
             let po = cloud.take_tenant_port();
-            sim.connect(
+            attach(
+                &mut sim,
                 node,
                 normalizer::FEED_A,
                 cloud.fabric,
                 pf,
                 cloud.tenant_link(),
             );
-            sim.connect(node, normalizer::OUT, cloud.fabric, po, cloud.tenant_link());
+            attach(
+                &mut sim,
+                node,
+                normalizer::OUT,
+                cloud.fabric,
+                po,
+                cloud.tenant_link(),
+            );
             let (mac, ip) = firm.normalizer_addrs[n];
             for u in units_for(sc, n) {
                 let join = igmp_join_frame(mac, ip, FEED_MCAST_BASE + u);
-                let f = sim.new_frame(join);
+                let f = sim.frame().copy_from(&join).build();
                 sim.inject_frame(SimTime::ZERO, cloud.fabric, pf, f);
             }
         }
         for (s, &node) in firm.strategies.iter().enumerate() {
             let pf = cloud.take_tenant_port();
             let po = cloud.take_tenant_port();
-            sim.connect(node, strategy::FEED, cloud.fabric, pf, cloud.tenant_link());
-            sim.connect(
+            attach(
+                &mut sim,
+                node,
+                strategy::FEED,
+                cloud.fabric,
+                pf,
+                cloud.tenant_link(),
+            );
+            attach(
+                &mut sim,
                 node,
                 strategy::ORDERS,
                 cloud.fabric,
@@ -499,14 +577,16 @@ impl TradingNetworkDesign for CloudDesign {
         for (g, &node) in firm.gateways.iter().enumerate() {
             let pi = cloud.take_tenant_port();
             let px = cloud.take_tenant_port();
-            sim.connect(
+            attach(
+                &mut sim,
                 node,
                 gateway::INTERNAL,
                 cloud.fabric,
                 pi,
                 cloud.tenant_link(),
             );
-            sim.connect(
+            attach(
+                &mut sim,
                 node,
                 gateway::EXCHANGE,
                 cloud.fabric,
@@ -593,7 +673,8 @@ impl TradingNetworkDesign for LayerOneSwitches {
             fabric.feed_net.inputs[0],
             link(),
         );
-        sim.connect(
+        attach(
+            &mut sim,
             exchange,
             PortId(1),
             fabric.entry_net.switch,
@@ -602,14 +683,16 @@ impl TradingNetworkDesign for LayerOneSwitches {
         );
 
         for (n, &node) in firm.normalizers.iter().enumerate() {
-            sim.connect(
+            attach(
+                &mut sim,
                 node,
                 normalizer::FEED_A,
                 fabric.feed_net.switch,
                 fabric.feed_net.outputs[n],
                 link(),
             );
-            sim.connect(
+            attach(
+                &mut sim,
                 node,
                 normalizer::OUT,
                 fabric.dist_net.switch,
@@ -618,14 +701,16 @@ impl TradingNetworkDesign for LayerOneSwitches {
             );
         }
         for (s, &node) in firm.strategies.iter().enumerate() {
-            sim.connect(
+            attach(
+                &mut sim,
                 node,
                 strategy::FEED,
                 fabric.dist_merge_node(),
                 fabric.dist_net.outputs[s],
                 link(),
             );
-            sim.connect(
+            attach(
+                &mut sim,
                 node,
                 strategy::ORDERS,
                 fabric.order_net.switch,
@@ -634,14 +719,16 @@ impl TradingNetworkDesign for LayerOneSwitches {
             );
         }
         for (g, &node) in firm.gateways.iter().enumerate() {
-            sim.connect(
+            attach(
+                &mut sim,
                 node,
                 gateway::INTERNAL,
                 fabric.order_net.switch,
                 fabric.order_net.outputs[g],
                 link(),
             );
-            sim.connect(
+            attach(
+                &mut sim,
                 node,
                 gateway::EXCHANGE,
                 fabric.entry_net.switch,
@@ -726,20 +813,20 @@ impl TradingNetworkDesign for FpgaHybrid {
         for (n, &node) in firm.normalizers.iter().enumerate() {
             let pf = take();
             let po = take();
-            sim.connect(node, normalizer::FEED_A, fabric, pf, link());
-            sim.connect(node, normalizer::OUT, fabric, po, link());
+            attach(&mut sim, node, normalizer::FEED_A, fabric, pf, link());
+            attach(&mut sim, node, normalizer::OUT, fabric, po, link());
             let (mac, ip) = firm.normalizer_addrs[n];
             for u in units_for(sc, n) {
                 let join = igmp_join_frame(mac, ip, FEED_MCAST_BASE + u);
-                let f = sim.new_frame(join);
+                let f = sim.frame().copy_from(&join).build();
                 sim.inject_frame(SimTime::ZERO, fabric, pf, f);
             }
         }
         for (s, &node) in firm.strategies.iter().enumerate() {
             let pf = take();
             let po = take();
-            sim.connect(node, strategy::FEED, fabric, pf, link());
-            sim.connect(node, strategy::ORDERS, fabric, po, link());
+            attach(&mut sim, node, strategy::FEED, fabric, pf, link());
+            attach(&mut sim, node, strategy::ORDERS, fabric, po, link());
             let ip = firm.strategy_addrs[s].1;
             sim.node_mut::<FpgaL1Switch>(fabric)
                 .unwrap()
@@ -748,8 +835,8 @@ impl TradingNetworkDesign for FpgaHybrid {
         for (g, &node) in firm.gateways.iter().enumerate() {
             let pi = take();
             let px = take();
-            sim.connect(node, gateway::INTERNAL, fabric, pi, link());
-            sim.connect(node, gateway::EXCHANGE, fabric, px, link());
+            attach(&mut sim, node, gateway::INTERNAL, fabric, pi, link());
+            attach(&mut sim, node, gateway::EXCHANGE, fabric, px, link());
             let (_mac, exch_side_ip, internal_ip) = firm.gateway_addrs[g];
             let f = sim.node_mut::<FpgaL1Switch>(fabric).unwrap();
             f.add_route(internal_ip, pi);
@@ -790,16 +877,18 @@ mod tests {
     }
 
     #[test]
-    fn calendar_queue_scheduler_leaves_digest_untouched() {
+    fn alternative_schedulers_leave_digest_untouched() {
         let heap = ScenarioConfig::small(7);
-        let mut cal = ScenarioConfig::small(7);
-        cal.scheduler = tn_sim::SchedulerKind::CalendarQueue;
         let r_heap = TraditionalSwitches::default().run(&heap);
-        let r_cal = TraditionalSwitches::default().run(&cal);
-        // Scheduler choice is wall-clock-only: same pops, same digest.
-        assert_eq!(r_heap.trace_digest, r_cal.trace_digest);
-        assert_eq!(r_heap.events_recorded, r_cal.events_recorded);
-        assert_eq!(r_heap.orders_sent, r_cal.orders_sent);
+        for kind in tn_sim::SchedulerKind::ALL {
+            let mut other = ScenarioConfig::small(7);
+            other.scheduler = kind;
+            let r_other = TraditionalSwitches::default().run(&other);
+            // Scheduler choice is wall-clock-only: same pops, same digest.
+            assert_eq!(r_heap.trace_digest, r_other.trace_digest, "{}", kind.name());
+            assert_eq!(r_heap.events_recorded, r_other.events_recorded);
+            assert_eq!(r_heap.orders_sent, r_other.orders_sent);
+        }
     }
 
     #[test]

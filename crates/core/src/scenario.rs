@@ -105,11 +105,19 @@ pub struct ScenarioConfig {
     pub obs: ObsConfig,
     /// Event scheduler the kernel runs on. The default stays the
     /// reference [`SchedulerKind::BinaryHeap`]; switching to
-    /// [`SchedulerKind::CalendarQueue`] changes wall-clock speed only —
-    /// both pop events in identical `(time, seq)` order, so trace digests
-    /// are bit-for-bit unchanged (pinned by `tn-audit divergence` and the
-    /// scheduler-equivalence proptest).
+    /// [`SchedulerKind::CalendarQueue`] or
+    /// [`SchedulerKind::TimingWheel`] changes wall-clock speed only —
+    /// all three pop events in identical `(time, seq)` order, so trace
+    /// digests are bit-for-bit unchanged (pinned by `tn-audit
+    /// divergence` and the scheduler-equivalence proptest).
     pub scheduler: SchedulerKind,
+    /// Recycle frame payload buffers through the kernel's
+    /// [`tn_sim::FrameArena`] (the default). Turning pooling off makes
+    /// every frame build a fresh allocation but never moves the run:
+    /// buffers are handed out logically empty either way, so the event
+    /// schedule and trace digest are bit-for-bit identical (pinned by
+    /// `tn-audit divergence`).
+    pub frame_pooling: bool,
 }
 
 impl ScenarioConfig {
@@ -155,6 +163,7 @@ impl ScenarioConfig {
             feed_fault: None,
             obs: ObsConfig::off(),
             scheduler: SchedulerKind::BinaryHeap,
+            frame_pooling: true,
         }
     }
 
@@ -182,6 +191,7 @@ impl ScenarioConfig {
             feed_fault: None,
             obs: ObsConfig::off(),
             scheduler: SchedulerKind::BinaryHeap,
+            frame_pooling: true,
         }
     }
 
@@ -295,6 +305,13 @@ impl ScenarioBuilder {
     /// [`ScenarioConfig::scheduler`]).
     pub fn scheduler(mut self, scheduler: SchedulerKind) -> ScenarioBuilder {
         self.cfg.scheduler = scheduler;
+        self
+    }
+
+    /// Frame-buffer pooling through the kernel arena (digest-neutral;
+    /// see [`ScenarioConfig::frame_pooling`]).
+    pub fn frame_pooling(mut self, on: bool) -> ScenarioBuilder {
+        self.cfg.frame_pooling = on;
         self
     }
 

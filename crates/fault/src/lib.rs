@@ -184,7 +184,7 @@ impl FaultConnect for Simulator {
         spec: &LinkSpec,
     ) {
         let link: Box<dyn Link> = Box::new(spec.build());
-        self.connect_directed(src, src_port, dst, dst_port, link);
+        self.install_link(src, src_port, dst, dst_port, link);
     }
 }
 

@@ -117,17 +117,26 @@ impl RecoveryReceiver {
     }
 
     fn send_requests(&mut self, ctx: &mut Context<'_>, requests: &[GapRequest]) {
+        let cfg = &self.cfg;
         for req in requests {
-            let bytes = stack::build_udp(
-                self.cfg.src_mac,
-                None,
-                self.cfg.src_ip,
-                self.cfg.server_ip,
-                self.cfg.udp_port,
-                self.cfg.udp_port,
-                &req.emit(),
-            );
-            let frame = ctx.new_frame(bytes);
+            // Single-pass emission into the arena buffer: reserve the
+            // headers, append the request, fill the headers in place.
+            let frame = ctx
+                .frame()
+                .fill(|b| {
+                    let start = stack::reserve_udp(b);
+                    req.emit_into(b);
+                    stack::finish_udp(
+                        &mut b[start..],
+                        cfg.src_mac,
+                        None,
+                        cfg.src_ip,
+                        cfg.server_ip,
+                        cfg.udp_port,
+                        cfg.udp_port,
+                    );
+                })
+                .build();
             ctx.send(RECV_RETRANS, frame);
             self.stats.requests_sent += 1;
         }
@@ -158,25 +167,27 @@ impl RecoveryReceiver {
 impl Node for RecoveryReceiver {
     fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
         self.stats.frames_in += 1;
-        let Ok(view) = stack::parse_udp(&frame.bytes) else {
-            self.stats.parse_errors += 1;
-            return;
-        };
-        match port {
+        match stack::parse_udp(&frame.bytes) {
+            Err(_) => self.stats.parse_errors += 1,
             // Live multicast and unicast replays converge on the same
             // reorderer; the ports differ only in what faults their
             // links carry.
-            RECV_FEED | RECV_RETRANS => match self.client.offer(ctx.now(), view.payload) {
-                Ok(out) => {
-                    self.record_release(ctx.now(), out.messages.len());
-                    self.send_requests(ctx, &out.requests);
-                    self.rearm(ctx);
+            Ok(view) if port == RECV_FEED || port == RECV_RETRANS => {
+                match self.client.offer(ctx.now(), view.payload) {
+                    Ok(out) => {
+                        self.record_release(ctx.now(), out.messages.len());
+                        self.send_requests(ctx, &out.requests);
+                        self.rearm(ctx);
+                    }
+                    Err(_) => self.stats.parse_errors += 1,
                 }
-                Err(_) => self.stats.parse_errors += 1,
-            },
+            }
             // audit:allow(hotpath-unwrap): port fan-in is fixed by connect() wiring at build time; a mismatch is a topology bug where stopping loudly beats simulating garbage
-            other => panic!("recovery receiver has 2 ports, got {other:?}"),
+            Ok(_) => panic!("recovery receiver has 2 ports, got {port:?}"),
         }
+        // Terminal consumer: the payload has been copied into the
+        // reorderer (or rejected), so the buffer goes back to the arena.
+        ctx.recycle(frame);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
@@ -276,10 +287,8 @@ impl RetransUnit {
     pub fn server(&self) -> &RetransmissionServer {
         &self.server
     }
-}
 
-impl Node for RetransUnit {
-    fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
+    fn handle_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: &Frame) {
         let Ok(view) = stack::parse_udp(&frame.bytes) else {
             self.stats.parse_errors += 1;
             return;
@@ -301,17 +310,24 @@ impl Node for RetransUnit {
                 match self.server.serve(ctx.now(), &req) {
                     Ok(replays) => {
                         self.svc.charge(ctx.now(), self.cfg.per_request_service);
+                        let (src_mac, src_ip, udp_port) =
+                            (self.cfg.src_mac, self.cfg.src_ip, self.cfg.udp_port);
                         for payload in replays {
-                            let bytes = stack::build_udp(
-                                self.cfg.src_mac,
-                                Some(requester_mac),
-                                self.cfg.src_ip,
-                                requester_ip,
-                                self.cfg.udp_port,
-                                self.cfg.udp_port,
-                                &payload,
-                            );
-                            let out = ctx.new_frame(bytes);
+                            let out = ctx
+                                .frame()
+                                .fill(|b| {
+                                    stack::emit_udp_into(
+                                        src_mac,
+                                        Some(requester_mac),
+                                        src_ip,
+                                        requester_ip,
+                                        udp_port,
+                                        udp_port,
+                                        &payload,
+                                        b,
+                                    )
+                                })
+                                .build();
                             self.stats.replays_out += 1;
                             self.metrics.inc("feed", "retrans_replay", Some(ctx.me().0));
                             self.svc.send_after(ctx, SimTime::ZERO, UNIT_REQ, out);
@@ -328,6 +344,15 @@ impl Node for RetransUnit {
             other => panic!("retrans unit has 2 ports, got {other:?}"),
         }
     }
+}
+
+impl Node for RetransUnit {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
+        self.handle_frame(ctx, port, &frame);
+        // Terminal consumer: tapped packets are copied into history and
+        // requests are fully decoded, so the buffer goes back to the arena.
+        ctx.recycle(frame);
+    }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
         let consumed = self.svc.on_timer(ctx, timer);
@@ -342,7 +367,8 @@ impl Node for RetransUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tn_sim::{IdealLink, Simulator};
+    use tn_fault::{FaultConnect, LinkSpec};
+    use tn_sim::Simulator;
     use tn_wire::pitch;
 
     fn feed_frame(first_seq: u32, n: u32) -> Vec<u8> {
@@ -371,12 +397,12 @@ mod tests {
         rc.recovery = recovery;
         let rx = sim.add_node("rx", RecoveryReceiver::new(rc));
         let unit = sim.add_node("unit", RetransUnit::new(RetransUnitConfig::default()));
-        sim.connect(
+        sim.connect_spec(
             rx,
             RECV_RETRANS,
             unit,
             UNIT_REQ,
-            IdealLink::new(SimTime::from_us(5)),
+            &LinkSpec::ideal(SimTime::from_us(5)),
         );
         (sim, rx, unit)
     }
@@ -387,11 +413,11 @@ mod tests {
         for seq in (1..=9u32).step_by(2) {
             let bytes = feed_frame(seq, 2);
             let t = SimTime::from_us(u64::from(seq) * 10);
-            let tap = sim.new_frame(bytes.clone());
+            let tap = sim.frame().copy_from(&bytes).build();
             sim.inject_frame(t, unit, UNIT_TAP, tap);
             // The copy starting at seq 5 is lost on the multicast path.
             if seq != 5 {
-                let f = sim.new_frame(bytes);
+                let f = sim.frame().copy_from(&bytes).build();
                 sim.inject_frame(t, rx, RECV_FEED, f);
             }
         }
@@ -421,9 +447,9 @@ mod tests {
         let (mut sim, rx, unit) = rig(cfg);
         // The server never sees the missing packet (nothing tapped), so
         // every request is refused and the receiver eventually gives up.
-        let f = sim.new_frame(feed_frame(1, 2));
+        let f = sim.frame().copy_from(&feed_frame(1, 2)).build();
         sim.inject_frame(SimTime::ZERO, rx, RECV_FEED, f);
-        let f = sim.new_frame(feed_frame(5, 2)); // 3..=4 lost forever
+        let f = sim.frame().copy_from(&feed_frame(5, 2)).build(); // 3..=4 lost forever
         sim.inject_frame(SimTime::from_us(1), rx, RECV_FEED, f);
         sim.run();
         let rx_node = sim.node::<RecoveryReceiver>(rx).unwrap();

@@ -32,7 +32,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use tn_netdev::TxQueue;
-use tn_sim::{Context, Frame, FrameMeta, Node, PortId, SimTime, TimerToken};
+use tn_sim::{Context, Frame, Node, PortId, SimTime, TimerToken};
 use tn_wire::{boe, eth, ipv4, stack, tcp};
 
 use tn_feed::RetransmissionServer;
@@ -161,6 +161,17 @@ pub struct Exchange {
     /// the order arriving back — the firm's end-to-end reaction time as
     /// the exchange observes it.
     response_latency_ps: Vec<u64>,
+    /// Reusable wire-emission buffer: each feed packet is emitted once
+    /// here, then arena-copied per feed port.
+    wire_scratch: Vec<u8>,
+    /// Reusable BOE reply payload buffer.
+    payload_scratch: Vec<u8>,
+    /// Reusable per-dispatch output batch (taken/restored around builds).
+    outbox: Vec<(PortId, Frame)>,
+    /// Reusable background-tick message batch.
+    msg_scratch: Vec<tn_wire::pitch::Message>,
+    /// Reusable order-entry message batch.
+    boe_scratch: Vec<boe::Message>,
 }
 
 impl Exchange {
@@ -189,6 +200,11 @@ impl Exchange {
             stats: ExchangeStats::default(),
             event_counter: 0,
             response_latency_ps: Vec::new(),
+            wire_scratch: Vec::new(),
+            payload_scratch: Vec::new(),
+            outbox: Vec::new(),
+            msg_scratch: Vec::new(),
+            boe_scratch: Vec::new(),
         }
     }
 
@@ -211,29 +227,32 @@ impl Exchange {
         (now.as_ps() % 1_000_000_000_000 / 1_000) as u32
     }
 
-    /// Build multicast frames for feed messages produced now; one frame
-    /// per (packet, feed port). A/B copies share the measurement tag.
+    /// Build multicast frames for feed messages produced now, appending to
+    /// `out`; one frame per (packet, feed port). A/B copies share the
+    /// measurement tag but carry distinct [`tn_sim::FrameId`]s, exactly as
+    /// real A/B publications are distinct wire frames.
     fn build_feed_frames(
         &mut self,
         ctx: &mut Context<'_>,
         msgs: &[tn_wire::pitch::Message],
-    ) -> Vec<(PortId, Frame)> {
+        out: &mut Vec<(PortId, Frame)>,
+    ) {
         if msgs.is_empty() {
-            // audit:allow(hotpath-alloc): capacity-0 Vec never touches the heap
-            return Vec::new();
+            return;
         }
         let now = ctx.now();
         let time_ns = now.as_ps() / 1_000;
         self.stats.feed_messages += msgs.len() as u64;
         let packets = self.publisher.publish(&self.cfg.directory, time_ns, msgs);
-        // audit:allow(hotpath-alloc): per-dispatch feed-frame batch; batch reuse is ROADMAP item 2
-        let mut out = Vec::new();
         for pkt in packets {
             if let Some(server) = &mut self.retrans {
                 let _ = server.store(&pkt.bytes);
             }
             let group = ipv4::Addr::multicast_group(self.cfg.mcast_base + u32::from(pkt.unit));
-            let bytes = stack::build_udp(
+            // Emit the wire frame once into the reusable scratch buffer;
+            // each feed port then gets an arena-backed copy.
+            self.wire_scratch.clear();
+            stack::emit_udp_into(
                 self.cfg.src_mac,
                 None,
                 self.cfg.src_ip,
@@ -241,33 +260,37 @@ impl Exchange {
                 self.cfg.feed_udp_port,
                 self.cfg.feed_udp_port,
                 &pkt.bytes,
+                &mut self.wire_scratch,
             );
             self.event_counter += 1;
-            let meta = FrameMeta {
-                tag: self.event_counter,
-                event_time: now,
-                ..FrameMeta::default()
-            };
+            let tag = self.event_counter;
             for &port in &self.cfg.feed_ports {
-                let frame = ctx.new_frame_with_meta(bytes.clone(), meta.clone());
+                let frame = ctx
+                    .frame()
+                    .copy_from(&self.wire_scratch)
+                    .tag(tag)
+                    .event_time(now)
+                    .build();
                 self.stats.feed_packets += 1;
                 out.push((port, frame));
             }
         }
-        out
     }
 
     /// Publish immediately (background-flow path: tick granularity is far
     /// coarser than matcher service time).
     fn publish_feed(&mut self, ctx: &mut Context<'_>, msgs: &[tn_wire::pitch::Message]) {
-        for (port, frame) in self.build_feed_frames(ctx, msgs) {
+        let mut out = std::mem::take(&mut self.outbox);
+        self.build_feed_frames(ctx, msgs, &mut out);
+        for (port, frame) in out.drain(..) {
             ctx.send(port, frame);
         }
+        self.outbox = out;
     }
 
     fn run_background(&mut self, ctx: &mut Context<'_>, events: u32) {
-        // audit:allow(hotpath-alloc): per-tick background message batch; batch reuse is ROADMAP item 2
-        let mut msgs = Vec::new();
+        let mut msgs = std::mem::take(&mut self.msg_scratch);
+        msgs.clear();
         let offset = Self::offset_ns(ctx.now());
         for _ in 0..events {
             msgs.extend(self.flow.step(
@@ -278,55 +301,61 @@ impl Exchange {
             ));
         }
         self.publish_feed(ctx, &msgs);
+        self.msg_scratch = msgs;
     }
 
-    /// Build reply segments; the caller decides how to charge service.
+    /// Build reply segments, appending to `out`; the caller decides how to
+    /// charge service.
     fn build_reply_frames(
         &mut self,
         ctx: &mut Context<'_>,
         replies: &[Reply],
-    ) -> Vec<(PortId, Frame)> {
-        // audit:allow(hotpath-alloc): per-dispatch reply-frame batch; batch reuse is ROADMAP item 2
-        let mut out = Vec::new();
+        out: &mut Vec<(PortId, Frame)>,
+    ) {
         for r in replies {
             let Some(addr) = self.sessions.get_mut(&r.session) else {
                 continue;
             };
-            // audit:allow(hotpath-alloc): per-reply payload buffer; zero-copy emit is ROADMAP item 2
-            let mut payload = Vec::new();
-            r.message.emit(addr.tx_seq, &mut payload);
-            let seg = stack::build_tcp(
-                self.cfg.src_mac,
-                addr.mac,
-                self.cfg.src_ip,
-                addr.ip,
-                ORDER_ENTRY_PORT,
-                addr.tcp_port,
-                addr.tx_seq,
-                0,
-                tcp::Flags::ACK | tcp::Flags::PSH,
-                &payload,
-            );
-            addr.tx_seq = addr.tx_seq.wrapping_add(payload.len() as u32);
-            let port = addr.port;
-            let frame = ctx.new_frame(seg);
+            self.payload_scratch.clear();
+            r.message.emit(addr.tx_seq, &mut self.payload_scratch);
+            let (dst_mac, dst_ip, dst_port, tx_seq, port) =
+                (addr.mac, addr.ip, addr.tcp_port, addr.tx_seq, addr.port);
+            addr.tx_seq = addr.tx_seq.wrapping_add(self.payload_scratch.len() as u32);
+            let (src_mac, src_ip) = (self.cfg.src_mac, self.cfg.src_ip);
+            let payload = &self.payload_scratch;
+            let frame = ctx
+                .frame()
+                .fill(|b| {
+                    stack::emit_tcp_into(
+                        src_mac,
+                        dst_mac,
+                        src_ip,
+                        dst_ip,
+                        ORDER_ENTRY_PORT,
+                        dst_port,
+                        tx_seq,
+                        0,
+                        tcp::Flags::ACK | tcp::Flags::PSH,
+                        payload,
+                        b,
+                    )
+                })
+                .build();
             self.stats.replies_sent += 1;
             out.push((port, frame));
         }
-        out
     }
 
     fn on_order_entry(&mut self, ctx: &mut Context<'_>, port: PortId, view: stack::TcpView<'_>) {
         let peer = (view.src_ip, view.src_port);
         let decoder = self.decoders.entry(peer).or_default();
         decoder.push(view.payload);
-        // audit:allow(hotpath-alloc): per-entry message batch; batch reuse is ROADMAP item 2
-        let mut messages = Vec::new();
+        let mut messages = std::mem::take(&mut self.boe_scratch);
         while let Ok(Some((msg, _seq))) = decoder.next_message() {
             messages.push(msg);
         }
         let (src_mac, src_ip, src_port) = (view.src_mac, view.src_ip, view.src_port);
-        for msg in messages {
+        for msg in messages.drain(..) {
             self.stats.orders_processed += 1;
             if let boe::Message::Login { session, .. } = msg {
                 self.sessions.insert(
@@ -352,16 +381,16 @@ impl Exchange {
             // serialized behind earlier orders — a single-threaded
             // matching engine.
             let mut service = self.cfg.order_service;
-            let outputs: Vec<(PortId, Frame)> = self
-                .build_reply_frames(ctx, &out.replies)
-                .into_iter()
-                .chain(self.build_feed_frames(ctx, &out.feed))
-                .collect();
-            for (port, frame) in outputs {
+            let mut outputs = std::mem::take(&mut self.outbox);
+            self.build_reply_frames(ctx, &out.replies, &mut outputs);
+            self.build_feed_frames(ctx, &out.feed, &mut outputs);
+            for (port, frame) in outputs.drain(..) {
                 self.matcher.send_after(ctx, service, port, frame);
                 service = SimTime::ZERO;
             }
+            self.outbox = outputs;
         }
+        self.boe_scratch = messages;
     }
 
     fn on_gap_request(&mut self, ctx: &mut Context<'_>, port: PortId, view: stack::UdpView<'_>) {
@@ -374,17 +403,24 @@ impl Exchange {
         let Ok(replays) = server.serve(ctx.now(), &req) else {
             return; // aged out or throttled: the requester re-snapshots
         };
+        let (src_mac, src_ip) = (self.cfg.src_mac, self.cfg.src_ip);
+        let (dst_mac, dst_ip, dst_port) = (view.src_mac, view.src_ip, view.src_port);
         for payload in replays {
-            let bytes = stack::build_udp(
-                self.cfg.src_mac,
-                Some(view.src_mac),
-                self.cfg.src_ip,
-                view.src_ip,
-                RETRANS_PORT,
-                view.src_port,
-                &payload,
-            );
-            let frame = ctx.new_frame(bytes);
+            let frame = ctx
+                .frame()
+                .fill(|b| {
+                    stack::emit_udp_into(
+                        src_mac,
+                        Some(dst_mac),
+                        src_ip,
+                        dst_ip,
+                        RETRANS_PORT,
+                        dst_port,
+                        &payload,
+                        b,
+                    )
+                })
+                .build();
             ctx.send(port, frame);
         }
     }
@@ -398,14 +434,15 @@ impl Node for Exchange {
         }
         if let Ok(view) = stack::parse_tcp(&frame.bytes) {
             self.on_order_entry(ctx, port, view);
-            return;
-        }
-        if let Ok(view) = stack::parse_udp(&frame.bytes) {
+        } else if let Ok(view) = stack::parse_udp(&frame.bytes) {
             if view.dst_port == RETRANS_PORT {
                 self.on_gap_request(ctx, port, view);
             }
         }
-        // Anything else (stray multicast, unknown ports) is ignored.
+        // Anything else (stray multicast, unknown ports) is ignored. Either
+        // way the exchange is a terminal consumer: the frame is fully
+        // decoded here, so its buffer goes back to the arena.
+        ctx.recycle(frame);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
@@ -455,7 +492,8 @@ fn sample_poisson(rng: &mut SmallRng, lambda: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tn_sim::{IdealLink, Simulator};
+    use tn_fault::{FaultConnect, LinkSpec};
+    use tn_sim::Simulator;
     use tn_wire::pitch;
     use tn_wire::pitch::Side;
     use tn_wire::Symbol;
@@ -481,12 +519,12 @@ mod tests {
         let mut sim = Simulator::new(3);
         let ex = sim.add_node("exch", Exchange::new(small_exchange(50_000.0)));
         let col = sim.add_node("col", Collector { frames: vec![] });
-        sim.connect(
+        sim.connect_spec(
             ex,
             PortId(0),
             col,
             PortId(0),
-            IdealLink::new(SimTime::from_ns(100)),
+            &LinkSpec::ideal(SimTime::from_ns(100)),
         );
         sim.schedule_timer(SimTime::ZERO, ex, TICK);
         sim.run_until(SimTime::from_ms(20));
@@ -517,8 +555,8 @@ mod tests {
         let ex = sim.add_node("exch", Exchange::new(cfg));
         let a = sim.add_node("a", Collector { frames: vec![] });
         let b = sim.add_node("b", Collector { frames: vec![] });
-        sim.connect(ex, PortId(0), a, PortId(0), IdealLink::new(SimTime::ZERO));
-        sim.connect(ex, PortId(1), b, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.connect_spec(ex, PortId(0), a, PortId(0), &LinkSpec::ideal(SimTime::ZERO));
+        sim.connect_spec(ex, PortId(1), b, PortId(0), &LinkSpec::ideal(SimTime::ZERO));
         sim.schedule_timer(SimTime::ZERO, ex, TICK);
         sim.run_until(SimTime::from_ms(10));
         let fa = &sim.node::<Collector>(a).unwrap().frames;
@@ -539,19 +577,19 @@ mod tests {
         let ex = sim.add_node("exch", Exchange::new(cfg));
         let firm = sim.add_node("firm", Collector { frames: vec![] });
         let feed = sim.add_node("feed", Collector { frames: vec![] });
-        sim.connect(
+        sim.connect_spec(
             ex,
             PortId(0),
             firm,
             PortId(0),
-            IdealLink::new(SimTime::from_ns(500)),
+            &LinkSpec::ideal(SimTime::from_ns(500)),
         );
-        sim.connect(
+        sim.connect_spec(
             ex,
             PortId(1),
             feed,
             PortId(0),
-            IdealLink::new(SimTime::from_ns(500)),
+            &LinkSpec::ideal(SimTime::from_ns(500)),
         );
 
         // Login then a new order, from 10.0.0.9:40000.
@@ -583,7 +621,7 @@ mod tests {
             tcp::Flags::ACK | tcp::Flags::PSH,
             &payload,
         );
-        let f = sim.new_frame(seg);
+        let f = sim.frame().copy_from(&seg).build();
         sim.inject_frame(SimTime::from_us(1), ex, PortId(0), f);
         sim.run();
 
@@ -615,7 +653,13 @@ mod tests {
         let mut sim = Simulator::new(3);
         let ex = sim.add_node("exch", Exchange::new(cfg));
         let col = sim.add_node("col", Collector { frames: vec![] });
-        sim.connect(ex, PortId(0), col, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.connect_spec(
+            ex,
+            PortId(0),
+            col,
+            PortId(0),
+            &LinkSpec::ideal(SimTime::ZERO),
+        );
         sim.schedule_timer(SimTime::from_ms(1), ex, TimerToken(BURST_BASE));
         sim.run();
         // Take the first published packet and pretend we lost it.
@@ -642,7 +686,7 @@ mod tests {
             RETRANS_PORT,
             &req.emit(),
         );
-        let f = sim.new_frame(frame_bytes);
+        let f = sim.frame().copy_from(&frame_bytes).build();
         let t = sim.now();
         sim.inject_frame(t, ex, PortId(0), f);
         sim.run();
@@ -667,7 +711,7 @@ mod tests {
             RETRANS_PORT,
             &bad.emit(),
         );
-        let f = sim.new_frame(frame_bytes);
+        let f = sim.frame().copy_from(&frame_bytes).build();
         let t = sim.now();
         sim.inject_frame(t, ex, PortId(0), f);
         sim.run();
@@ -681,7 +725,13 @@ mod tests {
         let mut sim = Simulator::new(3);
         let ex = sim.add_node("exch", Exchange::new(cfg));
         let col = sim.add_node("col", Collector { frames: vec![] });
-        sim.connect(ex, PortId(0), col, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.connect_spec(
+            ex,
+            PortId(0),
+            col,
+            PortId(0),
+            &LinkSpec::ideal(SimTime::ZERO),
+        );
         sim.schedule_timer(SimTime::from_ms(5), ex, TimerToken(BURST_BASE));
         sim.run();
         let frames = &sim.node::<Collector>(col).unwrap().frames;

@@ -140,27 +140,18 @@ mod tests {
         let a = sim.add_node("a", Sink);
         let tap = sim.add_node("tap", Tap::new());
         let b = sim.add_node("b", Sink);
-        sim.connect(
-            a,
-            PortId(0),
-            tap,
-            PortId(0),
-            IdealLink::new(SimTime::from_ns(5)),
-        );
-        sim.connect(
-            tap,
-            PortId(1),
-            b,
-            PortId(0),
-            IdealLink::new(SimTime::from_ns(5)),
-        );
+        let link = IdealLink::new(SimTime::from_ns(5));
+        sim.install_link(a, PortId(0), tap, PortId(0), Box::new(link.clone()));
+        sim.install_link(tap, PortId(0), a, PortId(0), Box::new(link.clone()));
+        sim.install_link(tap, PortId(1), b, PortId(0), Box::new(link.clone()));
+        sim.install_link(b, PortId(0), tap, PortId(1), Box::new(link));
 
-        let mut f = sim.new_frame(vec![0; 100]);
+        let mut f = sim.frame().zeroed(100).build();
         f.meta.tag = 77;
         let fid = f.id;
         // Inject at the tap's A port as if it came off the wire from a.
         sim.inject_frame(SimTime::from_ns(10), tap, PortId(0), f);
-        let g = sim.new_frame(vec![0; 50]);
+        let g = sim.frame().zeroed(50).build();
         let gid = g.id;
         sim.inject_frame(SimTime::from_ns(20), tap, PortId(1), g);
         sim.run();
@@ -184,15 +175,11 @@ mod tests {
         let mut sim = Simulator::new(3);
         let tap_id = sim.add_node("tap", Tap::new());
         let b = sim.add_node("b", Sink);
-        sim.connect(
-            tap_id,
-            PortId(1),
-            b,
-            PortId(0),
-            IdealLink::new(SimTime::ZERO),
-        );
+        let link = IdealLink::new(SimTime::ZERO);
+        sim.install_link(tap_id, PortId(1), b, PortId(0), Box::new(link.clone()));
+        sim.install_link(b, PortId(0), tap_id, PortId(1), Box::new(link));
         sim.node_mut::<Tap>(tap_id).unwrap().set_enabled(false);
-        let f = sim.new_frame(vec![0; 10]);
+        let f = sim.frame().zeroed(10).build();
         sim.inject_frame(SimTime::ZERO, tap_id, PortId(0), f);
         sim.run();
         assert_eq!(sim.node::<Tap>(tap_id).unwrap().count(), 0);

@@ -166,7 +166,9 @@ mod tests {
         let mut sim = Simulator::new(7);
         let nic = sim.add_node("nic", Nic::new(profile));
         let host = sim.add_node("host", Sink { arrivals: vec![] });
-        sim.connect(nic, HOST, host, PortId(0), IdealLink::new(SimTime::ZERO));
+        let link = IdealLink::new(SimTime::ZERO);
+        sim.install_link(nic, HOST, host, PortId(0), Box::new(link.clone()));
+        sim.install_link(host, PortId(0), nic, HOST, Box::new(link));
         (sim, nic, host)
     }
 
@@ -174,7 +176,7 @@ mod tests {
     fn rx_path_applies_service_latency() {
         let profile = NicProfile::kernel_bypass();
         let (mut sim, nic, host) = rig(profile);
-        let f = sim.new_frame(vec![0; 100]);
+        let f = sim.frame().zeroed(100).build();
         sim.inject_frame(SimTime::from_us(1), nic, WIRE, f);
         sim.run();
         let arrivals = &sim.node::<Sink>(host).unwrap().arrivals;
@@ -192,7 +194,7 @@ mod tests {
         let (mut sim, nic, host) = rig(profile);
         // A 100-frame burst lands instantaneously: only the ring fits.
         for _ in 0..100 {
-            let f = sim.new_frame(vec![0; 100]);
+            let f = sim.frame().zeroed(100).build();
             sim.inject_frame(SimTime::ZERO, nic, WIRE, f);
         }
         sim.run();
@@ -219,14 +221,10 @@ mod tests {
         let mut sim = Simulator::new(7);
         let nic = sim.add_node("nic", Nic::new(profile));
         let wire_sink = sim.add_node("wire", Sink { arrivals: vec![] });
-        sim.connect(
-            nic,
-            WIRE,
-            wire_sink,
-            PortId(0),
-            IdealLink::new(SimTime::ZERO),
-        );
-        let f = sim.new_frame(vec![0; 64]);
+        let link = IdealLink::new(SimTime::ZERO);
+        sim.install_link(nic, WIRE, wire_sink, PortId(0), Box::new(link.clone()));
+        sim.install_link(wire_sink, PortId(0), nic, WIRE, Box::new(link));
+        let f = sim.frame().zeroed(64).build();
         sim.inject_frame(SimTime::ZERO, nic, HOST, f);
         sim.run();
         assert_eq!(sim.node::<Nic>(nic).unwrap().stats().tx_sent, 1);

@@ -211,16 +211,12 @@ mod tests {
             },
         );
         let sink = sim.add_node("sink", Sink { arrivals: vec![] });
-        sim.connect(
-            worker,
-            PortId(0),
-            sink,
-            PortId(0),
-            IdealLink::new(SimTime::ZERO),
-        );
+        let link = IdealLink::new(SimTime::ZERO);
+        sim.install_link(worker, PortId(0), sink, PortId(0), Box::new(link.clone()));
+        sim.install_link(sink, PortId(0), worker, PortId(0), Box::new(link));
         // Three frames arrive simultaneously; the worker is a single core.
         for _ in 0..3 {
-            let f = sim.new_frame(vec![0; 64]);
+            let f = sim.frame().zeroed(64).build();
             sim.inject_frame(SimTime::from_us(1), worker, PortId(0), f);
         }
         sim.run();
@@ -246,15 +242,11 @@ mod tests {
             },
         );
         let sink = sim.add_node("sink", Sink { arrivals: vec![] });
-        sim.connect(
-            worker,
-            PortId(0),
-            sink,
-            PortId(0),
-            IdealLink::new(SimTime::ZERO),
-        );
+        let link = IdealLink::new(SimTime::ZERO);
+        sim.install_link(worker, PortId(0), sink, PortId(0), Box::new(link.clone()));
+        sim.install_link(sink, PortId(0), worker, PortId(0), Box::new(link));
         for _ in 0..5 {
-            let f = sim.new_frame(vec![0; 64]);
+            let f = sim.frame().zeroed(64).build();
             sim.inject_frame(SimTime::ZERO, worker, PortId(0), f);
         }
         sim.run();

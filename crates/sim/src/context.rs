@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::frame::{Frame, FrameArena, FrameId, FrameMeta};
+use crate::frame::{Frame, FrameArena, FrameBuilder, FrameId, FrameMeta};
 use crate::node::{NodeId, PortId};
 use crate::time::SimTime;
 
@@ -70,7 +70,34 @@ impl Context<'_> {
         self.actions.push(Action::Send { port, frame });
     }
 
+    /// Start building a new frame born now: the unified arena-first
+    /// constructor. The payload buffer is drawn from the kernel's
+    /// [`FrameArena`] (in steady state a recycled buffer — no
+    /// allocation); fill it with [`FrameBuilder::fill`] /
+    /// [`FrameBuilder::copy_from`] / [`FrameBuilder::zeroed`] and finish
+    /// with [`FrameBuilder::build`].
+    pub fn frame(&mut self) -> FrameBuilder<'_> {
+        FrameBuilder::start(self.arena, self.next_frame_id, self.now)
+    }
+
+    /// Duplicate a frame for replication (switch fan-out, A/B feed
+    /// copies): the payload buffer comes from the [`FrameArena`], while
+    /// identity, birth time, and metadata are preserved — replicas keep
+    /// the original [`FrameId`] so capture taps can correlate them.
+    pub fn clone_frame(&mut self, frame: &Frame) -> Frame {
+        let mut bytes = self.arena.take();
+        bytes.extend_from_slice(&frame.bytes);
+        Frame {
+            bytes,
+            id: frame.id,
+            born: frame.born,
+            meta: frame.meta.clone(),
+        }
+    }
+
     /// Create a brand-new frame born now, with a fresh [`FrameId`].
+    #[deprecated(note = "use `ctx.frame()` (arena-first builder): \
+                         `ctx.frame().fill(|b| ...).build()`")]
     pub fn new_frame(&mut self, bytes: Vec<u8>) -> Frame {
         let id = FrameId(*self.next_frame_id);
         *self.next_frame_id += 1;
@@ -83,27 +110,26 @@ impl Context<'_> {
     }
 
     /// Create a new frame carrying application metadata.
+    #[deprecated(note = "use `ctx.frame().meta(meta)` (arena-first builder)")]
     pub fn new_frame_with_meta(&mut self, bytes: Vec<u8>, meta: FrameMeta) -> Frame {
+        #[allow(deprecated)]
         let mut f = self.new_frame(bytes);
         f.meta = meta;
         f
     }
 
     /// Create a new frame of `len` zero bytes, drawing the payload buffer
-    /// from the kernel's [`FrameArena`] — in steady state this reuses a
-    /// recycled buffer instead of allocating on the hot path.
+    /// from the kernel's [`FrameArena`].
+    #[deprecated(note = "use `ctx.frame().zeroed(len)` (arena-first builder)")]
     pub fn new_frame_zeroed(&mut self, len: usize) -> Frame {
-        let mut bytes = self.arena.take();
-        bytes.resize(len, 0);
-        self.new_frame(bytes)
+        self.frame().zeroed(len).build()
     }
 
     /// Create a new frame carrying a copy of `bytes`, drawing the payload
     /// buffer from the kernel's [`FrameArena`].
+    #[deprecated(note = "use `ctx.frame().copy_from(bytes)` (arena-first builder)")]
     pub fn new_frame_copied(&mut self, bytes: &[u8]) -> Frame {
-        let mut buf = self.arena.take();
-        buf.extend_from_slice(bytes);
-        self.new_frame(buf)
+        self.frame().copy_from(bytes).build()
     }
 
     /// Return a finished frame's payload buffer to the [`FrameArena`].
@@ -176,8 +202,8 @@ mod tests {
         let mut next = 10;
         let mut arena = FrameArena::new();
         let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena);
-        let a = c.new_frame(vec![0]);
-        let b = c.new_frame(vec![1]);
+        let a = c.frame().copy_from(&[0]).build();
+        let b = c.frame().copy_from(&[1]).build();
         assert_eq!(a.id, FrameId(10));
         assert_eq!(b.id, FrameId(11));
         assert_eq!(a.born, SimTime::from_ns(5));
@@ -191,7 +217,7 @@ mod tests {
         let mut next = 0;
         let mut arena = FrameArena::new();
         let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena);
-        let f = c.new_frame(vec![0]);
+        let f = c.frame().copy_from(&[0]).build();
         c.send(PortId(2), f.clone());
         c.set_timer(SimTime::from_us(1), TimerToken(9));
         c.deliver_local(NodeId(1), PortId(0), SimTime::from_ns(1), f);
@@ -223,8 +249,8 @@ mod tests {
         let mut next = 0;
         let mut arena = FrameArena::new();
         let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena);
-        let a = c.new_frame_zeroed(64);
-        let b = c.new_frame_copied(&[7, 7, 7]);
+        let a = c.frame().zeroed(64).build();
+        let b = c.frame().copy_from(&[7, 7, 7]).build();
         assert_eq!(a.bytes, vec![0u8; 64]);
         assert_eq!(b.bytes, vec![7, 7, 7]);
         // Live frames never alias: the arena hands each out a distinct
@@ -233,7 +259,7 @@ mod tests {
         let a_id = a.id;
         c.recycle(a);
         // Recycled storage comes back zero-length-reset and re-filled…
-        let reused = c.new_frame_zeroed(16);
+        let reused = c.frame().zeroed(16).build();
         assert_eq!(reused.bytes, vec![0u8; 16]);
         // …under a fresh id: frame-id monotonicity survives recycling.
         assert!(reused.id > a_id && reused.id > b.id);

@@ -72,6 +72,102 @@ impl Frame {
     }
 }
 
+/// In-flight construction of a new [`Frame`], started by
+/// `Context::frame()` or `Simulator::frame()`.
+///
+/// The unified arena-first constructor API: the payload buffer is drawn
+/// from the kernel's [`FrameArena`] the moment the builder is created (in
+/// steady state a recycled buffer — no allocation), the combinators fill
+/// it in place, and [`FrameBuilder::build`] stamps the frame with a fresh
+/// monotonic [`FrameId`] and the current simulation time. Replaces the
+/// four `new_frame` / `new_frame_with_meta` / `new_frame_zeroed` /
+/// `new_frame_copied` variants.
+///
+/// ```
+/// # use tn_sim::{Simulator, SimTime};
+/// let mut sim = Simulator::new(1);
+/// let f = sim
+///     .frame()
+///     .fill(|b| b.extend_from_slice(b"payload"))
+///     .tag(42)
+///     .build();
+/// assert_eq!(f.bytes, b"payload");
+/// assert_eq!(f.meta.tag, 42);
+/// ```
+pub struct FrameBuilder<'h> {
+    bytes: Vec<u8>,
+    meta: FrameMeta,
+    born: SimTime,
+    next_frame_id: &'h mut u64,
+}
+
+impl<'h> FrameBuilder<'h> {
+    pub(crate) fn start(
+        arena: &mut FrameArena,
+        next_frame_id: &'h mut u64,
+        born: SimTime,
+    ) -> FrameBuilder<'h> {
+        FrameBuilder {
+            bytes: arena.take(),
+            meta: FrameMeta::default(),
+            born,
+            next_frame_id,
+        }
+    }
+
+    /// Extend the payload to `len` zero bytes (replaces
+    /// `new_frame_zeroed`).
+    pub fn zeroed(mut self, len: usize) -> Self {
+        self.bytes.resize(len, 0);
+        self
+    }
+
+    /// Append a copy of `src` to the payload (replaces
+    /// `new_frame_copied`).
+    pub fn copy_from(mut self, src: &[u8]) -> Self {
+        self.bytes.extend_from_slice(src);
+        self
+    }
+
+    /// Emit payload bytes directly into the arena buffer — the zero-copy
+    /// companion of the wire crate's `emit_into` builders.
+    pub fn fill(mut self, f: impl FnOnce(&mut Vec<u8>)) -> Self {
+        f(&mut self.bytes);
+        self
+    }
+
+    /// Replace the frame's metadata wholesale (replaces
+    /// `new_frame_with_meta`).
+    pub fn meta(mut self, meta: FrameMeta) -> Self {
+        self.meta = meta;
+        self
+    }
+
+    /// Set the application-level tag.
+    pub fn tag(mut self, tag: u64) -> Self {
+        self.meta.tag = tag;
+        self
+    }
+
+    /// Set the application-level event time.
+    pub fn event_time(mut self, t: SimTime) -> Self {
+        self.meta.event_time = t;
+        self
+    }
+
+    /// Finish: assign the next monotonic [`FrameId`] and birth time.
+    pub fn build(self) -> Frame {
+        let id = FrameId(*self.next_frame_id);
+        *self.next_frame_id += 1;
+        Frame {
+            bytes: self.bytes,
+            id,
+            born: self.born,
+            meta: self.meta,
+        }
+    }
+}
+
 /// Counters describing how well buffer recycling is working.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArenaStats {

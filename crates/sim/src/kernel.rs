@@ -7,7 +7,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::context::{Action, Context, TimerToken};
-use crate::frame::{ArenaStats, Frame, FrameArena, FrameId, FrameMeta};
+use crate::frame::{ArenaStats, Frame, FrameArena, FrameBuilder, FrameId, FrameMeta};
 use crate::link::{Link, LinkOutcome};
 use crate::node::{Node, NodeId, PortId};
 use crate::sched::{EventKind, QueuedEvent, Scheduler, SchedulerKind};
@@ -209,6 +209,8 @@ impl Simulator {
     }
 
     /// Connect two ports bidirectionally with clones of `link`.
+    #[deprecated(note = "use tn-fault's `connect_spec` (LinkSpec-based); \
+                         `install_link` remains for already-built link models")]
     pub fn connect(
         &mut self,
         a: NodeId,
@@ -217,13 +219,33 @@ impl Simulator {
         b_port: PortId,
         link: impl Link + Clone + 'static,
     ) {
-        self.connect_directed(a, a_port, b, b_port, Box::new(link.clone()));
-        self.connect_directed(b, b_port, a, a_port, Box::new(link));
+        self.install_link(a, a_port, b, b_port, Box::new(link.clone()));
+        self.install_link(b, b_port, a, a_port, Box::new(link));
     }
 
     /// Install a directional link from `(src, src_port)` to `(dst, dst_port)`.
-    /// Panics if the source port already has a link (ports are point-to-point).
+    #[deprecated(note = "use tn-fault's `connect_directed_spec` (LinkSpec-based); \
+                         `install_link` remains for already-built link models")]
     pub fn connect_directed(
+        &mut self,
+        src: NodeId,
+        src_port: PortId,
+        dst: NodeId,
+        dst_port: PortId,
+        link: Box<dyn Link>,
+    ) {
+        self.install_link(src, src_port, dst, dst_port, link);
+    }
+
+    /// Install a directional, already-built link model from
+    /// `(src, src_port)` to `(dst, dst_port)` — the raw primitive behind
+    /// `connect_directed_spec`. Most call sites should describe the link
+    /// with tn-fault's `LinkSpec` and use `connect_spec` /
+    /// `connect_directed_spec` instead; this remains public for link
+    /// models a `LinkSpec` cannot express (hand-built `impl Link`
+    /// instances). Panics if the source port already has a link (ports
+    /// are point-to-point).
+    pub fn install_link(
         &mut self,
         src: NodeId,
         src_port: PortId,
@@ -252,8 +274,19 @@ impl Simulator {
         self.port_map.contains_key(&(node, port))
     }
 
+    /// Start building a new frame born at the current time: the unified
+    /// arena-first constructor for scenario drivers; nodes use
+    /// [`Context::frame`]. The payload buffer is drawn from the
+    /// [`FrameArena`] (in steady state a recycled buffer — no
+    /// allocation).
+    pub fn frame(&mut self) -> FrameBuilder<'_> {
+        FrameBuilder::start(&mut self.arena, &mut self.next_frame_id, self.now)
+    }
+
     /// Allocate a frame with a fresh id, born at the current time. For
-    /// scenario drivers; nodes use [`Context::new_frame`].
+    /// scenario drivers; nodes use [`Context::frame`].
+    #[deprecated(note = "use `sim.frame()` (arena-first builder): \
+                         `sim.frame().fill(|b| ...).build()`")]
     pub fn new_frame(&mut self, bytes: Vec<u8>) -> Frame {
         let id = FrameId(self.next_frame_id);
         self.next_frame_id += 1;
@@ -265,21 +298,17 @@ impl Simulator {
         }
     }
 
-    /// Allocate a frame of `len` zero bytes from the [`FrameArena`] — in
-    /// steady state this reuses a recycled buffer instead of allocating.
-    /// Nodes use [`Context::new_frame_zeroed`].
+    /// Allocate a frame of `len` zero bytes from the [`FrameArena`].
+    #[deprecated(note = "use `sim.frame().zeroed(len)` (arena-first builder)")]
     pub fn new_frame_zeroed(&mut self, len: usize) -> Frame {
-        let mut bytes = self.arena.take();
-        bytes.resize(len, 0);
-        self.new_frame(bytes)
+        self.frame().zeroed(len).build()
     }
 
     /// Allocate a frame carrying a copy of `bytes`, drawing the buffer
-    /// from the [`FrameArena`]. Nodes use [`Context::new_frame_copied`].
+    /// from the [`FrameArena`].
+    #[deprecated(note = "use `sim.frame().copy_from(bytes)` (arena-first builder)")]
     pub fn new_frame_copied(&mut self, bytes: &[u8]) -> Frame {
-        let mut buf = self.arena.take();
-        buf.extend_from_slice(bytes);
-        self.new_frame(buf)
+        self.frame().copy_from(bytes).build()
     }
 
     /// Return a finished frame's payload buffer to the [`FrameArena`] for
@@ -293,6 +322,16 @@ impl Simulator {
     /// Buffer-recycling counters for this simulator's arena.
     pub fn arena_stats(&self) -> ArenaStats {
         self.arena.stats()
+    }
+
+    /// Replace the frame arena with one parking at most `max_free`
+    /// buffers (`0` disables pooling entirely: every frame build becomes
+    /// a fresh allocation). Call before the first frame is built — the
+    /// swap resets [`ArenaStats`]. Pooling is pure side-state, so runs
+    /// with any cap produce bit-identical trace digests (pinned by
+    /// `tn-audit divergence`).
+    pub fn set_arena_max_free(&mut self, max_free: usize) {
+        self.arena = FrameArena::with_max_free(max_free);
     }
 
     /// Schedule delivery of `frame` to `(node, port)` at absolute time `at`.
@@ -599,14 +638,10 @@ mod tests {
                 bounce: false,
             },
         );
-        sim.connect(
-            a,
-            PortId(0),
-            b,
-            PortId(0),
-            IdealLink::new(SimTime::from_ns(100)),
-        );
-        let f = sim.new_frame(vec![0; 64]);
+        let link = IdealLink::new(SimTime::from_ns(100));
+        sim.install_link(a, PortId(0), b, PortId(0), Box::new(link.clone()));
+        sim.install_link(b, PortId(0), a, PortId(0), Box::new(link));
+        let f = sim.frame().zeroed(64).build();
         sim.inject_frame(SimTime::from_ns(10), a, PortId(0), f);
         sim.run();
         let a_node = sim.node::<Repeater>(a).unwrap();
@@ -631,7 +666,7 @@ mod tests {
         );
         let t = SimTime::from_ns(50);
         for i in 0..10 {
-            let mut f = sim.new_frame(vec![0; 64]);
+            let mut f = sim.frame().zeroed(64).build();
             f.id = FrameId(i);
             sim.inject_frame(t, a, PortId(0), f);
         }
@@ -670,7 +705,7 @@ mod tests {
                 bounce: true,
             },
         );
-        let f = sim.new_frame(vec![0; 64]);
+        let f = sim.frame().zeroed(64).build();
         sim.inject_frame(SimTime::ZERO, a, PortId(0), f);
         sim.run();
         assert_eq!(sim.stats().frames_unrouted, 1);
@@ -715,14 +750,10 @@ mod tests {
                     bounce: true,
                 },
             );
-            sim.connect(
-                a,
-                PortId(0),
-                b,
-                PortId(0),
-                IdealLink::new(SimTime::from_ns(13)),
-            );
-            let f = sim.new_frame(vec![0; 100]);
+            let link = IdealLink::new(SimTime::from_ns(13));
+            sim.install_link(a, PortId(0), b, PortId(0), Box::new(link.clone()));
+            sim.install_link(b, PortId(0), a, PortId(0), Box::new(link));
+            let f = sim.frame().zeroed(100).build();
             sim.inject_frame(SimTime::ZERO, a, PortId(0), f);
             sim.run_until(SimTime::from_us(1));
             sim.trace.events().to_vec()
@@ -751,14 +782,10 @@ mod tests {
                     bounce: true,
                 },
             );
-            sim.connect(
-                a,
-                PortId(0),
-                b,
-                PortId(0),
-                IdealLink::new(SimTime::from_ns(13)),
-            );
-            let f = sim.new_frame(vec![0; 100]);
+            let link = IdealLink::new(SimTime::from_ns(13));
+            sim.install_link(a, PortId(0), b, PortId(0), Box::new(link.clone()));
+            sim.install_link(b, PortId(0), a, PortId(0), Box::new(link));
+            let f = sim.frame().zeroed(100).build();
             sim.inject_frame(SimTime::ZERO, a, PortId(0), f);
             sim.run_until(SimTime::from_us(1));
             (sim.trace.digest(), sim.trace.recorded())
@@ -792,22 +819,18 @@ mod tests {
                     bounce: true,
                 },
             );
-            sim.connect(
-                a,
-                PortId(0),
-                b,
-                PortId(0),
-                IdealLink::new(SimTime::from_ns(13)),
-            );
-            let f = sim.new_frame(vec![0; 100]);
+            let link = IdealLink::new(SimTime::from_ns(13));
+            sim.install_link(a, PortId(0), b, PortId(0), Box::new(link.clone()));
+            sim.install_link(b, PortId(0), a, PortId(0), Box::new(link));
+            let f = sim.frame().zeroed(100).build();
             sim.inject_frame(SimTime::ZERO, a, PortId(0), f);
             sim.run_until(SimTime::from_us(1));
             (sim.trace.digest(), sim.trace.recorded())
         }
-        assert_eq!(
-            digest(SchedulerKind::BinaryHeap),
-            digest(SchedulerKind::CalendarQueue)
-        );
+        let reference = digest(SchedulerKind::BinaryHeap);
+        for kind in SchedulerKind::ALL {
+            assert_eq!(reference, digest(kind), "{} diverged", kind.name());
+        }
     }
 
     #[test]
@@ -821,16 +844,63 @@ mod tests {
                 bounce: true,
             },
         );
-        let f = sim.new_frame(vec![0; 64]);
+        let f = sim.frame().zeroed(64).build();
         sim.inject_frame(SimTime::ZERO, a, PortId(0), f);
         sim.run();
         assert_eq!(sim.stats().frames_unrouted, 1);
         assert_eq!(sim.arena_stats().recycled, 1);
         // The next pooled frame reuses that buffer: no fresh allocation.
-        let g = sim.new_frame_zeroed(64);
+        let g = sim.frame().zeroed(64).build();
         assert_eq!(g.bytes, vec![0u8; 64]);
         assert_eq!(sim.arena_stats().reused, 1);
-        assert_eq!(sim.arena_stats().allocated, 0);
+        assert_eq!(
+            sim.arena_stats().allocated,
+            1,
+            "only the first frame's buffer was a real allocation"
+        );
+    }
+
+    #[test]
+    fn arena_allocations_go_flat_after_warmup() {
+        // A steady produce/consume loop must reach allocation-free
+        // steady state: after the first few frames prime the pool, every
+        // build draws a recycled buffer.
+        struct Producer;
+        impl Node for Producer {
+            fn on_frame(&mut self, ctx: &mut Context<'_>, _p: PortId, f: Frame) {
+                ctx.recycle(f);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+                let f = ctx.frame().zeroed(128).build();
+                ctx.send(PortId(0), f);
+                ctx.set_timer(SimTime::from_ns(100), timer);
+            }
+        }
+        struct Consumer;
+        impl Node for Consumer {
+            fn on_frame(&mut self, ctx: &mut Context<'_>, _p: PortId, f: Frame) {
+                ctx.recycle(f);
+            }
+        }
+        let mut sim = Simulator::new(5);
+        let p = sim.add_node("p", Producer);
+        let c = sim.add_node("c", Consumer);
+        let link = IdealLink::new(SimTime::from_ns(10));
+        sim.install_link(p, PortId(0), c, PortId(0), Box::new(link.clone()));
+        sim.install_link(c, PortId(0), p, PortId(0), Box::new(link));
+        sim.schedule_timer(SimTime::ZERO, p, TimerToken(0));
+        sim.run_until(SimTime::from_us(1)); // warmup: ~10 frames
+        let warm = sim.arena_stats();
+        sim.run_until(SimTime::from_us(100));
+        let done = sim.arena_stats();
+        assert_eq!(
+            done.allocated, warm.allocated,
+            "steady state must not allocate: {warm:?} -> {done:?}"
+        );
+        assert!(
+            done.reused > warm.reused + 500,
+            "recycled buffers must carry the steady state: {done:?}"
+        );
     }
 
     #[test]
@@ -838,7 +908,7 @@ mod tests {
         let mut sim = Simulator::new(1);
         let mut last = None;
         for _ in 0..10 {
-            let f = sim.new_frame_zeroed(32);
+            let f = sim.frame().zeroed(32).build();
             if let Some(prev) = last {
                 assert!(f.id > prev, "frame ids must grow despite buffer reuse");
             }
@@ -884,7 +954,8 @@ mod tests {
                 bounce: false,
             },
         );
-        sim.connect(a, PortId(0), b, PortId(0), IdealLink::new(SimTime::ZERO));
-        sim.connect(a, PortId(0), b, PortId(1), IdealLink::new(SimTime::ZERO));
+        let link = IdealLink::new(SimTime::ZERO);
+        sim.install_link(a, PortId(0), b, PortId(0), Box::new(link.clone()));
+        sim.install_link(a, PortId(0), b, PortId(1), Box::new(link));
     }
 }

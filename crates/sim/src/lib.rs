@@ -42,8 +42,9 @@
 //! let mut sim = Simulator::new(42);
 //! let echo = sim.add_node("echo", Echo);
 //! let counter = sim.add_node("counter", Counter(0));
-//! sim.connect(echo, PortId(0), counter, PortId(0), IdealLink::new(SimTime::from_ns(10)));
-//! let f = sim.new_frame(vec![0u8; 64]);
+//! sim.install_link(echo, PortId(0), counter, PortId(0), Box::new(IdealLink::new(SimTime::from_ns(10))));
+//! sim.install_link(counter, PortId(0), echo, PortId(0), Box::new(IdealLink::new(SimTime::from_ns(10))));
+//! let f = sim.frame().zeroed(64).build();
 //! sim.inject_frame(SimTime::ZERO, counter, PortId(0), f);
 //! sim.run();
 //! ```
@@ -58,7 +59,7 @@ mod time;
 mod trace;
 
 pub use context::{Context, TimerToken};
-pub use frame::{ArenaStats, Frame, FrameArena, FrameId, FrameMeta};
+pub use frame::{ArenaStats, Frame, FrameArena, FrameBuilder, FrameId, FrameMeta};
 pub use kernel::{AnyNode, SimStats, Simulator};
 pub use link::{DropReason, HopTiming, IdealLink, Link, LinkOutcome};
 pub use node::{Node, NodeId, PortId};

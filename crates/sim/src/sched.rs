@@ -7,13 +7,18 @@
 //! pushes, which `tests/scheduler_equivalence.rs` and the tn-audit
 //! divergence corpus pin bit-for-bit via trace digests.
 //!
-//! Two implementations ship:
+//! Three implementations ship:
 //!
 //! * [`BinaryHeapScheduler`] — the reference `O(log n)` min-heap. Default.
 //! * [`CalendarQueue`] — Brown's calendar queue (CACM '88), `O(1)`
 //!   amortized for the dense, near-future event horizons that link and
 //!   switch latencies produce. Selected per scenario via
 //!   [`SchedulerKind::CalendarQueue`].
+//! * [`TimingWheel`] — a hierarchical timing wheel (Varghese & Lauck,
+//!   SOSP '87): 64-slot levels at 6 bits per level, nanosecond ticks at
+//!   level 0. Near events pay an array index; far events park in coarse
+//!   upper levels and cascade down only when the cursor reaches them.
+//!   Selected via [`SchedulerKind::TimingWheel`].
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -107,17 +112,24 @@ pub enum SchedulerKind {
     BinaryHeap,
     /// Brown's `O(1)`-amortized calendar queue.
     CalendarQueue,
+    /// Hierarchical timing wheel (64-slot levels, nanosecond ticks).
+    TimingWheel,
 }
 
 impl SchedulerKind {
-    /// Both kinds, for differential test sweeps.
-    pub const ALL: [SchedulerKind; 2] = [SchedulerKind::BinaryHeap, SchedulerKind::CalendarQueue];
+    /// Every kind, for differential test sweeps.
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::BinaryHeap,
+        SchedulerKind::CalendarQueue,
+        SchedulerKind::TimingWheel,
+    ];
 
     /// Construct the scheduler this kind names.
     pub fn build(self) -> Box<dyn Scheduler> {
         match self {
             SchedulerKind::BinaryHeap => Box::new(BinaryHeapScheduler::new()),
             SchedulerKind::CalendarQueue => Box::new(CalendarQueue::new()),
+            SchedulerKind::TimingWheel => Box::new(TimingWheel::new()),
         }
     }
 
@@ -126,6 +138,7 @@ impl SchedulerKind {
         match self {
             SchedulerKind::BinaryHeap => "binary-heap",
             SchedulerKind::CalendarQueue => "calendar-queue",
+            SchedulerKind::TimingWheel => "timing-wheel",
         }
     }
 }
@@ -137,8 +150,9 @@ impl std::str::FromStr for SchedulerKind {
         match s {
             "binary-heap" | "heap" => Ok(SchedulerKind::BinaryHeap),
             "calendar-queue" | "calendar" => Ok(SchedulerKind::CalendarQueue),
+            "timing-wheel" | "wheel" => Ok(SchedulerKind::TimingWheel),
             other => Err(format!(
-                "unknown scheduler {other:?} (expected binary-heap or calendar-queue)"
+                "unknown scheduler {other:?} (expected binary-heap, calendar-queue, or timing-wheel)"
             )),
         }
     }
@@ -225,7 +239,18 @@ pub struct CalendarQueue {
     /// resize), so [`Scheduler::pop`] forces a re-derivation. Purely a
     /// function of the push/pop history, so determinism is preserved.
     fallbacks: u32,
+    /// Shift-based exponential average of the push horizon (how far
+    /// ahead of the cursor events land, in picoseconds). Cheap to keep
+    /// per push; drives the width auto-tune below.
+    horizon_ema_ps: u64,
+    /// Pushes since the width was last checked against the horizon.
+    pushes_since_tune: u32,
 }
+
+/// Pushes between width auto-tune checks. Checking is cheap but a
+/// triggered rebuild is not, so it is rate-limited; amortized over this
+/// many pushes the tune costs nothing.
+const TUNE_INTERVAL: u32 = 4096;
 
 impl Default for CalendarQueue {
     fn default() -> Self {
@@ -244,6 +269,8 @@ impl CalendarQueue {
             len: 0,
             cached_min: None,
             fallbacks: 0,
+            horizon_ema_ps: 0,
+            pushes_since_tune: 0,
         }
     }
 
@@ -302,14 +329,25 @@ impl CalendarQueue {
     /// turn the sorted-bucket inserts into large memmoves. Deterministic:
     /// inputs are the queue contents only.
     fn rebuild(&mut self, new_nb: usize) {
+        self.rebuild_with(new_nb, None);
+    }
+
+    /// [`CalendarQueue::rebuild`] with an optionally imposed width shift:
+    /// the horizon auto-tune passes the shift its EMA implies (the queue
+    /// may be near-empty at tune time, leaving nothing to re-derive
+    /// from); occupancy resizes pass `None` and re-derive from contents.
+    fn rebuild_with(&mut self, new_nb: usize, forced_shift: Option<u32>) {
         let new_nb = new_nb.clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let cursor_ps = self.cursor << self.shift;
         // audit:allow(hotpath-alloc): rebuild is an occupancy-triggered resize, amortized across many pushes
         let mut evs: Vec<QueuedEvent> = Vec::with_capacity(self.len);
         for bucket in &mut self.buckets {
             evs.extend(bucket.drain(..));
         }
         evs.sort_unstable_by_key(QueuedEvent::key);
-        if evs.len() >= 2 {
+        if let Some(shift) = forced_shift {
+            self.shift = shift;
+        } else if evs.len() >= 2 {
             let mut gaps: Vec<u64> = evs
                 .windows(2)
                 .map(|w| w[1].at.as_ps() - w[0].at.as_ps())
@@ -324,6 +362,9 @@ impl CalendarQueue {
                 self.shift = 63 - target.next_power_of_two().leading_zeros();
             }
         }
+        // Rescale the cursor to the (possibly new) width; the first
+        // pending event pins it exactly when there is one.
+        self.cursor = cursor_ps >> self.shift;
         if let Some(first) = evs.first() {
             self.cursor = self.day_of(first.at);
         }
@@ -341,6 +382,26 @@ impl CalendarQueue {
 
 impl Scheduler for CalendarQueue {
     fn push(&mut self, ev: QueuedEvent) {
+        // Width auto-tune: track how far ahead of the calendar events
+        // land (EMA over pushes, 1/16 gain) and, every TUNE_INTERVAL
+        // pushes, compare the width that horizon implies (≈3× the mean
+        // gap, matching `rebuild`'s derivation) against the current one.
+        // More than two octaves of drift forces a same-size rebuild,
+        // which re-derives the width from the live contents. Inputs are
+        // the push history only, so the schedule stays deterministic.
+        let horizon = ev.at.as_ps().saturating_sub(self.cursor << self.shift);
+        self.horizon_ema_ps = self.horizon_ema_ps - self.horizon_ema_ps / 16 + horizon / 16;
+        self.pushes_since_tune += 1;
+        if self.pushes_since_tune >= TUNE_INTERVAL {
+            self.pushes_since_tune = 0;
+            let target = (self.horizon_ema_ps / self.len.max(1) as u64)
+                .saturating_mul(3)
+                .max(1);
+            let ideal = 63 - target.next_power_of_two().leading_zeros();
+            if ideal.abs_diff(self.shift) > 2 {
+                self.rebuild_with(self.buckets.len(), Some(ideal));
+            }
+        }
         if self.len + 1 > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
             self.rebuild(self.buckets.len() * 2);
         }
@@ -413,6 +474,268 @@ impl Scheduler for CalendarQueue {
     }
 }
 
+/// Slots per wheel level; `2^WHEEL_GROUP_BITS`.
+const WHEEL_SLOTS: usize = 64;
+/// Bits of the tick consumed per level.
+const WHEEL_GROUP_BITS: u32 = 6;
+/// Level-0 tick granularity: `2^10` ps ≈ 1 ns, matching the sub-ns link
+/// latencies the kernel schedules at. Coarser ticks would merge distinct
+/// deadlines into one slot; finer ones waste levels on empty space.
+const WHEEL_TICK_SHIFT: u32 = 10;
+/// Levels needed to cover the full 54 usable tick bits (`64 - 10`), six
+/// bits at a time: no slot index ever wraps, so upper-level positions
+/// are absolute and the cursor scan never revisits a lap.
+const WHEEL_LEVELS: usize = 9;
+
+/// Hierarchical timing wheel (Varghese & Lauck, SOSP '87).
+///
+/// Time is quantized into ~1 ns ticks. Level `L` slices bits
+/// `[6L, 6L+6)` of the tick: an event lives at the *highest* level where
+/// its tick still differs from the cursor's, so the 64 level-0 slots
+/// hold the next 64 ticks in exact order and each coarser level holds
+/// exponentially wider "someday" bands. Popping scans at most 64
+/// level-0 fronts; when the current 64-tick window drains, the nearest
+/// occupied upper slot *cascades* — its events are re-placed relative to
+/// the advanced cursor, landing one level (or more) lower. Each event
+/// cascades at most [`WHEEL_LEVELS`] times, so the amortized cost per
+/// event is O(levels) with no comparisons against unrelated events —
+/// the win over the heap's O(log n) on timer-churn workloads.
+///
+/// Level-0 slots are kept sorted by `(time, seq)` (events sharing a
+/// 1 ns tick); upper slots are append-only and sort implicitly by
+/// re-placement during the cascade. All decisions are pure functions of
+/// the push/pop history, so any run replays bit-identically.
+pub struct TimingWheel {
+    /// Slot `(L, s)` lives at `slots[L * 64 + s]`, one contiguous slab
+    /// for locality: level 0 sorted ascending by key, upper levels in
+    /// arrival order.
+    slots: Vec<VecDeque<QueuedEvent>>,
+    /// Occupancy bitmask per level (bit `s` set iff slot `(L, s)` holds
+    /// events): the min scan and the cascade search are single
+    /// `trailing_zeros` instructions instead of 64-slot walks.
+    occ: [u64; WHEEL_LEVELS],
+    /// Tick of the most recent pop (or of the earliest push since
+    /// empty): the wheel's notion of "now".
+    cursor: u64,
+    len: usize,
+    /// Level-0 slot holding the global minimum, cached between
+    /// [`Scheduler::next_at`] and [`Scheduler::pop`].
+    cached_min: Option<usize>,
+}
+
+impl Default for TimingWheel {
+    fn default() -> Self {
+        TimingWheel::new()
+    }
+}
+
+impl TimingWheel {
+    /// An empty wheel with its cursor at tick zero.
+    pub fn new() -> Self {
+        TimingWheel {
+            slots: (0..WHEEL_LEVELS * WHEEL_SLOTS)
+                .map(|_| VecDeque::new())
+                .collect(),
+            occ: [0; WHEEL_LEVELS],
+            cursor: 0,
+            len: 0,
+            cached_min: None,
+        }
+    }
+
+    #[inline]
+    fn tick_of(at: SimTime) -> u64 {
+        at.as_ps() >> WHEEL_TICK_SHIFT
+    }
+
+    /// Highest 6-bit group where `tick` differs from the cursor — the
+    /// level the event belongs to *right now*.
+    #[inline]
+    fn level_of(&self, tick: u64) -> usize {
+        let diff = tick ^ self.cursor;
+        if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / WHEEL_GROUP_BITS) as usize
+        }
+    }
+
+    #[inline]
+    fn slot_of(tick: u64, level: usize) -> usize {
+        ((tick >> (WHEEL_GROUP_BITS * level as u32)) as usize) & (WHEEL_SLOTS - 1)
+    }
+
+    /// File `ev` at its level/slot relative to the current cursor.
+    fn place(&mut self, ev: QueuedEvent) {
+        let tick = Self::tick_of(ev.at);
+        debug_assert!(tick >= self.cursor, "place below cursor");
+        let level = self.level_of(tick);
+        let slot = Self::slot_of(tick, level);
+        self.occ[level] |= 1 << slot;
+        let bucket = &mut self.slots[(level << WHEEL_GROUP_BITS) | slot];
+        if level == 0 {
+            // A level-0 slot is a single tick; order the (rare) sub-tick
+            // ties by `(time, seq)`. Equal-time cohorts append.
+            let key = ev.key();
+            let (mut lo, mut hi) = (0usize, bucket.len());
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if bucket[mid].key() < key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            bucket.insert(lo, ev);
+        } else {
+            // Upper slots sort lazily, at cascade time.
+            bucket.push_back(ev);
+        }
+    }
+
+    /// Move the cursor back to `tick` and re-place everything. The
+    /// kernel never schedules into the past, so this is a correctness
+    /// backstop for standalone users, not a hot path.
+    fn rewind(&mut self, tick: u64) {
+        // audit:allow(hotpath-alloc): rewind only fires on into-the-past pushes, which the kernel never issues
+        let mut evs: Vec<QueuedEvent> = Vec::with_capacity(self.len);
+        for slot in &mut self.slots {
+            evs.extend(slot.drain(..));
+        }
+        self.occ = [0; WHEEL_LEVELS];
+        self.cursor = tick;
+        for ev in evs {
+            self.place(ev);
+        }
+        self.cached_min = None;
+    }
+
+    /// Drain the nearest occupied upper slot into the levels below,
+    /// advancing the cursor to that slot's base tick. Returns false when
+    /// every upper level is empty. Lower levels are exhausted whenever
+    /// this runs, so draining the lowest, nearest occupied slot is
+    /// always the correct next window.
+    fn cascade(&mut self) -> bool {
+        for level in 1..WHEEL_LEVELS {
+            if self.occ[level] == 0 {
+                continue;
+            }
+            let shift = WHEEL_GROUP_BITS * level as u32;
+            let cur_idx = ((self.cursor >> shift) as usize) & (WHEEL_SLOTS - 1);
+            // Slot `cur_idx` is empty by construction (its events differ
+            // from the cursor at this level, so they'd be stored lower),
+            // and earlier slots would be in the past — every set bit is
+            // strictly after `cur_idx`, so the lowest one is the target.
+            debug_assert_eq!(
+                self.occ[level] & ((1u64 << cur_idx) | ((1u64 << cur_idx) - 1)),
+                0,
+                "occupied slot at or before the cursor"
+            );
+            let s = self.occ[level].trailing_zeros() as usize;
+            self.occ[level] &= !(1u64 << s);
+            // Take the deque out, re-place its events, hand the
+            // (now empty) buffer back: no allocation on the cascade.
+            let mut drained = std::mem::take(&mut self.slots[(level << WHEEL_GROUP_BITS) | s]);
+            // Jump the cursor to the slot's earliest tick rather than the
+            // slot's base: everything outside this slot is strictly
+            // later, and the earliest drained event then re-files
+            // directly into level 0 — one cascade per pop instead of one
+            // per level.
+            let min_tick = drained
+                .iter()
+                .map(|e| Self::tick_of(e.at))
+                .min()
+                // audit:allow(hotpath-unwrap): an occupancy bit is only set while its slot holds events
+                .expect("occupied slot was empty");
+            self.cursor = min_tick;
+            for ev in drained.drain(..) {
+                self.place(ev);
+            }
+            self.slots[(level << WHEEL_GROUP_BITS) | s] = drained;
+            return true;
+        }
+        false
+    }
+
+    /// Level-0 slot of the `(time, seq)`-minimal event, cascading upper
+    /// levels down as needed.
+    fn find_min(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Within the current 64-tick window, slot index == tick
+            // order, and every upper-level event is strictly later, so
+            // the first occupied slot holds the global minimum. Slots
+            // before the cursor are empty by invariant, so the lowest
+            // set bit is it.
+            if self.occ[0] != 0 {
+                return Some(self.occ[0].trailing_zeros() as usize);
+            }
+            if !self.cascade() {
+                debug_assert_eq!(self.len, 0, "events lost off the wheel");
+                return None;
+            }
+        }
+    }
+}
+
+impl Scheduler for TimingWheel {
+    fn push(&mut self, ev: QueuedEvent) {
+        let tick = Self::tick_of(ev.at);
+        if self.len == 0 {
+            // Empty wheel: snap the cursor to the event so long idle
+            // gaps don't leave it parked in the distant past.
+            self.cursor = tick;
+        } else if tick < self.cursor {
+            self.rewind(tick);
+        }
+        let key = ev.key();
+        self.place(ev);
+        self.len += 1;
+        if let Some(s) = self.cached_min {
+            // audit:allow(hotpath-unwrap): cached_min always points at a non-empty level-0 slot; it is cleared when that slot drains
+            if key < self.slots[s].front().expect("cached slot empty").key() {
+                self.cached_min = None;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<QueuedEvent> {
+        let s = match self.cached_min.take() {
+            Some(s) => s,
+            None => self.find_min()?,
+        };
+        let ev = self.slots[s].pop_front()?;
+        self.len -= 1;
+        self.cursor = Self::tick_of(ev.at);
+        if self.slots[s].is_empty() {
+            self.occ[0] &= !(1u64 << s);
+        } else {
+            // Same tick, later seq: still the global minimum.
+            self.cached_min = Some(s);
+        }
+        Some(ev)
+    }
+
+    fn next_at(&mut self) -> Option<SimTime> {
+        if self.cached_min.is_none() {
+            self.cached_min = self.find_min();
+        }
+        self.cached_min
+            .and_then(|s| self.slots[s].front())
+            .map(|ev| ev.at)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn name(&self) -> &'static str {
+        "timing-wheel"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,33 +753,40 @@ mod tests {
         }
     }
 
-    /// Feed both schedulers the same pushes (interleaved with pops) and
-    /// assert identical pop sequences.
+    /// Feed the reference heap and every other scheduler the same pushes
+    /// (interleaved with pops) and assert identical pop sequences.
     fn differential(pushes: &[(u64, usize)]) {
-        let mut heap: Box<dyn Scheduler> = SchedulerKind::BinaryHeap.build();
-        let mut cal: Box<dyn Scheduler> = SchedulerKind::CalendarQueue.build();
-        for (seq, &(at_ps, pops)) in pushes.iter().enumerate() {
-            let at = SimTime::from_ps(at_ps);
-            heap.push(timer(at, seq as u64));
-            cal.push(timer(at, seq as u64));
-            for _ in 0..pops {
-                assert_eq!(heap.next_at(), cal.next_at());
-                let (h, c) = (heap.pop(), cal.pop());
-                match (h, c) {
-                    (None, None) => {}
-                    (Some(h), Some(c)) => {
-                        assert_eq!((h.at, h.seq), (c.at, c.seq));
+        for kind in SchedulerKind::ALL {
+            if kind == SchedulerKind::BinaryHeap {
+                continue;
+            }
+            let mut heap: Box<dyn Scheduler> = SchedulerKind::BinaryHeap.build();
+            let mut other: Box<dyn Scheduler> = kind.build();
+            for (seq, &(at_ps, pops)) in pushes.iter().enumerate() {
+                let at = SimTime::from_ps(at_ps);
+                heap.push(timer(at, seq as u64));
+                other.push(timer(at, seq as u64));
+                for _ in 0..pops {
+                    assert_eq!(heap.next_at(), other.next_at(), "{}", kind.name());
+                    let (h, c) = (heap.pop(), other.pop());
+                    match (h, c) {
+                        (None, None) => {}
+                        (Some(h), Some(c)) => {
+                            assert_eq!((h.at, h.seq), (c.at, c.seq), "{}", kind.name());
+                        }
+                        _ => panic!("{} disagreed on emptiness", kind.name()),
                     }
-                    _ => panic!("schedulers disagreed on emptiness"),
                 }
             }
+            while let Some(h) = heap.pop() {
+                let c = other.pop().unwrap_or_else(|| {
+                    panic!("{} drained early", kind.name());
+                });
+                assert_eq!((h.at, h.seq), (c.at, c.seq), "{}", kind.name());
+            }
+            assert!(other.pop().is_none());
+            assert!(other.is_empty());
         }
-        while let Some(h) = heap.pop() {
-            let c = cal.pop().expect("calendar drained early");
-            assert_eq!((h.at, h.seq), (c.at, c.seq));
-        }
-        assert!(cal.pop().is_none());
-        assert!(cal.is_empty());
     }
 
     #[test]
@@ -544,6 +874,82 @@ mod tests {
         while cal.pop().is_some() {}
         assert_eq!(cal.bucket_count(), MIN_BUCKETS, "queue never shrank back");
         assert_eq!(cal.len(), 0);
+    }
+
+    #[test]
+    fn wheel_cascades_across_levels() {
+        // Deadlines spanning ns to tens of ms park events at several
+        // wheel levels; draining in order exercises every cascade path.
+        let mut wheel = TimingWheel::new();
+        let spans_ps = [
+            1_000u64,          // level 0: 1 ns
+            50_000,            // level 0 window edge: 50 ns
+            100_000,           // level 1: 100 ns
+            7_000_000,         // level 2: 7 us
+            300_000_000,       // level 3: 300 us
+            20_000_000_000,    // level 4: 20 ms
+            1_500_000_000_000, // level 6: 1.5 s
+        ];
+        let mut seq = 0u64;
+        for &base in &spans_ps {
+            for i in 0..8u64 {
+                wheel.push(timer(SimTime::from_ps(base + i * 977), seq));
+                seq += 1;
+            }
+        }
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut popped = 0usize;
+        while let Some(ev) = wheel.pop() {
+            assert!(ev.key() >= last, "wheel popped out of order");
+            last = ev.key();
+            popped += 1;
+        }
+        assert_eq!(popped, spans_ps.len() * 8);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn wheel_rewinds_on_past_push() {
+        // The kernel never schedules into the past, but the wheel must
+        // still honor it standalone.
+        let mut wheel = TimingWheel::new();
+        wheel.push(timer(SimTime::from_us(10), 0));
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(0));
+        wheel.push(timer(SimTime::from_us(9), 1)); // behind the cursor
+        wheel.push(timer(SimTime::from_us(11), 2));
+        assert_eq!(wheel.next_at(), Some(SimTime::from_us(9)));
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(1));
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(2));
+    }
+
+    #[test]
+    fn calendar_width_autotune_follows_the_horizon() {
+        // Start the calendar on a nanosecond-scale horizon, then feed a
+        // millisecond-scale one: the EMA-triggered rebuild must widen
+        // the buckets without waiting for an occupancy resize.
+        let mut cal = CalendarQueue::new();
+        let mut seq = 0u64;
+        for i in 0..64u64 {
+            cal.push(timer(SimTime::from_ns(i), seq));
+            seq += 1;
+        }
+        for _ in 0..64 {
+            cal.pop();
+        }
+        let narrow = cal.bucket_width_ps();
+        for i in 0..2 * TUNE_INTERVAL as u64 {
+            cal.push(timer(SimTime::from_us(10 + i * 500), seq));
+            seq += 1;
+            if !seq.is_multiple_of(3) {
+                cal.pop();
+            }
+        }
+        assert!(
+            cal.bucket_width_ps() > narrow,
+            "width never widened: {} -> {}",
+            narrow,
+            cal.bucket_width_ps()
+        );
     }
 
     #[test]

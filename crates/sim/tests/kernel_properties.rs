@@ -68,18 +68,20 @@ fn run_plan(plan: &Plan, seed: u64) -> (Vec<Vec<(SimTime, u64)>>, tn_sim::SimSta
         if sim.is_connected(ids[a], PortId(pa)) || sim.is_connected(ids[b], PortId(pb)) {
             continue;
         }
-        sim.connect(
+        let link = IdealLink::new(SimTime::from_ns(7));
+        sim.install_link(
             ids[a],
             PortId(pa),
             ids[b],
             PortId(pb),
-            IdealLink::new(SimTime::from_ns(7)),
+            Box::new(link.clone()),
         );
+        sim.install_link(ids[b], PortId(pb), ids[a], PortId(pa), Box::new(link));
         next_port[a] += 1;
         next_port[b] += 1;
     }
     for &(n, t_ns, ttl) in &plan.injections {
-        let mut f = sim.new_frame(vec![ttl; 8]);
+        let mut f = sim.frame().fill(|b| b.resize(8, ttl)).build();
         f.meta.tag = u64::from(ttl);
         sim.inject_frame(SimTime::from_ns(t_ns), ids[n], PortId(0), f);
     }

@@ -201,8 +201,8 @@ impl CommoditySwitch {
                 if newly_seen {
                     if let Some(up) = self.cfg.mcast_upstream {
                         if up != port {
-                            self.hw_path
-                                .send_after(ctx, SimTime::ZERO, up, frame.clone());
+                            let copy = ctx.clone_frame(frame);
+                            self.hw_path.send_after(ctx, SimTime::ZERO, up, copy);
                         }
                     }
                 }
@@ -227,8 +227,8 @@ impl CommoditySwitch {
                 if now_empty {
                     if let Some(up) = self.cfg.mcast_upstream {
                         if up != port {
-                            self.hw_path
-                                .send_after(ctx, SimTime::ZERO, up, frame.clone());
+                            let copy = ctx.clone_frame(frame);
+                            self.hw_path.send_after(ctx, SimTime::ZERO, up, copy);
                         }
                     }
                 }
@@ -254,12 +254,15 @@ impl CommoditySwitch {
         };
         let me = ctx.me().0;
         if let Some(members) = self.hw_groups.get(&group) {
+            // Replicate per egress through the arena: each copy reuses a
+            // recycled buffer and keeps the original FrameId so capture
+            // taps still correlate the fan-out.
             for &p in members {
                 if p != ingress {
                     self.stats.mcast_forwarded += 1;
                     self.metrics.inc("switch", "mcast_fwd", Some(me));
-                    self.hw_path
-                        .send_after(ctx, SimTime::ZERO, p, frame.clone());
+                    let copy = ctx.clone_frame(&frame);
+                    self.hw_path.send_after(ctx, SimTime::ZERO, p, copy);
                 }
             }
             if let Some(up) = upstream_extra {
@@ -271,10 +274,11 @@ impl CommoditySwitch {
                 {
                     self.stats.mcast_forwarded += 1;
                     self.metrics.inc("switch", "mcast_fwd", Some(me));
-                    self.hw_path
-                        .send_after(ctx, SimTime::ZERO, up, frame.clone());
+                    let copy = ctx.clone_frame(&frame);
+                    self.hw_path.send_after(ctx, SimTime::ZERO, up, copy);
                 }
             }
+            ctx.recycle(frame);
             return;
         }
         if !self.sw_groups.contains_key(&group) {
@@ -301,28 +305,31 @@ impl CommoditySwitch {
                         }
                     }
                     for &p in &targets {
-                        if p != ingress
-                            && self
-                                .sw_path
-                                .send_after(ctx, self.cfg.sw_service, p, frame.clone())
-                        {
+                        if p == ingress {
+                            continue;
+                        }
+                        let copy = ctx.clone_frame(&frame);
+                        if self.sw_path.send_after(ctx, self.cfg.sw_service, p, copy) {
                             self.stats.mcast_sw_forwarded += 1;
                             self.metrics.inc("switch", "mcast_sw_fwd", Some(me));
                         }
                     }
                 }
             }
+            ctx.recycle(frame);
             return;
         }
         // No receivers anywhere: drop silently (normal for multicast).
         self.stats.mcast_dropped += 1;
         self.metrics.inc("switch", "mcast_drop", Some(me));
+        ctx.recycle(frame);
     }
 }
 
 impl Node for CommoditySwitch {
     fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
         let Ok(eth_view) = eth::Frame::new_checked(frame.bytes.as_slice()) else {
+            ctx.recycle(frame);
             return;
         };
         self.metrics.inc("switch", "frames", Some(ctx.me().0));
@@ -330,9 +337,11 @@ impl Node for CommoditySwitch {
             // L1-transport or unknown ethertypes are not routable here.
             self.stats.no_route += 1;
             self.metrics.inc("switch", "no_route", Some(ctx.me().0));
+            ctx.recycle(frame);
             return;
         }
         let Ok(ip) = ipv4::Packet::new_checked(eth_view.payload()) else {
+            ctx.recycle(frame);
             return;
         };
         let (src, dst, proto) = (ip.src(), ip.dst(), ip.protocol());
@@ -341,6 +350,7 @@ impl Node for CommoditySwitch {
             if let Ok(msg) = igmp::Message::parse(ip.payload()) {
                 self.on_igmp(ctx, port, msg, &frame);
             }
+            ctx.recycle(frame);
             return;
         }
 
@@ -365,6 +375,7 @@ impl Node for CommoditySwitch {
             _ => {
                 self.stats.no_route += 1;
                 self.metrics.inc("switch", "no_route", Some(ctx.me().0));
+                ctx.recycle(frame);
             }
         }
     }
@@ -382,6 +393,28 @@ impl Node for CommoditySwitch {
     }
 }
 
+/// Append an IGMP join/leave frame, as a host would emit it, to `out`
+/// in a single pass — no intermediate per-layer buffers.
+pub fn igmp_frame_into(
+    kind: igmp::MessageType,
+    host_mac: eth::MacAddr,
+    host_ip: ipv4::Addr,
+    group: ipv4::Addr,
+    out: &mut Vec<u8>,
+) {
+    eth::emit_into(
+        eth::MacAddr::ipv4_multicast(group),
+        host_mac,
+        eth::EtherType::Ipv4,
+        &[],
+        out,
+    );
+    let ip_start = out.len();
+    out.resize(ip_start + ipv4::HEADER_LEN, 0);
+    igmp::Message { kind, group }.emit_into(out);
+    ipv4::finish_header(&mut out[ip_start..], host_ip, group, ipv4::PROTO_IGMP);
+}
+
 /// Build an IGMP join/leave frame as a host would emit it.
 pub fn igmp_frame(
     kind: igmp::MessageType,
@@ -389,20 +422,16 @@ pub fn igmp_frame(
     host_ip: ipv4::Addr,
     group: ipv4::Addr,
 ) -> Vec<u8> {
-    let msg = igmp::Message { kind, group }.emit();
-    let packet = ipv4::build(host_ip, group, ipv4::PROTO_IGMP, &msg);
-    eth::build(
-        eth::MacAddr::ipv4_multicast(group),
-        host_mac,
-        eth::EtherType::Ipv4,
-        &packet,
-    )
+    let mut out = Vec::with_capacity(eth::HEADER_LEN + ipv4::HEADER_LEN + igmp::MESSAGE_LEN);
+    igmp_frame_into(kind, host_mac, host_ip, group, &mut out);
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tn_sim::{IdealLink, Simulator};
+    use tn_fault::{FaultConnect, LinkSpec};
+    use tn_sim::Simulator;
     use tn_wire::eth::MacAddr;
     use tn_wire::stack;
 
@@ -446,12 +475,12 @@ mod tests {
         let mut ids = Vec::new();
         for i in 0..sinks {
             let s = sim.add_node(format!("sink{i}"), Sink { got: vec![] });
-            sim.connect(
+            sim.connect_spec(
                 sw,
                 PortId(1 + i as u16),
                 s,
                 PortId(0),
-                IdealLink::new(SimTime::ZERO),
+                &LinkSpec::ideal(SimTime::ZERO),
             );
             ids.push(s);
         }
@@ -466,7 +495,7 @@ mod tests {
             s.add_route(ipv4::Addr::host(10), vec![PortId(1)]);
             s.add_route(ipv4::Addr::host(11), vec![PortId(2)]);
         }
-        let f = sim.new_frame(unicast_frame(1, 10));
+        let f = sim.frame().copy_from(&unicast_frame(1, 10)).build();
         sim.inject_frame(SimTime::ZERO, sw, PortId(0), f);
         sim.run();
         let got = &sim.node::<Sink>(sinks[0]).unwrap().got;
@@ -485,14 +514,14 @@ mod tests {
     #[test]
     fn default_route_and_no_route() {
         let (mut sim, sw, sinks) = rig(SwitchConfig::default(), 1);
-        let f = sim.new_frame(unicast_frame(1, 99));
+        let f = sim.frame().copy_from(&unicast_frame(1, 99)).build();
         sim.inject_frame(SimTime::ZERO, sw, PortId(0), f);
         sim.run();
         assert_eq!(sim.node::<CommoditySwitch>(sw).unwrap().stats().no_route, 1);
         sim.node_mut::<CommoditySwitch>(sw)
             .unwrap()
             .set_default_route(vec![PortId(1)]);
-        let f = sim.new_frame(unicast_frame(1, 99));
+        let f = sim.frame().copy_from(&unicast_frame(1, 99)).build();
         let t = sim.now();
         sim.inject_frame(t, sw, PortId(0), f);
         sim.run();
@@ -534,13 +563,13 @@ mod tests {
                 ipv4::Addr::host(u32::from(port)),
                 group,
             );
-            let f = sim.new_frame(join);
+            let f = sim.frame().copy_from(&join).build();
             sim.inject_frame(SimTime::ZERO, sw, PortId(port), f);
         }
         sim.run();
         assert_eq!(sim.node::<CommoditySwitch>(sw).unwrap().hw_group_count(), 1);
 
-        let f = sim.new_frame(feed_frame(group, 100));
+        let f = sim.frame().copy_from(&feed_frame(group, 100)).build();
         let t = sim.now();
         sim.inject_frame(t, sw, PortId(0), f);
         sim.run();
@@ -562,7 +591,7 @@ mod tests {
             ipv4::Addr::host(1),
             group,
         );
-        let f = sim.new_frame(join);
+        let f = sim.frame().copy_from(&join).build();
         sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
         sim.run();
         let leave = igmp_frame(
@@ -571,12 +600,12 @@ mod tests {
             ipv4::Addr::host(1),
             group,
         );
-        let f = sim.new_frame(leave);
+        let f = sim.frame().copy_from(&leave).build();
         let t = sim.now();
         sim.inject_frame(t, sw, PortId(1), f);
         sim.run();
         assert_eq!(sim.node::<CommoditySwitch>(sw).unwrap().hw_group_count(), 0);
-        let f = sim.new_frame(feed_frame(group, 64));
+        let f = sim.frame().copy_from(&feed_frame(group, 64)).build();
         let t = sim.now();
         sim.inject_frame(t, sw, PortId(0), f);
         sim.run();
@@ -599,7 +628,7 @@ mod tests {
                 ipv4::Addr::host(1),
                 ipv4::Addr::multicast_group(g),
             );
-            let f = sim.new_frame(join);
+            let f = sim.frame().copy_from(&join).build();
             sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
         }
         sim.run();
@@ -611,9 +640,15 @@ mod tests {
         }
         // Traffic to group 0 (hardware) vs group 2 (software).
         let t = sim.now();
-        let f = sim.new_frame(feed_frame(ipv4::Addr::multicast_group(0), 64));
+        let f = sim
+            .frame()
+            .copy_from(&feed_frame(ipv4::Addr::multicast_group(0), 64))
+            .build();
         sim.inject_frame(t, sw, PortId(0), f);
-        let f = sim.new_frame(feed_frame(ipv4::Addr::multicast_group(2), 64));
+        let f = sim
+            .frame()
+            .copy_from(&feed_frame(ipv4::Addr::multicast_group(2), 64))
+            .build();
         sim.inject_frame(t, sw, PortId(0), f);
         sim.run();
         let got = &sim.node::<Sink>(sinks[0]).unwrap().got;
@@ -641,12 +676,12 @@ mod tests {
             ipv4::Addr::host(1),
             group,
         );
-        let f = sim.new_frame(join);
+        let f = sim.frame().copy_from(&join).build();
         sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
         sim.run();
         let t = sim.now();
         for _ in 0..100 {
-            let f = sim.new_frame(feed_frame(group, 64));
+            let f = sim.frame().copy_from(&feed_frame(group, 64)).build();
             sim.inject_frame(t, sw, PortId(0), f);
         }
         sim.run();
@@ -671,11 +706,11 @@ mod tests {
             ipv4::Addr::host(1),
             group,
         );
-        let f = sim.new_frame(join);
+        let f = sim.frame().copy_from(&join).build();
         sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
         sim.run();
         let t = sim.now();
-        let f = sim.new_frame(feed_frame(group, 64));
+        let f = sim.frame().copy_from(&feed_frame(group, 64)).build();
         sim.inject_frame(t, sw, PortId(0), f);
         sim.run();
         assert!(sim.node::<Sink>(sinks[0]).unwrap().got.is_empty());
@@ -698,7 +733,13 @@ mod tests {
         let mut sim = Simulator::new(5);
         let sw = sim.add_node("sw", CommoditySwitch::new(cfg));
         let up = sim.add_node("up", Sink { got: vec![] });
-        sim.connect(sw, PortId(0), up, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.connect_spec(
+            sw,
+            PortId(0),
+            up,
+            PortId(0),
+            &LinkSpec::ideal(SimTime::ZERO),
+        );
         let group = ipv4::Addr::multicast_group(3);
         let join = igmp_frame(
             igmp::MessageType::Report,
@@ -706,7 +747,7 @@ mod tests {
             ipv4::Addr::host(1),
             group,
         );
-        let f = sim.new_frame(join);
+        let f = sim.frame().copy_from(&join).build();
         sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
         sim.run();
         assert_eq!(sim.node::<Sink>(up).unwrap().got.len(), 1);
@@ -717,7 +758,7 @@ mod tests {
             ipv4::Addr::host(2),
             group,
         );
-        let f = sim.new_frame(join2);
+        let f = sim.frame().copy_from(&join2).build();
         let t = sim.now();
         sim.inject_frame(t, sw, PortId(2), f);
         sim.run();

@@ -122,15 +122,18 @@ impl FpgaL1Switch {
 impl Node for FpgaL1Switch {
     fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
         let Ok(eth_view) = eth::Frame::new_checked(frame.bytes.as_slice()) else {
+            ctx.recycle(frame);
             return;
         };
         self.metrics.inc("switch", "frames", Some(ctx.me().0));
         if eth_view.ethertype() != eth::EtherType::Ipv4 {
             self.stats.dropped += 1;
             self.metrics.inc("switch", "no_route", Some(ctx.me().0));
+            ctx.recycle(frame);
             return;
         }
         let Ok(ip) = ipv4::Packet::new_checked(eth_view.payload()) else {
+            ctx.recycle(frame);
             return;
         };
         let dst = ip.dst();
@@ -152,6 +155,7 @@ impl Node for FpgaL1Switch {
                     igmp::MessageType::Query => {}
                 }
             }
+            ctx.recycle(frame);
             return;
         }
 
@@ -160,6 +164,7 @@ impl Node for FpgaL1Switch {
             if !allow.contains(&dst) {
                 self.stats.filtered += 1;
                 self.metrics.inc("switch", "filtered", Some(me));
+                ctx.recycle(frame);
                 return;
             }
         }
@@ -167,11 +172,14 @@ impl Node for FpgaL1Switch {
         if dst.is_multicast() {
             match self.groups.get(&dst) {
                 Some(members) => {
-                    for &p in members.clone().iter() {
+                    // Arena-backed replication: one recycled buffer per
+                    // egress, all carrying the ingress FrameId.
+                    for &p in members {
                         if p != port {
                             self.stats.mcast_forwarded += 1;
                             self.metrics.inc("switch", "mcast_fwd", Some(me));
-                            self.pipe.send_after(ctx, SimTime::ZERO, p, frame.clone());
+                            let copy = ctx.clone_frame(&frame);
+                            self.pipe.send_after(ctx, SimTime::ZERO, p, copy);
                         }
                     }
                 }
@@ -180,6 +188,7 @@ impl Node for FpgaL1Switch {
                     self.metrics.inc("switch", "mcast_drop", Some(me));
                 }
             }
+            ctx.recycle(frame);
             return;
         }
 
@@ -192,6 +201,7 @@ impl Node for FpgaL1Switch {
             _ => {
                 self.stats.dropped += 1;
                 self.metrics.inc("switch", "no_route", Some(me));
+                ctx.recycle(frame);
             }
         }
     }
@@ -209,7 +219,8 @@ impl Node for FpgaL1Switch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tn_sim::{IdealLink, Simulator};
+    use tn_fault::{FaultConnect, LinkSpec};
+    use tn_sim::Simulator;
     use tn_wire::eth::MacAddr;
     use tn_wire::stack;
 
@@ -240,12 +251,12 @@ mod tests {
         let mut ids = Vec::new();
         for i in 0..sinks {
             let s = sim.add_node(format!("s{i}"), Sink { got: vec![] });
-            sim.connect(
+            sim.connect_spec(
                 sw,
                 PortId(1 + i as u16),
                 s,
                 PortId(0),
-                IdealLink::new(SimTime::ZERO),
+                &LinkSpec::ideal(SimTime::ZERO),
             );
             ids.push(s);
         }
@@ -261,7 +272,8 @@ mod tests {
             assert!(s.add_group_member(g, PortId(1)));
             assert!(s.add_group_member(g, PortId(2)));
         }
-        let f = sim.new_frame(feed(g));
+        let bytes = feed(g);
+        let f = sim.frame().copy_from(&bytes).build();
         sim.inject_frame(SimTime::ZERO, sw, PortId(0), f);
         sim.run();
         for s in &sinks {
@@ -308,7 +320,8 @@ mod tests {
             s.set_ingress_filter(PortId(0), HashSet::from([wanted]));
         }
         for g in [wanted, unwanted] {
-            let f = sim.new_frame(feed(g));
+            let bytes = feed(g);
+            let f = sim.frame().copy_from(&bytes).build();
             sim.inject_frame(SimTime::ZERO, sw, PortId(0), f);
         }
         sim.run();
@@ -328,7 +341,7 @@ mod tests {
             ipv4::Addr::host(1),
             g,
         );
-        let f = sim.new_frame(join);
+        let f = sim.frame().copy_from(&join).build();
         sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
         sim.run();
         assert_eq!(sim.node::<FpgaL1Switch>(sw).unwrap().group_count(), 1);
@@ -345,7 +358,7 @@ mod tests {
             2,
             b"x",
         );
-        let f = sim.new_frame(uni);
+        let f = sim.frame().copy_from(&uni).build();
         let t = sim.now();
         sim.inject_frame(t, sw, PortId(0), f);
         sim.run();
@@ -362,7 +375,8 @@ mod tests {
     #[test]
     fn unknown_group_or_route_drops() {
         let (mut sim, sw, _s) = rig(FpgaConfig::default(), 1);
-        let f = sim.new_frame(feed(ipv4::Addr::multicast_group(9)));
+        let bytes = feed(ipv4::Addr::multicast_group(9));
+        let f = sim.frame().copy_from(&bytes).build();
         sim.inject_frame(SimTime::ZERO, sw, PortId(0), f);
         sim.run();
         assert_eq!(sim.node::<FpgaL1Switch>(sw).unwrap().stats().dropped, 1);

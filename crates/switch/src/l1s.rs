@@ -106,12 +106,14 @@ impl Node for L1Switch {
     fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
         match self.roles.get(&port) {
             Some(PortRole::Fanout(outputs)) => {
-                // Clone membership to satisfy borrowck; fan-outs are tiny.
-                for &out in outputs.clone().iter() {
+                // Each replica is an arena-backed copy carrying the original
+                // FrameId; the ingress buffer goes straight back to the pool.
+                for &out in outputs {
                     self.stats.fanned_out += 1;
-                    self.fanout_path
-                        .send_after(ctx, SimTime::ZERO, out, frame.clone());
+                    let copy = ctx.clone_frame(&frame);
+                    self.fanout_path.send_after(ctx, SimTime::ZERO, out, copy);
                 }
+                ctx.recycle(frame);
             }
             Some(PortRole::Merge(output)) => {
                 let out = *output;
@@ -120,6 +122,7 @@ impl Node for L1Switch {
             }
             None => {
                 self.stats.unprovisioned += 1;
+                ctx.recycle(frame);
             }
         }
     }
@@ -136,8 +139,9 @@ impl Node for L1Switch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tn_fault::{FaultConnect, LinkSpec};
     use tn_netdev::EtherLink;
-    use tn_sim::{IdealLink, Simulator};
+    use tn_sim::Simulator;
 
     struct Sink {
         got: Vec<SimTime>,
@@ -155,19 +159,19 @@ mod tests {
         let mut sinks = Vec::new();
         for i in 0..3u16 {
             let s = sim.add_node(format!("s{i}"), Sink { got: vec![] });
-            sim.connect(
+            sim.connect_spec(
                 sw,
                 PortId(1 + i),
                 s,
                 PortId(0),
-                IdealLink::new(SimTime::ZERO),
+                &LinkSpec::ideal(SimTime::ZERO),
             );
             sinks.push(s);
         }
         sim.node_mut::<L1Switch>(sw)
             .unwrap()
             .provision_fanout(PortId(0), vec![PortId(1), PortId(2), PortId(3)]);
-        let f = sim.new_frame(vec![0; 200]);
+        let f = sim.frame().zeroed(200).build();
         sim.inject_frame(SimTime::from_ns(100), sw, PortId(0), f);
         sim.run();
         for s in &sinks {
@@ -182,14 +186,12 @@ mod tests {
         let mut sim = Simulator::new(2);
         let sw = sim.add_node("l1s", L1Switch::new(L1Config::default()));
         let sink = sim.add_node("sink", Sink { got: vec![] });
-        // Egress is a real 10G link: contention shows up as serialization queueing.
-        sim.connect(
-            sw,
-            PortId(9),
-            sink,
-            PortId(0),
-            EtherLink::ten_gig(SimTime::ZERO),
-        );
+        // Egress is a real 10G link: contention shows up as serialization
+        // queueing. EtherLink is a concrete model with no LinkSpec
+        // equivalent, so it goes in through the raw `install_link` primitive.
+        let link = EtherLink::ten_gig(SimTime::ZERO);
+        sim.install_link(sw, PortId(9), sink, PortId(0), Box::new(link.clone()));
+        sim.install_link(sink, PortId(0), sw, PortId(9), Box::new(link));
         {
             let s = sim.node_mut::<L1Switch>(sw).unwrap();
             s.provision_merge(PortId(0), PortId(9));
@@ -197,7 +199,7 @@ mod tests {
         }
         // Two 1250-byte frames arrive simultaneously on both merge inputs.
         for p in [0u16, 1] {
-            let f = sim.new_frame(vec![0; 1250]);
+            let f = sim.frame().zeroed(1250).build();
             sim.inject_frame(SimTime::ZERO, sw, PortId(p), f);
         }
         sim.run();
@@ -214,7 +216,7 @@ mod tests {
     fn unprovisioned_port_drops_and_counts() {
         let mut sim = Simulator::new(2);
         let sw = sim.add_node("l1s", L1Switch::new(L1Config::default()));
-        let f = sim.new_frame(vec![0; 64]);
+        let f = sim.frame().zeroed(64).build();
         sim.inject_frame(SimTime::ZERO, sw, PortId(5), f);
         sim.run();
         assert_eq!(sim.node::<L1Switch>(sw).unwrap().stats().unprovisioned, 1);

@@ -127,6 +127,13 @@ mod tests {
         }
     }
 
+    /// Bidirectional hookup of an already-built Ethernet link model
+    /// (goes through `install_link`; no `LinkSpec` equivalent).
+    fn attach(sim: &mut Simulator, fabric: NodeId, port: PortId, host: NodeId, link: EtherLink) {
+        sim.install_link(fabric, port, host, PortId(0), Box::new(link.clone()));
+        sim.install_link(host, PortId(0), fabric, port, Box::new(link));
+    }
+
     #[test]
     fn all_tenant_pairs_see_equal_latency() {
         let mut sim = Simulator::new(1);
@@ -141,7 +148,7 @@ mod tests {
         for i in 0..4u32 {
             let port = cloud.take_tenant_port();
             let h = sim.add_node(format!("t{i}"), Sink { got: vec![] });
-            sim.connect(cloud.fabric, port, h, PortId(0), cloud.tenant_link());
+            attach(&mut sim, cloud.fabric, port, h, cloud.tenant_link());
             cloud.install_route(&mut sim, ipv4::Addr::host(i + 1), port);
             hosts.push((h, port));
         }
@@ -157,7 +164,7 @@ mod tests {
                 2,
                 &[0u8; 60],
             );
-            let f = sim.new_frame(frame);
+            let f = sim.frame().copy_from(&frame).build();
             let t0 = sim.now();
             sim.inject_frame(t0, cloud.fabric, hosts[0].1, f);
             sim.run();
@@ -199,13 +206,13 @@ mod tests {
         );
         let t_port = cloud.take_tenant_port();
         let tenant = sim.add_node("tenant", Sink { got: vec![] });
-        sim.connect(cloud.fabric, t_port, tenant, PortId(0), cloud.tenant_link());
+        attach(&mut sim, cloud.fabric, t_port, tenant, cloud.tenant_link());
         let exch = sim.add_node("exch", Sink { got: vec![] });
-        sim.connect(
+        attach(
+            &mut sim,
             cloud.fabric,
             cloud.external_port,
             exch,
-            PortId(0),
             cloud.external_link(),
         );
         cloud.install_route(
@@ -223,7 +230,7 @@ mod tests {
             2,
             &[0u8; 26],
         );
-        let f = sim.new_frame(frame);
+        let f = sim.frame().copy_from(&frame).build();
         sim.inject_frame(SimTime::ZERO, cloud.fabric, t_port, f);
         sim.run();
         let got = &sim.node::<Sink>(exch).unwrap().got;

@@ -154,7 +154,7 @@ impl L1TradingFabric {
             // Chain the stages with zero-delay circuits.
             for (s, subs) in subscriptions.iter().enumerate() {
                 for k in 0..subs.len() {
-                    sim.connect_directed(
+                    sim.install_link(
                         fan_node,
                         slot_port(s, k),
                         merge_node,
@@ -250,6 +250,14 @@ mod tests {
         }
     }
 
+    /// Bidirectional ideal hookup of a test sink (already-built link
+    /// model, so it goes through `install_link`).
+    fn attach_sink(sim: &mut Simulator, sw: NodeId, sp: PortId, sink: NodeId) {
+        let link = tn_sim::IdealLink::new(SimTime::ZERO);
+        sim.install_link(sw, sp, sink, PortId(0), Box::new(link.clone()));
+        sim.install_link(sink, PortId(0), sw, sp, Box::new(link));
+    }
+
     #[test]
     fn feed_net_fans_out_to_all_normalizers() {
         let mut sim = Simulator::new(1);
@@ -261,16 +269,10 @@ mod tests {
         let mut sinks = Vec::new();
         for (i, &out) in fabric.feed_net.outputs.iter().enumerate() {
             let s = sim.add_node(format!("n{i}"), Sink { got: vec![] });
-            sim.connect(
-                fabric.feed_net.switch,
-                out,
-                s,
-                PortId(0),
-                tn_sim::IdealLink::new(SimTime::ZERO),
-            );
+            attach_sink(&mut sim, fabric.feed_net.switch, out, s);
             sinks.push(s);
         }
-        let f = sim.new_frame(vec![0; 100]);
+        let f = sim.frame().zeroed(100).build();
         sim.inject_frame(
             SimTime::ZERO,
             fabric.feed_net.switch,
@@ -302,16 +304,10 @@ mod tests {
         // Attach a sink to strategy 0's merged output.
         let merge_node = fabric.dist_merge_node();
         let s0 = sim.add_node("s0", Sink { got: vec![] });
-        sim.connect(
-            merge_node,
-            fabric.dist_net.outputs[0],
-            s0,
-            PortId(0),
-            tn_sim::IdealLink::new(SimTime::ZERO),
-        );
+        attach_sink(&mut sim, merge_node, fabric.dist_net.outputs[0], s0);
         // Frames from normalizer 0 and 1 reach it; normalizer 2's don't.
         for n in 0..3u16 {
-            let f = sim.new_frame(vec![n as u8; 64]);
+            let f = sim.frame().fill(|b| b.resize(64, n as u8)).build();
             sim.inject_frame(SimTime::ZERO, fabric.dist_net.switch, PortId(n), f);
         }
         sim.run();
@@ -332,23 +328,21 @@ mod tests {
         let fabric = L1TradingFabric::build(&mut sim, &cfg);
         let g0 = sim.add_node("g0", Sink { got: vec![] });
         let g1 = sim.add_node("g1", Sink { got: vec![] });
-        sim.connect(
+        attach_sink(
+            &mut sim,
             fabric.order_net.switch,
             fabric.order_net.outputs[0],
             g0,
-            PortId(0),
-            tn_sim::IdealLink::new(SimTime::ZERO),
         );
-        sim.connect(
+        attach_sink(
+            &mut sim,
             fabric.order_net.switch,
             fabric.order_net.outputs[1],
             g1,
-            PortId(0),
-            tn_sim::IdealLink::new(SimTime::ZERO),
         );
         // Strategies 0..3 send one order each; 0,2 -> gw0; 1,3 -> gw1.
         for s in 0..4u16 {
-            let f = sim.new_frame(vec![0; 64]);
+            let f = sim.frame().zeroed(64).build();
             sim.inject_frame(SimTime::ZERO, fabric.order_net.switch, PortId(s), f);
         }
         sim.run();
@@ -357,16 +351,15 @@ mod tests {
 
         // Entry net: both gateways merge onto one cross-connect.
         let x = sim.add_node("x", Sink { got: vec![] });
-        sim.connect(
+        attach_sink(
+            &mut sim,
             fabric.entry_net.switch,
             fabric.entry_net.outputs[0],
             x,
-            PortId(0),
-            tn_sim::IdealLink::new(SimTime::ZERO),
         );
         let t = sim.now();
         for g in 0..2u16 {
-            let f = sim.new_frame(vec![0; 64]);
+            let f = sim.frame().zeroed(64).build();
             sim.inject_frame(t, fabric.entry_net.switch, PortId(g), f);
         }
         sim.run();

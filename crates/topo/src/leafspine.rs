@@ -109,21 +109,27 @@ impl LeafSpine {
         // Wire uplinks: leaf port (base + s) <-> spine port (leaf index).
         // Leaf index on spines: 0 = exchange ToR, 1.. = racks.
         let fabric_link = || EtherLink::new(cfg.fabric_link_bps, cfg.link_propagation);
+        // Fabric links are concrete EtherLink models, so they attach via
+        // the raw `install_link` primitive, one instance per direction.
+        let attach = |sim: &mut Simulator, a: NodeId, ap: PortId, b: NodeId, bp: PortId| {
+            sim.install_link(a, ap, b, bp, Box::new(fabric_link()));
+            sim.install_link(b, bp, a, ap, Box::new(fabric_link()));
+        };
         for (s, &spine) in spines.iter().enumerate() {
-            sim.connect(
+            attach(
+                sim,
                 exchange_tor,
                 PortId(uplink_base(cfg.exchange_ports) + s as u16),
                 spine,
                 PortId(0),
-                fabric_link(),
             );
             for (r, &leaf) in leaves.iter().enumerate() {
-                sim.connect(
+                attach(
+                    sim,
                     leaf,
                     PortId(uplink_base(cfg.hosts_per_rack) + s as u16),
                     spine,
                     PortId(1 + r as u16),
-                    fabric_link(),
                 );
             }
         }
@@ -250,6 +256,20 @@ mod tests {
         }
     }
 
+    /// Bidirectional host hookup through the fabric's Ethernet profile
+    /// (an already-built link model, so it goes through `install_link`).
+    fn attach_host(
+        sim: &mut Simulator,
+        fabric: &LeafSpine,
+        leaf: NodeId,
+        port: PortId,
+        host: NodeId,
+    ) {
+        let link = fabric.host_link();
+        sim.install_link(leaf, port, host, PortId(0), Box::new(link.clone()));
+        sim.install_link(host, PortId(0), leaf, port, Box::new(link));
+    }
+
     fn small_cfg() -> LeafSpineConfig {
         LeafSpineConfig {
             racks: 3,
@@ -284,8 +304,8 @@ mod tests {
         assert_ne!(leaf_a, leaf_b);
         let a = sim.add_node("a", Sink { got: vec![] });
         let b = sim.add_node("b", Sink { got: vec![] });
-        sim.connect(leaf_a, port_a, a, PortId(0), fabric.host_link());
-        sim.connect(leaf_b, port_b, b, PortId(0), fabric.host_link());
+        attach_host(&mut sim, &fabric, leaf_a, port_a, a);
+        attach_host(&mut sim, &fabric, leaf_b, port_b, b);
         let addr_a = ipv4::Addr::host(1);
         let addr_b = ipv4::Addr::host(2);
         fabric.install_host_routes(&mut sim, leaf_a, port_a, addr_a);
@@ -300,7 +320,7 @@ mod tests {
             2,
             &[0u8; 58],
         );
-        let f = sim.new_frame(frame);
+        let f = sim.frame().copy_from(&frame).build();
         sim.inject_frame(SimTime::ZERO, leaf_a, port_a, f);
         sim.run();
         let got = &sim.node::<Sink>(b).unwrap().got;
@@ -326,10 +346,10 @@ mod tests {
             fabric.take_host_port()
         };
         let r = sim.add_node("r", Sink { got: vec![] });
-        sim.connect(leaf_r, port_r, r, PortId(0), fabric.host_link());
+        attach_host(&mut sim, &fabric, leaf_r, port_r, r);
         let (tor, xport) = fabric.exchange_attach[0];
         let src = sim.add_node("exch", Sink { got: vec![] });
-        sim.connect(tor, xport, src, PortId(0), fabric.host_link());
+        attach_host(&mut sim, &fabric, tor, xport, src);
 
         // Join from the receiver.
         let join = tn_switch::commodity::igmp_frame(
@@ -338,7 +358,7 @@ mod tests {
             ipv4::Addr::host(9),
             group,
         );
-        let f = sim.new_frame(join);
+        let f = sim.frame().copy_from(&join).build();
         sim.inject_frame(SimTime::ZERO, leaf_r, port_r, f);
         sim.run();
 
@@ -352,7 +372,7 @@ mod tests {
             30_001,
             &[0xAB; 100],
         );
-        let f = sim.new_frame(data);
+        let f = sim.frame().copy_from(&data).build();
         let t0 = sim.now();
         sim.inject_frame(t0, tor, xport, f);
         sim.run();

@@ -101,6 +101,10 @@ pub struct Gateway {
     internal_tx_seq: u32,
     svc: TxQueue,
     stats: GatewayStats,
+    /// Reusable BOE payload buffer.
+    payload_scratch: Vec<u8>,
+    /// Reusable per-dispatch message batch.
+    msg_scratch: Vec<boe::Message>,
 }
 
 impl Gateway {
@@ -118,6 +122,8 @@ impl Gateway {
             internal_tx_seq: 1,
             svc: TxQueue::new(SVC_TOKEN),
             stats: GatewayStats::default(),
+            payload_scratch: Vec::new(),
+            msg_scratch: Vec::new(),
         }
     }
 
@@ -133,24 +139,33 @@ impl Gateway {
         meta: tn_sim::FrameMeta,
         service: SimTime,
     ) {
-        // audit:allow(hotpath-alloc): per-order payload buffer; zero-copy emit is ROADMAP item 2
-        let mut payload = Vec::new();
-        msg.emit(self.exch_tx_seq, &mut payload);
-        let seg = stack::build_tcp(
-            self.cfg.src_mac,
-            self.cfg.exch_mac,
-            self.cfg.src_ip,
-            self.cfg.exch_ip,
-            45_000,
-            self.cfg.exch_port,
-            self.exch_tx_seq,
-            0,
-            tcp::Flags::ACK | tcp::Flags::PSH,
-            &payload,
-        );
-        self.exch_tx_seq = self.exch_tx_seq.wrapping_add(payload.len() as u32);
-        let mut frame = ctx.new_frame(seg);
-        frame.meta = meta;
+        self.payload_scratch.clear();
+        msg.emit(self.exch_tx_seq, &mut self.payload_scratch);
+        let tx_seq = self.exch_tx_seq;
+        self.exch_tx_seq = self
+            .exch_tx_seq
+            .wrapping_add(self.payload_scratch.len() as u32);
+        let cfg = &self.cfg;
+        let payload = &self.payload_scratch;
+        let frame = ctx
+            .frame()
+            .fill(|b| {
+                stack::emit_tcp_into(
+                    cfg.src_mac,
+                    cfg.exch_mac,
+                    cfg.src_ip,
+                    cfg.exch_ip,
+                    45_000,
+                    cfg.exch_port,
+                    tx_seq,
+                    0,
+                    tcp::Flags::ACK | tcp::Flags::PSH,
+                    payload,
+                    b,
+                )
+            })
+            .meta(meta)
+            .build();
         self.svc.send_after(ctx, service, EXCHANGE, frame);
     }
 
@@ -165,23 +180,32 @@ impl Gateway {
             self.stats.dropped += 1;
             return;
         };
-        // audit:allow(hotpath-alloc): per-reply payload buffer; zero-copy emit is ROADMAP item 2
-        let mut payload = Vec::new();
-        msg.emit(self.internal_tx_seq, &mut payload);
-        let seg = stack::build_tcp(
-            self.cfg.src_mac,
-            addr.mac,
-            self.cfg.internal_ip,
-            addr.ip,
-            INTERNAL_PORT,
-            addr.tcp_port,
-            self.internal_tx_seq,
-            0,
-            tcp::Flags::ACK | tcp::Flags::PSH,
-            &payload,
-        );
-        self.internal_tx_seq = self.internal_tx_seq.wrapping_add(payload.len() as u32);
-        let frame = ctx.new_frame(seg);
+        self.payload_scratch.clear();
+        msg.emit(self.internal_tx_seq, &mut self.payload_scratch);
+        let tx_seq = self.internal_tx_seq;
+        self.internal_tx_seq = self
+            .internal_tx_seq
+            .wrapping_add(self.payload_scratch.len() as u32);
+        let cfg = &self.cfg;
+        let payload = &self.payload_scratch;
+        let frame = ctx
+            .frame()
+            .fill(|b| {
+                stack::emit_tcp_into(
+                    cfg.src_mac,
+                    addr.mac,
+                    cfg.internal_ip,
+                    addr.ip,
+                    INTERNAL_PORT,
+                    addr.tcp_port,
+                    tx_seq,
+                    0,
+                    tcp::Flags::ACK | tcp::Flags::PSH,
+                    payload,
+                    b,
+                )
+            })
+            .build();
         self.stats.replies_back += 1;
         self.svc.send_after(ctx, service, INTERNAL, frame);
     }
@@ -194,13 +218,12 @@ impl Gateway {
         let peer = (view.src_ip, view.src_port);
         let decoder = self.internal_decoders.entry(peer).or_default();
         decoder.push(view.payload);
-        // audit:allow(hotpath-alloc): per-dispatch message batch; batch reuse is ROADMAP item 2
-        let mut msgs = Vec::new();
+        let mut msgs = std::mem::take(&mut self.msg_scratch);
         while let Ok(Some((msg, _))) = decoder.next_message() {
             msgs.push(msg);
         }
         let (mac, ip, port) = (view.src_mac, view.src_ip, view.src_port);
-        for msg in msgs {
+        for msg in msgs.drain(..) {
             match msg {
                 boe::Message::Login { session, .. } => {
                     self.strategies.insert(
@@ -271,6 +294,7 @@ impl Gateway {
                 _ => self.stats.dropped += 1,
             }
         }
+        self.msg_scratch = msgs;
     }
 
     fn on_exchange(&mut self, ctx: &mut Context<'_>, frame: &Frame) {
@@ -284,12 +308,11 @@ impl Gateway {
             return;
         }
         self.exchange_decoder.push(view.payload);
-        // audit:allow(hotpath-alloc): per-dispatch message batch; batch reuse is ROADMAP item 2
-        let mut msgs = Vec::new();
+        let mut msgs = std::mem::take(&mut self.msg_scratch);
         while let Ok(Some((msg, _))) = self.exchange_decoder.next_message() {
             msgs.push(msg);
         }
-        for msg in msgs {
+        for msg in msgs.drain(..) {
             let service = self.cfg.service;
             let (gw_cl_ord, rewrite): (u64, fn(u64, &boe::Message) -> boe::Message) = match msg {
                 boe::Message::OrderAck {
@@ -344,6 +367,7 @@ impl Gateway {
             let translated = rewrite(strat_cl_ord, &msg);
             self.send_to_strategy(ctx, session, &translated, service);
         }
+        self.msg_scratch = msgs;
     }
 }
 
@@ -357,6 +381,9 @@ impl Node for Gateway {
             // audit:allow(hotpath-unwrap): port fan-in is fixed by connect() wiring at build time; a mismatch is a topology bug where stopping loudly beats simulating garbage
             other => panic!("gateway has 2 ports, got {other:?}"),
         }
+        // Terminal consumer: both sides fully decode (translated traffic
+        // rides fresh frames), so the buffer goes back to the arena.
+        ctx.recycle(frame);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
@@ -377,7 +404,8 @@ impl Node for Gateway {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tn_sim::{IdealLink, Simulator};
+    use tn_fault::{FaultConnect, LinkSpec};
+    use tn_sim::Simulator;
     use tn_wire::pitch::Side;
     use tn_wire::Symbol;
 
@@ -419,14 +447,20 @@ mod tests {
         let gw = sim.add_node("gw", Gateway::new(cfg));
         let strat = sim.add_node("strat", Collector { frames: vec![] });
         let exch = sim.add_node("exch", Collector { frames: vec![] });
-        sim.connect(
+        sim.connect_spec(
             gw,
             INTERNAL,
             strat,
             PortId(0),
-            IdealLink::new(SimTime::ZERO),
+            &LinkSpec::ideal(SimTime::ZERO),
         );
-        sim.connect(gw, EXCHANGE, exch, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.connect_spec(
+            gw,
+            EXCHANGE,
+            exch,
+            PortId(0),
+            &LinkSpec::ideal(SimTime::ZERO),
+        );
         (sim, gw, strat, exch)
     }
 
@@ -452,7 +486,7 @@ mod tests {
             strat_ip,
             40_100,
         );
-        let f = sim.new_frame(frame_bytes);
+        let f = sim.frame().copy_from(&frame_bytes).build();
         sim.inject_frame(SimTime::ZERO, gw, INTERNAL, f);
         sim.run();
         let exch_frames = &sim.node::<Collector>(exch).unwrap().frames;
@@ -483,7 +517,7 @@ mod tests {
             symbol: Symbol::new("QQQ").unwrap(),
             price: 380_0000,
         };
-        let f = sim.new_frame(boe_in_tcp(
+        let bytes = boe_in_tcp(
             &[
                 boe::Message::Login {
                     session: 100,
@@ -493,7 +527,8 @@ mod tests {
             ],
             strat_ip,
             40_100,
-        ));
+        );
+        let f = sim.frame().copy_from(&bytes).build();
         sim.inject_frame(SimTime::ZERO, gw, INTERNAL, f);
         sim.run();
         // Exchange acks gateway order id 1.
@@ -515,7 +550,7 @@ mod tests {
             tcp::Flags::ACK,
             &payload,
         );
-        let f = sim.new_frame(ack);
+        let f = sim.frame().copy_from(&ack).build();
         let t = sim.now();
         sim.inject_frame(t, gw, EXCHANGE, f);
         sim.run();
@@ -555,7 +590,7 @@ mod tests {
             tcp::Flags::ACK,
             &payload,
         );
-        let f = sim.new_frame(ack);
+        let f = sim.frame().copy_from(&ack).build();
         sim.inject_frame(SimTime::ZERO, gw, EXCHANGE, f);
         sim.run();
         assert!(sim.node::<Collector>(strat).unwrap().frames.is_empty());

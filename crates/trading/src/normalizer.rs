@@ -114,6 +114,11 @@ pub struct Normalizer {
     next_seq: Vec<u32>,
     svc: TxQueue,
     stats: NormalizerNodeStats,
+    /// Reusable sealed-packet byte buffer (packets are concatenated, with
+    /// boundaries in `bounds_scratch`).
+    wire_scratch: Vec<u8>,
+    /// `(start, end)` offsets of each sealed packet in `wire_scratch`.
+    bounds_scratch: Vec<(usize, usize)>,
 }
 
 impl Normalizer {
@@ -133,6 +138,8 @@ impl Normalizer {
             svc: TxQueue::new(SVC_TOKEN),
             cfg,
             stats: NormalizerNodeStats::default(),
+            wire_scratch: Vec::new(),
+            bounds_scratch: Vec::new(),
         }
     }
 
@@ -157,44 +164,84 @@ impl Normalizer {
             let partition = outputs[i].partition;
             let mut pb =
                 norm::PacketBuilder::new(partition, self.next_seq[partition as usize], 1_400);
-            // audit:allow(hotpath-alloc): per-dispatch sealed-packet batch; batch reuse is ROADMAP item 2
-            let mut sealed = Vec::new();
+            // Seal packets into the reusable scratch buffer, recording
+            // boundaries, then frame each slice once the run is closed.
+            self.wire_scratch.clear();
+            self.bounds_scratch.clear();
             while i < outputs.len() && outputs[i].partition == partition {
-                if let Some(done) = pb.push(&outputs[i].record) {
-                    sealed.push(done);
+                let before = self.wire_scratch.len();
+                if pb.push_into(&outputs[i].record, &mut self.wire_scratch) {
+                    self.bounds_scratch.push((before, self.wire_scratch.len()));
                 }
                 i += 1;
             }
-            sealed.extend(pb.flush());
+            let before = self.wire_scratch.len();
+            if pb.flush_into(&mut self.wire_scratch) {
+                self.bounds_scratch.push((before, self.wire_scratch.len()));
+            }
             self.next_seq[partition as usize] = pb.next_seq();
-            for payload in sealed {
-                let bytes = match self.cfg.transport {
+            let transport = self.cfg.transport;
+            let (src_mac, src_ip, udp_port, mcast_base) = (
+                self.cfg.src_mac,
+                self.cfg.src_ip,
+                self.cfg.udp_port,
+                self.cfg.out_mcast_base,
+            );
+            let l1t_seq = self.next_seq[partition as usize];
+            for &(s, e) in &self.bounds_scratch {
+                let payload = &self.wire_scratch[s..e];
+                let builder = match transport {
                     OutputTransport::UdpMulticast => {
-                        let group = ipv4::Addr::multicast_group(
-                            self.cfg.out_mcast_base + u32::from(partition),
-                        );
-                        stack::build_udp(
-                            self.cfg.src_mac,
-                            None,
-                            self.cfg.src_ip,
-                            group,
-                            self.cfg.udp_port,
-                            self.cfg.udp_port,
-                            &payload,
-                        )
+                        let group = ipv4::Addr::multicast_group(mcast_base + u32::from(partition));
+                        ctx.frame().fill(|b| {
+                            stack::emit_udp_into(
+                                src_mac, None, src_ip, group, udp_port, udp_port, payload, b,
+                            )
+                        })
                     }
-                    OutputTransport::L1Transport => {
-                        let seq = self.next_seq[partition as usize];
-                        l1t::build(partition, seq, &payload)
-                    }
+                    OutputTransport::L1Transport => ctx
+                        .frame()
+                        .fill(|b| l1t::emit_into(partition, l1t_seq, payload, b)),
                 };
-                let mut frame = ctx.new_frame(bytes);
                 // Propagate the market event's identity/time so downstream
                 // latency is measured against the original event.
-                frame.meta = src.meta.clone();
+                let frame = builder.meta(src.meta.clone()).build();
                 self.stats.packets_out += 1;
                 self.svc.send_after(ctx, SimTime::ZERO, OUT, frame);
             }
+        }
+    }
+
+    fn on_feed(&mut self, ctx: &mut Context<'_>, frame: &Frame) {
+        self.stats.frames_in += 1;
+        let Ok(view) = stack::parse_udp(&frame.bytes) else {
+            self.stats.parse_errors += 1;
+            return;
+        };
+        if let Some(accept) = &self.cfg.accept_units {
+            // Peek the unit byte; foreign units cost a discard.
+            if let Ok(pkt) = tn_wire::pitch::Packet::new_checked(view.payload) {
+                if !accept.contains(&pkt.unit()) {
+                    self.stats.packets_discarded += 1;
+                    self.svc.charge(ctx.now(), self.cfg.unit_discard_service);
+                    return;
+                }
+            }
+        }
+        let time_ns = ctx.now().as_ps() / 1_000;
+        let msgs_before = self.core.stats().messages_in;
+        match self.core.on_packet(view.payload, time_ns) {
+            Ok(outputs) => {
+                // Every native message costs core time whether or
+                // not it survives normalization — the basis of the
+                // §3 filtering analysis.
+                let consumed = self.core.stats().messages_in - msgs_before;
+                self.svc
+                    .charge(ctx.now(), self.cfg.per_message_service * consumed);
+                self.stats.records_out += outputs.len() as u64;
+                self.emit(ctx, &outputs, frame);
+            }
+            Err(_) => self.stats.parse_errors += 1,
         }
     }
 }
@@ -203,38 +250,12 @@ impl Node for Normalizer {
     fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
         match port {
             FEED_A | FEED_B => {
-                self.stats.frames_in += 1;
-                let Ok(view) = stack::parse_udp(&frame.bytes) else {
-                    self.stats.parse_errors += 1;
-                    return;
-                };
-                if let Some(accept) = &self.cfg.accept_units {
-                    // Peek the unit byte; foreign units cost a discard.
-                    if let Ok(pkt) = tn_wire::pitch::Packet::new_checked(view.payload) {
-                        if !accept.contains(&pkt.unit()) {
-                            self.stats.packets_discarded += 1;
-                            self.svc.charge(ctx.now(), self.cfg.unit_discard_service);
-                            return;
-                        }
-                    }
-                }
-                let time_ns = ctx.now().as_ps() / 1_000;
-                let msgs_before = self.core.stats().messages_in;
-                match self.core.on_packet(view.payload, time_ns) {
-                    Ok(outputs) => {
-                        // Every native message costs core time whether or
-                        // not it survives normalization — the basis of the
-                        // §3 filtering analysis.
-                        let consumed = self.core.stats().messages_in - msgs_before;
-                        self.svc
-                            .charge(ctx.now(), self.cfg.per_message_service * consumed);
-                        self.stats.records_out += outputs.len() as u64;
-                        self.emit(ctx, &outputs, &frame);
-                    }
-                    Err(_) => self.stats.parse_errors += 1,
-                }
+                self.on_feed(ctx, &frame);
+                // Terminal consumer: normalized output rides fresh frames,
+                // so the native frame's buffer goes back to the arena.
+                ctx.recycle(frame);
             }
-            OUT => {} // nothing arrives on the output port
+            OUT => ctx.recycle(frame), // nothing arrives on the output port
             // Wiring invariant: ports are fixed at topology build time, so
             // failing fast beats silently eating frames.
             // audit:allow(hotpath-unwrap): port fan-in is fixed by connect() wiring at build time; a mismatch is a topology bug where stopping loudly beats simulating garbage
@@ -255,7 +276,8 @@ impl Node for Normalizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tn_sim::{IdealLink, Simulator};
+    use tn_fault::{FaultConnect, LinkSpec};
+    use tn_sim::Simulator;
     use tn_wire::pitch::{self, Side};
     use tn_wire::Symbol;
 
@@ -296,7 +318,7 @@ mod tests {
         let mut sim = Simulator::new(4);
         let n = sim.add_node("norm", Normalizer::new(cfg));
         let sink = sim.add_node("sink", Sink { frames: vec![] });
-        sim.connect(n, OUT, sink, PortId(0), IdealLink::new(SimTime::ZERO));
+        sim.connect_spec(n, OUT, sink, PortId(0), &LinkSpec::ideal(SimTime::ZERO));
         (sim, n, sink)
     }
 
@@ -305,7 +327,7 @@ mod tests {
         let cfg = NormalizerConfig::new(1, 0);
         let base = cfg.out_mcast_base;
         let (mut sim, n, sink) = rig(cfg);
-        let f = sim.new_frame(feed_frame(1, 3));
+        let f = sim.frame().copy_from(&feed_frame(1, 3)).build();
         sim.inject_frame(SimTime::from_us(1), n, FEED_A, f);
         sim.run();
         let frames = &sim.node::<Sink>(sink).unwrap().frames;
@@ -331,8 +353,8 @@ mod tests {
     fn b_side_duplicates_are_absorbed() {
         let (mut sim, n, sink) = rig(NormalizerConfig::new(1, 0));
         let bytes = feed_frame(1, 2);
-        let fa = sim.new_frame(bytes.clone());
-        let fb = sim.new_frame(bytes);
+        let fa = sim.frame().copy_from(&bytes).build();
+        let fb = sim.frame().copy_from(&bytes).build();
         sim.inject_frame(SimTime::from_us(1), n, FEED_A, fa);
         sim.inject_frame(SimTime::from_us(2), n, FEED_B, fb);
         sim.run();
@@ -348,8 +370,8 @@ mod tests {
         let (mut sim, n, sink) = rig(cfg);
         // Two packets arrive back to back; the second's output waits for
         // the first's service.
-        let f1 = sim.new_frame(feed_frame(1, 2));
-        let f2 = sim.new_frame(feed_frame(3, 2));
+        let f1 = sim.frame().copy_from(&feed_frame(1, 2)).build();
+        let f2 = sim.frame().copy_from(&feed_frame(3, 2)).build();
         sim.inject_frame(SimTime::ZERO, n, FEED_A, f1);
         sim.inject_frame(SimTime::ZERO, n, FEED_A, f2);
         sim.run();
@@ -362,7 +384,7 @@ mod tests {
     #[test]
     fn garbage_counts_parse_errors() {
         let (mut sim, n, _sink) = rig(NormalizerConfig::new(1, 0));
-        let f = sim.new_frame(vec![0xFF; 40]);
+        let f = sim.frame().fill(|b| b.resize(40, 0xFF)).build();
         sim.inject_frame(SimTime::ZERO, n, FEED_A, f);
         sim.run();
         assert_eq!(sim.node::<Normalizer>(n).unwrap().stats().parse_errors, 1);

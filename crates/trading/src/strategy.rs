@@ -291,6 +291,10 @@ pub struct Strategy<L: StrategyLogic> {
     stats: StrategyStats,
     /// Decision latencies: market event time → order emission, ps.
     pub decision_latency_ps: Vec<u64>,
+    /// Reusable BOE payload buffer.
+    payload_scratch: Vec<u8>,
+    /// Reusable per-packet intent batch.
+    intent_scratch: Vec<OrderIntent>,
 }
 
 impl<L: StrategyLogic> Strategy<L> {
@@ -305,6 +309,8 @@ impl<L: StrategyLogic> Strategy<L> {
             tx_seq: 1,
             stats: StrategyStats::default(),
             decision_latency_ps: Vec::new(),
+            payload_scratch: Vec::new(),
+            intent_scratch: Vec::new(),
         }
     }
 
@@ -319,24 +325,31 @@ impl<L: StrategyLogic> Strategy<L> {
     }
 
     fn send_boe(&mut self, ctx: &mut Context<'_>, msg: &boe::Message, meta: tn_sim::FrameMeta) {
-        // audit:allow(hotpath-alloc): per-order payload buffer; zero-copy emit is ROADMAP item 2
-        let mut payload = Vec::new();
-        msg.emit(self.tx_seq, &mut payload);
-        let seg = stack::build_tcp(
-            self.cfg.src_mac,
-            self.cfg.gw_mac,
-            self.cfg.src_ip,
-            self.cfg.gw_ip,
-            40_000 + self.cfg.session as u16,
-            gateway::INTERNAL_PORT,
-            self.tx_seq,
-            0,
-            tcp::Flags::ACK | tcp::Flags::PSH,
-            &payload,
-        );
-        self.tx_seq = self.tx_seq.wrapping_add(payload.len() as u32);
-        let mut frame = ctx.new_frame(seg);
-        frame.meta = meta;
+        self.payload_scratch.clear();
+        msg.emit(self.tx_seq, &mut self.payload_scratch);
+        let tx_seq = self.tx_seq;
+        self.tx_seq = self.tx_seq.wrapping_add(self.payload_scratch.len() as u32);
+        let cfg = &self.cfg;
+        let payload = &self.payload_scratch;
+        let frame = ctx
+            .frame()
+            .fill(|b| {
+                stack::emit_tcp_into(
+                    cfg.src_mac,
+                    cfg.gw_mac,
+                    cfg.src_ip,
+                    cfg.gw_ip,
+                    40_000 + cfg.session as u16,
+                    gateway::INTERNAL_PORT,
+                    tx_seq,
+                    0,
+                    tcp::Flags::ACK | tcp::Flags::PSH,
+                    payload,
+                    b,
+                )
+            })
+            .meta(meta)
+            .build();
         self.svc.send_after(ctx, SimTime::ZERO, ORDERS, frame);
     }
 
@@ -362,8 +375,7 @@ impl<L: StrategyLogic> Strategy<L> {
             self.svc.charge(ctx.now(), self.cfg.discard_service * n);
             return;
         }
-        // audit:allow(hotpath-alloc): per-update intent batch; batch reuse is ROADMAP item 2
-        let mut intents = Vec::new();
+        let mut intents = std::mem::take(&mut self.intent_scratch);
         let mut n = 0u64;
         for rec in pkt.records() {
             let Ok(rec) = rec else { break };
@@ -374,7 +386,7 @@ impl<L: StrategyLogic> Strategy<L> {
         }
         self.stats.records_evaluated += n;
         self.svc.charge(ctx.now(), self.cfg.decision_service * n);
-        for intent in intents {
+        for intent in intents.drain(..) {
             let Some(&symbol) = self.cfg.symbols.get(intent.symbol_id as usize) else {
                 continue;
             };
@@ -394,6 +406,7 @@ impl<L: StrategyLogic> Strategy<L> {
             }
             self.send_boe(ctx, &msg, frame.meta.clone());
         }
+        self.intent_scratch = intents;
     }
 
     fn on_reply(&mut self, frame: &Frame) {
@@ -427,6 +440,9 @@ impl<L: StrategyLogic + 'static> Node for Strategy<L> {
             // audit:allow(hotpath-unwrap): port fan-in is fixed by connect() wiring at build time; a mismatch is a topology bug where stopping loudly beats simulating garbage
             other => panic!("strategy has 2 ports, got {other:?}"),
         }
+        // Terminal consumer: feed records and replies are fully decoded
+        // above, so the buffer goes back to the arena.
+        ctx.recycle(frame);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
@@ -446,15 +462,21 @@ impl<L: StrategyLogic + 'static> Node for Strategy<L> {
                 // audit:allow(hotpath-alloc): capacity-0 Vec never touches the heap
                 Vec::new()
             };
+            let (src_mac, src_ip) = (self.cfg.src_mac, self.cfg.src_ip);
             for g in groups {
                 let group = ipv4::Addr::multicast_group(g);
-                let join = tn_switch::commodity::igmp_frame(
-                    tn_wire::igmp::MessageType::Report,
-                    self.cfg.src_mac,
-                    self.cfg.src_ip,
-                    group,
-                );
-                let frame = ctx.new_frame(join);
+                let frame = ctx
+                    .frame()
+                    .fill(|b| {
+                        tn_switch::commodity::igmp_frame_into(
+                            tn_wire::igmp::MessageType::Report,
+                            src_mac,
+                            src_ip,
+                            group,
+                            b,
+                        )
+                    })
+                    .build();
                 ctx.send(FEED, frame);
             }
             let session = self.cfg.session;

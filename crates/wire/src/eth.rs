@@ -169,15 +169,28 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
     }
 }
 
-/// Allocate and fill a complete frame around `payload`.
-pub fn build(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: &[u8]) -> Vec<u8> {
-    // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
-    let mut buf = vec![0u8; HEADER_LEN + payload.len()];
-    let mut f = Frame::new_unchecked(&mut buf[..]);
+/// Append a complete frame around `payload` to `out`, reusing whatever
+/// capacity `out` already has. The writer-style counterpart of [`build`].
+pub fn emit_into(
+    dst: MacAddr,
+    src: MacAddr,
+    ethertype: EtherType,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let start = out.len();
+    out.resize(start + HEADER_LEN, 0);
+    let mut f = Frame::new_unchecked(&mut out[start..]);
     f.set_dst(dst);
     f.set_src(src);
     f.set_ethertype(ethertype);
-    f.payload_mut().copy_from_slice(payload);
+    out.extend_from_slice(payload);
+}
+
+/// Allocate and fill a complete frame around `payload`.
+pub fn build(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    emit_into(dst, src, ethertype, payload, &mut buf);
     buf
 }
 

@@ -51,15 +51,28 @@ pub struct Message {
 }
 
 impl Message {
-    /// Encode to an 8-byte buffer.
-    pub fn emit(&self) -> Vec<u8> {
-        // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
-        let mut buf = vec![0u8; MESSAGE_LEN];
+    /// Append the 8-byte encoding to `out`, reusing whatever capacity
+    /// `out` already has. Writer-style counterpart of [`Message::emit`].
+    pub fn emit_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + MESSAGE_LEN, 0);
+        self.write(&mut out[start..]);
+    }
+
+    fn write(&self, buf: &mut [u8]) {
         buf[0] = self.kind.to_wire();
         buf[1] = 0; // max response time (unused in the simulator)
+        buf[2] = 0;
+        buf[3] = 0;
         buf[4..8].copy_from_slice(&self.group.0);
-        let ck = internet_checksum(0, &buf);
-        set_u16_be(&mut buf, 2, ck);
+        let ck = internet_checksum(0, buf);
+        set_u16_be(buf, 2, ck);
+    }
+
+    /// Encode to the fixed 8-byte wire form (no heap).
+    pub fn emit(&self) -> [u8; MESSAGE_LEN] {
+        let mut buf = [0u8; MESSAGE_LEN];
+        self.write(&mut buf);
         buf
     }
 

@@ -206,20 +206,38 @@ pub fn pseudo_header_sum(src: Addr, dst: Addr, protocol: u8, l4_len: u16) -> u32
     sum
 }
 
-/// Allocate and fill a complete IPv4 packet around `payload`.
-pub fn build(src: Addr, dst: Addr, protocol: u8, payload: &[u8]) -> Vec<u8> {
+/// Append a complete IPv4 packet around `payload` to `out`, reusing
+/// whatever capacity `out` already has. Writer-style counterpart of
+/// [`build`].
+pub fn emit_into(src: Addr, dst: Addr, protocol: u8, payload: &[u8], out: &mut Vec<u8>) {
     let total = HEADER_LEN + payload.len();
     debug_assert!(total <= u16::MAX as usize);
-    // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
-    let mut buf = vec![0u8; total];
-    let mut p = Packet::new_unchecked(&mut buf[..]);
+    let start = out.len();
+    out.resize(start + HEADER_LEN, 0);
+    out.extend_from_slice(payload);
+    finish_header(&mut out[start..], src, dst, protocol);
+}
+
+/// Fill the 20-byte header at the front of `packet` (header + payload
+/// already laid out contiguously) and compute the header checksum. The
+/// in-place finisher used by [`emit_into`] and the single-pass stack
+/// emitters.
+pub fn finish_header(packet: &mut [u8], src: Addr, dst: Addr, protocol: u8) {
+    let total = packet.len();
+    debug_assert!(total <= u16::MAX as usize);
+    let mut p = Packet::new_unchecked(packet);
     p.init();
     p.set_total_len(total as u16);
     p.set_protocol(protocol);
     p.set_src(src);
     p.set_dst(dst);
-    p.payload_mut().copy_from_slice(payload);
     p.fill_checksum();
+}
+
+/// Allocate and fill a complete IPv4 packet around `payload`.
+pub fn build(src: Addr, dst: Addr, protocol: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    emit_into(src, dst, protocol, payload, &mut buf);
     buf
 }
 

@@ -68,16 +68,24 @@ impl<T: AsRef<[u8]>> Frame<T> {
     }
 }
 
-/// Allocate and fill a frame.
-pub fn build(stream: u16, seq: u32, payload: &[u8]) -> Vec<u8> {
+/// Append a complete frame to `out`, reusing whatever capacity `out`
+/// already has. Writer-style counterpart of [`build`].
+pub fn emit_into(stream: u16, seq: u32, payload: &[u8], out: &mut Vec<u8>) {
     let total = HEADER_LEN + payload.len();
     debug_assert!(total <= u16::MAX as usize);
-    // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
-    let mut buf = vec![0u8; total];
-    set_u16_le(&mut buf, 0, total as u16);
-    set_u16_le(&mut buf, 2, stream);
-    set_u32_le(&mut buf, 4, seq);
-    buf[HEADER_LEN..].copy_from_slice(payload);
+    let start = out.len();
+    out.resize(start + HEADER_LEN, 0);
+    out.extend_from_slice(payload);
+    let buf = &mut out[start..];
+    set_u16_le(buf, 0, total as u16);
+    set_u16_le(buf, 2, stream);
+    set_u32_le(buf, 4, seq);
+}
+
+/// Allocate and fill a frame.
+pub fn build(stream: u16, seq: u32, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    emit_into(stream, seq, payload, &mut buf);
     buf
 }
 

@@ -215,7 +215,9 @@ impl PacketBuilder {
     /// *before* this record (which then starts the next packet).
     pub fn push(&mut self, rec: &Record) -> Option<Vec<u8>> {
         let flushed = if self.count == self.max_records {
-            Some(self.seal())
+            let mut packet = Vec::with_capacity(self.buf.len());
+            self.seal_into(&mut packet);
+            Some(packet)
         } else {
             None
         };
@@ -224,25 +226,54 @@ impl PacketBuilder {
         flushed
     }
 
+    /// Writer-style [`PacketBuilder::push`]: when the buffer was full, the
+    /// sealed packet is appended to `out` and `true` is returned. The
+    /// builder's working buffer is length-reset in place, so steady-state
+    /// packing never allocates.
+    pub fn push_into(&mut self, rec: &Record, out: &mut Vec<u8>) -> bool {
+        let sealed = self.count == self.max_records;
+        if sealed {
+            self.seal_into(out);
+        }
+        rec.emit(&mut self.buf);
+        self.count += 1;
+        sealed
+    }
+
     /// Seal and return the pending packet, if any.
     pub fn flush(&mut self) -> Option<Vec<u8>> {
         if self.count == 0 {
             None
         } else {
-            Some(self.seal())
+            let mut packet = Vec::with_capacity(self.buf.len());
+            self.seal_into(&mut packet);
+            Some(packet)
         }
     }
 
-    fn seal(&mut self) -> Vec<u8> {
-        let mut packet = std::mem::replace(&mut self.buf, vec![0; PACKET_HEADER_LEN]);
+    /// Writer-style [`PacketBuilder::flush`]: appends the sealed packet to
+    /// `out` (if any records are pending) and returns whether it did.
+    pub fn flush_into(&mut self, out: &mut Vec<u8>) -> bool {
+        if self.count == 0 {
+            false
+        } else {
+            self.seal_into(out);
+            true
+        }
+    }
+
+    /// Fill the packet header in place, append the finished packet to
+    /// `out`, and length-reset the working buffer (capacity kept).
+    fn seal_into(&mut self, out: &mut Vec<u8>) {
         let count = self.count;
         self.count = 0;
-        packet[0] = count;
-        packet[1] = 0;
-        set_u16_le(&mut packet, 2, self.partition);
-        set_u32_le(&mut packet, 4, self.next_seq);
+        self.buf[0] = count;
+        self.buf[1] = 0;
+        set_u16_le(&mut self.buf, 2, self.partition);
+        set_u32_le(&mut self.buf, 4, self.next_seq);
         self.next_seq = self.next_seq.wrapping_add(u32::from(count));
-        packet
+        out.extend_from_slice(&self.buf);
+        self.buf.truncate(PACKET_HEADER_LEN);
     }
 }
 

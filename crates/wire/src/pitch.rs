@@ -623,15 +623,27 @@ pub const GAP_REQUEST_LEN: usize = 9;
 const GAP_MAGIC: u8 = 0x47;
 
 impl GapRequest {
-    /// Encode to wire bytes.
-    pub fn emit(&self) -> Vec<u8> {
-        // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
-        let mut b = vec![0u8; GAP_REQUEST_LEN];
+    /// Append the 9-byte encoding to `out`, reusing whatever capacity
+    /// `out` already has. Writer-style counterpart of
+    /// [`GapRequest::emit`].
+    pub fn emit_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + GAP_REQUEST_LEN, 0);
+        self.write(&mut out[start..]);
+    }
+
+    fn write(&self, b: &mut [u8]) {
         b[0] = GAP_MAGIC;
         b[1] = self.unit;
-        set_u32_le(&mut b, 2, self.seq);
-        set_u16_le(&mut b, 6, self.count);
+        set_u32_le(b, 2, self.seq);
+        set_u16_le(b, 6, self.count);
         b[8] = b[..8].iter().fold(0, |a, &x| a ^ x);
+    }
+
+    /// Encode to the fixed 9-byte wire form (no heap).
+    pub fn emit(&self) -> [u8; GAP_REQUEST_LEN] {
+        let mut b = [0u8; GAP_REQUEST_LEN];
+        self.write(&mut b);
         b
     }
 
@@ -699,7 +711,9 @@ impl PacketBuilder {
     pub fn push(&mut self, msg: &Message) -> Option<Vec<u8>> {
         let len = msg.wire_len();
         let flushed = if self.buf.len() + len > self.max_payload || self.count == u8::MAX {
-            Some(self.seal())
+            let mut packet = Vec::with_capacity(self.max_payload);
+            self.seal_into(&mut packet);
+            Some(packet)
         } else {
             None
         };
@@ -708,30 +722,58 @@ impl PacketBuilder {
         flushed
     }
 
+    /// Writer-style [`PacketBuilder::push`]: when the message does not fit
+    /// (or the packet reached 255 messages), the completed packet is
+    /// appended to `out` and `true` is returned. The builder's working
+    /// buffer is length-reset in place, so steady-state packing never
+    /// allocates.
+    pub fn push_into(&mut self, msg: &Message, out: &mut Vec<u8>) -> bool {
+        let len = msg.wire_len();
+        let sealed = self.buf.len() + len > self.max_payload || self.count == u8::MAX;
+        if sealed {
+            self.seal_into(out);
+        }
+        msg.emit(&mut self.buf);
+        self.count += 1;
+        sealed
+    }
+
     /// Seal and return the current packet, if it holds any messages.
     pub fn flush(&mut self) -> Option<Vec<u8>> {
         if self.count == 0 {
             None
         } else {
-            Some(self.seal())
+            let mut packet = Vec::with_capacity(self.max_payload);
+            self.seal_into(&mut packet);
+            Some(packet)
         }
     }
 
-    fn seal(&mut self) -> Vec<u8> {
-        let mut packet = std::mem::replace(&mut self.buf, {
-            let mut v = Vec::with_capacity(self.max_payload);
-            v.resize(UNIT_HEADER_LEN, 0);
-            v
-        });
+    /// Writer-style [`PacketBuilder::flush`]: appends the sealed packet to
+    /// `out` (if any messages are pending) and returns whether it did.
+    pub fn flush_into(&mut self, out: &mut Vec<u8>) -> bool {
+        if self.count == 0 {
+            false
+        } else {
+            self.seal_into(out);
+            true
+        }
+    }
+
+    /// Fill the unit header in place, append the finished packet to `out`,
+    /// and length-reset the working buffer (capacity kept — the next
+    /// packet packs into the same allocation).
+    fn seal_into(&mut self, out: &mut Vec<u8>) {
         let count = self.count;
         self.count = 0;
-        let packet_len = packet.len() as u16;
-        set_u16_le(&mut packet, 0, packet_len);
-        packet[2] = count;
-        packet[3] = self.unit;
-        set_u32_le(&mut packet, 4, self.next_seq);
+        let packet_len = self.buf.len() as u16;
+        set_u16_le(&mut self.buf, 0, packet_len);
+        self.buf[2] = count;
+        self.buf[3] = self.unit;
+        set_u32_le(&mut self.buf, 4, self.next_seq);
         self.next_seq = self.next_seq.wrapping_add(u32::from(count));
-        packet
+        out.extend_from_slice(&self.buf);
+        self.buf.truncate(UNIT_HEADER_LEN);
     }
 }
 
@@ -974,10 +1016,10 @@ mod tests {
         let buf = g.emit();
         assert_eq!(buf.len(), GAP_REQUEST_LEN);
         assert_eq!(GapRequest::parse(&buf).unwrap(), g);
-        let mut bad = buf.clone();
+        let mut bad = buf;
         bad[3] ^= 0xFF;
         assert_eq!(GapRequest::parse(&bad).unwrap_err(), WireError::BadChecksum);
-        let mut bad = buf.clone();
+        let mut bad = buf;
         bad[0] = 0;
         assert_eq!(GapRequest::parse(&bad).unwrap_err(), WireError::BadField);
         assert_eq!(

@@ -15,6 +15,79 @@ pub const UDP_OVERHEAD: usize = eth::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER
 /// Ethernet + IPv4 + TCP header bytes on every order-entry segment.
 pub const TCP_OVERHEAD: usize = eth::HEADER_LEN + ipv4::HEADER_LEN + tcp::HEADER_LEN;
 
+/// Append `UDP_OVERHEAD` zero bytes of Eth+IPv4+UDP header space to
+/// `out`, returning the frame's start offset. Write the application
+/// payload after it, then call [`finish_udp`] on `&mut out[start..]` to
+/// fill the headers in place — a single-pass, single-buffer emission with
+/// no intermediate per-layer copies.
+pub fn reserve_udp(out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    out.resize(start + UDP_OVERHEAD, 0);
+    start
+}
+
+/// Fill the Eth+IPv4+UDP headers of `frame` in place. `frame` must be a
+/// complete frame-to-be: `UDP_OVERHEAD` reserved header bytes followed by
+/// the application payload (see [`reserve_udp`]). Multicast destinations
+/// get the RFC 1112 MAC mapping automatically when `dst_mac` is `None`.
+pub fn finish_udp(
+    frame: &mut [u8],
+    src_mac: MacAddr,
+    dst_mac: Option<MacAddr>,
+    src_ip: ipv4::Addr,
+    dst_ip: ipv4::Addr,
+    src_port: u16,
+    dst_port: u16,
+) {
+    debug_assert!(frame.len() >= UDP_OVERHEAD);
+    let dst_mac = dst_mac.unwrap_or_else(|| {
+        if dst_ip.is_multicast() {
+            MacAddr::ipv4_multicast(dst_ip)
+        } else {
+            MacAddr::BROADCAST
+        }
+    });
+    let mut f = eth::Frame::new_unchecked(&mut frame[..]);
+    f.set_dst(dst_mac);
+    f.set_src(src_mac);
+    f.set_ethertype(EtherType::Ipv4);
+    let l4_start = eth::HEADER_LEN + ipv4::HEADER_LEN;
+    udp::finish_header(&mut frame[l4_start..], src_ip, dst_ip, src_port, dst_port);
+    ipv4::finish_header(
+        &mut frame[eth::HEADER_LEN..],
+        src_ip,
+        dst_ip,
+        ipv4::PROTO_UDP,
+    );
+}
+
+/// Append a complete Ethernet/IPv4/UDP frame to `out` in a single pass
+/// (one buffer, no per-layer copies). Writer-style counterpart of
+/// [`build_udp`].
+#[allow(clippy::too_many_arguments)]
+pub fn emit_udp_into(
+    src_mac: MacAddr,
+    dst_mac: Option<MacAddr>,
+    src_ip: ipv4::Addr,
+    dst_ip: ipv4::Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let start = reserve_udp(out);
+    out.extend_from_slice(payload);
+    finish_udp(
+        &mut out[start..],
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+    );
+}
+
 /// Build a complete Ethernet/IPv4/UDP frame. Multicast destinations get
 /// the RFC 1112 MAC mapping automatically.
 pub fn build_udp(
@@ -26,16 +99,93 @@ pub fn build_udp(
     dst_port: u16,
     payload: &[u8],
 ) -> Vec<u8> {
-    let datagram = udp::build(src_ip, dst_ip, src_port, dst_port, payload);
-    let packet = ipv4::build(src_ip, dst_ip, ipv4::PROTO_UDP, &datagram);
-    let dst_mac = dst_mac.unwrap_or_else(|| {
-        if dst_ip.is_multicast() {
-            MacAddr::ipv4_multicast(dst_ip)
-        } else {
-            MacAddr::BROADCAST
-        }
-    });
-    eth::build(dst_mac, src_mac, EtherType::Ipv4, &packet)
+    let mut buf = Vec::with_capacity(UDP_OVERHEAD + payload.len());
+    emit_udp_into(
+        src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, payload, &mut buf,
+    );
+    buf
+}
+
+/// Append `TCP_OVERHEAD` zero bytes of Eth+IPv4+TCP header space to
+/// `out`, returning the frame's start offset; the TCP sibling of
+/// [`reserve_udp`].
+pub fn reserve_tcp(out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    out.resize(start + TCP_OVERHEAD, 0);
+    start
+}
+
+/// Fill the Eth+IPv4+TCP headers of `frame` in place. `frame` must be
+/// `TCP_OVERHEAD` reserved header bytes followed by the stream payload
+/// (see [`reserve_tcp`]).
+#[allow(clippy::too_many_arguments)]
+pub fn finish_tcp(
+    frame: &mut [u8],
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: ipv4::Addr,
+    dst_ip: ipv4::Addr,
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+    ack: u32,
+    flags: tcp::Flags,
+) {
+    debug_assert!(frame.len() >= TCP_OVERHEAD);
+    let mut f = eth::Frame::new_unchecked(&mut frame[..]);
+    f.set_dst(dst_mac);
+    f.set_src(src_mac);
+    f.set_ethertype(EtherType::Ipv4);
+    let l4_start = eth::HEADER_LEN + ipv4::HEADER_LEN;
+    tcp::finish_header(
+        &mut frame[l4_start..],
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+        seq,
+        ack,
+        flags,
+    );
+    ipv4::finish_header(
+        &mut frame[eth::HEADER_LEN..],
+        src_ip,
+        dst_ip,
+        ipv4::PROTO_TCP,
+    );
+}
+
+/// Append a complete Ethernet/IPv4/TCP frame to `out` in a single pass
+/// (one buffer, no per-layer copies). Writer-style counterpart of
+/// [`build_tcp`].
+#[allow(clippy::too_many_arguments)]
+pub fn emit_tcp_into(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: ipv4::Addr,
+    dst_ip: ipv4::Addr,
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+    ack: u32,
+    flags: tcp::Flags,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let start = reserve_tcp(out);
+    out.extend_from_slice(payload);
+    finish_tcp(
+        &mut out[start..],
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+        seq,
+        ack,
+        flags,
+    );
 }
 
 /// Build a complete Ethernet/IPv4/TCP frame.
@@ -52,9 +202,11 @@ pub fn build_tcp(
     flags: tcp::Flags,
     payload: &[u8],
 ) -> Vec<u8> {
-    let segment = tcp::build(src_ip, dst_ip, src_port, dst_port, seq, ack, flags, payload);
-    let packet = ipv4::build(src_ip, dst_ip, ipv4::PROTO_TCP, &segment);
-    eth::build(dst_mac, src_mac, EtherType::Ipv4, &packet)
+    let mut buf = Vec::with_capacity(TCP_OVERHEAD + payload.len());
+    emit_tcp_into(
+        src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, seq, ack, flags, payload, &mut buf,
+    );
+    buf
 }
 
 /// A parsed view of a UDP frame: addressing plus payload bounds.

@@ -168,6 +168,60 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Segment<T> {
     }
 }
 
+/// Append a complete segment around `payload` to `out`, reusing whatever
+/// capacity `out` already has. Writer-style counterpart of [`build`].
+#[allow(clippy::too_many_arguments)]
+pub fn emit_into(
+    src: ipv4::Addr,
+    dst: ipv4::Addr,
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+    ack: u32,
+    flags: Flags,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let start = out.len();
+    out.resize(start + HEADER_LEN, 0);
+    out.extend_from_slice(payload);
+    finish_header(
+        &mut out[start..],
+        src,
+        dst,
+        src_port,
+        dst_port,
+        seq,
+        ack,
+        flags,
+    );
+}
+
+/// Fill the 20-byte header at the front of `segment` (header + payload
+/// already laid out contiguously) and compute the checksum. The in-place
+/// finisher used by [`emit_into`] and the single-pass stack emitters.
+#[allow(clippy::too_many_arguments)]
+pub fn finish_header(
+    segment: &mut [u8],
+    src: ipv4::Addr,
+    dst: ipv4::Addr,
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+    ack: u32,
+    flags: Flags,
+) {
+    let mut s = Segment::new_unchecked(segment);
+    s.init();
+    s.set_src_port(src_port);
+    s.set_dst_port(dst_port);
+    s.set_seq(seq);
+    s.set_ack(ack);
+    s.set_flags(flags);
+    s.set_window(0xffff);
+    s.fill_checksum(src, dst);
+}
+
 /// Allocate and fill a complete segment.
 #[allow(clippy::too_many_arguments)]
 pub fn build(
@@ -180,18 +234,10 @@ pub fn build(
     flags: Flags,
     payload: &[u8],
 ) -> Vec<u8> {
-    // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
-    let mut buf = vec![0u8; HEADER_LEN + payload.len()];
-    let mut s = Segment::new_unchecked(&mut buf[..]);
-    s.init();
-    s.set_src_port(src_port);
-    s.set_dst_port(dst_port);
-    s.set_seq(seq);
-    s.set_ack(ack);
-    s.set_flags(flags);
-    s.set_window(0xffff);
-    s.payload_mut().copy_from_slice(payload);
-    s.fill_checksum(src, dst);
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    emit_into(
+        src, dst, src_port, dst_port, seq, ack, flags, payload, &mut buf,
+    );
     buf
 }
 

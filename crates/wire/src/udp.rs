@@ -105,6 +105,42 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Datagram<T> {
     }
 }
 
+/// Append a UDP datagram (with checksum) around `payload` to `out`,
+/// reusing whatever capacity `out` already has. Writer-style counterpart
+/// of [`build`].
+pub fn emit_into(
+    src: ipv4::Addr,
+    dst: ipv4::Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let start = out.len();
+    out.resize(start + HEADER_LEN, 0);
+    out.extend_from_slice(payload);
+    finish_header(&mut out[start..], src, dst, src_port, dst_port);
+}
+
+/// Fill the 8-byte header at the front of `datagram` (header + payload
+/// already laid out contiguously) and compute the checksum. The in-place
+/// finisher used by [`emit_into`] and the single-pass stack emitters.
+pub fn finish_header(
+    datagram: &mut [u8],
+    src: ipv4::Addr,
+    dst: ipv4::Addr,
+    src_port: u16,
+    dst_port: u16,
+) {
+    let total = datagram.len();
+    debug_assert!(total <= u16::MAX as usize);
+    let mut d = Datagram::new_unchecked(datagram);
+    d.set_src_port(src_port);
+    d.set_dst_port(dst_port);
+    d.set_len_field(total as u16);
+    d.fill_checksum(src, dst);
+}
+
 /// Allocate and fill a UDP datagram (with checksum) around `payload`.
 pub fn build(
     src: ipv4::Addr,
@@ -113,16 +149,8 @@ pub fn build(
     dst_port: u16,
     payload: &[u8],
 ) -> Vec<u8> {
-    let total = HEADER_LEN + payload.len();
-    debug_assert!(total <= u16::MAX as usize);
-    // audit:allow(hotpath-alloc): builder returns an owned frame; arena-backed zero-copy emit is ROADMAP item 2
-    let mut buf = vec![0u8; total];
-    let mut d = Datagram::new_unchecked(&mut buf[..]);
-    d.set_src_port(src_port);
-    d.set_dst_port(dst_port);
-    d.set_len_field(total as u16);
-    d.payload_mut().copy_from_slice(payload);
-    d.fill_checksum(src, dst);
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    emit_into(src, dst, src_port, dst_port, payload, &mut buf);
     buf
 }
 

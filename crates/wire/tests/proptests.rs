@@ -2,9 +2,28 @@
 //! values, and parsers must never panic on arbitrary bytes.
 
 use proptest::prelude::*;
+use proptest::TestCaseError;
 
 use tn_wire::pitch::{self, Side};
-use tn_wire::{boe, ipv4, l1t, norm, stack, tcp, udp, Symbol};
+use tn_wire::{boe, eth, igmp, ipv4, l1t, norm, stack, tcp, udp, Symbol};
+
+/// Assert a writer-style emitter appends exactly `built` to `out` while
+/// leaving whatever `out` already held untouched.
+fn assert_appends(
+    prefix: &[u8],
+    built: &[u8],
+    emit: impl FnOnce(&mut Vec<u8>),
+) -> Result<(), TestCaseError> {
+    let mut out = prefix.to_vec();
+    emit(&mut out);
+    prop_assert_eq!(&out[..prefix.len()], prefix, "prefix clobbered");
+    prop_assert_eq!(
+        &out[prefix.len()..],
+        built,
+        "appended bytes diverge from build()"
+    );
+    Ok(())
+}
 
 fn arb_symbol() -> impl Strategy<Value = Symbol> {
     proptest::string::string_regex("[A-Z]{1,6}")
@@ -313,5 +332,139 @@ proptest! {
     fn stack_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
         let _ = stack::parse_udp(&bytes);
         let _ = stack::parse_tcp(&bytes);
+    }
+
+    /// Every writer-style emitter appends the exact bytes its allocating
+    /// counterpart returns — byte-for-byte, at any starting offset.
+    #[test]
+    fn emit_into_matches_build_at_every_layer(
+        prefix in proptest::collection::vec(any::<u8>(), 0..32),
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+        src in any::<u32>(), group in 0u32..1_000_000,
+        src_port in any::<u16>(), dst_port in any::<u16>(),
+        seq in any::<u32>(), ack in any::<u32>(),
+        stream in any::<u16>(), unit in any::<u8>(), count in any::<u16>(),
+    ) {
+        let src_ip = ipv4::Addr::host(src);
+        let mc_ip = ipv4::Addr::multicast_group(group);
+        let dst_ip = ipv4::Addr::host(src.wrapping_add(1));
+        let src_mac = eth::MacAddr::host(src);
+        let dst_mac = eth::MacAddr::host(src.wrapping_add(1));
+
+        assert_appends(
+            &prefix,
+            &eth::build(dst_mac, src_mac, eth::EtherType::Ipv4, &payload),
+            |o| eth::emit_into(dst_mac, src_mac, eth::EtherType::Ipv4, &payload, o),
+        )?;
+        assert_appends(
+            &prefix,
+            &ipv4::build(src_ip, mc_ip, ipv4::PROTO_UDP, &payload),
+            |o| ipv4::emit_into(src_ip, mc_ip, ipv4::PROTO_UDP, &payload, o),
+        )?;
+        assert_appends(
+            &prefix,
+            &udp::build(src_ip, mc_ip, src_port, dst_port, &payload),
+            |o| udp::emit_into(src_ip, mc_ip, src_port, dst_port, &payload, o),
+        )?;
+        assert_appends(
+            &prefix,
+            &tcp::build(src_ip, dst_ip, src_port, dst_port, seq, ack, tcp::Flags::ACK, &payload),
+            |o| tcp::emit_into(
+                src_ip, dst_ip, src_port, dst_port, seq, ack, tcp::Flags::ACK, &payload, o,
+            ),
+        )?;
+        assert_appends(&prefix, &l1t::build(stream, seq, &payload), |o| {
+            l1t::emit_into(stream, seq, &payload, o)
+        })?;
+        assert_appends(
+            &prefix,
+            &stack::build_udp(src_mac, None, src_ip, mc_ip, src_port, dst_port, &payload),
+            |o| stack::emit_udp_into(src_mac, None, src_ip, mc_ip, src_port, dst_port, &payload, o),
+        )?;
+        assert_appends(
+            &prefix,
+            &stack::build_tcp(
+                src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, seq, ack,
+                tcp::Flags::ACK, &payload,
+            ),
+            |o| stack::emit_tcp_into(
+                src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, seq, ack,
+                tcp::Flags::ACK, &payload, o,
+            ),
+        )?;
+        let join = igmp::Message { kind: igmp::MessageType::Report, group: mc_ip };
+        assert_appends(&prefix, &join.emit(), |o| join.emit_into(o))?;
+        let gap = pitch::GapRequest { unit, seq, count };
+        assert_appends(&prefix, &gap.emit(), |o| gap.emit_into(o))?;
+    }
+
+    /// The writer-style PITCH packer produces the identical packet stream
+    /// the allocating packer does, sealed packet for sealed packet.
+    #[test]
+    fn pitch_push_into_streams_identical_bytes(
+        msgs in proptest::collection::vec(arb_pitch_message(), 1..60),
+        unit in any::<u8>(), first_seq in any::<u32>(),
+    ) {
+        let mut alloc = pitch::PacketBuilder::new(unit, first_seq, 200);
+        let mut expect = Vec::new();
+        for m in &msgs {
+            if let Some(p) = alloc.push(m) {
+                expect.extend_from_slice(&p);
+            }
+        }
+        if let Some(p) = alloc.flush() {
+            expect.extend_from_slice(&p);
+        }
+        let mut writer = pitch::PacketBuilder::new(unit, first_seq, 200);
+        let mut got = Vec::new();
+        for m in &msgs {
+            writer.push_into(m, &mut got);
+        }
+        writer.flush_into(&mut got);
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(writer.next_seq(), alloc.next_seq());
+    }
+
+    /// Same equivalence for the normalized-feed packer.
+    #[test]
+    fn norm_push_into_streams_identical_bytes(
+        recs in proptest::collection::vec(
+            (any::<u8>(), any::<u32>(), any::<i64>(), any::<u32>(), any::<u64>()),
+            1..60,
+        ),
+        partition in any::<u16>(), first_seq in any::<u32>(),
+    ) {
+        let recs: Vec<norm::Record> = recs
+            .iter()
+            .map(|&(side, symbol_id, price, size, src_time_ns)| norm::Record {
+                kind: norm::Kind::Bbo,
+                exchange: 1,
+                side,
+                flags: 0,
+                symbol_id,
+                price,
+                size,
+                aux: 0,
+                src_time_ns,
+            })
+            .collect();
+        let mut alloc = norm::PacketBuilder::new(partition, first_seq, 128);
+        let mut expect = Vec::new();
+        for r in &recs {
+            if let Some(p) = alloc.push(r) {
+                expect.extend_from_slice(&p);
+            }
+        }
+        if let Some(p) = alloc.flush() {
+            expect.extend_from_slice(&p);
+        }
+        let mut writer = norm::PacketBuilder::new(partition, first_seq, 128);
+        let mut got = Vec::new();
+        for r in &recs {
+            writer.push_into(r, &mut got);
+        }
+        writer.flush_into(&mut got);
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(writer.next_seq(), alloc.next_seq());
     }
 }

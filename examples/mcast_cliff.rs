@@ -59,7 +59,7 @@ fn main() {
             ipv4::Addr::host(2),
             ipv4::Addr::multicast_group(g),
         );
-        let f = sim.new_frame(join);
+        let f = sim.frame().copy_from(&join).build();
         sim.inject_frame(SimTime::ZERO, sw, PortId(1), f);
     }
     sim.run();
@@ -84,7 +84,7 @@ fn main() {
             30_001,
             &[0u8; 100],
         );
-        let f = sim.new_frame(frame);
+        let f = sim.frame().copy_from(&frame).build();
         sim.inject_frame(t0, sw, PortId(0), f);
     }
     sim.run();

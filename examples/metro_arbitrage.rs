@@ -73,13 +73,22 @@ fn run(kind: CircuitKind) -> Outcome {
     );
     // The metro circuit stays positional: `MetroRegion::circuit` hands
     // back a fully profiled link (rate, physics-derived delay, microwave
-    // fade) that a hand-built spec would only restate.
-    sim.connect(
+    // fade) that a hand-built spec would only restate, so the already-
+    // built model goes in directly, one instance per direction.
+    let circuit = metro.circuit(1, 0, kind);
+    sim.install_link(
         exch_remote,
         PortId(0),
         norm_remote,
         normalizer::FEED_A,
-        metro.circuit(1, 0, kind),
+        Box::new(circuit.clone()),
+    );
+    sim.install_link(
+        norm_remote,
+        normalizer::FEED_A,
+        exch_remote,
+        PortId(0),
+        Box::new(circuit),
     );
 
     // Merge both normalized feeds onto the strategy's NIC with an L1 mux.

@@ -40,11 +40,46 @@ rm -f "$trace_out"
 # 64-case sweep runs with the workspace tests above).
 echo "==> scheduler_equivalence (reduced proptest sweep)"
 PROPTEST_CASES=8 cargo test -q --offline --test scheduler_equivalence
-# BENCH smoke: both schedulers on the small scales, digests asserted
-# equal inside the harness, and the artifact parses as tn-bench/v1.
+# BENCH smoke + regression gate: all three schedulers on the small
+# scales, digests asserted equal inside the harness, and the artifact
+# parses as tn-bench/v1. The committed full-run summary is captured
+# BEFORE the smoke run overwrites the artifact; the gate then requires
+# (a) the smoke geomean within tolerance of the committed one — smoke is
+# one rep at the smallest scales, so the bar catches a scheduler
+# collapsing, not single-digit drift — and (b) the scheduler-bound
+# timer-churn row still beating the reference heap. The committed
+# artifact is restored afterwards so CI leaves the tree clean.
+committed_bench=target/ci-bench-committed.json
+cp BENCH_kernel.json "$committed_bench"
+committed_geo=$(sed -n 's/.*"geomean_speedup":\([0-9.]*\).*/\1/p' "$committed_bench")
 run cargo run --release --offline -q -p tn-bench --bin bench_kernel -- --smoke
 head -1 BENCH_kernel.json | grep -q '"schema":"tn-bench/v1"'
 echo "==> BENCH_kernel.json: tn-bench/v1 ok"
+smoke_geo=$(sed -n 's/.*"geomean_speedup":\([0-9.]*\).*/\1/p' BENCH_kernel.json)
+churn_wheel=$(grep -o '"speedup_wheel":[0-9.]*' BENCH_kernel.json | tail -1 | cut -d: -f2)
+mv "$committed_bench" BENCH_kernel.json
+awk -v s="$smoke_geo" -v c="$committed_geo" -v w="$churn_wheel" 'BEGIN {
+    if (s + 0 < c - 0.25) {
+        printf "bench gate FAIL: smoke geomean %.4f below committed %.4f - 0.25\n", s, c
+        exit 1
+    }
+    if (w + 0 < 1.0) {
+        printf "bench gate FAIL: timer-churn wheel speedup %.4f < 1.0\n", w
+        exit 1
+    }
+    printf "==> bench gate: smoke geomean %.4f (committed %.4f), churn wheel %.2fx\n", s, c, w
+}'
+# Suppression-creep gate for the zero-alloc hot path: the retired
+# hotpath-alloc suppressions must stay retired. 19 remain by design
+# (cold paths: scheduler rebuilds and rewinds, session setup, telemetry
+# buffers); anything above that means an alloc crept back onto the hot
+# path and was re-suppressed instead of fixed.
+alloc_suppressions=$(grep -o '"lint":"hotpath-alloc"' AUDIT_BASELINE.json | wc -l)
+if [ "$alloc_suppressions" -gt 19 ]; then
+    echo "audit gate FAIL: $alloc_suppressions hotpath-alloc suppressions in baseline (ceiling 19)"
+    exit 1
+fi
+echo "==> audit gate: $alloc_suppressions hotpath-alloc suppressions (ceiling 19)"
 # Lab determinism: parallel batches must be byte-identical to serial and
 # reproduce the standalone golden digests (registry scenarios).
 run cargo run --release --offline -q -p tn-audit -- divergence --filter lab

@@ -27,7 +27,7 @@ impl Node for Source {
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
         debug_assert_eq!(timer, TICK);
-        let frame = ctx.new_frame(vec![0u8; self.payload]);
+        let frame = ctx.frame().zeroed(self.payload).build();
         ctx.send(PortId(0), frame);
         self.sent += 1;
         if self.sent < self.count {
@@ -172,12 +172,12 @@ fn run_plan(plan: &Plan, telemetry: bool) -> (u64, u64, Deliveries) {
             },
         );
         let out = if prev == src { PortId(0) } else { PortId(1) };
-        sim.connect_directed(prev, out, hop, PortId(0), plan.links[i].build());
+        sim.install_link(prev, out, hop, PortId(0), plan.links[i].build());
         prev = hop;
     }
     let sink = sim.add_node("sink", Sink::default());
     let out = if prev == src { PortId(0) } else { PortId(1) };
-    sim.connect_directed(
+    sim.install_link(
         prev,
         out,
         sink,

@@ -34,7 +34,7 @@ impl Node for FanSource {
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
         debug_assert_eq!(timer, TICK);
-        let frame = ctx.new_frame_zeroed(self.payload);
+        let frame = ctx.frame().zeroed(self.payload).build();
         ctx.send(PortId((self.sent % self.branches) as u16), frame);
         self.sent += 1;
         if self.sent < self.count {
@@ -204,7 +204,7 @@ fn run_plan(plan: &Plan, kind: SchedulerKind, faults: bool, telemetry: bool) -> 
                 },
             );
             let fault = faults.then(|| ((bi * 31 + hi) as u64, plan.loss));
-            sim.connect_directed(
+            sim.install_link(
                 prev,
                 prev_port,
                 hop,
@@ -216,7 +216,7 @@ fn run_plan(plan: &Plan, kind: SchedulerKind, faults: bool, telemetry: bool) -> 
         }
         let sink = sim.add_node(format!("sink{bi}"), Sink::default());
         let fault = faults.then(|| ((bi * 31 + branch.hops.len()) as u64, plan.loss));
-        sim.connect_directed(
+        sim.install_link(
             prev,
             prev_port,
             sink,
@@ -247,11 +247,13 @@ proptest! {
             let mut baseline: Option<RunResult> = None;
             for telemetry in [false, true] {
                 let heap = run_plan(&plan, SchedulerKind::BinaryHeap, faults, telemetry);
-                let cal = run_plan(&plan, SchedulerKind::CalendarQueue, faults, telemetry);
-                prop_assert_eq!(
-                    &heap, &cal,
-                    "schedulers diverged (faults={}, telemetry={})", faults, telemetry
-                );
+                for kind in SchedulerKind::ALL {
+                    let other = run_plan(&plan, kind, faults, telemetry);
+                    prop_assert_eq!(
+                        &heap, &other,
+                        "{} diverged (faults={}, telemetry={})", kind.name(), faults, telemetry
+                    );
+                }
                 if !faults {
                     // Lossless fan-out must deliver every frame somewhere.
                     let total: u64 = heap.2.iter().map(|(n, _)| n).sum();
