@@ -115,6 +115,10 @@ pub fn registry() -> Vec<Scenario> {
             run: run_quickstart_obs_on_vs_off,
         },
         Scenario {
+            name: "flight-on-vs-off",
+            run: run_quickstart_flight_on_vs_off,
+        },
+        Scenario {
             name: "latency-decomposition",
             run: run_latency_decomposition,
         },
@@ -492,6 +496,38 @@ fn run_quickstart_obs_on_vs_off(kind: SchedulerKind) -> RunSignature {
     on
 }
 
+/// The quickstart scenario with the tn-flight recorder and kernel
+/// profiler on, compared against the same run with both off: recording
+/// the last-N ring and bumping profiler counters is pure side-state, so
+/// the event streams must be bit-for-bit identical. On mismatch the
+/// assert carries the flight dump — the recorder's own post-mortem of
+/// the diverged run. Returns the flight-on signature (pinned against
+/// the golden quickstart digest in tests).
+fn run_quickstart_flight_on_vs_off(kind: SchedulerKind) -> RunSignature {
+    let off = run_quickstart(kind);
+    let mut sc = trimmed(ScenarioConfig::small(42));
+    sc.scheduler = kind;
+    sc.obs.flight = true;
+    sc.obs.flight_capacity = 512;
+    sc.obs.profile = true;
+    let report = TraditionalSwitches::default().run(&sc);
+    let on = RunSignature {
+        digest: report.trace_digest,
+        events: report.events_recorded,
+    };
+    assert_eq!(
+        off,
+        on,
+        "flight recorder/profiler must not perturb the event stream\n{}",
+        report.flight_dump.as_deref().unwrap_or("(no flight dump)")
+    );
+    assert!(
+        report.profile.is_some(),
+        "profiler was enabled; the report must carry a KernelProfile"
+    );
+    on
+}
+
 /// Mirrors `exp_latency_decomposition` (E21): the shared decomposition
 /// chain with full telemetry — per-frame provenance through a tap and a
 /// store-and-forward relay.
@@ -665,6 +701,15 @@ mod tests {
         // The tentpole invariant of tn-obs: turning everything on leaves
         // the pre-telemetry golden digest untouched.
         let sig = run_quickstart_obs_on_vs_off(SchedulerKind::BinaryHeap);
+        assert_eq!(sig.digest, 0xff1dbcd7cf7e729e, "{sig:?}");
+        assert_eq!(sig.events, 19_924);
+    }
+
+    #[test]
+    fn flight_recorder_reproduces_the_golden_quickstart_digest() {
+        // The PR-8 tentpole invariant: a fully-on flight recorder and
+        // kernel profiler leave the pinned golden digest untouched.
+        let sig = run_quickstart_flight_on_vs_off(SchedulerKind::BinaryHeap);
         assert_eq!(sig.digest, 0xff1dbcd7cf7e729e, "{sig:?}");
         assert_eq!(sig.events, 19_924);
     }

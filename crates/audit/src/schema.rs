@@ -13,6 +13,7 @@ pub const SCHEMA_REGISTRY: &[&str] = &[
     "tn-audit/v1",
     "tn-bench/v1",
     "tn-exp/v1",
+    "tn-flight/v1",
     "tn-lab-spec/v1",
     "tn-lab/v1",
     "tn-report/v1",

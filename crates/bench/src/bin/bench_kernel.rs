@@ -30,7 +30,9 @@ use tn_bench::row;
 use tn_core::{ScenarioConfig, TradingNetworkDesign, TraditionalSwitches};
 use tn_fault::FaultSpec;
 use tn_netdev::EtherLink;
-use tn_sim::{Context, Frame, Node, PortId, SchedulerKind, SimTime, Simulator, TimerToken};
+use tn_sim::{
+    Context, Frame, KernelProfile, Node, PortId, SchedulerKind, SimTime, Simulator, TimerToken,
+};
 
 /// One (scenario, scale) measurement across all three schedulers.
 struct Measurement {
@@ -41,6 +43,13 @@ struct Measurement {
     heap_ns: u128,
     calendar_ns: u128,
     wheel_ns: u128,
+    /// Calendar bucket-array rebuilds (from the calendar profiled pass).
+    calendar_rebuilds: u64,
+    /// Wheel cascade operations (from the wheel profiled pass).
+    wheel_cascades: u64,
+    /// Arena reuse ratio — scheduler-independent, taken from the heap
+    /// profiled pass; `None` when the workload never built a frame.
+    arena_reuse_ratio: Option<f64>,
 }
 
 impl Measurement {
@@ -86,16 +95,20 @@ fn time_best(reps: u32, mut work: impl FnMut() -> Sig) -> (u128, Sig) {
 }
 
 /// Run one workload under both schedulers, assert identical signatures,
-/// and record wall times.
+/// and record wall times. A second, untimed pass per scheduler runs with
+/// the kernel profiler on — structural counters (calendar rebuilds,
+/// wheel cascades, arena reuse) land in the row without perturbing the
+/// timed runs, and each pass re-checks that profiling never moves the
+/// digest.
 fn measure(
     scenario: &'static str,
     scale: String,
     reps: u32,
-    run: impl Fn(SchedulerKind) -> Sig,
+    run: impl Fn(SchedulerKind, bool) -> (Sig, Option<KernelProfile>),
 ) -> Measurement {
-    let (heap_ns, heap_sig) = time_best(reps, || run(SchedulerKind::BinaryHeap));
-    let (calendar_ns, cal_sig) = time_best(reps, || run(SchedulerKind::CalendarQueue));
-    let (wheel_ns, wheel_sig) = time_best(reps, || run(SchedulerKind::TimingWheel));
+    let (heap_ns, heap_sig) = time_best(reps, || run(SchedulerKind::BinaryHeap, false).0);
+    let (calendar_ns, cal_sig) = time_best(reps, || run(SchedulerKind::CalendarQueue, false).0);
+    let (wheel_ns, wheel_sig) = time_best(reps, || run(SchedulerKind::TimingWheel, false).0);
     assert_eq!(
         heap_sig, cal_sig,
         "{scenario}/{scale}: calendar queue diverged — benchmark void"
@@ -104,6 +117,17 @@ fn measure(
         heap_sig, wheel_sig,
         "{scenario}/{scale}: timing wheel diverged — benchmark void"
     );
+    let profiled = |kind: SchedulerKind| -> KernelProfile {
+        let (sig, profile) = run(kind, true);
+        assert_eq!(
+            heap_sig, sig,
+            "{scenario}/{scale}: profiler moved the digest — benchmark void"
+        );
+        profile.expect("profiled pass must produce a kernel profile")
+    };
+    let heap_prof = profiled(SchedulerKind::BinaryHeap);
+    let cal_prof = profiled(SchedulerKind::CalendarQueue);
+    let wheel_prof = profiled(SchedulerKind::TimingWheel);
     Measurement {
         scenario,
         scale,
@@ -112,17 +136,23 @@ fn measure(
         heap_ns,
         calendar_ns,
         wheel_ns,
+        calendar_rebuilds: cal_prof.sched_rebuilds,
+        wheel_cascades: wheel_prof.sched_cascades,
+        arena_reuse_ratio: heap_prof.arena_reuse_ratio(),
     }
 }
 
 /// The quickstart design (TraditionalSwitches, seed 42) at a given
 /// measured duration; the largest step uses the paper-scale topology.
-fn quickstart_sig(sc: &ScenarioConfig) -> Sig {
+fn quickstart_sig(sc: &ScenarioConfig) -> (Sig, Option<KernelProfile>) {
     let report = TraditionalSwitches::default().run(sc);
-    Sig {
-        digest: report.trace_digest,
-        events: report.events_recorded,
-    }
+    (
+        Sig {
+            digest: report.trace_digest,
+            events: report.events_recorded,
+        },
+        report.profile,
+    )
 }
 
 /// Timer-churn stress: `timers` self-re-arming timers with staggered
@@ -159,8 +189,11 @@ impl Node for Sink {
     }
 }
 
-fn churn_sig(kind: SchedulerKind, timers: u64) -> Sig {
+fn churn_sig(kind: SchedulerKind, timers: u64, profile: bool) -> (Sig, Option<KernelProfile>) {
     let mut sim = Simulator::with_scheduler(99, kind);
+    if profile {
+        sim.set_profile(true);
+    }
     let churn = sim.add_node("churn", Churn { base_ns: 1_000 });
     let sink = sim.add_node("sink", Sink);
     let link = EtherLink::ten_gig(SimTime::from_ns(50));
@@ -170,10 +203,14 @@ fn churn_sig(kind: SchedulerKind, timers: u64) -> Sig {
         sim.schedule_timer(SimTime::from_ns(i % 1_000), churn, TimerToken(i));
     }
     sim.run_until(SimTime::from_us(400));
-    Sig {
-        digest: sim.trace.digest(),
-        events: sim.trace.recorded(),
-    }
+    let profile = sim.profile();
+    (
+        Sig {
+            digest: sim.trace.digest(),
+            events: sim.trace.recorded(),
+        },
+        profile,
+    )
 }
 
 fn main() {
@@ -196,9 +233,10 @@ fn main() {
         quickstart_scales.push(("paper-6ms".into(), paper));
     }
     for (scale, sc) in quickstart_scales {
-        runs.push(measure("quickstart", scale, reps, |kind| {
+        runs.push(measure("quickstart", scale, reps, |kind, profile| {
             let mut sc = sc.clone();
             sc.scheduler = kind;
+            sc.obs.profile = profile;
             quickstart_sig(&sc)
         }));
     }
@@ -214,15 +252,19 @@ fn main() {
             "faultsim-loss-recovery",
             format!("{packets}pkt"),
             reps,
-            |kind| {
+            |kind, profile| {
                 let mut cfg = LossRecoveryConfig::new(1, FaultSpec::new(11).with_iid_loss(0.01));
                 cfg.packets = packets;
                 cfg.scheduler = kind;
+                cfg.obs.profile = profile;
                 let run = run_loss_recovery(&cfg);
-                Sig {
-                    digest: run.digest,
-                    events: run.events,
-                }
+                (
+                    Sig {
+                        digest: run.digest,
+                        events: run.events,
+                    },
+                    run.profile,
+                )
             },
         ));
     }
@@ -234,15 +276,24 @@ fn main() {
             "obssim-decomposition",
             format!("{bursts}burst"),
             reps,
-            |kind| {
+            |kind, profile| {
                 let mut cfg = DecompositionConfig::new(42);
                 cfg.bursts = bursts;
                 cfg.scheduler = kind;
-                let run = run_decomposition(&cfg, tn_sim::ObsConfig::full());
-                Sig {
-                    digest: run.digest,
-                    events: run.events,
-                }
+                // The timed workload stays what it always was — full
+                // application telemetry, no kernel profiler; the profiled
+                // pass flips only the profiler on.
+                let mut obs = tn_sim::ObsConfig::full();
+                obs.flight = false;
+                obs.profile = profile;
+                let run = run_decomposition(&cfg, obs);
+                (
+                    Sig {
+                        digest: run.digest,
+                        events: run.events,
+                    },
+                    run.profile,
+                )
             },
         ));
     }
@@ -258,7 +309,7 @@ fn main() {
             "timer-churn",
             format!("{timers}timer"),
             reps,
-            |kind| churn_sig(kind, timers),
+            |kind, profile| churn_sig(kind, timers, profile),
         ));
     }
 
@@ -272,6 +323,9 @@ fn main() {
                 "calendar ms".into(),
                 "wheel ms".into(),
                 "best".into(),
+                "reuse".into(),
+                "rebuilds".into(),
+                "cascades".into(),
             ],
         )
     );
@@ -286,6 +340,12 @@ fn main() {
                     format!("{:.2}", m.calendar_ns as f64 / 1e6),
                     format!("{:.2}", m.wheel_ns as f64 / 1e6),
                     format!("{:.2}x", m.speedup()),
+                    match m.arena_reuse_ratio {
+                        Some(r) => format!("{:.0}%", r * 100.0),
+                        None => "-".into(),
+                    },
+                    m.calendar_rebuilds.to_string(),
+                    m.wheel_cascades.to_string(),
                 ],
             )
         );
@@ -310,10 +370,15 @@ fn render_bench_json(runs: &[Measurement], smoke: bool, reps: u32) -> String {
         if i > 0 {
             out.push(',');
         }
+        let reuse = match m.arena_reuse_ratio {
+            Some(r) => format!("{r:.4}"),
+            None => "null".into(),
+        };
         out.push_str(&format!(
             "{{\"scenario\":\"{}\",\"scale\":\"{}\",\"events\":{},\"digest\":\"0x{:016x}\",\
              \"binary_heap_ns\":{},\"calendar_queue_ns\":{},\"timing_wheel_ns\":{},\
-             \"speedup_calendar\":{:.4},\"speedup_wheel\":{:.4},\"speedup\":{:.4}}}",
+             \"speedup_calendar\":{:.4},\"speedup_wheel\":{:.4},\"speedup\":{:.4},\
+             \"calendar_rebuilds\":{},\"wheel_cascades\":{},\"arena_reuse_ratio\":{}}}",
             m.scenario,
             m.scale,
             m.events,
@@ -323,7 +388,10 @@ fn render_bench_json(runs: &[Measurement], smoke: bool, reps: u32) -> String {
             m.wheel_ns,
             m.speedup_calendar(),
             m.speedup_wheel(),
-            m.speedup()
+            m.speedup(),
+            m.calendar_rebuilds,
+            m.wheel_cascades,
+            reuse
         ));
     }
     let max = runs.iter().map(Measurement::speedup).fold(0.0, f64::max);

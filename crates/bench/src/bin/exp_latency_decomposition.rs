@@ -52,6 +52,13 @@ fn main() {
     );
     assert_eq!(run.max_residual_ps, 0, "provenance must reconcile exactly");
 
+    // Full telemetry includes the kernel self-profiler: the same run,
+    // annotated with what the *kernel* did to deliver it.
+    if let Some(p) = &run.profile {
+        println!();
+        print!("{}", p.render(""));
+    }
+
     println!();
     println!("the slow 1 Gb/s hop dominates: bursts of four frames queue behind each");
     println!("other's serialization, so queue time rises with position in the burst —");

@@ -18,7 +18,10 @@ use tn_feed::nodes::{
 };
 use tn_feed::retrans::RecoveryConfig;
 use tn_feed::Arbiter;
-use tn_sim::{Context, Frame, Node, PortId, SchedulerKind, SimTime, Simulator, TimerToken};
+use tn_sim::{
+    Context, Frame, KernelProfile, Node, ObsConfig, PortId, SchedulerKind, SimTime, Simulator,
+    TimerToken,
+};
 use tn_wire::{eth, ipv4, pitch, stack};
 
 // ---------------------------------------------------------------------
@@ -200,6 +203,8 @@ pub struct LossRecoveryConfig {
     pub recovery: RecoveryConfig,
     /// Event scheduler the kernel runs on (digest-neutral).
     pub scheduler: SchedulerKind,
+    /// Observability switches (digest-neutral; off by default).
+    pub obs: ObsConfig,
 }
 
 impl LossRecoveryConfig {
@@ -219,6 +224,7 @@ impl LossRecoveryConfig {
                 max_held: 10_000,
             },
             scheduler: SchedulerKind::BinaryHeap,
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -244,6 +250,8 @@ pub struct LossRecoveryRun {
     pub refused: u64,
     /// Measured wall of the run.
     pub duration: SimTime,
+    /// Kernel self-profile (when the profiler was on).
+    pub profile: Option<KernelProfile>,
     /// Kernel trace digest.
     pub digest: u64,
     /// Events folded into the digest.
@@ -265,6 +273,7 @@ impl LossRecoveryRun {
 /// a clean unicast recovery channel.
 pub fn run_loss_recovery(cfg: &LossRecoveryConfig) -> LossRecoveryRun {
     let mut sim = Simulator::with_scheduler(cfg.seed, cfg.scheduler);
+    apply_obs(&mut sim, &cfg.obs);
     let src = sim.add_node(
         "src",
         PitchSource::new(cfg.interval, cfg.packets, cfg.msgs_per_packet, 2),
@@ -303,8 +312,19 @@ pub fn run_loss_recovery(cfg: &LossRecoveryConfig) -> LossRecoveryRun {
         fill_latency_ps: rx_node.client().fill_latencies_ps().to_vec(),
         refused: unit_node.stats().refused,
         duration,
+        profile: sim.profile(),
         digest: sim.trace.digest(),
         events: sim.trace.recorded(),
+    }
+}
+
+/// Turn on the digest-neutral kernel observability a config asks for.
+fn apply_obs(sim: &mut Simulator, obs: &ObsConfig) {
+    if obs.flight {
+        sim.set_flight_capacity(obs.flight_capacity as usize);
+    }
+    if obs.profile {
+        sim.set_profile(true);
     }
 }
 
@@ -335,6 +355,8 @@ pub struct AbFailoverConfig {
     pub window: (SimTime, SimTime),
     /// Event scheduler the kernel runs on (digest-neutral).
     pub scheduler: SchedulerKind,
+    /// Observability switches (digest-neutral; off by default).
+    pub obs: ObsConfig,
 }
 
 impl AbFailoverConfig {
@@ -352,6 +374,7 @@ impl AbFailoverConfig {
             interval: SimTime::from_us(5),
             window,
             scheduler: SchedulerKind::BinaryHeap,
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -379,6 +402,8 @@ pub struct AbFailoverRun {
     pub window_throughput: f64,
     /// Delivered messages/second outside it.
     pub clean_throughput: f64,
+    /// Kernel self-profile (when the profiler was on).
+    pub profile: Option<KernelProfile>,
     /// Kernel trace digest.
     pub digest: u64,
     /// Events folded into the digest.
@@ -389,6 +414,7 @@ pub struct AbFailoverRun {
 /// independently faulted links, arbitration at the receiver.
 pub fn run_ab_failover(cfg: &AbFailoverConfig) -> AbFailoverRun {
     let mut sim = Simulator::with_scheduler(cfg.seed, cfg.scheduler);
+    apply_obs(&mut sim, &cfg.obs);
     let src = sim.add_node(
         "src",
         PitchSource::new(cfg.interval, cfg.packets, cfg.msgs_per_packet, 2),
@@ -435,6 +461,7 @@ pub fn run_ab_failover(cfg: &AbFailoverConfig) -> AbFailoverRun {
         window_delivered,
         window_throughput: window_delivered as f64 / window_secs,
         clean_throughput: (rx_node.delivered() - window_delivered) as f64 / clean_secs,
+        profile: sim.profile(),
         digest: sim.trace.digest(),
         events: sim.trace.recorded(),
     }
@@ -469,6 +496,20 @@ mod tests {
         assert_eq!(run.delivered_messages, run.published_messages, "{run:?}");
         assert_eq!(run.abandoned, 0, "{run:?}");
         assert_eq!(run.fill_latency_ps.len() as u64, run.gaps_seen);
+    }
+
+    #[test]
+    fn observability_is_digest_neutral_and_yields_a_profile() {
+        let fault = FaultSpec::new(77).with_iid_loss(0.02);
+        let off = run_loss_recovery(&small_loss(1, fault.clone()));
+        let mut cfg = small_loss(1, fault);
+        cfg.obs = ObsConfig::full();
+        let on = run_loss_recovery(&cfg);
+        assert_eq!(off.digest, on.digest);
+        assert_eq!(off.events, on.events);
+        assert!(off.profile.is_none());
+        let p = on.profile.expect("profiler was on");
+        assert!(p.frames > 0 && p.timers > 0, "{p:?}");
     }
 
     #[test]

@@ -17,8 +17,8 @@
 use tn_netdev::{EtherLink, Tap};
 use tn_obs::TraceWriter;
 use tn_sim::{
-    Context, Frame, Metrics, Node, ObsConfig, PortId, Provenance, SchedulerKind, SimTime,
-    Simulator, Snapshot, TimerToken,
+    Context, Frame, KernelProfile, Metrics, Node, ObsConfig, PortId, Provenance, SchedulerKind,
+    SimTime, Simulator, Snapshot, TimerToken,
 };
 
 const TICK: TimerToken = TimerToken(1);
@@ -175,6 +175,8 @@ pub struct DecompositionRun {
     pub max_residual_ps: u64,
     /// Registry snapshot at the deadline (when the registry was on).
     pub snapshot: Option<Snapshot>,
+    /// Kernel self-profile (when the profiler was on).
+    pub profile: Option<KernelProfile>,
     /// Kernel trace digest.
     pub digest: u64,
     /// Events folded into the digest.
@@ -190,6 +192,12 @@ pub fn run_decomposition(cfg: &DecompositionConfig, obs: ObsConfig) -> Decomposi
     }
     if obs.registry {
         sim.set_metrics(Metrics::enabled());
+    }
+    if obs.flight {
+        sim.set_flight_capacity(obs.flight_capacity as usize);
+    }
+    if obs.profile {
+        sim.set_profile(true);
     }
     let src = sim.add_node(
         "src",
@@ -258,6 +266,7 @@ pub fn run_decomposition(cfg: &DecompositionConfig, obs: ObsConfig) -> Decomposi
         ],
         max_residual_ps,
         snapshot,
+        profile: sim.profile(),
         digest: sim.trace.digest(),
         events: sim.trace.recorded(),
     }
@@ -312,6 +321,9 @@ mod tests {
             assert!(total(kind) > 0, "{kind:?} never observed");
         }
         assert!(off.deliveries.iter().all(|d| d.provenance.is_none()));
+        // Full observability includes the kernel profiler; off means off.
+        assert!(on.profile.is_some() && off.profile.is_none());
+        assert!(on.profile.as_ref().unwrap().frames > 0);
     }
 
     #[test]

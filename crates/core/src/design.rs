@@ -232,6 +232,12 @@ fn build_sim(sc: &ScenarioConfig) -> Simulator {
     if sc.obs.registry {
         sim.set_metrics(tn_sim::Metrics::enabled());
     }
+    if sc.obs.flight {
+        sim.set_flight_capacity(sc.obs.flight_capacity as usize);
+    }
+    if sc.obs.profile {
+        sim.set_profile(true);
+    }
     sim
 }
 
@@ -288,6 +294,14 @@ fn collect_report(
         .metrics()
         .snapshot(deadline.as_ps())
         .map(|snap| crate::report::Telemetry::from_snapshot(&snap));
+    // Same discipline for the kernel self-profile and the flight ring:
+    // both are pure observation, read after the run has been driven.
+    let profile = sim.profile();
+    let flight_dump = if sim.flight().is_enabled() {
+        Some(sim.dump_flight())
+    } else {
+        None
+    };
     let exch = sim.node::<Exchange>(exchange).expect("exchange");
     let reaction_samples = exch.response_latency_ps().to_vec();
     let reaction = LatencyStats::from_samples(&reaction_samples);
@@ -316,6 +330,8 @@ fn collect_report(
         events_recorded: sim.trace.recorded(),
         recovery,
         telemetry,
+        profile,
+        flight_dump,
         reaction_samples,
     }
 }
@@ -912,6 +928,48 @@ mod tests {
         assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to {share_sum}");
         // And the JSON report carries the section.
         assert!(r_on.to_json().contains("\"telemetry\":{"));
+    }
+
+    #[test]
+    fn flight_and_profile_leave_digest_untouched_and_report() {
+        let off = ScenarioConfig::small(7);
+        let mut on = ScenarioConfig::small(7);
+        on.obs.flight = true;
+        on.obs.flight_capacity = 512;
+        on.obs.profile = true;
+        let r_off = TraditionalSwitches::default().run(&off);
+        let r_on = TraditionalSwitches::default().run(&on);
+        // Recorder + profiler are pure observation: same digest, same run.
+        assert_eq!(r_off.trace_digest, r_on.trace_digest);
+        assert_eq!(r_off.events_recorded, r_on.events_recorded);
+        assert!(r_off.profile.is_none() && r_off.flight_dump.is_none());
+        let p = r_on.profile.as_ref().expect("profiler enabled");
+        // The profile reconciles with the run's own counters.
+        assert!(p.frames > 0 && p.schedules >= p.frames, "{p:?}");
+        assert!(!p.per_node.is_empty() && p.max_queue_depth > 0);
+        assert!(p.arena_reuse_ratio().is_some());
+        let dump = r_on.flight_dump.as_ref().expect("flight enabled");
+        assert!(dump.starts_with("tn-flight dump @ "), "{dump}");
+        assert!(dump.contains("dispatch"), "{dump}");
+        // And both land in the human summary + JSON.
+        assert!(r_on.summary().contains("kernel profile @ "));
+        assert!(r_on.to_json().contains("\"kernel_profile\":{"));
+    }
+
+    #[test]
+    fn profile_reports_on_faulted_runs_too() {
+        let mut sc = ScenarioConfig::small(11);
+        sc.feed_fault = Some(tn_fault::FaultSpec::new(9).with_iid_loss(0.05));
+        sc.obs.flight = true;
+        sc.obs.flight_capacity = 256;
+        sc.obs.profile = true;
+        let r = TraditionalSwitches::default().run(&sc);
+        let p = r.profile.as_ref().expect("profiler enabled");
+        assert!(p.dispatches() > 0, "{}", r.summary());
+        assert!(r.summary().contains("kernel profile @ "), "{}", r.summary());
+        // A lossy feed gives the recovery machinery work; the faulted run
+        // still produces a full dump for post-mortems.
+        assert!(r.flight_dump.is_some());
     }
 
     #[test]

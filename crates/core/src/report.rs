@@ -1,6 +1,6 @@
 //! Evaluation reports: what a design run produces.
 
-use tn_sim::{SimTime, Snapshot, SnapshotValue};
+use tn_sim::{KernelProfile, SimTime, Snapshot, SnapshotValue};
 use tn_stats::Summary;
 
 /// Order statistics for a latency population, picoseconds.
@@ -272,6 +272,16 @@ pub struct DesignReport {
     /// Latency decomposition and counters, when the scenario enabled the
     /// metrics registry (`ScenarioConfig::obs.registry`).
     pub telemetry: Option<Telemetry>,
+    /// Kernel self-profile (dispatch counters, queue-depth series,
+    /// scheduler and arena statistics), when the scenario enabled the
+    /// profiler (`ScenarioConfig::obs.profile`). Like telemetry, purely
+    /// an output — collection never moves the trace digest.
+    pub profile: Option<KernelProfile>,
+    /// Rendered tn-flight ring at end of run, when the scenario enabled
+    /// the flight recorder (`ScenarioConfig::obs.flight`). Carried so
+    /// divergence harnesses can attach the last N kernel events to a
+    /// failure message. Not serialized in `tn-report/v1`.
+    pub flight_dump: Option<String>,
     /// Raw wire-to-wire reaction samples (picoseconds), in arrival order.
     /// Kept so cross-run consumers (the tn-lab sweep aggregator) can pool
     /// exact percentiles across seeds instead of averaging summaries.
@@ -324,9 +334,13 @@ impl DesignReport {
                 format!("\n  telemetry: {} counters{s}", t.counters.len())
             }
         };
+        let profile = match &self.profile {
+            None => String::new(),
+            Some(p) => format!("\n{}", p.render("  ").trim_end_matches('\n')),
+        };
         format!(
             "[{}]\n  feed     : {}\n  reaction : {}\n  feed_msgs={} evaluated={} discarded={} \
-             orders={} acks={} fills={} drops={}{recovery}{telemetry}\n  software_path={} \
+             orders={} acks={} fills={} drops={}{recovery}{telemetry}{profile}\n  software_path={} \
              network_share={:.1}% digest={:016x}",
             self.design,
             self.feed_latency,
@@ -464,6 +478,73 @@ impl DesignReport {
             }
             s.push_str("]}");
         }
+        if let Some(p) = &self.profile {
+            s.push_str(",\"kernel_profile\":{");
+            json_u64(&mut s, "at_ps", p.at_ps);
+            s.push(',');
+            json_str(&mut s, "scheduler", &p.scheduler);
+            for (k, v) in [
+                ("frames", p.frames),
+                ("timers", p.timers),
+                ("drops", p.drops),
+                ("schedules", p.schedules),
+                ("max_queue_depth", p.max_queue_depth),
+                ("queue_stride", p.queue_stride),
+                ("sched_rebuilds", p.sched_rebuilds),
+                ("sched_cascades", p.sched_cascades),
+                ("sched_bucket_count", p.sched_bucket_count),
+                ("sched_bucket_width_ps", p.sched_bucket_width_ps),
+                ("arena_allocated", p.arena_allocated),
+                ("arena_reused", p.arena_reused),
+                ("arena_recycled", p.arena_recycled),
+            ] {
+                s.push(',');
+                json_u64(&mut s, k, v);
+            }
+            s.push_str(",\"arena_reuse_ratio\":");
+            match p.arena_reuse_ratio() {
+                Some(r) => s.push_str(&format!("{r:.6}")),
+                None => s.push_str("null"),
+            }
+            s.push_str(",\"wheel_occupancy\":[");
+            for (i, occ) in p.wheel_occupancy.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&occ.to_string());
+            }
+            s.push_str("],\"queue_depth\":[");
+            for (i, (at, depth)) in p.queue_depth.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("[{at},{depth}]"));
+            }
+            s.push_str("],\"busiest_nodes\":[");
+            for (i, n) in p.busiest_nodes(5).iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push('{');
+                for (j, (k, v)) in [
+                    ("node", u64::from(n.node)),
+                    ("frames", n.frames),
+                    ("timers", n.timers),
+                    ("drops", n.drops),
+                    ("last_at_ps", n.last_at_ps),
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    json_u64(&mut s, k, v);
+                }
+                s.push('}');
+            }
+            s.push_str("]}");
+        }
         s.push('}');
         s
     }
@@ -587,7 +668,39 @@ mod tests {
                 degraded_throughput: 1234.5,
             },
             telemetry: None,
+            profile: None,
+            flight_dump: None,
             reaction_samples: vec![5_000],
+        }
+    }
+
+    fn sample_profile() -> KernelProfile {
+        KernelProfile {
+            at_ps: 8_000_000,
+            scheduler: "binary-heap".into(),
+            frames: 40,
+            timers: 2,
+            drops: 1,
+            schedules: 43,
+            max_queue_depth: 6,
+            queue_depth: vec![(0, 1), (4_000_000, 6)],
+            queue_stride: 1,
+            per_node: vec![tn_sim::NodeProfile {
+                node: 2,
+                frames: 40,
+                timers: 2,
+                drops: 1,
+                first_at_ps: 100,
+                last_at_ps: 7_999_000,
+            }],
+            sched_rebuilds: 0,
+            sched_cascades: 0,
+            sched_bucket_count: 0,
+            sched_bucket_width_ps: 0,
+            wheel_occupancy: [0; 9],
+            arena_allocated: 10,
+            arena_reused: 30,
+            arena_recycled: 35,
         }
     }
 
@@ -682,6 +795,49 @@ mod tests {
         assert_eq!(t.hottest_nodes[0].node, 2);
         assert_eq!(t.hottest_nodes[0].total_ps, 90_000);
         assert_eq!(t.counter_total("kernel", "deliver"), 1);
+    }
+
+    #[test]
+    fn json_kernel_profile_is_absent_when_disabled_and_additive_when_on() {
+        let mut r = sample_report();
+        assert!(!r.to_json().contains("kernel_profile"));
+        r.profile = Some(sample_profile());
+        let j = r.to_json();
+        assert!(
+            j.contains("\"kernel_profile\":{\"at_ps\":8000000,\"scheduler\":\"binary-heap\""),
+            "{j}"
+        );
+        assert!(j.contains("\"frames\":40,\"timers\":2,\"drops\":1"), "{j}");
+        assert!(j.contains("\"arena_reuse_ratio\":0.750000"), "{j}");
+        assert!(j.contains("\"wheel_occupancy\":[0,0,0,0,0,0,0,0,0]"), "{j}");
+        assert!(j.contains("\"queue_depth\":[[0,1],[4000000,6]]"), "{j}");
+        assert!(
+            j.contains("\"busiest_nodes\":[{\"node\":2,\"frames\":40"),
+            "{j}"
+        );
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced: {j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn summary_shows_kernel_profile_only_when_collected() {
+        let mut r = sample_report();
+        assert!(!r.summary().contains("kernel profile"));
+        r.profile = Some(sample_profile());
+        let s = r.summary();
+        assert!(
+            s.contains("kernel profile @ 8000000 ps (binary-heap)"),
+            "{s}"
+        );
+        assert!(s.contains("75.0% reuse"), "{s}");
+        assert!(
+            s.contains("network_share=50.0%"),
+            "summary tail survives the profile block: {s}"
+        );
     }
 
     #[test]

@@ -138,6 +138,13 @@ impl RecoveryReceiver {
                 })
                 .build();
             ctx.send(RECV_RETRANS, frame);
+            // Leave the gap in the flight recorder: a crash dump that
+            // ends mid-recovery shows which sequences were outstanding.
+            ctx.flight_note(
+                tn_sim::FlightKind::RecoveryGap,
+                u64::from(req.seq),
+                u64::from(req.count),
+            );
             self.stats.requests_sent += 1;
         }
     }

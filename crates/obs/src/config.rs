@@ -5,7 +5,7 @@
 /// The default is everything off: telemetry is strictly opt-in, and — by
 /// the determinism invariant this crate maintains — turning any of it on
 /// must not change a run's trace digest.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ObsConfig {
     /// Accumulate per-hop [`crate::Provenance`] segments on every frame.
     pub provenance: bool,
@@ -15,6 +15,26 @@ pub struct ObsConfig {
     /// Emit a `tn-trace/v1` JSONL document at the end of the run (drivers
     /// decide where it goes; the kernel itself never does I/O).
     pub trace: bool,
+    /// Keep a bounded ring of the last kernel events in a
+    /// [`crate::FlightRecorder`], dumped on panic or on demand.
+    pub flight: bool,
+    /// Ring capacity (records) when `flight` is on. Ignored when off;
+    /// memory use is `capacity * size_of::<FlightRecord>()`, fixed at
+    /// enable time.
+    pub flight_capacity: u32,
+    /// Maintain the deterministic [`crate::KernelProfiler`] (per-node /
+    /// per-kind dispatch counts, queue-depth series, scheduler and arena
+    /// statistics in the resulting `KernelProfile`).
+    pub profile: bool,
+}
+
+/// Ring capacity used by the presets when the flight recorder is on.
+pub const DEFAULT_FLIGHT_CAPACITY: u32 = 1024;
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig::off()
+    }
 }
 
 impl ObsConfig {
@@ -24,21 +44,28 @@ impl ObsConfig {
             provenance: false,
             registry: false,
             trace: false,
+            flight: false,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            profile: false,
         }
     }
 
-    /// Everything on: provenance, registry, and trace export.
+    /// Everything on: provenance, registry, trace export, flight
+    /// recorder, and kernel profiler.
     pub const fn full() -> ObsConfig {
         ObsConfig {
             provenance: true,
             registry: true,
             trace: true,
+            flight: true,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            profile: true,
         }
     }
 
     /// True if any collection is enabled.
     pub const fn any(&self) -> bool {
-        self.provenance || self.registry || self.trace
+        self.provenance || self.registry || self.trace || self.flight || self.profile
     }
 
     /// [`ObsConfig::full`] when `on`, [`ObsConfig::off`] otherwise — the
@@ -64,6 +91,22 @@ mod tests {
         assert!(ObsConfig::full().provenance);
         assert!(ObsConfig::full().registry);
         assert!(ObsConfig::full().trace);
+        assert!(ObsConfig::full().flight);
+        assert!(ObsConfig::full().profile);
+        // Capacity is preset even while the recorder is off, so flipping
+        // `flight` alone yields a usable ring.
+        assert_eq!(ObsConfig::off().flight_capacity, DEFAULT_FLIGHT_CAPACITY);
+        assert_eq!(ObsConfig::full().flight_capacity, DEFAULT_FLIGHT_CAPACITY);
+    }
+
+    #[test]
+    fn flight_and_profile_alone_count_as_any() {
+        let mut c = ObsConfig::off();
+        c.flight = true;
+        assert!(c.any());
+        let mut c = ObsConfig::off();
+        c.profile = true;
+        assert!(c.any());
     }
 
     #[test]

@@ -14,6 +14,15 @@
 //!   iteration), snapshotted on simulated-time windows.
 //! - [`TraceWriter`] / [`parse`](trace::parse) / [`TraceSummary`] — the
 //!   versioned `tn-trace/v1` JSONL span/event export and its summarizer.
+//! - [`FlightRecorder`] — tn-flight: a bounded ring of the last N kernel
+//!   events (fixed-size [`FlightRecord`]s), dumped on panic, divergence
+//!   failure, or demand.
+//! - [`KernelProfiler`] / [`KernelProfile`] — deterministic self-profiler:
+//!   per-node and per-kind dispatch counts, a bounded queue-depth time
+//!   series, and scheduler/arena statistics, reported through
+//!   `DesignReport`.
+//! - [`timeline`] — `tn-flight/v1` Chrome trace-event (Perfetto) export
+//!   and folded-stacks rendering of provenance documents.
 //!
 //! Everything here is pure side-state over plain integers (`u64`
 //! picoseconds, `u32` node ids, `u16` ports): recording never draws
@@ -22,15 +31,23 @@
 //! an invariant `tn-audit divergence` pins against golden digests.
 
 mod config;
+mod flight;
+mod profile;
 mod provenance;
 mod registry;
 mod summarize;
+pub mod timeline;
 pub mod trace;
 
-pub use config::ObsConfig;
+pub use config::{ObsConfig, DEFAULT_FLIGHT_CAPACITY};
+pub use flight::{FlightKind, FlightRecord, FlightRecorder};
+pub use profile::{
+    KernelProfile, KernelProfiler, NodeProfile, PROFILE_WHEEL_LEVELS, QUEUE_SERIES_CAP,
+};
 pub use provenance::{HopSegment, Provenance, SegmentKind};
 pub use registry::{
     Distribution, Metrics, MetricsRegistry, Snapshot, SnapshotEntry, SnapshotValue,
 };
 pub use summarize::{summarize, SegStat, TraceSummary};
+pub use timeline::{chrome_trace, folded_stacks, FLIGHT_SCHEMA};
 pub use trace::{parse, EventRecord, MetricRecord, SpanRecord, TraceDoc, TraceWriter, SCHEMA};

@@ -1,0 +1,103 @@
+//! `tn-obs` — CLI over the telemetry formats.
+//!
+//! ```text
+//! tn-obs summarize [--folded | --timeline] [--top N] [FILE]
+//! ```
+//!
+//! Reads a `tn-trace/v1` JSONL document from `FILE` (or stdin when the
+//! argument is absent or `-`) and renders it as:
+//!
+//! * the default human-readable latency summary,
+//! * `--folded` — flamegraph-ready folded stacks (`node;kind weight`),
+//! * `--timeline` — `tn-flight/v1` Chrome trace-event JSON for Perfetto.
+//!
+//! All three renderings are deterministic functions of the document, so
+//! repeated invocations over the same file are byte-identical — CI pins
+//! this for `--folded`.
+
+use std::io::Read;
+
+use tn_obs::{chrome_trace, folded_stacks, summarize, trace};
+
+const USAGE: &str = "usage: tn-obs summarize [--folded | --timeline] [--top N] [FILE]
+  FILE        tn-trace/v1 JSONL document ('-' or absent = stdin)
+  --folded    emit folded stacks (node;kind weight) for flamegraphs
+  --timeline  emit tn-flight/v1 Chrome trace-event JSON (Perfetto)
+  --top N     rows per table in the default summary (default 5)";
+
+enum Mode {
+    Summary,
+    Folded,
+    Timeline,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("tn-obs: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("summarize") => {}
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            return;
+        }
+        Some(other) => fail(&format!("unknown command {other:?}")),
+        None => fail("missing command"),
+    }
+
+    let mut mode = Mode::Summary;
+    let mut top = 5usize;
+    let mut file: Option<String> = None;
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--folded" => mode = Mode::Folded,
+            "--timeline" => mode = Mode::Timeline,
+            "--top" => {
+                let n = rest.next().unwrap_or_else(|| fail("--top needs a value"));
+                top = n
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--top: bad count {n:?}")));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            flag if flag.starts_with("--") => fail(&format!("unknown flag {flag:?}")),
+            path => {
+                if file.replace(path.to_string()).is_some() {
+                    fail("more than one input file");
+                }
+            }
+        }
+    }
+
+    let input = match file.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                fail(&format!("reading stdin: {e}"));
+            }
+            buf
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => fail(&format!("reading {path}: {e}")),
+        },
+    };
+
+    let doc = match trace::parse(&input) {
+        Ok(doc) => doc,
+        Err(e) => fail(&format!("parse error: {e}")),
+    };
+
+    match mode {
+        Mode::Summary => print!("{}", summarize(&doc).render(&doc, top)),
+        Mode::Folded => print!("{}", folded_stacks(&doc)),
+        Mode::Timeline => print!("{}", chrome_trace(&doc)),
+    }
+}

@@ -1,0 +1,487 @@
+//! Deterministic kernel self-profiler.
+//!
+//! [`KernelProfiler`] is the hot-path half: a set of plain integer
+//! counters the simulator bumps while dispatching (per-node and
+//! per-event-kind counts, a bounded queue-depth time series). It is
+//! deterministic by construction — it reads only simulated time and
+//! counts, never wall-clock — so an enabled profiler cannot move a
+//! run's trace digest.
+//!
+//! [`KernelProfile`] is the cold half: a plain-data snapshot combining
+//! the profiler counters with scheduler statistics (calendar rebuilds,
+//! wheel cascades, per-level occupancy) and arena reuse counters that
+//! the simulator fills in at snapshot time. It lives here, in `tn-obs`,
+//! as pure integers so report and CLI layers can consume it without a
+//! dependency on the simulator crate.
+
+/// Wheel levels mirrored from the simulator's timing wheel, so the
+/// occupancy snapshot can be a fixed-size array.
+pub const PROFILE_WHEEL_LEVELS: usize = 9;
+
+/// How many queue-depth samples a profile retains. When the series
+/// fills up it is decimated in place (every other sample dropped, the
+/// sampling stride doubled), so memory stays bounded for arbitrarily
+/// long runs while coverage stays spread over the whole run.
+pub const QUEUE_SERIES_CAP: usize = 256;
+
+/// Per-node dispatch counters with simulated-time attribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeProfile {
+    /// Node id this row belongs to.
+    pub node: u32,
+    /// Frames dispatched to the node.
+    pub frames: u64,
+    /// Timers dispatched to the node.
+    pub timers: u64,
+    /// Frames dropped while addressed to (or emitted by) the node.
+    pub drops: u64,
+    /// Simulated time of the first dispatch, ps (`u64::MAX` if none).
+    pub first_at_ps: u64,
+    /// Simulated time of the last dispatch, ps (0 if none).
+    pub last_at_ps: u64,
+}
+
+impl NodeProfile {
+    fn new(node: u32) -> NodeProfile {
+        NodeProfile {
+            node,
+            frames: 0,
+            timers: 0,
+            drops: 0,
+            first_at_ps: u64::MAX,
+            last_at_ps: 0,
+        }
+    }
+
+    /// Total dispatches (frames + timers).
+    pub fn dispatches(&self) -> u64 {
+        self.frames + self.timers
+    }
+
+    #[inline]
+    fn touch(&mut self, at_ps: u64) {
+        if self.first_at_ps == u64::MAX {
+            self.first_at_ps = at_ps;
+        }
+        self.last_at_ps = at_ps;
+    }
+}
+
+/// Hot-path counter set. All recording methods are branch-then-index:
+/// a disabled profiler costs one predictable branch per call and an
+/// enabled one a handful of integer stores — no allocation, no
+/// wall-clock, no randomness.
+#[derive(Debug, Clone, Default)]
+pub struct KernelProfiler {
+    enabled: bool,
+    /// Dense per-node rows indexed by node id; grown only from the cold
+    /// `ensure_node` path (node registration), never while dispatching.
+    nodes: Vec<NodeProfile>,
+    frames: u64,
+    timers: u64,
+    drops: u64,
+    schedules: u64,
+    /// `(at_ps, queue_depth)` samples, decimated in place when full.
+    series: Vec<(u64, u64)>,
+    /// Record every `stride`-th schedule into `series`.
+    stride: u64,
+    /// Pushes to skip before the next sample.
+    until_sample: u64,
+    max_queue_depth: u64,
+}
+
+impl KernelProfiler {
+    /// A profiler that records nothing (the default).
+    pub fn disabled() -> KernelProfiler {
+        KernelProfiler::default()
+    }
+
+    /// An enabled profiler; the queue-depth series is reserved up front
+    /// so recording never allocates.
+    pub fn enabled() -> KernelProfiler {
+        KernelProfiler {
+            enabled: true,
+            nodes: Vec::new(),
+            frames: 0,
+            timers: 0,
+            drops: 0,
+            schedules: 0,
+            series: Vec::with_capacity(QUEUE_SERIES_CAP),
+            stride: 1,
+            until_sample: 0,
+            max_queue_depth: 0,
+        }
+    }
+
+    /// True when the profiler is collecting.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Make room for per-node counters up to `node`. Cold path: called
+    /// when a node is registered, so the dispatch-time methods below can
+    /// index without bounds growth.
+    pub fn ensure_node(&mut self, node: u32) {
+        if !self.enabled {
+            return;
+        }
+        let want = node as usize + 1;
+        if self.nodes.len() < want {
+            let mut id = self.nodes.len() as u32;
+            self.nodes.resize_with(want, || {
+                let row = NodeProfile::new(id);
+                id += 1;
+                row
+            });
+        }
+    }
+
+    /// A frame was dispatched to `node` at `at_ps`.
+    #[inline]
+    pub fn record_frame(&mut self, at_ps: u64, node: u32) {
+        if !self.enabled {
+            return;
+        }
+        self.frames += 1;
+        if let Some(row) = self.nodes.get_mut(node as usize) {
+            row.frames += 1;
+            row.touch(at_ps);
+        }
+    }
+
+    /// A timer was dispatched to `node` at `at_ps`.
+    #[inline]
+    pub fn record_timer(&mut self, at_ps: u64, node: u32) {
+        if !self.enabled {
+            return;
+        }
+        self.timers += 1;
+        if let Some(row) = self.nodes.get_mut(node as usize) {
+            row.timers += 1;
+            row.touch(at_ps);
+        }
+    }
+
+    /// A frame addressed to (or emitted toward) `node` was dropped.
+    #[inline]
+    pub fn record_drop(&mut self, node: u32) {
+        if !self.enabled {
+            return;
+        }
+        self.drops += 1;
+        if let Some(row) = self.nodes.get_mut(node as usize) {
+            row.drops += 1;
+        }
+    }
+
+    /// An event was pushed into the scheduler; `depth` is the queue
+    /// length after the push. Samples the depth time series.
+    #[inline]
+    pub fn record_schedule(&mut self, at_ps: u64, depth: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.schedules += 1;
+        let depth = depth as u64;
+        if depth > self.max_queue_depth {
+            self.max_queue_depth = depth;
+        }
+        if self.until_sample > 0 {
+            self.until_sample -= 1;
+            return;
+        }
+        if self.series.len() == QUEUE_SERIES_CAP {
+            // Decimate in place: keep every other sample, double the
+            // stride. No allocation, bounded forever.
+            for i in 0..QUEUE_SERIES_CAP / 2 {
+                self.series[i] = self.series[2 * i];
+            }
+            self.series.truncate(QUEUE_SERIES_CAP / 2);
+            self.stride *= 2;
+        }
+        self.series.push((at_ps, depth));
+        self.until_sample = self.stride - 1;
+    }
+
+    /// Freeze the counters into a plain-data [`KernelProfile`]. The
+    /// scheduler and arena sections are left zeroed for the simulator
+    /// to fill in; returns `None` when the profiler is disabled.
+    pub fn snapshot(&self, at_ps: u64) -> Option<KernelProfile> {
+        if !self.enabled {
+            return None;
+        }
+        Some(KernelProfile {
+            at_ps,
+            scheduler: String::new(),
+            frames: self.frames,
+            timers: self.timers,
+            drops: self.drops,
+            schedules: self.schedules,
+            max_queue_depth: self.max_queue_depth,
+            queue_depth: self.series.clone(),
+            queue_stride: self.stride,
+            per_node: self
+                .nodes
+                .iter()
+                .filter(|n| n.dispatches() > 0 || n.drops > 0)
+                .copied()
+                .collect(),
+            sched_rebuilds: 0,
+            sched_cascades: 0,
+            sched_bucket_count: 0,
+            sched_bucket_width_ps: 0,
+            wheel_occupancy: [0; PROFILE_WHEEL_LEVELS],
+            arena_allocated: 0,
+            arena_reused: 0,
+            arena_recycled: 0,
+        })
+    }
+}
+
+/// Plain-data snapshot of kernel behavior over a run: dispatch counters
+/// from [`KernelProfiler`] plus scheduler and arena statistics filled in
+/// by the simulator at snapshot time. Everything is integers (+ one
+/// scheduler-name string), so it serializes and renders without touching
+/// simulator types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// Simulated time the snapshot was taken, ps.
+    pub at_ps: u64,
+    /// Active scheduler name (e.g. `binary-heap`).
+    pub scheduler: String,
+    /// Frames dispatched.
+    pub frames: u64,
+    /// Timers dispatched.
+    pub timers: u64,
+    /// Frames dropped (loss, overflow, unrouted).
+    pub drops: u64,
+    /// Events pushed into the scheduler.
+    pub schedules: u64,
+    /// Largest queue depth ever observed after a push.
+    pub max_queue_depth: u64,
+    /// Bounded `(at_ps, depth)` time series of queue depth.
+    pub queue_depth: Vec<(u64, u64)>,
+    /// Sampling stride of `queue_depth` (every n-th push sampled).
+    pub queue_stride: u64,
+    /// Per-node rows (only nodes with activity), ascending node id.
+    pub per_node: Vec<NodeProfile>,
+    /// Calendar-queue bucket-array rebuilds (0 for other schedulers).
+    pub sched_rebuilds: u64,
+    /// Timing-wheel cascades (0 for other schedulers).
+    pub sched_cascades: u64,
+    /// Calendar-queue bucket count at snapshot time.
+    pub sched_bucket_count: u64,
+    /// Calendar-queue bucket width at snapshot time, ps.
+    pub sched_bucket_width_ps: u64,
+    /// Timing-wheel occupied slots per level at snapshot time.
+    pub wheel_occupancy: [u64; PROFILE_WHEEL_LEVELS],
+    /// Frame buffers allocated fresh from the heap.
+    pub arena_allocated: u64,
+    /// Frame buffers reused from the arena free list.
+    pub arena_reused: u64,
+    /// Frame buffers returned to the arena.
+    pub arena_recycled: u64,
+}
+
+impl KernelProfile {
+    /// Total dispatches (frames + timers).
+    pub fn dispatches(&self) -> u64 {
+        self.frames + self.timers
+    }
+
+    /// Fraction of frame builds served from the arena free list,
+    /// in `[0, 1]`. `None` when no frame was ever built.
+    pub fn arena_reuse_ratio(&self) -> Option<f64> {
+        let total = self.arena_allocated + self.arena_reused;
+        if total == 0 {
+            None
+        } else {
+            Some(self.arena_reused as f64 / total as f64)
+        }
+    }
+
+    /// Busiest nodes by total dispatches, descending; ties break on
+    /// ascending node id so the order is deterministic.
+    pub fn busiest_nodes(&self, top: usize) -> Vec<NodeProfile> {
+        let mut rows = self.per_node.clone();
+        rows.sort_by(|a, b| {
+            b.dispatches()
+                .cmp(&a.dispatches())
+                .then(a.node.cmp(&b.node))
+        });
+        rows.truncate(top);
+        rows
+    }
+
+    /// Multi-line human-readable rendering, each line prefixed with
+    /// `indent`. Used by `DesignReport::summary()` and the experiment
+    /// binaries; byte-stable for fixed input.
+    pub fn render(&self, indent: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{indent}kernel profile @ {} ps ({})\n",
+            self.at_ps, self.scheduler
+        ));
+        out.push_str(&format!(
+            "{indent}  dispatched : {} frames, {} timers, {} drops ({} scheduled)\n",
+            self.frames, self.timers, self.drops, self.schedules
+        ));
+        out.push_str(&format!(
+            "{indent}  queue depth: max {} ({} samples, stride {})\n",
+            self.max_queue_depth,
+            self.queue_depth.len(),
+            self.queue_stride
+        ));
+        match self.arena_reuse_ratio() {
+            Some(ratio) => out.push_str(&format!(
+                "{indent}  arena      : {} alloc, {} reuse, {} recycled ({:.1}% reuse)\n",
+                self.arena_allocated,
+                self.arena_reused,
+                self.arena_recycled,
+                ratio * 100.0
+            )),
+            None => out.push_str(&format!("{indent}  arena      : no frames built\n")),
+        }
+        if self.sched_rebuilds > 0 || self.sched_bucket_count > 0 {
+            out.push_str(&format!(
+                "{indent}  calendar   : {} rebuilds, {} buckets x {} ps\n",
+                self.sched_rebuilds, self.sched_bucket_count, self.sched_bucket_width_ps
+            ));
+        }
+        if self.sched_cascades > 0 || self.wheel_occupancy.iter().any(|&o| o > 0) {
+            let occ: Vec<String> = self.wheel_occupancy.iter().map(|o| o.to_string()).collect();
+            out.push_str(&format!(
+                "{indent}  wheel      : {} cascades, occupancy [{}]\n",
+                self.sched_cascades,
+                occ.join(" ")
+            ));
+        }
+        for row in self.busiest_nodes(5) {
+            out.push_str(&format!(
+                "{indent}  node {:<5}: {} frames, {} timers, {} drops, active {}..{} ps\n",
+                row.node,
+                row.frames,
+                row.timers,
+                row.drops,
+                if row.first_at_ps == u64::MAX {
+                    0
+                } else {
+                    row.first_at_ps
+                },
+                row.last_at_ps
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = KernelProfiler::disabled();
+        p.ensure_node(3);
+        p.record_frame(10, 3);
+        p.record_timer(10, 3);
+        p.record_drop(3);
+        p.record_schedule(10, 5);
+        assert!(p.snapshot(10).is_none());
+    }
+
+    #[test]
+    fn counters_attribute_per_node_and_kind() {
+        let mut p = KernelProfiler::enabled();
+        for n in 0..4 {
+            p.ensure_node(n);
+        }
+        p.record_frame(100, 1);
+        p.record_frame(200, 1);
+        p.record_timer(300, 2);
+        p.record_drop(1);
+        let prof = p.snapshot(1_000).expect("enabled");
+        assert_eq!(prof.frames, 2);
+        assert_eq!(prof.timers, 1);
+        assert_eq!(prof.drops, 1);
+        assert_eq!(prof.dispatches(), 3);
+        // Only active nodes appear.
+        assert_eq!(prof.per_node.len(), 2);
+        let n1 = prof.per_node.iter().find(|r| r.node == 1).expect("node 1");
+        assert_eq!(n1.frames, 2);
+        assert_eq!(n1.drops, 1);
+        assert_eq!(n1.first_at_ps, 100);
+        assert_eq!(n1.last_at_ps, 200);
+        let busiest = prof.busiest_nodes(1);
+        assert_eq!(busiest[0].node, 1);
+    }
+
+    #[test]
+    fn late_registered_nodes_keep_existing_counts() {
+        let mut p = KernelProfiler::enabled();
+        p.ensure_node(0);
+        p.record_frame(10, 0);
+        p.ensure_node(5);
+        p.record_frame(20, 5);
+        let prof = p.snapshot(100).expect("enabled");
+        assert_eq!(prof.per_node.len(), 2);
+        assert_eq!(prof.per_node[0].node, 0);
+        assert_eq!(prof.per_node[1].node, 5);
+    }
+
+    #[test]
+    fn queue_series_is_bounded_and_decimates() {
+        let mut p = KernelProfiler::enabled();
+        for i in 0..(QUEUE_SERIES_CAP as u64 * 10) {
+            p.record_schedule(i, i as usize % 50);
+        }
+        let prof = p.snapshot(0).expect("enabled");
+        assert!(prof.queue_depth.len() <= QUEUE_SERIES_CAP);
+        assert!(prof.queue_stride >= 2, "stride doubled at least once");
+        assert_eq!(prof.max_queue_depth, 49);
+        assert_eq!(prof.schedules, QUEUE_SERIES_CAP as u64 * 10);
+        // Samples stay in time order after decimation.
+        for w in prof.queue_depth.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn series_never_grows_beyond_reserved_capacity() {
+        let mut p = KernelProfiler::enabled();
+        let cap_before = p.series.capacity();
+        for i in 0..100_000u64 {
+            p.record_schedule(i, 3);
+        }
+        assert_eq!(
+            p.series.capacity(),
+            cap_before,
+            "series must not reallocate"
+        );
+    }
+
+    #[test]
+    fn reuse_ratio_handles_empty_and_full() {
+        let mut prof = KernelProfiler::enabled().snapshot(0).expect("enabled");
+        assert_eq!(prof.arena_reuse_ratio(), None);
+        prof.arena_allocated = 25;
+        prof.arena_reused = 75;
+        assert_eq!(prof.arena_reuse_ratio(), Some(0.75));
+    }
+
+    #[test]
+    fn render_mentions_scheduler_sections_only_when_active() {
+        let mut prof = KernelProfiler::enabled().snapshot(42).expect("enabled");
+        prof.scheduler = "timing-wheel".to_string();
+        prof.sched_cascades = 7;
+        prof.wheel_occupancy[0] = 3;
+        let text = prof.render("  ");
+        assert!(
+            text.contains("kernel profile @ 42 ps (timing-wheel)"),
+            "{text}"
+        );
+        assert!(text.contains("7 cascades"), "{text}");
+        assert!(!text.contains("calendar"), "{text}");
+    }
+}

@@ -338,16 +338,19 @@ fn get_str<'a>(obj: &'a BTreeMap<String, Val>, key: &str) -> Result<&'a str, Str
 }
 
 /// Parse a `tn-trace/v1` JSONL document. Strict on the known record
-/// shapes; unknown record types and unknown fields are ignored, as the
-/// versioning contract requires.
+/// shapes; unknown record *types* and unknown fields are ignored, as the
+/// versioning contract requires — but every line must be a well-formed
+/// record. Malformed, truncated, or blank lines fail with a line-numbered
+/// [`ParseError::BadRecord`] instead of being skipped, so a corrupted or
+/// cut-off capture cannot silently parse as a shorter document.
 pub fn parse(input: &str) -> Result<TraceDoc, ParseError> {
-    let mut lines = input
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = input.lines().enumerate();
     let (_, header) = lines
         .next()
         .ok_or_else(|| ParseError::BadHeader("empty document".into()))?;
+    if header.trim().is_empty() {
+        return Err(ParseError::BadHeader("blank first line".into()));
+    }
     let obj = parse_object(header).map_err(ParseError::BadHeader)?;
     if get_str(&obj, "schema").map_err(ParseError::BadHeader)? != SCHEMA {
         return Err(ParseError::BadHeader(format!("schema is not {SCHEMA:?}")));
@@ -362,6 +365,11 @@ pub fn parse(input: &str) -> Result<TraceDoc, ParseError> {
     for (idx, line) in lines {
         let lineno = idx + 1;
         let bad = |why: String| ParseError::BadRecord { line: lineno, why };
+        if line.trim().is_empty() {
+            return Err(bad(
+                "blank line (tn-trace/v1 is one record per line)".to_string()
+            ));
+        }
         let obj = parse_object(line).map_err(bad)?;
         match get_str(&obj, "type").map_err(bad)? {
             "node" => {
@@ -508,5 +516,103 @@ mod tests {
         let parsed = parse(doc).unwrap();
         assert!(parsed.spans.is_empty());
         assert_eq!(parsed.seed, 1);
+    }
+
+    const HEADER: &str =
+        "{\"schema\":\"tn-trace/v1\",\"type\":\"meta\",\"scenario\":\"x\",\"seed\":1}";
+
+    #[test]
+    fn blank_interior_lines_error_with_line_number() {
+        let doc = format!("{HEADER}\n\n{{\"type\":\"event\",\"at_ps\":1,\"node\":0,\"name\":\"g\",\"value\":1}}\n");
+        let err = parse(&doc).unwrap_err();
+        assert!(
+            matches!(err, ParseError::BadRecord { line: 2, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
+
+        // Whitespace-only lines count as blank, wherever they sit.
+        let doc = format!("{HEADER}\n{{\"type\":\"node\",\"id\":0,\"name\":\"a\"}}\n   \t\n");
+        let err = parse(&doc).unwrap_err();
+        assert!(
+            matches!(err, ParseError::BadRecord { line: 3, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn blank_first_line_is_a_header_error() {
+        let err = parse("\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadHeader(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_record_errors_with_line_number() {
+        // A capture cut off mid-object (no closing brace).
+        let doc = format!("{HEADER}\n{{\"type\":\"span\",\"frame\":1,\"node\":0");
+        let err = parse(&doc).unwrap_err();
+        assert!(
+            matches!(err, ParseError::BadRecord { line: 2, .. }),
+            "{err}"
+        );
+
+        // Cut off inside a string literal.
+        let doc = format!("{HEADER}\n{{\"type\":\"event\",\"name\":\"ga");
+        let err = parse(&doc).unwrap_err();
+        match &err {
+            ParseError::BadRecord { line: 2, why } => {
+                assert!(why.contains("unterminated string"), "{why}")
+            }
+            other => panic!("expected BadRecord line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_values_error_instead_of_skipping() {
+        // Garbage where a number belongs.
+        let doc = format!("{HEADER}\n{{\"type\":\"event\",\"at_ps\":12x4,\"node\":0,\"name\":\"g\",\"value\":1}}\n");
+        let err = parse(&doc).unwrap_err();
+        assert!(
+            matches!(err, ParseError::BadRecord { line: 2, .. }),
+            "{err}"
+        );
+
+        // Trailing characters after the object.
+        let doc = format!("{HEADER}\n{{\"type\":\"node\",\"id\":0,\"name\":\"a\"}}garbage\n");
+        let err = parse(&doc).unwrap_err();
+        match &err {
+            ParseError::BadRecord { line: 2, why } => {
+                assert!(why.contains("trailing characters"), "{why}")
+            }
+            other => panic!("expected BadRecord line 2, got {other:?}"),
+        }
+
+        // Not an object at all.
+        let doc = format!("{HEADER}\n[1,2,3]\n");
+        let err = parse(&doc).unwrap_err();
+        assert!(
+            matches!(err, ParseError::BadRecord { line: 2, .. }),
+            "{err}"
+        );
+
+        // A known record type with a missing required field still errors.
+        let doc = format!("{HEADER}\n{{\"type\":\"event\",\"at_ps\":1}}\n");
+        let err = parse(&doc).unwrap_err();
+        assert!(
+            matches!(err, ParseError::BadRecord { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn error_line_numbers_survive_earlier_valid_records() {
+        let doc = format!(
+            "{HEADER}\n{{\"type\":\"node\",\"id\":0,\"name\":\"a\"}}\n{{\"type\":\"node\",\"id\":1,\"name\":\"b\"}}\n{{\"type\":\"node\"\n"
+        );
+        let err = parse(&doc).unwrap_err();
+        assert!(
+            matches!(err, ParseError::BadRecord { line: 4, .. }),
+            "{err}"
+        );
     }
 }

@@ -3,6 +3,8 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use tn_obs::{FlightKind, FlightRecord, FlightRecorder};
+
 use crate::frame::{Frame, FrameArena, FrameBuilder, FrameId, FrameMeta};
 use crate::node::{NodeId, PortId};
 use crate::time::SimTime;
@@ -48,6 +50,7 @@ pub struct Context<'a> {
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) next_frame_id: &'a mut u64,
     pub(crate) arena: &'a mut FrameArena,
+    pub(crate) flight: &'a mut FlightRecorder,
 }
 
 impl Context<'_> {
@@ -77,6 +80,20 @@ impl Context<'_> {
     /// [`FrameBuilder::copy_from`] / [`FrameBuilder::zeroed`] and finish
     /// with [`FrameBuilder::build`].
     pub fn frame(&mut self) -> FrameBuilder<'_> {
+        if self.flight.is_enabled() {
+            let kind = if self.arena.will_reuse() {
+                FlightKind::FrameReuse
+            } else {
+                FlightKind::FrameAlloc
+            };
+            self.flight.record(FlightRecord {
+                at_ps: self.now.as_ps(),
+                kind,
+                node: self.me.0,
+                a: *self.next_frame_id,
+                b: 0,
+            });
+        }
         FrameBuilder::start(self.arena, self.next_frame_id, self.now)
     }
 
@@ -172,6 +189,25 @@ impl Context<'_> {
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
     }
+
+    /// Drop an application-level note into the kernel's flight recorder
+    /// (no-op when the ring is off). `kind` should be a semantically
+    /// matching [`FlightKind`] — e.g. [`FlightKind::RecoveryGap`] when a
+    /// receiver detects a sequence gap — with `a` / `b` carrying whatever
+    /// two details the application wants in the crash dump. Pure
+    /// side-state; cannot affect scheduling or the digest.
+    #[inline]
+    pub fn flight_note(&mut self, kind: FlightKind, a: u64, b: u64) {
+        if self.flight.is_enabled() {
+            self.flight.record(FlightRecord {
+                at_ps: self.now.as_ps(),
+                kind,
+                node: self.me.0,
+                a,
+                b,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +220,7 @@ mod tests {
         rng: &'a mut SmallRng,
         next: &'a mut u64,
         arena: &'a mut FrameArena,
+        flight: &'a mut FlightRecorder,
     ) -> Context<'a> {
         Context {
             now: SimTime::from_ns(5),
@@ -192,6 +229,7 @@ mod tests {
             rng,
             next_frame_id: next,
             arena,
+            flight,
         }
     }
 
@@ -201,7 +239,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut next = 10;
         let mut arena = FrameArena::new();
-        let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena);
+        let mut flight = FlightRecorder::disabled();
+        let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena, &mut flight);
         let a = c.frame().copy_from(&[0]).build();
         let b = c.frame().copy_from(&[1]).build();
         assert_eq!(a.id, FrameId(10));
@@ -216,7 +255,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut next = 0;
         let mut arena = FrameArena::new();
-        let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena);
+        let mut flight = FlightRecorder::disabled();
+        let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena, &mut flight);
         let f = c.frame().copy_from(&[0]).build();
         c.send(PortId(2), f.clone());
         c.set_timer(SimTime::from_us(1), TimerToken(9));
@@ -248,7 +288,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut next = 0;
         let mut arena = FrameArena::new();
-        let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena);
+        let mut flight = FlightRecorder::disabled();
+        let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena, &mut flight);
         let a = c.frame().zeroed(64).build();
         let b = c.frame().copy_from(&[7, 7, 7]).build();
         assert_eq!(a.bytes, vec![0u8; 64]);
@@ -267,12 +308,34 @@ mod tests {
     }
 
     #[test]
+    fn flight_notes_and_frame_builds_reach_the_ring() {
+        let mut actions = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut next = 0;
+        let mut arena = FrameArena::new();
+        let mut flight = FlightRecorder::with_capacity(8);
+        let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena, &mut flight);
+        let f = c.frame().zeroed(16).build();
+        c.recycle(f);
+        let _reused = c.frame().zeroed(8).build();
+        c.flight_note(FlightKind::RecoveryGap, 100, 3);
+        let recs: Vec<FlightRecord> = flight.records().copied().collect();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].kind, FlightKind::FrameAlloc);
+        assert_eq!(recs[1].kind, FlightKind::FrameReuse);
+        assert_eq!(recs[2].kind, FlightKind::RecoveryGap);
+        assert_eq!(recs[2].node, 3, "note carries the handling node");
+        assert_eq!((recs[2].a, recs[2].b), (100, 3));
+    }
+
+    #[test]
     fn coin_is_unit_interval() {
         let mut actions = Vec::new();
         let mut rng = SmallRng::seed_from_u64(7);
         let mut next = 0;
         let mut arena = FrameArena::new();
-        let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena);
+        let mut flight = FlightRecorder::disabled();
+        let mut c = ctx(&mut actions, &mut rng, &mut next, &mut arena, &mut flight);
         for _ in 0..1000 {
             let v = c.coin();
             assert!((0.0..1.0).contains(&v));

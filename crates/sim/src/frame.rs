@@ -225,6 +225,15 @@ impl FrameArena {
         }
     }
 
+    /// True when the next [`FrameArena::take`] will hand out a recycled
+    /// buffer rather than allocate. Lets the flight recorder classify a
+    /// frame build as reuse vs. allocation *before* the builder borrows
+    /// the arena.
+    #[inline]
+    pub fn will_reuse(&self) -> bool {
+        !self.free.is_empty()
+    }
+
     /// Hand out an empty buffer: the most recently recycled one when the
     /// slab has any (its capacity is kept, its length is zero), a fresh
     /// allocation otherwise.

@@ -6,11 +6,13 @@ use std::collections::BTreeMap;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use tn_obs::{FlightKind, FlightRecord, FlightRecorder, KernelProfile, KernelProfiler};
+
 use crate::context::{Action, Context, TimerToken};
 use crate::frame::{ArenaStats, Frame, FrameArena, FrameBuilder, FrameId, FrameMeta};
 use crate::link::{Link, LinkOutcome};
 use crate::node::{Node, NodeId, PortId};
-use crate::sched::{EventKind, QueuedEvent, Scheduler, SchedulerKind};
+use crate::sched::{EventKind, QueuedEvent, SchedStats, Scheduler, SchedulerKind};
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, TraceKind, TraceLog};
 
@@ -79,6 +81,11 @@ pub struct Simulator {
     stats: SimStats,
     provenance: bool,
     metrics: tn_obs::Metrics,
+    flight: FlightRecorder,
+    profiler: KernelProfiler,
+    /// Scheduler counters at the last flight observation, so rebuild /
+    /// cascade deltas can be turned into flight records.
+    last_sched: SchedStats,
     /// Kernel-level trace log (disabled by default).
     pub trace: TraceLog,
 }
@@ -111,6 +118,9 @@ impl Simulator {
             stats: SimStats::default(),
             provenance: false,
             metrics: tn_obs::Metrics::disabled(),
+            flight: FlightRecorder::disabled(),
+            profiler: KernelProfiler::disabled(),
+            last_sched: SchedStats::default(),
             trace: TraceLog::disabled(),
         }
     }
@@ -158,6 +168,75 @@ impl Simulator {
         &self.metrics
     }
 
+    /// Size (and enable) the tn-flight recorder: keep the last
+    /// `capacity` kernel events (schedules, dispatches, drops, frame
+    /// alloc/reuse, scheduler rebuilds/cascades, application notes) in a
+    /// fixed ring, dumped on panic or via [`Simulator::dump_flight`].
+    /// `0` disables. Replaces the ring, so call between runs.
+    ///
+    /// Recording is pure side-state — no randomness, no scheduling, no
+    /// wall-clock — so any capacity leaves trace digests bit-identical
+    /// (pinned by the `flight-on-vs-off` divergence scenario).
+    pub fn set_flight_capacity(&mut self, capacity: usize) {
+        self.flight = if capacity == 0 {
+            FlightRecorder::disabled()
+        } else {
+            FlightRecorder::with_capacity(capacity)
+        };
+    }
+
+    /// Borrow the flight recorder (tests, diagnostics).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Render the flight-recorder ring as a human-readable dump: a
+    /// header with the simulated time and scheduler, then the last N
+    /// records oldest-first. Deterministic for a given run prefix.
+    pub fn dump_flight(&self) -> String {
+        format!(
+            "tn-flight dump @ {} ps (scheduler {})\n{}",
+            self.now.as_ps(),
+            self.sched_kind.name(),
+            self.flight.render()
+        )
+    }
+
+    /// Enable or disable the deterministic kernel self-profiler.
+    /// Enabling resets any previous collection and registers every
+    /// already-added node. Like the flight recorder, profiling is pure
+    /// side-state and cannot move a run's digest.
+    pub fn set_profile(&mut self, on: bool) {
+        if on {
+            let mut p = KernelProfiler::enabled();
+            if let Some(last) = self.nodes.len().checked_sub(1) {
+                p.ensure_node(last as u32);
+            }
+            self.profiler = p;
+        } else {
+            self.profiler = KernelProfiler::disabled();
+        }
+    }
+
+    /// Snapshot the profiler into a [`KernelProfile`], folding in the
+    /// scheduler's structural counters and the arena's reuse statistics.
+    /// `None` unless [`Simulator::set_profile`] enabled collection.
+    pub fn profile(&self) -> Option<KernelProfile> {
+        let mut p = self.profiler.snapshot(self.now.as_ps())?;
+        p.scheduler = self.sched_kind.name().to_string();
+        let s = self.queue.stats();
+        p.sched_rebuilds = s.rebuilds;
+        p.sched_cascades = s.cascades;
+        p.sched_bucket_count = s.bucket_count;
+        p.sched_bucket_width_ps = s.bucket_width_ps;
+        p.wheel_occupancy = s.wheel_occupancy;
+        let a = self.arena.stats();
+        p.arena_allocated = a.allocated;
+        p.arena_reused = a.reused;
+        p.arena_recycled = a.recycled;
+        Some(p)
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -181,6 +260,9 @@ impl Simulator {
                 .node
                 .on_attach_metrics(&self.metrics);
         }
+        // Registration is the cold path that sizes the profiler's dense
+        // per-node rows, so dispatch-time recording is pure indexing.
+        self.profiler.ensure_node(id.0);
         id
     }
 
@@ -280,6 +362,20 @@ impl Simulator {
     /// [`FrameArena`] (in steady state a recycled buffer — no
     /// allocation).
     pub fn frame(&mut self) -> FrameBuilder<'_> {
+        if self.flight.is_enabled() {
+            let kind = if self.arena.will_reuse() {
+                FlightKind::FrameReuse
+            } else {
+                FlightKind::FrameAlloc
+            };
+            self.flight.record(FlightRecord {
+                at_ps: self.now.as_ps(),
+                kind,
+                node: u32::MAX,
+                a: self.next_frame_id,
+                b: 0,
+            });
+        }
         FrameBuilder::start(&mut self.arena, &mut self.next_frame_id, self.now)
     }
 
@@ -338,7 +434,7 @@ impl Simulator {
     pub fn inject_frame(&mut self, at: SimTime, node: NodeId, port: PortId, frame: Frame) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
         let seq = self.bump_seq();
-        self.queue.push(QueuedEvent {
+        self.push_event(QueuedEvent {
             at,
             seq,
             kind: EventKind::Frame { node, port, frame },
@@ -349,7 +445,7 @@ impl Simulator {
     pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: TimerToken) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
         let seq = self.bump_seq();
-        self.queue.push(QueuedEvent {
+        self.push_event(QueuedEvent {
             at,
             seq,
             kind: EventKind::Timer { node, token },
@@ -362,6 +458,58 @@ impl Simulator {
         s
     }
 
+    /// Single funnel for every scheduler insertion. The profiler and
+    /// flight recorder observe the stream here — pure side-state ahead
+    /// of an unchanged `push`, so pop order cannot move.
+    #[inline]
+    fn push_event(&mut self, ev: QueuedEvent) {
+        if self.profiler.is_enabled() {
+            self.profiler
+                .record_schedule(ev.at.as_ps(), self.queue.len() + 1);
+        }
+        if self.flight.is_enabled() {
+            self.flight.record(FlightRecord {
+                at_ps: ev.at.as_ps(),
+                kind: FlightKind::Schedule,
+                node: ev.target_node().0,
+                a: ev.seq,
+                b: self.now.as_ps(),
+            });
+        }
+        self.queue.push(ev);
+        self.note_sched_activity();
+    }
+
+    /// With the flight recorder on, turn scheduler-counter deltas since
+    /// the last observation into records: calendar rebuilds and wheel
+    /// cascades happen inside the scheduler, which has no recorder
+    /// access, so the kernel watches the counters at its boundaries.
+    fn note_sched_activity(&mut self) {
+        if !self.flight.is_enabled() {
+            return;
+        }
+        let s = self.queue.stats();
+        if s.rebuilds > self.last_sched.rebuilds {
+            self.flight.record(FlightRecord {
+                at_ps: self.now.as_ps(),
+                kind: FlightKind::CalendarRebuild,
+                node: u32::MAX,
+                a: s.bucket_count,
+                b: s.bucket_width_ps,
+            });
+        }
+        if s.cascades > self.last_sched.cascades {
+            self.flight.record(FlightRecord {
+                at_ps: self.now.as_ps(),
+                kind: FlightKind::WheelCascade,
+                node: u32::MAX,
+                a: s.cascades,
+                b: self.queue.len() as u64,
+            });
+        }
+        self.last_sched = s;
+    }
+
     /// Process the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(ev) = self.queue.pop() else {
@@ -370,6 +518,10 @@ impl Simulator {
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
         self.stats.events_processed += 1;
+        // Pops (and the next_at probes between steps) are where the
+        // wheel cascades and the calendar may rebuild; catch up on the
+        // counter deltas before dispatching.
+        self.note_sched_activity();
         match ev.kind {
             EventKind::Frame { node, port, frame } => self.dispatch_frame(node, port, frame),
             EventKind::Timer { node, token } => self.dispatch_timer(node, token),
@@ -417,6 +569,18 @@ impl Simulator {
             frame: frame.id,
             kind: TraceKind::Deliver,
         });
+        if self.profiler.is_enabled() {
+            self.profiler.record_frame(self.now.as_ps(), node.0);
+        }
+        if self.flight.is_enabled() {
+            self.flight.record(FlightRecord {
+                at_ps: self.now.as_ps(),
+                kind: FlightKind::Dispatch,
+                node: node.0,
+                a: frame.id.0,
+                b: u64::from(port.0),
+            });
+        }
         let slot = &mut self.nodes[node.0 as usize];
         let mut ctx = Context {
             now: self.now,
@@ -425,6 +589,7 @@ impl Simulator {
             rng: &mut self.rng,
             next_frame_id: &mut self.next_frame_id,
             arena: &mut self.arena,
+            flight: &mut self.flight,
         };
         slot.node.on_frame(&mut ctx, port, frame);
         self.apply_actions(node);
@@ -440,6 +605,18 @@ impl Simulator {
             frame: FrameId(u64::MAX),
             kind: TraceKind::Timer,
         });
+        if self.profiler.is_enabled() {
+            self.profiler.record_timer(self.now.as_ps(), node.0);
+        }
+        if self.flight.is_enabled() {
+            self.flight.record(FlightRecord {
+                at_ps: self.now.as_ps(),
+                kind: FlightKind::Dispatch,
+                node: node.0,
+                a: token.0,
+                b: u64::MAX,
+            });
+        }
         let slot = &mut self.nodes[node.0 as usize];
         let mut ctx = Context {
             now: self.now,
@@ -448,6 +625,7 @@ impl Simulator {
             rng: &mut self.rng,
             next_frame_id: &mut self.next_frame_id,
             arena: &mut self.arena,
+            flight: &mut self.flight,
         };
         slot.node.on_timer(&mut ctx, token);
         self.apply_actions(node);
@@ -463,7 +641,7 @@ impl Simulator {
                 Action::Timer { delay, token } => {
                     let at = self.now + delay;
                     let seq = self.bump_seq();
-                    self.queue.push(QueuedEvent {
+                    self.push_event(QueuedEvent {
                         at,
                         seq,
                         kind: EventKind::Timer { node: src, token },
@@ -477,7 +655,7 @@ impl Simulator {
                 } => {
                     let at = self.now + delay;
                     let seq = self.bump_seq();
-                    self.queue.push(QueuedEvent {
+                    self.push_event(QueuedEvent {
                         at,
                         seq,
                         kind: EventKind::Frame {
@@ -543,6 +721,18 @@ impl Simulator {
                 frame: frame.id,
                 kind: TraceKind::Drop,
             });
+            if self.profiler.is_enabled() {
+                self.profiler.record_drop(src.0);
+            }
+            if self.flight.is_enabled() {
+                self.flight.record(FlightRecord {
+                    at_ps: self.now.as_ps(),
+                    kind: FlightKind::Drop,
+                    node: src.0,
+                    a: frame.id.0,
+                    b: u64::from(port.0),
+                });
+            }
             self.arena.give(frame.bytes);
             return;
         };
@@ -556,7 +746,7 @@ impl Simulator {
                     self.record_hop_provenance(src, port, &mut frame, idx, at);
                 }
                 let seq = self.bump_seq();
-                self.queue.push(QueuedEvent {
+                self.push_event(QueuedEvent {
                     at,
                     seq,
                     kind: EventKind::Frame {
@@ -577,8 +767,32 @@ impl Simulator {
                     frame: frame.id,
                     kind: TraceKind::Drop,
                 });
+                if self.profiler.is_enabled() {
+                    self.profiler.record_drop(src.0);
+                }
+                if self.flight.is_enabled() {
+                    self.flight.record(FlightRecord {
+                        at_ps: self.now.as_ps(),
+                        kind: FlightKind::Drop,
+                        node: src.0,
+                        a: frame.id.0,
+                        b: u64::from(port.0),
+                    });
+                }
                 self.arena.give(frame.bytes);
             }
+        }
+    }
+}
+
+impl Drop for Simulator {
+    /// Flight recorders exist for the moment everything else is gone:
+    /// when the simulator unwinds during a panic with records in the
+    /// ring, dump them to stderr so the crash report carries the last N
+    /// kernel events. Quiet on normal drops and when the ring is off.
+    fn drop(&mut self) {
+        if std::thread::panicking() && !self.flight.is_empty() {
+            eprintln!("{}", self.dump_flight());
         }
     }
 }
@@ -934,6 +1148,94 @@ mod tests {
         assert!(sim.node::<TimerNode>(a).is_none());
         assert_eq!(sim.node_name(a), "a");
         assert_eq!(sim.node_count(), 1);
+    }
+
+    /// A two-node ping-pong plant used by the flight/profile tests.
+    fn bouncing_pair(sim: &mut Simulator) -> NodeId {
+        let a = sim.add_node(
+            "a",
+            Repeater {
+                seen: vec![],
+                bounce: true,
+            },
+        );
+        let b = sim.add_node(
+            "b",
+            Repeater {
+                seen: vec![],
+                bounce: true,
+            },
+        );
+        let link = IdealLink::new(SimTime::from_ns(13));
+        sim.install_link(a, PortId(0), b, PortId(0), Box::new(link.clone()));
+        sim.install_link(b, PortId(0), a, PortId(0), Box::new(link));
+        a
+    }
+
+    #[test]
+    fn flight_ring_captures_kernel_events() {
+        let mut sim = Simulator::new(7);
+        sim.set_flight_capacity(16);
+        assert!(sim.flight().is_enabled());
+        let a = bouncing_pair(&mut sim);
+        let f = sim.frame().zeroed(64).build();
+        sim.inject_frame(SimTime::ZERO, a, PortId(0), f);
+        sim.run_until(SimTime::from_us(1));
+        let flight = sim.flight();
+        assert!(flight.total() > 16, "ping-pong overflows a 16-slot ring");
+        assert_eq!(flight.len(), 16, "ring holds exactly its capacity");
+        let kinds: Vec<FlightKind> = flight.records().map(|r| r.kind).collect();
+        assert!(kinds.contains(&FlightKind::Schedule));
+        assert!(kinds.contains(&FlightKind::Dispatch));
+        // Oldest-first: record times never decrease.
+        let times: Vec<u64> = flight.records().map(|r| r.at_ps).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        let dump = sim.dump_flight();
+        assert!(dump.starts_with("tn-flight dump @ "));
+        assert!(dump.contains("schedule"));
+    }
+
+    #[test]
+    fn profile_counts_match_kernel_stats() {
+        let mut sim = Simulator::new(7);
+        sim.set_profile(true);
+        let a = bouncing_pair(&mut sim);
+        let f = sim.frame().zeroed(64).build();
+        sim.inject_frame(SimTime::ZERO, a, PortId(0), f);
+        sim.run_until(SimTime::from_us(1));
+        let p = sim.profile().expect("profiler is on");
+        let stats = sim.stats();
+        assert_eq!(p.frames, stats.frames_delivered);
+        assert_eq!(p.timers, stats.timers_fired);
+        assert_eq!(p.drops, stats.frames_dropped + stats.frames_unrouted);
+        assert!(p.schedules > 0);
+        assert!(p.max_queue_depth >= 1);
+        assert_eq!(p.per_node.len(), 2);
+        let by_node: u64 = p.per_node.iter().map(|n| n.dispatches()).sum();
+        assert_eq!(by_node, p.dispatches());
+        // The arena section is folded in from the simulator.
+        assert_eq!(p.arena_allocated, sim.arena_stats().allocated);
+        assert!(sim.profile().is_some(), "snapshot is repeatable");
+        sim.set_profile(false);
+        assert!(sim.profile().is_none());
+    }
+
+    #[test]
+    fn flight_and_profile_leave_digests_unchanged() {
+        fn digest(flight: bool) -> (u64, u64) {
+            let mut sim = Simulator::new(3);
+            if flight {
+                sim.set_flight_capacity(32);
+                sim.set_profile(true);
+            }
+            let a = bouncing_pair(&mut sim);
+            let f = sim.frame().zeroed(100).build();
+            sim.inject_frame(SimTime::ZERO, a, PortId(0), f);
+            sim.run_until(SimTime::from_us(1));
+            (sim.trace.digest(), sim.trace.recorded())
+        }
+        assert_eq!(digest(false), digest(true));
+        assert!(digest(true).1 > 0);
     }
 
     #[test]

@@ -63,15 +63,17 @@ pub use frame::{ArenaStats, Frame, FrameArena, FrameBuilder, FrameId, FrameMeta}
 pub use kernel::{AnyNode, SimStats, Simulator};
 pub use link::{DropReason, HopTiming, IdealLink, Link, LinkOutcome};
 pub use node::{Node, NodeId, PortId};
-pub use sched::{BinaryHeapScheduler, CalendarQueue, Scheduler, SchedulerKind};
+pub use sched::{BinaryHeapScheduler, CalendarQueue, SchedStats, Scheduler, SchedulerKind};
 pub use time::SimTime;
 pub use trace::{fnv1a_fold, TraceEvent, TraceKind, TraceLog, EMPTY_DIGEST};
 
 /// Re-export of the telemetry types the kernel integrates with (see
-/// [`Simulator::set_provenance`] / [`Simulator::set_metrics`]), so models
-/// can name them without depending on `tn-obs` directly.
+/// [`Simulator::set_provenance`] / [`Simulator::set_metrics`] /
+/// [`Simulator::set_flight_capacity`] / [`Simulator::set_profile`]), so
+/// models can name them without depending on `tn-obs` directly.
 pub use tn_obs::{
-    Distribution, HopSegment, Metrics, MetricsRegistry, ObsConfig, Provenance, SegmentKind,
+    Distribution, FlightKind, FlightRecord, FlightRecorder, HopSegment, KernelProfile,
+    KernelProfiler, Metrics, MetricsRegistry, NodeProfile, ObsConfig, Provenance, SegmentKind,
     Snapshot, SnapshotEntry, SnapshotValue,
 };
 

@@ -57,6 +57,14 @@ impl QueuedEvent {
     fn key(&self) -> (SimTime, u64) {
         (self.at, self.seq)
     }
+
+    /// Node the event will dispatch to (flight-recorder attribution).
+    #[inline]
+    pub(crate) fn target_node(&self) -> NodeId {
+        match &self.kind {
+            EventKind::Frame { node, .. } | EventKind::Timer { node, .. } => *node,
+        }
+    }
 }
 
 impl PartialEq for QueuedEvent {
@@ -77,6 +85,26 @@ impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
     }
+}
+
+/// Structural statistics a scheduler exposes to the kernel profiler:
+/// plain counters, `Copy`, cheap enough to snapshot per event when the
+/// flight recorder is watching for rebuilds and cascades.
+///
+/// Implementations fill only the fields that apply to them (the heap has
+/// none); everything defaults to zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Calendar-queue bucket-array rebuilds since construction.
+    pub rebuilds: u64,
+    /// Timing-wheel upper-level cascades since construction.
+    pub cascades: u64,
+    /// Calendar-queue bucket count right now.
+    pub bucket_count: u64,
+    /// Calendar-queue bucket width right now, picoseconds.
+    pub bucket_width_ps: u64,
+    /// Timing-wheel occupied slots per level right now.
+    pub wheel_occupancy: [u64; WHEEL_LEVELS],
 }
 
 /// The pending-event set. Implementations must pop in ascending
@@ -100,6 +128,11 @@ pub trait Scheduler {
     }
     /// Short implementation name for diagnostics and bench output.
     fn name(&self) -> &'static str;
+    /// Structural counters for the profiler. Pure observation: calling
+    /// this must not change future pop order.
+    fn stats(&self) -> SchedStats {
+        SchedStats::default()
+    }
 }
 
 /// Which [`Scheduler`] a simulator uses. Selectable per scenario via
@@ -245,6 +278,8 @@ pub struct CalendarQueue {
     horizon_ema_ps: u64,
     /// Pushes since the width was last checked against the horizon.
     pushes_since_tune: u32,
+    /// Rebuilds since construction, for [`SchedStats`].
+    rebuilds: u64,
 }
 
 /// Pushes between width auto-tune checks. Checking is cheap but a
@@ -271,6 +306,7 @@ impl CalendarQueue {
             fallbacks: 0,
             horizon_ema_ps: 0,
             pushes_since_tune: 0,
+            rebuilds: 0,
         }
     }
 
@@ -337,6 +373,7 @@ impl CalendarQueue {
     /// may be near-empty at tune time, leaving nothing to re-derive
     /// from); occupancy resizes pass `None` and re-derive from contents.
     fn rebuild_with(&mut self, new_nb: usize, forced_shift: Option<u32>) {
+        self.rebuilds += 1;
         let new_nb = new_nb.clamp(MIN_BUCKETS, MAX_BUCKETS);
         let cursor_ps = self.cursor << self.shift;
         // audit:allow(hotpath-alloc): rebuild is an occupancy-triggered resize, amortized across many pushes
@@ -472,6 +509,15 @@ impl Scheduler for CalendarQueue {
     fn name(&self) -> &'static str {
         "calendar-queue"
     }
+
+    fn stats(&self) -> SchedStats {
+        SchedStats {
+            rebuilds: self.rebuilds,
+            bucket_count: self.buckets.len() as u64,
+            bucket_width_ps: self.bucket_width_ps(),
+            ..SchedStats::default()
+        }
+    }
 }
 
 /// Slots per wheel level; `2^WHEEL_GROUP_BITS`.
@@ -521,6 +567,8 @@ pub struct TimingWheel {
     /// Level-0 slot holding the global minimum, cached between
     /// [`Scheduler::next_at`] and [`Scheduler::pop`].
     cached_min: Option<usize>,
+    /// Cascades since construction, for [`SchedStats`].
+    cascades: u64,
 }
 
 impl Default for TimingWheel {
@@ -540,6 +588,7 @@ impl TimingWheel {
             cursor: 0,
             len: 0,
             cached_min: None,
+            cascades: 0,
         }
     }
 
@@ -633,6 +682,7 @@ impl TimingWheel {
             );
             let s = self.occ[level].trailing_zeros() as usize;
             self.occ[level] &= !(1u64 << s);
+            self.cascades += 1;
             // Take the deque out, re-place its events, hand the
             // (now empty) buffer back: no allocation on the cascade.
             let mut drained = std::mem::take(&mut self.slots[(level << WHEEL_GROUP_BITS) | s]);
@@ -733,6 +783,17 @@ impl Scheduler for TimingWheel {
 
     fn name(&self) -> &'static str {
         "timing-wheel"
+    }
+
+    fn stats(&self) -> SchedStats {
+        let mut s = SchedStats {
+            cascades: self.cascades,
+            ..SchedStats::default()
+        };
+        for (level, occ) in self.occ.iter().enumerate() {
+            s.wheel_occupancy[level] = u64::from(occ.count_ones());
+        }
+        s
     }
 }
 
@@ -966,6 +1027,44 @@ mod tests {
             assert_eq!(s.next_at(), Some(SimTime::from_ns(5)));
             assert_eq!(s.pop().map(|e| e.seq), Some(2));
         }
+    }
+
+    #[test]
+    fn stats_report_rebuilds_cascades_and_occupancy() {
+        // The reference heap has no structure to report.
+        let mut heap = BinaryHeapScheduler::new();
+        heap.push(timer(SimTime::from_ns(1), 0));
+        assert_eq!(heap.stats(), SchedStats::default());
+
+        // Growing the calendar far enough forces at least one rebuild.
+        let mut cal = CalendarQueue::new();
+        assert_eq!(cal.stats().rebuilds, 0);
+        for seq in 0..200 {
+            cal.push(timer(SimTime::from_ns(seq * 13), seq));
+        }
+        let cs = cal.stats();
+        assert!(cs.rebuilds > 0, "grow never rebuilt");
+        assert_eq!(cs.bucket_count, cal.bucket_count() as u64);
+        assert_eq!(cs.bucket_width_ps, cal.bucket_width_ps());
+        assert_eq!(cs.cascades, 0);
+
+        // Far-future events park in upper wheel levels, then cascade
+        // down when drained.
+        let mut wheel = TimingWheel::new();
+        wheel.push(timer(SimTime::from_ps(1_000), 0));
+        wheel.push(timer(SimTime::from_us(7), 1));
+        wheel.push(timer(SimTime::from_ms(20), 2));
+        let ws = wheel.stats();
+        assert_eq!(ws.cascades, 0);
+        assert_eq!(ws.wheel_occupancy.iter().sum::<u64>(), 3);
+        assert!(
+            ws.wheel_occupancy[1..].iter().sum::<u64>() >= 2,
+            "far events should park above level 0: {:?}",
+            ws.wheel_occupancy
+        );
+        while wheel.pop().is_some() {}
+        assert!(wheel.stats().cascades > 0, "drain never cascaded");
+        assert_eq!(wheel.stats().wheel_occupancy, [0; WHEEL_LEVELS]);
     }
 
     #[test]

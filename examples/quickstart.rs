@@ -13,12 +13,23 @@
 
 use trading_networks::core::design::{TradingNetworkDesign, TraditionalSwitches};
 use trading_networks::core::ScenarioConfig;
+use trading_networks::sim::ObsConfig;
 
 fn main() {
     // The common scenario: one exchange, 2 normalizers, 6 strategies,
     // 2 gateways, 50k market events/second. The builder starts from the
     // `small` preset and validates whatever you override.
-    let scenario = ScenarioConfig::builder(42).build().expect("valid scenario");
+    //
+    // The flight recorder and kernel self-profiler ride along: both are
+    // digest-neutral, so the report below is bit-identical to a bare run
+    // — it just also says what the kernel did to produce it.
+    let mut obs = ObsConfig::off();
+    obs.flight = true;
+    obs.profile = true;
+    let scenario = ScenarioConfig::builder(42)
+        .obs(obs)
+        .build()
+        .expect("valid scenario");
 
     println!("Figure 1 architecture, Design 1 (commodity leaf-spine):");
     println!(

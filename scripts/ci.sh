@@ -28,6 +28,9 @@ run cargo run --release --offline -q -p tn-audit -- schema --json "$audit_report
 run cargo run --release --offline -q -p tn-audit -- divergence --filter fault
 # Telemetry determinism: full observability must not move any digest.
 run cargo run --release --offline -q -p tn-audit -- divergence --filter obs
+# Flight-recorder determinism: recorder + profiler fully on must
+# reproduce the golden quickstart digest, bit for bit.
+run cargo run --release --offline -q -p tn-audit -- divergence --filter flight
 run cargo run --release --offline -q -p tn-audit -- divergence --filter latency-decomposition
 # tn-trace/v1 smoke: E21's JSONL leads with the schema marker.
 echo "==> exp_latency_decomposition --json (tn-trace/v1 schema check)"
@@ -35,7 +38,20 @@ trace_out=target/e21-trace.jsonl
 cargo run --release --offline -q -p tn-bench --bin exp_latency_decomposition -- --json \
     > "$trace_out"
 head -1 "$trace_out" | grep -q '"schema":"tn-trace/v1"'
-rm -f "$trace_out"
+# tn-flight/v1 smoke: the timeline export of the same trace leads with
+# its schema marker, and the folded-stacks rendering is byte-stable
+# across two summarize runs.
+echo "==> tn-obs summarize --timeline/--folded (tn-flight/v1 + stability)"
+flight_out=target/e21-flight.json
+cargo run --release --offline -q -p tn-obs -- summarize --timeline "$trace_out" \
+    > "$flight_out"
+head -1 "$flight_out" | grep -q '"schema":"tn-flight/v1"'
+cargo run --release --offline -q -p tn-obs -- summarize --folded "$trace_out" \
+    > target/e21-folded-1.txt
+cargo run --release --offline -q -p tn-obs -- summarize --folded "$trace_out" \
+    > target/e21-folded-2.txt
+cmp target/e21-folded-1.txt target/e21-folded-2.txt
+rm -f "$trace_out" "$flight_out" target/e21-folded-1.txt target/e21-folded-2.txt
 # Scheduler equivalence: a reduced-case differential sweep (the full
 # 64-case sweep runs with the workspace tests above).
 echo "==> scheduler_equivalence (reduced proptest sweep)"
