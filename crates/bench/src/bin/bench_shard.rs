@@ -1,0 +1,365 @@
+//! BENCH — sharded-kernel wall-clock: serial vs conservative-lookahead
+//! partitions on a single CPU.
+//!
+//! Two scenarios:
+//!
+//! - **quickstart** — the design-1 topology (`ScenarioConfig::small`)
+//!   run serially and through `ShardSpec::Auto(4)`. Small scheduler,
+//!   heavy cross-shard chatter: the partition overhead shows honestly.
+//! - **multi-metro-100k** — a synthetic 8-metro region with 100 000
+//!   timer-driven strategy agents (12 500 per metro, each on its own
+//!   evaluation period, orders flowing to the metro exchange, a trickle
+//!   of cross-metro forwards over ~300 µs circuits). The serial kernel
+//!   carries a ≥100 000-entry scheduler; the auto partition gives each
+//!   shard a ~12 500-entry one. On one CPU any speedup comes from those
+//!   smaller, cache-resident scheduler structures — not parallelism —
+//!   so the numbers stay honest on `nproc = 1` containers.
+//!
+//! Every sharded run's trace digest is asserted equal to the serial
+//! digest before any timing is reported. Results land in
+//! `BENCH_shard.json` (schema `tn-bench/v1`) at the repo root.
+//!
+//! ```sh
+//! cargo run --release -p tn-bench --bin bench_shard [-- --smoke]
+//! ```
+//!
+//! `--smoke` shrinks the metro scenario (4 metros × 500 agents) and runs
+//! one rep instead of three, for CI.
+
+use std::time::Instant;
+
+use tn_bench::row;
+use tn_core::{ScenarioConfig, ShardSpec, TradingNetworkDesign, TraditionalSwitches};
+use tn_sim::{
+    Context, Frame, IdealLink, Node, PortId, ShardPlan, ShardedSimulator, SimTime, Simulator,
+    TimerToken,
+};
+
+const EVAL: TimerToken = TimerToken(1);
+
+/// A strategy agent: re-evaluates on its own periodic timer and sends an
+/// order to the metro exchange every `order_every`-th evaluation.
+struct Agent {
+    period: SimTime,
+    order_every: u32,
+    evals: u32,
+}
+
+impl Node for Agent {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+        ctx.recycle(frame);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        debug_assert_eq!(timer, EVAL);
+        self.evals += 1;
+        if self.evals.is_multiple_of(self.order_every) {
+            let order = ctx.frame().zeroed(64).tag(u64::from(self.evals)).build();
+            ctx.send(PortId(0), order);
+        }
+        ctx.set_timer(self.period, EVAL);
+    }
+}
+
+/// A metro exchange: absorbs orders, forwarding every `forward_every`-th
+/// one over the inter-metro circuit (port 0) — the cross-shard traffic.
+struct MetroExchange {
+    forward_every: u64,
+    orders: u64,
+}
+
+impl Node for MetroExchange {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+        self.orders += 1;
+        if self.orders.is_multiple_of(self.forward_every) {
+            ctx.send(PortId(0), frame);
+        } else {
+            ctx.recycle(frame);
+        }
+    }
+}
+
+struct MetroScale {
+    metros: usize,
+    agents_per_metro: usize,
+    duration: SimTime,
+}
+
+impl MetroScale {
+    fn full() -> MetroScale {
+        MetroScale {
+            metros: 8,
+            agents_per_metro: 12_500, // 100_000 agents total
+            duration: SimTime::from_ms(3),
+        }
+    }
+
+    fn smoke() -> MetroScale {
+        MetroScale {
+            metros: 4,
+            agents_per_metro: 500,
+            duration: SimTime::from_us(500),
+        }
+    }
+
+    fn agents(&self) -> usize {
+        self.metros * self.agents_per_metro
+    }
+}
+
+/// Build the multi-metro region: per metro one exchange and
+/// `agents_per_metro` agents (staggered evaluation phases so the queue
+/// stays deep but timestamps stay distinct), exchanges ringed with slow
+/// circuits. Returns the simulator; every id is derived from position,
+/// so two builds are identical.
+fn build_metro(scale: &MetroScale) -> Simulator {
+    let mut sim = Simulator::new(0x6d65_7472);
+    let mut exchanges = Vec::with_capacity(scale.metros);
+    for m in 0..scale.metros {
+        let ex = sim.add_node(
+            format!("exch{m}"),
+            MetroExchange {
+                forward_every: 100,
+                orders: 0,
+            },
+        );
+        exchanges.push(ex);
+        for a in 0..scale.agents_per_metro {
+            let agent = sim.add_node(
+                format!("agent{m}.{a}"),
+                Agent {
+                    // Four period classes; staggered start below keeps
+                    // same-instant firings rare.
+                    period: SimTime::from_ns(80_000 + 7_000 * (a % 4) as u64),
+                    order_every: 10,
+                    evals: 0,
+                },
+            );
+            // Orders ride a sub-microsecond intra-metro hop; exchange
+            // ports 1.. are one-per-agent.
+            sim.install_link(
+                agent,
+                PortId(0),
+                ex,
+                PortId((a + 1) as u16),
+                Box::new(IdealLink::new(SimTime::from_ns(500))),
+            );
+            let phase = SimTime::from_ns((m * scale.agents_per_metro + a) as u64 % 80_000);
+            sim.schedule_timer(phase, agent, EVAL);
+        }
+    }
+    // Inter-metro ring: ~300 µs circuits — the conservative lookahead.
+    for m in 0..scale.metros {
+        let next = exchanges[(m + 1) % scale.metros];
+        sim.install_link(
+            exchanges[m],
+            PortId(0),
+            next,
+            PortId(0),
+            Box::new(IdealLink::new(SimTime::from_us(300))),
+        );
+    }
+    sim
+}
+
+/// One timed run: `(digest, events, wall_ns)`.
+struct Timed {
+    digest: u64,
+    events: u64,
+    wall_ns: u128,
+}
+
+fn time_metro(scale: &MetroScale, shards: Option<u16>, reps: u32) -> Timed {
+    let mut best = u128::MAX;
+    let mut sig: Option<(u64, u64)> = None;
+    for _ in 0..reps {
+        let sim = build_metro(scale);
+        // audit:allow(det-wallclock): measuring the harness itself; timings are reported, never fed back into the schedule
+        let t0 = Instant::now();
+        let (digest, events) = match shards {
+            None => {
+                let mut sim = sim;
+                sim.run_until(scale.duration);
+                (sim.trace.digest(), sim.trace.recorded())
+            }
+            Some(k) => {
+                let plan = ShardPlan::auto(&sim, k);
+                let mut sharded =
+                    ShardedSimulator::split(sim, &plan).expect("auto plans always validate");
+                sharded.run_until(scale.duration);
+                let merged = sharded.finish();
+                (merged.trace.digest(), merged.trace.recorded())
+            }
+        };
+        best = best.min(t0.elapsed().as_nanos());
+        if let Some(prev) = sig {
+            assert_eq!(prev, (digest, events), "metro runs must be deterministic");
+        }
+        sig = Some((digest, events));
+    }
+    let (digest, events) = sig.expect("at least one rep");
+    Timed {
+        digest,
+        events,
+        wall_ns: best,
+    }
+}
+
+fn time_quickstart(shards: Option<u16>, reps: u32) -> Timed {
+    let mut best = u128::MAX;
+    let mut sig: Option<(u64, u64)> = None;
+    for _ in 0..reps {
+        let mut sc = ScenarioConfig::small(42);
+        sc.duration = SimTime::from_ms(8);
+        sc.warmup = SimTime::from_ms(1);
+        if let Some(k) = shards {
+            sc.shards = ShardSpec::Auto(k);
+        }
+        // audit:allow(det-wallclock): measuring the harness itself; timings are reported, never fed back into the schedule
+        let t0 = Instant::now();
+        let report = TraditionalSwitches::default().run(&sc);
+        best = best.min(t0.elapsed().as_nanos());
+        if let Some(prev) = sig {
+            assert_eq!(
+                prev,
+                (report.trace_digest, report.events_recorded),
+                "quickstart runs must be deterministic"
+            );
+        }
+        sig = Some((report.trace_digest, report.events_recorded));
+    }
+    let (digest, events) = sig.expect("at least one rep");
+    Timed {
+        digest,
+        events,
+        wall_ns: best,
+    }
+}
+
+struct BenchRow {
+    scenario: String,
+    scale: String,
+    shards: u16,
+    events: u64,
+    digest: u64,
+    serial_ns: u128,
+    sharded_ns: u128,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.sharded_ns.max(1) as f64
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps: u32 = if smoke { 1 } else { 3 };
+    let scale = if smoke {
+        MetroScale::smoke()
+    } else {
+        MetroScale::full()
+    };
+    let mut rows: Vec<BenchRow> = Vec::new();
+
+    // Scenario 1: the design-1 quickstart through Auto(4).
+    let serial = time_quickstart(None, reps);
+    let sharded = time_quickstart(Some(4), reps);
+    assert_eq!(
+        (serial.digest, serial.events),
+        (sharded.digest, sharded.events),
+        "sharded quickstart diverged from serial"
+    );
+    rows.push(BenchRow {
+        scenario: "quickstart".into(),
+        scale: "design1-small".into(),
+        shards: 4,
+        events: serial.events,
+        digest: serial.digest,
+        serial_ns: serial.wall_ns,
+        sharded_ns: sharded.wall_ns,
+    });
+
+    // Scenario 2: the multi-metro agent swarm, one shard per metro.
+    let serial = time_metro(&scale, None, reps);
+    for k in [scale.metros as u16 / 2, scale.metros as u16] {
+        let sharded = time_metro(&scale, Some(k), reps);
+        assert_eq!(
+            (serial.digest, serial.events),
+            (sharded.digest, sharded.events),
+            "sharded metro run (k={k}) diverged from serial"
+        );
+        rows.push(BenchRow {
+            scenario: format!("multi-metro-{}k", scale.agents() / 1000),
+            scale: format!("{}x{}agents", scale.metros, scale.agents_per_metro),
+            shards: k,
+            events: serial.events,
+            digest: serial.digest,
+            serial_ns: serial.wall_ns,
+            sharded_ns: sharded.wall_ns,
+        });
+    }
+
+    println!(
+        "{}",
+        row(
+            "scenario",
+            &[
+                "shards".into(),
+                "events".into(),
+                "serial ms".into(),
+                "sharded ms".into(),
+                "speedup".into(),
+            ],
+        )
+    );
+    for r in &rows {
+        println!(
+            "{}",
+            row(
+                &r.scenario,
+                &[
+                    r.shards.to_string(),
+                    r.events.to_string(),
+                    format!("{:.2}", r.serial_ns as f64 / 1e6),
+                    format!("{:.2}", r.sharded_ns as f64 / 1e6),
+                    format!("{:.2}x", r.speedup()),
+                ],
+            )
+        );
+    }
+    println!("\nall sharded digests equal serial (asserted before timing was reported)");
+
+    let max = rows.iter().map(BenchRow::speedup).fold(f64::MIN, f64::max);
+    let geo = (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+    let runs: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"scenario\":\"{}\",\"scale\":\"{}\",\"shards\":{},\"events\":{},\
+                 \"digest\":\"0x{:016x}\",\"serial_ns\":{},\"sharded_ns\":{},\"speedup\":{:.4}}}",
+                r.scenario,
+                r.scale,
+                r.shards,
+                r.events,
+                r.digest,
+                r.serial_ns,
+                r.sharded_ns,
+                r.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"schema\":\"tn-bench/v1\",\"harness\":\"bench_shard\",\"smoke\":{smoke},\"reps\":{reps},\
+         \"runs\":[{}],\
+         \"summary\":{{\"max_speedup\":{max:.4},\"geomean_speedup\":{geo:.4}}}}}\n",
+        runs.join(",")
+    );
+    if smoke {
+        println!("smoke mode: skipping BENCH_shard.json (numbers not representative)");
+        return;
+    }
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    std::fs::write(out, &json).expect("write BENCH_shard.json");
+    println!("wrote {out}");
+}

@@ -24,7 +24,9 @@ use tn_wire::{eth, igmp, ipv4, Symbol};
 use tn_fault::FaultLink;
 use tn_sim::Link;
 
-use crate::report::{DesignReport, LatencyStats, RecoveryStats};
+use tn_sim::ShardedSimulator;
+
+use crate::report::{DesignReport, LatencyStats, RecoveryStats, ShardReport};
 use crate::scenario::ScenarioConfig;
 
 /// Multicast group index base of the exchange's native feed.
@@ -259,7 +261,33 @@ fn collect_report(
     exchange: NodeId,
     deadline: SimTime,
 ) -> DesignReport {
-    sim.run_until(deadline);
+    // Serial or sharded execution per the scenario's `shards` spec. The
+    // sharded path reassembles into the same dense kernel afterwards, so
+    // everything below — downcasts, registry snapshot, profile, digest —
+    // reads identically. Plans are resolved against the topology here
+    // because only now does the graph exist; a rejected manual spec is a
+    // configuration bug, surfaced with the validator's explanation.
+    let shard = match sc.resolve_shard_plan(&sim) {
+        Err(e) => panic!("{e}"),
+        Ok(None) => {
+            sim.run_until(deadline);
+            None
+        }
+        Ok(Some(plan)) => {
+            let mut sharded =
+                ShardedSimulator::split(sim, &plan).expect("plan validated against this topology");
+            sharded.run_until(deadline);
+            let stats = sharded.run_stats();
+            sim = sharded.finish();
+            Some(ShardReport {
+                shards: stats.shards,
+                windows: stats.windows,
+                cross_shard_frames: stats.cross_shard_frames,
+                events_per_shard: stats.events_per_shard,
+                nodes_per_shard: stats.nodes_per_shard,
+            })
+        }
+    };
     let mut feed_samples = Vec::new();
     let mut orders = 0;
     let mut acks = 0;
@@ -333,6 +361,7 @@ fn collect_report(
         profile,
         flight_dump,
         reaction_samples,
+        shard,
     }
 }
 

@@ -230,6 +230,25 @@ impl Telemetry {
     }
 }
 
+/// Sharded-execution section of a report: how the run was partitioned
+/// and how the safe-window protocol went. Present only when the scenario
+/// asked for sharded execution (`ScenarioConfig::shards`); every other
+/// field of the report — the trace digest above all — is identical
+/// either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Number of shards the topology was split into.
+    pub shards: u16,
+    /// Conservative-lookahead windows executed.
+    pub windows: u64,
+    /// Frames that crossed a shard boundary (merged by the leader).
+    pub cross_shard_frames: u64,
+    /// Events dispatched per shard.
+    pub events_per_shard: Vec<u64>,
+    /// Nodes owned per shard.
+    pub nodes_per_shard: Vec<u64>,
+}
+
 /// Outcome of running one scenario over one design.
 #[derive(Debug, Clone)]
 pub struct DesignReport {
@@ -287,6 +306,10 @@ pub struct DesignReport {
     /// exact percentiles across seeds instead of averaging summaries.
     /// Not serialized in `tn-report/v1`.
     pub reaction_samples: Vec<u64>,
+    /// Sharded-execution statistics, when the scenario asked for sharded
+    /// execution (`ScenarioConfig::shards`). Like telemetry, purely an
+    /// output — the partitioning never moves the trace digest.
+    pub shard: Option<ShardReport>,
 }
 
 impl DesignReport {
@@ -338,10 +361,17 @@ impl DesignReport {
             None => String::new(),
             Some(p) => format!("\n{}", p.render("  ").trim_end_matches('\n')),
         };
+        let shard = match &self.shard {
+            None => String::new(),
+            Some(sh) => format!(
+                "\n  shard    : k={} windows={} cross_shard_frames={} events={:?}",
+                sh.shards, sh.windows, sh.cross_shard_frames, sh.events_per_shard,
+            ),
+        };
         format!(
             "[{}]\n  feed     : {}\n  reaction : {}\n  feed_msgs={} evaluated={} discarded={} \
-             orders={} acks={} fills={} drops={}{recovery}{telemetry}{profile}\n  software_path={} \
-             network_share={:.1}% digest={:016x}",
+             orders={} acks={} fills={} drops={}{recovery}{telemetry}{profile}{shard}\n  \
+             software_path={} network_share={:.1}% digest={:016x}",
             self.design,
             self.feed_latency,
             self.reaction,
@@ -545,6 +575,30 @@ impl DesignReport {
             }
             s.push_str("]}");
         }
+        if let Some(sh) = &self.shard {
+            s.push_str(",\"shard\":{");
+            json_u64(&mut s, "shards", u64::from(sh.shards));
+            s.push(',');
+            json_u64(&mut s, "windows", sh.windows);
+            s.push(',');
+            json_u64(&mut s, "cross_shard_frames", sh.cross_shard_frames);
+            for (key, vals) in [
+                ("events_per_shard", &sh.events_per_shard),
+                ("nodes_per_shard", &sh.nodes_per_shard),
+            ] {
+                s.push_str(",\"");
+                s.push_str(key);
+                s.push_str("\":[");
+                for (i, v) in vals.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&v.to_string());
+                }
+                s.push(']');
+            }
+            s.push('}');
+        }
         s.push('}');
         s
     }
@@ -671,6 +725,7 @@ mod tests {
             profile: None,
             flight_dump: None,
             reaction_samples: vec![5_000],
+            shard: None,
         }
     }
 
@@ -687,6 +742,7 @@ mod tests {
             queue_stride: 1,
             per_node: vec![tn_sim::NodeProfile {
                 node: 2,
+                shard: 0,
                 frames: 40,
                 timers: 2,
                 drops: 1,
@@ -837,6 +893,38 @@ mod tests {
         assert!(
             s.contains("network_share=50.0%"),
             "summary tail survives the profile block: {s}"
+        );
+    }
+
+    #[test]
+    fn json_and_summary_shard_section_is_absent_when_serial_and_additive_when_on() {
+        let mut r = sample_report();
+        assert!(!r.to_json().contains("\"shard\""));
+        assert!(!r.summary().contains("shard    :"));
+        r.shard = Some(ShardReport {
+            shards: 3,
+            windows: 17,
+            cross_shard_frames: 42,
+            events_per_shard: vec![100, 90, 80],
+            nodes_per_shard: vec![2, 2, 1],
+        });
+        let j = r.to_json();
+        assert!(
+            j.contains("\"shard\":{\"shards\":3,\"windows\":17,\"cross_shard_frames\":42"),
+            "{j}"
+        );
+        assert!(j.contains("\"events_per_shard\":[100,90,80]"), "{j}");
+        assert!(j.contains("\"nodes_per_shard\":[2,2,1]"), "{j}");
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced: {j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        let s = r.summary();
+        assert!(
+            s.contains("shard    : k=3 windows=17 cross_shard_frames=42"),
+            "{s}"
         );
     }
 

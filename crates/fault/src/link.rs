@@ -52,6 +52,20 @@ impl Link for BaseLink {
         }
     }
 
+    fn min_delay(&self) -> SimTime {
+        match self {
+            BaseLink::Ideal(l) => l.min_delay(),
+            BaseLink::Ether(l) => l.min_delay(),
+        }
+    }
+
+    fn uses_kernel_coin(&self) -> bool {
+        match self {
+            BaseLink::Ideal(l) => l.uses_kernel_coin(),
+            BaseLink::Ether(l) => l.uses_kernel_coin(),
+        }
+    }
+
     fn rate_bps(&self) -> Option<u64> {
         match self {
             BaseLink::Ideal(l) => l.rate_bps(),
@@ -170,6 +184,19 @@ impl<L: Link> Link for FaultLink<L> {
 
     fn propagation(&self) -> SimTime {
         self.inner.propagation()
+    }
+
+    fn min_delay(&self) -> SimTime {
+        // Faults only delay (jitter), drop, or pass frames through — they
+        // never deliver earlier than the inner link would, so the inner
+        // bound stays valid.
+        self.inner.min_delay()
+    }
+
+    fn uses_kernel_coin(&self) -> bool {
+        // The fault machinery draws from its own seeded PRNG, never the
+        // kernel coin; only the wrapped link can consume it.
+        self.inner.uses_kernel_coin()
     }
 
     fn rate_bps(&self) -> Option<u64> {

@@ -130,6 +130,13 @@ impl Link for EtherLink {
         self.propagation
     }
 
+    fn uses_kernel_coin(&self) -> bool {
+        // The loss check compares the kernel-drawn coin; a lossless link
+        // ignores it entirely, so only lossy links pin a run to the
+        // serial PRNG stream (and thus refuse to be cut across shards).
+        self.loss > 0.0
+    }
+
     fn rate_bps(&self) -> Option<u64> {
         Some(self.rate_bps)
     }

@@ -29,6 +29,9 @@ pub const QUEUE_SERIES_CAP: usize = 256;
 pub struct NodeProfile {
     /// Node id this row belongs to.
     pub node: u32,
+    /// Shard whose kernel dispatched to this node (0 for serial runs).
+    /// Additive field: merged multi-shard profiles stay unambiguous.
+    pub shard: u16,
     /// Frames dispatched to the node.
     pub frames: u64,
     /// Timers dispatched to the node.
@@ -42,15 +45,20 @@ pub struct NodeProfile {
 }
 
 impl NodeProfile {
-    fn new(node: u32) -> NodeProfile {
+    fn new(node: u32, shard: u16) -> NodeProfile {
         NodeProfile {
             node,
+            shard,
             frames: 0,
             timers: 0,
             drops: 0,
             first_at_ps: u64::MAX,
             last_at_ps: 0,
         }
+    }
+
+    fn has_activity(&self) -> bool {
+        self.dispatches() > 0 || self.drops > 0
     }
 
     /// Total dispatches (frames + timers).
@@ -88,6 +96,8 @@ pub struct KernelProfiler {
     /// Pushes to skip before the next sample.
     until_sample: u64,
     max_queue_depth: u64,
+    /// Shard id stamped onto per-node rows (0 = serial / unsharded).
+    shard: u16,
 }
 
 impl KernelProfiler {
@@ -110,7 +120,15 @@ impl KernelProfiler {
             stride: 1,
             until_sample: 0,
             max_queue_depth: 0,
+            shard: 0,
         }
+    }
+
+    /// Attribute per-node rows created from now on to `shard`. Sharded
+    /// kernels set this before registering their nodes; serial runs
+    /// leave the default 0.
+    pub fn set_shard(&mut self, shard: u16) {
+        self.shard = shard;
     }
 
     /// True when the profiler is collecting.
@@ -129,8 +147,9 @@ impl KernelProfiler {
         let want = node as usize + 1;
         if self.nodes.len() < want {
             let mut id = self.nodes.len() as u32;
+            let shard = self.shard;
             self.nodes.resize_with(want, || {
-                let row = NodeProfile::new(id);
+                let row = NodeProfile::new(id, shard);
                 id += 1;
                 row
             });
@@ -236,6 +255,73 @@ impl KernelProfiler {
             arena_reused: 0,
             arena_recycled: 0,
         })
+    }
+
+    /// Fold another profiler's counters into this one. Used when a
+    /// sharded run reassembles per-shard profilers into one unified
+    /// profile: totals are summed, per-node rows merged elementwise
+    /// (first/last dispatch times widened, shard attribution taken from
+    /// the profiler that actually dispatched to the node), queue-depth
+    /// series merged in time order and re-decimated to the bounded cap.
+    /// Deterministic: absorb shards in ascending shard order.
+    pub fn merge_from(&mut self, other: &KernelProfiler) {
+        if !self.enabled || !other.enabled {
+            return;
+        }
+        self.frames += other.frames;
+        self.timers += other.timers;
+        self.drops += other.drops;
+        self.schedules += other.schedules;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        if self.nodes.len() < other.nodes.len() {
+            let mut id = self.nodes.len() as u32;
+            let shard = self.shard;
+            self.nodes.resize_with(other.nodes.len(), || {
+                let row = NodeProfile::new(id, shard);
+                id += 1;
+                row
+            });
+        }
+        for (mine, theirs) in self.nodes.iter_mut().zip(other.nodes.iter()) {
+            mine.frames += theirs.frames;
+            mine.timers += theirs.timers;
+            mine.drops += theirs.drops;
+            mine.first_at_ps = mine.first_at_ps.min(theirs.first_at_ps);
+            mine.last_at_ps = mine.last_at_ps.max(theirs.last_at_ps);
+            if theirs.has_activity() {
+                mine.shard = theirs.shard;
+            }
+        }
+        // Merge the two time-ordered series, then decimate back under the
+        // cap; the merged stride is the coarser of the two, doubled per
+        // decimation pass.
+        let mut merged = Vec::with_capacity(self.series.len() + other.series.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.series.len() && j < other.series.len() {
+            if self.series[i].0 <= other.series[j].0 {
+                merged.push(self.series[i]);
+                i += 1;
+            } else {
+                merged.push(other.series[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.series[i..]);
+        merged.extend_from_slice(&other.series[j..]);
+        let mut stride = self.stride.max(other.stride);
+        while merged.len() > QUEUE_SERIES_CAP {
+            let mut k = 0;
+            merged.retain(|_| {
+                let keep = k % 2 == 0;
+                k += 1;
+                keep
+            });
+            stride *= 2;
+        }
+        self.series.clear();
+        self.series.extend_from_slice(&merged);
+        self.stride = stride;
+        self.until_sample = 0;
     }
 }
 
@@ -459,6 +545,53 @@ mod tests {
             cap_before,
             "series must not reallocate"
         );
+    }
+
+    #[test]
+    fn merge_from_merges_counters_rows_and_series() {
+        let mut a = KernelProfiler::enabled();
+        a.set_shard(1);
+        a.ensure_node(2);
+        a.record_frame(100, 1);
+        a.record_schedule(100, 4);
+        let mut b = KernelProfiler::enabled();
+        b.set_shard(2);
+        b.ensure_node(2);
+        b.record_timer(50, 2);
+        b.record_drop(2);
+        b.record_schedule(50, 9);
+        let mut merged = KernelProfiler::enabled();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        let prof = merged.snapshot(1_000).expect("enabled");
+        assert_eq!(prof.frames, 1);
+        assert_eq!(prof.timers, 1);
+        assert_eq!(prof.drops, 1);
+        assert_eq!(prof.schedules, 2);
+        assert_eq!(prof.max_queue_depth, 9);
+        // Series arrives in time order regardless of absorb order.
+        assert_eq!(prof.queue_depth, vec![(50, 9), (100, 4)]);
+        let n1 = prof.per_node.iter().find(|r| r.node == 1).expect("node 1");
+        assert_eq!((n1.shard, n1.frames, n1.first_at_ps), (1, 1, 100));
+        let n2 = prof.per_node.iter().find(|r| r.node == 2).expect("node 2");
+        assert_eq!((n2.shard, n2.timers, n2.drops), (2, 1, 1));
+    }
+
+    #[test]
+    fn merge_from_keeps_the_series_bounded() {
+        let mut a = KernelProfiler::enabled();
+        let mut b = KernelProfiler::enabled();
+        for i in 0..QUEUE_SERIES_CAP as u64 {
+            a.record_schedule(2 * i, 1);
+            b.record_schedule(2 * i + 1, 2);
+        }
+        a.merge_from(&b);
+        let prof = a.snapshot(0).expect("enabled");
+        assert!(prof.queue_depth.len() <= QUEUE_SERIES_CAP);
+        assert!(prof.queue_stride >= 2);
+        for w in prof.queue_depth.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
     }
 
     #[test]

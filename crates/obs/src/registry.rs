@@ -1,8 +1,7 @@
 //! The deterministic metrics registry and its shareable handle.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use tn_stats::Histogram;
 
@@ -357,16 +356,25 @@ pub enum SnapshotValue {
 /// Cheap, cloneable recording handle. Disabled by default: every
 /// recording call on a disabled handle is a no-op, so instrumented code
 /// records unconditionally and pays nothing when telemetry is off.
+///
+/// The registry sits behind an `Arc<Mutex<..>>` so sharded runs can share
+/// one registry across per-shard kernel threads; every recorded operation
+/// is commutative (counter adds, gauge sets, histogram folds), which is
+/// what keeps a shared registry deterministic regardless of shard
+/// interleaving. The mutex is uncontended in serial runs.
 #[derive(Clone, Default)]
 pub struct Metrics {
-    inner: Option<Rc<RefCell<MetricsRegistry>>>,
+    inner: Option<Arc<Mutex<MetricsRegistry>>>,
 }
 
 impl std::fmt::Debug for Metrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.inner {
             None => write!(f, "Metrics(disabled)"),
-            Some(r) => write!(f, "Metrics({} metrics)", r.borrow().len()),
+            Some(r) => match r.lock() {
+                Ok(g) => write!(f, "Metrics({} metrics)", g.len()),
+                Err(_) => write!(f, "Metrics(poisoned)"),
+            },
         }
     }
 }
@@ -380,7 +388,7 @@ impl Metrics {
     /// A live handle backed by a fresh registry; clones share it.
     pub fn enabled() -> Metrics {
         Metrics {
-            inner: Some(Rc::new(RefCell::new(MetricsRegistry::new()))),
+            inner: Some(Arc::new(Mutex::new(MetricsRegistry::new()))),
         }
     }
 
@@ -392,34 +400,44 @@ impl Metrics {
     /// Increment a counter by 1.
     pub fn inc(&self, scope: &'static str, name: &'static str, node: Option<u32>) {
         if let Some(r) = &self.inner {
-            r.borrow_mut().inc(scope, name, node);
+            if let Ok(mut g) = r.lock() {
+                g.inc(scope, name, node);
+            }
         }
     }
 
     /// Increment a counter by `delta`.
     pub fn add(&self, scope: &'static str, name: &'static str, node: Option<u32>, delta: u64) {
         if let Some(r) = &self.inner {
-            r.borrow_mut().add(scope, name, node, delta);
+            if let Ok(mut g) = r.lock() {
+                g.add(scope, name, node, delta);
+            }
         }
     }
 
     /// Set a gauge.
     pub fn set_gauge(&self, scope: &'static str, name: &'static str, node: Option<u32>, v: i64) {
         if let Some(r) = &self.inner {
-            r.borrow_mut().set_gauge(scope, name, node, v);
+            if let Ok(mut g) = r.lock() {
+                g.set_gauge(scope, name, node, v);
+            }
         }
     }
 
     /// Record a distribution sample (default histogram shape).
     pub fn observe(&self, scope: &'static str, name: &'static str, node: Option<u32>, v: u64) {
         if let Some(r) = &self.inner {
-            r.borrow_mut().observe(scope, name, node, v);
+            if let Ok(mut g) = r.lock() {
+                g.observe(scope, name, node, v);
+            }
         }
     }
 
     /// Cumulative snapshot, if enabled.
     pub fn snapshot(&self, at_ps: u64) -> Option<Snapshot> {
-        self.inner.as_ref().map(|r| r.borrow().snapshot(at_ps))
+        self.inner
+            .as_ref()
+            .and_then(|r| r.lock().ok().map(|g| g.snapshot(at_ps)))
     }
 
     /// Windowed snapshot (counter deltas since the last window), if
@@ -427,12 +445,14 @@ impl Metrics {
     pub fn window_snapshot(&self, at_ps: u64) -> Option<Snapshot> {
         self.inner
             .as_ref()
-            .map(|r| r.borrow_mut().window_snapshot(at_ps))
+            .and_then(|r| r.lock().ok().map(|mut g| g.window_snapshot(at_ps)))
     }
 
     /// Run `f` against the registry, if enabled.
     pub fn with_registry<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> Option<R> {
-        self.inner.as_ref().map(|r| f(&r.borrow()))
+        self.inner
+            .as_ref()
+            .and_then(|r| r.lock().ok().map(|g| f(&g)))
     }
 }
 

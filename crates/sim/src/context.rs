@@ -90,6 +90,7 @@ impl Context<'_> {
                 at_ps: self.now.as_ps(),
                 kind,
                 node: self.me.0,
+                shard: 0,
                 a: *self.next_frame_id,
                 b: 0,
             });
@@ -203,6 +204,7 @@ impl Context<'_> {
                 at_ps: self.now.as_ps(),
                 kind,
                 node: self.me.0,
+                shard: 0,
                 a,
                 b,
             });

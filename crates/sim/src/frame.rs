@@ -271,6 +271,21 @@ impl FrameArena {
     pub fn stats(&self) -> ArenaStats {
         self.stats
     }
+
+    /// Fold another arena into this one: counters are summed and parked
+    /// buffers adopted up to this arena's cap. Used when a sharded run
+    /// reassembles per-shard arenas into the unified kernel.
+    pub(crate) fn absorb(&mut self, other: FrameArena) {
+        self.stats.allocated += other.stats.allocated;
+        self.stats.reused += other.stats.reused;
+        self.stats.recycled += other.stats.recycled;
+        for buf in other.free {
+            if self.free.len() == self.max_free {
+                break;
+            }
+            self.free.push(buf);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use crate::frame::{ArenaStats, Frame, FrameArena, FrameBuilder, FrameId, FrameMe
 use crate::link::{Link, LinkOutcome};
 use crate::node::{Node, NodeId, PortId};
 use crate::sched::{EventKind, QueuedEvent, SchedStats, Scheduler, SchedulerKind};
+use crate::shard::{WEntry, WindowState};
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, TraceKind, TraceLog};
 
@@ -35,15 +36,15 @@ impl<T: Node + 'static> AnyNode for T {
     }
 }
 
-struct NodeSlot {
-    node: Box<dyn AnyNode>,
-    name: String,
+pub(crate) struct NodeSlot {
+    pub(crate) node: Box<dyn AnyNode>,
+    pub(crate) name: String,
 }
 
-struct LinkSlot {
-    link: Box<dyn Link>,
-    dst: NodeId,
-    dst_port: PortId,
+pub(crate) struct LinkSlot {
+    pub(crate) link: Box<dyn Link>,
+    pub(crate) dst: NodeId,
+    pub(crate) dst_port: PortId,
 }
 
 /// Aggregate kernel statistics for a run.
@@ -67,25 +68,34 @@ pub struct SimStats {
 /// deterministic: two simulators constructed with the same seed and given
 /// the same call sequence produce identical traces.
 pub struct Simulator {
-    now: SimTime,
-    seq: u64,
-    queue: Box<dyn Scheduler>,
-    sched_kind: SchedulerKind,
-    nodes: Vec<NodeSlot>,
-    links: Vec<LinkSlot>,
-    port_map: BTreeMap<(NodeId, PortId), usize>,
-    rng: SmallRng,
-    next_frame_id: u64,
-    scratch: Vec<Action>,
-    arena: FrameArena,
-    stats: SimStats,
-    provenance: bool,
-    metrics: tn_obs::Metrics,
-    flight: FlightRecorder,
-    profiler: KernelProfiler,
+    pub(crate) now: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) queue: Box<dyn Scheduler>,
+    pub(crate) sched_kind: SchedulerKind,
+    /// Node slots indexed by global node id. Serial simulators are dense
+    /// (every slot `Some`); a shard of a partitioned run keeps global ids
+    /// and leaves foreign nodes `None`.
+    pub(crate) nodes: Vec<Option<NodeSlot>>,
+    /// Link slots, sparse exactly like `nodes` in a shard.
+    pub(crate) links: Vec<Option<LinkSlot>>,
+    pub(crate) port_map: BTreeMap<(NodeId, PortId), usize>,
+    pub(crate) rng: SmallRng,
+    pub(crate) next_frame_id: u64,
+    pub(crate) scratch: Vec<Action>,
+    pub(crate) arena: FrameArena,
+    pub(crate) stats: SimStats,
+    pub(crate) provenance: bool,
+    pub(crate) metrics: tn_obs::Metrics,
+    pub(crate) flight: FlightRecorder,
+    pub(crate) profiler: KernelProfiler,
     /// Scheduler counters at the last flight observation, so rebuild /
     /// cascade deltas can be turned into flight records.
-    last_sched: SchedStats,
+    pub(crate) last_sched: SchedStats,
+    /// `Some` while this simulator runs as one shard of a partitioned
+    /// run: dispatches append reconciliation entries here instead of
+    /// recording into `trace`, and cross-shard deliveries are buffered
+    /// for the merge leader instead of being pushed locally.
+    pub(crate) wlog: Option<Box<WindowState>>,
     /// Kernel-level trace log (disabled by default).
     pub trace: TraceLog,
 }
@@ -121,6 +131,7 @@ impl Simulator {
             flight: FlightRecorder::disabled(),
             profiler: KernelProfiler::disabled(),
             last_sched: SchedStats::default(),
+            wlog: None,
             trace: TraceLog::disabled(),
         }
     }
@@ -154,10 +165,10 @@ impl Simulator {
     /// their own scopes. Like provenance, recording is pure side-state.
     pub fn set_metrics(&mut self, metrics: tn_obs::Metrics) {
         self.metrics = metrics;
-        for slot in &mut self.nodes {
+        for slot in self.nodes.iter_mut().flatten() {
             slot.node.on_attach_metrics(&self.metrics);
         }
-        for slot in &mut self.links {
+        for slot in self.links.iter_mut().flatten() {
             slot.link.on_attach_metrics(&self.metrics);
         }
     }
@@ -251,14 +262,14 @@ impl Simulator {
     /// injections. `name` appears in diagnostics only.
     pub fn add_node(&mut self, name: impl Into<String>, node: impl Node + 'static) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeSlot {
+        self.nodes.push(Some(NodeSlot {
             node: Box::new(node),
             name: name.into(),
-        });
+        }));
         if self.metrics.is_enabled() {
-            self.nodes[id.0 as usize]
-                .node
-                .on_attach_metrics(&self.metrics);
+            if let Some(slot) = self.nodes[id.0 as usize].as_mut() {
+                slot.node.on_attach_metrics(&self.metrics);
+            }
         }
         // Registration is the cold path that sizes the profiler's dense
         // per-node rows, so dispatch-time recording is pure indexing.
@@ -271,20 +282,30 @@ impl Simulator {
         self.nodes.len()
     }
 
-    /// Diagnostic name of a node.
+    /// Diagnostic name of a node (`"<remote>"` for a node that lives on a
+    /// different shard of a partitioned run).
     pub fn node_name(&self, id: NodeId) -> &str {
-        &self.nodes[id.0 as usize].name
+        match self.nodes[id.0 as usize].as_ref() {
+            Some(slot) => &slot.name,
+            None => "<remote>",
+        }
     }
 
     /// Borrow a node by concrete type. Panics if the id is out of range;
-    /// returns `None` if the type does not match.
+    /// returns `None` if the type does not match (or the node lives on a
+    /// different shard).
     pub fn node<T: Node + 'static>(&self, id: NodeId) -> Option<&T> {
-        self.nodes[id.0 as usize].node.as_any().downcast_ref::<T>()
+        self.nodes[id.0 as usize]
+            .as_ref()?
+            .node
+            .as_any()
+            .downcast_ref::<T>()
     }
 
     /// Mutably borrow a node by concrete type.
     pub fn node_mut<T: Node + 'static>(&mut self, id: NodeId) -> Option<&mut T> {
         self.nodes[id.0 as usize]
+            .as_mut()?
             .node
             .as_any_mut()
             .downcast_mut::<T>()
@@ -336,13 +357,15 @@ impl Simulator {
         link: Box<dyn Link>,
     ) {
         let idx = self.links.len();
-        self.links.push(LinkSlot {
+        self.links.push(Some(LinkSlot {
             link,
             dst,
             dst_port,
-        });
+        }));
         if self.metrics.is_enabled() {
-            self.links[idx].link.on_attach_metrics(&self.metrics);
+            if let Some(slot) = self.links[idx].as_mut() {
+                slot.link.on_attach_metrics(&self.metrics);
+            }
         }
         let prev = self.port_map.insert((src, src_port), idx);
         assert!(
@@ -372,6 +395,7 @@ impl Simulator {
                 at_ps: self.now.as_ps(),
                 kind,
                 node: u32::MAX,
+                shard: 0,
                 a: self.next_frame_id,
                 b: 0,
             });
@@ -472,6 +496,7 @@ impl Simulator {
                 at_ps: ev.at.as_ps(),
                 kind: FlightKind::Schedule,
                 node: ev.target_node().0,
+                shard: 0,
                 a: ev.seq,
                 b: self.now.as_ps(),
             });
@@ -494,6 +519,7 @@ impl Simulator {
                 at_ps: self.now.as_ps(),
                 kind: FlightKind::CalendarRebuild,
                 node: u32::MAX,
+                shard: 0,
                 a: s.bucket_count,
                 b: s.bucket_width_ps,
             });
@@ -503,6 +529,7 @@ impl Simulator {
                 at_ps: self.now.as_ps(),
                 kind: FlightKind::WheelCascade,
                 node: u32::MAX,
+                shard: 0,
                 a: s.cascades,
                 b: self.queue.len() as u64,
             });
@@ -522,11 +549,76 @@ impl Simulator {
         // wheel cascades and the calendar may rebuild; catch up on the
         // counter deltas before dispatching.
         self.note_sched_activity();
+        if let Some(w) = self.wlog.as_mut() {
+            // Window mode: open this dispatch's reconciliation block. The
+            // popped seq is the block's tag — the merge leader orders
+            // blocks across shards by `(at, translated tag)`, which is
+            // exactly the serial kernel's pop order.
+            let entry = match &ev.kind {
+                EventKind::Frame { node, port, frame } => WEntry::Dispatch {
+                    at: ev.at,
+                    tag: ev.seq,
+                    node: *node,
+                    port: *port,
+                    frame: frame.id.0,
+                    timer: false,
+                },
+                EventKind::Timer { node, .. } => WEntry::Dispatch {
+                    at: ev.at,
+                    tag: ev.seq,
+                    node: *node,
+                    port: PortId(u16::MAX),
+                    frame: u64::MAX,
+                    timer: true,
+                },
+            };
+            w.entries.push(entry);
+        }
         match ev.kind {
             EventKind::Frame { node, port, frame } => self.dispatch_frame(node, port, frame),
             EventKind::Timer { node, token } => self.dispatch_timer(node, token),
         }
         true
+    }
+
+    /// Time of the next pending event, if any. Shard coordination probes
+    /// this to compute the global safe window.
+    pub(crate) fn peek_next_at(&mut self) -> Option<SimTime> {
+        self.queue.next_at()
+    }
+
+    /// Window-mode run loop: process every pending event strictly before
+    /// `h_excl` (the exclusive conservative-lookahead horizon), leaving
+    /// later events queued. Returns the number of events processed.
+    pub(crate) fn run_window(&mut self, h_excl: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(at) = self.queue.next_at() {
+            if at >= h_excl {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        n
+    }
+
+    /// Push a cross-shard delivery routed by the merge leader. The seq was
+    /// assigned by the leader's global counter (mirroring the serial
+    /// kernel's assignment order), so local pops interleave it correctly.
+    pub(crate) fn push_external(
+        &mut self,
+        at: SimTime,
+        seq: u64,
+        node: NodeId,
+        port: PortId,
+        frame: Frame,
+    ) {
+        debug_assert!(at >= self.now, "cross-shard delivery into the past");
+        self.push_event(QueuedEvent {
+            at,
+            seq,
+            kind: EventKind::Frame { node, port, frame },
+        });
     }
 
     /// Run until the event queue is empty.
@@ -562,13 +654,15 @@ impl Simulator {
     fn dispatch_frame(&mut self, node: NodeId, port: PortId, frame: Frame) {
         self.stats.frames_delivered += 1;
         self.metrics.inc("kernel", "deliver", Some(node.0));
-        self.trace.record(TraceEvent {
-            at: self.now,
-            node,
-            port,
-            frame: frame.id,
-            kind: TraceKind::Deliver,
-        });
+        if self.wlog.is_none() {
+            self.trace.record(TraceEvent {
+                at: self.now,
+                node,
+                port,
+                frame: frame.id,
+                kind: TraceKind::Deliver,
+            });
+        }
         if self.profiler.is_enabled() {
             self.profiler.record_frame(self.now.as_ps(), node.0);
         }
@@ -577,11 +671,15 @@ impl Simulator {
                 at_ps: self.now.as_ps(),
                 kind: FlightKind::Dispatch,
                 node: node.0,
+                shard: 0,
                 a: frame.id.0,
                 b: u64::from(port.0),
             });
         }
-        let slot = &mut self.nodes[node.0 as usize];
+        let frames_before = self.next_frame_id;
+        let Some(slot) = self.nodes[node.0 as usize].as_mut() else {
+            unreachable!("frame dispatched to a node outside this shard")
+        };
         let mut ctx = Context {
             now: self.now,
             me: node,
@@ -592,19 +690,22 @@ impl Simulator {
             flight: &mut self.flight,
         };
         slot.node.on_frame(&mut ctx, port, frame);
+        self.log_builds(frames_before);
         self.apply_actions(node);
     }
 
     fn dispatch_timer(&mut self, node: NodeId, token: TimerToken) {
         self.stats.timers_fired += 1;
         self.metrics.inc("kernel", "timer", Some(node.0));
-        self.trace.record(TraceEvent {
-            at: self.now,
-            node,
-            port: PortId(u16::MAX),
-            frame: FrameId(u64::MAX),
-            kind: TraceKind::Timer,
-        });
+        if self.wlog.is_none() {
+            self.trace.record(TraceEvent {
+                at: self.now,
+                node,
+                port: PortId(u16::MAX),
+                frame: FrameId(u64::MAX),
+                kind: TraceKind::Timer,
+            });
+        }
         if self.profiler.is_enabled() {
             self.profiler.record_timer(self.now.as_ps(), node.0);
         }
@@ -613,11 +714,15 @@ impl Simulator {
                 at_ps: self.now.as_ps(),
                 kind: FlightKind::Dispatch,
                 node: node.0,
+                shard: 0,
                 a: token.0,
                 b: u64::MAX,
             });
         }
-        let slot = &mut self.nodes[node.0 as usize];
+        let frames_before = self.next_frame_id;
+        let Some(slot) = self.nodes[node.0 as usize].as_mut() else {
+            unreachable!("timer dispatched to a node outside this shard")
+        };
         let mut ctx = Context {
             now: self.now,
             me: node,
@@ -628,7 +733,21 @@ impl Simulator {
             flight: &mut self.flight,
         };
         slot.node.on_timer(&mut ctx, token);
+        self.log_builds(frames_before);
         self.apply_actions(node);
+    }
+
+    /// Window mode: record how many frame ids the just-returned callback
+    /// allocated, so the merge leader can hand out the matching real ids
+    /// in serial order.
+    #[inline]
+    fn log_builds(&mut self, frames_before: u64) {
+        if let Some(w) = self.wlog.as_mut() {
+            let built = self.next_frame_id - frames_before;
+            if built > 0 {
+                w.entries.push(WEntry::Builds(built as u32));
+            }
+        }
     }
 
     fn apply_actions(&mut self, src: NodeId) {
@@ -646,6 +765,9 @@ impl Simulator {
                         seq,
                         kind: EventKind::Timer { node: src, token },
                     });
+                    if let Some(w) = self.wlog.as_mut() {
+                        w.entries.push(WEntry::LocalPush);
+                    }
                 }
                 Action::DeliverLocal {
                     dst,
@@ -654,16 +776,34 @@ impl Simulator {
                     frame,
                 } => {
                     let at = self.now + delay;
-                    let seq = self.bump_seq();
-                    self.push_event(QueuedEvent {
-                        at,
-                        seq,
-                        kind: EventKind::Frame {
-                            node: dst,
-                            port,
-                            frame,
-                        },
-                    });
+                    if self.wlog.is_some() && self.nodes[dst.0 as usize].is_none() {
+                        // Destination lives on another shard: hand the
+                        // frame to the merge leader, which assigns the
+                        // real seq and routes it (or panics, coldly, if
+                        // the delivery lands inside the safe window).
+                        if let Some(w) = self.wlog.as_mut() {
+                            w.entries.push(WEntry::Remote {
+                                arrival: at,
+                                dst,
+                                dst_port: port,
+                            });
+                            w.remote.push(frame);
+                        }
+                    } else {
+                        let seq = self.bump_seq();
+                        self.push_event(QueuedEvent {
+                            at,
+                            seq,
+                            kind: EventKind::Frame {
+                                node: dst,
+                                port,
+                                frame,
+                            },
+                        });
+                        if let Some(w) = self.wlog.as_mut() {
+                            w.entries.push(WEntry::LocalPush);
+                        }
+                    }
                 }
             }
         }
@@ -683,9 +823,10 @@ impl Simulator {
     ) {
         let born = frame.born;
         let len = frame.len();
-        let timing = self.links[link_idx]
-            .link
-            .decompose(len, deliver_at - self.now);
+        let Some(link_slot) = self.links[link_idx].as_ref() else {
+            return;
+        };
+        let timing = link_slot.link.decompose(len, deliver_at - self.now);
         let prov = frame
             .meta
             .provenance
@@ -714,13 +855,15 @@ impl Simulator {
         let Some(&idx) = self.port_map.get(&(src, port)) else {
             self.stats.frames_unrouted += 1;
             self.metrics.inc("kernel", "unrouted", Some(src.0));
-            self.trace.record(TraceEvent {
-                at: self.now,
-                node: src,
-                port,
-                frame: frame.id,
-                kind: TraceKind::Drop,
-            });
+            if self.wlog.is_none() {
+                self.trace.record(TraceEvent {
+                    at: self.now,
+                    node: src,
+                    port,
+                    frame: frame.id,
+                    kind: TraceKind::Drop,
+                });
+            }
             if self.profiler.is_enabled() {
                 self.profiler.record_drop(src.0);
             }
@@ -729,15 +872,25 @@ impl Simulator {
                     at_ps: self.now.as_ps(),
                     kind: FlightKind::Drop,
                     node: src.0,
+                    shard: 0,
                     a: frame.id.0,
                     b: u64::from(port.0),
+                });
+            }
+            if let Some(w) = self.wlog.as_mut() {
+                w.entries.push(WEntry::DropRec {
+                    node: src,
+                    port,
+                    frame: frame.id.0,
                 });
             }
             self.arena.give(frame.bytes);
             return;
         };
         let coin = self.rng.gen::<f64>();
-        let slot = &mut self.links[idx];
+        let Some(slot) = self.links[idx].as_mut() else {
+            unreachable!("port_map routed to a link outside this shard")
+        };
         match slot.link.transmit(self.now, frame.len(), coin) {
             LinkOutcome::Deliver(at) => {
                 debug_assert!(at >= self.now);
@@ -745,28 +898,48 @@ impl Simulator {
                 if self.provenance {
                     self.record_hop_provenance(src, port, &mut frame, idx, at);
                 }
-                let seq = self.bump_seq();
-                self.push_event(QueuedEvent {
-                    at,
-                    seq,
-                    kind: EventKind::Frame {
-                        node: dst,
-                        port: dst_port,
-                        frame,
-                    },
-                });
+                if self.wlog.is_some() && self.nodes[dst.0 as usize].is_none() {
+                    // Cross-shard hop: buffer the frame for the merge
+                    // leader instead of pushing it locally. The leader
+                    // assigns the real seq in serial order and routes it
+                    // to the owning shard.
+                    if let Some(w) = self.wlog.as_mut() {
+                        w.entries.push(WEntry::Remote {
+                            arrival: at,
+                            dst,
+                            dst_port,
+                        });
+                        w.remote.push(frame);
+                    }
+                } else {
+                    let seq = self.bump_seq();
+                    self.push_event(QueuedEvent {
+                        at,
+                        seq,
+                        kind: EventKind::Frame {
+                            node: dst,
+                            port: dst_port,
+                            frame,
+                        },
+                    });
+                    if let Some(w) = self.wlog.as_mut() {
+                        w.entries.push(WEntry::LocalPush);
+                    }
+                }
             }
             LinkOutcome::Drop(reason) => {
                 self.stats.frames_dropped += 1;
                 self.metrics.inc("kernel", "drop", Some(src.0));
                 self.metrics.inc("link_drop", reason.name(), None);
-                self.trace.record(TraceEvent {
-                    at: self.now,
-                    node: src,
-                    port,
-                    frame: frame.id,
-                    kind: TraceKind::Drop,
-                });
+                if self.wlog.is_none() {
+                    self.trace.record(TraceEvent {
+                        at: self.now,
+                        node: src,
+                        port,
+                        frame: frame.id,
+                        kind: TraceKind::Drop,
+                    });
+                }
                 if self.profiler.is_enabled() {
                     self.profiler.record_drop(src.0);
                 }
@@ -775,8 +948,16 @@ impl Simulator {
                         at_ps: self.now.as_ps(),
                         kind: FlightKind::Drop,
                         node: src.0,
+                        shard: 0,
                         a: frame.id.0,
                         b: u64::from(port.0),
+                    });
+                }
+                if let Some(w) = self.wlog.as_mut() {
+                    w.entries.push(WEntry::DropRec {
+                        node: src,
+                        port,
+                        frame: frame.id.0,
                     });
                 }
                 self.arena.give(frame.bytes);

@@ -55,6 +55,7 @@ mod kernel;
 mod link;
 mod node;
 mod sched;
+mod shard;
 mod time;
 mod trace;
 
@@ -64,6 +65,7 @@ pub use kernel::{AnyNode, SimStats, Simulator};
 pub use link::{DropReason, HopTiming, IdealLink, Link, LinkOutcome};
 pub use node::{Node, NodeId, PortId};
 pub use sched::{BinaryHeapScheduler, CalendarQueue, SchedStats, Scheduler, SchedulerKind};
+pub use shard::{ShardError, ShardPlan, ShardRunStats, ShardedSimulator};
 pub use time::SimTime;
 pub use trace::{fnv1a_fold, TraceEvent, TraceKind, TraceLog, EMPTY_DIGEST};
 

@@ -65,8 +65,9 @@ impl DropReason {
 ///
 /// Implementations must be deterministic given the same call sequence; any
 /// randomness (loss) must come from the `coin` argument, which the kernel
-/// draws from the scenario PRNG.
-pub trait Link {
+/// draws from the scenario PRNG. `Send` is a supertrait so sharded runs
+/// can move links onto per-shard threads.
+pub trait Link: Send {
     /// Offer a frame of `len` bytes for transmission at absolute time `now`.
     ///
     /// `coin` is a uniform random value in `[0,1)` drawn by the kernel for
@@ -75,6 +76,27 @@ pub trait Link {
 
     /// One-way propagation delay (for diagnostics / route planning).
     fn propagation(&self) -> SimTime;
+
+    /// A guaranteed lower bound on delivery latency: every
+    /// [`Link::transmit`] accepted at `now` delivers no earlier than
+    /// `now + min_delay()`. Conservative parallel sharding uses this as
+    /// the cross-shard lookahead, so the bound must hold for every frame
+    /// the link will ever carry. The default — the advertised propagation
+    /// delay — is correct for every model whose queueing, serialization,
+    /// and jitter only *add* latency; override only for links that can
+    /// deliver faster than their advertised propagation.
+    fn min_delay(&self) -> SimTime {
+        self.propagation()
+    }
+
+    /// True when this link's outcome depends on the kernel-drawn `coin`
+    /// (e.g. i.i.d. loss). Sharded runs refuse such links: each shard has
+    /// its own PRNG stream, so a coin-consuming link would break the
+    /// bit-for-bit equivalence with the serial run. Links that carry
+    /// their own seeded PRNG (tn-fault wrappers) return `false`.
+    fn uses_kernel_coin(&self) -> bool {
+        false
+    }
 
     /// Nominal rate in bits per second, if the link models serialization.
     fn rate_bps(&self) -> Option<u64> {

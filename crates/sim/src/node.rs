@@ -22,7 +22,11 @@ impl PortId {
 /// Implementations are switches, NICs/hosts, exchange front-ends, capture
 /// taps, and the trading-firm application tier. All state lives inside the
 /// implementor; all interaction with the world goes through [`Context`].
-pub trait Node {
+///
+/// `Send` is a supertrait so a sharded run can move each shard's nodes
+/// onto its own OS thread; node state is plain data in practice, so this
+/// costs implementations nothing.
+pub trait Node: Send {
     /// A frame has fully arrived on `port` (last bit received).
     fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame);
 

@@ -110,8 +110,9 @@ pub struct SchedStats {
 /// The pending-event set. Implementations must pop in ascending
 /// `(time, seq)` order — the same total order as the reference
 /// [`BinaryHeapScheduler`] — or trace digests diverge and the
-/// equivalence suite fails.
-pub trait Scheduler {
+/// equivalence suite fails. `Send` is a supertrait so per-shard
+/// schedulers can live on per-shard threads.
+pub trait Scheduler: Send {
     /// Insert an event.
     fn push(&mut self, ev: QueuedEvent);
     /// Remove and return the `(time, seq)`-minimal event.

@@ -1,0 +1,1147 @@
+//! Sharded execution: conservative-lookahead parallel simulation.
+//!
+//! A [`ShardedSimulator`] partitions a built [`Simulator`] into K shards,
+//! each owning a disjoint subset of the nodes (and every link whose
+//! *source* it owns) with its own [`crate::Scheduler`] instance, and runs
+//! them window-by-window under a conservative-lookahead protocol:
+//!
+//! 1. **Safe window.** Each round the leader computes one global horizon
+//!    `H = min over shards j with pending events of (T_j + L_j)`, where
+//!    `T_j` is shard j's next event time and `L_j` is the minimum
+//!    [`crate::Link::min_delay`] over *cut* links leaving j (infinite when
+//!    j has none). Every event strictly before `H` is causally closed:
+//!    no cross-shard frame sent at or after `T_j` can arrive before
+//!    `T_j + L_j ≥ H`. Shards process their sub-window independently —
+//!    on scoped OS threads when enough work is pending, inline otherwise
+//!    (both paths execute identical code, so the digest cannot depend on
+//!    the policy).
+//!
+//! 2. **Provisional ids.** Shards assign event seqs and frame ids from a
+//!    per-shard counter with bit 63 set (`(1 << 63) | shard << 48 | n`),
+//!    so real (serial-order) ids — always below `2^63` — are
+//!    distinguishable. Within one shard, provisional order equals the
+//!    eventual real order.
+//!
+//! 3. **Window log merge.** Each shard logs one [`WEntry::Dispatch`]
+//!    block per dispatched event (pushes, drops and cross-shard sends it
+//!    caused, in exact apply order). The leader K-way merges the blocks
+//!    by `(time, translated tag)` — exactly the serial kernel's pop
+//!    order — assigning real seqs and frame ids from global counters at
+//!    the positions the serial kernel would have, reconstructing the
+//!    trace records in serial order, and routing cross-shard frames
+//!    (with their ids rewritten to real ids) into the owning shard's
+//!    queue. By induction over windows the merged record stream is
+//!    bit-for-bit the serial one, so the trace digest is too.
+//!
+//! The protocol refuses topologies it cannot reproduce exactly: a cut
+//! link with zero `min_delay` (no lookahead) or one whose outcome
+//! consumes the kernel coin (per-shard PRNG streams differ from the
+//! serial stream).
+
+use std::collections::BTreeMap;
+
+use crate::frame::{Frame, FrameId};
+use crate::kernel::{SimStats, Simulator};
+use crate::node::{NodeId, PortId};
+use crate::sched::SchedulerKind;
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceKind, TraceLog};
+use tn_obs::{FlightRecorder, KernelProfiler};
+
+/// High bit marking a shard-provisional id (event seq or frame id).
+/// Real ids assigned by the serial kernel or the merge leader stay
+/// below `2^63`.
+const PROV_BIT: u64 = 1 << 63;
+/// Low bits of a provisional id holding the shard-local counter.
+const PROV_IDX_MASK: u64 = (1 << 48) - 1;
+
+/// Base value for shard `s`'s provisional counters.
+#[inline]
+fn prov_base(shard: usize) -> u64 {
+    PROV_BIT | ((shard as u64) << 48)
+}
+
+/// One entry in a shard's per-window reconciliation log. A window's log
+/// is a sequence of blocks, each opened by a [`WEntry::Dispatch`] and
+/// followed by what that dispatch caused, in exact apply order.
+pub(crate) enum WEntry {
+    /// An event was popped and dispatched. `tag` is its (possibly
+    /// provisional) seq — the merge key. Timer dispatches use
+    /// `port = u16::MAX`, `frame = u64::MAX` (the serial trace's timer
+    /// sentinel).
+    Dispatch {
+        at: SimTime,
+        tag: u64,
+        node: NodeId,
+        port: PortId,
+        frame: u64,
+        timer: bool,
+    },
+    /// The dispatch callback built `n` frames (ids from the shard's
+    /// provisional counter); the leader assigns the matching real ids.
+    Builds(u32),
+    /// A shard-local event was pushed (timer, local delivery, or local
+    /// link delivery); the shard consumed one provisional seq and the
+    /// leader assigns the matching real one.
+    LocalPush,
+    /// A frame was dropped (unrouted port or link drop) — becomes a
+    /// serial-order `Drop` trace record.
+    DropRec {
+        node: NodeId,
+        port: PortId,
+        frame: u64,
+    },
+    /// A frame left the shard: the leader assigns its real seq, rewrites
+    /// its id, and routes it. The n-th `Remote` entry pairs with the
+    /// n-th frame in [`WindowState::remote`].
+    Remote {
+        arrival: SimTime,
+        dst: NodeId,
+        dst_port: PortId,
+    },
+}
+
+/// Per-shard window log: reconciliation entries plus the cross-shard
+/// frames awaiting routing, buffers reused across windows.
+pub(crate) struct WindowState {
+    pub(crate) entries: Vec<WEntry>,
+    pub(crate) remote: Vec<Frame>,
+}
+
+/// Why a topology cannot be sharded with a given assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// A cut link has zero minimum delay: the conservative lookahead
+    /// collapses and the protocol cannot make progress.
+    ZeroDelayCut { src: NodeId, dst: NodeId },
+    /// A cut-adjacent link consumes the kernel coin (e.g. i.i.d. loss):
+    /// per-shard PRNG streams differ from the serial stream, so outcomes
+    /// would diverge from the golden run.
+    CoinLink { src: NodeId, dst: NodeId },
+    /// The manual assignment does not cover the topology.
+    BadAssignment(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::ZeroDelayCut { src, dst } => write!(
+                f,
+                "cross-shard link {} -> {} has zero min_delay; \
+                 conservative lookahead needs every cut delay > 0",
+                src.0, dst.0
+            ),
+            ShardError::CoinLink { src, dst } => write!(
+                f,
+                "link {} -> {} consumes the kernel coin (random loss); \
+                 sharded runs cannot reproduce the serial PRNG stream",
+                src.0, dst.0
+            ),
+            ShardError::BadAssignment(msg) => write!(f, "bad shard assignment: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// A node-to-shard assignment, either computed (cut-minimizing) or
+/// supplied manually.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// `assignment[node] = shard` for every node id.
+    pub assignment: Vec<u32>,
+    /// Number of shards (max assignment + 1; empty shards allowed).
+    pub shards: u16,
+}
+
+impl ShardPlan {
+    /// A manual assignment. Validated against a concrete topology by
+    /// [`ShardPlan::validate`].
+    pub fn manual(assignment: Vec<u32>) -> ShardPlan {
+        let shards = assignment.iter().max().map_or(1, |&m| m + 1) as u16;
+        ShardPlan { assignment, shards }
+    }
+
+    /// Compute a cut-minimizing assignment into at most `k` shards:
+    /// Kruskal-style ascending-delay edge contraction (heaviest-traffic,
+    /// shortest-delay neighborhoods merge first; zero-delay and
+    /// coin-consuming links merge unconditionally since they can never
+    /// be cut), stopping when `k` components remain, then greedy
+    /// packing of components into `k` bins by descending node count.
+    /// Deterministic: inputs are the topology only.
+    pub fn auto(sim: &Simulator, k: u16) -> ShardPlan {
+        let n = sim.nodes.len();
+        let k = usize::from(k.max(1)).min(n.max(1));
+        // Undirected pairwise constraints: minimum cut delay per pair,
+        // and whether the pair can be cut at all.
+        let mut pair_delay: BTreeMap<(u32, u32), (SimTime, bool)> = BTreeMap::new();
+        for (&(src, _port), &idx) in &sim.port_map {
+            let Some(slot) = sim.links[idx].as_ref() else {
+                continue;
+            };
+            let (a, b) = (src.0.min(slot.dst.0), src.0.max(slot.dst.0));
+            if a == b {
+                continue; // self-loop: never a cut
+            }
+            let d = slot.link.min_delay();
+            let uncuttable = d == SimTime::ZERO || slot.link.uses_kernel_coin();
+            let e = pair_delay.entry((a, b)).or_insert((d, false));
+            if d < e.0 {
+                e.0 = d;
+            }
+            e.1 |= uncuttable;
+        }
+        // Union-find over nodes.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let mut components = n;
+        // Mandatory merges first: edges that can never be cut.
+        for (&(a, b), &(_, uncuttable)) in &pair_delay {
+            if uncuttable {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra != rb {
+                    parent[rb as usize] = ra;
+                    components -= 1;
+                }
+            }
+        }
+        // Ascending-delay contraction until k components remain. Equal
+        // delays are processed in (delay, a, b) order — deterministic.
+        let mut edges: Vec<(SimTime, u32, u32)> = pair_delay
+            .iter()
+            .filter(|(_, &(_, unc))| !unc)
+            .map(|(&(a, b), &(d, _))| (d, a, b))
+            .collect();
+        edges.sort_unstable();
+        for (_, a, b) in edges {
+            if components <= k {
+                break;
+            }
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[rb as usize] = ra;
+                components -= 1;
+            }
+        }
+        // Pack components into k bins: descending node count, each to
+        // the least-loaded bin (ties to the lowest bin index).
+        let mut members: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for v in 0..n as u32 {
+            let r = find(&mut parent, v);
+            members.entry(r).or_default().push(v);
+        }
+        let mut comps: Vec<Vec<u32>> = members.into_values().collect();
+        comps.sort_by_key(|c| (std::cmp::Reverse(c.len()), c[0]));
+        let bins = k.min(comps.len()).max(1);
+        let mut load = vec![0usize; bins];
+        let mut assignment = vec![0u32; n];
+        for comp in comps {
+            let mut best = 0;
+            for (i, &l) in load.iter().enumerate() {
+                if l < load[best] {
+                    best = i;
+                }
+            }
+            load[best] += comp.len();
+            for v in comp {
+                assignment[v as usize] = best as u32;
+            }
+        }
+        ShardPlan {
+            assignment,
+            shards: bins as u16,
+        }
+    }
+
+    /// Check this plan against a built topology: coverage, and the two
+    /// protocol preconditions on every cut link (positive lookahead, no
+    /// kernel-coin consumption).
+    pub fn validate(&self, sim: &Simulator) -> Result<(), ShardError> {
+        if self.assignment.len() != sim.nodes.len() {
+            return Err(ShardError::BadAssignment(format!(
+                "assignment covers {} nodes, topology has {}",
+                self.assignment.len(),
+                sim.nodes.len()
+            )));
+        }
+        if self.shards == 0 {
+            return Err(ShardError::BadAssignment("zero shards".into()));
+        }
+        for &s in &self.assignment {
+            if s >= u32::from(self.shards) {
+                return Err(ShardError::BadAssignment(format!(
+                    "shard id {s} out of range (shards = {})",
+                    self.shards
+                )));
+            }
+        }
+        for (&(src, _port), &idx) in &sim.port_map {
+            let Some(slot) = sim.links[idx].as_ref() else {
+                continue;
+            };
+            if self.assignment[src.0 as usize] == self.assignment[slot.dst.0 as usize] {
+                continue;
+            }
+            if slot.link.uses_kernel_coin() {
+                return Err(ShardError::CoinLink { src, dst: slot.dst });
+            }
+            if slot.link.min_delay() == SimTime::ZERO {
+                return Err(ShardError::ZeroDelayCut { src, dst: slot.dst });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate statistics of a sharded run, for reports and benches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRunStats {
+    /// Number of shards (including idle ones).
+    pub shards: u16,
+    /// Safe windows executed.
+    pub windows: u64,
+    /// Events dispatched per shard.
+    pub events_per_shard: Vec<u64>,
+    /// Nodes owned per shard.
+    pub nodes_per_shard: Vec<u64>,
+    /// Frames that crossed a shard boundary.
+    pub cross_shard_frames: u64,
+}
+
+/// Pending-event threshold at or above which a window runs on scoped OS
+/// threads rather than inline on the leader. Tiny windows are cheaper
+/// to run inline than to fan out.
+const DEFAULT_PARALLEL_THRESHOLD: usize = 256;
+
+/// A [`Simulator`] split into per-shard kernels running under the
+/// conservative-lookahead protocol. See the module docs for the
+/// determinism argument.
+pub struct ShardedSimulator {
+    shards: Vec<Simulator>,
+    assignment: Vec<u32>,
+    /// Per shard: minimum `min_delay` over cut links leaving it
+    /// (`None` = no cut links, i.e. infinite lookahead).
+    out_look: Vec<Option<SimTime>>,
+    /// Global (serial-order) event seq counter, continued from the
+    /// parent kernel.
+    seq: u64,
+    /// Global (serial-order) frame id counter.
+    next_frame_id: u64,
+    /// The unified trace: the parent's log, fed reconstructed records in
+    /// merged (serial) order.
+    trace: TraceLog,
+    /// The parent's pre-split flight ring (shard stamp 0).
+    flight_base: FlightRecorder,
+    /// The parent's pre-split profiler; per-shard profilers fold in at
+    /// reassembly.
+    profiler_base: KernelProfiler,
+    metrics: tn_obs::Metrics,
+    sched_kind: SchedulerKind,
+    provenance: bool,
+    stats_base: SimStats,
+    now: SimTime,
+    /// Per-shard translation: provisional seq index -> real seq.
+    /// Persistent across windows (queued events outlive their window).
+    seq_map: Vec<Vec<u64>>,
+    /// Per-shard translation: provisional frame-id index -> real id.
+    frame_map: Vec<Vec<u64>>,
+    parallel_threshold: usize,
+    windows: u64,
+    cross_shard_frames: u64,
+    /// Scratch buffer for the post-merge rekey pass (reused every
+    /// window to keep the leader loop allocation-free).
+    rekey_buf: Vec<crate::sched::QueuedEvent>,
+}
+
+impl ShardedSimulator {
+    /// Split a built simulator into shards under `plan`. Fails (dropping
+    /// the simulator) when the plan violates a protocol precondition;
+    /// call [`ShardPlan::validate`] first to keep the simulator on error.
+    pub fn split(mut sim: Simulator, plan: &ShardPlan) -> Result<ShardedSimulator, ShardError> {
+        plan.validate(&sim)?;
+        let k = usize::from(plan.shards);
+        let n_nodes = sim.nodes.len();
+        let n_links = sim.links.len();
+
+        // Cross-shard lookahead per source shard.
+        let mut out_look: Vec<Option<SimTime>> = vec![None; k];
+        for (&(src, _port), &idx) in &sim.port_map {
+            let Some(slot) = sim.links[idx].as_ref() else {
+                continue;
+            };
+            let (ss, ds) = (
+                plan.assignment[src.0 as usize] as usize,
+                plan.assignment[slot.dst.0 as usize] as usize,
+            );
+            if ss != ds {
+                let d = slot.link.min_delay();
+                if out_look[ss].is_none_or(|cur| d < cur) {
+                    out_look[ss] = Some(d);
+                }
+            }
+        }
+
+        let mut shards: Vec<Simulator> = (0..k)
+            .map(|s| {
+                // The shard seed is arbitrary: validation guarantees no
+                // link consumes the kernel coin, and no workspace node
+                // draws from the dispatch RNG, so the stream is dead.
+                let mut sh = Simulator::with_scheduler(0x5eed ^ s as u64, sim.sched_kind);
+                sh.now = sim.now;
+                sh.seq = prov_base(s);
+                sh.next_frame_id = prov_base(s);
+                sh.nodes = (0..n_nodes).map(|_| None).collect();
+                sh.links = (0..n_links).map(|_| None).collect();
+                sh.provenance = sim.provenance;
+                sh.metrics = sim.metrics.clone();
+                if sim.flight.is_enabled() {
+                    let mut ring = FlightRecorder::with_capacity(sim.flight.capacity());
+                    ring.set_shard(s as u16 + 1);
+                    sh.flight = ring;
+                }
+                if sim.profiler.is_enabled() {
+                    let mut p = KernelProfiler::enabled();
+                    p.set_shard(s as u16 + 1);
+                    if let Some(last) = n_nodes.checked_sub(1) {
+                        p.ensure_node(last as u32);
+                    }
+                    sh.profiler = p;
+                }
+                sh.wlog = Some(Box::new(WindowState {
+                    entries: Vec::with_capacity(1024),
+                    remote: Vec::with_capacity(64),
+                }));
+                sh
+            })
+            .collect();
+
+        // Distribute nodes; links and their port-map entries follow the
+        // *source* node (transmit runs on the source's shard).
+        for (i, slot) in sim.nodes.iter_mut().enumerate() {
+            let s = plan.assignment[i] as usize;
+            shards[s].nodes[i] = slot.take();
+        }
+        for (&(src, port), &idx) in &sim.port_map {
+            let s = plan.assignment[src.0 as usize] as usize;
+            shards[s].links[idx] = sim.links[idx].take();
+            shards[s].port_map.insert((src, port), idx);
+        }
+        // Pending events (pre-split injections carry real seqs) go to the
+        // target node's shard. Direct queue pushes: their Schedule
+        // telemetry was already recorded by the parent at injection.
+        while let Some(ev) = sim.queue.pop() {
+            let s = plan.assignment[ev.target_node().0 as usize] as usize;
+            shards[s].queue.push(ev);
+        }
+        // The parent's arena seeds shard 0; reassembly absorbs them all.
+        shards[0].arena = std::mem::take(&mut sim.arena);
+
+        Ok(ShardedSimulator {
+            assignment: plan.assignment.clone(),
+            out_look,
+            seq: sim.seq,
+            next_frame_id: sim.next_frame_id,
+            trace: std::mem::take(&mut sim.trace),
+            flight_base: std::mem::replace(&mut sim.flight, FlightRecorder::disabled()),
+            profiler_base: std::mem::replace(&mut sim.profiler, KernelProfiler::disabled()),
+            metrics: sim.metrics.clone(),
+            sched_kind: sim.sched_kind,
+            provenance: sim.provenance,
+            stats_base: sim.stats,
+            now: sim.now,
+            seq_map: (0..k).map(|_| Vec::new()).collect(),
+            frame_map: (0..k).map(|_| Vec::new()).collect(),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            windows: 0,
+            cross_shard_frames: 0,
+            rekey_buf: Vec::new(),
+            shards,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u16 {
+        self.shards.len() as u16
+    }
+
+    /// Set the pending-event count at or above which a window fans out
+    /// to scoped OS threads (`0` forces threads for every window; both
+    /// paths run identical code, so the digest cannot move).
+    pub fn set_parallel_threshold(&mut self, threshold: usize) {
+        self.parallel_threshold = threshold;
+    }
+
+    /// Statistics of the run so far.
+    pub fn run_stats(&self) -> ShardRunStats {
+        let mut nodes_per_shard = vec![0u64; self.shards.len()];
+        for &s in &self.assignment {
+            nodes_per_shard[s as usize] += 1;
+        }
+        ShardRunStats {
+            shards: self.shards.len() as u16,
+            windows: self.windows,
+            events_per_shard: self
+                .shards
+                .iter()
+                .map(|sh| sh.stats().events_processed)
+                .collect(),
+            nodes_per_shard,
+            cross_shard_frames: self.cross_shard_frames,
+        }
+    }
+
+    /// Translate a possibly-provisional id through a shard's map. The
+    /// timer sentinel passes through untouched.
+    #[inline]
+    fn translate(map: &[u64], raw: u64) -> u64 {
+        if raw == u64::MAX || raw & PROV_BIT == 0 {
+            return raw;
+        }
+        map[(raw & PROV_IDX_MASK) as usize]
+    }
+
+    /// Run every shard up to `deadline` (inclusive, matching
+    /// [`Simulator::run_until`] semantics), window by window. Returns
+    /// the number of events processed across all shards.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before: u64 = self.shards.iter().map(|s| s.stats().events_processed).sum();
+        let bound_excl = SimTime::from_ps(deadline.as_ps().saturating_add(1));
+        loop {
+            // One global safe window: H = min(T_j + L_j) over shards
+            // with pending events; shards with no events contribute
+            // nothing (they cannot send anything).
+            let mut min_t: Option<SimTime> = None;
+            let mut horizon: Option<SimTime> = None;
+            for s in 0..self.shards.len() {
+                let Some(t) = self.shards[s].peek_next_at() else {
+                    continue;
+                };
+                if min_t.is_none_or(|m| t < m) {
+                    min_t = Some(t);
+                }
+                if let Some(look) = self.out_look[s] {
+                    let h = SimTime::from_ps(t.as_ps().saturating_add(look.as_ps()));
+                    if horizon.is_none_or(|cur| h < cur) {
+                        horizon = Some(h);
+                    }
+                }
+            }
+            let Some(min_t) = min_t else {
+                break; // every queue is empty
+            };
+            if min_t > deadline {
+                break;
+            }
+            let h_excl = match horizon {
+                Some(h) if h < bound_excl => h,
+                _ => bound_excl,
+            };
+            debug_assert!(
+                h_excl > min_t,
+                "lookahead stalled: horizon {} <= next event {}",
+                h_excl.as_ps(),
+                min_t.as_ps()
+            );
+            self.windows += 1;
+            let pending: usize = self.shards.iter().map(|s| s.pending_events()).sum();
+            if pending >= self.parallel_threshold && self.shards.len() > 1 {
+                std::thread::scope(|scope| {
+                    for sh in self.shards.iter_mut() {
+                        scope.spawn(move || {
+                            sh.run_window(h_excl);
+                        });
+                    }
+                });
+            } else {
+                for sh in self.shards.iter_mut() {
+                    sh.run_window(h_excl);
+                }
+            }
+            self.merge_window(h_excl);
+        }
+        // Serial run_until advances the clock to the deadline even when
+        // idle; mirror that on every shard and the leader.
+        for sh in self.shards.iter_mut() {
+            if sh.now < deadline {
+                sh.now = deadline;
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        let after: u64 = self.shards.iter().map(|s| s.stats().events_processed).sum();
+        after - before
+    }
+
+    /// K-way merge of the window logs: reconstruct the serial record
+    /// stream, assign real ids, route cross-shard frames.
+    fn merge_window(&mut self, h_excl: SimTime) {
+        let k = self.shards.len();
+        // Take the logs out so the shards stay mutably borrowable for
+        // routing; buffers are handed back (cleared) at the end.
+        let mut logs: Vec<WindowState> = Vec::with_capacity(k);
+        for sh in self.shards.iter_mut() {
+            match sh.wlog.as_mut() {
+                Some(w) => logs.push(WindowState {
+                    entries: std::mem::take(&mut w.entries),
+                    remote: std::mem::take(&mut w.remote),
+                }),
+                None => unreachable!("shard lost its window log"),
+            }
+        }
+        let mut cursor = vec![0usize; k];
+        let mut remote: Vec<std::vec::IntoIter<Frame>> = Vec::with_capacity(k);
+        let mut entries: Vec<Vec<WEntry>> = Vec::with_capacity(k);
+        for w in logs {
+            entries.push(w.entries);
+            remote.push(w.remote.into_iter());
+        }
+        loop {
+            // Head of each shard's log is always a Dispatch block (the
+            // shard appends one before anything the dispatch causes);
+            // pick the (at, translated tag) minimum — serial pop order.
+            // A provisional head tag always translates: its LocalPush
+            // was logged earlier in the *same* shard's log (intra-shard
+            // push) or in a previous window, so its map entry exists.
+            let mut best: Option<(SimTime, u64, usize)> = None;
+            for s in 0..k {
+                if let Some(WEntry::Dispatch { at, tag, .. }) = entries[s].get(cursor[s]) {
+                    let real = Self::translate(&self.seq_map[s], *tag);
+                    if best.is_none_or(|(ba, bt, _)| (*at, real) < (ba, bt)) {
+                        best = Some((*at, real, s));
+                    }
+                }
+            }
+            let Some((_, _, s)) = best else {
+                break;
+            };
+            // Consume the block: the Dispatch entry plus everything up
+            // to the next Dispatch (or end of log).
+            let Some(WEntry::Dispatch {
+                at,
+                node,
+                port,
+                frame,
+                timer,
+                ..
+            }) = entries[s].get(cursor[s])
+            else {
+                unreachable!("merge cursor left a block boundary");
+            };
+            self.trace.record(TraceEvent {
+                at: *at,
+                node: *node,
+                port: *port,
+                frame: FrameId(Self::translate(&self.frame_map[s], *frame)),
+                kind: if *timer {
+                    TraceKind::Timer
+                } else {
+                    TraceKind::Deliver
+                },
+            });
+            cursor[s] += 1;
+            while let Some(e) = entries[s].get(cursor[s]) {
+                match e {
+                    WEntry::Dispatch { .. } => break,
+                    WEntry::Builds(n) => {
+                        for _ in 0..*n {
+                            self.frame_map[s].push(self.next_frame_id);
+                            self.next_frame_id += 1;
+                        }
+                    }
+                    WEntry::LocalPush => {
+                        self.seq_map[s].push(self.seq);
+                        self.seq += 1;
+                    }
+                    WEntry::DropRec { node, port, frame } => {
+                        self.trace.record(TraceEvent {
+                            at: *at,
+                            node: *node,
+                            port: *port,
+                            frame: FrameId(Self::translate(&self.frame_map[s], *frame)),
+                            kind: TraceKind::Drop,
+                        });
+                    }
+                    WEntry::Remote {
+                        arrival,
+                        dst,
+                        dst_port,
+                    } => {
+                        // The serial kernel bumped its seq here too.
+                        let real_seq = self.seq;
+                        self.seq += 1;
+                        self.cross_shard_frames += 1;
+                        let Some(mut f) = remote[s].next() else {
+                            unreachable!("Remote entry without a buffered frame");
+                        };
+                        f.id = FrameId(Self::translate(&self.frame_map[s], f.id.0));
+                        if *arrival < h_excl {
+                            // Cold path: a link advertised a min_delay
+                            // larger than a delivery it produced. The
+                            // shard kernels' Drop impls dump their
+                            // flight rings during this unwind.
+                            panic!(
+                                "cross-shard delivery into the past: frame {} arrives at {} ps \
+                                 inside the already-executed window (horizon {} ps); \
+                                 a link's min_delay() overstates its guarantee",
+                                f.id.0,
+                                arrival.as_ps(),
+                                h_excl.as_ps()
+                            );
+                        }
+                        let ds = self.assignment[dst.0 as usize] as usize;
+                        self.shards[ds].push_external(*arrival, real_seq, *dst, *dst_port, f);
+                    }
+                }
+                cursor[s] += 1;
+            }
+        }
+        // Hand the (cleared) buffers back for the next window.
+        for (sh, mut ents) in self.shards.iter_mut().zip(entries) {
+            if let Some(w) = sh.wlog.as_mut() {
+                ents.clear();
+                w.entries = ents;
+            }
+        }
+        // Rekey pass: rewrite every pending provisional seq to the real
+        // seq the merge just assigned. A provisional key compares as
+        // "newest possible" inside the shard's scheduler, which breaks
+        // same-timestamp ties the moment a cross-shard arrival (small
+        // real seq) lands next to an older local push (huge provisional
+        // seq) — the external event would jump the queue. After the
+        // merge every pending push has its real seq in `seq_map`, so the
+        // drain-translate-reinsert leaves each shard ordering ties in
+        // exact serial push order. Single-shard runs have no external
+        // arrivals and skip the pass.
+        if k > 1 {
+            for (s, sh) in self.shards.iter_mut().enumerate() {
+                while let Some(mut ev) = sh.queue.pop() {
+                    ev.seq = Self::translate(&self.seq_map[s], ev.seq);
+                    self.rekey_buf.push(ev);
+                }
+                for ev in self.rekey_buf.drain(..) {
+                    sh.queue.push(ev);
+                }
+            }
+        }
+    }
+
+    /// Reassemble the shards into one serial [`Simulator`] carrying the
+    /// unified trace, summed statistics, merged telemetry, and every
+    /// node — so post-run harvesting (reports, downcasts) is identical
+    /// to the serial path.
+    pub fn finish(mut self) -> Simulator {
+        let k = self.shards.len();
+        let mut sim = Simulator::with_scheduler(0, self.sched_kind);
+        sim.now = self.now;
+        sim.seq = self.seq;
+        sim.next_frame_id = self.next_frame_id;
+        sim.provenance = self.provenance;
+        sim.metrics = self.metrics.clone();
+        sim.stats = self.stats_base;
+        let n_nodes = self.shards.first().map_or(0, |s| s.nodes.len());
+        let n_links = self.shards.first().map_or(0, |s| s.links.len());
+        sim.nodes = (0..n_nodes).map(|_| None).collect();
+        sim.links = (0..n_links).map(|_| None).collect();
+        let mut rings: Vec<&FlightRecorder> = Vec::with_capacity(k + 1);
+        for (s, sh) in self.shards.iter_mut().enumerate() {
+            sh.wlog = None; // leave window mode before the final drain
+            for (i, slot) in sh.nodes.iter_mut().enumerate() {
+                if let Some(slot) = slot.take() {
+                    sim.nodes[i] = Some(slot);
+                }
+            }
+            for (i, slot) in sh.links.iter_mut().enumerate() {
+                if let Some(slot) = slot.take() {
+                    sim.links[i] = Some(slot);
+                }
+            }
+            sim.port_map.append(&mut sh.port_map);
+            // Residual events (beyond the deadline) rejoin the unified
+            // queue with their ids translated to serial order.
+            while let Some(mut ev) = sh.queue.pop() {
+                ev.seq = Self::translate(&self.seq_map[s], ev.seq);
+                if let crate::sched::EventKind::Frame { frame, .. } = &mut ev.kind {
+                    frame.id = FrameId(Self::translate(&self.frame_map[s], frame.id.0));
+                }
+                sim.queue.push(ev);
+            }
+            let st = sh.stats();
+            sim.stats.events_processed += st.events_processed;
+            sim.stats.frames_delivered += st.frames_delivered;
+            sim.stats.frames_dropped += st.frames_dropped;
+            sim.stats.frames_unrouted += st.frames_unrouted;
+            sim.stats.timers_fired += st.timers_fired;
+            let arena = std::mem::take(&mut sh.arena);
+            if s == 0 {
+                sim.arena = arena;
+            } else {
+                sim.arena.absorb(arena);
+            }
+            self.profiler_base.merge_from(&sh.profiler);
+        }
+        sim.trace = self.trace;
+        sim.profiler = self.profiler_base;
+        if self.flight_base.is_enabled() {
+            rings.push(&self.flight_base);
+            for sh in &self.shards {
+                rings.push(&sh.flight);
+            }
+            sim.flight = FlightRecorder::merged(&rings, self.flight_base.capacity());
+        }
+        sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{Context, TimerToken};
+    use crate::link::{IdealLink, Link, LinkOutcome};
+    use crate::node::Node;
+    use crate::sched::SchedulerKind;
+
+    /// Bounces frames back out the arrival port for a while.
+    struct Bouncer {
+        hops_left: u32,
+    }
+
+    impl Node for Bouncer {
+        fn on_frame(&mut self, ctx: &mut Context<'_>, port: PortId, frame: Frame) {
+            if self.hops_left > 0 {
+                self.hops_left -= 1;
+                ctx.send(port, frame);
+            } else {
+                ctx.recycle(frame);
+            }
+        }
+    }
+
+    /// Fires a periodic timer and sprays a frame each tick.
+    struct Ticker {
+        period: SimTime,
+        ticks_left: u32,
+    }
+
+    impl Node for Ticker {
+        fn on_frame(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+            ctx.recycle(frame);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+            let f = ctx
+                .frame()
+                .zeroed(64)
+                .tag(u64::from(self.ticks_left))
+                .build();
+            ctx.send(PortId(0), f);
+            if self.ticks_left > 0 {
+                self.ticks_left -= 1;
+                ctx.set_timer(self.period, timer);
+            }
+        }
+    }
+
+    /// Four nodes in a line, mixed delays, cross traffic and timers.
+    fn build_line(kind: SchedulerKind) -> Simulator {
+        let mut sim = Simulator::with_scheduler(11, kind);
+        let a = sim.add_node(
+            "a",
+            Ticker {
+                period: SimTime::from_ns(70),
+                ticks_left: 40,
+            },
+        );
+        let b = sim.add_node("b", Bouncer { hops_left: 6 });
+        let c = sim.add_node("c", Bouncer { hops_left: 9 });
+        let d = sim.add_node(
+            "d",
+            Ticker {
+                period: SimTime::from_ns(110),
+                ticks_left: 25,
+            },
+        );
+        let short = IdealLink::new(SimTime::from_ns(5));
+        let long = IdealLink::new(SimTime::from_ns(400));
+        sim.install_link(a, PortId(0), b, PortId(0), Box::new(short.clone()));
+        sim.install_link(b, PortId(0), a, PortId(0), Box::new(short.clone()));
+        sim.install_link(b, PortId(1), c, PortId(1), Box::new(long.clone()));
+        sim.install_link(c, PortId(1), b, PortId(1), Box::new(long));
+        sim.install_link(c, PortId(0), d, PortId(0), Box::new(short.clone()));
+        sim.install_link(d, PortId(0), c, PortId(0), Box::new(short));
+        sim.schedule_timer(SimTime::ZERO, a, TimerToken(1));
+        sim.schedule_timer(SimTime::from_ns(33), d, TimerToken(2));
+        sim
+    }
+
+    fn serial_signature(kind: SchedulerKind, deadline: SimTime) -> (u64, u64, SimStats) {
+        let mut sim = build_line(kind);
+        sim.run_until(deadline);
+        (sim.trace.digest(), sim.trace.recorded(), sim.stats())
+    }
+
+    #[test]
+    fn sharded_line_matches_serial_for_every_count_and_scheduler() {
+        let deadline = SimTime::from_us(20);
+        for kind in SchedulerKind::ALL {
+            let want = serial_signature(kind, deadline);
+            for k in 1..=4u16 {
+                let sim = build_line(kind);
+                let plan = ShardPlan::auto(&sim, k);
+                let mut sharded = ShardedSimulator::split(sim, &plan).expect("plan is valid");
+                sharded.run_until(deadline);
+                let merged = sharded.finish();
+                let got = (
+                    merged.trace.digest(),
+                    merged.trace.recorded(),
+                    merged.stats(),
+                );
+                assert_eq!(got, want, "k={k} kind={}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn manual_plan_round_trips_and_counts_cross_shard_traffic() {
+        let deadline = SimTime::from_us(20);
+        let want = serial_signature(SchedulerKind::BinaryHeap, deadline);
+        let sim = build_line(SchedulerKind::BinaryHeap);
+        // Interleaved assignment: the busy a<->b and c<->d links are cut.
+        let plan = ShardPlan::manual(vec![0, 1, 0, 1]);
+        plan.validate(&sim).expect("every cut has 5ns lookahead");
+        let mut sharded = ShardedSimulator::split(sim, &plan).expect("valid");
+        sharded.run_until(deadline);
+        let stats = sharded.run_stats();
+        assert_eq!(stats.shards, 2);
+        assert!(stats.windows > 1, "multi-window run expected");
+        assert!(
+            stats.cross_shard_frames > 0,
+            "a<->b traffic crosses the cut"
+        );
+        assert_eq!(stats.nodes_per_shard, vec![2, 2]);
+        let merged = sharded.finish();
+        assert_eq!(
+            (
+                merged.trace.digest(),
+                merged.trace.recorded(),
+                merged.stats()
+            ),
+            want
+        );
+    }
+
+    #[test]
+    fn auto_plan_contracts_zero_delay_edges() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Bouncer { hops_left: 0 });
+        let b = sim.add_node("b", Bouncer { hops_left: 0 });
+        let c = sim.add_node("c", Bouncer { hops_left: 0 });
+        let _ = c;
+        sim.install_link(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            Box::new(IdealLink::new(SimTime::ZERO)),
+        );
+        let plan = ShardPlan::auto(&sim, 3);
+        assert_eq!(
+            plan.assignment[a.0 as usize], plan.assignment[b.0 as usize],
+            "zero-delay neighbors must share a shard"
+        );
+        plan.validate(&sim).expect("auto plans always validate");
+    }
+
+    #[test]
+    fn zero_delay_cut_is_rejected() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Bouncer { hops_left: 0 });
+        let b = sim.add_node("b", Bouncer { hops_left: 0 });
+        sim.install_link(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            Box::new(IdealLink::new(SimTime::ZERO)),
+        );
+        let plan = ShardPlan::manual(vec![0, 1]);
+        assert_eq!(
+            plan.validate(&sim),
+            Err(ShardError::ZeroDelayCut { src: a, dst: b })
+        );
+        assert!(ShardedSimulator::split(sim, &plan).is_err());
+    }
+
+    /// Deterministic link that *lies* about its lookahead: it advertises
+    /// a large min_delay but delivers almost immediately.
+    #[derive(Clone)]
+    struct LyingLink;
+    impl Link for LyingLink {
+        fn transmit(&mut self, now: SimTime, _len: usize, _coin: f64) -> LinkOutcome {
+            LinkOutcome::Deliver(now + SimTime::from_ns(1))
+        }
+        fn propagation(&self) -> SimTime {
+            SimTime::from_ns(1)
+        }
+        fn min_delay(&self) -> SimTime {
+            SimTime::from_ms(10) // wildly overstated guarantee
+        }
+    }
+
+    /// Coin-consuming link for validation tests; never actually run.
+    #[derive(Clone)]
+    struct CoinLink;
+    impl Link for CoinLink {
+        fn transmit(&mut self, now: SimTime, _len: usize, coin: f64) -> LinkOutcome {
+            if coin < 0.5 {
+                LinkOutcome::Deliver(now + SimTime::from_ns(10))
+            } else {
+                LinkOutcome::Drop(crate::link::DropReason::RandomLoss)
+            }
+        }
+        fn propagation(&self) -> SimTime {
+            SimTime::from_ns(10)
+        }
+        fn uses_kernel_coin(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn coin_consuming_cut_is_rejected() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Bouncer { hops_left: 0 });
+        let b = sim.add_node("b", Bouncer { hops_left: 0 });
+        sim.install_link(a, PortId(0), b, PortId(0), Box::new(CoinLink));
+        let plan = ShardPlan::manual(vec![0, 1]);
+        assert_eq!(
+            plan.validate(&sim),
+            Err(ShardError::CoinLink { src: a, dst: b })
+        );
+        // Auto planning contracts the pair instead of cutting it.
+        let auto = ShardPlan::auto(&sim, 2);
+        assert_eq!(auto.assignment[0], auto.assignment[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-shard delivery into the past")]
+    fn lying_lookahead_panics_instead_of_corrupting_the_run() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(
+            "a",
+            Ticker {
+                period: SimTime::from_ns(100),
+                ticks_left: 50,
+            },
+        );
+        let b = sim.add_node("b", Bouncer { hops_left: 100 });
+        sim.install_link(a, PortId(0), b, PortId(0), Box::new(LyingLink));
+        sim.install_link(b, PortId(0), a, PortId(0), Box::new(LyingLink));
+        sim.schedule_timer(SimTime::ZERO, a, TimerToken(0));
+        let plan = ShardPlan::manual(vec![0, 1]);
+        plan.validate(&sim).expect("min_delay looks positive");
+        let mut sharded = ShardedSimulator::split(sim, &plan).expect("valid");
+        sharded.run_until(SimTime::from_us(100));
+    }
+
+    #[test]
+    fn bad_assignments_are_rejected() {
+        let mut sim = Simulator::new(1);
+        sim.add_node("a", Bouncer { hops_left: 0 });
+        sim.add_node("b", Bouncer { hops_left: 0 });
+        assert!(matches!(
+            ShardPlan::manual(vec![0]).validate(&sim),
+            Err(ShardError::BadAssignment(_))
+        ));
+        let mut plan = ShardPlan::manual(vec![0, 1]);
+        plan.shards = 1; // id 1 now out of range
+        assert!(matches!(
+            plan.validate(&sim),
+            Err(ShardError::BadAssignment(_))
+        ));
+    }
+
+    #[test]
+    fn imbalanced_partition_terminates_and_makes_progress() {
+        // One hot shard (a fast ticker spraying frames across a cut) next
+        // to four completely idle shards: the window loop must neither
+        // deadlock (idle shards contribute no horizon) nor livelock
+        // (every window advances past at least one event), with every
+        // window forced onto real OS threads. Forward progress is
+        // asserted from the kernel self-profiler's dispatch counts and
+        // the per-shard event tallies.
+        let ticks = 2_000u32;
+        let build = || {
+            let mut sim = Simulator::new(9);
+            sim.set_profile(true);
+            let h = sim.add_node(
+                "hot",
+                Ticker {
+                    period: SimTime::from_ns(10),
+                    ticks_left: ticks,
+                },
+            );
+            let r = sim.add_node("sink", Bouncer { hops_left: 0 });
+            for i in 0..4 {
+                sim.add_node(format!("idle{i}"), Bouncer { hops_left: 0 });
+            }
+            let cut = IdealLink::new(SimTime::from_ns(50));
+            sim.install_link(h, PortId(0), r, PortId(0), Box::new(cut));
+            sim.schedule_timer(SimTime::ZERO, h, TimerToken(1));
+            sim
+        };
+        let deadline = SimTime::from_us(100);
+        let mut serial = build();
+        serial.run_until(deadline);
+        let want = (serial.trace.digest(), serial.trace.recorded());
+
+        let sim = build();
+        let plan = ShardPlan::manual(vec![0, 1, 2, 3, 4, 5]);
+        let mut sharded = ShardedSimulator::split(sim, &plan).expect("valid");
+        sharded.set_parallel_threshold(0); // every window on real threads
+        sharded.run_until(deadline);
+        let stats = sharded.run_stats();
+        assert!(stats.windows > 1, "hot shard must be window-bounded");
+        let expected = u64::from(ticks) + 1; // timer dispatches (ticks_left hits 0 on the last)
+        assert_eq!(stats.events_per_shard[0], expected, "{stats:?}");
+        assert_eq!(stats.events_per_shard[1], expected, "every frame crossed");
+        assert_eq!(
+            &stats.events_per_shard[2..],
+            [0, 0, 0, 0],
+            "idle stays idle"
+        );
+        let merged = sharded.finish();
+        let profile = merged.profile().expect("profiler was on");
+        assert_eq!(
+            profile.dispatches(),
+            2 * expected,
+            "profiler must account for every dispatch"
+        );
+        assert_eq!((merged.trace.digest(), merged.trace.recorded()), want);
+    }
+
+    #[test]
+    fn forced_threading_matches_inline_execution() {
+        let deadline = SimTime::from_us(20);
+        let want = serial_signature(SchedulerKind::BinaryHeap, deadline);
+        let sim = build_line(SchedulerKind::BinaryHeap);
+        let plan = ShardPlan::manual(vec![0, 0, 1, 1]);
+        let mut sharded = ShardedSimulator::split(sim, &plan).expect("valid");
+        sharded.set_parallel_threshold(0); // every window on real threads
+        sharded.run_until(deadline);
+        let merged = sharded.finish();
+        assert_eq!(
+            (
+                merged.trace.digest(),
+                merged.trace.recorded(),
+                merged.stats()
+            ),
+            want
+        );
+    }
+}

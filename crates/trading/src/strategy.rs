@@ -48,8 +48,10 @@ pub struct OrderIntent {
     pub price: u64,
 }
 
-/// Pluggable decision logic.
-pub trait StrategyLogic {
+/// Pluggable decision logic. `Send` is a supertrait because strategies
+/// are simulator nodes, and sharded runs move nodes onto per-shard
+/// threads (see [`tn_sim::Node`]).
+pub trait StrategyLogic: Send {
     /// Evaluate one normalized record; optionally produce an order.
     fn on_record(&mut self, record: &norm::Record) -> Option<OrderIntent>;
 }

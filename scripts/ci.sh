@@ -56,6 +56,19 @@ rm -f "$trace_out" "$flight_out" target/e21-folded-1.txt target/e21-folded-2.txt
 # 64-case sweep runs with the workspace tests above).
 echo "==> scheduler_equivalence (reduced proptest sweep)"
 PROPTEST_CASES=8 cargo test -q --offline --test scheduler_equivalence
+# Shard equivalence: sharded execution must reproduce the serial kernel
+# bit-for-bit — a reduced random-topology sweep here, plus the registry
+# scenarios pinning the golden quickstart digest through the sharded
+# path for every shard count 1..=8 under all three schedulers.
+echo "==> shard_equivalence (reduced proptest sweep)"
+PROPTEST_CASES=8 cargo test -q --offline --test shard_equivalence
+run cargo run --release --offline -q -p tn-audit -- divergence --filter shard
+# BENCH shard smoke: serial-vs-sharded with digests asserted equal
+# inside the harness. Smoke mode never writes BENCH_shard.json, so the
+# committed full-scale numbers stay untouched.
+run cargo run --release --offline -q -p tn-bench --bin bench_shard -- --smoke
+head -1 BENCH_shard.json | grep -q '"schema":"tn-bench/v1"'
+echo "==> BENCH_shard.json: tn-bench/v1 ok"
 # BENCH smoke + regression gate: all three schedulers on the small
 # scales, digests asserted equal inside the harness, and the artifact
 # parses as tn-bench/v1. The committed full-run summary is captured

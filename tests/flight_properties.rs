@@ -110,7 +110,7 @@ proptest! {
     ) {
         let mut ring = FlightRecorder::with_capacity(capacity);
         for i in 0..count {
-            ring.record(FlightRecord { at_ps: i, kind: FlightKind::Schedule, node: 7, a: i, b: i * 2 });
+            ring.record(FlightRecord { at_ps: i, kind: FlightKind::Schedule, node: 7, shard: 0, a: i, b: i * 2 });
         }
         prop_assert!(ring.len() <= capacity);
         prop_assert_eq!(ring.len(), count.min(capacity as u64) as usize);

@@ -1,0 +1,380 @@
+//! Differential property tests for sharded execution: over random
+//! fan-out topologies — mixed link speeds, store-and-forward hops,
+//! optional fault-degraded links — a [`ShardedSimulator`] split into any
+//! number of shards, under any scheduler, must reproduce the serial
+//! kernel bit-for-bit: identical trace digests, event counts, and
+//! per-sink delivery tallies. Random manual assignments must either be
+//! rejected up front (zero-delay cut) or reproduce the serial run too.
+//!
+//! This is the contract that makes `ScenarioConfig::shards` a pure
+//! performance knob: no partition may ever change a result. A fixed
+//! design-level test extends the same claim to the full `DesignReport`
+//! JSON document.
+
+use proptest::prelude::*;
+
+use trading_networks::core::{
+    ScenarioConfig, ShardSpec, TradingNetworkDesign, TraditionalSwitches,
+};
+use trading_networks::fault::{FaultLink, FaultSpec};
+use trading_networks::netdev::EtherLink;
+use trading_networks::sim::{
+    Context, Frame, IdealLink, Link, Node, PortId, SchedulerKind, ShardError, ShardPlan,
+    ShardedSimulator, SimTime, Simulator, TimerToken,
+};
+
+const TICK: TimerToken = TimerToken(1);
+
+/// Emits `count` pooled frames, one per timer firing, cycling across
+/// `branches` output ports — the fan-out root.
+struct FanSource {
+    interval: SimTime,
+    count: u32,
+    payload: usize,
+    branches: u32,
+    sent: u32,
+}
+
+impl Node for FanSource {
+    fn on_frame(&mut self, _ctx: &mut Context<'_>, _port: PortId, _frame: Frame) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        debug_assert_eq!(timer, TICK);
+        let frame = ctx.frame().zeroed(self.payload).build();
+        ctx.send(PortId((self.sent % self.branches) as u16), frame);
+        self.sent += 1;
+        if self.sent < self.count {
+            ctx.set_timer(self.interval, TICK);
+        }
+    }
+}
+
+/// A middle hop: either cut-through (forward immediately) or
+/// store-and-forward (hold each frame for a fixed service time).
+struct Hop {
+    hold: Option<SimTime>,
+    held: std::collections::VecDeque<Frame>,
+}
+
+impl Node for Hop {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+        match self.hold {
+            None => ctx.send(PortId(1), frame),
+            Some(service) => {
+                self.held.push_back(frame);
+                ctx.set_timer(service, TICK);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        debug_assert_eq!(timer, TICK);
+        if let Some(frame) = self.held.pop_front() {
+            ctx.send(PortId(1), frame);
+        }
+    }
+}
+
+/// Counts deliveries and recycles every payload into the frame arena.
+#[derive(Default)]
+struct Sink {
+    delivered: u64,
+    bytes: u64,
+}
+
+impl Node for Sink {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+        self.delivered += 1;
+        self.bytes += frame.bytes.len() as u64;
+        ctx.recycle(frame);
+    }
+}
+
+/// One link of a branch, as drawn by proptest.
+#[derive(Debug, Clone, Copy)]
+struct LinkPlan {
+    /// `None` is an ideal link; `Some(bps)` serializes.
+    rate_bps: Option<u64>,
+    prop_ns: u64,
+}
+
+impl LinkPlan {
+    /// Build the link, optionally behind a [`FaultLink`] with `loss`
+    /// iid drop probability (seeded off this link's position). The
+    /// fault layer draws from its own PRNG, never the kernel coin, so
+    /// every partition replays the same drop decisions.
+    fn build(&self, fault: Option<(u64, f64)>) -> Box<dyn Link> {
+        let prop = SimTime::from_ns(self.prop_ns);
+        match (self.rate_bps, fault) {
+            (None, None) => Box::new(IdealLink::new(prop)),
+            (Some(bps), None) => Box::new(EtherLink::new(bps, prop)),
+            (None, Some((seed, p))) => Box::new(FaultLink::wrap(
+                IdealLink::new(prop),
+                FaultSpec::new(seed).with_iid_loss(p),
+            )),
+            (Some(bps), Some((seed, p))) => Box::new(FaultLink::wrap(
+                EtherLink::new(bps, prop),
+                FaultSpec::new(seed).with_iid_loss(p),
+            )),
+        }
+    }
+}
+
+/// One branch of the fan-out: hold times for its hops, then its links
+/// (`hops.len() + 1` of them).
+#[derive(Debug, Clone)]
+struct BranchPlan {
+    hops: Vec<Option<u64>>, // ns; None = cut-through
+    links: Vec<LinkPlan>,
+}
+
+#[derive(Debug, Clone)]
+struct Plan {
+    seed: u64,
+    branches: Vec<BranchPlan>,
+    /// iid loss probability on every link when faults are on.
+    loss: f64,
+    frames: u32,
+    payload: usize,
+    interval_ns: u64,
+}
+
+fn arb_link() -> impl Strategy<Value = LinkPlan> {
+    (
+        prop_oneof![
+            Just(None),
+            Just(Some(1_000_000_000u64)),
+            Just(Some(10_000_000_000u64)),
+        ],
+        0u64..20_000,
+    )
+        .prop_map(|(rate_bps, prop_ns)| LinkPlan { rate_bps, prop_ns })
+}
+
+fn arb_branch() -> impl Strategy<Value = BranchPlan> {
+    let hold = prop_oneof![Just(None), (1u64..5_000).prop_map(Some)];
+    proptest::collection::vec(hold, 0..3).prop_flat_map(|hops| {
+        let links = proptest::collection::vec(arb_link(), hops.len() + 1..hops.len() + 2);
+        (Just(hops), links).prop_map(|(hops, links)| BranchPlan { hops, links })
+    })
+}
+
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    (
+        proptest::collection::vec(arb_branch(), 1..4),
+        any::<u64>(),
+        1u32..40,
+        1u32..24,
+        32usize..512,
+        100u64..50_000,
+    )
+        .prop_map(
+            |(branches, seed, loss_pct, frames, payload, interval_ns)| Plan {
+                seed,
+                branches,
+                loss: f64::from(loss_pct) / 100.0,
+                frames,
+                payload,
+                interval_ns,
+            },
+        )
+}
+
+/// Build the fan-out simulator a plan describes; returns the sim and its
+/// sink node ids.
+fn build_plan(
+    plan: &Plan,
+    kind: SchedulerKind,
+    faults: bool,
+) -> (Simulator, Vec<trading_networks::sim::NodeId>) {
+    let mut sim = Simulator::with_scheduler(plan.seed, kind);
+    let src = sim.add_node(
+        "src",
+        FanSource {
+            interval: SimTime::from_ns(plan.interval_ns),
+            count: plan.frames,
+            payload: plan.payload,
+            branches: plan.branches.len() as u32,
+            sent: 0,
+        },
+    );
+    let mut sinks = Vec::new();
+    for (bi, branch) in plan.branches.iter().enumerate() {
+        let mut prev = src;
+        let mut prev_port = PortId(bi as u16);
+        for (hi, hold) in branch.hops.iter().enumerate() {
+            let hop = sim.add_node(
+                format!("hop{bi}.{hi}"),
+                Hop {
+                    hold: hold.map(SimTime::from_ns),
+                    held: std::collections::VecDeque::new(),
+                },
+            );
+            let fault = faults.then(|| ((bi * 31 + hi) as u64, plan.loss));
+            sim.install_link(
+                prev,
+                prev_port,
+                hop,
+                PortId(0),
+                branch.links[hi].build(fault),
+            );
+            prev = hop;
+            prev_port = PortId(1);
+        }
+        let sink = sim.add_node(format!("sink{bi}"), Sink::default());
+        let fault = faults.then(|| ((bi * 31 + branch.hops.len()) as u64, plan.loss));
+        sim.install_link(
+            prev,
+            prev_port,
+            sink,
+            PortId(0),
+            branch.links[branch.hops.len()].build(fault),
+        );
+        sinks.push(sink);
+    }
+    sim.schedule_timer(SimTime::from_ns(10), src, TICK);
+    (sim, sinks)
+}
+
+/// Far beyond the last event any plan can schedule (frames × interval
+/// plus path delays tops out well under a millisecond × 24).
+const DRAIN: SimTime = SimTime::from_ms(100);
+
+/// What one run distills to: `(digest, events, per-sink (count, bytes))`.
+type RunResult = (u64, u64, Vec<(u64, u64)>);
+
+fn harvest(sim: &Simulator, sinks: &[trading_networks::sim::NodeId]) -> RunResult {
+    let tallies = sinks
+        .iter()
+        .map(|&s| {
+            let sink = sim.node::<Sink>(s).expect("sink");
+            (sink.delivered, sink.bytes)
+        })
+        .collect();
+    (sim.trace.digest(), sim.trace.recorded(), tallies)
+}
+
+fn run_serial(plan: &Plan, kind: SchedulerKind, faults: bool) -> RunResult {
+    let (mut sim, sinks) = build_plan(plan, kind, faults);
+    sim.run_until(DRAIN);
+    harvest(&sim, &sinks)
+}
+
+/// Run under an auto plan with `k` shards; `threshold` is the
+/// parallel-dispatch knob (0 forces scoped OS threads every window).
+fn run_auto(plan: &Plan, kind: SchedulerKind, faults: bool, k: u16, threshold: usize) -> RunResult {
+    let (sim, sinks) = build_plan(plan, kind, faults);
+    let shard_plan = ShardPlan::auto(&sim, k);
+    let mut sharded =
+        ShardedSimulator::split(sim, &shard_plan).expect("auto plans always validate");
+    sharded.set_parallel_threshold(threshold);
+    sharded.run_until(DRAIN);
+    let sim = sharded.finish();
+    harvest(&sim, &sinks)
+}
+
+/// Run under a derived pseudo-random manual assignment. Returns `None`
+/// when the assignment is (legitimately) rejected — a zero-delay or
+/// coin-consuming cut — which the caller counts as vacuous.
+fn run_manual(plan: &Plan, faults: bool, assign_seed: u64) -> Option<(Vec<u32>, RunResult)> {
+    let (sim, sinks) = build_plan(plan, SchedulerKind::BinaryHeap, faults);
+    let shards = 2 + (assign_seed % 3) as u32; // 2..=4
+    let mut x = assign_seed | 1;
+    let assignment: Vec<u32> = (0..sim.node_count())
+        .map(|_| {
+            // xorshift: cheap, deterministic, seed-derived spread.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % u64::from(shards)) as u32
+        })
+        .collect();
+    let shard_plan = ShardPlan::manual(assignment.clone());
+    match shard_plan.validate(&sim) {
+        Err(ShardError::ZeroDelayCut { .. }) | Err(ShardError::CoinLink { .. }) => return None,
+        Err(e) => panic!("unexpected rejection of a covering assignment: {e}"),
+        Ok(()) => {}
+    }
+    let mut sharded = ShardedSimulator::split(sim, &shard_plan).expect("validated above");
+    sharded.run_until(DRAIN);
+    let sim = sharded.finish();
+    Some((assignment, harvest(&sim, &sinks)))
+}
+
+proptest! {
+    /// For every random fan-out plan, every shard count 1..=8 under
+    /// every scheduler — faulted or not — reproduces the serial kernel
+    /// bit-for-bit, and forcing real OS threads changes nothing.
+    #[test]
+    fn sharded_runs_match_serial_on_random_topologies(
+        plan in arb_plan(),
+        k in 1u16..=8,
+    ) {
+        for faults in [false, true] {
+            for kind in SchedulerKind::ALL {
+                let serial = run_serial(&plan, kind, faults);
+                let sharded = run_auto(&plan, kind, faults, k, usize::MAX);
+                prop_assert_eq!(
+                    &serial, &sharded,
+                    "{} diverged sharded (k={}, faults={})", kind.name(), k, faults
+                );
+            }
+            // One threaded pass per plan: scoped threads every window
+            // must execute the identical merge, so the digest holds.
+            let serial = run_serial(&plan, SchedulerKind::BinaryHeap, faults);
+            let threaded = run_auto(&plan, SchedulerKind::BinaryHeap, faults, k, 0);
+            prop_assert_eq!(
+                &serial, &threaded,
+                "threaded windows diverged (k={}, faults={})", k, faults
+            );
+        }
+    }
+
+    /// Random manual assignments either get rejected at validation (a
+    /// zero-delay or coin cut — never silently accepted) or reproduce
+    /// the serial run exactly.
+    #[test]
+    fn random_manual_assignments_match_serial_or_reject(
+        plan in arb_plan(),
+        assign_seed in any::<u64>(),
+    ) {
+        for faults in [false, true] {
+            if let Some((assignment, sharded)) = run_manual(&plan, faults, assign_seed) {
+                let serial = run_serial(&plan, SchedulerKind::BinaryHeap, faults);
+                prop_assert_eq!(
+                    &serial, &sharded,
+                    "manual assignment {:?} diverged (faults={})", assignment, faults
+                );
+            }
+        }
+    }
+}
+
+/// Design-level equivalence: the full `DesignReport` JSON document — not
+/// just the digest — is identical between serial and sharded runs, for
+/// several shard counts, once the additive `shard` section is cleared.
+#[test]
+fn sharded_design_reports_match_serial_exactly() {
+    let trim = |mut sc: ScenarioConfig| {
+        sc.duration = SimTime::from_ms(4);
+        sc.warmup = SimTime::from_ms(1);
+        sc
+    };
+    let serial = TraditionalSwitches::default().run(&trim(ScenarioConfig::small(42)));
+    let serial_json = serial.to_json();
+    for k in [2u16, 5, 8] {
+        let mut sc = trim(ScenarioConfig::small(42));
+        sc.shards = ShardSpec::Auto(k);
+        let mut report = TraditionalSwitches::default().run(&sc);
+        let stats = report
+            .shard
+            .take()
+            .expect("sharded run reports its partition");
+        assert_eq!(stats.shards, k);
+        assert_eq!(
+            report.to_json(),
+            serial_json,
+            "sharded DesignReport (k={k}) must match serial field-for-field"
+        );
+    }
+}
