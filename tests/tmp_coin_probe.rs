@@ -1,0 +1,71 @@
+//! Scratch review probe: does an intra-shard kernel-coin link diverge
+//! from the serial run? (Deleted after review.)
+
+use trading_networks::netdev::EtherLink;
+use trading_networks::sim::{
+    Context, Frame, IdealLink, Node, PortId, ShardPlan, ShardedSimulator, SimTime, Simulator,
+    TimerToken,
+};
+
+struct Ticker {
+    period: SimTime,
+    ticks_left: u32,
+}
+
+impl Node for Ticker {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+        ctx.recycle(frame);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        let f = ctx.frame().zeroed(64).tag(u64::from(self.ticks_left)).build();
+        ctx.send(PortId(0), f);
+        if self.ticks_left > 0 {
+            self.ticks_left -= 1;
+            ctx.set_timer(self.period, timer);
+        }
+    }
+}
+
+struct Sink;
+impl Node for Sink {
+    fn on_frame(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+        ctx.recycle(frame);
+    }
+}
+
+fn build() -> Simulator {
+    let mut sim = Simulator::new(42);
+    let a = sim.add_node(
+        "a",
+        Ticker {
+            period: SimTime::from_ns(100),
+            ticks_left: 200,
+        },
+    );
+    let b = sim.add_node("b", Sink);
+    let c = sim.add_node("c", Sink);
+    // Lossy (kernel-coin) link fully inside shard 0.
+    let lossy = EtherLink::ten_gig(SimTime::from_ns(5)).with_loss(0.3);
+    sim.install_link(a, PortId(0), b, PortId(0), Box::new(lossy));
+    // Clean cut link b->c so a 2-shard plan validates.
+    sim.install_link(b, PortId(1), c, PortId(0), Box::new(IdealLink::new(SimTime::from_ns(50))));
+    sim.schedule_timer(SimTime::ZERO, a, TimerToken(1));
+    sim
+}
+
+#[test]
+fn intra_shard_coin_link_digest() {
+    let deadline = SimTime::from_us(50);
+    let mut serial = build();
+    serial.run_until(deadline);
+    let want = (serial.trace.digest(), serial.stats().frames_dropped);
+
+    let sim = build();
+    let plan = ShardPlan::manual(vec![0, 0, 1]);
+    plan.validate(&sim).expect("coin link is intra-shard, so validate accepts it");
+    let mut sharded = ShardedSimulator::split(sim, &plan).expect("valid");
+    sharded.run_until(deadline);
+    let merged = sharded.finish();
+    let got = (merged.trace.digest(), merged.stats().frames_dropped);
+    assert_eq!(got, want, "sharded run diverged from serial");
+}
