@@ -138,6 +138,18 @@ pub fn registry() -> Vec<Scenario> {
             name: "lab-run-vs-standalone",
             run: run_lab_run_vs_standalone,
         },
+        Scenario {
+            name: "cloud-zero-knobs-transparent",
+            run: run_cloud_zero_knobs,
+        },
+        Scenario {
+            name: "cloud-fairness-design",
+            run: run_cloud_fairness_design,
+        },
+        Scenario {
+            name: "cloud-fairness-frontier",
+            run: run_cloud_fairness_frontier,
+        },
     ]
 }
 
@@ -663,6 +675,90 @@ fn run_lab_run_vs_standalone(kind: SchedulerKind) -> RunSignature {
     }
 }
 
+/// The PR-10 transparency invariant: `CloudFairnessSpec` gates the
+/// whole mechanism set on `overlay_fanout` alone. With the fan-out
+/// zeroed, every other knob may be set and the design must still build
+/// the pre-fairness constant-based fabric — consuming no randomness and
+/// perturbing no event — so its digest equals the plain default's.
+fn run_cloud_zero_knobs(kind: SchedulerKind) -> RunSignature {
+    use tn_topo::{CloudConfig, CloudFairnessSpec};
+
+    let baseline = run_design(&CloudDesign::default(), 7, kind);
+    let knobs_without_gate = CloudDesign {
+        cloud: CloudConfig {
+            fairness: CloudFairnessSpec {
+                overlay_fanout: 0,
+                ..CloudFairnessSpec::demo()
+            },
+            ..CloudConfig::default()
+        },
+    };
+    let sig = run_design(&knobs_without_gate, 7, kind);
+    assert_eq!(
+        baseline, sig,
+        "a fan-out-0 fairness spec must be bit-transparent"
+    );
+    sig
+}
+
+/// Design 2 with the full demo mechanism set live on the hot path:
+/// overlay relay tree on the internal feed, a delay-equalizer gate per
+/// strategy, and the hold-and-release sequencer spliced into the order
+/// path. The assembly must dual-run and stay scheduler-neutral, and an
+/// enabled spec must surface `FairnessStats` in the report.
+fn run_cloud_fairness_design(kind: SchedulerKind) -> RunSignature {
+    use tn_topo::{CloudConfig, CloudFairnessSpec};
+
+    let mut sc = trimmed(ScenarioConfig::small(7));
+    sc.scheduler = kind;
+    let design = CloudDesign {
+        cloud: CloudConfig {
+            fairness: CloudFairnessSpec::demo(),
+            ..CloudConfig::default()
+        },
+    };
+    let report = design.run(&sc);
+    assert!(
+        report.fairness.is_some(),
+        "an enabled fairness spec must report FairnessStats"
+    );
+    RunSignature {
+        digest: report.trace_digest,
+        events: report.events_recorded,
+    }
+}
+
+/// The tn-cloud harness point `bench_cloud` measures at jitter 2 µs: a
+/// fan-out-4 overlay with a 5 µs hold and 20 ns residual. Jitter rides
+/// `FaultLink` streams and the residual rides the node-owned stream, so
+/// the whole frontier point must dual-run bit-for-bit; its digest is
+/// what `BENCH_cloud.json` reports for this cell.
+fn run_cloud_fairness_frontier(kind: SchedulerKind) -> RunSignature {
+    use tn_cloud::{run_fairness, DesignKind, FairnessScenario};
+
+    let mut sc = FairnessScenario::small(7);
+    sc.scheduler = kind;
+    let run = run_fairness(
+        &sc,
+        &DesignKind::Cloud {
+            fanout: 4,
+            jitter: SimTime::from_us(2),
+            hold: SimTime::from_us(5),
+            residual: SimTime::from_ns(20),
+        },
+    );
+    assert!(
+        run.added_median_ps >= run.hold_ps,
+        "the fairness frontier point must charge at least its hold: {} < {}",
+        run.added_median_ps,
+        run.hold_ps
+    );
+    RunSignature {
+        digest: run.digest,
+        events: run.events,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -823,6 +919,29 @@ mod tests {
         assert_eq!(sig.events, 19_924);
         let cal = run_lab_run_vs_standalone(SchedulerKind::CalendarQueue);
         assert_eq!(sig, cal, "lab cell must be scheduler-neutral");
+    }
+
+    #[test]
+    fn cloud_scenarios_are_deterministic() {
+        // Covers shootout-cloud plus the three fairness scenarios: dual
+        // run + calendar queue, with the transparency and hold-charge
+        // asserts firing inside the runners.
+        for o in run_all(Some("cloud")) {
+            assert!(o.passed(), "{o:?}");
+            assert!(o.first.events > 0, "{:?}", o.name);
+        }
+    }
+
+    #[test]
+    fn cloud_frontier_digest_is_pinned() {
+        // The exact cell `bench_cloud` reports at jitter 2 µs: the
+        // digest in BENCH_cloud.json and the one the registry replays
+        // must be the same number.
+        let sig = run_cloud_fairness_frontier(SchedulerKind::BinaryHeap);
+        assert_eq!(sig.digest, 0xb6000289d5a38e48, "{sig:?}");
+        assert_eq!(sig.events, 1_400);
+        let wheel = run_cloud_fairness_frontier(SchedulerKind::TimingWheel);
+        assert_eq!(sig, wheel, "frontier point must be scheduler-neutral");
     }
 
     #[test]

@@ -21,12 +21,14 @@ use tn_trading::{
 };
 use tn_wire::{eth, igmp, ipv4, Symbol};
 
+use tn_cloud::{equalizer, sequencer, DelayEqualizer};
 use tn_fault::FaultLink;
 use tn_sim::Link;
+use tn_stats::FairnessWindow;
 
-use tn_sim::ShardedSimulator;
+use tn_sim::{IdealLink, ShardedSimulator};
 
-use crate::report::{DesignReport, LatencyStats, RecoveryStats, ShardReport};
+use crate::report::{DesignReport, FairnessStats, LatencyStats, RecoveryStats, ShardReport};
 use crate::scenario::ScenarioConfig;
 
 /// Multicast group index base of the exchange's native feed.
@@ -254,12 +256,28 @@ fn start_everything(sim: &mut Simulator, firm: &Firm, exchange: NodeId, warmup: 
 }
 
 fn collect_report(
+    sim: Simulator,
+    name: String,
+    sc: &ScenarioConfig,
+    firm: &Firm,
+    exchange: NodeId,
+    deadline: SimTime,
+) -> DesignReport {
+    collect_report_with_fairness(sim, name, sc, firm, exchange, deadline, &[])
+}
+
+/// [`collect_report`] plus a fairness section folded from the given
+/// equalizer gates (one per subscriber). An empty slice skips the
+/// section entirely — every non-cloud design passes through here with
+/// no fairness machinery.
+fn collect_report_with_fairness(
     mut sim: Simulator,
     name: String,
     sc: &ScenarioConfig,
     firm: &Firm,
     exchange: NodeId,
     deadline: SimTime,
+    gates: &[NodeId],
 ) -> DesignReport {
     // Serial or sharded execution per the scenario's `shards` spec. The
     // sharded path reassembles into the same dense kernel afterwards, so
@@ -330,6 +348,25 @@ fn collect_report(
     } else {
         None
     };
+    // Fairness accounting from the per-subscriber equalizer gates:
+    // frame ids group the relay copies of one published event, so the
+    // window measures last-minus-first delivery across subscribers.
+    let fairness = if gates.is_empty() {
+        None
+    } else {
+        let mut window = FairnessWindow::new(gates.len());
+        let mut late = 0;
+        let mut pads = Vec::new();
+        for &g in gates {
+            let eq = sim.node::<DelayEqualizer>(g).expect("equalizer gate");
+            for &(id, at_ps) in eq.releases() {
+                window.observe(id, at_ps);
+            }
+            late += eq.stats().late;
+            pads.extend_from_slice(eq.pad_ps());
+        }
+        Some(FairnessStats::from_window(&window, late, &pads))
+    };
     let exch = sim.node::<Exchange>(exchange).expect("exchange");
     let reaction_samples = exch.response_latency_ps().to_vec();
     let reaction = LatencyStats::from_samples(&reaction_samples);
@@ -362,6 +399,7 @@ fn collect_report(
         flight_dump,
         reaction_samples,
         shard,
+        fairness,
     }
 }
 
@@ -547,29 +585,73 @@ impl TradingNetworkDesign for CloudDesign {
         let mut cloud_cfg = self.cloud.clone();
         cloud_cfg.tenant_ports = 2 * (sc.normalizers + sc.strategies + sc.gateways) + 4;
         let mut cloud = CloudFabric::build(&mut sim, cloud_cfg);
+        let fair = cloud.fairness().enabled();
 
+        // With the fairness machinery on, the firm's internal feed rides
+        // the software overlay instead of provider multicast, so
+        // strategies must not send IGMP joins into a path that cannot
+        // parse them.
         let firm = build_firm(
             &mut sim,
             sc,
             &dir,
             eth::MacAddr::host(0xEE01),
             ipv4::Addr::new(10, 200, 1, 1),
-            true,
+            !fair,
             false,
         );
+        let overlay = if fair {
+            Some(cloud.build_overlay_feed(&mut sim, sc.strategies))
+        } else {
+            None
+        };
 
         let exch_cfg = exchange_config(sc, &dir);
         let exch_ip = exch_cfg.src_ip;
         let exchange = sim.add_node("exchange", Exchange::new(exch_cfg));
-        connect_exchange_feed(
-            &mut sim,
-            sc,
-            exchange,
-            PortId(0),
-            cloud.fabric,
-            cloud.external_port,
-            cloud.external_link(),
-        );
+        if fair {
+            // Splice the hold-and-release sequencer into the order
+            // direction only: fabric → sequencer → exchange. The publish
+            // direction keeps the scenario's feed-fault discipline of
+            // `connect_exchange_feed` exactly.
+            let seqr = cloud.build_sequencer(&mut sim);
+            let wan = cloud.external_link();
+            let publish: Box<dyn Link> = match &sc.feed_fault {
+                Some(spec) => Box::new(FaultLink::wrap(wan.clone(), spec.clone())),
+                None => Box::new(wan.clone()),
+            };
+            sim.install_link(
+                exchange,
+                PortId(0),
+                cloud.fabric,
+                cloud.external_port,
+                publish,
+            );
+            sim.install_link(
+                cloud.fabric,
+                cloud.external_port,
+                seqr,
+                sequencer::IN,
+                Box::new(wan),
+            );
+            sim.install_link(
+                seqr,
+                sequencer::OUT,
+                exchange,
+                PortId(0),
+                Box::new(IdealLink::new(SimTime::ZERO)),
+            );
+        } else {
+            connect_exchange_feed(
+                &mut sim,
+                sc,
+                exchange,
+                PortId(0),
+                cloud.fabric,
+                cloud.external_port,
+                cloud.external_link(),
+            );
+        }
         cloud.install_route(&mut sim, exch_ip, cloud.external_port);
 
         for (n, &node) in firm.normalizers.iter().enumerate() {
@@ -583,14 +665,23 @@ impl TradingNetworkDesign for CloudDesign {
                 pf,
                 cloud.tenant_link(),
             );
-            attach(
-                &mut sim,
-                node,
-                normalizer::OUT,
-                cloud.fabric,
-                po,
-                cloud.tenant_link(),
-            );
+            match &overlay {
+                // Publisher hop: one jittery VM link into the overlay
+                // root. Edge indices above 2^41 stay disjoint from both
+                // tree edges and the gate leaf hops.
+                Some(ov) => {
+                    let link = cloud.overlay_link((1u64 << 41) | n as u64);
+                    sim.install_link(node, normalizer::OUT, ov.root, cloud.overlay_in(), link);
+                }
+                None => attach(
+                    &mut sim,
+                    node,
+                    normalizer::OUT,
+                    cloud.fabric,
+                    po,
+                    cloud.tenant_link(),
+                ),
+            }
             let (mac, ip) = firm.normalizer_addrs[n];
             for u in units_for(sc, n) {
                 let join = igmp_join_frame(mac, ip, FEED_MCAST_BASE + u);
@@ -601,14 +692,25 @@ impl TradingNetworkDesign for CloudDesign {
         for (s, &node) in firm.strategies.iter().enumerate() {
             let pf = cloud.take_tenant_port();
             let po = cloud.take_tenant_port();
-            attach(
-                &mut sim,
-                node,
-                strategy::FEED,
-                cloud.fabric,
-                pf,
-                cloud.tenant_link(),
-            );
+            match &overlay {
+                // Subscriber side: the equalizer gate releases straight
+                // into the strategy's feed NIC.
+                Some(ov) => sim.install_link(
+                    ov.gates[s],
+                    equalizer::OUT,
+                    node,
+                    strategy::FEED,
+                    Box::new(IdealLink::new(SimTime::ZERO)),
+                ),
+                None => attach(
+                    &mut sim,
+                    node,
+                    strategy::FEED,
+                    cloud.fabric,
+                    pf,
+                    cloud.tenant_link(),
+                ),
+            }
             attach(
                 &mut sim,
                 node,
@@ -644,13 +746,15 @@ impl TradingNetworkDesign for CloudDesign {
         }
 
         start_everything(&mut sim, &firm, exchange, sc.warmup);
-        collect_report(
+        let gates = overlay.map(|ov| ov.gates).unwrap_or_default();
+        collect_report_with_fairness(
             sim,
             self.name(),
             sc,
             &firm,
             exchange,
             sc.warmup + sc.duration,
+            &gates,
         )
     }
 }
@@ -903,6 +1007,7 @@ impl TradingNetworkDesign for FpgaHybrid {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tn_topo::CloudFairnessSpec;
 
     #[test]
     fn fpga_hybrid_beats_design1_with_multicast_semantics() {
@@ -1063,5 +1168,37 @@ mod tests {
         assert!(d2.reaction.count > 0, "{}", d2.summary());
         // Several equalized hops plus the WAN dwarf everything.
         assert!(d2.reaction.median > SimTime::from_ms(1), "{}", d2.summary());
+        // The constant-based baseline has no fairness machinery to report.
+        assert!(d2.fairness.is_none());
+    }
+
+    #[test]
+    fn design2_fairness_mechanisms_equalize_and_report() {
+        let mut sc = ScenarioConfig::small(7);
+        sc.duration = SimTime::from_ms(30);
+        let fair = CloudDesign {
+            cloud: CloudConfig {
+                fairness: CloudFairnessSpec::demo(),
+                ..CloudConfig::default()
+            },
+        };
+        let r = fair.run(&sc);
+        assert!(r.orders_sent > 0, "{}", r.summary());
+        assert!(r.reaction.count > 0, "{}", r.summary());
+        let fa = r.fairness.clone().expect("fairness section when enabled");
+        assert_eq!(fa.subscribers, sc.strategies as u64);
+        assert!(fa.events_measured > 100, "{}", r.summary());
+        // The demo ceiling (120 µs) covers the worst 3-hop overlay path
+        // plus jitter, so no delivery is late and the spread across all
+        // subscribers collapses to the residual pacing error.
+        assert_eq!(fa.late_deliveries, 0, "{}", r.summary());
+        assert!(fa.spread_max <= SimTime::from_ns(100), "{}", r.summary());
+        // …and the fairness is paid for in padding: deliveries idle in
+        // the equalizer for tens of microseconds.
+        assert!(fa.pad_median > SimTime::from_us(20), "{}", r.summary());
+        // Deterministic: same scenario, same digest.
+        let r2 = fair.run(&sc);
+        assert_eq!(r.trace_digest, r2.trace_digest);
+        assert_eq!(r.fairness, r2.fairness);
     }
 }

@@ -1,7 +1,7 @@
 //! Evaluation reports: what a design run produces.
 
 use tn_sim::{KernelProfile, SimTime, Snapshot, SnapshotValue};
-use tn_stats::Summary;
+use tn_stats::{FairnessWindow, Summary};
 
 /// Order statistics for a latency population, picoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -249,6 +249,53 @@ pub struct ShardReport {
     pub nodes_per_shard: Vec<u64>,
 }
 
+/// Cloud-fairness section of a report: how evenly one published event
+/// reached every subscriber, and what the fairness machinery charged for
+/// it. Present only when the cloud design ran with
+/// `CloudFairnessSpec::enabled()`; purely an output — collecting it never
+/// moves the trace digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FairnessStats {
+    /// Subscribers (equalizer gates) measured.
+    pub subscribers: u64,
+    /// Events delivered to every subscriber (complete fairness groups).
+    pub events_measured: u64,
+    /// Events that missed at least one subscriber (excluded from spread).
+    pub events_incomplete: u64,
+    /// Deliveries that arrived past their equalizer ceiling and passed
+    /// straight through — the jitter tail the ceiling failed to cover.
+    pub late_deliveries: u64,
+    /// Median delivery spread (last minus first subscriber) per event.
+    pub spread_p50: SimTime,
+    /// 99th-percentile delivery spread.
+    pub spread_p99: SimTime,
+    /// Worst delivery spread.
+    pub spread_max: SimTime,
+    /// Median padding the equalizers added per delivery — the latency
+    /// price paid for the spread numbers above.
+    pub pad_median: SimTime,
+}
+
+impl FairnessStats {
+    /// Fold a populated [`FairnessWindow`] plus the equalizers' late
+    /// counter and per-delivery padding samples into report form.
+    pub fn from_window(w: &FairnessWindow, late_deliveries: u64, pad_ps: &[u64]) -> FairnessStats {
+        let mut spreads = w.spreads();
+        let mut pads = Summary::new();
+        pads.extend(pad_ps.iter().copied());
+        FairnessStats {
+            subscribers: w.expected() as u64,
+            events_measured: w.complete() as u64,
+            events_incomplete: w.incomplete() as u64,
+            late_deliveries,
+            spread_p50: SimTime::from_ps(spreads.median()),
+            spread_p99: SimTime::from_ps(spreads.p99()),
+            spread_max: SimTime::from_ps(spreads.max()),
+            pad_median: SimTime::from_ps(pads.median()),
+        }
+    }
+}
+
 /// Outcome of running one scenario over one design.
 #[derive(Debug, Clone)]
 pub struct DesignReport {
@@ -310,6 +357,10 @@ pub struct DesignReport {
     /// execution (`ScenarioConfig::shards`). Like telemetry, purely an
     /// output — the partitioning never moves the trace digest.
     pub shard: Option<ShardReport>,
+    /// Cloud-fairness statistics, when the cloud design ran with its
+    /// fairness mechanisms enabled (`CloudConfig::fairness`). Purely an
+    /// output, like telemetry.
+    pub fairness: Option<FairnessStats>,
 }
 
 impl DesignReport {
@@ -368,9 +419,24 @@ impl DesignReport {
                 sh.shards, sh.windows, sh.cross_shard_frames, sh.events_per_shard,
             ),
         };
+        let fairness = match &self.fairness {
+            None => String::new(),
+            Some(fa) => format!(
+                "\n  fairness : subs={} events={} incomplete={} late={} \
+                 spread[p50={} p99={} max={}] pad_median={}",
+                fa.subscribers,
+                fa.events_measured,
+                fa.events_incomplete,
+                fa.late_deliveries,
+                fa.spread_p50,
+                fa.spread_p99,
+                fa.spread_max,
+                fa.pad_median,
+            ),
+        };
         format!(
             "[{}]\n  feed     : {}\n  reaction : {}\n  feed_msgs={} evaluated={} discarded={} \
-             orders={} acks={} fills={} drops={}{recovery}{telemetry}{profile}{shard}\n  \
+             orders={} acks={} fills={} drops={}{recovery}{telemetry}{profile}{shard}{fairness}\n  \
              software_path={} network_share={:.1}% digest={:016x}",
             self.design,
             self.feed_latency,
@@ -599,6 +665,28 @@ impl DesignReport {
             }
             s.push('}');
         }
+        if let Some(fa) = &self.fairness {
+            s.push_str(",\"fairness\":{");
+            for (i, (k, v)) in [
+                ("subscribers", fa.subscribers),
+                ("events_measured", fa.events_measured),
+                ("events_incomplete", fa.events_incomplete),
+                ("late_deliveries", fa.late_deliveries),
+                ("spread_p50_ps", fa.spread_p50.as_ps()),
+                ("spread_p99_ps", fa.spread_p99.as_ps()),
+                ("spread_max_ps", fa.spread_max.as_ps()),
+                ("pad_median_ps", fa.pad_median.as_ps()),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if i > 0 {
+                    s.push(',');
+                }
+                json_u64(&mut s, k, v);
+            }
+            s.push('}');
+        }
         s.push('}');
         s
     }
@@ -726,6 +814,7 @@ mod tests {
             flight_dump: None,
             reaction_samples: vec![5_000],
             shard: None,
+            fairness: None,
         }
     }
 
@@ -926,6 +1015,69 @@ mod tests {
             s.contains("shard    : k=3 windows=17 cross_shard_frames=42"),
             "{s}"
         );
+    }
+
+    #[test]
+    fn json_and_summary_fairness_section_is_absent_by_default_and_additive_when_on() {
+        let mut r = sample_report();
+        assert!(!r.to_json().contains("\"fairness\""));
+        assert!(!r.summary().contains("fairness :"));
+        r.fairness = Some(FairnessStats {
+            subscribers: 8,
+            events_measured: 40,
+            events_incomplete: 2,
+            late_deliveries: 3,
+            spread_p50: SimTime::from_ns(100),
+            spread_p99: SimTime::from_ns(900),
+            spread_max: SimTime::from_us(1),
+            pad_median: SimTime::from_us(30),
+        });
+        let j = r.to_json();
+        assert!(
+            j.contains("\"fairness\":{\"subscribers\":8,\"events_measured\":40"),
+            "{j}"
+        );
+        assert!(
+            j.contains("\"events_incomplete\":2,\"late_deliveries\":3"),
+            "{j}"
+        );
+        assert!(
+            j.contains(
+                "\"spread_p50_ps\":100000,\"spread_p99_ps\":900000,\"spread_max_ps\":1000000"
+            ),
+            "{j}"
+        );
+        assert!(j.contains("\"pad_median_ps\":30000000"), "{j}");
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced: {j}"
+        );
+        let s = r.summary();
+        assert!(
+            s.contains("fairness : subs=8 events=40 incomplete=2 late=3"),
+            "{s}"
+        );
+        assert!(s.contains("network_share=50.0%"), "tail survives: {s}");
+    }
+
+    #[test]
+    fn fairness_stats_fold_a_window_and_pad_samples() {
+        let mut w = FairnessWindow::new(2);
+        // Event 1: spread 400 ps; event 2: spread 0; event 3: incomplete.
+        w.observe(1, 1_000);
+        w.observe(1, 1_400);
+        w.observe(2, 2_000);
+        w.observe(2, 2_000);
+        w.observe(3, 5_000);
+        let fa = FairnessStats::from_window(&w, 9, &[10, 20, 30]);
+        assert_eq!(fa.subscribers, 2);
+        assert_eq!(fa.events_measured, 2);
+        assert_eq!(fa.events_incomplete, 1);
+        assert_eq!(fa.late_deliveries, 9);
+        assert_eq!(fa.spread_max, SimTime::from_ps(400));
+        assert_eq!(fa.spread_p50, SimTime::from_ps(0));
+        assert_eq!(fa.pad_median, SimTime::from_ps(20));
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Delivery-fairness accounting: group per-subscriber delivery times by
+//! event and summarize the spread.
+//!
+//! A fairness measurement asks: when one published event reaches `S`
+//! subscribers, how far apart are the delivery instants? The window
+//! collects `(event key, delivery time)` observations — the key is
+//! whatever survives replication unchanged (tn-sim frame ids do) — and
+//! reduces each *complete* group (exactly `S` deliveries) to its spread
+//! `max − min`. Incomplete groups (events still in flight at the
+//! deadline, or thinned by loss) are excluded from the spread summary
+//! but remain countable, so completeness is itself reportable.
+
+use std::collections::BTreeMap;
+
+use crate::Summary;
+
+/// Groups per-subscriber delivery times by event key. See module docs.
+#[derive(Debug, Clone)]
+pub struct FairnessWindow {
+    expected: usize,
+    groups: BTreeMap<u64, Vec<u64>>,
+}
+
+impl FairnessWindow {
+    /// A window expecting `expected` deliveries (one per subscriber)
+    /// per event.
+    pub fn new(expected: usize) -> FairnessWindow {
+        assert!(
+            expected >= 1,
+            "a fairness window needs at least one subscriber"
+        );
+        FairnessWindow {
+            expected,
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// Record one delivery of event `key` at time `at_ps`.
+    pub fn observe(&mut self, key: u64, at_ps: u64) {
+        self.groups.entry(key).or_default().push(at_ps);
+    }
+
+    /// Deliveries expected per event.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
+    /// Distinct events observed so far.
+    pub fn events(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Events with exactly the expected number of deliveries.
+    pub fn complete(&self) -> usize {
+        self.groups.len() - self.incomplete()
+    }
+
+    /// Events missing (or exceeding) deliveries.
+    pub fn incomplete(&self) -> usize {
+        self.groups
+            .values()
+            .filter(|g| g.len() != self.expected)
+            .count()
+    }
+
+    /// Per-event delivery spread (`max − min`, ps) over complete groups,
+    /// in event-key order.
+    pub fn spreads(&self) -> Summary {
+        let mut s = Summary::new();
+        for g in self.groups.values() {
+            if g.len() != self.expected {
+                continue;
+            }
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            for &t in g {
+                lo = lo.min(t);
+                hi = hi.max(t);
+            }
+            s.record(hi - lo);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spreads_cover_only_complete_groups() {
+        let mut w = FairnessWindow::new(3);
+        // Event 1: complete, spread 40.
+        w.observe(1, 100);
+        w.observe(1, 140);
+        w.observe(1, 120);
+        // Event 2: incomplete (2 of 3).
+        w.observe(2, 500);
+        w.observe(2, 700);
+        // Event 3: complete, spread 0.
+        w.observe(3, 900);
+        w.observe(3, 900);
+        w.observe(3, 900);
+        assert_eq!(w.events(), 3);
+        assert_eq!(w.complete(), 2);
+        assert_eq!(w.incomplete(), 1);
+        let mut s = w.spreads();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), 40);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.spread(), 40);
+    }
+
+    #[test]
+    fn single_subscriber_spread_is_always_zero() {
+        let mut w = FairnessWindow::new(1);
+        w.observe(10, 123);
+        w.observe(11, 456);
+        let mut s = w.spreads();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn empty_window_yields_empty_summary() {
+        let w = FairnessWindow::new(4);
+        assert_eq!(w.events(), 0);
+        assert_eq!(w.complete(), 0);
+        assert!(w.spreads().is_empty());
+    }
+
+    #[test]
+    fn overfilled_groups_count_as_incomplete() {
+        let mut w = FairnessWindow::new(2);
+        w.observe(1, 10);
+        w.observe(1, 20);
+        w.observe(1, 30); // duplicate delivery — not a clean group
+        assert_eq!(w.complete(), 0);
+        assert_eq!(w.incomplete(), 1);
+        assert!(w.spreads().is_empty());
+    }
+}

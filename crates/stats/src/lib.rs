@@ -10,11 +10,13 @@
 //! no dependencies; callers pick the unit (picoseconds, events, bytes).
 
 mod decompose;
+mod fairness;
 mod hist;
 mod summary;
 mod windows;
 
 pub use decompose::{Decomposition, Segment};
+pub use fairness::FairnessWindow;
 pub use hist::{Histogram, Percentile};
 pub use summary::Summary;
 pub use windows::WindowCounter;

@@ -1,19 +1,36 @@
-//! Design 2: the latency-equalized cloud (§4.2).
+//! Design 2: the cloud (§4.2) — equalization constant or real mechanisms.
 //!
 //! Cloud proposals for fair financial networks (DBO and cloud-exchange
 //! work the paper cites) assume the provider manages a fabric whose
 //! tenant-to-tenant latency is *equalized* — nobody wins by rack
-//! placement. We model that as a provider fabric node that delivers every
-//! frame at `equalized_latency` regardless of source or destination pair,
-//! with provider-managed multicast.
+//! placement. The base model keeps that as a provider fabric node that
+//! delivers every frame at `equalized_latency` regardless of source or
+//! destination pair, with provider-managed multicast.
+//!
+//! The [`CloudFairnessSpec`] knob replaces the magic constant with the
+//! machinery a real cloud exchange needs (tn-cloud): an overlay
+//! multicast tree of relay VMs over jittery unicast links distributes
+//! the firm's internal feed, a [`tn_cloud::DelayEqualizer`] in front of
+//! each subscriber pads deliveries toward a release ceiling, and a
+//! [`tn_cloud::HoldReleaseSequencer`] ahead of the exchange's order
+//! port enforces stamped order under a clock-sync error bound. A
+//! disabled spec (the default) builds *exactly* the old topology, so
+//! pre-fairness digests reproduce bit-for-bit.
 //!
 //! The §4.2 critique is then quantitative: the equalization constant is
 //! orders of magnitude above colo switching (tens to hundreds of
-//! microseconds versus 500 ns), and traffic to exchanges that stay
-//! *outside* the cloud pays a WAN penalty on top.
+//! microseconds versus 500 ns), traffic to exchanges that stay
+//! *outside* the cloud pays a WAN penalty on top, and with the
+//! mechanisms modelled the fairness itself charges latency — overlay
+//! depth × VM hop, plus the equalizer ceiling, plus the sequencer hold.
 
+use tn_cloud::{
+    equalizer, overlay::RELAY_IN, DelayEqualizer, EqualizerConfig, HoldReleaseSequencer,
+    OverlayTree, OverlayTreeConfig, SequencerConfig,
+};
+use tn_fault::{FaultLink, FaultSpec};
 use tn_netdev::EtherLink;
-use tn_sim::{NodeId, PortId, SimTime, Simulator};
+use tn_sim::{Link, NodeId, PortId, SimTime, Simulator};
 use tn_switch::{CommoditySwitch, McastOverflowPolicy, SwitchConfig};
 use tn_wire::ipv4;
 
@@ -32,6 +49,9 @@ pub struct CloudConfig {
     pub external_wan_latency: SimTime,
     /// Tenant access bandwidth.
     pub access_bps: u64,
+    /// Fairness machinery replacing the equalization constant; the
+    /// disabled default reproduces the constant-based topology exactly.
+    pub fairness: CloudFairnessSpec,
 }
 
 impl Default for CloudConfig {
@@ -42,8 +62,76 @@ impl Default for CloudConfig {
             mcast_groups: 100_000,
             external_wan_latency: SimTime::from_ms(1),
             access_bps: 100_000_000_000,
+            fairness: CloudFairnessSpec::default(),
         }
     }
+}
+
+/// Knobs for the tn-cloud mechanism set. `overlay_fanout == 0` (the
+/// default) disables everything: the fabric keeps its provider
+/// multicast and magic equalization constant, bit-for-bit.
+#[derive(Debug, Clone, Default)]
+pub struct CloudFairnessSpec {
+    /// Relay fan-out `k` of the overlay multicast tree; 0 disables the
+    /// whole mechanism set.
+    pub overlay_fanout: u16,
+    /// Per-VM-hop jitter bound (uniform), injected via `FaultLink`.
+    pub hop_jitter: SimTime,
+    /// Per-copy serialization gap inside each relay VM.
+    pub copy_gap: SimTime,
+    /// Raw VM-to-VM one-way propagation of an overlay hop — what a
+    /// unicast hop costs *before* anyone equalizes anything.
+    pub vm_prop: SimTime,
+    /// Delay-equalizer release ceiling, measured from frame birth. Must
+    /// cover the worst overlay path for spread to collapse.
+    pub ceiling: SimTime,
+    /// Equalizer residual pacing error.
+    pub residual: SimTime,
+    /// Sequencer hold window on the order path.
+    pub hold: SimTime,
+    /// Sequencer clock-sync error bound.
+    pub clock_error: SimTime,
+    /// Seed for every derived jitter/residual/clock-error stream.
+    pub seed: u64,
+}
+
+impl CloudFairnessSpec {
+    /// Whether the mechanism set is active.
+    pub fn enabled(&self) -> bool {
+        self.overlay_fanout > 0
+    }
+
+    /// A representative enabled configuration: fan-out-4 overlay over
+    /// 25 µs VM hops with 2 µs jitter, a 120 µs equalizer ceiling
+    /// (covers the 3-hop worst path plus jitter for small firms), and a
+    /// 5 µs sequencer hold against a 1 µs clock error.
+    pub fn demo() -> CloudFairnessSpec {
+        CloudFairnessSpec {
+            overlay_fanout: 4,
+            hop_jitter: SimTime::from_us(2),
+            copy_gap: SimTime::from_ns(250),
+            vm_prop: SimTime::from_us(25),
+            ceiling: SimTime::from_us(120),
+            residual: SimTime::from_ns(100),
+            hold: SimTime::from_us(5),
+            clock_error: SimTime::from_us(1),
+            seed: 0xC10D,
+        }
+    }
+}
+
+/// The overlay feed distribution [`CloudFabric::build_overlay_feed`]
+/// lays out: relay tree plus one equalizer gate per subscriber.
+pub struct CloudOverlayFeed {
+    /// Root relay — publishers send into `overlay::RELAY_IN` here.
+    pub root: NodeId,
+    /// All relay nodes, root first.
+    pub relays: Vec<NodeId>,
+    /// One `DelayEqualizer` per subscriber, in subscriber order; its
+    /// `equalizer::OUT` awaits the subscriber link.
+    pub gates: Vec<NodeId>,
+    /// Overlay depth in relay levels.
+    pub depth: usize,
 }
 
 /// The built cloud fabric.
@@ -109,6 +197,97 @@ impl CloudFabric {
     /// The equalized latency constant.
     pub fn equalized_latency(&self) -> SimTime {
         self.cfg.equalized_latency
+    }
+
+    /// The fairness spec this fabric was built with.
+    pub fn fairness(&self) -> &CloudFairnessSpec {
+        &self.cfg.fairness
+    }
+
+    /// A raw VM-to-VM unicast link for overlay hop `edge`, jitter-wrapped
+    /// through `FaultLink` when the spec asks for it. Edge indices
+    /// derive disjoint per-link jitter seeds, so topologies are
+    /// digest-stable for a fixed spec seed.
+    pub fn overlay_link(&self, edge: u64) -> Box<dyn Link> {
+        let f = &self.cfg.fairness;
+        let base = EtherLink::new(self.cfg.access_bps, f.vm_prop);
+        if f.hop_jitter > SimTime::ZERO {
+            let seed = f.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(edge + 1);
+            Box::new(FaultLink::wrap(
+                base,
+                FaultSpec::new(seed).with_jitter(f.hop_jitter),
+            ))
+        } else {
+            Box::new(base)
+        }
+    }
+
+    /// Build the software multicast overlay plus per-subscriber
+    /// equalizer gates that replace provider multicast for the firm's
+    /// internal feed. Publishers attach into the returned root; each
+    /// subscriber attaches behind its gate's `equalizer::OUT`.
+    ///
+    /// Panics if the spec is disabled — callers gate on
+    /// [`CloudFairnessSpec::enabled`].
+    pub fn build_overlay_feed(&self, sim: &mut Simulator, subscribers: usize) -> CloudOverlayFeed {
+        let f = &self.cfg.fairness;
+        assert!(
+            f.enabled(),
+            "build_overlay_feed needs an enabled fairness spec"
+        );
+        let cfg = OverlayTreeConfig {
+            fanout: f.overlay_fanout,
+            leaves: subscribers,
+            copy_gap: f.copy_gap,
+        };
+        let tree = OverlayTree::build(sim, "cloud-ov", &cfg, |i| self.overlay_link(i as u64));
+        let mut gates = Vec::with_capacity(subscribers);
+        for (s, &(relay, port)) in tree.leaf_ports.iter().enumerate() {
+            let gate = sim.add_node(
+                format!("cloud-gate{s}"),
+                DelayEqualizer::new(EqualizerConfig {
+                    ceiling: f.ceiling,
+                    residual: f.residual,
+                    seed: f.seed ^ (0xEA00_0000u64 + s as u64),
+                }),
+            );
+            // The leaf's own VM hop lands in front of the gate; leaf
+            // edge indices sit far above any realistic tree edge count.
+            sim.install_link(
+                relay,
+                port,
+                gate,
+                equalizer::IN,
+                self.overlay_link(1 << 40 | s as u64),
+            );
+            gates.push(gate);
+        }
+        CloudOverlayFeed {
+            root: tree.root,
+            relays: tree.relays,
+            gates,
+            depth: tree.depth,
+        }
+    }
+
+    /// Build the hold-and-release sequencer guarding an order-entry
+    /// port. The caller splices it between the fabric and the exchange.
+    pub fn build_sequencer(&self, sim: &mut Simulator) -> NodeId {
+        let f = &self.cfg.fairness;
+        sim.add_node(
+            "cloud-seq",
+            HoldReleaseSequencer::new(SequencerConfig {
+                hold: f.hold,
+                clock_error: f.clock_error,
+                seed: f.seed ^ 0x5EC0_0000,
+            }),
+        )
+    }
+
+    /// The relay input port publishers send into (re-exported so design
+    /// wiring needs only the topo crate).
+    pub fn overlay_in(&self) -> PortId {
+        RELAY_IN
     }
 }
 
@@ -192,6 +371,78 @@ mod tests {
         // The group budget is far beyond any commodity switch (§3's
         // thousands): the cloud's pitch is scale.
         assert!(cloud.cfg.mcast_groups >= 100_000);
+    }
+
+    #[test]
+    fn overlay_feed_equalizes_when_ceiling_covers_the_tree() {
+        let mut sim = Simulator::new(9);
+        let mut cfg = CloudConfig {
+            tenant_ports: 2,
+            ..CloudConfig::default()
+        };
+        cfg.fairness = CloudFairnessSpec {
+            hop_jitter: SimTime::ZERO,
+            residual: SimTime::ZERO,
+            ceiling: SimTime::from_us(200),
+            ..CloudFairnessSpec::demo()
+        };
+        let cloud = CloudFabric::build(&mut sim, cfg);
+        let feed = cloud.build_overlay_feed(&mut sim, 6);
+        assert_eq!(feed.gates.len(), 6);
+        assert!(feed.depth >= 1);
+        let mut sinks = Vec::new();
+        for (s, &gate) in feed.gates.iter().enumerate() {
+            let sink = sim.add_node(format!("sub{s}"), Sink { got: vec![] });
+            sim.install_link(
+                gate,
+                tn_cloud::equalizer::OUT,
+                sink,
+                PortId(0),
+                Box::new(tn_sim::IdealLink::new(SimTime::ZERO)),
+            );
+            sinks.push(sink);
+        }
+        let f = sim.frame().zeroed(200).build();
+        sim.inject_frame(SimTime::ZERO, feed.root, cloud.overlay_in(), f);
+        sim.run();
+        let first = sim.node::<Sink>(sinks[0]).unwrap().got[0];
+        for &s in &sinks {
+            let got = &sim.node::<Sink>(s).unwrap().got;
+            assert_eq!(got.len(), 1, "each subscriber hears the event once");
+            assert_eq!(
+                got[0], first,
+                "zero jitter + covering ceiling ⇒ zero spread"
+            );
+        }
+        // Fairness charged latency: release at the ceiling, far above a
+        // single VM hop.
+        assert!(first >= SimTime::from_us(200));
+    }
+
+    #[test]
+    fn sequencer_node_is_buildable_and_holds_orders() {
+        let mut sim = Simulator::new(4);
+        let cfg = CloudConfig {
+            fairness: CloudFairnessSpec::demo(),
+            ..CloudConfig::default()
+        };
+        let cloud = CloudFabric::build(&mut sim, cfg);
+        let seq = cloud.build_sequencer(&mut sim);
+        let sink = sim.add_node("exch", Sink { got: vec![] });
+        sim.install_link(
+            seq,
+            tn_cloud::sequencer::OUT,
+            sink,
+            PortId(0),
+            Box::new(tn_sim::IdealLink::new(SimTime::ZERO)),
+        );
+        let f = sim.frame().zeroed(64).build();
+        sim.inject_frame(SimTime::from_us(1), seq, tn_cloud::sequencer::IN, f);
+        sim.run();
+        let got = &sim.node::<Sink>(sink).unwrap().got;
+        assert_eq!(got.len(), 1);
+        // Released exactly one hold window after arrival.
+        assert_eq!(got[0], SimTime::from_us(1) + CloudFairnessSpec::demo().hold);
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod leafspine;
 pub mod metro;
 pub mod placement;
 
-pub use cloud::{CloudConfig, CloudFabric};
+pub use cloud::{CloudConfig, CloudFabric, CloudFairnessSpec, CloudOverlayFeed};
 pub use l1fabric::{L1FabricConfig, L1TradingFabric};
 pub use leafspine::{LeafSpine, LeafSpineConfig};
 pub use metro::{Colo, MetroRegion};

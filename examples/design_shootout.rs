@@ -2,7 +2,7 @@
 //! designs and compare wire-to-wire reaction latency.
 //!
 //! ```sh
-//! cargo run --release --example design_shootout
+//! cargo run --release --example design_shootout [-- --cloud-fairness]
 //! ```
 //!
 //! Expected shape (the paper's): the Layer-1 fabric beats commodity
@@ -10,14 +10,30 @@
 //! the cloud's equalization constant puts it milliseconds behind both,
 //! and the §5 FPGA hybrid keeps L1-class latency *with* multicast
 //! semantics.
+//!
+//! `--cloud-fairness` swaps the cloud's magic equalization constant for
+//! the real tn-cloud mechanism set (`CloudFairnessSpec::demo()`: relay
+//! overlay + delay-equalizer gates + order sequencer) — the report grows
+//! a `fairness` section and the cloud pays its hold/ceiling openly.
 
 use trading_networks::core::design::{
     CloudDesign, FpgaHybrid, LayerOneSwitches, TradingNetworkDesign, TraditionalSwitches,
 };
 use trading_networks::core::ScenarioConfig;
+use trading_networks::topo::{CloudConfig, CloudFairnessSpec};
 
 fn main() {
     let scenario = ScenarioConfig::small(7);
+    let cloud = CloudDesign {
+        cloud: CloudConfig {
+            fairness: if std::env::args().any(|a| a == "--cloud-fairness") {
+                CloudFairnessSpec::demo()
+            } else {
+                CloudFairnessSpec::default()
+            },
+            ..CloudConfig::default()
+        },
+    };
     println!(
         "Scenario: {} events/s, {} strategies, software path {}",
         scenario.background_rate,
@@ -28,7 +44,7 @@ fn main() {
 
     let designs: Vec<Box<dyn TradingNetworkDesign>> = vec![
         Box::new(TraditionalSwitches::default()),
-        Box::new(CloudDesign::default()),
+        Box::new(cloud),
         Box::new(LayerOneSwitches::default()),
         Box::new(FpgaHybrid::default()),
     ];

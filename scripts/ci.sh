@@ -109,6 +109,31 @@ if [ "$alloc_suppressions" -gt 19 ]; then
     exit 1
 fi
 echo "==> audit gate: $alloc_suppressions hotpath-alloc suppressions (ceiling 19)"
+# Cloud fairness determinism: the zero-knob spec must be bit-transparent,
+# the enabled mechanism set must dual-run, and the frontier point must
+# reproduce the digest committed in BENCH_cloud.json (all asserted inside
+# the registry runners; "cloud" also re-covers shootout-cloud).
+run cargo run --release --offline -q -p tn-audit -- divergence --filter cloud
+# Cloud property tests: exactly-zero spread / exact arrival-order release
+# with every stochastic knob zeroed — a reduced sweep here, the full one
+# runs with the workspace tests above.
+echo "==> cloud_properties (reduced proptest sweep)"
+PROPTEST_CASES=8 cargo test -q --offline --test cloud_properties
+# E22 smoke: the fairness frontier sweep asserts its claims internally
+# (cloud beats L1 only by paying >= hold; zero-hold leaks) and the JSON
+# leads with the tn-exp/v1 schema marker.
+echo "==> exp_cloud_fairness --smoke --json (tn-exp/v1 schema check)"
+cloud_exp=target/ci-cloud-fairness.json
+cargo run --release --offline -q -p tn-bench --bin exp_cloud_fairness -- --smoke --json \
+    > "$cloud_exp"
+head -1 "$cloud_exp" | grep -q '"schema":"tn-exp/v1"'
+rm -f "$cloud_exp"
+# BENCH cloud smoke: rep-determinism and the frontier claim asserted
+# inside the harness; smoke never writes BENCH_cloud.json, so the
+# committed frontier table stays untouched.
+run cargo run --release --offline -q -p tn-bench --bin bench_cloud -- --smoke
+head -1 BENCH_cloud.json | grep -q '"schema":"tn-bench/v1"'
+echo "==> BENCH_cloud.json: tn-bench/v1 ok"
 # Lab determinism: parallel batches must be byte-identical to serial and
 # reproduce the standalone golden digests (registry scenarios).
 run cargo run --release --offline -q -p tn-audit -- divergence --filter lab

@@ -8,6 +8,7 @@
 //! README for the architecture overview and `DESIGN.md` for the experiment
 //! index.
 
+pub use tn_cloud as cloud;
 pub use tn_core as core;
 pub use tn_fault as fault;
 pub use tn_feed as feed;

@@ -350,6 +350,106 @@ proptest! {
     }
 }
 
+/// Regression (folded in from the PR-9 review probe
+/// `tmp_coin_probe.rs`): what a kernel-coin (lossy) link does to a
+/// sharded run, pinned in all three directions.
+///
+/// 1. *Cutting* a coin link is refused at validation — the documented
+///    `ShardError::CoinLink` contract.
+/// 2. An *intra-shard* coin link is accepted, and the sharded run is
+///    self-deterministic (two runs agree bit-for-bit).
+/// 3. But it still **diverges from the serial run** — per-shard kernel
+///    PRNG streams differ from the serial stream, exactly as the
+///    `tn_sim::shard` module docs warn. That divergence is the probe's
+///    finding and the reason every fault model the designs use
+///    (`FaultLink`) owns its *own* seeded PRNG instead of the kernel
+///    coin; this test keeps anyone from quietly "fixing" the docs
+///    instead of the mechanism.
+#[test]
+fn intra_shard_kernel_coin_link_diverges_from_serial_by_contract() {
+    struct Ticker {
+        period: SimTime,
+        ticks_left: u32,
+    }
+    impl Node for Ticker {
+        fn on_frame(&mut self, ctx: &mut Context<'_>, _port: PortId, frame: Frame) {
+            ctx.recycle(frame);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+            let f = ctx
+                .frame()
+                .zeroed(64)
+                .tag(u64::from(self.ticks_left))
+                .build();
+            ctx.send(PortId(0), f);
+            if self.ticks_left > 0 {
+                self.ticks_left -= 1;
+                ctx.set_timer(self.period, timer);
+            }
+        }
+    }
+    let build = || {
+        let mut sim = Simulator::new(42);
+        let a = sim.add_node(
+            "a",
+            Ticker {
+                period: SimTime::from_ns(100),
+                ticks_left: 200,
+            },
+        );
+        let b = sim.add_node("b", Sink::default());
+        let c = sim.add_node("c", Sink::default());
+        // Lossy (kernel-coin) link fully inside shard 0.
+        let lossy = EtherLink::ten_gig(SimTime::from_ns(5)).with_loss(0.3);
+        sim.install_link(a, PortId(0), b, PortId(0), Box::new(lossy));
+        // Clean cut link b->c so a 2-shard plan validates.
+        sim.install_link(
+            b,
+            PortId(1),
+            c,
+            PortId(0),
+            Box::new(IdealLink::new(SimTime::from_ns(50))),
+        );
+        sim.schedule_timer(SimTime::ZERO, a, TimerToken(1));
+        sim
+    };
+
+    let deadline = SimTime::from_us(50);
+    let mut serial = build();
+    serial.run_until(deadline);
+    let want = (serial.trace.digest(), serial.stats().frames_dropped);
+    assert!(want.1 > 0, "the lossy link must actually drop frames");
+
+    // (1) Cutting the coin link (a and b in different shards) is refused.
+    let cut = ShardPlan::manual(vec![0, 1, 1]);
+    assert!(
+        cut.validate(&build()).is_err(),
+        "a cross-shard kernel-coin link must be rejected at validation"
+    );
+
+    // (2)+(3) Intra-shard placement is accepted, deterministic, and
+    // diverges from serial.
+    let run_sharded = || {
+        let sim = build();
+        let plan = ShardPlan::manual(vec![0, 0, 1]);
+        plan.validate(&sim)
+            .expect("coin link is intra-shard, so validate accepts it");
+        let mut sharded = ShardedSimulator::split(sim, &plan).expect("valid");
+        sharded.run_until(deadline);
+        let merged = sharded.finish();
+        (merged.trace.digest(), merged.stats().frames_dropped)
+    };
+    let got = run_sharded();
+    assert_eq!(got, run_sharded(), "sharded coin runs must dual-run equal");
+    assert_ne!(
+        got, want,
+        "an intra-shard kernel-coin link replays a per-shard PRNG stream, \
+         not the serial one; if this suddenly matches, the kernel grew a \
+         serial-faithful coin and the shard-module docs (and this pin) \
+         should both change"
+    );
+}
+
 /// Design-level equivalence: the full `DesignReport` JSON document — not
 /// just the digest — is identical between serial and sharded runs, for
 /// several shard counts, once the additive `shard` section is cleared.
